@@ -1,0 +1,24 @@
+//! # trance-algebra
+//!
+//! The plan language of **trance-rs** (Section 2 of the paper) together with
+//! attribute-level schema inference and the plan optimizer (Section 3).
+//!
+//! The unnesting stage of the compiler translates NRC programs into [`Plan`]
+//! trees built from selections, projections, (outer) joins, (outer) unnests,
+//! nest operators `Γ⊎`/`Γ+`, duplicate elimination, unions, and the
+//! dictionary-specific `BagToDict` / `DictLookup` operators used by the
+//! shredded pipeline. Plans are then optimized and handed to the code
+//! generator in `trance-compiler`, which executes them on the `trance-dist`
+//! engine.
+
+#![warn(missing_docs)]
+
+pub mod optimize;
+pub mod plan;
+pub mod scalar;
+pub mod schema;
+
+pub use optimize::{optimize, optimize_default, OptimizerConfig};
+pub use plan::{pretty_plan, NestOp, Plan, PlanJoinKind};
+pub use scalar::ScalarExpr;
+pub use schema::{output_schema, AttrSchema, Catalog};

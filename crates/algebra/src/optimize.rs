@@ -1,0 +1,618 @@
+//! Plan optimizations (Section 3, "Optimization").
+//!
+//! Three rewrite families are implemented, matching the ones the paper calls
+//! out as applied by the framework and usually overlooked by hand-written
+//! distributed programs:
+//!
+//! 1. **Selection pushdown** — `σ` moves below projections and into the join
+//!    side that supplies all of the predicate's columns.
+//! 2. **Column pruning** — projections are inserted directly above scans so
+//!    unused attributes never enter a shuffle. (This is the "narrow" benefit
+//!    the benchmark's narrow/wide split measures.)
+//! 3. **Aggregation pushdown** — a summing nest `Γ+` above a join computes
+//!    partial sums below the join when all summed attributes come from the
+//!    left input and the grouping key covers the join key (the partial-sum
+//!    example discussed with Figure 3).
+
+use std::collections::BTreeSet;
+
+use crate::plan::{NestOp, Plan, PlanJoinKind};
+use crate::scalar::ScalarExpr;
+use crate::schema::{output_schema, Catalog};
+
+/// Which rewrites [`optimize`] applies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptimizerConfig {
+    /// Enable selection pushdown.
+    pub pushdown_selections: bool,
+    /// Enable column pruning above scans.
+    pub prune_columns: bool,
+    /// Enable pushing `Γ+` below joins.
+    pub pushdown_aggregation: bool,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            pushdown_selections: true,
+            prune_columns: true,
+            pushdown_aggregation: true,
+        }
+    }
+}
+
+/// Applies the enabled rewrites until a fixpoint (bounded by a small number of
+/// passes; each rule is individually terminating).
+pub fn optimize(plan: &Plan, catalog: &Catalog, config: &OptimizerConfig) -> Plan {
+    let mut current = plan.clone();
+    for _ in 0..4 {
+        let mut next = current.clone();
+        if config.pushdown_selections {
+            next = push_selections(&next, catalog);
+        }
+        if config.pushdown_aggregation {
+            next = push_aggregation(&next, catalog);
+        }
+        if config.prune_columns {
+            next = prune_columns(&next, catalog);
+        }
+        next = collapse_projections(&next);
+        if next == current {
+            break;
+        }
+        current = next;
+    }
+    current
+}
+
+/// Applies [`optimize`] with the default configuration.
+pub fn optimize_default(plan: &Plan, catalog: &Catalog) -> Plan {
+    optimize(plan, catalog, &OptimizerConfig::default())
+}
+
+// ---------------------------------------------------------------------------
+// selection pushdown
+// ---------------------------------------------------------------------------
+
+fn push_selections(plan: &Plan, catalog: &Catalog) -> Plan {
+    let rebuilt = map_children(plan, |c| push_selections(c, catalog));
+    if let Plan::Select { input, predicate } = &rebuilt {
+        let cols: Vec<String> = predicate.referenced_columns().into_iter().collect();
+        match input.as_ref() {
+            // σ over π: swap when every referenced column is a pass-through of
+            // the projection.
+            Plan::Project {
+                input: proj_in,
+                columns,
+            } => {
+                let passthrough = cols.iter().all(|c| {
+                    columns
+                        .iter()
+                        .any(|(n, e)| n == c && *e == ScalarExpr::col(c.clone()))
+                });
+                if passthrough {
+                    return Plan::Project {
+                        input: Box::new(push_selections(
+                            &Plan::Select {
+                                input: proj_in.clone(),
+                                predicate: predicate.clone(),
+                            },
+                            catalog,
+                        )),
+                        columns: columns.clone(),
+                    };
+                }
+            }
+            // σ over ⋈: push into the side that supplies every column.
+            Plan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+                kind,
+            } => {
+                let left_schema = output_schema(left, catalog);
+                let right_schema = output_schema(right, catalog);
+                if !cols.is_empty() && left_schema.contains_all(cols.iter()) {
+                    return Plan::Join {
+                        left: Box::new(push_selections(
+                            &Plan::Select {
+                                input: left.clone(),
+                                predicate: predicate.clone(),
+                            },
+                            catalog,
+                        )),
+                        right: right.clone(),
+                        left_key: left_key.clone(),
+                        right_key: right_key.clone(),
+                        kind: *kind,
+                    };
+                }
+                // Only inner joins admit pushing into the right side (an
+                // outer join must keep unmatched left rows).
+                if *kind == PlanJoinKind::Inner
+                    && !cols.is_empty()
+                    && right_schema.contains_all(cols.iter())
+                {
+                    return Plan::Join {
+                        left: left.clone(),
+                        right: Box::new(push_selections(
+                            &Plan::Select {
+                                input: right.clone(),
+                                predicate: predicate.clone(),
+                            },
+                            catalog,
+                        )),
+                        left_key: left_key.clone(),
+                        right_key: right_key.clone(),
+                        kind: *kind,
+                    };
+                }
+            }
+            _ => {}
+        }
+    }
+    rebuilt
+}
+
+// ---------------------------------------------------------------------------
+// column pruning
+// ---------------------------------------------------------------------------
+
+fn prune_columns(plan: &Plan, catalog: &Catalog) -> Plan {
+    // Collect, for every scan, the set of attributes referenced anywhere above
+    // it. `None` means "everything" (e.g. the scan feeds a dedup or union with
+    // no projection information).
+    let required = collect_required(plan);
+    insert_scan_projections(plan, catalog, &required)
+}
+
+#[derive(Debug, Default, Clone)]
+struct Required {
+    /// Attributes referenced by operators (selection predicates, projection
+    /// expressions, join/nest keys, unnest attributes).
+    attrs: BTreeSet<String>,
+    /// True when some operator needs the full row (no pruning possible).
+    all: bool,
+}
+
+fn collect_required(plan: &Plan) -> Required {
+    let mut req = Required::default();
+    plan.visit(&mut |p| match p {
+        Plan::Select { predicate, .. } => {
+            req.attrs.extend(predicate.referenced_columns());
+        }
+        Plan::Project { columns, .. } => {
+            for (_, e) in columns {
+                req.attrs.extend(e.referenced_columns());
+            }
+        }
+        Plan::Join {
+            left_key,
+            right_key,
+            ..
+        } => {
+            req.attrs.extend(left_key.iter().cloned());
+            req.attrs.extend(right_key.iter().cloned());
+        }
+        Plan::Unnest {
+            bag_attr, id_attr, ..
+        } => {
+            req.attrs.insert(bag_attr.clone());
+            if let Some(id) = id_attr {
+                req.attrs.insert(id.clone());
+            }
+        }
+        Plan::Nest { key, values, .. } => {
+            req.attrs.extend(key.iter().cloned());
+            req.attrs.extend(values.iter().cloned());
+        }
+        Plan::DictLookup { label_attr, .. } => {
+            req.attrs.insert(label_attr.clone());
+        }
+        Plan::Dedup { .. } | Plan::Union { .. } => {
+            req.all = true;
+        }
+        Plan::Scan { .. } | Plan::BagToDict { .. } => {}
+    });
+    // The root's output attributes are also required: without full projection
+    // tracking we conservatively keep whatever the top projection names, and
+    // if the root is not a projection we give up on pruning.
+    match plan {
+        Plan::Project { .. } | Plan::Nest { .. } => {}
+        _ => req.all = true,
+    }
+    req
+}
+
+fn insert_scan_projections(plan: &Plan, catalog: &Catalog, required: &Required) -> Plan {
+    if required.all {
+        return plan.clone();
+    }
+    map_plan(plan, &|p| {
+        if let Plan::Scan { name } = p {
+            if let Some(schema) = catalog.get(name) {
+                if schema.attrs.is_empty() {
+                    return None;
+                }
+                let keep: Vec<String> = schema
+                    .attrs
+                    .iter()
+                    .filter(|a| required.attrs.contains(*a))
+                    .cloned()
+                    .collect();
+                if !keep.is_empty() && keep.len() < schema.attrs.len() {
+                    return Some(Plan::Project {
+                        input: Box::new(p.clone()),
+                        columns: keep
+                            .into_iter()
+                            .map(|a| (a.clone(), ScalarExpr::col(a)))
+                            .collect(),
+                    });
+                }
+            }
+        }
+        None
+    })
+}
+
+// ---------------------------------------------------------------------------
+// aggregation pushdown
+// ---------------------------------------------------------------------------
+
+fn push_aggregation(plan: &Plan, catalog: &Catalog) -> Plan {
+    let rebuilt = map_children(plan, |c| push_aggregation(c, catalog));
+    if let Plan::Nest {
+        input,
+        key,
+        values,
+        op: NestOp::Sum,
+    } = &rebuilt
+    {
+        if let Plan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+            kind,
+        } = input.as_ref()
+        {
+            let left_schema = output_schema(left, catalog);
+            let right_schema = output_schema(right, catalog);
+            // All summed values must come from the left input, the join key
+            // must be part of the left grouping attributes, and the right side
+            // must not contribute summed values. Then partial sums grouped by
+            // (left grouping attrs ∪ join key) can be computed below the join.
+            let values_from_left = values.iter().all(|v| left_schema.contains(v))
+                && values.iter().all(|v| !right_schema.contains(v));
+            let partial_key: Vec<String> = key
+                .iter()
+                .filter(|k| left_schema.contains(k))
+                .cloned()
+                .chain(left_key.iter().cloned())
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            let covers_join_key = left_key.iter().all(|k| partial_key.contains(k));
+            // Avoid a useless partial aggregate when the partial key is the
+            // whole left row (nothing to reduce) — mirrors the paper's remark
+            // that pre-aggregating `Part` on its primary key brings no benefit.
+            let useful = partial_key.len() < left_schema.attrs.len();
+            if values_from_left && covers_join_key && useful && !partial_key.is_empty() {
+                let partial = Plan::Nest {
+                    input: left.clone(),
+                    key: partial_key,
+                    values: values.clone(),
+                    op: NestOp::Sum,
+                };
+                return Plan::Nest {
+                    input: Box::new(Plan::Join {
+                        left: Box::new(partial),
+                        right: right.clone(),
+                        left_key: left_key.clone(),
+                        right_key: right_key.clone(),
+                        kind: *kind,
+                    }),
+                    key: key.clone(),
+                    values: values.clone(),
+                    op: NestOp::Sum,
+                };
+            }
+        }
+    }
+    rebuilt
+}
+
+// ---------------------------------------------------------------------------
+// projection collapsing
+// ---------------------------------------------------------------------------
+
+/// Substitutes column references through a projection's column definitions,
+/// returning `None` when a referenced column is not defined by it.
+fn substitute_cols(
+    expr: &ScalarExpr,
+    defs: &std::collections::BTreeMap<String, ScalarExpr>,
+) -> Option<ScalarExpr> {
+    Some(match expr {
+        ScalarExpr::Col(c) => defs.get(c)?.clone(),
+        ScalarExpr::Const(_) => expr.clone(),
+        ScalarExpr::Prim { op, left, right } => ScalarExpr::Prim {
+            op: *op,
+            left: Box::new(substitute_cols(left, defs)?),
+            right: Box::new(substitute_cols(right, defs)?),
+        },
+        ScalarExpr::Cmp { op, left, right } => ScalarExpr::Cmp {
+            op: *op,
+            left: Box::new(substitute_cols(left, defs)?),
+            right: Box::new(substitute_cols(right, defs)?),
+        },
+        ScalarExpr::And(a, b) => ScalarExpr::And(
+            Box::new(substitute_cols(a, defs)?),
+            Box::new(substitute_cols(b, defs)?),
+        ),
+        ScalarExpr::Or(a, b) => ScalarExpr::Or(
+            Box::new(substitute_cols(a, defs)?),
+            Box::new(substitute_cols(b, defs)?),
+        ),
+        ScalarExpr::Not(e) => ScalarExpr::Not(Box::new(substitute_cols(e, defs)?)),
+        ScalarExpr::IsNull(e) => ScalarExpr::IsNull(Box::new(substitute_cols(e, defs)?)),
+        ScalarExpr::NewLabel { site, captures } => ScalarExpr::NewLabel {
+            site: *site,
+            captures: captures
+                .iter()
+                .map(|(n, e)| substitute_cols(e, defs).map(|e| (n.clone(), e)))
+                .collect::<Option<Vec<_>>>()?,
+        },
+        ScalarExpr::LabelCapture { label, index } => ScalarExpr::LabelCapture {
+            label: Box::new(substitute_cols(label, defs)?),
+            index: *index,
+        },
+    })
+}
+
+/// Merges adjacent projections (`π₁ ∘ π₂ → π`) so repeated optimizer passes
+/// converge instead of stacking pass-through projections.
+fn collapse_projections(plan: &Plan) -> Plan {
+    map_plan(plan, &|p| {
+        if let Plan::Project { input, columns } = p {
+            if let Plan::Project {
+                input: inner_input,
+                columns: inner_columns,
+            } = input.as_ref()
+            {
+                let defs: std::collections::BTreeMap<String, ScalarExpr> = inner_columns
+                    .iter()
+                    .map(|(n, e)| (n.clone(), e.clone()))
+                    .collect();
+                let merged: Option<Vec<(String, ScalarExpr)>> = columns
+                    .iter()
+                    .map(|(n, e)| substitute_cols(e, &defs).map(|e| (n.clone(), e)))
+                    .collect();
+                if let Some(merged) = merged {
+                    return Some(Plan::Project {
+                        input: inner_input.clone(),
+                        columns: merged,
+                    });
+                }
+            }
+        }
+        None
+    })
+}
+
+// ---------------------------------------------------------------------------
+// traversal helpers
+// ---------------------------------------------------------------------------
+
+/// Rebuilds a node with its children transformed by `f`.
+fn map_children(plan: &Plan, f: impl Fn(&Plan) -> Plan) -> Plan {
+    match plan {
+        Plan::Scan { .. } => plan.clone(),
+        Plan::Select { input, predicate } => Plan::Select {
+            input: Box::new(f(input)),
+            predicate: predicate.clone(),
+        },
+        Plan::Project { input, columns } => Plan::Project {
+            input: Box::new(f(input)),
+            columns: columns.clone(),
+        },
+        Plan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+            kind,
+        } => Plan::Join {
+            left: Box::new(f(left)),
+            right: Box::new(f(right)),
+            left_key: left_key.clone(),
+            right_key: right_key.clone(),
+            kind: *kind,
+        },
+        Plan::Unnest {
+            input,
+            bag_attr,
+            outer,
+            id_attr,
+        } => Plan::Unnest {
+            input: Box::new(f(input)),
+            bag_attr: bag_attr.clone(),
+            outer: *outer,
+            id_attr: id_attr.clone(),
+        },
+        Plan::Nest {
+            input,
+            key,
+            values,
+            op,
+        } => Plan::Nest {
+            input: Box::new(f(input)),
+            key: key.clone(),
+            values: values.clone(),
+            op: op.clone(),
+        },
+        Plan::Dedup { input } => Plan::Dedup {
+            input: Box::new(f(input)),
+        },
+        Plan::Union { left, right } => Plan::Union {
+            left: Box::new(f(left)),
+            right: Box::new(f(right)),
+        },
+        Plan::BagToDict { input } => Plan::BagToDict {
+            input: Box::new(f(input)),
+        },
+        Plan::DictLookup {
+            input,
+            dict,
+            label_attr,
+            outer,
+        } => Plan::DictLookup {
+            input: Box::new(f(input)),
+            dict: Box::new(f(dict)),
+            label_attr: label_attr.clone(),
+            outer: *outer,
+        },
+    }
+}
+
+/// Bottom-up rewriting: `f` may return a replacement for any node.
+fn map_plan(plan: &Plan, f: &impl Fn(&Plan) -> Option<Plan>) -> Plan {
+    let rebuilt = map_children(plan, |c| map_plan(c, f));
+    f(&rebuilt).unwrap_or(rebuilt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrSchema;
+    use trance_nrc::Value;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            "Lineitem",
+            AttrSchema::flat(["l_orderkey", "l_partkey", "l_quantity", "l_comment"]),
+        );
+        c.register(
+            "Part",
+            AttrSchema::flat(["p_partkey", "p_name", "p_retailprice", "p_comment"]),
+        );
+        c
+    }
+
+    #[test]
+    fn selection_is_pushed_below_projection_and_into_join_side() {
+        let c = catalog();
+        let plan = Plan::scan("Lineitem")
+            .join(
+                Plan::scan("Part"),
+                &["l_partkey"],
+                &["p_partkey"],
+                PlanJoinKind::Inner,
+            )
+            .select(ScalarExpr::Cmp {
+                op: trance_nrc::CmpOp::Gt,
+                left: Box::new(ScalarExpr::col("p_retailprice")),
+                right: Box::new(ScalarExpr::constant(Value::Real(10.0))),
+            })
+            .project_columns(&["l_orderkey", "p_name"]);
+        let opt = optimize_default(&plan, &c);
+        // The selection must now sit below the join, on the Part side.
+        let mut found = false;
+        opt.visit(&mut |p| {
+            if let Plan::Join { right, .. } = p {
+                if matches!(right.as_ref(), Plan::Select { .. })
+                    || matches!(right.as_ref(), Plan::Project { input, .. } if matches!(input.as_ref(), Plan::Select { .. }))
+                {
+                    found = true;
+                }
+            }
+        });
+        assert!(found, "selection not pushed into the join's right side:\n{}",
+            crate::plan::pretty_plan(&opt));
+    }
+
+    #[test]
+    fn unused_columns_are_pruned_above_scans() {
+        let c = catalog();
+        let plan = Plan::scan("Lineitem")
+            .join(
+                Plan::scan("Part"),
+                &["l_partkey"],
+                &["p_partkey"],
+                PlanJoinKind::Inner,
+            )
+            .project_columns(&["l_orderkey", "p_name"]);
+        let opt = optimize_default(&plan, &c);
+        // Neither comment column may survive anywhere in the plan.
+        let mut pruned = true;
+        opt.visit(&mut |p| {
+            if let Plan::Project { columns, input } = p {
+                if matches!(input.as_ref(), Plan::Scan { .. }) {
+                    for (n, _) in columns {
+                        if n.ends_with("comment") {
+                            pruned = false;
+                        }
+                    }
+                }
+            }
+        });
+        let has_scan_projection = opt.count(|p| {
+            matches!(p, Plan::Project { input, .. } if matches!(input.as_ref(), Plan::Scan { .. }))
+        });
+        assert!(has_scan_projection >= 2, "projections must be inserted above both scans");
+        assert!(pruned, "comment columns must be pruned");
+    }
+
+    #[test]
+    fn sum_aggregate_is_pushed_below_the_join() {
+        let c = catalog();
+        // sum l_quantity per (l_orderkey, p_name) over Lineitem ⋈ Part.
+        let plan = Plan::scan("Lineitem")
+            .join(
+                Plan::scan("Part"),
+                &["l_partkey"],
+                &["p_partkey"],
+                PlanJoinKind::Inner,
+            )
+            .nest_sum(&["l_orderkey", "p_name"], &["l_quantity"]);
+        let opt = optimize(
+            &plan,
+            &c,
+            &OptimizerConfig {
+                prune_columns: false,
+                ..OptimizerConfig::default()
+            },
+        );
+        // There must now be a NestSum below the join (partial sums).
+        let mut partial_below_join = false;
+        opt.visit(&mut |p| {
+            if let Plan::Join { left, .. } = p {
+                if matches!(left.as_ref(), Plan::Nest { op: NestOp::Sum, .. }) {
+                    partial_below_join = true;
+                }
+            }
+        });
+        assert!(
+            partial_below_join,
+            "expected a partial Γ+ below the join:\n{}",
+            crate::plan::pretty_plan(&opt)
+        );
+    }
+
+    #[test]
+    fn optimizer_is_idempotent() {
+        let c = catalog();
+        let plan = Plan::scan("Lineitem")
+            .join(
+                Plan::scan("Part"),
+                &["l_partkey"],
+                &["p_partkey"],
+                PlanJoinKind::Inner,
+            )
+            .project_columns(&["l_orderkey", "p_name"]);
+        let once = optimize_default(&plan, &c);
+        let twice = optimize_default(&once, &c);
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,392 @@
+//! The plan language (Section 2): the algebraic operators the unnesting
+//! algorithm targets, variants of the intermediate object algebra of
+//! Fegaras & Maier used by the paper.
+
+use std::collections::BTreeSet;
+
+use crate::scalar::ScalarExpr;
+
+/// Join flavour at the plan level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanJoinKind {
+    /// Inner equi-join `⋈`.
+    Inner,
+    /// Left-outer equi-join `⟕` generated when compiling at a non-root
+    /// nesting level.
+    LeftOuter,
+}
+
+/// Aggregate flavour of the nest operator `Γ`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NestOp {
+    /// `Γ⊎`: collect the `values` attributes of each group into a bag-valued
+    /// attribute named `group_attr` (NULLs become the empty bag).
+    Bag {
+        /// Name of the produced bag-valued attribute.
+        group_attr: String,
+    },
+    /// `Γ+`: sum the `values` attributes within each group (NULLs become 0).
+    Sum,
+}
+
+/// A node of the query plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Scan of a named input collection (top-level bag or materialized
+    /// dictionary).
+    Scan {
+        /// The input's name in the catalog.
+        name: String,
+    },
+    /// Selection `σ`.
+    Select {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Filter predicate.
+        predicate: ScalarExpr,
+    },
+    /// Projection `π` (also used for renaming and computing derived columns).
+    Project {
+        /// Input plan.
+        input: Box<Plan>,
+        /// `(output name, expression)` pairs.
+        columns: Vec<(String, ScalarExpr)>,
+    },
+    /// Equi-join `⋈` / left-outer equi-join `⟕`.
+    Join {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Join key attributes of the left input.
+        left_key: Vec<String>,
+        /// Join key attributes of the right input.
+        right_key: Vec<String>,
+        /// Inner or left-outer.
+        kind: PlanJoinKind,
+    },
+    /// Unnest `µ` / outer-unnest `µ̄` of a bag-valued attribute.
+    Unnest {
+        /// Input plan.
+        input: Box<Plan>,
+        /// The bag-valued attribute to flatten.
+        bag_attr: String,
+        /// When true this is the outer variant: the parent tuple is kept even
+        /// if the bag is empty (inner attributes become NULL) and a unique
+        /// parent identifier `id_attr` is attached.
+        outer: bool,
+        /// Name of the generated parent-identifier attribute (outer variant).
+        id_attr: Option<String>,
+    },
+    /// Nest `Γ⊎` / `Γ+`.
+    Nest {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Grouping attributes.
+        key: Vec<String>,
+        /// Attributes grouped or summed.
+        values: Vec<String>,
+        /// Bag-collecting or summing flavour.
+        op: NestOp,
+    },
+    /// Duplicate elimination.
+    Dedup {
+        /// Input plan.
+        input: Box<Plan>,
+    },
+    /// Additive union of two inputs with identical schemas.
+    Union {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+    },
+    /// Casts a bag of `⟨label, value⟩` rows into a dictionary with a
+    /// label-based partitioning guarantee (shredded pipeline only).
+    BagToDict {
+        /// Input plan.
+        input: Box<Plan>,
+    },
+    /// Looks up every row's `label_attr` in a materialized dictionary and
+    /// pairs the row with each element of the found `value` bag. Translated
+    /// to an outer join on `label` followed by a flatten — the shredded
+    /// pipeline's workhorse.
+    DictLookup {
+        /// The plan producing rows containing `label_attr`.
+        input: Box<Plan>,
+        /// The plan producing the materialized dictionary.
+        dict: Box<Plan>,
+        /// The label-valued attribute of `input` rows.
+        label_attr: String,
+        /// Whether rows whose label finds no entry survive (outer semantics).
+        outer: bool,
+    },
+}
+
+impl Plan {
+    /// Scan of a named input.
+    pub fn scan(name: impl Into<String>) -> Plan {
+        Plan::Scan { name: name.into() }
+    }
+
+    /// Wraps this plan in a selection.
+    pub fn select(self, predicate: ScalarExpr) -> Plan {
+        Plan::Select {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// Wraps this plan in a projection.
+    pub fn project(self, columns: Vec<(String, ScalarExpr)>) -> Plan {
+        Plan::Project {
+            input: Box::new(self),
+            columns,
+        }
+    }
+
+    /// Wraps this plan in a projection that keeps the named columns as-is.
+    pub fn project_columns(self, names: &[&str]) -> Plan {
+        self.project(
+            names
+                .iter()
+                .map(|n| (n.to_string(), ScalarExpr::col(*n)))
+                .collect(),
+        )
+    }
+
+    /// Joins this plan with `right`.
+    pub fn join(
+        self,
+        right: Plan,
+        left_key: &[&str],
+        right_key: &[&str],
+        kind: PlanJoinKind,
+    ) -> Plan {
+        Plan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            left_key: left_key.iter().map(|s| s.to_string()).collect(),
+            right_key: right_key.iter().map(|s| s.to_string()).collect(),
+            kind,
+        }
+    }
+
+    /// Unnests a bag-valued attribute (inner variant).
+    pub fn unnest(self, bag_attr: impl Into<String>) -> Plan {
+        Plan::Unnest {
+            input: Box::new(self),
+            bag_attr: bag_attr.into(),
+            outer: false,
+            id_attr: None,
+        }
+    }
+
+    /// Outer-unnests a bag-valued attribute, attaching `id_attr` as the parent
+    /// identifier.
+    pub fn outer_unnest(self, bag_attr: impl Into<String>, id_attr: impl Into<String>) -> Plan {
+        Plan::Unnest {
+            input: Box::new(self),
+            bag_attr: bag_attr.into(),
+            outer: true,
+            id_attr: Some(id_attr.into()),
+        }
+    }
+
+    /// Wraps this plan in a bag-collecting nest `Γ⊎`.
+    pub fn nest_bag(self, key: &[&str], values: &[&str], group_attr: impl Into<String>) -> Plan {
+        Plan::Nest {
+            input: Box::new(self),
+            key: key.iter().map(|s| s.to_string()).collect(),
+            values: values.iter().map(|s| s.to_string()).collect(),
+            op: NestOp::Bag {
+                group_attr: group_attr.into(),
+            },
+        }
+    }
+
+    /// Wraps this plan in a summing nest `Γ+`.
+    pub fn nest_sum(self, key: &[&str], values: &[&str]) -> Plan {
+        Plan::Nest {
+            input: Box::new(self),
+            key: key.iter().map(|s| s.to_string()).collect(),
+            values: values.iter().map(|s| s.to_string()).collect(),
+            op: NestOp::Sum,
+        }
+    }
+
+    /// Wraps this plan in duplicate elimination.
+    pub fn dedup(self) -> Plan {
+        Plan::Dedup {
+            input: Box::new(self),
+        }
+    }
+
+    /// Children of this node, in order.
+    pub fn children(&self) -> Vec<&Plan> {
+        match self {
+            Plan::Scan { .. } => vec![],
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Unnest { input, .. }
+            | Plan::Nest { input, .. }
+            | Plan::Dedup { input }
+            | Plan::BagToDict { input } => vec![input],
+            Plan::Join { left, right, .. } | Plan::Union { left, right } => vec![left, right],
+            Plan::DictLookup { input, dict, .. } => vec![input, dict],
+        }
+    }
+
+    /// Names of all scanned inputs below (and including) this node.
+    pub fn scanned_inputs(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |p| {
+            if let Plan::Scan { name } = p {
+                out.insert(name.clone());
+            }
+        });
+        out
+    }
+
+    /// Pre-order traversal.
+    pub fn visit(&self, f: &mut impl FnMut(&Plan)) {
+        f(self);
+        for c in self.children() {
+            c.visit(f);
+        }
+    }
+
+    /// Number of operators in the plan.
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// Number of operators of a particular shape, as judged by `pred`.
+    pub fn count(&self, pred: impl Fn(&Plan) -> bool) -> usize {
+        let mut n = 0;
+        self.visit(&mut |p| {
+            if pred(p) {
+                n += 1;
+            }
+        });
+        n
+    }
+}
+
+/// Renders a plan as an indented operator tree (children below parents), in
+/// the spirit of Figure 3.
+pub fn pretty_plan(plan: &Plan) -> String {
+    fn go(plan: &Plan, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        let line = match plan {
+            Plan::Scan { name } => format!("Scan {name}"),
+            Plan::Select { predicate, .. } => format!("Select {}", predicate.display()),
+            Plan::Project { columns, .. } => format!(
+                "Project [{}]",
+                columns
+                    .iter()
+                    .map(|(n, e)| if e == &ScalarExpr::col(n.clone()) {
+                        n.clone()
+                    } else {
+                        format!("{n}:={}", e.display())
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            Plan::Join {
+                left_key,
+                right_key,
+                kind,
+                ..
+            } => format!(
+                "{} on {} = {}",
+                match kind {
+                    PlanJoinKind::Inner => "Join",
+                    PlanJoinKind::LeftOuter => "OuterJoin",
+                },
+                left_key.join(","),
+                right_key.join(",")
+            ),
+            Plan::Unnest {
+                bag_attr, outer, ..
+            } => format!("{} {bag_attr}", if *outer { "OuterUnnest" } else { "Unnest" }),
+            Plan::Nest { key, values, op, .. } => match op {
+                NestOp::Bag { group_attr } => format!(
+                    "NestBag key=[{}] values=[{}] as {group_attr}",
+                    key.join(","),
+                    values.join(",")
+                ),
+                NestOp::Sum => format!(
+                    "NestSum key=[{}] values=[{}]",
+                    key.join(","),
+                    values.join(",")
+                ),
+            },
+            Plan::Dedup { .. } => "Dedup".to_string(),
+            Plan::Union { .. } => "Union".to_string(),
+            Plan::BagToDict { .. } => "BagToDict".to_string(),
+            Plan::DictLookup {
+                label_attr, outer, ..
+            } => format!(
+                "DictLookup on {label_attr}{}",
+                if *outer { " (outer)" } else { "" }
+            ),
+        };
+        out.push_str(&pad);
+        out.push_str(&line);
+        out.push('\n');
+        for c in plan.children() {
+            go(c, depth + 1, out);
+        }
+    }
+    let mut out = String::new();
+    go(plan, 0, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_plan() -> Plan {
+        // The running example's standard plan skeleton (Figure 3).
+        Plan::scan("COP")
+            .outer_unnest("corders", "copID")
+            .outer_unnest("oparts", "coID")
+            .join(Plan::scan("Part"), &["pid"], &["pid"], PlanJoinKind::LeftOuter)
+            .nest_sum(
+                &["copID", "coID", "cname", "odate", "pname"],
+                &["total"],
+            )
+            .nest_bag(
+                &["copID", "coID", "cname", "odate"],
+                &["pname", "total"],
+                "oparts",
+            )
+            .nest_bag(&["copID", "cname"], &["odate", "oparts"], "corders")
+            .project_columns(&["cname", "corders"])
+    }
+
+    #[test]
+    fn plan_builders_and_traversal() {
+        let p = example_plan();
+        assert_eq!(p.scanned_inputs().len(), 2);
+        assert!(p.size() >= 8);
+        assert_eq!(p.count(|n| matches!(n, Plan::Nest { .. })), 3);
+        assert_eq!(p.count(|n| matches!(n, Plan::Unnest { .. })), 2);
+    }
+
+    #[test]
+    fn pretty_plan_shows_operator_tree() {
+        let s = pretty_plan(&example_plan());
+        assert!(s.contains("OuterUnnest corders"));
+        assert!(s.contains("NestSum"));
+        assert!(s.contains("Scan COP"));
+        assert!(s.contains("OuterJoin on pid = pid"));
+        // Children are indented deeper than parents.
+        let proj_line = s.lines().next().unwrap();
+        assert!(proj_line.starts_with("Project"));
+    }
+}

@@ -1,0 +1,284 @@
+//! Row-level scalar expressions used by plan operators (selection predicates,
+//! projection columns, join keys).
+
+use std::collections::BTreeSet;
+
+use trance_nrc::{CmpOp, Label, NrcError, PrimOp, Result, Tuple, Value};
+
+/// A scalar expression evaluated against a single row (tuple).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// Reference to a column of the row.
+    Col(String),
+    /// A constant value.
+    Const(Value),
+    /// Binary arithmetic.
+    Prim {
+        /// The operator.
+        op: PrimOp,
+        /// Left operand.
+        left: Box<ScalarExpr>,
+        /// Right operand.
+        right: Box<ScalarExpr>,
+    },
+    /// Comparison.
+    Cmp {
+        /// The comparison operator.
+        op: CmpOp,
+        /// Left operand.
+        left: Box<ScalarExpr>,
+        /// Right operand.
+        right: Box<ScalarExpr>,
+    },
+    /// Conjunction.
+    And(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Disjunction.
+    Or(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Negation.
+    Not(Box<ScalarExpr>),
+    /// True when the operand evaluates to NULL (used to filter outer-join
+    /// mismatches).
+    IsNull(Box<ScalarExpr>),
+    /// Construct a label capturing the named columns (shredded plans).
+    NewLabel {
+        /// Label construction site.
+        site: u32,
+        /// `(capture name, column expression)` pairs.
+        captures: Vec<(String, ScalarExpr)>,
+    },
+    /// Extract the `index`-th captured value out of a label-valued operand
+    /// (the plan-level counterpart of `match l = NewLabel(x…)`).
+    LabelCapture {
+        /// The label-valued operand.
+        label: Box<ScalarExpr>,
+        /// Position of the capture to extract.
+        index: usize,
+    },
+}
+
+impl ScalarExpr {
+    /// Column reference.
+    pub fn col(name: impl Into<String>) -> Self {
+        ScalarExpr::Col(name.into())
+    }
+
+    /// Constant.
+    pub fn constant(v: Value) -> Self {
+        ScalarExpr::Const(v)
+    }
+
+    /// Equality between two columns.
+    pub fn col_eq(a: impl Into<String>, b: impl Into<String>) -> Self {
+        ScalarExpr::Cmp {
+            op: CmpOp::Eq,
+            left: Box::new(ScalarExpr::col(a)),
+            right: Box::new(ScalarExpr::col(b)),
+        }
+    }
+
+    /// Evaluates the expression against `row`.
+    pub fn eval(&self, row: &Tuple) -> Result<Value> {
+        match self {
+            ScalarExpr::Col(name) => row.get_or_err(name, "plan column").cloned(),
+            ScalarExpr::Const(v) => Ok(v.clone()),
+            ScalarExpr::Prim { op, left, right } => {
+                let l = left.eval(row)?;
+                let r = right.eval(row)?;
+                if matches!(l, Value::Null) || matches!(r, Value::Null) {
+                    return Ok(Value::Null);
+                }
+                match op {
+                    PrimOp::Add if matches!((&l, &r), (Value::Int(_), Value::Int(_))) => {
+                        Ok(Value::Int(l.as_int()? + r.as_int()?))
+                    }
+                    PrimOp::Sub if matches!((&l, &r), (Value::Int(_), Value::Int(_))) => {
+                        Ok(Value::Int(l.as_int()? - r.as_int()?))
+                    }
+                    PrimOp::Mul if matches!((&l, &r), (Value::Int(_), Value::Int(_))) => {
+                        Ok(Value::Int(l.as_int()? * r.as_int()?))
+                    }
+                    PrimOp::Add => Ok(Value::Real(l.as_real()? + r.as_real()?)),
+                    PrimOp::Sub => Ok(Value::Real(l.as_real()? - r.as_real()?)),
+                    PrimOp::Mul => Ok(Value::Real(l.as_real()? * r.as_real()?)),
+                    PrimOp::Div => {
+                        let d = r.as_real()?;
+                        if d == 0.0 {
+                            return Err(NrcError::DivisionByZero);
+                        }
+                        Ok(Value::Real(l.as_real()? / d))
+                    }
+                }
+            }
+            ScalarExpr::Cmp { op, left, right } => {
+                let l = left.eval(row)?;
+                let r = right.eval(row)?;
+                if matches!(l, Value::Null) || matches!(r, Value::Null) {
+                    // NULL never matches (outer-join mismatch rows must not
+                    // satisfy join/filter predicates).
+                    return Ok(Value::Bool(false));
+                }
+                Ok(Value::Bool(op.eval(l.cmp(&r))))
+            }
+            ScalarExpr::And(a, b) => Ok(Value::Bool(
+                a.eval(row)?.as_bool()? && b.eval(row)?.as_bool()?,
+            )),
+            ScalarExpr::Or(a, b) => Ok(Value::Bool(
+                a.eval(row)?.as_bool()? || b.eval(row)?.as_bool()?,
+            )),
+            ScalarExpr::Not(e) => Ok(Value::Bool(!e.eval(row)?.as_bool()?)),
+            ScalarExpr::IsNull(e) => Ok(Value::Bool(matches!(e.eval(row)?, Value::Null))),
+            ScalarExpr::NewLabel { site, captures } => {
+                let mut vals = Vec::with_capacity(captures.len());
+                for (_, e) in captures {
+                    vals.push(e.eval(row)?);
+                }
+                Ok(Value::Label(Label::new(*site, vals)))
+            }
+            ScalarExpr::LabelCapture { label, index } => {
+                let v = label.eval(row)?;
+                match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Label(l) => Ok(l.values.get(*index).cloned().unwrap_or(Value::Null)),
+                    other => Err(NrcError::TypeMismatch {
+                        expected: "label".into(),
+                        found: other.kind().into(),
+                        context: "LabelCapture".into(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Columns referenced by the expression.
+    pub fn referenced_columns(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut BTreeSet<String>) {
+        match self {
+            ScalarExpr::Col(c) => {
+                out.insert(c.clone());
+            }
+            ScalarExpr::Const(_) => {}
+            ScalarExpr::Prim { left, right, .. } | ScalarExpr::Cmp { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            ScalarExpr::And(a, b) | ScalarExpr::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            ScalarExpr::Not(e) | ScalarExpr::IsNull(e) => e.collect_columns(out),
+            ScalarExpr::NewLabel { captures, .. } => {
+                for (_, e) in captures {
+                    e.collect_columns(out);
+                }
+            }
+            ScalarExpr::LabelCapture { label, .. } => label.collect_columns(out),
+        }
+    }
+
+    /// Renders the expression compactly (used by the plan pretty printer).
+    pub fn display(&self) -> String {
+        match self {
+            ScalarExpr::Col(c) => c.clone(),
+            ScalarExpr::Const(v) => format!("{v}"),
+            ScalarExpr::Prim { op, left, right } => {
+                format!("({} {} {})", left.display(), op.symbol(), right.display())
+            }
+            ScalarExpr::Cmp { op, left, right } => {
+                format!("({} {} {})", left.display(), op.symbol(), right.display())
+            }
+            ScalarExpr::And(a, b) => format!("({} && {})", a.display(), b.display()),
+            ScalarExpr::Or(a, b) => format!("({} || {})", a.display(), b.display()),
+            ScalarExpr::Not(e) => format!("!({})", e.display()),
+            ScalarExpr::IsNull(e) => format!("isnull({})", e.display()),
+            ScalarExpr::NewLabel { site, captures } => format!(
+                "NewLabel#{site}({})",
+                captures
+                    .iter()
+                    .map(|(n, e)| format!("{n}:={}", e.display()))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            ScalarExpr::LabelCapture { label, index } => {
+                format!("{}.capture[{index}]", label.display())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Tuple {
+        Tuple::new([
+            ("qty", Value::Real(3.0)),
+            ("price", Value::Real(2.0)),
+            ("pid", Value::Int(7)),
+            ("missing_val", Value::Null),
+        ])
+    }
+
+    #[test]
+    fn arithmetic_and_comparison_evaluate() {
+        let e = ScalarExpr::Prim {
+            op: PrimOp::Mul,
+            left: Box::new(ScalarExpr::col("qty")),
+            right: Box::new(ScalarExpr::col("price")),
+        };
+        assert_eq!(e.eval(&row()).unwrap(), Value::Real(6.0));
+        let c = ScalarExpr::Cmp {
+            op: CmpOp::Gt,
+            left: Box::new(ScalarExpr::col("pid")),
+            right: Box::new(ScalarExpr::Const(Value::Int(5))),
+        };
+        assert_eq!(c.eval(&row()).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn null_propagates_through_arithmetic_and_fails_comparisons() {
+        let e = ScalarExpr::Prim {
+            op: PrimOp::Add,
+            left: Box::new(ScalarExpr::col("missing_val")),
+            right: Box::new(ScalarExpr::col("qty")),
+        };
+        assert_eq!(e.eval(&row()).unwrap(), Value::Null);
+        let c = ScalarExpr::col_eq("missing_val", "pid");
+        assert_eq!(c.eval(&row()).unwrap(), Value::Bool(false));
+        let is_null = ScalarExpr::IsNull(Box::new(ScalarExpr::col("missing_val")));
+        assert_eq!(is_null.eval(&row()).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn labels_can_be_built_and_deconstructed() {
+        let mk = ScalarExpr::NewLabel {
+            site: 9,
+            captures: vec![("pid".into(), ScalarExpr::col("pid"))],
+        };
+        let label = mk.eval(&row()).unwrap();
+        let mut r2 = row();
+        r2.set("lbl", label);
+        let cap = ScalarExpr::LabelCapture {
+            label: Box::new(ScalarExpr::col("lbl")),
+            index: 0,
+        };
+        assert_eq!(cap.eval(&r2).unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn referenced_columns_are_collected() {
+        let e = ScalarExpr::And(
+            Box::new(ScalarExpr::col_eq("a", "b")),
+            Box::new(ScalarExpr::Not(Box::new(ScalarExpr::IsNull(Box::new(
+                ScalarExpr::col("c"),
+            ))))),
+        );
+        let cols = e.referenced_columns();
+        assert_eq!(cols.len(), 3);
+        assert!(cols.contains("a") && cols.contains("b") && cols.contains("c"));
+    }
+}

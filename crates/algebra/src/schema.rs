@@ -1,0 +1,270 @@
+//! Attribute-level schemas for plans.
+//!
+//! The optimizer does not need full types, only which attributes exist at
+//! each operator's output, which of them are bag-valued, and what the inner
+//! attributes of those bags are. [`AttrSchema`] captures exactly that, and
+//! [`output_schema`] propagates it through a plan given a [`Catalog`] of
+//! input schemas.
+
+use std::collections::BTreeMap;
+
+use crate::plan::{NestOp, Plan};
+use crate::scalar::ScalarExpr;
+
+/// The attribute structure of a (possibly nested) bag of tuples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AttrSchema {
+    /// Top-level attribute names, in order.
+    pub attrs: Vec<String>,
+    /// For each bag-valued attribute, the schema of its inner tuples.
+    pub nested: BTreeMap<String, AttrSchema>,
+}
+
+impl AttrSchema {
+    /// A flat schema with the given attributes.
+    pub fn flat<S: Into<String>>(attrs: impl IntoIterator<Item = S>) -> Self {
+        AttrSchema {
+            attrs: attrs.into_iter().map(Into::into).collect(),
+            nested: BTreeMap::new(),
+        }
+    }
+
+    /// Adds (or replaces) a bag-valued attribute with the given inner schema.
+    pub fn with_nested(mut self, attr: impl Into<String>, inner: AttrSchema) -> Self {
+        let attr = attr.into();
+        if !self.attrs.contains(&attr) {
+            self.attrs.push(attr.clone());
+        }
+        self.nested.insert(attr, inner);
+        self
+    }
+
+    /// True when the schema contains `attr` at the top level.
+    pub fn contains(&self, attr: &str) -> bool {
+        self.attrs.iter().any(|a| a == attr)
+    }
+
+    /// True when every name in `attrs` is a top-level attribute.
+    pub fn contains_all<'a>(&self, attrs: impl IntoIterator<Item = &'a String>) -> bool {
+        attrs.into_iter().all(|a| self.contains(a))
+    }
+
+    /// The inner schema of a bag-valued attribute, when known.
+    pub fn nested_schema(&self, attr: &str) -> Option<&AttrSchema> {
+        self.nested.get(attr)
+    }
+
+    /// Keeps only the attributes in `keep` (with their nested schemas).
+    pub fn restrict(&self, keep: &[String]) -> AttrSchema {
+        AttrSchema {
+            attrs: self.attrs.iter().filter(|a| keep.contains(a)).cloned().collect(),
+            nested: self
+                .nested
+                .iter()
+                .filter(|(a, _)| keep.contains(a))
+                .map(|(a, s)| (a.clone(), s.clone()))
+                .collect(),
+        }
+    }
+
+    /// Merges another schema into this one (union of attributes).
+    pub fn merge(&self, other: &AttrSchema) -> AttrSchema {
+        let mut out = self.clone();
+        for a in &other.attrs {
+            if !out.contains(a) {
+                out.attrs.push(a.clone());
+            }
+        }
+        for (a, s) in &other.nested {
+            out.nested.entry(a.clone()).or_insert_with(|| s.clone());
+        }
+        out
+    }
+}
+
+/// Maps input (scan) names to their schemas.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Catalog {
+    inputs: BTreeMap<String, AttrSchema>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers an input schema.
+    pub fn register(&mut self, name: impl Into<String>, schema: AttrSchema) -> &mut Self {
+        self.inputs.insert(name.into(), schema);
+        self
+    }
+
+    /// Looks up an input schema.
+    pub fn get(&self, name: &str) -> Option<&AttrSchema> {
+        self.inputs.get(name)
+    }
+
+    /// Names of all registered inputs.
+    pub fn input_names(&self) -> Vec<&str> {
+        self.inputs.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+/// Computes the output schema of a plan. Unknown inputs produce an empty
+/// schema, which downstream rules treat as "don't know — don't touch".
+pub fn output_schema(plan: &Plan, catalog: &Catalog) -> AttrSchema {
+    match plan {
+        Plan::Scan { name } => catalog.get(name).cloned().unwrap_or_default(),
+        Plan::Select { input, .. } | Plan::Dedup { input } | Plan::BagToDict { input } => {
+            output_schema(input, catalog)
+        }
+        Plan::Project { input, columns } => {
+            let in_schema = output_schema(input, catalog);
+            let mut out = AttrSchema::default();
+            for (name, expr) in columns {
+                out.attrs.push(name.clone());
+                // Pass-through columns keep their nested schema.
+                if let ScalarExpr::Col(c) = expr {
+                    if let Some(n) = in_schema.nested_schema(c) {
+                        out.nested.insert(name.clone(), n.clone());
+                    }
+                }
+            }
+            out
+        }
+        Plan::Join { left, right, .. } => {
+            let l = output_schema(left, catalog);
+            let r = output_schema(right, catalog);
+            l.merge(&r)
+        }
+        Plan::Unnest {
+            input,
+            bag_attr,
+            outer,
+            id_attr,
+        } => {
+            let in_schema = output_schema(input, catalog);
+            let inner = in_schema.nested_schema(bag_attr).cloned().unwrap_or_default();
+            let mut out = AttrSchema {
+                attrs: in_schema
+                    .attrs
+                    .iter()
+                    .filter(|a| *a != bag_attr)
+                    .cloned()
+                    .collect(),
+                nested: in_schema
+                    .nested
+                    .iter()
+                    .filter(|(a, _)| *a != bag_attr)
+                    .map(|(a, s)| (a.clone(), s.clone()))
+                    .collect(),
+            };
+            if *outer {
+                if let Some(id) = id_attr {
+                    out.attrs.push(id.clone());
+                }
+            }
+            out = out.merge(&inner);
+            out
+        }
+        Plan::Nest {
+            input,
+            key,
+            values,
+            op,
+        } => {
+            let in_schema = output_schema(input, catalog);
+            let mut out = in_schema.restrict(key);
+            match op {
+                NestOp::Bag { group_attr } => {
+                    out = out.with_nested(group_attr.clone(), in_schema.restrict(values));
+                }
+                NestOp::Sum => {
+                    for v in values {
+                        if !out.contains(v) {
+                            out.attrs.push(v.clone());
+                        }
+                    }
+                }
+            }
+            out
+        }
+        Plan::Union { left, .. } => output_schema(left, catalog),
+        Plan::DictLookup { input, dict, .. } => {
+            let in_schema = output_schema(input, catalog);
+            let dict_schema = output_schema(dict, catalog);
+            let value_inner = dict_schema
+                .nested_schema("value")
+                .cloned()
+                .unwrap_or_default();
+            in_schema.merge(&value_inner)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanJoinKind;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            "COP",
+            AttrSchema::flat(["cname"]).with_nested(
+                "corders",
+                AttrSchema::flat(["odate"]).with_nested(
+                    "oparts",
+                    AttrSchema::flat(["pid", "qty"]),
+                ),
+            ),
+        );
+        c.register("Part", AttrSchema::flat(["pid", "pname", "price"]));
+        c
+    }
+
+    #[test]
+    fn schema_propagates_through_unnest_and_join() {
+        let c = catalog();
+        let p = Plan::scan("COP")
+            .outer_unnest("corders", "copID")
+            .outer_unnest("oparts", "coID")
+            .join(Plan::scan("Part"), &["pid"], &["pid"], PlanJoinKind::LeftOuter);
+        let s = output_schema(&p, &c);
+        for a in ["cname", "copID", "odate", "coID", "pid", "qty", "pname", "price"] {
+            assert!(s.contains(a), "missing attribute {a}");
+        }
+        assert!(!s.contains("corders"), "unnested attribute is projected away");
+    }
+
+    #[test]
+    fn nest_restores_nested_structure() {
+        let c = catalog();
+        let p = Plan::scan("COP")
+            .outer_unnest("corders", "copID")
+            .nest_bag(&["copID", "cname"], &["odate", "oparts"], "corders");
+        let s = output_schema(&p, &c);
+        assert!(s.contains("corders"));
+        let inner = s.nested_schema("corders").unwrap();
+        assert!(inner.contains("odate"));
+        assert!(inner.contains("oparts"));
+    }
+
+    #[test]
+    fn unknown_inputs_yield_empty_schema() {
+        let c = Catalog::new();
+        let s = output_schema(&Plan::scan("Mystery"), &c);
+        assert!(s.attrs.is_empty());
+    }
+
+    #[test]
+    fn restrict_and_merge_behave_setwise() {
+        let s = AttrSchema::flat(["a", "b", "c"]).with_nested("g", AttrSchema::flat(["x"]));
+        let r = s.restrict(&["a".into(), "g".into()]);
+        assert_eq!(r.attrs, vec!["a".to_string(), "g".to_string()]);
+        assert!(r.nested_schema("g").is_some());
+        let m = r.merge(&AttrSchema::flat(["b", "a"]));
+        assert_eq!(m.attrs.len(), 3);
+    }
+}

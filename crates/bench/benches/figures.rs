@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks: one benchmark per paper figure, at a reduced
+//! scale so `cargo bench` completes quickly. The full tables are produced by
+//! the `figure7`/`figure8`/`figure9` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trance_bench::{run_biomed_pipeline, run_tpch_query, Family};
+use trance_biomed::BiomedConfig;
+use trance_compiler::Strategy;
+use trance_tpch::{QueryVariant, TpchConfig};
+
+fn figure7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure7_nested_to_nested_narrow");
+    group.sample_size(10);
+    let cfg = TpchConfig::new(0.1, 0);
+    for strategy in [Strategy::Shred, Strategy::Standard, Strategy::Baseline] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, s| {
+                b.iter(|| {
+                    run_tpch_query(&cfg, Family::NestedToNested, 2, QueryVariant::Narrow, &[*s], 0.0)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn figure8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure8_skew");
+    group.sample_size(10);
+    let cfg = TpchConfig::new(0.1, 3);
+    for strategy in [Strategy::Shred, Strategy::ShredSkew, Strategy::Standard] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, s| {
+                b.iter(|| {
+                    run_tpch_query(&cfg, Family::NestedToNested, 2, QueryVariant::Narrow, &[*s], 0.0)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn figure9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure9_biomedical_e2e");
+    group.sample_size(10);
+    let cfg = BiomedConfig::small().scaled(0.3);
+    for strategy in [Strategy::Shred, Strategy::Standard] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, s| b.iter(|| run_biomed_pipeline(&cfg, *s, 0.0)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, figure7, figure8, figure9);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Reproduces Figure 7 (a: narrow, b: wide): TPC-H query families at nesting
+//! depths 0–4 under each strategy.
+//!
+//! Usage: `figure7 [--schema narrow|wide] [--family <name>|all] [--scale F] [--memory-factor F]`
+
+use trance_bench::{run_tpch_query, Family};
+use trance_compiler::Strategy;
+use trance_tpch::{QueryVariant, TpchConfig};
+
+fn arg(name: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn main() {
+    let schema = arg("--schema", "narrow");
+    let family_arg = arg("--family", "all");
+    let scale: f64 = arg("--scale", "0.3").parse().unwrap();
+    let memory_factor: f64 = arg("--memory-factor", "3.0").parse().unwrap();
+    let variant = if schema == "wide" { QueryVariant::Wide } else { QueryVariant::Narrow };
+    let families: Vec<Family> = if family_arg == "all" {
+        Family::all().to_vec()
+    } else {
+        vec![Family::parse(&family_arg).expect("unknown family")]
+    };
+    let strategies = [
+        Strategy::ShredUnshred,
+        Strategy::Shred,
+        Strategy::Standard,
+        Strategy::Baseline,
+    ];
+    println!("Figure 7 ({schema} schema), scale {scale}, memory factor {memory_factor}");
+    println!("runtimes in ms, shuffle in MiB; FAIL = simulated worker memory exhausted\n");
+    for family in families {
+        println!("== {} ==", family.label());
+        print!("{:>6}", "depth");
+        for s in &strategies {
+            print!(" | {:>8} {:>7}", s.label(), "shufMiB");
+        }
+        println!();
+        for depth in 0..=4usize {
+            let cfg = TpchConfig::new(scale, 0);
+            let rows = run_tpch_query(&cfg, family, depth, variant, &strategies, memory_factor);
+            print!("{depth:>6}");
+            for r in &rows {
+                print!(" | {} {}", r.time_cell(), r.shuffle_cell());
+            }
+            println!();
+        }
+        println!();
+    }
+}

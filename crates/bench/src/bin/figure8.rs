@@ -1,0 +1,54 @@
+//! Reproduces Figure 8: the nested-to-nested narrow query with two levels of
+//! nesting on increasingly skewed datasets (skew factor 0–4), with and without
+//! skew-aware processing.
+//!
+//! Usage: `figure8 [--scale F] [--memory-factor F]`
+
+use trance_bench::{run_tpch_query, Family};
+use trance_compiler::Strategy;
+use trance_tpch::{QueryVariant, TpchConfig};
+
+fn arg(name: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn main() {
+    let scale: f64 = arg("--scale", "0.3").parse().unwrap();
+    let memory_factor: f64 = arg("--memory-factor", "3.0").parse().unwrap();
+    let strategies = [
+        Strategy::ShredUnshred,
+        Strategy::Shred,
+        Strategy::Standard,
+        Strategy::Baseline,
+        Strategy::ShredUnshredSkew,
+        Strategy::ShredSkew,
+        Strategy::StandardSkew,
+    ];
+    println!("Figure 8: nested-to-nested narrow, depth 2, skew factors 0-4 (scale {scale})");
+    println!("runtimes in ms, shuffle in MiB; FAIL = simulated worker memory exhausted\n");
+    print!("{:>5}", "skew");
+    for s in &strategies {
+        print!(" | {:>18} {:>7}", s.label(), "shufMiB");
+    }
+    println!();
+    for skew in 0..=4u32 {
+        let cfg = TpchConfig::new(scale, skew);
+        let rows = run_tpch_query(
+            &cfg,
+            Family::NestedToNested,
+            2,
+            QueryVariant::Narrow,
+            &strategies,
+            memory_factor,
+        );
+        print!("{skew:>5}");
+        for r in &rows {
+            print!(" | {:>18} {}", r.time_cell(), r.shuffle_cell());
+        }
+        println!();
+    }
+}

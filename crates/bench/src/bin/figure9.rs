@@ -1,0 +1,45 @@
+//! Reproduces Figure 9: the five-step biomedical end-to-end pipeline on the
+//! small and full datasets, per strategy and per step.
+//!
+//! Usage: `figure9 [--memory-factor F] [--scale F]`
+
+use trance_bench::run_biomed_pipeline;
+use trance_biomed::BiomedConfig;
+use trance_compiler::Strategy;
+
+fn arg(name: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn main() {
+    let memory_factor: f64 = arg("--memory-factor", "12.0").parse().unwrap();
+    let scale: f64 = arg("--scale", "1.0").parse().unwrap();
+    let strategies = [Strategy::Shred, Strategy::Standard, Strategy::Baseline];
+    for (label, cfg) in [
+        ("SMALL DATASET", BiomedConfig::small().scaled(scale)),
+        ("FULL DATASET", BiomedConfig::full().scaled(scale)),
+    ] {
+        println!("== Figure 9: E2E pipeline, {label} ==");
+        for strategy in strategies {
+            let row = run_biomed_pipeline(&cfg, strategy, memory_factor);
+            print!("{:>14}:", strategy.label());
+            for (step, d) in &row.steps {
+                match d {
+                    Some(d) => print!("  {step}={:.1}ms", d.as_secs_f64() * 1000.0),
+                    None => print!("  {step}=FAIL"),
+                }
+            }
+            println!(
+                "  | total={:.1}ms shuffled={:.2}MiB{}",
+                row.total().as_secs_f64() * 1000.0,
+                row.shuffled_bytes as f64 / (1024.0 * 1024.0),
+                if row.failed() { "  [FAILED]" } else { "" }
+            );
+        }
+        println!();
+    }
+}

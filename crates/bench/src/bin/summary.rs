@@ -1,0 +1,52 @@
+//! Prints the headline comparison ratios of the experimental summary
+//! (Section 6 bullet list): shredded vs flattening runtimes and shuffle
+//! volumes for representative configurations.
+
+use trance_bench::{run_tpch_query, Family};
+use trance_compiler::Strategy;
+use trance_tpch::{QueryVariant, TpchConfig};
+
+fn ratio(a: Option<std::time::Duration>, b: Option<std::time::Duration>) -> String {
+    match (a, b) {
+        (Some(a), Some(b)) if b.as_secs_f64() > 0.0 => format!("{:.1}x", a.as_secs_f64() / b.as_secs_f64()),
+        (None, Some(_)) => "FAIL vs ok".to_string(),
+        _ => "n/a".to_string(),
+    }
+}
+
+fn main() {
+    let cfg = TpchConfig::new(0.3, 0);
+    let strategies = [Strategy::Shred, Strategy::ShredUnshred, Strategy::Standard, Strategy::Baseline];
+    println!("Summary ratios (flattening / shredded), scale 0.3\n");
+    for (family, depth) in [
+        (Family::FlatToNested, 2usize),
+        (Family::NestedToNested, 2),
+        (Family::NestedToFlat, 2),
+    ] {
+        let rows = run_tpch_query(&cfg, family, depth, QueryVariant::Wide, &strategies, 3.0);
+        let shred = &rows[0];
+        let standard = &rows[2];
+        let baseline = &rows[3];
+        println!(
+            "{:<18} depth {depth}: standard/shred = {:>9}, baseline/shred = {:>9}, shuffle standard/shred = {:.1}x",
+            family.label(),
+            ratio(standard.elapsed, shred.elapsed),
+            ratio(baseline.elapsed, shred.elapsed),
+            standard.stats.shuffled_bytes.max(1) as f64 / shred.stats.shuffled_bytes.max(1) as f64,
+        );
+    }
+    // Skew: shuffle reduction of the skew-aware shredded join (Figure 8 claim).
+    let skew_cfg = TpchConfig::new(0.3, 3);
+    let rows = run_tpch_query(
+        &skew_cfg,
+        Family::NestedToNested,
+        2,
+        QueryVariant::Narrow,
+        &[Strategy::Shred, Strategy::ShredSkew],
+        3.0,
+    );
+    println!(
+        "skew factor 3      depth 2: shred shuffle / shred-skew shuffle = {:.1}x",
+        rows[0].stats.shuffled_bytes.max(1) as f64 / rows[1].stats.shuffled_bytes.max(1) as f64
+    );
+}

@@ -1,0 +1,330 @@
+//! Shared machinery for the figure-reproducing binaries and Criterion benches.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use trance_biomed::{BiomedConfig, BiomedData};
+use trance_compiler::{run_query, InputSet, QuerySpec, RunOutcome, RunResult, Strategy};
+use trance_dist::{ClusterConfig, DistContext, StatsSnapshot};
+use trance_nrc::{eval, Bag, Env, MemSize, Value};
+use trance_shred::ShreddedInputDecl;
+use trance_tpch::{
+    flat_to_nested, generate, nested_to_flat, nested_to_nested, nesting_structure_for_depth,
+    QueryVariant, TpchConfig,
+};
+
+/// The three TPC-H query families of Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Build nested output from the flat tables.
+    FlatToNested,
+    /// Nested input, nested output with the Part join + aggregation.
+    NestedToNested,
+    /// Nested input, flat aggregated output.
+    NestedToFlat,
+}
+
+impl Family {
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<Family> {
+        match s {
+            "flat-to-nested" => Some(Family::FlatToNested),
+            "nested-to-nested" => Some(Family::NestedToNested),
+            "nested-to-flat" => Some(Family::NestedToFlat),
+            _ => None,
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Family::FlatToNested => "Flat to Nested",
+            Family::NestedToNested => "Nested to Nested",
+            Family::NestedToFlat => "Nested to Flat",
+        }
+    }
+
+    /// All families in figure order.
+    pub fn all() -> [Family; 3] {
+        [Family::FlatToNested, Family::NestedToNested, Family::NestedToFlat]
+    }
+}
+
+/// One measured cell of a figure.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// The strategy that ran.
+    pub strategy: Strategy,
+    /// Runtime; `None` when the run failed (FAIL in the paper's figures).
+    pub elapsed: Option<Duration>,
+    /// Engine metrics.
+    pub stats: StatsSnapshot,
+}
+
+impl BenchRow {
+    /// Formats the runtime column (`FAIL` for failed runs).
+    pub fn time_cell(&self) -> String {
+        match self.elapsed {
+            Some(d) => format!("{:8.1}", d.as_secs_f64() * 1000.0),
+            None => format!("{:>8}", "FAIL"),
+        }
+    }
+
+    /// Formats the shuffled-data column in MiB.
+    pub fn shuffle_cell(&self) -> String {
+        format!("{:7.2}", self.stats.shuffled_mib())
+    }
+}
+
+fn outcome_to_row(outcome: RunOutcome) -> BenchRow {
+    let elapsed = match outcome.result {
+        RunResult::Failed(_) => None,
+        _ => Some(outcome.elapsed),
+    };
+    BenchRow {
+        strategy: outcome.strategy,
+        elapsed,
+        stats: outcome.stats,
+    }
+}
+
+/// The default simulated cluster used by every figure: 4 workers, 16 shuffle
+/// partitions, a small broadcast threshold (so joins actually shuffle), and a
+/// per-worker memory cap proportional to the input size so that strategies
+/// which blow up the flattened representation fail exactly as in the paper.
+pub fn default_cluster(input_bytes: usize, memory_factor: f64) -> DistContext {
+    let mut cfg = ClusterConfig::new(4, 16).with_broadcast_limit(16 * 1024);
+    if memory_factor > 0.0 {
+        let per_worker = ((input_bytes as f64 / cfg.workers as f64) * memory_factor) as usize;
+        cfg = cfg.with_worker_memory(per_worker.max(64 * 1024));
+    }
+    DistContext::new(cfg)
+}
+
+/// Environment with all flat TPC-H tables bound (for local materialization).
+fn tpch_env(config: &TpchConfig) -> (Env, usize) {
+    let data = generate(config);
+    let bytes = [
+        &data.lineitem,
+        &data.orders,
+        &data.customer,
+        &data.nation,
+        &data.region,
+        &data.part,
+    ]
+    .iter()
+    .map(|b| b.iter().map(MemSize::mem_size).sum::<usize>())
+    .sum();
+    let env = Env::from_bindings([
+        ("Lineitem", Value::Bag(data.lineitem)),
+        ("Orders", Value::Bag(data.orders)),
+        ("Customer", Value::Bag(data.customer)),
+        ("Nation", Value::Bag(data.nation)),
+        ("Region", Value::Bag(data.region)),
+        ("Part", Value::Bag(data.part)),
+    ]);
+    (env, bytes)
+}
+
+/// Materializes the nested input of the nested-to-* families (the flat-to-
+/// nested output at `depth`), exactly as the paper materializes it before
+/// measuring.
+pub fn materialize_nested_input(config: &TpchConfig, depth: usize, variant: QueryVariant) -> Bag {
+    let (env, _) = tpch_env(config);
+    eval(&flat_to_nested(depth, variant), &env)
+        .expect("flat-to-nested materialization")
+        .into_bag()
+        .expect("bag result")
+}
+
+/// Builds the [`InputSet`] for one TPC-H experiment cell.
+pub fn tpch_input_set(
+    config: &TpchConfig,
+    family: Family,
+    depth: usize,
+    variant: QueryVariant,
+    memory_factor: f64,
+) -> (InputSet, QuerySpec) {
+    let (env, flat_bytes) = tpch_env(config);
+    let (query, nested_decls, nested_input) = match family {
+        Family::FlatToNested => (flat_to_nested(depth, variant), vec![], None),
+        Family::NestedToNested | Family::NestedToFlat => {
+            let nested = materialize_nested_input(config, depth, variant);
+            let query = match family {
+                Family::NestedToNested => nested_to_nested(depth, variant),
+                _ => nested_to_flat(depth, variant),
+            };
+            let decls = if depth == 0 {
+                vec![]
+            } else {
+                vec![ShreddedInputDecl::new(
+                    "Nested",
+                    nesting_structure_for_depth(depth),
+                )]
+            };
+            (query, decls, Some(nested))
+        }
+    };
+    let nested_bytes: usize = nested_input
+        .as_ref()
+        .map(|b| b.iter().map(MemSize::mem_size).sum())
+        .unwrap_or(0);
+    let ctx = default_cluster(flat_bytes + nested_bytes, memory_factor);
+    let mut inputs = InputSet::new(ctx);
+    for name in ["Lineitem", "Orders", "Customer", "Nation", "Region", "Part"] {
+        inputs
+            .add_flat(name, env.get(name).unwrap().as_bag().unwrap().clone())
+            .unwrap();
+    }
+    if let Some(nested) = nested_input {
+        if depth == 0 {
+            inputs.add_flat("Nested", nested).unwrap();
+        } else {
+            inputs.add_nested("Nested", nested).unwrap();
+        }
+    }
+    let spec = QuerySpec::new(
+        format!("{family:?}-depth{depth}-{variant:?}"),
+        query,
+        nested_decls,
+    );
+    (inputs, spec)
+}
+
+/// Runs one TPC-H experiment cell for each requested strategy.
+pub fn run_tpch_query(
+    config: &TpchConfig,
+    family: Family,
+    depth: usize,
+    variant: QueryVariant,
+    strategies: &[Strategy],
+    memory_factor: f64,
+) -> Vec<BenchRow> {
+    let (inputs, spec) = tpch_input_set(config, family, depth, variant, memory_factor);
+    strategies
+        .iter()
+        .map(|s| outcome_to_row(run_query(&spec, &inputs, *s)))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// biomedical pipeline
+// ---------------------------------------------------------------------------
+
+/// Per-step measurement of the E2E pipeline for one strategy.
+#[derive(Debug, Clone)]
+pub struct PipelineRow {
+    /// The strategy.
+    pub strategy: Strategy,
+    /// Per-step runtimes; `None` marks the step where the run failed (later
+    /// steps are not attempted, as in the paper).
+    pub steps: Vec<(String, Option<Duration>)>,
+    /// Total shuffled bytes across the whole pipeline.
+    pub shuffled_bytes: u64,
+}
+
+impl PipelineRow {
+    /// Total runtime across completed steps.
+    pub fn total(&self) -> Duration {
+        self.steps.iter().filter_map(|(_, d)| *d).sum()
+    }
+
+    /// True when some step failed.
+    pub fn failed(&self) -> bool {
+        self.steps.iter().any(|(_, d)| d.is_none())
+    }
+}
+
+/// Builds the distributed input set for the biomedical benchmark.
+pub fn biomed_input_set(config: &BiomedConfig, memory_factor: f64) -> (InputSet, BiomedData) {
+    let data = trance_biomed::generate(config);
+    let bytes: usize = [
+        &data.occurrences,
+        &data.network,
+        &data.gene_info,
+        &data.impact_weights,
+        &data.conseq_weights,
+    ]
+    .iter()
+    .map(|b| b.iter().map(MemSize::mem_size).sum::<usize>())
+    .sum();
+    let ctx = default_cluster(bytes, memory_factor);
+    let mut inputs = InputSet::new(ctx);
+    inputs.add_nested("Occurrences", data.occurrences.clone()).unwrap();
+    inputs.add_nested("Network", data.network.clone()).unwrap();
+    inputs.add_flat("GeneInfo", data.gene_info.clone()).unwrap();
+    inputs.add_flat("ImpactWeights", data.impact_weights.clone()).unwrap();
+    inputs.add_flat("ConseqWeights", data.conseq_weights.clone()).unwrap();
+    (inputs, data)
+}
+
+/// Runs the five-step E2E pipeline under one strategy, feeding each step's
+/// output to the next (shredded outputs stay shredded between steps for the
+/// shredded strategies; nested outputs stay distributed for the others).
+pub fn run_biomed_pipeline(config: &BiomedConfig, strategy: Strategy, memory_factor: f64) -> PipelineRow {
+    let (mut inputs, _) = biomed_input_set(config, memory_factor);
+    let structures: HashMap<&str, trance_shred::NestingStructure> = HashMap::from([
+        ("Occurrences", trance_biomed::occurrences_structure()),
+        ("Network", trance_biomed::network_structure()),
+        ("HybridScores", trance_biomed::step1_structure()),
+        ("NetworkScores", trance_biomed::step2_structure()),
+    ]);
+    let mut steps = Vec::new();
+    let mut shuffled = 0u64;
+    let mut failed = false;
+    for (step_name, output_name, expr) in trance_biomed::pipeline_steps() {
+        if failed {
+            steps.push((step_name.to_string(), None));
+            continue;
+        }
+        // Declare the nested inputs this step reads.
+        let decls: Vec<ShreddedInputDecl> = expr
+            .free_vars()
+            .into_iter()
+            .filter_map(|v| {
+                structures
+                    .get(v.as_str())
+                    .map(|s| ShreddedInputDecl::new(v.clone(), s.clone()))
+            })
+            .collect();
+        let spec = QuerySpec::new(step_name, expr, decls);
+        let outcome = run_query(&spec, &inputs, strategy);
+        shuffled += outcome.stats.shuffled_bytes;
+        match &outcome.result {
+            RunResult::Failed(_) => {
+                steps.push((step_name.to_string(), None));
+                failed = true;
+            }
+            RunResult::Nested(d) => {
+                steps.push((step_name.to_string(), Some(outcome.elapsed)));
+                inputs.add_nested_collection(output_name, d.clone());
+                // Also make it available to a shredded next step.
+                if let Some(s) = structures.get(output_name) {
+                    let bag = d.collect_bag();
+                    let _ = s;
+                    inputs.add_nested(output_name, bag).unwrap();
+                } else {
+                    inputs.add_flat(output_name, d.collect_bag()).unwrap();
+                }
+            }
+            RunResult::Shredded(out) => {
+                steps.push((step_name.to_string(), Some(outcome.elapsed)));
+                inputs.add_shredded(output_name, out);
+                // The standard route of a later step (if mixed) would need the
+                // nested form too; reconstruct it cheaply at this scale.
+                if let Ok(bag) = trance_compiler::collect_unshredded(out) {
+                    if structures.contains_key(output_name) {
+                        inputs.add_nested(output_name, bag).unwrap();
+                    } else {
+                        inputs.add_flat(output_name, bag).unwrap();
+                    }
+                }
+            }
+        }
+    }
+    PipelineRow {
+        strategy,
+        steps,
+        shuffled_bytes: shuffled,
+    }
+}

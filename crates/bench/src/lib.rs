@@ -1,0 +1,26 @@
+//! # trance-bench
+//!
+//! The benchmark harness that regenerates every figure of the paper's
+//! evaluation (Section 6) on the simulated cluster:
+//!
+//! * `figure7` — the TPC-H micro-benchmark: flat-to-nested, nested-to-nested
+//!   and nested-to-flat queries at nesting depths 0–4, narrow and wide
+//!   (Figure 7a / 7b);
+//! * `figure8` — the skew experiment: nested-to-nested narrow at depth 2 for
+//!   skew factors 0–4, with and without skew-aware operators (Figure 8);
+//! * `figure9` — the biomedical end-to-end pipeline, per step, small and full
+//!   datasets (Figure 9);
+//! * `summary` — the headline ratios quoted in the experiment summary.
+//!
+//! Each binary prints a table with one line per configuration: runtime in
+//! milliseconds (or `FAIL` when the run exceeded the simulated per-worker
+//! memory cap) and shuffled mebibytes per strategy.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::{
+    biomed_input_set, default_cluster, materialize_nested_input, run_biomed_pipeline,
+    run_tpch_query, tpch_input_set, BenchRow, Family, PipelineRow,
+};

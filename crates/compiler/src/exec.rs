@@ -1,0 +1,910 @@
+//! The distributed code generator / executor.
+//!
+//! This module plays the role of the paper's *unnesting + code generation*
+//! stages fused into one: it walks an NRC bag expression and directly emits
+//! operations on the `trance-dist` engine, following the same strategy the
+//! unnesting algorithm uses to build plans (Figure 3):
+//!
+//! * iterating an input relation establishes a flattened *stream* of rows
+//!   whose columns are named `var.field`;
+//! * iterating a bag-valued attribute becomes an unnest (flat-map) carrying
+//!   the enclosing columns — the flattening the standard route pays for;
+//! * a `for` over another relation whose body is guarded by an equality with
+//!   the stream becomes a distributed equi-join;
+//! * constructing a tuple with a bag-valued attribute enters a new nesting
+//!   level: the stream is given a unique parent id, the inner bag is computed
+//!   as a flat child stream, grouped by the parent id (`Γ⊎`) and re-attached
+//!   with a left-outer join, NULLs becoming empty bags;
+//! * `sumBy` / `groupBy` become `Γ+` / `Γ⊎` keyed by the enclosing parent ids
+//!   plus the user key.
+//!
+//! The same executor runs the flat assignments produced by the shredded
+//! pipeline (where no unnest/regroup ever appears) and, with `skew: true`,
+//! switches every join to the skew-aware implementation of Section 5.
+
+use std::collections::{BTreeSet, HashMap};
+
+use trance_dist::{DistCollection, DistContext, ExecError, JoinSpec, Result, SkewTriple};
+use trance_nrc::{CmpOp, Expr, NrcError, PrimOp, Tuple, Value};
+
+/// Compilation options for one query execution.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Prune unused input attributes as relations enter the stream (the
+    /// paper's column pruning; disabled for the SparkSQL-like baseline).
+    pub prune_columns: bool,
+    /// Use skew-aware joins (Section 5).
+    pub skew_aware: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            prune_columns: true,
+            skew_aware: false,
+        }
+    }
+}
+
+/// Executes an NRC bag expression over distributed inputs, producing the
+/// distributed collection of its elements.
+pub fn execute(
+    expr: &Expr,
+    inputs: &HashMap<String, DistCollection>,
+    ctx: &DistContext,
+    options: &ExecOptions,
+) -> Result<DistCollection> {
+    let required = collect_required_fields(expr);
+    let mut exec = Executor {
+        ctx: ctx.clone(),
+        inputs: inputs.clone(),
+        options: options.clone(),
+        required,
+        id_counter: 0,
+    };
+    let out = exec.compile_bag(expr, None)?;
+    exec.finalize(out)
+}
+
+/// Column name of `var.field` in the flattened stream.
+fn col(var: &str, field: &str) -> String {
+    format!("{var}.{field}")
+}
+
+/// The flattened stream threaded through compilation: a distributed
+/// collection of rows whose columns are `var.field` pairs plus parent-id
+/// columns, together with the variables currently bound.
+#[derive(Clone)]
+struct Stream {
+    data: DistCollection,
+    bound: Vec<String>,
+    /// Parent-id columns present in the stream (innermost last).
+    ids: Vec<String>,
+}
+
+/// The result of compiling a bag expression.
+enum LevelOutput {
+    /// The rows are already the final bag elements (used for whole-relation
+    /// pass-through such as dictionary aliases).
+    Passthrough(DistCollection),
+    /// Flattened rows: stream columns plus plainly-named output attributes.
+    Flattened {
+        rows: DistCollection,
+        attrs: Vec<String>,
+        ids: Vec<String>,
+    },
+}
+
+struct Executor {
+    ctx: DistContext,
+    inputs: HashMap<String, DistCollection>,
+    options: ExecOptions,
+    required: HashMap<String, Option<BTreeSet<String>>>,
+    id_counter: usize,
+}
+
+impl Executor {
+    fn finalize(&self, out: LevelOutput) -> Result<DistCollection> {
+        match out {
+            LevelOutput::Passthrough(d) => Ok(d),
+            LevelOutput::Flattened { rows, attrs, .. } => rows.map(move |row| {
+                let t = row.as_tuple()?;
+                let mut elem = Tuple::empty();
+                for a in &attrs {
+                    elem.set(a.clone(), t.get(a).cloned().unwrap_or(Value::Null));
+                }
+                Ok(Value::Tuple(elem))
+            }),
+        }
+    }
+
+    fn fresh_id(&mut self) -> String {
+        self.id_counter += 1;
+        format!("__id{}", self.id_counter)
+    }
+
+    /// Loads an input relation as a stream source bound to `var`, renaming its
+    /// columns to `var.field` and pruning unused fields.
+    fn load_source(&self, name: &str, var: &str) -> Result<DistCollection> {
+        let coll = self
+            .inputs
+            .get(name)
+            .ok_or_else(|| ExecError::Other(format!("unknown input relation `{name}`")))?;
+        let keep = if self.options.prune_columns {
+            self.required.get(var).cloned().unwrap_or(None)
+        } else {
+            None
+        };
+        let var = var.to_string();
+        coll.map(move |row| {
+            let mut out = Tuple::empty();
+            match row {
+                Value::Tuple(t) => {
+                    for (f, v) in t.iter() {
+                        let wanted = match &keep {
+                            Some(set) => set.contains(f),
+                            None => true,
+                        };
+                        if wanted {
+                            out.set(col(&var, f), v.clone());
+                        }
+                    }
+                }
+                other => out.set(col(&var, "__value"), other.clone()),
+            }
+            Ok(Value::Tuple(out))
+        })
+    }
+
+    fn join_dist(
+        &self,
+        left: &DistCollection,
+        right: &DistCollection,
+        spec: &JoinSpec,
+    ) -> Result<DistCollection> {
+        if self.options.skew_aware {
+            SkewTriple::unknown(left.clone()).join(right, spec)?.merged()
+        } else {
+            left.join(right, spec)
+        }
+    }
+
+    fn compile_bag(&mut self, e: &Expr, stream: Option<Stream>) -> Result<LevelOutput> {
+        match e {
+            Expr::Var(name) => {
+                if stream.is_none() {
+                    let d = self
+                        .inputs
+                        .get(name)
+                        .ok_or_else(|| ExecError::Other(format!("unknown input `{name}`")))?
+                        .clone();
+                    Ok(LevelOutput::Passthrough(d))
+                } else {
+                    Err(ExecError::Other(format!(
+                        "bag variable `{name}` cannot be used directly inside a nested context; \
+                         iterate it with `for`"
+                    )))
+                }
+            }
+            Expr::EmptyBag(_) => Ok(LevelOutput::Flattened {
+                rows: self.ctx.empty(),
+                attrs: Vec::new(),
+                ids: stream.map(|s| s.ids).unwrap_or_default(),
+            }),
+            Expr::Let { var, value, body } => {
+                let value_out = self.compile_bag(value, None)?;
+                let materialized = self.finalize(value_out)?;
+                self.inputs.insert(var.clone(), materialized);
+                self.compile_bag(body, stream)
+            }
+            Expr::For { var, source, body } => self.compile_for(var, source, body, stream),
+            Expr::If {
+                cond,
+                then_branch,
+                else_branch: None,
+            } => {
+                let stream = stream.ok_or_else(|| {
+                    ExecError::Other("conditional bag outside of an iteration context".into())
+                })?;
+                let filtered = self.filter_stream(&stream, cond)?;
+                self.compile_bag(then_branch, Some(filtered))
+            }
+            Expr::If { .. } => Err(ExecError::Other(
+                "if-then-else over bags is not supported by the distributed compiler; \
+                 rewrite with union of guarded branches"
+                    .into(),
+            )),
+            Expr::Singleton(inner) => self.compile_singleton(inner, stream),
+            Expr::Union(a, b) => {
+                let oa = self.compile_bag(a, stream.clone())?;
+                let ob = self.compile_bag(b, stream)?;
+                match (oa, ob) {
+                    (LevelOutput::Passthrough(da), LevelOutput::Passthrough(db)) => {
+                        Ok(LevelOutput::Passthrough(da.union(&db)?))
+                    }
+                    (
+                        LevelOutput::Flattened {
+                            rows: ra,
+                            attrs: aa,
+                            ids,
+                        },
+                        LevelOutput::Flattened { rows: rb, attrs: ab, .. },
+                    ) => {
+                        let mut attrs = aa;
+                        for a in ab {
+                            if !attrs.contains(&a) {
+                                attrs.push(a);
+                            }
+                        }
+                        Ok(LevelOutput::Flattened {
+                            rows: ra.union(&rb)?,
+                            attrs,
+                            ids,
+                        })
+                    }
+                    _ => Err(ExecError::Other(
+                        "union of incompatible bag shapes".into(),
+                    )),
+                }
+            }
+            Expr::SumBy { input, key, values } => {
+                let inner = self.compile_bag(input, stream)?;
+                let (rows, _attrs, ids) = self.expect_flattened(inner)?;
+                let mut full_key: Vec<String> = ids.clone();
+                full_key.extend(key.iter().cloned());
+                let aggregated = if self.options.skew_aware {
+                    SkewTriple::unknown(rows).nest_sum(&full_key, values)?.merged()?
+                } else {
+                    rows.nest_sum(&full_key, values)?
+                };
+                let mut attrs = key.clone();
+                attrs.extend(values.iter().cloned());
+                Ok(LevelOutput::Flattened {
+                    rows: aggregated,
+                    attrs,
+                    ids,
+                })
+            }
+            Expr::GroupBy {
+                input,
+                key,
+                group_attr,
+            } => {
+                let inner = self.compile_bag(input, stream)?;
+                let (rows, attrs, ids) = self.expect_flattened(inner)?;
+                let mut full_key: Vec<String> = ids.clone();
+                full_key.extend(key.iter().cloned());
+                let value_attrs: Vec<String> =
+                    attrs.iter().filter(|a| !key.contains(a)).cloned().collect();
+                let grouped = rows.nest_bag(&full_key, &value_attrs, group_attr)?;
+                let mut out_attrs = key.clone();
+                out_attrs.push(group_attr.clone());
+                Ok(LevelOutput::Flattened {
+                    rows: grouped,
+                    attrs: out_attrs,
+                    ids,
+                })
+            }
+            Expr::Dedup(input) => {
+                let inner = self.compile_bag(input, stream)?;
+                let (rows, attrs, ids) = self.expect_flattened(inner)?;
+                let keep: Vec<String> = ids.iter().chain(attrs.iter()).cloned().collect();
+                let projected = rows.map(move |row| {
+                    let t = row.as_tuple()?;
+                    let mut out = Tuple::empty();
+                    for a in &keep {
+                        out.set(a.clone(), t.get(a).cloned().unwrap_or(Value::Null));
+                    }
+                    Ok(Value::Tuple(out))
+                })?;
+                Ok(LevelOutput::Flattened {
+                    rows: projected.distinct()?,
+                    attrs,
+                    ids,
+                })
+            }
+            other => Err(ExecError::Other(format!(
+                "the distributed compiler does not support this bag expression: {other:?}"
+            ))),
+        }
+    }
+
+    fn expect_flattened(
+        &self,
+        out: LevelOutput,
+    ) -> Result<(DistCollection, Vec<String>, Vec<String>)> {
+        match out {
+            LevelOutput::Flattened { rows, attrs, ids } => Ok((rows, attrs, ids)),
+            LevelOutput::Passthrough(d) => {
+                // Discover attributes from the data (whole-relation aggregate).
+                let attrs = first_row_attrs(&d);
+                let renamed = d.map(|row| Ok(row.clone()))?;
+                Ok((renamed, attrs, Vec::new()))
+            }
+        }
+    }
+
+    fn compile_for(
+        &mut self,
+        var: &str,
+        source: &Expr,
+        body: &Expr,
+        stream: Option<Stream>,
+    ) -> Result<LevelOutput> {
+        match source {
+            // Iterate an input (or let-bound) relation.
+            Expr::Var(name) if self.inputs.contains_key(name) => {
+                match stream {
+                    None => {
+                        let data = self.load_source(name, var)?;
+                        let s = Stream {
+                            data,
+                            bound: vec![var.to_string()],
+                            ids: Vec::new(),
+                        };
+                        self.compile_bag(body, Some(s))
+                    }
+                    Some(s) => {
+                        // A relation iterated inside an existing stream must be
+                        // correlated by an equality in the body — this becomes a
+                        // distributed join (or a constant-key join when truly
+                        // uncorrelated).
+                        let right = self.load_source(name, var)?;
+                        let (cond, inner_body) = peel_condition(body);
+                        let (left_keys, right_keys, residual) =
+                            split_join_condition(&cond, &s, var);
+                        let joined = if left_keys.is_empty() {
+                            // Uncorrelated: cross product via a constant key.
+                            let one = "__one".to_string();
+                            let l = add_constant(&s.data, &one)?;
+                            let r = add_constant(&right, &one)?;
+                            self.join_dist(&l, &r, &JoinSpec::inner(&[one.as_str()], &[one.as_str()]))?
+                        } else {
+                            let lk: Vec<&str> = left_keys.iter().map(|s| s.as_str()).collect();
+                            let rk: Vec<&str> = right_keys.iter().map(|s| s.as_str()).collect();
+                            self.join_dist(&s.data, &right, &JoinSpec::inner(&lk, &rk))?
+                        };
+                        let mut new_stream = Stream {
+                            data: joined,
+                            bound: {
+                                let mut b = s.bound.clone();
+                                b.push(var.to_string());
+                                b
+                            },
+                            ids: s.ids.clone(),
+                        };
+                        if let Some(res) = residual {
+                            new_stream = self.filter_stream(&new_stream, &res)?;
+                        }
+                        self.compile_bag(&inner_body, Some(new_stream))
+                    }
+                }
+            }
+            // Iterate a bag-valued attribute of an enclosing variable: unnest.
+            Expr::Proj { tuple, field } => {
+                let (outer_var, path) = projection_root(tuple, field)?;
+                let stream = stream.ok_or_else(|| {
+                    ExecError::Other(format!(
+                        "navigation into {outer_var}.{path} outside of an iteration context"
+                    ))
+                })?;
+                if !stream.bound.contains(&outer_var) {
+                    return Err(ExecError::Other(format!(
+                        "variable `{outer_var}` is not bound in the current stream"
+                    )));
+                }
+                let bag_col = col(&outer_var, &path);
+                let keep = if self.options.prune_columns {
+                    self.required.get(var).cloned().unwrap_or(None)
+                } else {
+                    None
+                };
+                let var_name = var.to_string();
+                let unnested = stream.data.flat_map(move |row| {
+                    let t = row.as_tuple()?;
+                    let bag = match t.get(&bag_col) {
+                        Some(Value::Bag(b)) => b.clone(),
+                        Some(Value::Null) | None => trance_nrc::Bag::empty(),
+                        Some(other) => {
+                            return Err(NrcError::TypeMismatch {
+                                expected: "bag".into(),
+                                found: other.kind().into(),
+                                context: format!("unnest of {bag_col}"),
+                            }
+                            .into())
+                        }
+                    };
+                    let mut out = Vec::with_capacity(bag.len());
+                    for elem in bag.iter() {
+                        let mut new_row = t.project_away(&[bag_col.as_str()]);
+                        match elem {
+                            Value::Tuple(et) => {
+                                for (f, v) in et.iter() {
+                                    let wanted = match &keep {
+                                        Some(set) => set.contains(f),
+                                        None => true,
+                                    };
+                                    if wanted {
+                                        new_row.set(col(&var_name, f), v.clone());
+                                    }
+                                }
+                            }
+                            other => new_row.set(col(&var_name, "__value"), other.clone()),
+                        }
+                        out.push(Value::Tuple(new_row));
+                    }
+                    Ok(out)
+                })?;
+                let s = Stream {
+                    data: unnested,
+                    bound: {
+                        let mut b = stream.bound.clone();
+                        b.push(var.to_string());
+                        b
+                    },
+                    ids: stream.ids.clone(),
+                };
+                self.compile_bag(body, Some(s))
+            }
+            // Iterate the result of another bag expression: materialize it
+            // first, then iterate it as a relation.
+            other => {
+                let materialized = self.compile_bag(other, None)?;
+                let materialized = self.finalize(materialized)?;
+                let tmp = format!("__tmp_{}", self.id_counter);
+                self.id_counter += 1;
+                self.inputs.insert(tmp.clone(), materialized);
+                self.compile_for(var, &Expr::Var(tmp), body, stream)
+            }
+        }
+    }
+
+    fn compile_singleton(
+        &mut self,
+        inner: &Expr,
+        stream: Option<Stream>,
+    ) -> Result<LevelOutput> {
+        let mut stream = match stream {
+            Some(s) => s,
+            None => {
+                // A constant singleton bag: one row, no stream.
+                Stream {
+                    data: self.ctx.parallelize(vec![Value::Tuple(Tuple::empty())]),
+                    bound: Vec::new(),
+                    ids: Vec::new(),
+                }
+            }
+        };
+        match inner {
+            Expr::Tuple(fields) => {
+                let mut attrs = Vec::with_capacity(fields.len());
+                for (name, fe) in fields {
+                    if self.is_bag_expr(fe) {
+                        // Enter a new nesting level.
+                        let id_attr = self.fresh_id();
+                        let with_id = stream.data.with_unique_id(&id_attr)?;
+                        let parent = Stream {
+                            data: with_id.clone(),
+                            bound: stream.bound.clone(),
+                            ids: {
+                                let mut ids = stream.ids.clone();
+                                ids.push(id_attr.clone());
+                                ids
+                            },
+                        };
+                        let child = self.compile_bag(fe, Some(parent.clone()))?;
+                        let (child_rows, child_attrs, _) = self.expect_flattened(child)?;
+                        let nested = child_rows.nest_bag(
+                            &[id_attr.clone()],
+                            &child_attrs,
+                            name,
+                        )?;
+                        let spec = JoinSpec::left_outer(&[id_attr.as_str()], &[id_attr.as_str()])
+                            .with_right_fields(&[name.as_str()]);
+                        let joined = self.join_dist(&with_id, &nested, &spec)?;
+                        // NULL (no child rows) becomes the empty bag.
+                        let name_cl = name.clone();
+                        stream.data = joined.map(move |row| {
+                            let mut t = row.as_tuple()?.clone();
+                            if matches!(t.get(&name_cl), Some(Value::Null) | None) {
+                                t.set(name_cl.clone(), Value::empty_bag());
+                            }
+                            Ok(Value::Tuple(t))
+                        })?;
+                        attrs.push(name.clone());
+                    } else {
+                        let scalar = translate_scalar(fe, &stream.bound)?;
+                        let name_cl = name.clone();
+                        stream.data = stream.data.map(move |row| {
+                            let t = row.as_tuple()?;
+                            let v = scalar.eval_row(t)?;
+                            let mut t = t.clone();
+                            t.set(name_cl.clone(), v);
+                            Ok(Value::Tuple(t))
+                        })?;
+                        attrs.push(name.clone());
+                    }
+                }
+                Ok(LevelOutput::Flattened {
+                    rows: stream.data,
+                    attrs,
+                    ids: stream.ids,
+                })
+            }
+            other => {
+                let scalar = translate_scalar(other, &stream.bound)?;
+                let rows = stream.data.map(move |row| {
+                    let t = row.as_tuple()?;
+                    let v = scalar.eval_row(t)?;
+                    let mut t = t.clone();
+                    t.set("__value", v);
+                    Ok(Value::Tuple(t))
+                })?;
+                Ok(LevelOutput::Flattened {
+                    rows,
+                    attrs: vec!["__value".to_string()],
+                    ids: stream.ids,
+                })
+            }
+        }
+    }
+
+    fn filter_stream(&self, stream: &Stream, cond: &Expr) -> Result<Stream> {
+        let pred = translate_scalar(cond, &stream.bound)?;
+        let data = stream
+            .data
+            .filter(move |row| Ok(pred.eval_row(row.as_tuple()?)?.as_bool()?))?;
+        Ok(Stream {
+            data,
+            bound: stream.bound.clone(),
+            ids: stream.ids.clone(),
+        })
+    }
+
+    fn is_bag_expr(&self, e: &Expr) -> bool {
+        matches!(
+            e,
+            Expr::For { .. }
+                | Expr::Union(..)
+                | Expr::EmptyBag(_)
+                | Expr::Singleton(_)
+                | Expr::SumBy { .. }
+                | Expr::GroupBy { .. }
+                | Expr::Dedup(_)
+                | Expr::If { else_branch: None, .. }
+                | Expr::Let { .. }
+        ) || matches!(e, Expr::Var(v) if self.inputs.contains_key(v))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// scalar translation: NRC scalar expressions -> row-level evaluators
+// ---------------------------------------------------------------------------
+
+/// A compiled scalar expression evaluated against flattened stream rows.
+#[derive(Debug, Clone)]
+enum RowExpr {
+    Col(String),
+    Const(Value),
+    Prim(PrimOp, Box<RowExpr>, Box<RowExpr>),
+    Cmp(CmpOp, Box<RowExpr>, Box<RowExpr>),
+    And(Box<RowExpr>, Box<RowExpr>),
+    Or(Box<RowExpr>, Box<RowExpr>),
+    Not(Box<RowExpr>),
+    NewLabel(u32, Vec<RowExpr>),
+}
+
+impl RowExpr {
+    fn eval_row(&self, row: &Tuple) -> Result<Value> {
+        Ok(match self {
+            RowExpr::Col(c) => row.get(c).cloned().unwrap_or(Value::Null),
+            RowExpr::Const(v) => v.clone(),
+            RowExpr::Prim(op, l, r) => {
+                let l = l.eval_row(row)?;
+                let r = r.eval_row(row)?;
+                if matches!(l, Value::Null) || matches!(r, Value::Null) {
+                    Value::Null
+                } else {
+                    match op {
+                        PrimOp::Add if matches!((&l, &r), (Value::Int(_), Value::Int(_))) => {
+                            Value::Int(l.as_int()? + r.as_int()?)
+                        }
+                        PrimOp::Sub if matches!((&l, &r), (Value::Int(_), Value::Int(_))) => {
+                            Value::Int(l.as_int()? - r.as_int()?)
+                        }
+                        PrimOp::Mul if matches!((&l, &r), (Value::Int(_), Value::Int(_))) => {
+                            Value::Int(l.as_int()? * r.as_int()?)
+                        }
+                        PrimOp::Add => Value::Real(l.as_real()? + r.as_real()?),
+                        PrimOp::Sub => Value::Real(l.as_real()? - r.as_real()?),
+                        PrimOp::Mul => Value::Real(l.as_real()? * r.as_real()?),
+                        PrimOp::Div => {
+                            let d = r.as_real()?;
+                            if d == 0.0 {
+                                return Err(NrcError::DivisionByZero.into());
+                            }
+                            Value::Real(l.as_real()? / d)
+                        }
+                    }
+                }
+            }
+            RowExpr::Cmp(op, l, r) => {
+                let l = l.eval_row(row)?;
+                let r = r.eval_row(row)?;
+                if matches!(l, Value::Null) || matches!(r, Value::Null) {
+                    Value::Bool(false)
+                } else {
+                    Value::Bool(op.eval(l.cmp(&r)))
+                }
+            }
+            RowExpr::And(a, b) => {
+                Value::Bool(a.eval_row(row)?.as_bool()? && b.eval_row(row)?.as_bool()?)
+            }
+            RowExpr::Or(a, b) => {
+                Value::Bool(a.eval_row(row)?.as_bool()? || b.eval_row(row)?.as_bool()?)
+            }
+            RowExpr::Not(e) => Value::Bool(!e.eval_row(row)?.as_bool()?),
+            RowExpr::NewLabel(site, caps) => {
+                let mut vals = Vec::with_capacity(caps.len());
+                for c in caps {
+                    vals.push(c.eval_row(row)?);
+                }
+                Value::Label(trance_nrc::Label::new(*site, vals))
+            }
+        })
+    }
+}
+
+/// Translates an NRC scalar expression into a [`RowExpr`] over the flattened
+/// stream's `var.field` columns.
+fn translate_scalar(e: &Expr, bound: &[String]) -> Result<RowExpr> {
+    Ok(match e {
+        Expr::Const(v) => RowExpr::Const(v.clone()),
+        Expr::Proj { tuple, field } => {
+            let (var, path) = projection_root(tuple, field)?;
+            if !bound.contains(&var) {
+                return Err(ExecError::Other(format!(
+                    "variable `{var}` is not bound in the current iteration context"
+                )));
+            }
+            RowExpr::Col(col(&var, &path))
+        }
+        Expr::Prim { op, left, right } => RowExpr::Prim(
+            *op,
+            Box::new(translate_scalar(left, bound)?),
+            Box::new(translate_scalar(right, bound)?),
+        ),
+        Expr::Cmp { op, left, right } => RowExpr::Cmp(
+            *op,
+            Box::new(translate_scalar(left, bound)?),
+            Box::new(translate_scalar(right, bound)?),
+        ),
+        Expr::And(a, b) => RowExpr::And(
+            Box::new(translate_scalar(a, bound)?),
+            Box::new(translate_scalar(b, bound)?),
+        ),
+        Expr::Or(a, b) => RowExpr::Or(
+            Box::new(translate_scalar(a, bound)?),
+            Box::new(translate_scalar(b, bound)?),
+        ),
+        Expr::Not(x) => RowExpr::Not(Box::new(translate_scalar(x, bound)?)),
+        Expr::NewLabel { site, captures } => RowExpr::NewLabel(
+            *site,
+            captures
+                .iter()
+                .map(|(_, c)| translate_scalar(c, bound))
+                .collect::<Result<Vec<_>>>()?,
+        ),
+        other => {
+            return Err(ExecError::Other(format!(
+                "unsupported scalar expression in distributed execution: {other:?}"
+            )))
+        }
+    })
+}
+
+/// Resolves a (possibly chained) projection to its root variable and the
+/// dotted field path (e.g. `x.a` → (`x`, `a`)).
+fn projection_root(tuple: &Expr, field: &str) -> Result<(String, String)> {
+    match tuple {
+        Expr::Var(v) => Ok((v.clone(), field.to_string())),
+        Expr::Proj {
+            tuple: inner,
+            field: f2,
+        } => {
+            let (v, p) = projection_root(inner, f2)?;
+            Ok((v, format!("{p}.{field}")))
+        }
+        other => Err(ExecError::Other(format!(
+            "unsupported projection base: {other:?}"
+        ))),
+    }
+}
+
+/// Peels a leading `if` off a `for` body, returning the condition (Bool(true)
+/// when absent) and the remaining body.
+fn peel_condition(body: &Expr) -> (Expr, Expr) {
+    match body {
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch: None,
+        } => (cond.as_ref().clone(), then_branch.as_ref().clone()),
+        other => (Expr::Const(Value::Bool(true)), other.clone()),
+    }
+}
+
+/// Splits a condition into equi-join keys between the stream (columns of
+/// previously bound variables) and the newly introduced variable, plus a
+/// residual predicate.
+fn split_join_condition(
+    cond: &Expr,
+    stream: &Stream,
+    new_var: &str,
+) -> (Vec<String>, Vec<String>, Option<Expr>) {
+    fn conjuncts(e: &Expr) -> Vec<Expr> {
+        match e {
+            Expr::And(a, b) => {
+                let mut out = conjuncts(a);
+                out.extend(conjuncts(b));
+                out
+            }
+            other => vec![other.clone()],
+        }
+    }
+    let mut left_keys = Vec::new();
+    let mut right_keys = Vec::new();
+    let mut residual = Vec::new();
+    for c in conjuncts(cond) {
+        if let Expr::Cmp {
+            op: CmpOp::Eq,
+            left,
+            right,
+        } = &c
+        {
+            let classify = |e: &Expr| -> Option<(String, String)> {
+                if let Expr::Proj { tuple, field } = e {
+                    if let Ok((v, p)) = projection_root(tuple, field) {
+                        return Some((v, p));
+                    }
+                }
+                None
+            };
+            if let (Some((lv, lp)), Some((rv, rp))) = (classify(left), classify(right)) {
+                if lv == new_var && stream.bound.contains(&rv) {
+                    left_keys.push(col(&rv, &rp));
+                    right_keys.push(col(&lv, &lp));
+                    continue;
+                }
+                if rv == new_var && stream.bound.contains(&lv) {
+                    left_keys.push(col(&lv, &lp));
+                    right_keys.push(col(&rv, &rp));
+                    continue;
+                }
+            }
+        }
+        if matches!(c, Expr::Const(Value::Bool(true))) {
+            continue;
+        }
+        residual.push(c);
+    }
+    let residual = residual
+        .into_iter()
+        .reduce(|a, b| Expr::And(Box::new(a), Box::new(b)));
+    (left_keys, right_keys, residual)
+}
+
+/// Attribute names of the first row of a collection (used for whole-relation
+/// pass-through aggregates).
+fn first_row_attrs(d: &DistCollection) -> Vec<String> {
+    for p in d.partitions() {
+        if let Some(Value::Tuple(t)) = p.first() {
+            return t.field_names().iter().map(|s| s.to_string()).collect();
+        }
+    }
+    Vec::new()
+}
+
+/// Adds a constant column (used to express uncorrelated cross products as
+/// constant-key joins).
+fn add_constant(d: &DistCollection, name: &str) -> Result<DistCollection> {
+    let name = name.to_string();
+    d.map(move |row| {
+        let mut t = row.as_tuple()?.clone();
+        t.set(name.clone(), Value::Int(1));
+        Ok(Value::Tuple(t))
+    })
+}
+
+/// Computes, for every `for`/`let`-bound variable and every input relation
+/// variable, the set of fields the query projects from it. `None` means the
+/// whole row is needed.
+fn collect_required_fields(e: &Expr) -> HashMap<String, Option<BTreeSet<String>>> {
+    let mut out: HashMap<String, Option<BTreeSet<String>>> = HashMap::new();
+    fn add(out: &mut HashMap<String, Option<BTreeSet<String>>>, var: &str, field: Option<&str>) {
+        match field {
+            Some(f) => {
+                let entry = out.entry(var.to_string()).or_insert_with(|| Some(BTreeSet::new()));
+                if let Some(set) = entry {
+                    // Only the first segment of a dotted path matters for
+                    // pruning top-level attributes.
+                    set.insert(f.split('.').next().unwrap_or(f).to_string());
+                }
+            }
+            None => {
+                out.insert(var.to_string(), None);
+            }
+        }
+    }
+    fn walk(e: &Expr, out: &mut HashMap<String, Option<BTreeSet<String>>>) {
+        match e {
+            Expr::Proj { tuple, field } => {
+                if let Ok((v, p)) = projection_root(tuple, field) {
+                    add(out, &v, Some(p.as_str()));
+                } else {
+                    walk(tuple, out);
+                }
+            }
+            Expr::Var(v) => add(out, v, None),
+            _ => {
+                // Recurse structurally over children without re-visiting the
+                // same node.
+                match e {
+                    Expr::Tuple(fields) => fields.iter().for_each(|(_, x)| walk(x, out)),
+                    Expr::Singleton(x)
+                    | Expr::Get(x)
+                    | Expr::Not(x)
+                    | Expr::Dedup(x)
+                    | Expr::BagToDict(x) => walk(x, out),
+                    Expr::For { source, body, .. } | Expr::Let { value: source, body, .. } => {
+                        walk(source, out);
+                        walk(body, out);
+                    }
+                    Expr::Union(a, b)
+                    | Expr::And(a, b)
+                    | Expr::Or(a, b)
+                    | Expr::DictTreeUnion(a, b) => {
+                        walk(a, out);
+                        walk(b, out);
+                    }
+                    Expr::If {
+                        cond,
+                        then_branch,
+                        else_branch,
+                    } => {
+                        walk(cond, out);
+                        walk(then_branch, out);
+                        if let Some(x) = else_branch {
+                            walk(x, out);
+                        }
+                    }
+                    Expr::Prim { left, right, .. } | Expr::Cmp { left, right, .. } => {
+                        walk(left, out);
+                        walk(right, out);
+                    }
+                    Expr::GroupBy { input, key, .. } => {
+                        walk(input, out);
+                        let _ = key;
+                    }
+                    Expr::SumBy { input, .. } => walk(input, out),
+                    Expr::NewLabel { captures, .. } => {
+                        captures.iter().for_each(|(_, x)| walk(x, out))
+                    }
+                    Expr::MatchLabel { label, body, .. } => {
+                        walk(label, out);
+                        walk(body, out);
+                    }
+                    Expr::Lambda { body, .. } => walk(body, out),
+                    Expr::Lookup { dict, label } | Expr::MatLookup { dict, label } => {
+                        walk(dict, out);
+                        walk(label, out);
+                    }
+                    Expr::Const(_) | Expr::EmptyBag(_) => {}
+                    Expr::Proj { .. } | Expr::Var(_) => unreachable!("handled above"),
+                }
+            }
+        }
+    }
+    walk(e, &mut out);
+    out
+}

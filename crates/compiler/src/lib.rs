@@ -1,0 +1,31 @@
+//! # trance-compiler
+//!
+//! The compilation framework of **trance-rs** (Section 3 of the paper): it
+//! turns NRC programs into distributed executions on the `trance-dist`
+//! engine, via two routes.
+//!
+//! * The **standard route** ([`exec`]) mirrors the unnesting algorithm: nested
+//!   inputs are flattened with (outer) unnests, correlated iterations become
+//!   distributed joins, aggregations become `Γ+`/`Γ⊎`, and nested outputs are
+//!   regrouped level by level.
+//! * The **shredded route** ([`pipeline`]) first applies query shredding
+//!   (`trance-shred`), executes the resulting flat assignments — one per
+//!   output dictionary — and optionally unshreds the output with distributed
+//!   label joins.
+//!
+//! Both routes can generate **skew-aware** executions that use the operators
+//! of Section 5 for every join.
+//!
+//! The strategies compared in the paper's experiments are exposed as
+//! [`pipeline::Strategy`] and driven by [`pipeline::run_query`].
+
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod pipeline;
+
+pub use exec::{execute, ExecOptions};
+pub use pipeline::{
+    collect_unshredded, run_query, run_shredded, unshred_distributed, InputSet, QuerySpec,
+    RunOutcome, RunResult, ShreddedOutput, Strategy,
+};

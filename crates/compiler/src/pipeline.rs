@@ -1,0 +1,442 @@
+//! End-to-end compilation pipelines (Figure 2) and the evaluation strategies
+//! compared in Section 6.
+//!
+//! * **Standard** — the standard compilation route: flattening execution over
+//!   nested rows with column pruning.
+//! * **Baseline** — the SparkSQL-like competitor: same flattening execution
+//!   but without column pruning (wide rows travel through every shuffle).
+//! * **Shred** — the shredded compilation route, leaving the output in
+//!   shredded (dictionary) form for downstream consumers.
+//! * **ShredUnshred** — shredded route plus distributed unshredding of the
+//!   final nested output.
+//! * `*Skew` variants run every join with the skew-aware operators of
+//!   Section 5.
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::{Duration, Instant};
+
+use trance_dist::{DistCollection, DistContext, ExecError, JoinSpec, StatsSnapshot};
+use trance_nrc::{Bag, Expr, Tuple, Value};
+use trance_shred::{
+    flat_input_name, input_dict_name, output_dict_name, shred_query, shred_value,
+    NestingStructure, ShreddedInputDecl, ShreddedQuery, TOP_BAG,
+};
+
+use crate::exec::{execute, ExecOptions};
+
+/// The evaluation strategies of the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Standard compilation route (flattening, with optimizations).
+    Standard,
+    /// SparkSQL-like flattening baseline (no column pruning).
+    Baseline,
+    /// Shredded compilation, output left in shredded form.
+    Shred,
+    /// Shredded compilation plus unshredding of the nested output.
+    ShredUnshred,
+    /// Standard route with skew-aware joins.
+    StandardSkew,
+    /// Shredded route with skew-aware joins.
+    ShredSkew,
+    /// Shredded route with skew-aware joins plus unshredding.
+    ShredUnshredSkew,
+}
+
+impl Strategy {
+    /// All strategies, in the order the paper's figures list them.
+    pub fn all() -> [Strategy; 7] {
+        [
+            Strategy::Standard,
+            Strategy::Baseline,
+            Strategy::Shred,
+            Strategy::ShredUnshred,
+            Strategy::StandardSkew,
+            Strategy::ShredSkew,
+            Strategy::ShredUnshredSkew,
+        ]
+    }
+
+    /// Short label used by the benchmark harness.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Standard => "STANDARD",
+            Strategy::Baseline => "SPARKSQL-LIKE",
+            Strategy::Shred => "SHRED",
+            Strategy::ShredUnshred => "SHRED+UNSHRED",
+            Strategy::StandardSkew => "STANDARD-SKEW",
+            Strategy::ShredSkew => "SHRED-SKEW",
+            Strategy::ShredUnshredSkew => "SHRED+UNSHRED-SKEW",
+        }
+    }
+
+    /// True for the strategies that run on the shredded representation.
+    pub fn is_shredded(&self) -> bool {
+        matches!(
+            self,
+            Strategy::Shred
+                | Strategy::ShredUnshred
+                | Strategy::ShredSkew
+                | Strategy::ShredUnshredSkew
+        )
+    }
+
+    fn skew_aware(&self) -> bool {
+        matches!(
+            self,
+            Strategy::StandardSkew | Strategy::ShredSkew | Strategy::ShredUnshredSkew
+        )
+    }
+
+    fn unshreds(&self) -> bool {
+        matches!(self, Strategy::ShredUnshred | Strategy::ShredUnshredSkew)
+    }
+}
+
+/// A query together with the declaration of which of its inputs are nested.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Human-readable query name (used in benchmark reports).
+    pub name: String,
+    /// The NRC query.
+    pub query: Expr,
+    /// Nested inputs and their structures (flat inputs need no declaration).
+    pub nested_inputs: Vec<ShreddedInputDecl>,
+}
+
+impl QuerySpec {
+    /// Creates a query spec.
+    pub fn new(name: impl Into<String>, query: Expr, nested_inputs: Vec<ShreddedInputDecl>) -> Self {
+        QuerySpec {
+            name: name.into(),
+            query,
+            nested_inputs,
+        }
+    }
+}
+
+/// Pre-loaded inputs: every relation in both its nested form (for the
+/// flattening strategies) and its shredded form (for the shredded
+/// strategies). Building this corresponds to the input caching the paper
+/// excludes from reported runtimes.
+#[derive(Debug, Clone)]
+pub struct InputSet {
+    ctx: DistContext,
+    nested: HashMap<String, DistCollection>,
+    shredded: HashMap<String, DistCollection>,
+}
+
+impl InputSet {
+    /// Creates an empty input set bound to a cluster context.
+    pub fn new(ctx: DistContext) -> Self {
+        InputSet {
+            ctx,
+            nested: HashMap::new(),
+            shredded: HashMap::new(),
+        }
+    }
+
+    /// The cluster context.
+    pub fn context(&self) -> &DistContext {
+        &self.ctx
+    }
+
+    /// Registers a flat input relation.
+    pub fn add_flat(&mut self, name: &str, rows: Bag) -> trance_dist::Result<()> {
+        let coll = self.ctx.parallelize(rows.into_items());
+        self.nested.insert(name.to_string(), coll.clone());
+        self.shredded.insert(name.to_string(), coll);
+        Ok(())
+    }
+
+    /// Registers a nested input relation, loading both its nested form and its
+    /// shredded form (flat top bag plus one collection per dictionary path).
+    pub fn add_nested(&mut self, name: &str, rows: Bag) -> trance_dist::Result<()> {
+        let shredded = shred_value(&rows)?;
+        self.nested
+            .insert(name.to_string(), self.ctx.parallelize(rows.into_items()));
+        self.shredded.insert(
+            flat_input_name(name),
+            self.ctx.parallelize(shredded.top.into_items()),
+        );
+        for (path, bag) in shredded.dicts {
+            self.shredded.insert(
+                input_dict_name(name, &path),
+                self.ctx.parallelize(bag.into_items()),
+            );
+        }
+        Ok(())
+    }
+
+    /// Registers an already-shredded input under its shredded names. Useful
+    /// when a shredded query output feeds the next query of a pipeline.
+    pub fn add_shredded(&mut self, name: &str, output: &ShreddedOutput) {
+        self.shredded
+            .insert(flat_input_name(name), output.top.clone());
+        for (path, coll) in &output.dicts {
+            self.shredded
+                .insert(input_dict_name(name, path), coll.clone());
+        }
+    }
+
+    /// Registers an already-distributed nested collection (e.g. the output of
+    /// a previous standard-route query).
+    pub fn add_nested_collection(&mut self, name: &str, coll: DistCollection) {
+        self.nested.insert(name.to_string(), coll);
+    }
+
+    /// The nested (standard-route) collections.
+    pub fn nested_inputs(&self) -> &HashMap<String, DistCollection> {
+        &self.nested
+    }
+
+    /// The shredded collections.
+    pub fn shredded_inputs(&self) -> &HashMap<String, DistCollection> {
+        &self.shredded
+    }
+}
+
+/// The shredded output of a query: the flat top bag plus one collection per
+/// output dictionary path.
+#[derive(Debug, Clone)]
+pub struct ShreddedOutput {
+    /// The flat top-level bag.
+    pub top: DistCollection,
+    /// Dictionaries keyed by path.
+    pub dicts: BTreeMap<String, DistCollection>,
+    /// The output's nesting structure.
+    pub structure: NestingStructure,
+}
+
+/// What a strategy produced.
+#[derive(Debug, Clone)]
+pub enum RunResult {
+    /// Nested output rows (Standard, Baseline, ShredUnshred).
+    Nested(DistCollection),
+    /// Shredded output (Shred, ShredSkew).
+    Shredded(ShreddedOutput),
+    /// The run failed — in particular [`ExecError::MemoryExceeded`] reproduces
+    /// the paper's FAIL entries.
+    Failed(ExecError),
+}
+
+impl RunResult {
+    /// True when the run failed.
+    pub fn is_failure(&self) -> bool {
+        matches!(self, RunResult::Failed(_))
+    }
+
+    /// Collects the nested output rows when available.
+    pub fn nested_bag(&self) -> Option<Bag> {
+        match self {
+            RunResult::Nested(d) => Some(d.collect_bag()),
+            _ => None,
+        }
+    }
+}
+
+/// The outcome of running one strategy on one query.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The strategy that ran.
+    pub strategy: Strategy,
+    /// Wall-clock duration of the run (excluding input loading).
+    pub elapsed: Duration,
+    /// Engine metrics accumulated during the run.
+    pub stats: StatsSnapshot,
+    /// The produced result or failure.
+    pub result: RunResult,
+}
+
+impl RunOutcome {
+    /// Seconds elapsed (convenience for reports).
+    pub fn seconds(&self) -> f64 {
+        self.elapsed.as_secs_f64()
+    }
+}
+
+/// Runs `spec` under `strategy` over the given inputs.
+pub fn run_query(spec: &QuerySpec, inputs: &InputSet, strategy: Strategy) -> RunOutcome {
+    let ctx = inputs.context();
+    ctx.stats().reset();
+    let start = Instant::now();
+    let result = match dispatch(spec, inputs, strategy) {
+        Ok(r) => r,
+        Err(e) => RunResult::Failed(e),
+    };
+    RunOutcome {
+        strategy,
+        elapsed: start.elapsed(),
+        stats: ctx.stats().snapshot(),
+        result,
+    }
+}
+
+fn dispatch(
+    spec: &QuerySpec,
+    inputs: &InputSet,
+    strategy: Strategy,
+) -> trance_dist::Result<RunResult> {
+    let ctx = inputs.context();
+    match strategy {
+        Strategy::Standard | Strategy::StandardSkew | Strategy::Baseline => {
+            let options = ExecOptions {
+                prune_columns: strategy != Strategy::Baseline,
+                skew_aware: strategy.skew_aware(),
+            };
+            let out = execute(&spec.query, inputs.nested_inputs(), ctx, &options)?;
+            Ok(RunResult::Nested(out))
+        }
+        Strategy::Shred
+        | Strategy::ShredUnshred
+        | Strategy::ShredSkew
+        | Strategy::ShredUnshredSkew => {
+            let options = ExecOptions {
+                prune_columns: true,
+                skew_aware: strategy.skew_aware(),
+            };
+            let shredded = shred_query(&spec.query, &spec.nested_inputs)
+                .map_err(ExecError::from)?;
+            let output = run_shredded(&shredded, inputs, &options)?;
+            if strategy.unshreds() {
+                let nested = unshred_distributed(&output, ctx, &options)?;
+                Ok(RunResult::Nested(nested))
+            } else {
+                Ok(RunResult::Shredded(output))
+            }
+        }
+    }
+}
+
+/// Executes the flat assignments of a shredded program in order, returning the
+/// shredded output.
+pub fn run_shredded(
+    shredded: &ShreddedQuery,
+    inputs: &InputSet,
+    options: &ExecOptions,
+) -> trance_dist::Result<ShreddedOutput> {
+    let ctx = inputs.context();
+    let mut env = inputs.shredded_inputs().clone();
+    for assignment in &shredded.program.assignments {
+        let out = execute(&assignment.expr, &env, ctx, options)?;
+        env.insert(assignment.name.clone(), out);
+    }
+    let top = env
+        .get(TOP_BAG)
+        .cloned()
+        .ok_or_else(|| ExecError::Other("shredded program produced no TopBag".into()))?;
+    let mut dicts = BTreeMap::new();
+    for path in shredded.structure.paths() {
+        let name = shredded
+            .dict_names
+            .get(&path)
+            .cloned()
+            .unwrap_or_else(|| output_dict_name(&path));
+        if let Some(d) = env.get(&name) {
+            dicts.insert(path, d.clone());
+        }
+    }
+    Ok(ShreddedOutput {
+        top,
+        dicts,
+        structure: shredded.structure.clone(),
+    })
+}
+
+/// Distributed unshredding: reassembles the nested output by grouping each
+/// dictionary by label (`Γ⊎`) and joining it back into its parent, deepest
+/// level first.
+pub fn unshred_distributed(
+    output: &ShreddedOutput,
+    _ctx: &DistContext,
+    options: &ExecOptions,
+) -> trance_dist::Result<DistCollection> {
+    // Work on a mutable copy of the dictionaries; children are folded into
+    // their parents bottom-up.
+    let mut dicts: BTreeMap<String, DistCollection> = output.dicts.clone();
+    let mut paths: Vec<String> = output.structure.paths();
+    paths.sort_by_key(|p| std::cmp::Reverse(p.matches('_').count()));
+
+    let mut top = output.top.clone();
+    for path in paths {
+        let child = match dicts.get(&path) {
+            Some(c) => c.clone(),
+            None => continue,
+        };
+        let attr = path.rsplit('_').next().unwrap_or(&path).to_string();
+        let parent_path: Option<String> = path
+            .rfind('_')
+            .map(|i| path[..i].to_string())
+            .filter(|p| dicts.contains_key(p));
+
+        // Group the child dictionary rows by label into a single bag column.
+        let value_attrs: Vec<String> = first_attrs(&child)
+            .into_iter()
+            .filter(|a| a != "label")
+            .collect();
+        let grouped = child.nest_bag(&["label".to_string()], &value_attrs, "__grp")?;
+        let grouped = grouped.map(|row| {
+            let t = row.as_tuple()?;
+            let mut out = Tuple::empty();
+            out.set("__jk", t.get("label").cloned().unwrap_or(Value::Null));
+            out.set("__grp", t.get("__grp").cloned().unwrap_or(Value::empty_bag()));
+            Ok(Value::Tuple(out))
+        })?;
+
+        let attach = |parent: &DistCollection| -> trance_dist::Result<DistCollection> {
+            let spec = JoinSpec::left_outer(&[attr.as_str()], &["__jk"])
+                .with_right_fields(&["__grp"]);
+            let joined = if options.skew_aware {
+                trance_dist::SkewTriple::unknown(parent.clone())
+                    .join(&grouped, &spec)?
+                    .merged()?
+            } else {
+                parent.join(&grouped, &spec)?
+            };
+            let attr = attr.clone();
+            joined.map(move |row| {
+                let mut t = row.as_tuple()?.clone();
+                let grp = match t.remove("__grp") {
+                    Some(Value::Bag(b)) => Value::Bag(b),
+                    _ => Value::empty_bag(),
+                };
+                t.remove("__jk");
+                t.set(attr.clone(), grp);
+                Ok(Value::Tuple(t))
+            })
+        };
+
+        match parent_path {
+            Some(pp) => {
+                let parent = dicts.get(&pp).cloned().ok_or_else(|| {
+                    ExecError::Other(format!("missing parent dictionary `{pp}`"))
+                })?;
+                dicts.insert(pp, attach(&parent)?);
+            }
+            None => {
+                top = attach(&top)?;
+            }
+        }
+    }
+    Ok(top)
+}
+
+/// Attribute names of the first available row.
+fn first_attrs(d: &DistCollection) -> Vec<String> {
+    for p in d.partitions() {
+        if let Some(Value::Tuple(t)) = p.first() {
+            return t.field_names().iter().map(|s| s.to_string()).collect();
+        }
+    }
+    Vec::new()
+}
+
+/// Collects a shredded output and reassembles the nested value locally (used
+/// by tests and small examples).
+pub fn collect_unshredded(output: &ShreddedOutput) -> trance_nrc::Result<Bag> {
+    let mut dict_bags = BTreeMap::new();
+    for (path, d) in &output.dicts {
+        dict_bags.insert(path.clone(), d.collect_bag());
+    }
+    trance_shred::unshred_pieces(output.top.collect_bag(), dict_bags, &output.structure)
+}

@@ -1,0 +1,396 @@
+//! Cross-strategy correctness: every compilation strategy (standard,
+//! SparkSQL-like baseline, shredded, shredded+unshredded, and their skew-aware
+//! variants) must produce the same result as the local reference evaluator on
+//! the paper's query families.
+
+use std::collections::BTreeMap;
+
+use trance_compiler::{collect_unshredded, run_query, InputSet, QuerySpec, RunResult, Strategy};
+use trance_dist::{ClusterConfig, DistContext};
+use trance_nrc::builder::*;
+use trance_nrc::{eval, Bag, Env, Value};
+use trance_shred::{NestingStructure, ShreddedInputDecl};
+
+fn ctx() -> DistContext {
+    DistContext::new(ClusterConfig::new(3, 8).with_broadcast_limit(64))
+}
+
+fn cop_value(customers: usize) -> Value {
+    let mut rows = Vec::new();
+    for c in 0..customers {
+        let mut orders = Vec::new();
+        for o in 0..(c % 4) {
+            let mut parts = Vec::new();
+            for p in 0..(o + c) % 5 {
+                parts.push(Value::tuple([
+                    ("pid", Value::Int((p % 7) as i64)),
+                    ("qty", Value::Real(1.0 + p as f64)),
+                ]));
+            }
+            orders.push(Value::tuple([
+                ("odate", Value::Date(100 + o as i64)),
+                ("oparts", Value::bag(parts)),
+            ]));
+        }
+        rows.push(Value::tuple([
+            ("cname", Value::str(format!("c{c}"))),
+            ("corders", Value::bag(orders)),
+        ]));
+    }
+    Value::bag(rows)
+}
+
+fn part_value() -> Value {
+    Value::bag(
+        (0..7)
+            .map(|p| {
+                Value::tuple([
+                    ("pid", Value::Int(p)),
+                    ("pname", Value::str(format!("part{p}"))),
+                    ("price", Value::Real(0.5 + p as f64)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn cop_structure() -> NestingStructure {
+    NestingStructure::flat()
+        .with_child("corders", NestingStructure::flat().with_child("oparts", NestingStructure::flat()))
+}
+
+fn running_example() -> trance_nrc::Expr {
+    forin(
+        "cop",
+        var("COP"),
+        singleton(tuple([
+            ("cname", proj(var("cop"), "cname")),
+            (
+                "corders",
+                forin(
+                    "co",
+                    proj(var("cop"), "corders"),
+                    singleton(tuple([
+                        ("odate", proj(var("co"), "odate")),
+                        (
+                            "oparts",
+                            sum_by(
+                                forin(
+                                    "op",
+                                    proj(var("co"), "oparts"),
+                                    forin(
+                                        "p",
+                                        var("Part"),
+                                        ifthen(
+                                            cmp_eq(proj(var("op"), "pid"), proj(var("p"), "pid")),
+                                            singleton(tuple([
+                                                ("pname", proj(var("p"), "pname")),
+                                                ("total", mul(proj(var("op"), "qty"), proj(var("p"), "price"))),
+                                            ])),
+                                        ),
+                                    ),
+                                ),
+                                &["pname"],
+                                &["total"],
+                            ),
+                        ),
+                    ])),
+                ),
+            ),
+        ])),
+    )
+}
+
+/// Canonicalizes nested rows for comparison: sorts bags recursively.
+fn canonical(bag: &Bag) -> Vec<Value> {
+    fn canon(v: &Value) -> Value {
+        match v {
+            Value::Bag(b) => {
+                let mut items: Vec<Value> = b.iter().map(canon).collect();
+                items.sort();
+                Value::Bag(Bag::new(items))
+            }
+            Value::Tuple(t) => {
+                let mut fields: Vec<(String, Value)> =
+                    t.iter().map(|(n, v)| (n.to_string(), canon(v))).collect();
+                fields.sort_by(|a, b| a.0.cmp(&b.0));
+                Value::Tuple(trance_nrc::Tuple::new(fields))
+            }
+            other => other.clone(),
+        }
+    }
+    let mut items: Vec<Value> = bag.iter().map(canon).collect();
+    items.sort();
+    items
+}
+
+fn reference_result(query: &trance_nrc::Expr, inputs: &[(&str, Value)]) -> Bag {
+    let env = Env::from_bindings(inputs.iter().map(|(n, v)| (n.to_string(), v.clone())));
+    eval(query, &env).unwrap().into_bag().unwrap()
+}
+
+fn check_all_strategies(spec: &QuerySpec, values: &[(&str, Value, bool)]) {
+    let expected = reference_result(
+        &spec.query,
+        &values
+            .iter()
+            .map(|(n, v, _)| (*n, v.clone()))
+            .collect::<Vec<_>>(),
+    );
+    let ctx = ctx();
+    let mut inputs = InputSet::new(ctx);
+    for (name, v, nested) in values {
+        if *nested {
+            inputs.add_nested(name, v.as_bag().unwrap().clone()).unwrap();
+        } else {
+            inputs.add_flat(name, v.as_bag().unwrap().clone()).unwrap();
+        }
+    }
+    for strategy in Strategy::all() {
+        let outcome = run_query(spec, &inputs, strategy);
+        let produced: Bag = match &outcome.result {
+            RunResult::Nested(d) => d.collect_bag(),
+            RunResult::Shredded(out) => collect_unshredded(out).unwrap(),
+            RunResult::Failed(e) => panic!("{} failed: {e}", strategy.label()),
+        };
+        assert_eq!(
+            canonical(&expected),
+            canonical(&produced),
+            "strategy {} disagrees with the reference evaluator for query {}",
+            strategy.label(),
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn running_example_all_strategies_agree() {
+    let spec = QuerySpec::new(
+        "running-example",
+        running_example(),
+        vec![ShreddedInputDecl::new("COP", cop_structure())],
+    );
+    check_all_strategies(
+        &spec,
+        &[("COP", cop_value(12), true), ("Part", part_value(), false)],
+    );
+}
+
+#[test]
+fn flat_to_nested_all_strategies_agree() {
+    let query = forin(
+        "c",
+        var("Customer"),
+        singleton(tuple([
+            ("cname", proj(var("c"), "cname")),
+            (
+                "orders",
+                forin(
+                    "o",
+                    var("Orders"),
+                    ifthen(
+                        cmp_eq(proj(var("o"), "ckey"), proj(var("c"), "ckey")),
+                        singleton(tuple([
+                            ("odate", proj(var("o"), "odate")),
+                            (
+                                "items",
+                                forin(
+                                    "l",
+                                    var("Lineitem"),
+                                    ifthen(
+                                        cmp_eq(proj(var("l"), "okey"), proj(var("o"), "okey")),
+                                        singleton(tuple([
+                                            ("pid", proj(var("l"), "pid")),
+                                            ("qty", proj(var("l"), "qty")),
+                                        ])),
+                                    ),
+                                ),
+                            ),
+                        ])),
+                    ),
+                ),
+            ),
+        ])),
+    );
+    let customer = Value::bag(
+        (0..10)
+            .map(|c| Value::tuple([("ckey", Value::Int(c)), ("cname", Value::str(format!("c{c}")))]))
+            .collect(),
+    );
+    let orders = Value::bag(
+        (0..25)
+            .map(|o| {
+                Value::tuple([
+                    ("okey", Value::Int(o)),
+                    ("ckey", Value::Int(o % 10)),
+                    ("odate", Value::Date(1000 + o)),
+                ])
+            })
+            .collect(),
+    );
+    let lineitem = Value::bag(
+        (0..60)
+            .map(|l| {
+                Value::tuple([
+                    ("okey", Value::Int(l % 25)),
+                    ("pid", Value::Int(l % 7)),
+                    ("qty", Value::Real(1.0 + (l % 4) as f64)),
+                ])
+            })
+            .collect(),
+    );
+    let spec = QuerySpec::new("flat-to-nested", query, vec![]);
+    check_all_strategies(
+        &spec,
+        &[
+            ("Customer", customer, false),
+            ("Orders", orders, false),
+            ("Lineitem", lineitem, false),
+        ],
+    );
+}
+
+#[test]
+fn nested_to_flat_all_strategies_agree() {
+    let query = sum_by(
+        forin(
+            "cop",
+            var("COP"),
+            forin(
+                "co",
+                proj(var("cop"), "corders"),
+                forin(
+                    "op",
+                    proj(var("co"), "oparts"),
+                    forin(
+                        "p",
+                        var("Part"),
+                        ifthen(
+                            cmp_eq(proj(var("op"), "pid"), proj(var("p"), "pid")),
+                            singleton(tuple([
+                                ("cname", proj(var("cop"), "cname")),
+                                ("spent", mul(proj(var("op"), "qty"), proj(var("p"), "price"))),
+                            ])),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+        &["cname"],
+        &["spent"],
+    );
+    let spec = QuerySpec::new(
+        "nested-to-flat",
+        query,
+        vec![ShreddedInputDecl::new("COP", cop_structure())],
+    );
+    check_all_strategies(
+        &spec,
+        &[("COP", cop_value(15), true), ("Part", part_value(), false)],
+    );
+}
+
+#[test]
+fn memory_cap_produces_fail_outcomes() {
+    // A tiny per-worker memory cap makes the flattening strategies fail with
+    // MemoryExceeded — the engine-level reproduction of the paper's FAIL runs.
+    let ctx = DistContext::new(
+        ClusterConfig::new(2, 4)
+            .with_worker_memory(2_000)
+            .with_broadcast_limit(64),
+    );
+    let mut inputs = InputSet::new(ctx);
+    inputs
+        .add_nested("COP", cop_value(200).as_bag().unwrap().clone())
+        .unwrap();
+    inputs
+        .add_flat("Part", part_value().as_bag().unwrap().clone())
+        .unwrap();
+    let spec = QuerySpec::new(
+        "running-example",
+        running_example(),
+        vec![ShreddedInputDecl::new("COP", cop_structure())],
+    );
+    let outcome = run_query(&spec, &inputs, Strategy::Baseline);
+    assert!(outcome.result.is_failure(), "baseline must hit the memory cap");
+}
+
+#[test]
+fn shredded_strategy_reports_lower_shuffle_than_baseline_for_wide_rows() {
+    // Wide nested rows: the baseline drags every attribute through the
+    // shuffles while the shredded route only moves dictionary rows.
+    let mut rows = Vec::new();
+    for c in 0..40 {
+        let orders: Vec<Value> = (0..6)
+            .map(|o| {
+                Value::tuple([
+                    ("odate", Value::Date(o)),
+                    (
+                        "oparts",
+                        Value::bag(
+                            (0..8)
+                                .map(|p| {
+                                    Value::tuple([
+                                        ("pid", Value::Int(p % 7)),
+                                        ("qty", Value::Real(p as f64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        rows.push(Value::tuple([
+            ("cname", Value::str(format!("customer-{c}"))),
+            ("comment", Value::str("x".repeat(120))),
+            ("corders", Value::bag(orders)),
+        ]));
+    }
+    let cop = Value::bag(rows);
+    let ctx = DistContext::new(ClusterConfig::new(3, 8).with_broadcast_limit(64));
+    let mut inputs = InputSet::new(ctx);
+    inputs.add_nested("COP", cop.as_bag().unwrap().clone()).unwrap();
+    inputs.add_flat("Part", part_value().as_bag().unwrap().clone()).unwrap();
+    let spec = QuerySpec::new(
+        "running-example",
+        running_example(),
+        vec![ShreddedInputDecl::new("COP", cop_structure())],
+    );
+    let shred = run_query(&spec, &inputs, Strategy::Shred);
+    let baseline = run_query(&spec, &inputs, Strategy::Baseline);
+    assert!(!shred.result.is_failure());
+    assert!(!baseline.result.is_failure());
+    assert!(
+        shred.stats.shuffled_bytes < baseline.stats.shuffled_bytes,
+        "shredded route should shuffle fewer bytes ({} vs {})",
+        shred.stats.shuffled_bytes,
+        baseline.stats.shuffled_bytes
+    );
+}
+
+#[test]
+fn shredded_output_dictionaries_are_exposed() {
+    let ctx = ctx();
+    let mut inputs = InputSet::new(ctx);
+    inputs.add_nested("COP", cop_value(10).as_bag().unwrap().clone()).unwrap();
+    inputs.add_flat("Part", part_value().as_bag().unwrap().clone()).unwrap();
+    let spec = QuerySpec::new(
+        "running-example",
+        running_example(),
+        vec![ShreddedInputDecl::new("COP", cop_structure())],
+    );
+    let outcome = run_query(&spec, &inputs, Strategy::Shred);
+    match outcome.result {
+        RunResult::Shredded(out) => {
+            let paths: Vec<&String> = out.dicts.keys().collect();
+            assert_eq!(paths, vec!["corders", "corders_oparts"]);
+            let mut sizes = BTreeMap::new();
+            for (p, d) in &out.dicts {
+                sizes.insert(p.clone(), d.len());
+            }
+            assert!(sizes["corders"] > 0);
+        }
+        other => panic!("expected shredded output, got {other:?}"),
+    }
+}

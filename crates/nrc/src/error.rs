@@ -1,0 +1,78 @@
+//! Error types shared by the NRC front end.
+
+use std::fmt;
+
+/// Errors raised while type checking or evaluating NRC expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NrcError {
+    /// A variable was referenced but is not bound in the environment.
+    UnboundVariable(String),
+    /// A tuple projection referenced a field that does not exist.
+    UnknownField {
+        /// The missing attribute name.
+        field: String,
+        /// Where the access happened.
+        context: String,
+    },
+    /// An operation received a value of an unexpected kind.
+    TypeMismatch {
+        /// The kind the operation needed.
+        expected: String,
+        /// The kind it received.
+        found: String,
+        /// Where the mismatch happened.
+        context: String,
+    },
+    /// `get` was applied to a bag that is empty or has more than one element
+    /// and no default could be produced.
+    GetOnNonSingleton {
+        /// Number of elements in the bag.
+        size: usize,
+    },
+    /// A label was deconstructed against a `NewLabel` site it did not come from.
+    LabelSiteMismatch {
+        /// The site the match expected.
+        expected: u32,
+        /// The site the label was built at.
+        found: u32,
+    },
+    /// Division by zero during evaluation.
+    DivisionByZero,
+    /// A construct that only exists in the symbolic shredding phase
+    /// (λ-abstractions, symbolic `Lookup`) reached the evaluator.
+    SymbolicConstruct(&'static str),
+    /// Anything else.
+    Other(String),
+}
+
+impl fmt::Display for NrcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NrcError::UnboundVariable(v) => write!(f, "unbound variable `{v}`"),
+            NrcError::UnknownField { field, context } => {
+                write!(f, "unknown field `{field}` in {context}")
+            }
+            NrcError::TypeMismatch {
+                expected,
+                found,
+                context,
+            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            NrcError::GetOnNonSingleton { size } => {
+                write!(f, "get() applied to a bag with {size} elements")
+            }
+            NrcError::LabelSiteMismatch { expected, found } => {
+                write!(f, "label site mismatch: expected {expected}, found {found}")
+            }
+            NrcError::DivisionByZero => write!(f, "division by zero"),
+            NrcError::SymbolicConstruct(c) => {
+                write!(f, "symbolic construct `{c}` cannot be evaluated directly")
+            }
+            NrcError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NrcError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NrcError>;

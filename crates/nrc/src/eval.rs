@@ -1,0 +1,570 @@
+//! A reference, single-node evaluator for NRC programs.
+//!
+//! The evaluator defines the semantics every compilation route must agree
+//! with: integration tests compare the output of the distributed standard and
+//! shredded pipelines against this evaluator on the same inputs.
+//!
+//! The symbolic-only constructs of NRC^{Lbl+λ} (λ-abstraction and symbolic
+//! `Lookup`) are rejected: they only exist between the shredding and
+//! materialization phases and are never executed.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::error::{NrcError, Result};
+use crate::expr::{Expr, PrimOp};
+use crate::value::{Bag, Label, Tuple, Value};
+
+/// A variable binding environment.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    bindings: HashMap<String, Value>,
+}
+
+impl Env {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        Env::default()
+    }
+
+    /// Creates an environment from `(name, value)` pairs.
+    pub fn from_bindings<I, S>(bindings: I) -> Self
+    where
+        I: IntoIterator<Item = (S, Value)>,
+        S: Into<String>,
+    {
+        Env {
+            bindings: bindings.into_iter().map(|(n, v)| (n.into(), v)).collect(),
+        }
+    }
+
+    /// Binds `name` to `value`, replacing any previous binding.
+    pub fn bind(&mut self, name: impl Into<String>, value: Value) {
+        self.bindings.insert(name.into(), value);
+    }
+
+    /// Looks up `name`.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.bindings.get(name)
+    }
+
+    /// Looks up `name` or fails with [`NrcError::UnboundVariable`].
+    pub fn get_or_err(&self, name: &str) -> Result<&Value> {
+        self.get(name)
+            .ok_or_else(|| NrcError::UnboundVariable(name.to_string()))
+    }
+
+    /// Names bound in this environment.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.bindings.keys().map(|s| s.as_str())
+    }
+}
+
+/// Evaluates `expr` under `env`.
+pub fn eval(expr: &Expr, env: &Env) -> Result<Value> {
+    Evaluator::default().eval(expr, env)
+}
+
+/// The evaluator. Stateless apart from configuration; kept as a struct so
+/// evaluation options (e.g. strictness of `get`) can be added without
+/// breaking the public `eval` function.
+#[derive(Debug, Default, Clone)]
+pub struct Evaluator {
+    /// When true, `get` on a non-singleton bag is an error instead of
+    /// returning a default value.
+    pub strict_get: bool,
+}
+
+impl Evaluator {
+    /// Evaluates `expr` under `env`.
+    pub fn eval(&self, expr: &Expr, env: &Env) -> Result<Value> {
+        match expr {
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Var(name) => env.get_or_err(name).cloned(),
+            Expr::Proj { tuple, field } => {
+                let v = self.eval(tuple, env)?;
+                match v {
+                    // NULL propagates through projections (outer-join semantics).
+                    Value::Null => Ok(Value::Null),
+                    Value::Tuple(t) => t.get_or_err(field, "projection").cloned(),
+                    other => Err(NrcError::TypeMismatch {
+                        expected: "tuple".into(),
+                        found: other.kind().into(),
+                        context: format!("projection .{field}"),
+                    }),
+                }
+            }
+            Expr::Tuple(fields) => {
+                let mut t = Tuple::empty();
+                for (n, e) in fields {
+                    t.set(n.clone(), self.eval(e, env)?);
+                }
+                Ok(Value::Tuple(t))
+            }
+            Expr::EmptyBag(_) => Ok(Value::empty_bag()),
+            Expr::Singleton(e) => Ok(Value::Bag(Bag::singleton(self.eval(e, env)?))),
+            Expr::Get(e) => {
+                let bag = self.eval(e, env)?.into_bag()?;
+                match bag.len() {
+                    1 => Ok(bag.into_items().pop().unwrap()),
+                    n if self.strict_get => Err(NrcError::GetOnNonSingleton { size: n }),
+                    _ => Ok(bag.into_items().into_iter().next().unwrap_or(Value::Null)),
+                }
+            }
+            Expr::For { var, source, body } => {
+                let src = self.eval(source, env)?.into_bag()?;
+                let mut out = Bag::empty();
+                let mut inner_env = env.clone();
+                for item in src {
+                    inner_env.bind(var.clone(), item);
+                    out.extend(self.eval(body, &inner_env)?.into_bag()?);
+                }
+                Ok(Value::Bag(out))
+            }
+            Expr::Union(a, b) => {
+                let mut left = self.eval(a, env)?.into_bag()?;
+                left.extend(self.eval(b, env)?.into_bag()?);
+                Ok(Value::Bag(left))
+            }
+            Expr::Let { var, value, body } => {
+                let v = self.eval(value, env)?;
+                let mut inner = env.clone();
+                inner.bind(var.clone(), v);
+                self.eval(body, &inner)
+            }
+            Expr::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                if self.eval(cond, env)?.as_bool()? {
+                    self.eval(then_branch, env)
+                } else if let Some(e) = else_branch {
+                    self.eval(e, env)
+                } else {
+                    Ok(Value::empty_bag())
+                }
+            }
+            Expr::Prim { op, left, right } => {
+                let l = self.eval(left, env)?;
+                let r = self.eval(right, env)?;
+                self.eval_prim(*op, &l, &r)
+            }
+            Expr::Cmp { op, left, right } => {
+                let l = self.eval(left, env)?;
+                let r = self.eval(right, env)?;
+                Ok(Value::Bool(op.eval(l.cmp(&r))))
+            }
+            Expr::And(a, b) => Ok(Value::Bool(
+                self.eval(a, env)?.as_bool()? && self.eval(b, env)?.as_bool()?,
+            )),
+            Expr::Or(a, b) => Ok(Value::Bool(
+                self.eval(a, env)?.as_bool()? || self.eval(b, env)?.as_bool()?,
+            )),
+            Expr::Not(e) => Ok(Value::Bool(!self.eval(e, env)?.as_bool()?)),
+            Expr::Dedup(e) => {
+                let bag = self.eval(e, env)?.into_bag()?;
+                let mut seen = BTreeMap::new();
+                for v in bag {
+                    seen.entry(v).or_insert(());
+                }
+                Ok(Value::Bag(seen.into_keys().collect()))
+            }
+            Expr::GroupBy {
+                input,
+                key,
+                group_attr,
+            } => {
+                let bag = self.eval(input, env)?.into_bag()?;
+                self.eval_group_by(bag, key, group_attr)
+            }
+            Expr::SumBy { input, key, values } => {
+                let bag = self.eval(input, env)?.into_bag()?;
+                self.eval_sum_by(bag, key, values)
+            }
+            Expr::NewLabel { site, captures } => {
+                let mut vals = Vec::with_capacity(captures.len());
+                for (_, e) in captures {
+                    vals.push(self.eval(e, env)?);
+                }
+                Ok(Value::Label(Label::new(*site, vals)))
+            }
+            Expr::MatchLabel {
+                label,
+                site,
+                params,
+                body,
+            } => {
+                let l = self.eval(label, env)?;
+                let l = l.as_label()?;
+                if l.site != *site {
+                    // A label from a different construction site: the match
+                    // yields the empty bag, per the NRC^{Lbl+λ} semantics.
+                    return Ok(Value::empty_bag());
+                }
+                let mut inner = env.clone();
+                for (i, p) in params.iter().enumerate() {
+                    inner.bind(p.clone(), l.values.get(i).cloned().unwrap_or(Value::Null));
+                }
+                self.eval(body, &inner)
+            }
+            Expr::Lambda { .. } => Err(NrcError::SymbolicConstruct("lambda")),
+            Expr::Lookup { .. } => Err(NrcError::SymbolicConstruct("Lookup")),
+            Expr::MatLookup { dict, label } => {
+                let dict = self.eval(dict, env)?.into_bag()?;
+                let target = self.eval(label, env)?;
+                let mut out = Bag::empty();
+                for entry in dict.iter() {
+                    let t = entry.as_tuple()?;
+                    if t.get_or_err("label", "MatLookup")? == &target {
+                        out.extend(t.get_or_err("value", "MatLookup")?.clone().into_bag()?);
+                    }
+                }
+                Ok(Value::Bag(out))
+            }
+            Expr::DictTreeUnion(a, b) => {
+                // Dictionary trees are tuples of (a_fun, a_child) attributes;
+                // their union merges the corresponding bags attribute-wise.
+                let va = self.eval(a, env)?;
+                let vb = self.eval(b, env)?;
+                union_dict_trees(&va, &vb)
+            }
+            Expr::BagToDict(e) => self.eval(e, env),
+        }
+    }
+
+    fn eval_prim(&self, op: PrimOp, l: &Value, r: &Value) -> Result<Value> {
+        // Integer arithmetic stays integral except for division.
+        match (op, l, r) {
+            (PrimOp::Add, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a + b)),
+            (PrimOp::Sub, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a - b)),
+            (PrimOp::Mul, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a * b)),
+            (PrimOp::Div, _, _) => {
+                let d = r.as_real()?;
+                if d == 0.0 {
+                    return Err(NrcError::DivisionByZero);
+                }
+                Ok(Value::Real(l.as_real()? / d))
+            }
+            _ => {
+                let a = l.as_real()?;
+                let b = r.as_real()?;
+                Ok(Value::Real(match op {
+                    PrimOp::Add => a + b,
+                    PrimOp::Sub => a - b,
+                    PrimOp::Mul => a * b,
+                    PrimOp::Div => unreachable!("handled above"),
+                }))
+            }
+        }
+    }
+
+    fn eval_group_by(&self, bag: Bag, key: &[String], group_attr: &str) -> Result<Value> {
+        let key_refs: Vec<&str> = key.iter().map(|s| s.as_str()).collect();
+        let mut groups: BTreeMap<Tuple, Bag> = BTreeMap::new();
+        for item in bag {
+            let t = item.as_tuple()?.clone();
+            let k = t.project(&key_refs);
+            let rest = t.project_away(&key_refs);
+            groups.entry(k).or_insert_with(Bag::empty).push(Value::Tuple(rest));
+        }
+        let mut out = Bag::empty();
+        for (k, group) in groups {
+            let mut row = k;
+            row.set(group_attr.to_string(), Value::Bag(group));
+            out.push(Value::Tuple(row));
+        }
+        Ok(Value::Bag(out))
+    }
+
+    fn eval_sum_by(&self, bag: Bag, key: &[String], values: &[String]) -> Result<Value> {
+        let key_refs: Vec<&str> = key.iter().map(|s| s.as_str()).collect();
+        let mut groups: BTreeMap<Tuple, Vec<Value>> = BTreeMap::new();
+        for item in bag {
+            let t = item.as_tuple()?.clone();
+            let k = t.project(&key_refs);
+            let entry = groups
+                .entry(k)
+                .or_insert_with(|| vec![Value::Null; values.len()]);
+            for (i, vname) in values.iter().enumerate() {
+                let v = t.get_or_err(vname, "sumBy")?;
+                entry[i] = entry[i].numeric_add(v)?;
+            }
+        }
+        let mut out = Bag::empty();
+        for (k, sums) in groups {
+            let mut row = k;
+            for (vname, sum) in values.iter().zip(sums) {
+                let sum = if matches!(sum, Value::Null) {
+                    Value::Int(0)
+                } else {
+                    sum
+                };
+                row.set(vname.clone(), sum);
+            }
+            out.push(Value::Tuple(row));
+        }
+        Ok(Value::Bag(out))
+    }
+}
+
+fn union_dict_trees(a: &Value, b: &Value) -> Result<Value> {
+    match (a, b) {
+        (Value::Tuple(ta), Value::Tuple(tb)) => {
+            let mut out = Tuple::empty();
+            for (name, va) in ta.iter() {
+                match tb.get(name) {
+                    Some(vb) => out.set(name.to_string(), union_dict_trees(va, vb)?),
+                    None => out.set(name.to_string(), va.clone()),
+                }
+            }
+            for (name, vb) in tb.iter() {
+                if ta.get(name).is_none() {
+                    out.set(name.to_string(), vb.clone());
+                }
+            }
+            Ok(Value::Tuple(out))
+        }
+        (Value::Bag(ba), Value::Bag(bb)) => {
+            let mut out = ba.clone();
+            out.extend(bb.clone());
+            Ok(Value::Bag(out))
+        }
+        _ => Ok(a.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    fn part_bag() -> Value {
+        Value::bag(vec![
+            Value::tuple([
+                ("pid", Value::Int(1)),
+                ("pname", Value::str("bolt")),
+                ("price", Value::Real(2.0)),
+            ]),
+            Value::tuple([
+                ("pid", Value::Int(2)),
+                ("pname", Value::str("nut")),
+                ("price", Value::Real(0.5)),
+            ]),
+        ])
+    }
+
+    #[test]
+    fn for_union_flattens_bags() {
+        let env = Env::from_bindings([("R", Value::bag(vec![Value::Int(1), Value::Int(2)]))]);
+        let e = forin("x", var("R"), singleton(add(var("x"), int(10))));
+        let out = eval(&e, &env).unwrap();
+        assert_eq!(
+            out,
+            Value::bag(vec![Value::Int(11), Value::Int(12)])
+        );
+    }
+
+    #[test]
+    fn if_without_else_yields_empty_bag() {
+        let env = Env::from_bindings([("P", part_bag())]);
+        let e = forin(
+            "p",
+            var("P"),
+            ifthen(cmp_eq(proj(var("p"), "pid"), int(1)), singleton(proj(var("p"), "pname"))),
+        );
+        let out = eval(&e, &env).unwrap();
+        assert_eq!(out, Value::bag(vec![Value::str("bolt")]));
+    }
+
+    #[test]
+    fn group_by_collects_non_key_attributes() {
+        let data = Value::bag(vec![
+            Value::tuple([("k", Value::Int(1)), ("v", Value::Int(10))]),
+            Value::tuple([("k", Value::Int(1)), ("v", Value::Int(20))]),
+            Value::tuple([("k", Value::Int(2)), ("v", Value::Int(30))]),
+        ]);
+        let env = Env::from_bindings([("R", data)]);
+        let out = eval(&group_by(var("R"), &["k"], "group"), &env).unwrap();
+        let bag = out.as_bag().unwrap();
+        assert_eq!(bag.len(), 2);
+        let first = bag.items()[0].as_tuple().unwrap();
+        assert_eq!(first.get("k"), Some(&Value::Int(1)));
+        assert_eq!(first.get("group").unwrap().as_bag().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn sum_by_sums_value_attributes_per_key() {
+        let data = Value::bag(vec![
+            Value::tuple([("name", Value::str("a")), ("total", Value::Real(1.5))]),
+            Value::tuple([("name", Value::str("a")), ("total", Value::Real(2.5))]),
+            Value::tuple([("name", Value::str("b")), ("total", Value::Real(4.0))]),
+        ]);
+        let env = Env::from_bindings([("R", data)]);
+        let out = eval(&sum_by(var("R"), &["name"], &["total"]), &env).unwrap();
+        let bag = out.as_bag().unwrap();
+        assert_eq!(bag.len(), 2);
+        let a = bag
+            .iter()
+            .find(|v| v.as_tuple().unwrap().get("name") == Some(&Value::str("a")))
+            .unwrap();
+        assert_eq!(a.as_tuple().unwrap().get("total"), Some(&Value::Real(4.0)));
+    }
+
+    #[test]
+    fn dedup_resets_multiplicities() {
+        let data = Value::bag(vec![Value::Int(1), Value::Int(1), Value::Int(2)]);
+        let env = Env::from_bindings([("R", data)]);
+        let out = eval(&dedup(var("R")), &env).unwrap();
+        assert_eq!(out.as_bag().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn labels_round_trip_through_match() {
+        // let l := NewLabel(k := 7) in match l = NewLabel(k) then {<key := k>}
+        let e = letin(
+            "l",
+            new_label(3, [("k", int(7))]),
+            match_label(var("l"), 3, &["k"], singleton(tuple([("key", var("k"))]))),
+        );
+        let out = eval(&e, &Env::new()).unwrap();
+        assert_eq!(out, Value::bag(vec![Value::tuple([("key", Value::Int(7))])]));
+        // Matching against the wrong site yields the empty bag.
+        let wrong = letin(
+            "l",
+            new_label(3, [("k", int(7))]),
+            match_label(var("l"), 4, &["k"], singleton(var("k"))),
+        );
+        assert_eq!(eval(&wrong, &Env::new()).unwrap(), Value::empty_bag());
+    }
+
+    #[test]
+    fn mat_lookup_finds_value_bag_by_label() {
+        let lbl = Value::Label(Label::new(1, vec![Value::Int(42)]));
+        let dict = Value::bag(vec![Value::tuple([
+            ("label", lbl.clone()),
+            ("value", Value::bag(vec![Value::Int(9)])),
+        ])]);
+        let env = Env::from_bindings([("D", dict), ("l", lbl)]);
+        let out = eval(&mat_lookup(var("D"), var("l")), &env).unwrap();
+        assert_eq!(out, Value::bag(vec![Value::Int(9)]));
+        // Absent label -> empty bag.
+        let env2 = Env::from_bindings([
+            ("D", Value::empty_bag()),
+            ("l", Value::Label(Label::new(1, vec![Value::Int(1)]))),
+        ]);
+        assert_eq!(
+            eval(&mat_lookup(var("D"), var("l")), &env2).unwrap(),
+            Value::empty_bag()
+        );
+    }
+
+    #[test]
+    fn symbolic_constructs_are_rejected() {
+        let e = lambda("l", singleton(var("l")));
+        assert!(matches!(
+            eval(&e, &Env::new()),
+            Err(NrcError::SymbolicConstruct(_))
+        ));
+    }
+
+    #[test]
+    fn null_projection_propagates() {
+        let env = Env::from_bindings([("x", Value::Null)]);
+        assert_eq!(eval(&proj(var("x"), "a"), &env).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn running_example_evaluates_locally() {
+        // Example 1 from the paper, on a tiny COP / Part instance.
+        let cop = Value::bag(vec![Value::tuple([
+            ("cname", Value::str("alice")),
+            (
+                "corders",
+                Value::bag(vec![Value::tuple([
+                    ("odate", Value::Date(100)),
+                    (
+                        "oparts",
+                        Value::bag(vec![
+                            Value::tuple([("pid", Value::Int(1)), ("qty", Value::Real(3.0))]),
+                            Value::tuple([("pid", Value::Int(2)), ("qty", Value::Real(2.0))]),
+                        ]),
+                    ),
+                ])]),
+            ),
+        ])]);
+        let env = Env::from_bindings([("COP", cop), ("Part", part_bag())]);
+        let q = forin(
+            "cop",
+            var("COP"),
+            singleton(tuple([
+                ("cname", proj(var("cop"), "cname")),
+                (
+                    "corders",
+                    forin(
+                        "co",
+                        proj(var("cop"), "corders"),
+                        singleton(tuple([
+                            ("odate", proj(var("co"), "odate")),
+                            (
+                                "oparts",
+                                sum_by(
+                                    forin(
+                                        "op",
+                                        proj(var("co"), "oparts"),
+                                        forin(
+                                            "p",
+                                            var("Part"),
+                                            ifthen(
+                                                cmp_eq(
+                                                    proj(var("op"), "pid"),
+                                                    proj(var("p"), "pid"),
+                                                ),
+                                                singleton(tuple([
+                                                    ("pname", proj(var("p"), "pname")),
+                                                    (
+                                                        "total",
+                                                        mul(
+                                                            proj(var("op"), "qty"),
+                                                            proj(var("p"), "price"),
+                                                        ),
+                                                    ),
+                                                ])),
+                                            ),
+                                        ),
+                                    ),
+                                    &["pname"],
+                                    &["total"],
+                                ),
+                            ),
+                        ])),
+                    ),
+                ),
+            ])),
+        );
+        let out = eval(&q, &env).unwrap();
+        let customers = out.as_bag().unwrap();
+        assert_eq!(customers.len(), 1);
+        let orders = customers.items()[0]
+            .as_tuple()
+            .unwrap()
+            .get("corders")
+            .unwrap()
+            .as_bag()
+            .unwrap();
+        assert_eq!(orders.len(), 1);
+        let oparts = orders.items()[0]
+            .as_tuple()
+            .unwrap()
+            .get("oparts")
+            .unwrap()
+            .as_bag()
+            .unwrap();
+        // bolt: 3.0 * 2.0 = 6.0 ; nut: 2.0 * 0.5 = 1.0
+        assert_eq!(oparts.len(), 2);
+        let bolt = oparts
+            .iter()
+            .find(|v| v.as_tuple().unwrap().get("pname") == Some(&Value::str("bolt")))
+            .unwrap();
+        assert_eq!(bolt.as_tuple().unwrap().get("total"), Some(&Value::Real(6.0)));
+    }
+}

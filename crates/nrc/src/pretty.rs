@@ -1,0 +1,288 @@
+//! Pretty printing of NRC expressions and programs in a notation close to the
+//! paper's surface syntax.
+
+use std::fmt::Write as _;
+
+use crate::expr::Expr;
+use crate::program::Program;
+
+/// Renders an expression as indented, human-readable text.
+pub fn pretty(expr: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, expr, 0);
+    out
+}
+
+/// Renders a program: one `name <= expr` block per assignment.
+pub fn pretty_program(program: &Program) -> String {
+    let mut out = String::new();
+    for a in &program.assignments {
+        let _ = writeln!(out, "{} <=", a.name);
+        write_expr(&mut out, &a.expr, 1);
+        out.push('\n');
+    }
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_expr(out: &mut String, expr: &Expr, level: usize) {
+    match expr {
+        Expr::Const(v) => {
+            indent(out, level);
+            let _ = write!(out, "{v}");
+        }
+        Expr::Var(name) => {
+            indent(out, level);
+            out.push_str(name);
+        }
+        Expr::Proj { .. } | Expr::Prim { .. } | Expr::Cmp { .. } => {
+            indent(out, level);
+            out.push_str(&inline(expr));
+        }
+        Expr::Tuple(fields) => {
+            indent(out, level);
+            out.push_str("<\n");
+            for (n, e) in fields {
+                indent(out, level + 1);
+                let _ = write!(out, "{n} := ");
+                if is_inline(e) {
+                    out.push_str(&inline(e));
+                } else {
+                    out.push('\n');
+                    write_expr(out, e, level + 2);
+                }
+                out.push_str(",\n");
+            }
+            indent(out, level);
+            out.push('>');
+        }
+        Expr::EmptyBag(_) => {
+            indent(out, level);
+            out.push_str("{}");
+        }
+        Expr::Singleton(e) => {
+            indent(out, level);
+            if is_inline(e) {
+                let _ = write!(out, "{{ {} }}", inline(e));
+            } else {
+                out.push_str("{\n");
+                write_expr(out, e, level + 1);
+                out.push('\n');
+                indent(out, level);
+                out.push('}');
+            }
+        }
+        Expr::Get(e) => {
+            indent(out, level);
+            let _ = write!(out, "get({})", inline(e));
+        }
+        Expr::For { var, source, body } => {
+            indent(out, level);
+            let _ = write!(out, "for {var} in {} union\n", inline(source));
+            write_expr(out, body, level + 1);
+        }
+        Expr::Union(a, b) => {
+            write_expr(out, a, level);
+            out.push('\n');
+            indent(out, level);
+            out.push_str("union\n");
+            write_expr(out, b, level);
+        }
+        Expr::Let { var, value, body } => {
+            indent(out, level);
+            let _ = write!(out, "let {var} := {} in\n", inline(value));
+            write_expr(out, body, level);
+        }
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            indent(out, level);
+            let _ = write!(out, "if {} then\n", inline(cond));
+            write_expr(out, then_branch, level + 1);
+            if let Some(e) = else_branch {
+                out.push('\n');
+                indent(out, level);
+                out.push_str("else\n");
+                write_expr(out, e, level + 1);
+            }
+        }
+        Expr::And(..) | Expr::Or(..) | Expr::Not(..) => {
+            indent(out, level);
+            out.push_str(&inline(expr));
+        }
+        Expr::Dedup(e) => {
+            indent(out, level);
+            out.push_str("dedup(\n");
+            write_expr(out, e, level + 1);
+            out.push(')');
+        }
+        Expr::GroupBy {
+            input,
+            key,
+            group_attr,
+        } => {
+            indent(out, level);
+            let _ = write!(out, "groupBy[{}; group={group_attr}](\n", key.join(","));
+            write_expr(out, input, level + 1);
+            out.push(')');
+        }
+        Expr::SumBy { input, key, values } => {
+            indent(out, level);
+            let _ = write!(out, "sumBy[{}; {}](\n", key.join(","), values.join(","));
+            write_expr(out, input, level + 1);
+            out.push(')');
+        }
+        Expr::NewLabel { site, captures } => {
+            indent(out, level);
+            let caps: Vec<String> = captures
+                .iter()
+                .map(|(n, e)| format!("{n}:={}", inline(e)))
+                .collect();
+            let _ = write!(out, "NewLabel#{site}({})", caps.join(", "));
+        }
+        Expr::MatchLabel {
+            label,
+            site,
+            params,
+            body,
+        } => {
+            indent(out, level);
+            let _ = write!(
+                out,
+                "match {} = NewLabel#{site}({}) then\n",
+                inline(label),
+                params.join(", ")
+            );
+            write_expr(out, body, level + 1);
+        }
+        Expr::Lambda { param, body } => {
+            indent(out, level);
+            let _ = write!(out, "lambda {param} .\n");
+            write_expr(out, body, level + 1);
+        }
+        Expr::Lookup { dict, label } => {
+            indent(out, level);
+            let _ = write!(out, "Lookup({}, {})", inline(dict), inline(label));
+        }
+        Expr::MatLookup { dict, label } => {
+            indent(out, level);
+            let _ = write!(out, "MatLookup({}, {})", inline(dict), inline(label));
+        }
+        Expr::DictTreeUnion(a, b) => {
+            write_expr(out, a, level);
+            out.push('\n');
+            indent(out, level);
+            out.push_str("DictTreeUnion\n");
+            write_expr(out, b, level);
+        }
+        Expr::BagToDict(e) => {
+            indent(out, level);
+            out.push_str("BagToDict(\n");
+            write_expr(out, e, level + 1);
+            out.push(')');
+        }
+    }
+}
+
+fn is_inline(e: &Expr) -> bool {
+    matches!(
+        e,
+        Expr::Const(_)
+            | Expr::Var(_)
+            | Expr::Proj { .. }
+            | Expr::Prim { .. }
+            | Expr::Cmp { .. }
+            | Expr::NewLabel { .. }
+            | Expr::Lookup { .. }
+            | Expr::MatLookup { .. }
+            | Expr::Get(_)
+    )
+}
+
+fn inline(e: &Expr) -> String {
+    match e {
+        Expr::Const(v) => format!("{v}"),
+        Expr::Var(name) => name.clone(),
+        Expr::Proj { tuple, field } => format!("{}.{field}", inline(tuple)),
+        Expr::Prim { op, left, right } => {
+            format!("({} {} {})", inline(left), op.symbol(), inline(right))
+        }
+        Expr::Cmp { op, left, right } => {
+            format!("({} {} {})", inline(left), op.symbol(), inline(right))
+        }
+        Expr::And(a, b) => format!("({} && {})", inline(a), inline(b)),
+        Expr::Or(a, b) => format!("({} || {})", inline(a), inline(b)),
+        Expr::Not(e) => format!("!({})", inline(e)),
+        Expr::Get(e) => format!("get({})", inline(e)),
+        Expr::NewLabel { site, captures } => {
+            let caps: Vec<String> = captures
+                .iter()
+                .map(|(n, e)| format!("{n}:={}", inline(e)))
+                .collect();
+            format!("NewLabel#{site}({})", caps.join(", "))
+        }
+        Expr::Lookup { dict, label } => format!("Lookup({}, {})", inline(dict), inline(label)),
+        Expr::MatLookup { dict, label } => {
+            format!("MatLookup({}, {})", inline(dict), inline(label))
+        }
+        other => {
+            // Fall back to the block renderer flattened onto one line.
+            let mut s = String::new();
+            write_expr(&mut s, other, 0);
+            s.split_whitespace().collect::<Vec<_>>().join(" ")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn pretty_prints_the_running_example_shape() {
+        let q = forin(
+            "cop",
+            var("COP"),
+            singleton(tuple([
+                ("cname", proj(var("cop"), "cname")),
+                (
+                    "oparts",
+                    sum_by(
+                        forin(
+                            "op",
+                            proj(var("cop"), "oparts"),
+                            ifthen(
+                                cmp_eq(proj(var("op"), "pid"), int(1)),
+                                singleton(tuple([("total", proj(var("op"), "qty"))])),
+                            ),
+                        ),
+                        &["pname"],
+                        &["total"],
+                    ),
+                ),
+            ])),
+        );
+        let s = pretty(&q);
+        assert!(s.contains("for cop in COP union"));
+        assert!(s.contains("sumBy[pname; total]"));
+        assert!(s.contains("cop.cname"));
+    }
+
+    #[test]
+    fn pretty_program_lists_assignments() {
+        let mut p = Program::new();
+        p.assign("A", var("R"));
+        p.assign("B", dedup(var("A")));
+        let s = pretty_program(&p);
+        assert!(s.contains("A <="));
+        assert!(s.contains("B <="));
+    }
+}

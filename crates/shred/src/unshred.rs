@@ -1,0 +1,69 @@
+//! Unshredding of query outputs.
+//!
+//! Given the values produced by a shredded program (the flat top bag plus one
+//! flat dictionary per output path) and the output's nesting structure, this
+//! module reassembles the nested value. The distributed variant (joining
+//! dictionaries level by level) lives in `trance-compiler`; this one operates
+//! on collected values and defines the semantics the distributed variant must
+//! match.
+
+use std::collections::BTreeMap;
+
+use trance_nrc::{Bag, Env, Result, Value};
+
+use crate::query::{output_dict_name, ShreddedQuery, TOP_BAG};
+use crate::repr::{unshred_value, NestingStructure, ShreddedValue};
+
+/// Reassembles the nested output of a shredded program from an evaluation
+/// environment containing the program's assignments (as produced by
+/// [`trance_nrc::Program::eval_all`]).
+pub fn unshred_program_output(shredded: &ShreddedQuery, env: &Env) -> Result<Bag> {
+    let top = env.get_or_err(TOP_BAG)?.clone().into_bag()?;
+    let mut dicts: BTreeMap<String, Bag> = BTreeMap::new();
+    for path in shredded.structure.paths() {
+        let name = shredded
+            .dict_names
+            .get(&path)
+            .cloned()
+            .unwrap_or_else(|| output_dict_name(&path));
+        if let Some(v) = env.get(&name) {
+            dicts.insert(path.clone(), v.clone().into_bag()?);
+        }
+    }
+    let value = ShreddedValue { top, dicts };
+    unshred_value(&value, &shredded.structure)
+}
+
+/// Reassembles a nested bag from explicitly provided pieces (used by the
+/// distributed pipeline after collecting its outputs).
+pub fn unshred_pieces(
+    top: Bag,
+    dicts: BTreeMap<String, Bag>,
+    structure: &NestingStructure,
+) -> Result<Bag> {
+    let value = ShreddedValue { top, dicts };
+    unshred_value(&value, structure)
+}
+
+/// Convenience: evaluates a shredded program locally (reference evaluator) on
+/// shredded inputs and returns the unshredded nested result. Primarily used by
+/// tests to validate the shredding transformation against direct evaluation.
+pub fn eval_and_unshred(shredded: &ShreddedQuery, inputs: &Env) -> Result<Bag> {
+    let env = shredded.program.eval_all(inputs)?;
+    unshred_program_output(shredded, &env)
+}
+
+/// Binds the shredded representation of a nested input under the naming
+/// convention the shredded program expects (`X__F`, `X__D_<path>`).
+pub fn bind_shredded_input(env: &mut Env, input_name: &str, shredded: &ShreddedValue) {
+    env.bind(
+        crate::query::flat_input_name(input_name),
+        Value::Bag(shredded.top.clone()),
+    );
+    for (path, bag) in &shredded.dicts {
+        env.bind(
+            crate::query::input_dict_name(input_name, path),
+            Value::Bag(bag.clone()),
+        );
+    }
+}

@@ -1,0 +1,354 @@
+//! End-to-end validation of the query shredding transformation: for each
+//! query family of the paper's benchmark (flat-to-nested, nested-to-nested,
+//! nested-to-flat), shredding the inputs, running the shredded program with
+//! the reference evaluator and unshredding must reproduce exactly what direct
+//! evaluation of the original query produces.
+
+use trance_nrc::builder::*;
+use trance_nrc::{eval, Bag, Env, Value};
+use trance_shred::{
+    bind_shredded_input, eval_and_unshred, nesting_structure, shred_query, shred_value,
+    NestingStructure, ShreddedInputDecl,
+};
+
+fn cop_value() -> Value {
+    Value::bag(vec![
+        Value::tuple([
+            ("cname", Value::str("alice")),
+            (
+                "corders",
+                Value::bag(vec![
+                    Value::tuple([
+                        ("odate", Value::Date(10)),
+                        (
+                            "oparts",
+                            Value::bag(vec![
+                                Value::tuple([("pid", Value::Int(1)), ("qty", Value::Real(3.0))]),
+                                Value::tuple([("pid", Value::Int(2)), ("qty", Value::Real(2.0))]),
+                                Value::tuple([("pid", Value::Int(1)), ("qty", Value::Real(1.0))]),
+                            ]),
+                        ),
+                    ]),
+                    Value::tuple([("odate", Value::Date(11)), ("oparts", Value::empty_bag())]),
+                ]),
+            ),
+        ]),
+        Value::tuple([
+            ("cname", Value::str("bob")),
+            (
+                "corders",
+                Value::bag(vec![Value::tuple([
+                    ("odate", Value::Date(12)),
+                    (
+                        "oparts",
+                        Value::bag(vec![Value::tuple([
+                            ("pid", Value::Int(2)),
+                            ("qty", Value::Real(5.0)),
+                        ])]),
+                    ),
+                ])]),
+            ),
+        ]),
+        Value::tuple([("cname", Value::str("carol")), ("corders", Value::empty_bag())]),
+    ])
+}
+
+fn part_value() -> Value {
+    Value::bag(vec![
+        Value::tuple([
+            ("pid", Value::Int(1)),
+            ("pname", Value::str("bolt")),
+            ("price", Value::Real(2.0)),
+        ]),
+        Value::tuple([
+            ("pid", Value::Int(2)),
+            ("pname", Value::str("nut")),
+            ("price", Value::Real(0.5)),
+        ]),
+        Value::tuple([
+            ("pid", Value::Int(3)),
+            ("pname", Value::str("washer")),
+            ("price", Value::Real(0.1)),
+        ]),
+    ])
+}
+
+fn cop_structure() -> NestingStructure {
+    NestingStructure::flat()
+        .with_child("corders", NestingStructure::flat().with_child("oparts", NestingStructure::flat()))
+}
+
+/// The running example (Example 1): nested-to-nested with a join and sumBy at
+/// the innermost level.
+fn running_example_query() -> trance_nrc::Expr {
+    forin(
+        "cop",
+        var("COP"),
+        singleton(tuple([
+            ("cname", proj(var("cop"), "cname")),
+            (
+                "corders",
+                forin(
+                    "co",
+                    proj(var("cop"), "corders"),
+                    singleton(tuple([
+                        ("odate", proj(var("co"), "odate")),
+                        (
+                            "oparts",
+                            sum_by(
+                                forin(
+                                    "op",
+                                    proj(var("co"), "oparts"),
+                                    forin(
+                                        "p",
+                                        var("Part"),
+                                        ifthen(
+                                            cmp_eq(proj(var("op"), "pid"), proj(var("p"), "pid")),
+                                            singleton(tuple([
+                                                ("pname", proj(var("p"), "pname")),
+                                                (
+                                                    "total",
+                                                    mul(proj(var("op"), "qty"), proj(var("p"), "price")),
+                                                ),
+                                            ])),
+                                        ),
+                                    ),
+                                ),
+                                &["pname"],
+                                &["total"],
+                            ),
+                        ),
+                    ])),
+                ),
+            ),
+        ])),
+    )
+}
+
+/// Runs a query both directly and through the shredded pipeline (local
+/// evaluation), asserting multiset-equal results.
+fn assert_shredding_equivalent(
+    query: &trance_nrc::Expr,
+    nested_inputs: &[(&str, Value, NestingStructure)],
+    flat_inputs: &[(&str, Value)],
+) -> (Bag, Bag) {
+    // Direct evaluation.
+    let mut direct_env = Env::new();
+    for (name, v, _) in nested_inputs {
+        direct_env.bind(name.to_string(), v.clone());
+    }
+    for (name, v) in flat_inputs {
+        direct_env.bind(name.to_string(), v.clone());
+    }
+    let expected = eval(query, &direct_env).unwrap().into_bag().unwrap();
+
+    // Shredded evaluation.
+    let decls: Vec<ShreddedInputDecl> = nested_inputs
+        .iter()
+        .map(|(name, _, s)| ShreddedInputDecl::new(name.to_string(), s.clone()))
+        .collect();
+    let shredded = shred_query(query, &decls).expect("query must be shreddable");
+    let mut env = Env::new();
+    for (name, v, _) in nested_inputs {
+        let sv = shred_value(v.as_bag().unwrap()).unwrap();
+        bind_shredded_input(&mut env, name, &sv);
+    }
+    for (name, v) in flat_inputs {
+        env.bind(name.to_string(), v.clone());
+    }
+    let actual = eval_and_unshred(&shredded, &env).unwrap();
+    assert!(
+        expected.multiset_eq(&actual),
+        "shredded result differs from direct evaluation\nexpected: {expected}\nactual:   {actual}"
+    );
+    (expected, actual)
+}
+
+#[test]
+fn running_example_nested_to_nested() {
+    let (expected, _) = assert_shredding_equivalent(
+        &running_example_query(),
+        &[("COP", cop_value(), cop_structure())],
+        &[("Part", part_value())],
+    );
+    // Sanity: alice has two orders, one with aggregated parts, one empty.
+    assert_eq!(expected.len(), 3);
+}
+
+#[test]
+fn flat_to_nested_grouping() {
+    // Build a one-level nested output from two flat inputs:
+    // for o in Orders union { <odate := o.odate,
+    //    oparts := for l in Lineitem union if l.okey == o.okey then {<pid, qty>} > }
+    let query = forin(
+        "o",
+        var("Orders"),
+        singleton(tuple([
+            ("odate", proj(var("o"), "odate")),
+            (
+                "oparts",
+                forin(
+                    "l",
+                    var("Lineitem"),
+                    ifthen(
+                        cmp_eq(proj(var("l"), "okey"), proj(var("o"), "okey")),
+                        singleton(tuple([
+                            ("pid", proj(var("l"), "pid")),
+                            ("qty", proj(var("l"), "qty")),
+                        ])),
+                    ),
+                ),
+            ),
+        ])),
+    );
+    let orders = Value::bag(vec![
+        Value::tuple([("okey", Value::Int(1)), ("odate", Value::Date(100))]),
+        Value::tuple([("okey", Value::Int(2)), ("odate", Value::Date(101))]),
+        Value::tuple([("okey", Value::Int(3)), ("odate", Value::Date(102))]), // no lineitems
+    ]);
+    let lineitem = Value::bag(vec![
+        Value::tuple([("okey", Value::Int(1)), ("pid", Value::Int(10)), ("qty", Value::Real(1.0))]),
+        Value::tuple([("okey", Value::Int(1)), ("pid", Value::Int(11)), ("qty", Value::Real(2.0))]),
+        Value::tuple([("okey", Value::Int(2)), ("pid", Value::Int(10)), ("qty", Value::Real(3.0))]),
+    ]);
+    let (expected, _) = assert_shredding_equivalent(
+        &query,
+        &[],
+        &[("Orders", orders), ("Lineitem", lineitem)],
+    );
+    assert_eq!(expected.len(), 3);
+    // Order 3 must keep an empty oparts bag.
+    let o3 = expected
+        .iter()
+        .find(|r| r.as_tuple().unwrap().get("odate") == Some(&Value::Date(102)))
+        .unwrap();
+    assert_eq!(o3.as_tuple().unwrap().get("oparts"), Some(&Value::empty_bag()));
+}
+
+#[test]
+fn nested_to_flat_aggregation() {
+    // Navigate both levels of COP and aggregate to a flat result per customer.
+    let query = sum_by(
+        forin(
+            "cop",
+            var("COP"),
+            forin(
+                "co",
+                proj(var("cop"), "corders"),
+                forin(
+                    "op",
+                    proj(var("co"), "oparts"),
+                    forin(
+                        "p",
+                        var("Part"),
+                        ifthen(
+                            cmp_eq(proj(var("op"), "pid"), proj(var("p"), "pid")),
+                            singleton(tuple([
+                                ("cname", proj(var("cop"), "cname")),
+                                ("spent", mul(proj(var("op"), "qty"), proj(var("p"), "price"))),
+                            ])),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+        &["cname"],
+        &["spent"],
+    );
+    let (expected, _) = assert_shredding_equivalent(
+        &query,
+        &[("COP", cop_value(), cop_structure())],
+        &[("Part", part_value())],
+    );
+    // alice: 3*2 + 2*0.5 + 1*2 = 9.0 ; bob: 5*0.5 = 2.5 ; carol absent.
+    assert_eq!(expected.len(), 2);
+    let alice = expected
+        .iter()
+        .find(|r| r.as_tuple().unwrap().get("cname") == Some(&Value::str("alice")))
+        .unwrap();
+    assert_eq!(alice.as_tuple().unwrap().get("spent"), Some(&Value::Real(9.0)));
+}
+
+#[test]
+fn two_level_flat_to_nested() {
+    // Customers -> orders -> items built from three flat inputs.
+    let query = forin(
+        "c",
+        var("Customer"),
+        singleton(tuple([
+            ("cname", proj(var("c"), "cname")),
+            (
+                "corders",
+                forin(
+                    "o",
+                    var("Orders"),
+                    ifthen(
+                        cmp_eq(proj(var("o"), "ckey"), proj(var("c"), "ckey")),
+                        singleton(tuple([
+                            ("odate", proj(var("o"), "odate")),
+                            (
+                                "oparts",
+                                forin(
+                                    "l",
+                                    var("Lineitem"),
+                                    ifthen(
+                                        cmp_eq(proj(var("l"), "okey"), proj(var("o"), "okey")),
+                                        singleton(tuple([
+                                            ("pid", proj(var("l"), "pid")),
+                                            ("qty", proj(var("l"), "qty")),
+                                        ])),
+                                    ),
+                                ),
+                            ),
+                        ])),
+                    ),
+                ),
+            ),
+        ])),
+    );
+    let customer = Value::bag(vec![
+        Value::tuple([("ckey", Value::Int(1)), ("cname", Value::str("alice"))]),
+        Value::tuple([("ckey", Value::Int(2)), ("cname", Value::str("bob"))]),
+    ]);
+    let orders = Value::bag(vec![
+        Value::tuple([("okey", Value::Int(10)), ("ckey", Value::Int(1)), ("odate", Value::Date(5))]),
+        Value::tuple([("okey", Value::Int(11)), ("ckey", Value::Int(1)), ("odate", Value::Date(6))]),
+        Value::tuple([("okey", Value::Int(12)), ("ckey", Value::Int(2)), ("odate", Value::Date(7))]),
+    ]);
+    let lineitem = Value::bag(vec![
+        Value::tuple([("okey", Value::Int(10)), ("pid", Value::Int(1)), ("qty", Value::Real(4.0))]),
+        Value::tuple([("okey", Value::Int(12)), ("pid", Value::Int(2)), ("qty", Value::Real(6.0))]),
+    ]);
+    assert_shredding_equivalent(
+        &query,
+        &[],
+        &[
+            ("Customer", customer),
+            ("Orders", orders),
+            ("Lineitem", lineitem),
+        ],
+    );
+}
+
+#[test]
+fn shredded_program_shape_matches_the_paper() {
+    // The running example must shred into exactly two dictionary assignments
+    // (corders, corders_oparts) plus the top bag, with the oparts dictionary
+    // containing the localized join + aggregation.
+    let shredded = shred_query(
+        &running_example_query(),
+        &[ShreddedInputDecl::new("COP", cop_structure())],
+    )
+    .unwrap();
+    let names = shredded.program.assigned_names();
+    assert!(names.contains(&"MatDict_corders"));
+    assert!(names.contains(&"MatDict_corders_oparts"));
+    assert_eq!(*names.last().unwrap(), "TopBag");
+    assert_eq!(shredded.structure.paths(), vec!["corders", "corders_oparts"]);
+    // The program's inputs are the shredded COP plus the flat Part.
+    let inputs = shredded.input_names();
+    assert!(inputs.contains(&"COP__F".to_string()));
+    assert!(inputs.contains(&"COP__D_corders".to_string()));
+    assert!(inputs.contains(&"COP__D_corders_oparts".to_string()));
+    assert!(inputs.contains(&"Part".to_string()));
+}

@@ -1,0 +1,329 @@
+//! The TPC-H benchmark query suite (Section 6).
+//!
+//! Three families, each at nesting depths 0–4 and in a narrow (projected) and
+//! wide (all attributes) variant:
+//!
+//! * **flat-to-nested** — group the flat tables into a hierarchy whose top
+//!   level is the table at the requested depth (Lineitem, Orders, Customer,
+//!   Nation, Region);
+//! * **nested-to-nested** — take the materialized flat-to-nested result as
+//!   input (relation `Nested`), join `Part` at the lowest level and aggregate
+//!   the amount spent per part name, preserving the hierarchy;
+//! * **nested-to-flat** — same navigation, but aggregate at the top level per
+//!   top-level name, returning a flat collection.
+
+use trance_nrc::builder::*;
+use trance_nrc::Expr;
+use trance_shred::NestingStructure;
+
+/// Narrow (single attribute per level) or wide (all attributes) variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryVariant {
+    /// Keep one descriptive attribute per level.
+    Narrow,
+    /// Keep every attribute of every level.
+    Wide,
+}
+
+/// The nested-input relation name used by the nested-to-* query families.
+pub const NESTED_INPUT: &str = "Nested";
+
+/// Hierarchy tables from level 0 (leaf) to level 4 (outermost).
+const LEVEL_TABLE: [&str; 5] = ["Lineitem", "Orders", "Customer", "Nation", "Region"];
+/// Loop variable used per level.
+const LEVEL_VAR: [&str; 5] = ["l", "o", "c", "n", "r"];
+/// Name of the nested attribute holding level `k-1` inside level `k`.
+const NEST_ATTR: [&str; 5] = ["", "lineitems", "orders", "customers", "nations"];
+/// (child key, parent key) joining level `k-1`'s table to level `k`'s table.
+const JOIN_KEY: [(&str, &str); 5] = [
+    ("", ""),
+    ("l_orderkey", "o_orderkey"),
+    ("o_custkey", "c_custkey"),
+    ("c_nationkey", "n_nationkey"),
+    ("n_regionkey", "r_regionkey"),
+];
+
+/// Scalar attributes kept at a level by the flat-to-nested queries.
+fn kept_attrs(level: usize, variant: QueryVariant) -> Vec<&'static str> {
+    match (level, variant) {
+        (0, QueryVariant::Narrow) => vec!["l_partkey", "l_quantity"],
+        (0, QueryVariant::Wide) => vec!["l_orderkey", "l_partkey", "l_quantity", "l_price", "l_comment"],
+        (1, QueryVariant::Narrow) => vec!["o_orderdate"],
+        (1, QueryVariant::Wide) => vec!["o_orderkey", "o_custkey", "o_orderdate", "o_comment"],
+        (2, QueryVariant::Narrow) => vec!["c_name"],
+        (2, QueryVariant::Wide) => vec!["c_custkey", "c_name", "c_nationkey", "c_comment"],
+        (3, QueryVariant::Narrow) => vec!["n_name"],
+        (3, QueryVariant::Wide) => vec!["n_nationkey", "n_name", "n_regionkey"],
+        (4, QueryVariant::Narrow) => vec!["r_name"],
+        (4, QueryVariant::Wide) => vec!["r_regionkey", "r_name"],
+        _ => vec![],
+    }
+}
+
+/// The descriptive attribute of a level (used as the grouping key of the
+/// nested-to-flat queries).
+fn level_name_attr(level: usize) -> &'static str {
+    match level {
+        0 => "l_partkey",
+        1 => "o_orderdate",
+        2 => "c_name",
+        3 => "n_name",
+        _ => "r_name",
+    }
+}
+
+/// The nesting structure of the flat-to-nested output at `depth` (and hence of
+/// the nested input of the nested-to-* families).
+pub fn nesting_structure_for_depth(depth: usize) -> NestingStructure {
+    let mut s = NestingStructure::flat();
+    for level in 1..=depth {
+        s = NestingStructure::flat().with_child(NEST_ATTR[level], s);
+        // NEST_ATTR indexed by the *parent* level that contains it; rebuild
+        // outermost-last, so iterate from the leaf upwards.
+    }
+    // The loop above builds inside-out: level 1 wraps the leaf, level 2 wraps
+    // level 1, etc. Since we started from the leaf and wrapped repeatedly, the
+    // final value corresponds to the outermost level.
+    s
+}
+
+/// Builds the flat-to-nested query of the given depth and variant.
+///
+/// Depth 0 is a plain projection of Lineitem; depth `d > 0` produces a
+/// hierarchy with the table of level `d` at the top.
+pub fn flat_to_nested(depth: usize, variant: QueryVariant) -> Expr {
+    assert!(depth <= 4, "the benchmark defines depths 0..=4");
+    build_level(depth, depth, variant)
+}
+
+/// Recursively builds the flat-to-nested construction for `level`, knowing the
+/// query's overall `depth` (used only for assertions).
+fn build_level(level: usize, depth: usize, variant: QueryVariant) -> Expr {
+    let v = LEVEL_VAR[level];
+    let table = LEVEL_TABLE[level];
+    let mut fields: Vec<(String, Expr)> = kept_attrs(level, variant)
+        .into_iter()
+        .map(|a| (a.to_string(), proj(var(v), a)))
+        .collect();
+    if level > 0 {
+        let (child_key, parent_key) = JOIN_KEY[level];
+        let child_var = LEVEL_VAR[level - 1];
+        let child = build_level(level - 1, depth, variant);
+        // Correlate the child construction with this level's key.
+        let correlated = match child {
+            Expr::For {
+                var: cv,
+                source,
+                body,
+            } => Expr::For {
+                var: cv,
+                source,
+                body: Box::new(Expr::If {
+                    cond: Box::new(cmp_eq(proj(var(child_var), child_key), proj(var(v), parent_key))),
+                    then_branch: body,
+                    else_branch: None,
+                }),
+            },
+            other => other,
+        };
+        fields.push((NEST_ATTR[level].to_string(), correlated));
+    }
+    forin(v, var(table), singleton(Expr::Tuple(fields)))
+}
+
+/// Builds the nested-to-nested query of the given depth and variant over the
+/// materialized flat-to-nested output (input relation [`NESTED_INPUT`]) and
+/// `Part`.
+pub fn nested_to_nested(depth: usize, variant: QueryVariant) -> Expr {
+    assert!(depth <= 4);
+    if depth == 0 {
+        return lowest_level_aggregate(var(NESTED_INPUT), "x0");
+    }
+    rebuild_level(depth, depth, variant, NESTED_INPUT)
+}
+
+fn level_var_n(level: usize) -> String {
+    format!("x{level}")
+}
+
+/// Rebuilds the hierarchy from the nested input, replacing the leaf bag with
+/// the Part join + aggregation.
+fn rebuild_level(level: usize, depth: usize, variant: QueryVariant, source: &str) -> Expr {
+    let v = level_var_n(level);
+    let src: Expr = if level == depth {
+        var(source)
+    } else {
+        proj(var(level_var_n(level + 1)), NEST_ATTR[level + 1])
+    };
+    let mut fields: Vec<(String, Expr)> = kept_attrs(level, variant)
+        .into_iter()
+        .map(|a| (a.to_string(), proj(var(v.clone()), a)))
+        .collect();
+    let child = if level == 1 {
+        // The leaf bag: join lineitems with Part and aggregate per part name.
+        lowest_level_aggregate(proj(var(v.clone()), NEST_ATTR[1]), "li")
+    } else {
+        rebuild_level(level - 1, depth, variant, source)
+    };
+    fields.push((NEST_ATTR[level].to_string(), child));
+    forin(v, src, singleton(Expr::Tuple(fields)))
+}
+
+/// `sumBy^{total}_{p_name}` of a lineitem bag joined with Part.
+fn lowest_level_aggregate(lineitems: Expr, lvar: &str) -> Expr {
+    sum_by(
+        forin(
+            lvar,
+            lineitems,
+            forin(
+                "p",
+                var("Part"),
+                ifthen(
+                    cmp_eq(proj(var(lvar), "l_partkey"), proj(var("p"), "p_partkey")),
+                    singleton(tuple([
+                        ("p_name", proj(var("p"), "p_name")),
+                        (
+                            "total",
+                            mul(proj(var(lvar), "l_quantity"), proj(var("p"), "p_retailprice")),
+                        ),
+                    ])),
+                ),
+            ),
+        ),
+        &["p_name"],
+        &["total"],
+    )
+}
+
+/// Builds the nested-to-flat query of the given depth: navigate every level of
+/// the nested input, join `Part` at the bottom, and aggregate the total amount
+/// per top-level name attribute.
+pub fn nested_to_flat(depth: usize, _variant: QueryVariant) -> Expr {
+    assert!(depth <= 4);
+    let name_attr = level_name_attr(depth);
+    if depth == 0 {
+        // Flat input: aggregate per part name directly.
+        return sum_by(
+            forin(
+                "l",
+                var(NESTED_INPUT),
+                forin(
+                    "p",
+                    var("Part"),
+                    ifthen(
+                        cmp_eq(proj(var("l"), "l_partkey"), proj(var("p"), "p_partkey")),
+                        singleton(tuple([
+                            ("name", proj(var("p"), "p_name")),
+                            ("total", mul(proj(var("l"), "l_quantity"), proj(var("p"), "p_retailprice"))),
+                        ])),
+                    ),
+                ),
+            ),
+            &["name"],
+            &["total"],
+        );
+    }
+    // Navigate from the top level down to the lineitems, then join Part.
+    let mut body = forin(
+        "li",
+        proj(var(level_var_n(1)), NEST_ATTR[1]),
+        forin(
+            "p",
+            var("Part"),
+            ifthen(
+                cmp_eq(proj(var("li"), "l_partkey"), proj(var("p"), "p_partkey")),
+                singleton(tuple([
+                    ("name", proj(var(level_var_n(depth)), name_attr)),
+                    (
+                        "total",
+                        mul(proj(var("li"), "l_quantity"), proj(var("p"), "p_retailprice")),
+                    ),
+                ])),
+            ),
+        ),
+    );
+    // Wrap the navigation loops from level 1 up to the top level.
+    for level in 1..=depth {
+        let v = level_var_n(level);
+        let src = if level == depth {
+            var(NESTED_INPUT)
+        } else {
+            proj(var(level_var_n(level + 1)), NEST_ATTR[level + 1])
+        };
+        body = forin(v, src, body);
+    }
+    sum_by(body, &["name"], &["total"])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, TpchConfig};
+    use trance_nrc::{eval, Env, Value};
+
+    fn env(scale: f64) -> Env {
+        let d = generate(&TpchConfig::new(scale, 0));
+        Env::from_bindings([
+            ("Lineitem", Value::Bag(d.lineitem)),
+            ("Orders", Value::Bag(d.orders)),
+            ("Customer", Value::Bag(d.customer)),
+            ("Nation", Value::Bag(d.nation)),
+            ("Region", Value::Bag(d.region)),
+            ("Part", Value::Bag(d.part)),
+        ])
+    }
+
+    #[test]
+    fn flat_to_nested_produces_expected_hierarchy() {
+        let env = env(0.05);
+        for depth in 0..=4usize {
+            let q = flat_to_nested(depth, QueryVariant::Narrow);
+            let out = eval(&q, &env).unwrap().into_bag().unwrap();
+            assert!(!out.is_empty(), "depth {depth} output must not be empty");
+            // Walk one row down the hierarchy to confirm nesting depth.
+            let mut row = out.items()[0].clone();
+            for level in (1..=depth).rev() {
+                let bag = row
+                    .as_tuple()
+                    .unwrap()
+                    .get(NEST_ATTR[level])
+                    .unwrap_or_else(|| panic!("missing {} at depth {depth}", NEST_ATTR[level]))
+                    .clone();
+                let bag = bag.as_bag().unwrap().clone();
+                if bag.is_empty() {
+                    break;
+                }
+                row = bag.items()[0].clone();
+            }
+        }
+    }
+
+    #[test]
+    fn nested_families_evaluate_on_materialized_input() {
+        let base_env = env(0.05);
+        for depth in 0..=2usize {
+            let nested_input = eval(&flat_to_nested(depth, QueryVariant::Narrow), &base_env)
+                .unwrap();
+            let mut e2 = base_env.clone();
+            e2.bind(NESTED_INPUT, nested_input);
+            let nn = eval(&nested_to_nested(depth, QueryVariant::Narrow), &e2).unwrap();
+            assert!(!nn.as_bag().unwrap().is_empty());
+            let nf = eval(&nested_to_flat(depth, QueryVariant::Narrow), &e2).unwrap();
+            let flat = nf.as_bag().unwrap();
+            assert!(!flat.is_empty());
+            // Flat output rows carry exactly name + total.
+            let first = flat.items()[0].as_tuple().unwrap();
+            assert!(first.get("name").is_some() && first.get("total").is_some());
+        }
+    }
+
+    #[test]
+    fn nesting_structure_matches_depth() {
+        assert!(nesting_structure_for_depth(0).children.is_empty());
+        let s2 = nesting_structure_for_depth(2);
+        assert!(s2.children.contains_key("orders"));
+        assert!(s2.children["orders"].children.contains_key("lineitems"));
+        let s4 = nesting_structure_for_depth(4);
+        assert_eq!(s4.paths().len(), 4);
+    }
+}

@@ -1,0 +1,32 @@
+//! Plan-language tour: build the running example's standard plan (Figure 3)
+//! with the algebra API, run the optimizer (column pruning, selection and
+//! aggregation pushdown), and print both trees.
+//!
+//! Run with `cargo run --example plan_optimizer_tour`.
+
+use trance::algebra::{optimize_default, pretty_plan, AttrSchema, Catalog, Plan, PlanJoinKind};
+
+fn main() {
+    let mut catalog = Catalog::new();
+    catalog.register(
+        "COP",
+        AttrSchema::flat(["cname"]).with_nested(
+            "corders",
+            AttrSchema::flat(["odate"]).with_nested("oparts", AttrSchema::flat(["pid", "qty"])),
+        ),
+    );
+    catalog.register("Part", AttrSchema::flat(["pid", "pname", "price", "comment", "brand"]));
+
+    let plan = Plan::scan("COP")
+        .outer_unnest("corders", "copID")
+        .outer_unnest("oparts", "coID")
+        .join(Plan::scan("Part"), &["pid"], &["pid"], PlanJoinKind::LeftOuter)
+        .nest_sum(&["copID", "coID", "cname", "odate", "pname"], &["total"])
+        .nest_bag(&["copID", "coID", "cname", "odate"], &["pname", "total"], "oparts")
+        .nest_bag(&["copID", "cname"], &["odate", "oparts"], "corders")
+        .project_columns(&["cname", "corders"]);
+
+    println!("=== Figure 3 plan (as written) ===\n{}", pretty_plan(&plan));
+    let optimized = optimize_default(&plan, &catalog);
+    println!("=== After optimization ===\n{}", pretty_plan(&optimized));
+}

@@ -1,0 +1,101 @@
+//! Quickstart: write the paper's running example in NRC, run it on the
+//! simulated cluster with both compilation routes, and compare them.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use trance::compiler::{collect_unshredded, run_query, InputSet, QuerySpec, RunResult, Strategy};
+use trance::dist::{ClusterConfig, DistContext};
+use trance::nrc::builder::*;
+use trance::nrc::Value;
+use trance::shred::{NestingStructure, ShreddedInputDecl};
+
+fn main() {
+    // A tiny COP instance: customers -> orders -> purchased parts.
+    let cop = Value::bag(vec![Value::tuple([
+        ("cname", Value::str("alice")),
+        (
+            "corders",
+            Value::bag(vec![Value::tuple([
+                ("odate", Value::Date(100)),
+                (
+                    "oparts",
+                    Value::bag(vec![
+                        Value::tuple([("pid", Value::Int(1)), ("qty", Value::Real(3.0))]),
+                        Value::tuple([("pid", Value::Int(2)), ("qty", Value::Real(2.0))]),
+                    ]),
+                ),
+            ])]),
+        ),
+    ])]);
+    let part = Value::bag(vec![
+        Value::tuple([("pid", Value::Int(1)), ("pname", Value::str("bolt")), ("price", Value::Real(2.0))]),
+        Value::tuple([("pid", Value::Int(2)), ("pname", Value::str("nut")), ("price", Value::Real(0.5))]),
+    ]);
+
+    // Example 1 of the paper: per customer and order, total spent per part name.
+    let query = forin(
+        "cop",
+        var("COP"),
+        singleton(tuple([
+            ("cname", proj(var("cop"), "cname")),
+            (
+                "corders",
+                forin(
+                    "co",
+                    proj(var("cop"), "corders"),
+                    singleton(tuple([
+                        ("odate", proj(var("co"), "odate")),
+                        (
+                            "oparts",
+                            sum_by(
+                                forin(
+                                    "op",
+                                    proj(var("co"), "oparts"),
+                                    forin(
+                                        "p",
+                                        var("Part"),
+                                        ifthen(
+                                            cmp_eq(proj(var("op"), "pid"), proj(var("p"), "pid")),
+                                            singleton(tuple([
+                                                ("pname", proj(var("p"), "pname")),
+                                                ("total", mul(proj(var("op"), "qty"), proj(var("p"), "price"))),
+                                            ])),
+                                        ),
+                                    ),
+                                ),
+                                &["pname"],
+                                &["total"],
+                            ),
+                        ),
+                    ])),
+                ),
+            ),
+        ])),
+    );
+
+    let structure = NestingStructure::flat()
+        .with_child("corders", NestingStructure::flat().with_child("oparts", NestingStructure::flat()));
+    let spec = QuerySpec::new("running-example", query, vec![ShreddedInputDecl::new("COP", structure)]);
+
+    let ctx = DistContext::new(ClusterConfig::new(4, 8));
+    let mut inputs = InputSet::new(ctx);
+    inputs.add_nested("COP", cop.as_bag().unwrap().clone()).unwrap();
+    inputs.add_flat("Part", part.as_bag().unwrap().clone()).unwrap();
+
+    for strategy in [Strategy::Standard, Strategy::Shred, Strategy::ShredUnshred] {
+        let outcome = run_query(&spec, &inputs, strategy);
+        println!("--- {} ({:.2} ms, {} tuples shuffled) ---",
+            strategy.label(), outcome.seconds() * 1000.0, outcome.stats.shuffled_tuples);
+        match outcome.result {
+            RunResult::Nested(d) => println!("{}", d.collect_bag()),
+            RunResult::Shredded(out) => {
+                println!("top bag: {}", out.top.collect_bag());
+                for (path, dict) in &out.dicts {
+                    println!("dictionary {path}: {}", dict.collect_bag());
+                }
+                println!("unshredded: {}", collect_unshredded(&out).unwrap());
+            }
+            RunResult::Failed(e) => println!("FAILED: {e}"),
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # trance
+//!
+//! Facade crate of **trance-rs**, a Rust reproduction of *"Scalable Querying
+//! of Nested Data"* (Smith, Benedikt, Nikolic, Shaikhha — VLDB 2020).
+//!
+//! It re-exports the public API of every workspace crate:
+//!
+//! * [`nrc`] — the NRC language, values, type checker and reference evaluator;
+//! * [`algebra`] — the plan language and optimizer;
+//! * [`dist`] — the simulated distributed bulk-collection engine;
+//! * [`shred`] — value and query shredding, materialization, unshredding;
+//! * [`compiler`] — the standard / shredded / skew-aware pipelines;
+//! * [`tpch`] and [`biomed`] — the paper's two benchmarks.
+//!
+//! See `examples/` for runnable walkthroughs and `crates/bench` for the
+//! binaries regenerating the paper's figures.
+
+pub use trance_algebra as algebra;
+pub use trance_biomed as biomed;
+pub use trance_compiler as compiler;
+pub use trance_dist as dist;
+pub use trance_nrc as nrc;
+pub use trance_shred as shred;
+pub use trance_tpch as tpch;

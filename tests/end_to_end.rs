@@ -1,0 +1,155 @@
+//! Repository-level integration tests: the whole stack (NRC -> shredding ->
+//! distributed execution -> unshredding) against the reference evaluator,
+//! plus property-based tests on the core invariants.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+use trance::compiler::{collect_unshredded, run_query, InputSet, QuerySpec, RunResult, Strategy};
+use trance::dist::{ClusterConfig, DistContext};
+use trance::nrc::builder::*;
+use trance::nrc::{eval, Bag, Env, Value};
+use trance::shred::{nesting_structure, shred_value, unshred_value, ShreddedInputDecl};
+use trance::tpch::{flat_to_nested, generate, nested_to_nested, nesting_structure_for_depth, QueryVariant, TpchConfig};
+
+#[test]
+fn tpch_nested_to_nested_depth2_matches_reference_for_all_strategies() {
+    let cfg = TpchConfig::new(0.05, 1);
+    let data = generate(&cfg);
+    let env = Env::from_bindings([
+        ("Lineitem", Value::Bag(data.lineitem.clone())),
+        ("Orders", Value::Bag(data.orders.clone())),
+        ("Customer", Value::Bag(data.customer.clone())),
+        ("Nation", Value::Bag(data.nation.clone())),
+        ("Region", Value::Bag(data.region.clone())),
+        ("Part", Value::Bag(data.part.clone())),
+    ]);
+    let nested = eval(&flat_to_nested(2, QueryVariant::Narrow), &env)
+        .unwrap()
+        .into_bag()
+        .unwrap();
+    let query = nested_to_nested(2, QueryVariant::Narrow);
+    let mut ref_env = env.clone();
+    ref_env.bind("Nested", Value::Bag(nested.clone()));
+    let expected = eval(&query, &ref_env).unwrap().into_bag().unwrap();
+
+    let ctx = DistContext::new(ClusterConfig::new(3, 8).with_broadcast_limit(1024));
+    let mut inputs = InputSet::new(ctx);
+    inputs.add_flat("Part", data.part.clone()).unwrap();
+    inputs.add_nested("Nested", nested).unwrap();
+    let spec = QuerySpec::new(
+        "nn2",
+        query,
+        vec![ShreddedInputDecl::new("Nested", nesting_structure_for_depth(2))],
+    );
+    for strategy in [Strategy::Standard, Strategy::Shred, Strategy::ShredUnshred, Strategy::ShredSkew] {
+        let outcome = run_query(&spec, &inputs, strategy);
+        let produced = match &outcome.result {
+            RunResult::Nested(d) => d.collect_bag(),
+            RunResult::Shredded(out) => collect_unshredded(out).unwrap(),
+            RunResult::Failed(e) => panic!("{} failed: {e}", strategy.label()),
+        };
+        assert!(
+            canonicalize(&expected).multiset_eq(&canonicalize(&produced)),
+            "{} diverged from the reference evaluator",
+            strategy.label()
+        );
+    }
+}
+
+/// Sorts every nested bag so multiset comparison ignores order at all levels.
+fn canonicalize(bag: &Bag) -> Bag {
+    fn canon(v: &Value) -> Value {
+        match v {
+            // Distributed aggregation adds floating-point values in a
+            // different order than the sequential reference evaluator; round
+            // so the comparison ignores that associativity noise.
+            Value::Real(r) => Value::Real((r * 1e6).round() / 1e6),
+            Value::Bag(b) => {
+                let mut items: Vec<Value> = b.iter().map(canon).collect();
+                items.sort();
+                Value::Bag(Bag::new(items))
+            }
+            Value::Tuple(t) => {
+                let mut fields: Vec<(String, Value)> =
+                    t.iter().map(|(n, v)| (n.to_string(), canon(v))).collect();
+                fields.sort_by(|a, b| a.0.cmp(&b.0));
+                Value::Tuple(trance::nrc::Tuple::new(fields))
+            }
+            other => other.clone(),
+        }
+    }
+    bag.iter().map(canon).collect()
+}
+
+// ---------------------------------------------------------------------------
+// property-based tests
+// ---------------------------------------------------------------------------
+
+fn arb_scalar() -> impl proptest::strategy::Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(|i| Value::Int(i % 1000)),
+        (0..100i64).prop_map(|r| Value::Real(r as f64 / 4.0)),
+        "[a-z]{0,6}".prop_map(Value::str),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+/// Arbitrary two-level nested bags with the COP-like shape.
+fn arb_nested_bag() -> impl proptest::strategy::Strategy<Value = Bag> {
+    let inner = proptest::collection::vec((any::<u8>(), arb_scalar()), 0..4).prop_map(|items| {
+        Value::bag(
+            items
+                .into_iter()
+                .map(|(k, v)| Value::tuple([("k", Value::Int(k as i64)), ("v", v)]))
+                .collect(),
+        )
+    });
+    proptest::collection::vec((arb_scalar(), inner), 0..6).prop_map(|rows| {
+        rows.into_iter()
+            .map(|(name, inner)| Value::tuple([("name", name), ("items", inner)]))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Value shredding followed by unshredding is the identity (up to bag order).
+    #[test]
+    fn prop_shred_unshred_roundtrip(bag in arb_nested_bag()) {
+        let ty = trance::nrc::Type::bag_of([
+            ("name", trance::nrc::Type::Unknown),
+            ("items", trance::nrc::Type::bag_of([
+                ("k", trance::nrc::Type::int()),
+                ("v", trance::nrc::Type::Unknown),
+            ])),
+        ]);
+        let shredded = shred_value(&bag).unwrap();
+        let structure = nesting_structure(&ty).unwrap();
+        let rebuilt = unshred_value(&shredded, &structure).unwrap();
+        prop_assert!(canonicalize(&bag).multiset_eq(&canonicalize(&rebuilt)));
+    }
+
+    /// The distributed engine's join + nest agree with the reference evaluator
+    /// on arbitrary flat relations (the Γ⊎ / ⋈ correctness invariant).
+    #[test]
+    fn prop_distributed_grouping_matches_local(keys in proptest::collection::vec(0..8i64, 0..40)) {
+        let rows: Vec<Value> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| Value::tuple([("k", Value::Int(*k)), ("v", Value::Int(i as i64))]))
+            .collect();
+        let query = group_by(var("R"), &["k"], "grp");
+        let expected = eval(&query, &Env::from_bindings([("R", Value::bag(rows.clone()))]))
+            .unwrap()
+            .into_bag()
+            .unwrap();
+        let ctx = DistContext::new(ClusterConfig::new(2, 4));
+        let mut inputs = InputSet::new(ctx);
+        inputs.add_flat("R", Bag::new(rows)).unwrap();
+        let spec = QuerySpec::new("grp", query, vec![]);
+        let outcome = run_query(&spec, &inputs, Strategy::Standard);
+        let produced = outcome.result.nested_bag().unwrap();
+        prop_assert!(canonicalize(&expected).multiset_eq(&canonicalize(&produced)));
+    }
+}
