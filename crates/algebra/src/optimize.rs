@@ -528,8 +528,11 @@ mod tests {
                 }
             }
         });
-        assert!(found, "selection not pushed into the join's right side:\n{}",
-            crate::plan::pretty_plan(&opt));
+        assert!(
+            found,
+            "selection not pushed into the join's right side:\n{}",
+            crate::plan::pretty_plan(&opt)
+        );
     }
 
     #[test]
@@ -560,7 +563,10 @@ mod tests {
         let has_scan_projection = opt.count(|p| {
             matches!(p, Plan::Project { input, .. } if matches!(input.as_ref(), Plan::Scan { .. }))
         });
-        assert!(has_scan_projection >= 2, "projections must be inserted above both scans");
+        assert!(
+            has_scan_projection >= 2,
+            "projections must be inserted above both scans"
+        );
         assert!(pruned, "comment columns must be pruned");
     }
 
@@ -588,7 +594,13 @@ mod tests {
         let mut partial_below_join = false;
         opt.visit(&mut |p| {
             if let Plan::Join { left, .. } = p {
-                if matches!(left.as_ref(), Plan::Nest { op: NestOp::Sum, .. }) {
+                if matches!(
+                    left.as_ref(),
+                    Plan::Nest {
+                        op: NestOp::Sum,
+                        ..
+                    }
+                ) {
                     partial_below_join = true;
                 }
             }

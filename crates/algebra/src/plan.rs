@@ -311,8 +311,13 @@ pub fn pretty_plan(plan: &Plan) -> String {
             ),
             Plan::Unnest {
                 bag_attr, outer, ..
-            } => format!("{} {bag_attr}", if *outer { "OuterUnnest" } else { "Unnest" }),
-            Plan::Nest { key, values, op, .. } => match op {
+            } => format!(
+                "{} {bag_attr}",
+                if *outer { "OuterUnnest" } else { "Unnest" }
+            ),
+            Plan::Nest {
+                key, values, op, ..
+            } => match op {
                 NestOp::Bag { group_attr } => format!(
                     "NestBag key=[{}] values=[{}] as {group_attr}",
                     key.join(","),
@@ -355,11 +360,13 @@ mod tests {
         Plan::scan("COP")
             .outer_unnest("corders", "copID")
             .outer_unnest("oparts", "coID")
-            .join(Plan::scan("Part"), &["pid"], &["pid"], PlanJoinKind::LeftOuter)
-            .nest_sum(
-                &["copID", "coID", "cname", "odate", "pname"],
-                &["total"],
+            .join(
+                Plan::scan("Part"),
+                &["pid"],
+                &["pid"],
+                PlanJoinKind::LeftOuter,
             )
+            .nest_sum(&["copID", "coID", "cname", "odate", "pname"], &["total"])
             .nest_bag(
                 &["copID", "coID", "cname", "odate"],
                 &["pname", "total"],

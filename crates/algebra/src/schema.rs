@@ -57,7 +57,12 @@ impl AttrSchema {
     /// Keeps only the attributes in `keep` (with their nested schemas).
     pub fn restrict(&self, keep: &[String]) -> AttrSchema {
         AttrSchema {
-            attrs: self.attrs.iter().filter(|a| keep.contains(a)).cloned().collect(),
+            attrs: self
+                .attrs
+                .iter()
+                .filter(|a| keep.contains(a))
+                .cloned()
+                .collect(),
             nested: self
                 .nested
                 .iter()
@@ -145,7 +150,10 @@ pub fn output_schema(plan: &Plan, catalog: &Catalog) -> AttrSchema {
             id_attr,
         } => {
             let in_schema = output_schema(input, catalog);
-            let inner = in_schema.nested_schema(bag_attr).cloned().unwrap_or_default();
+            let inner = in_schema
+                .nested_schema(bag_attr)
+                .cloned()
+                .unwrap_or_default();
             let mut out = AttrSchema {
                 attrs: in_schema
                     .attrs
@@ -214,10 +222,7 @@ mod tests {
             "COP",
             AttrSchema::flat(["cname"]).with_nested(
                 "corders",
-                AttrSchema::flat(["odate"]).with_nested(
-                    "oparts",
-                    AttrSchema::flat(["pid", "qty"]),
-                ),
+                AttrSchema::flat(["odate"]).with_nested("oparts", AttrSchema::flat(["pid", "qty"])),
             ),
         );
         c.register("Part", AttrSchema::flat(["pid", "pname", "price"]));
@@ -230,20 +235,32 @@ mod tests {
         let p = Plan::scan("COP")
             .outer_unnest("corders", "copID")
             .outer_unnest("oparts", "coID")
-            .join(Plan::scan("Part"), &["pid"], &["pid"], PlanJoinKind::LeftOuter);
+            .join(
+                Plan::scan("Part"),
+                &["pid"],
+                &["pid"],
+                PlanJoinKind::LeftOuter,
+            );
         let s = output_schema(&p, &c);
-        for a in ["cname", "copID", "odate", "coID", "pid", "qty", "pname", "price"] {
+        for a in [
+            "cname", "copID", "odate", "coID", "pid", "qty", "pname", "price",
+        ] {
             assert!(s.contains(a), "missing attribute {a}");
         }
-        assert!(!s.contains("corders"), "unnested attribute is projected away");
+        assert!(
+            !s.contains("corders"),
+            "unnested attribute is projected away"
+        );
     }
 
     #[test]
     fn nest_restores_nested_structure() {
         let c = catalog();
-        let p = Plan::scan("COP")
-            .outer_unnest("corders", "copID")
-            .nest_bag(&["copID", "cname"], &["odate", "oparts"], "corders");
+        let p = Plan::scan("COP").outer_unnest("corders", "copID").nest_bag(
+            &["copID", "cname"],
+            &["odate", "oparts"],
+            "corders",
+        );
         let s = output_schema(&p, &c);
         assert!(s.contains("corders"));
         let inner = s.nested_schema("corders").unwrap();

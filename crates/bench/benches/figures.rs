@@ -1,62 +1,83 @@
-//! Criterion micro-benchmarks: one benchmark per paper figure, at a reduced
-//! scale so `cargo bench` completes quickly. The full tables are produced by
-//! the `figure7`/`figure8`/`figure9` binaries.
+//! Micro-benchmarks: one benchmark per paper figure, at a reduced scale so
+//! `cargo bench` completes quickly. The full tables are produced by the
+//! `figure7`/`figure8`/`figure9` binaries.
+//!
+//! The workspace builds offline, so instead of Criterion this uses a small
+//! hand-rolled harness (`harness = false` in the manifest): each case runs a
+//! warmup iteration plus `SAMPLES` measured iterations and reports
+//! min/median/max wall-clock milliseconds.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
 use trance_bench::{run_biomed_pipeline, run_tpch_query, Family};
 use trance_biomed::BiomedConfig;
 use trance_compiler::Strategy;
 use trance_tpch::{QueryVariant, TpchConfig};
 
-fn figure7(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figure7_nested_to_nested_narrow");
-    group.sample_size(10);
+const SAMPLES: usize = 10;
+
+fn bench<F: FnMut()>(group: &str, name: &str, mut f: F) {
+    f(); // warmup
+    let mut times: Vec<Duration> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    times.sort();
+    let ms = |d: &Duration| d.as_secs_f64() * 1000.0;
+    println!(
+        "{group}/{name}: min {:8.2} ms   median {:8.2} ms   max {:8.2} ms   ({SAMPLES} samples)",
+        ms(&times[0]),
+        ms(&times[times.len() / 2]),
+        ms(times.last().unwrap()),
+    );
+}
+
+fn figure7() {
     let cfg = TpchConfig::new(0.1, 0);
     for strategy in [Strategy::Shred, Strategy::Standard, Strategy::Baseline] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(strategy.label()),
-            &strategy,
-            |b, s| {
-                b.iter(|| {
-                    run_tpch_query(&cfg, Family::NestedToNested, 2, QueryVariant::Narrow, &[*s], 0.0)
-                })
-            },
-        );
+        bench("figure7_nested_to_nested_narrow", strategy.label(), || {
+            run_tpch_query(
+                &cfg,
+                Family::NestedToNested,
+                2,
+                QueryVariant::Narrow,
+                &[strategy],
+                0.0,
+            );
+        });
     }
-    group.finish();
 }
 
-fn figure8(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figure8_skew");
-    group.sample_size(10);
+fn figure8() {
     let cfg = TpchConfig::new(0.1, 3);
     for strategy in [Strategy::Shred, Strategy::ShredSkew, Strategy::Standard] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(strategy.label()),
-            &strategy,
-            |b, s| {
-                b.iter(|| {
-                    run_tpch_query(&cfg, Family::NestedToNested, 2, QueryVariant::Narrow, &[*s], 0.0)
-                })
-            },
-        );
+        bench("figure8_skew", strategy.label(), || {
+            run_tpch_query(
+                &cfg,
+                Family::NestedToNested,
+                2,
+                QueryVariant::Narrow,
+                &[strategy],
+                0.0,
+            );
+        });
     }
-    group.finish();
 }
 
-fn figure9(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figure9_biomedical_e2e");
-    group.sample_size(10);
+fn figure9() {
     let cfg = BiomedConfig::small().scaled(0.3);
     for strategy in [Strategy::Shred, Strategy::Standard] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(strategy.label()),
-            &strategy,
-            |b, s| b.iter(|| run_biomed_pipeline(&cfg, *s, 0.0)),
-        );
+        bench("figure9_biomedical_e2e", strategy.label(), || {
+            run_biomed_pipeline(&cfg, strategy, 0.0);
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, figure7, figure8, figure9);
-criterion_main!(benches);
+fn main() {
+    figure7();
+    figure8();
+    figure9();
+}

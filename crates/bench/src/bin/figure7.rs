@@ -20,7 +20,11 @@ fn main() {
     let family_arg = arg("--family", "all");
     let scale: f64 = arg("--scale", "0.3").parse().unwrap();
     let memory_factor: f64 = arg("--memory-factor", "3.0").parse().unwrap();
-    let variant = if schema == "wide" { QueryVariant::Wide } else { QueryVariant::Narrow };
+    let variant = if schema == "wide" {
+        QueryVariant::Wide
+    } else {
+        QueryVariant::Narrow
+    };
     let families: Vec<Family> = if family_arg == "all" {
         Family::all().to_vec()
     } else {

@@ -1,22 +1,77 @@
 //! Prints the headline comparison ratios of the experimental summary
-//! (Section 6 bullet list): shredded vs flattening runtimes and shuffle
-//! volumes for representative configurations.
+//! (Section 6 bullet list) and writes every measured cell to
+//! `BENCH_summary.json` so successive changes have a machine-readable perf
+//! trajectory to regress against.
 
-use trance_bench::{run_tpch_query, Family};
+use std::fmt::Write as _;
+
+use trance_bench::{run_tpch_query, BenchRow, Family};
 use trance_compiler::Strategy;
 use trance_tpch::{QueryVariant, TpchConfig};
 
 fn ratio(a: Option<std::time::Duration>, b: Option<std::time::Duration>) -> String {
     match (a, b) {
-        (Some(a), Some(b)) if b.as_secs_f64() > 0.0 => format!("{:.1}x", a.as_secs_f64() / b.as_secs_f64()),
+        (Some(a), Some(b)) if b.as_secs_f64() > 0.0 => {
+            format!("{:.1}x", a.as_secs_f64() / b.as_secs_f64())
+        }
         (None, Some(_)) => "FAIL vs ok".to_string(),
         _ => "n/a".to_string(),
     }
 }
 
+/// One measured cell destined for `BENCH_summary.json`.
+struct JsonCell {
+    query: String,
+    row: BenchRow,
+}
+
+/// Renders the collected cells as a JSON document (the workspace builds
+/// offline, so the document is assembled by hand instead of via serde).
+fn render_json(cells: &[JsonCell]) -> String {
+    fn escape(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::from("{\n  \"rows\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        let s = &cell.row.stats;
+        let wall = match cell.row.elapsed {
+            Some(d) => format!("{:.3}", d.as_secs_f64() * 1000.0),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"query\": \"{}\", \"strategy\": \"{}\", \"wall_ms\": {}, \
+             \"shuffled_tuples\": {}, \"shuffled_bytes\": {}, \
+             \"broadcast_tuples\": {}, \"broadcast_bytes\": {}, \
+             \"shuffle_joins\": {}, \"broadcast_joins\": {}, \
+             \"skew_broadcast_joins\": {}, \"skew_fallback_joins\": {}}}{}",
+            escape(&cell.query),
+            escape(cell.row.strategy.label()),
+            wall,
+            s.shuffled_tuples,
+            s.shuffled_bytes,
+            s.broadcast_tuples,
+            s.broadcast_bytes,
+            s.shuffle_joins,
+            s.broadcast_joins,
+            s.skew_broadcast_joins,
+            s.skew_fallback_joins,
+            if i + 1 < cells.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn main() {
+    let mut cells: Vec<JsonCell> = Vec::new();
     let cfg = TpchConfig::new(0.3, 0);
-    let strategies = [Strategy::Shred, Strategy::ShredUnshred, Strategy::Standard, Strategy::Baseline];
+    let strategies = [
+        Strategy::Shred,
+        Strategy::ShredUnshred,
+        Strategy::Standard,
+        Strategy::Baseline,
+    ];
     println!("Summary ratios (flattening / shredded), scale 0.3\n");
     for (family, depth) in [
         (Family::FlatToNested, 2usize),
@@ -34,6 +89,11 @@ fn main() {
             ratio(baseline.elapsed, shred.elapsed),
             standard.stats.shuffled_bytes.max(1) as f64 / shred.stats.shuffled_bytes.max(1) as f64,
         );
+        let query = format!("{family:?}-depth{depth}-Wide-scale0.3");
+        cells.extend(rows.into_iter().map(|row| JsonCell {
+            query: query.clone(),
+            row,
+        }));
     }
     // Skew: shuffle reduction of the skew-aware shredded join (Figure 8 claim).
     let skew_cfg = TpchConfig::new(0.3, 3);
@@ -49,4 +109,17 @@ fn main() {
         "skew factor 3      depth 2: shred shuffle / shred-skew shuffle = {:.1}x",
         rows[0].stats.shuffled_bytes.max(1) as f64 / rows[1].stats.shuffled_bytes.max(1) as f64
     );
+    cells.extend(rows.into_iter().map(|row| JsonCell {
+        query: "NestedToNested-depth2-Narrow-scale0.3-skew3".to_string(),
+        row,
+    }));
+
+    let json = render_json(&cells);
+    match std::fs::write("BENCH_summary.json", &json) {
+        Ok(()) => println!(
+            "\nwrote {} benchmark rows to BENCH_summary.json",
+            cells.len()
+        ),
+        Err(e) => eprintln!("\nfailed to write BENCH_summary.json: {e}"),
+    }
 }

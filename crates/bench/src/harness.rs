@@ -46,7 +46,11 @@ impl Family {
 
     /// All families in figure order.
     pub fn all() -> [Family; 3] {
-        [Family::FlatToNested, Family::NestedToNested, Family::NestedToFlat]
+        [
+            Family::FlatToNested,
+            Family::NestedToNested,
+            Family::NestedToFlat,
+        ]
     }
 }
 
@@ -93,7 +97,10 @@ fn outcome_to_row(outcome: RunOutcome) -> BenchRow {
 /// per-worker memory cap proportional to the input size so that strategies
 /// which blow up the flattened representation fail exactly as in the paper.
 pub fn default_cluster(input_bytes: usize, memory_factor: f64) -> DistContext {
-    let mut cfg = ClusterConfig::new(4, 16).with_broadcast_limit(16 * 1024);
+    // 4 KiB keeps even the small dimension tables over the limit at the
+    // benchmark scales, so ordinary joins shuffle and only the skew path's
+    // heavy-key subsets qualify for broadcast.
+    let mut cfg = ClusterConfig::new(4, 16).with_broadcast_limit(4 * 1024);
     if memory_factor > 0.0 {
         let per_worker = ((input_bytes as f64 / cfg.workers as f64) * memory_factor) as usize;
         cfg = cfg.with_worker_memory(per_worker.max(64 * 1024));
@@ -250,18 +257,28 @@ pub fn biomed_input_set(config: &BiomedConfig, memory_factor: f64) -> (InputSet,
     .sum();
     let ctx = default_cluster(bytes, memory_factor);
     let mut inputs = InputSet::new(ctx);
-    inputs.add_nested("Occurrences", data.occurrences.clone()).unwrap();
+    inputs
+        .add_nested("Occurrences", data.occurrences.clone())
+        .unwrap();
     inputs.add_nested("Network", data.network.clone()).unwrap();
     inputs.add_flat("GeneInfo", data.gene_info.clone()).unwrap();
-    inputs.add_flat("ImpactWeights", data.impact_weights.clone()).unwrap();
-    inputs.add_flat("ConseqWeights", data.conseq_weights.clone()).unwrap();
+    inputs
+        .add_flat("ImpactWeights", data.impact_weights.clone())
+        .unwrap();
+    inputs
+        .add_flat("ConseqWeights", data.conseq_weights.clone())
+        .unwrap();
     (inputs, data)
 }
 
 /// Runs the five-step E2E pipeline under one strategy, feeding each step's
 /// output to the next (shredded outputs stay shredded between steps for the
 /// shredded strategies; nested outputs stay distributed for the others).
-pub fn run_biomed_pipeline(config: &BiomedConfig, strategy: Strategy, memory_factor: f64) -> PipelineRow {
+pub fn run_biomed_pipeline(
+    config: &BiomedConfig,
+    strategy: Strategy,
+    memory_factor: f64,
+) -> PipelineRow {
     let (mut inputs, _) = biomed_input_set(config, memory_factor);
     let structures: HashMap<&str, trance_shred::NestingStructure> = HashMap::from([
         ("Occurrences", trance_biomed::occurrences_structure()),

@@ -89,7 +89,12 @@ pub struct BiomedData {
 
 const IMPACTS: [&str; 4] = ["HIGH", "MODERATE", "LOW", "MODIFIER"];
 const CONSEQS: [&str; 6] = [
-    "missense", "stop_gained", "synonymous", "frameshift", "splice", "intron",
+    "missense",
+    "stop_gained",
+    "synonymous",
+    "frameshift",
+    "splice",
+    "intron",
 ];
 
 /// Generates the synthetic biomedical inputs.
@@ -134,10 +139,7 @@ pub fn generate(config: &BiomedConfig) -> BiomedData {
                         ])
                     })
                     .collect();
-                Value::tuple([
-                    ("gene", Value::Int(g as i64)),
-                    ("edges", Value::bag(edges)),
-                ])
+                Value::tuple([("gene", Value::Int(g as i64)), ("edges", Value::bag(edges))])
             })
             .collect(),
     );
@@ -234,14 +236,20 @@ pub fn step1() -> Expr {
                                         "cw",
                                         var("ConseqWeights"),
                                         ifthen(
-                                            cmp_eq(proj(var("cw"), "conseq"), proj(var("cq"), "conseq")),
+                                            cmp_eq(
+                                                proj(var("cw"), "conseq"),
+                                                proj(var("cq"), "conseq"),
+                                            ),
                                             singleton(tuple([
                                                 ("gene", proj(var("m"), "gene")),
                                                 (
                                                     "score",
                                                     mul(
                                                         proj(var("cq"), "score"),
-                                                        mul(proj(var("iw"), "iweight"), proj(var("cw"), "cweight")),
+                                                        mul(
+                                                            proj(var("iw"), "iweight"),
+                                                            proj(var("cw"), "cweight"),
+                                                        ),
                                                     ),
                                                 ),
                                             ])),
@@ -283,7 +291,10 @@ pub fn step2() -> Expr {
                                     proj(var("n"), "edges"),
                                     singleton(tuple([
                                         ("gene2", proj(var("e"), "gene2")),
-                                        ("cscore", mul(proj(var("g"), "score"), proj(var("e"), "weight"))),
+                                        (
+                                            "cscore",
+                                            mul(proj(var("g"), "score"), proj(var("e"), "weight")),
+                                        ),
                                     ])),
                                 ),
                             ),
@@ -345,7 +356,10 @@ pub fn step5() -> Expr {
             var("Annotated"),
             singleton(tuple([
                 ("gname", proj(var("a"), "gname")),
-                ("driver_score", div(proj(var("a"), "total"), proj(var("a"), "glen"))),
+                (
+                    "driver_score",
+                    div(proj(var("a"), "total"), proj(var("a"), "glen")),
+                ),
             ])),
         ),
         &["gname"],

@@ -109,10 +109,15 @@ impl Executor {
             LevelOutput::Passthrough(d) => Ok(d),
             LevelOutput::Flattened { rows, attrs, .. } => rows.map(move |row| {
                 let t = row.as_tuple()?;
-                let mut elem = Tuple::empty();
-                for a in &attrs {
-                    elem.set(a.clone(), t.get(a).cloned().unwrap_or(Value::Null));
-                }
+                // Single pass over the row for all output attributes (the
+                // per-attribute `Tuple::get` scan was the hottest line of the
+                // standard route).
+                let elem = Tuple::new(
+                    attrs
+                        .iter()
+                        .zip(t.project_values(&attrs))
+                        .map(|(a, v)| (a.clone(), v.cloned().unwrap_or(Value::Null))),
+                );
                 Ok(Value::Tuple(elem))
             }),
         }
@@ -163,7 +168,9 @@ impl Executor {
         spec: &JoinSpec,
     ) -> Result<DistCollection> {
         if self.options.skew_aware {
-            SkewTriple::unknown(left.clone()).join(right, spec)?.merged()
+            SkewTriple::unknown(left.clone())
+                .join(right, spec)?
+                .merged()
         } else {
             left.join(right, spec)
         }
@@ -228,7 +235,11 @@ impl Executor {
                             attrs: aa,
                             ids,
                         },
-                        LevelOutput::Flattened { rows: rb, attrs: ab, .. },
+                        LevelOutput::Flattened {
+                            rows: rb,
+                            attrs: ab,
+                            ..
+                        },
                     ) => {
                         let mut attrs = aa;
                         for a in ab {
@@ -242,9 +253,7 @@ impl Executor {
                             ids,
                         })
                     }
-                    _ => Err(ExecError::Other(
-                        "union of incompatible bag shapes".into(),
-                    )),
+                    _ => Err(ExecError::Other("union of incompatible bag shapes".into())),
                 }
             }
             Expr::SumBy { input, key, values } => {
@@ -253,7 +262,9 @@ impl Executor {
                 let mut full_key: Vec<String> = ids.clone();
                 full_key.extend(key.iter().cloned());
                 let aggregated = if self.options.skew_aware {
-                    SkewTriple::unknown(rows).nest_sum(&full_key, values)?.merged()?
+                    SkewTriple::unknown(rows)
+                        .nest_sum(&full_key, values)?
+                        .merged()?
                 } else {
                     rows.nest_sum(&full_key, values)?
                 };
@@ -291,10 +302,11 @@ impl Executor {
                 let keep: Vec<String> = ids.iter().chain(attrs.iter()).cloned().collect();
                 let projected = rows.map(move |row| {
                     let t = row.as_tuple()?;
-                    let mut out = Tuple::empty();
-                    for a in &keep {
-                        out.set(a.clone(), t.get(a).cloned().unwrap_or(Value::Null));
-                    }
+                    let out = Tuple::new(
+                        keep.iter()
+                            .zip(t.project_values(&keep))
+                            .map(|(a, v)| (a.clone(), v.cloned().unwrap_or(Value::Null))),
+                    );
                     Ok(Value::Tuple(out))
                 })?;
                 Ok(LevelOutput::Flattened {
@@ -358,7 +370,11 @@ impl Executor {
                             let one = "__one".to_string();
                             let l = add_constant(&s.data, &one)?;
                             let r = add_constant(&right, &one)?;
-                            self.join_dist(&l, &r, &JoinSpec::inner(&[one.as_str()], &[one.as_str()]))?
+                            self.join_dist(
+                                &l,
+                                &r,
+                                &JoinSpec::inner(&[one.as_str()], &[one.as_str()]),
+                            )?
                         } else {
                             let lk: Vec<&str> = left_keys.iter().map(|s| s.as_str()).collect();
                             let rk: Vec<&str> = right_keys.iter().map(|s| s.as_str()).collect();
@@ -459,11 +475,7 @@ impl Executor {
         }
     }
 
-    fn compile_singleton(
-        &mut self,
-        inner: &Expr,
-        stream: Option<Stream>,
-    ) -> Result<LevelOutput> {
+    fn compile_singleton(&mut self, inner: &Expr, stream: Option<Stream>) -> Result<LevelOutput> {
         let mut stream = match stream {
             Some(s) => s,
             None => {
@@ -495,7 +507,7 @@ impl Executor {
                         let child = self.compile_bag(fe, Some(parent.clone()))?;
                         let (child_rows, child_attrs, _) = self.expect_flattened(child)?;
                         let nested = child_rows.nest_bag(
-                            &[id_attr.clone()],
+                            std::slice::from_ref(&id_attr),
                             &child_attrs,
                             name,
                         )?;
@@ -571,7 +583,10 @@ impl Executor {
                 | Expr::SumBy { .. }
                 | Expr::GroupBy { .. }
                 | Expr::Dedup(_)
-                | Expr::If { else_branch: None, .. }
+                | Expr::If {
+                    else_branch: None,
+                    ..
+                }
                 | Expr::Let { .. }
         ) || matches!(e, Expr::Var(v) if self.inputs.contains_key(v))
     }
@@ -824,7 +839,9 @@ fn collect_required_fields(e: &Expr) -> HashMap<String, Option<BTreeSet<String>>
     fn add(out: &mut HashMap<String, Option<BTreeSet<String>>>, var: &str, field: Option<&str>) {
         match field {
             Some(f) => {
-                let entry = out.entry(var.to_string()).or_insert_with(|| Some(BTreeSet::new()));
+                let entry = out
+                    .entry(var.to_string())
+                    .or_insert_with(|| Some(BTreeSet::new()));
                 if let Some(set) = entry {
                     // Only the first segment of a dotted path matters for
                     // pruning top-level attributes.
@@ -856,7 +873,12 @@ fn collect_required_fields(e: &Expr) -> HashMap<String, Option<BTreeSet<String>>
                     | Expr::Not(x)
                     | Expr::Dedup(x)
                     | Expr::BagToDict(x) => walk(x, out),
-                    Expr::For { source, body, .. } | Expr::Let { value: source, body, .. } => {
+                    Expr::For { source, body, .. }
+                    | Expr::Let {
+                        value: source,
+                        body,
+                        ..
+                    } => {
                         walk(source, out);
                         walk(body, out);
                     }

@@ -18,8 +18,8 @@ use std::time::{Duration, Instant};
 use trance_dist::{DistCollection, DistContext, ExecError, JoinSpec, StatsSnapshot};
 use trance_nrc::{Bag, Expr, Tuple, Value};
 use trance_shred::{
-    flat_input_name, input_dict_name, output_dict_name, shred_query, shred_value,
-    NestingStructure, ShreddedInputDecl, ShreddedQuery, TOP_BAG,
+    flat_input_name, input_dict_name, output_dict_name, shred_query, shred_value, NestingStructure,
+    ShreddedInputDecl, ShreddedQuery, TOP_BAG,
 };
 
 use crate::exec::{execute, ExecOptions};
@@ -106,7 +106,11 @@ pub struct QuerySpec {
 
 impl QuerySpec {
     /// Creates a query spec.
-    pub fn new(name: impl Into<String>, query: Expr, nested_inputs: Vec<ShreddedInputDecl>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        query: Expr,
+        nested_inputs: Vec<ShreddedInputDecl>,
+    ) -> Self {
         QuerySpec {
             name: name.into(),
             query,
@@ -295,8 +299,8 @@ fn dispatch(
                 prune_columns: true,
                 skew_aware: strategy.skew_aware(),
             };
-            let shredded = shred_query(&spec.query, &spec.nested_inputs)
-                .map_err(ExecError::from)?;
+            let shredded =
+                shred_query(&spec.query, &spec.nested_inputs).map_err(ExecError::from)?;
             let output = run_shredded(&shredded, inputs, &options)?;
             if strategy.unshreds() {
                 let nested = unshred_distributed(&output, ctx, &options)?;
@@ -379,13 +383,16 @@ pub fn unshred_distributed(
             let t = row.as_tuple()?;
             let mut out = Tuple::empty();
             out.set("__jk", t.get("label").cloned().unwrap_or(Value::Null));
-            out.set("__grp", t.get("__grp").cloned().unwrap_or(Value::empty_bag()));
+            out.set(
+                "__grp",
+                t.get("__grp").cloned().unwrap_or(Value::empty_bag()),
+            );
             Ok(Value::Tuple(out))
         })?;
 
         let attach = |parent: &DistCollection| -> trance_dist::Result<DistCollection> {
-            let spec = JoinSpec::left_outer(&[attr.as_str()], &["__jk"])
-                .with_right_fields(&["__grp"]);
+            let spec =
+                JoinSpec::left_outer(&[attr.as_str()], &["__jk"]).with_right_fields(&["__grp"]);
             let joined = if options.skew_aware {
                 trance_dist::SkewTriple::unknown(parent.clone())
                     .join(&grouped, &spec)?
@@ -408,9 +415,10 @@ pub fn unshred_distributed(
 
         match parent_path {
             Some(pp) => {
-                let parent = dicts.get(&pp).cloned().ok_or_else(|| {
-                    ExecError::Other(format!("missing parent dictionary `{pp}`"))
-                })?;
+                let parent = dicts
+                    .get(&pp)
+                    .cloned()
+                    .ok_or_else(|| ExecError::Other(format!("missing parent dictionary `{pp}`")))?;
                 dicts.insert(pp, attach(&parent)?);
             }
             None => {

@@ -55,8 +55,10 @@ fn part_value() -> Value {
 }
 
 fn cop_structure() -> NestingStructure {
-    NestingStructure::flat()
-        .with_child("corders", NestingStructure::flat().with_child("oparts", NestingStructure::flat()))
+    NestingStructure::flat().with_child(
+        "corders",
+        NestingStructure::flat().with_child("oparts", NestingStructure::flat()),
+    )
 }
 
 fn running_example() -> trance_nrc::Expr {
@@ -85,7 +87,13 @@ fn running_example() -> trance_nrc::Expr {
                                             cmp_eq(proj(var("op"), "pid"), proj(var("p"), "pid")),
                                             singleton(tuple([
                                                 ("pname", proj(var("p"), "pname")),
-                                                ("total", mul(proj(var("op"), "qty"), proj(var("p"), "price"))),
+                                                (
+                                                    "total",
+                                                    mul(
+                                                        proj(var("op"), "qty"),
+                                                        proj(var("p"), "price"),
+                                                    ),
+                                                ),
                                             ])),
                                         ),
                                     ),
@@ -141,7 +149,9 @@ fn check_all_strategies(spec: &QuerySpec, values: &[(&str, Value, bool)]) {
     let mut inputs = InputSet::new(ctx);
     for (name, v, nested) in values {
         if *nested {
-            inputs.add_nested(name, v.as_bag().unwrap().clone()).unwrap();
+            inputs
+                .add_nested(name, v.as_bag().unwrap().clone())
+                .unwrap();
         } else {
             inputs.add_flat(name, v.as_bag().unwrap().clone()).unwrap();
         }
@@ -214,7 +224,12 @@ fn flat_to_nested_all_strategies_agree() {
     );
     let customer = Value::bag(
         (0..10)
-            .map(|c| Value::tuple([("ckey", Value::Int(c)), ("cname", Value::str(format!("c{c}")))]))
+            .map(|c| {
+                Value::tuple([
+                    ("ckey", Value::Int(c)),
+                    ("cname", Value::str(format!("c{c}"))),
+                ])
+            })
             .collect(),
     );
     let orders = Value::bag(
@@ -269,7 +284,10 @@ fn nested_to_flat_all_strategies_agree() {
                             cmp_eq(proj(var("op"), "pid"), proj(var("p"), "pid")),
                             singleton(tuple([
                                 ("cname", proj(var("cop"), "cname")),
-                                ("spent", mul(proj(var("op"), "qty"), proj(var("p"), "price"))),
+                                (
+                                    "spent",
+                                    mul(proj(var("op"), "qty"), proj(var("p"), "price")),
+                                ),
                             ])),
                         ),
                     ),
@@ -312,7 +330,10 @@ fn memory_cap_produces_fail_outcomes() {
         vec![ShreddedInputDecl::new("COP", cop_structure())],
     );
     let outcome = run_query(&spec, &inputs, Strategy::Baseline);
-    assert!(outcome.result.is_failure(), "baseline must hit the memory cap");
+    assert!(
+        outcome.result.is_failure(),
+        "baseline must hit the memory cap"
+    );
 }
 
 #[test]
@@ -350,8 +371,12 @@ fn shredded_strategy_reports_lower_shuffle_than_baseline_for_wide_rows() {
     let cop = Value::bag(rows);
     let ctx = DistContext::new(ClusterConfig::new(3, 8).with_broadcast_limit(64));
     let mut inputs = InputSet::new(ctx);
-    inputs.add_nested("COP", cop.as_bag().unwrap().clone()).unwrap();
-    inputs.add_flat("Part", part_value().as_bag().unwrap().clone()).unwrap();
+    inputs
+        .add_nested("COP", cop.as_bag().unwrap().clone())
+        .unwrap();
+    inputs
+        .add_flat("Part", part_value().as_bag().unwrap().clone())
+        .unwrap();
     let spec = QuerySpec::new(
         "running-example",
         running_example(),
@@ -373,8 +398,12 @@ fn shredded_strategy_reports_lower_shuffle_than_baseline_for_wide_rows() {
 fn shredded_output_dictionaries_are_exposed() {
     let ctx = ctx();
     let mut inputs = InputSet::new(ctx);
-    inputs.add_nested("COP", cop_value(10).as_bag().unwrap().clone()).unwrap();
-    inputs.add_flat("Part", part_value().as_bag().unwrap().clone()).unwrap();
+    inputs
+        .add_nested("COP", cop_value(10).as_bag().unwrap().clone())
+        .unwrap();
+    inputs
+        .add_flat("Part", part_value().as_bag().unwrap().clone())
+        .unwrap();
     let spec = QuerySpec::new(
         "running-example",
         running_example(),

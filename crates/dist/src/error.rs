@@ -1,0 +1,62 @@
+//! Error type shared by every engine operator.
+
+use std::fmt;
+
+use trance_nrc::NrcError;
+
+/// Errors raised by the distributed engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A worker's materialized state exceeded the simulated per-worker memory
+    /// cap ([`crate::ClusterConfig::with_worker_memory`]). This reproduces the
+    /// paper's FAIL entries: strategies whose flattened intermediates blow up
+    /// die here instead of finishing.
+    MemoryExceeded {
+        /// The worker that ran out of memory.
+        worker: usize,
+        /// Bytes the worker would have had to hold.
+        used_bytes: usize,
+        /// The configured per-worker cap in bytes.
+        limit_bytes: usize,
+    },
+    /// A row-level evaluation error bubbled up from the NRC value model.
+    Nrc(NrcError),
+    /// Anything else (unknown inputs, unsupported shapes, ...).
+    Other(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::MemoryExceeded {
+                worker,
+                used_bytes,
+                limit_bytes,
+            } => write!(
+                f,
+                "worker {worker} exceeded its memory cap ({used_bytes} bytes needed, \
+                 {limit_bytes} allowed)"
+            ),
+            ExecError::Nrc(e) => write!(f, "{e}"),
+            ExecError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Nrc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NrcError> for ExecError {
+    fn from(e: NrcError) -> Self {
+        ExecError::Nrc(e)
+    }
+}
+
+/// Result alias used throughout the engine and its callers.
+pub type Result<T> = std::result::Result<T, ExecError>;

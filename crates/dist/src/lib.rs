@@ -1,0 +1,160 @@
+//! # trance-dist
+//!
+//! The simulated distributed bulk-collection engine of **trance-rs**: the
+//! runtime that the standard and shredded compilation routes of
+//! `trance-compiler` execute on (the role Spark plays for the paper's
+//! implementation).
+//!
+//! * [`DistCollection`] — rows hash-partitioned into
+//!   [`ClusterConfig::partitions`] slices; every operator (`map`, `filter`,
+//!   `flat_map`, `union`, `distinct`, `join`, `nest_sum`, `nest_bag`) runs
+//!   partition-parallel on [`ClusterConfig::workers`] OS threads via
+//!   [`std::thread::scope`].
+//! * [`DistContext`] — owns the cluster configuration and the shared
+//!   [`Stats`] counters (shuffled rows/bytes, broadcast volume, join
+//!   strategies taken, per-operator timings).
+//! * [`JoinSpec`] — equi-join specs executed as partitioned hash joins
+//!   (build on the smaller side) with automatic small-side broadcast.
+//! * [`SkewTriple`] — Section 5's skew handling: sampled heavy-key
+//!   detection, light/heavy splitting, shuffle joins for the light part and
+//!   heavy-key broadcast joins under [`ClusterConfig::with_broadcast_limit`],
+//!   re-merged with [`SkewTriple::merged`].
+//!
+//! The engine also simulates the paper's FAIL runs: when a per-worker memory
+//! cap is configured ([`ClusterConfig::with_worker_memory`]), operators whose
+//! output overloads a worker raise [`ExecError::MemoryExceeded`].
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use trance_nrc::Value;
+
+pub mod error;
+pub mod join;
+pub mod ops;
+mod partition;
+pub mod skew;
+pub mod stats;
+
+pub use error::{ExecError, Result};
+pub use join::{JoinKind, JoinSpec};
+pub use ops::DistCollection;
+pub use skew::{detect_heavy_keys, SkewTriple};
+pub use stats::{JoinStrategy, OpTiming, Stats, StatsSnapshot};
+
+/// Shape and limits of the simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of parallel workers (OS threads running partitions).
+    pub workers: usize,
+    /// Number of hash partitions (usually a small multiple of `workers`).
+    pub partitions: usize,
+    /// Maximum size in bytes of a side that may be broadcast to every worker
+    /// instead of shuffled.
+    pub broadcast_limit: usize,
+    /// Simulated per-worker memory cap in bytes; operators fail with
+    /// [`ExecError::MemoryExceeded`] when an output overloads a worker.
+    pub worker_memory: Option<usize>,
+    /// Number of rows sampled per collection for heavy-key detection.
+    pub skew_sample: usize,
+    /// Sampled frequency share at which a key counts as heavy; defaults to
+    /// `1 / partitions` when unset.
+    pub skew_threshold: Option<f64>,
+}
+
+impl ClusterConfig {
+    /// A cluster of `workers` workers over `partitions` hash partitions, with
+    /// an 8 MiB broadcast limit, no memory cap, and default skew sampling.
+    pub fn new(workers: usize, partitions: usize) -> ClusterConfig {
+        ClusterConfig {
+            workers: workers.max(1),
+            partitions: partitions.max(1),
+            broadcast_limit: 8 * 1024 * 1024,
+            worker_memory: None,
+            skew_sample: 1024,
+            skew_threshold: None,
+        }
+    }
+
+    /// Sets the broadcast limit in bytes.
+    pub fn with_broadcast_limit(mut self, bytes: usize) -> ClusterConfig {
+        self.broadcast_limit = bytes;
+        self
+    }
+
+    /// Sets the simulated per-worker memory cap in bytes.
+    pub fn with_worker_memory(mut self, bytes: usize) -> ClusterConfig {
+        self.worker_memory = Some(bytes);
+        self
+    }
+
+    /// Sets the heavy-key sample size.
+    pub fn with_skew_sample(mut self, rows: usize) -> ClusterConfig {
+        self.skew_sample = rows;
+        self
+    }
+
+    /// Overrides the heavy-key frequency threshold (a share in `(0, 1]`).
+    pub fn with_skew_threshold(mut self, share: f64) -> ClusterConfig {
+        self.skew_threshold = Some(share);
+        self
+    }
+
+    /// The effective heavy-key threshold: the configured share, or
+    /// `1 / partitions` — the share at which one key overloads its partition.
+    pub fn heavy_key_threshold(&self) -> f64 {
+        self.skew_threshold
+            .unwrap_or(1.0 / self.partitions.max(1) as f64)
+    }
+}
+
+#[derive(Debug)]
+struct CtxInner {
+    config: ClusterConfig,
+    stats: Stats,
+}
+
+/// Handle to the simulated cluster: configuration plus shared metrics.
+/// Cheap to clone; clones share the same [`Stats`].
+#[derive(Debug, Clone)]
+pub struct DistContext {
+    inner: Arc<CtxInner>,
+}
+
+impl DistContext {
+    /// Creates a context for `config`.
+    pub fn new(config: ClusterConfig) -> DistContext {
+        DistContext {
+            inner: Arc::new(CtxInner {
+                config,
+                stats: Stats::new(),
+            }),
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.inner.config
+    }
+
+    /// The shared engine metrics.
+    pub fn stats(&self) -> &Stats {
+        &self.inner.stats
+    }
+
+    /// Distributes local rows over the cluster's partitions (round-robin).
+    /// Input loading is not metered or capped, matching the paper's
+    /// exclusion of input caching from measured runs.
+    pub fn parallelize(&self, rows: Vec<Value>) -> DistCollection {
+        DistCollection::parallelize(self.clone(), rows)
+    }
+
+    /// An empty collection over this context's partitions.
+    pub fn empty(&self) -> DistCollection {
+        DistCollection::from_parts(
+            self.clone(),
+            vec![Vec::new(); self.config().partitions.max(1)],
+        )
+    }
+}

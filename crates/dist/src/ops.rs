@@ -1,0 +1,339 @@
+//! [`DistCollection`]: a hash-partitioned bag of [`Value`] rows and its
+//! partition-parallel operators.
+//!
+//! Every operator executes per-partition on the worker threads of the owning
+//! [`DistContext`] (see [`crate::partition`]), meters shuffles/broadcasts in
+//! the context's [`crate::Stats`], enforces the simulated per-worker memory
+//! cap on its output, and records its wall-clock time under its operator
+//! name. Grouping operators pre-aggregate map-side before shuffling, so a
+//! skewed grouping key costs at most `partitions` partial rows per key.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use trance_nrc::{Bag, MemSize, Tuple, Value};
+
+use crate::error::Result;
+use crate::partition::{
+    enforce_memory, hash_key, hash_value, run_partitioned, shuffle, split_round_robin,
+};
+use crate::DistContext;
+
+/// A distributed collection: rows hash-partitioned into
+/// `ClusterConfig::partitions` slices owned by a [`DistContext`].
+#[derive(Clone)]
+pub struct DistCollection {
+    ctx: DistContext,
+    parts: Arc<Vec<Vec<Value>>>,
+}
+
+impl std::fmt::Debug for DistCollection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistCollection")
+            .field("partitions", &self.parts.len())
+            .field("rows", &self.len())
+            .finish()
+    }
+}
+
+impl DistCollection {
+    /// Wraps an already-partitioned row set (no memory check: used for input
+    /// loading, which the paper excludes from the measured runs).
+    pub(crate) fn from_parts(ctx: DistContext, parts: Vec<Vec<Value>>) -> Self {
+        DistCollection {
+            ctx,
+            parts: Arc::new(parts),
+        }
+    }
+
+    /// Wraps freshly produced operator output, enforcing the per-worker
+    /// memory cap first.
+    pub(crate) fn materialize(ctx: DistContext, parts: Vec<Vec<Value>>) -> Result<Self> {
+        enforce_memory(&ctx, &parts)?;
+        Ok(DistCollection::from_parts(ctx, parts))
+    }
+
+    /// Distributes `rows` round-robin over the context's partitions.
+    pub(crate) fn parallelize(ctx: DistContext, rows: Vec<Value>) -> Self {
+        let nparts = ctx.config().partitions;
+        DistCollection::from_parts(ctx, split_round_robin(rows, nparts))
+    }
+
+    /// The owning context.
+    pub fn context(&self) -> &DistContext {
+        &self.ctx
+    }
+
+    /// The partitioned rows (partition `i` lives on worker `i % workers`).
+    pub fn partitions(&self) -> &[Vec<Value>] {
+        &self.parts
+    }
+
+    /// Total number of rows.
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(Vec::len).sum()
+    }
+
+    /// Alias of [`DistCollection::len`], matching bulk-collection APIs.
+    pub fn count(&self) -> usize {
+        self.len()
+    }
+
+    /// True when the collection holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.parts.iter().all(Vec::is_empty)
+    }
+
+    /// Estimated total in-memory size in bytes (used for broadcast planning
+    /// and shuffle metering).
+    pub fn total_bytes(&self) -> usize {
+        self.parts.iter().flatten().map(MemSize::mem_size).sum()
+    }
+
+    /// Gathers every row to the caller ("driver"), in partition order.
+    pub fn collect(&self) -> Vec<Value> {
+        self.parts.iter().flatten().cloned().collect()
+    }
+
+    /// Gathers every row into a [`Bag`].
+    pub fn collect_bag(&self) -> Bag {
+        Bag::new(self.collect())
+    }
+
+    /// Times `f` under operator name `op` in the context stats.
+    pub(crate) fn timed<T>(&self, op: &str, f: impl FnOnce() -> Result<T>) -> Result<T> {
+        let start = Instant::now();
+        let out = f();
+        self.ctx.stats().record_op(op, start.elapsed());
+        out
+    }
+
+    /// Applies `f` to every row (partition-parallel, no shuffle).
+    pub fn map<F>(&self, f: F) -> Result<DistCollection>
+    where
+        F: Fn(&Value) -> Result<Value> + Send + Sync,
+    {
+        self.timed("map", || {
+            let parts = run_partitioned(&self.ctx, &self.parts, |_, rows| {
+                rows.iter().map(&f).collect::<Result<Vec<Value>>>()
+            })?;
+            DistCollection::materialize(self.ctx.clone(), parts)
+        })
+    }
+
+    /// Keeps the rows for which `pred` returns true (partition-parallel).
+    pub fn filter<F>(&self, pred: F) -> Result<DistCollection>
+    where
+        F: Fn(&Value) -> Result<bool> + Send + Sync,
+    {
+        self.timed("filter", || {
+            let parts = run_partitioned(&self.ctx, &self.parts, |_, rows| {
+                let mut out = Vec::new();
+                for row in rows {
+                    if pred(row)? {
+                        out.push(row.clone());
+                    }
+                }
+                Ok(out)
+            })?;
+            DistCollection::materialize(self.ctx.clone(), parts)
+        })
+    }
+
+    /// Expands every row into zero or more rows (the engine's unnest;
+    /// partition-parallel).
+    pub fn flat_map<F>(&self, f: F) -> Result<DistCollection>
+    where
+        F: Fn(&Value) -> Result<Vec<Value>> + Send + Sync,
+    {
+        self.timed("flat_map", || {
+            let parts = run_partitioned(&self.ctx, &self.parts, |_, rows| {
+                let mut out = Vec::new();
+                for row in rows {
+                    out.extend(f(row)?);
+                }
+                Ok(out)
+            })?;
+            DistCollection::materialize(self.ctx.clone(), parts)
+        })
+    }
+
+    /// Bag union: partitions are concatenated pairwise, no data moves.
+    pub fn union(&self, other: &DistCollection) -> Result<DistCollection> {
+        self.timed("union", || {
+            let n = self.parts.len().max(other.parts.len());
+            let mut parts = Vec::with_capacity(n);
+            for i in 0..n {
+                let mut p = self.parts.get(i).cloned().unwrap_or_default();
+                p.extend(other.parts.get(i).cloned().unwrap_or_default());
+                parts.push(p);
+            }
+            DistCollection::materialize(self.ctx.clone(), parts)
+        })
+    }
+
+    /// Distinct rows (set semantics): shuffles by row hash so equal rows meet
+    /// in one partition, then deduplicates per partition.
+    pub fn distinct(&self) -> Result<DistCollection> {
+        self.timed("distinct", || {
+            let shuffled = shuffle(&self.ctx, &self.parts, |row| Ok(hash_value(row)))?;
+            let parts = run_partitioned(&self.ctx, &shuffled, |_, rows| {
+                let mut seen: HashMap<&Value, ()> = HashMap::with_capacity(rows.len());
+                let mut out = Vec::new();
+                for row in rows {
+                    if seen.insert(row, ()).is_none() {
+                        out.push(row.clone());
+                    }
+                }
+                Ok(out)
+            })?;
+            DistCollection::materialize(self.ctx.clone(), parts)
+        })
+    }
+
+    /// Adds a globally unique integer id under `attr` without coordination:
+    /// row `i` of partition `p` gets `p + i * partitions`.
+    pub fn with_unique_id(&self, attr: &str) -> Result<DistCollection> {
+        self.timed("with_unique_id", || {
+            let stride = self.parts.len().max(1) as i64;
+            let parts = run_partitioned(&self.ctx, &self.parts, |p, rows| {
+                rows.iter()
+                    .enumerate()
+                    .map(|(i, row)| {
+                        let mut t = row.as_tuple()?.clone();
+                        t.set(attr.to_string(), Value::Int(p as i64 + i as i64 * stride));
+                        Ok(Value::Tuple(t))
+                    })
+                    .collect::<Result<Vec<Value>>>()
+            })?;
+            DistCollection::materialize(self.ctx.clone(), parts)
+        })
+    }
+
+    /// The `Γ+` aggregation: groups rows by the `key` columns and sums each of
+    /// the `values` columns, mirroring the reference evaluator's `sumBy`
+    /// (integer sums stay integral, NULL contributes nothing, an all-NULL
+    /// group sums to `0`).
+    ///
+    /// Runs as map-side partial aggregation, a shuffle of the (small) partial
+    /// rows by key hash, and a final reduce — so even a heavily skewed key
+    /// moves at most one partial row per source partition.
+    pub fn nest_sum(&self, key: &[String], values: &[String]) -> Result<DistCollection> {
+        self.timed("nest_sum", || {
+            let partials = run_partitioned(&self.ctx, &self.parts, |_, rows| {
+                sum_partition(rows, key, values, false)
+            })?;
+            let shuffled = shuffle(&self.ctx, &partials, |row| {
+                let t = row.as_tuple()?;
+                Ok(hash_key(&clone_key(t, key)))
+            })?;
+            let parts = run_partitioned(&self.ctx, &shuffled, |_, rows| {
+                sum_partition(rows, key, values, true)
+            })?;
+            DistCollection::materialize(self.ctx.clone(), parts)
+        })
+    }
+
+    /// The `Γ⊎` grouping: groups rows by the `key` columns and collects the
+    /// `value_attrs` projection of each row into a bag stored under
+    /// `out_attr`. Rows shuffle by key hash; groups never span partitions.
+    pub fn nest_bag(
+        &self,
+        key: &[String],
+        value_attrs: &[String],
+        out_attr: &str,
+    ) -> Result<DistCollection> {
+        self.timed("nest_bag", || {
+            let shuffled = shuffle(&self.ctx, &self.parts, |row| {
+                let t = row.as_tuple()?;
+                Ok(hash_key(&clone_key(t, key)))
+            })?;
+            let value_refs: Vec<&str> = value_attrs.iter().map(String::as_str).collect();
+            let parts = run_partitioned(&self.ctx, &shuffled, |_, rows| {
+                let mut groups: HashMap<Tuple, Bag> = HashMap::new();
+                let mut order: Vec<Tuple> = Vec::new();
+                for row in rows {
+                    let t = row.as_tuple()?;
+                    let k = project_tuple(t, key);
+                    let elem = Value::Tuple(t.project(&value_refs));
+                    groups
+                        .entry(k.clone())
+                        .or_insert_with(|| {
+                            order.push(k);
+                            Bag::empty()
+                        })
+                        .push(elem);
+                }
+                let mut out = Vec::with_capacity(order.len());
+                for k in order {
+                    let group = groups.remove(&k).expect("group recorded in order");
+                    let mut row = k;
+                    row.set(out_attr.to_string(), Value::Bag(group));
+                    out.push(Value::Tuple(row));
+                }
+                Ok(out)
+            })?;
+            DistCollection::materialize(self.ctx.clone(), parts)
+        })
+    }
+}
+
+/// Projects the key columns of a row into a tuple (missing columns are
+/// skipped, exactly like the reference evaluator's `project`).
+fn project_tuple(t: &Tuple, key: &[String]) -> Tuple {
+    let slots = t.project_values(key);
+    Tuple::new(
+        key.iter()
+            .zip(slots)
+            .filter_map(|(name, v)| v.map(|v| (name.clone(), v.clone()))),
+    )
+}
+
+/// Key column values of a row, with NULL standing in for missing columns
+/// (used only for routing hashes, where a stable stand-in is enough).
+fn clone_key(t: &Tuple, key: &[String]) -> Vec<Value> {
+    t.project_values(key)
+        .into_iter()
+        .map(|v| v.cloned().unwrap_or(Value::Null))
+        .collect()
+}
+
+/// One local aggregation pass of [`DistCollection::nest_sum`]: sums the value
+/// columns per key group. With `finalize` set, NULL sums become `Int(0)`
+/// (the reference evaluator's treatment of empty numeric aggregates).
+fn sum_partition(
+    rows: &[Value],
+    key: &[String],
+    values: &[String],
+    finalize: bool,
+) -> Result<Vec<Value>> {
+    let mut groups: HashMap<Tuple, Vec<Value>> = HashMap::new();
+    let mut order: Vec<Tuple> = Vec::new();
+    for row in rows {
+        let t = row.as_tuple()?;
+        let k = project_tuple(t, key);
+        let sums = groups.entry(k.clone()).or_insert_with(|| {
+            order.push(k);
+            vec![Value::Null; values.len()]
+        });
+        for (slot, v) in sums.iter_mut().zip(t.project_values(values)) {
+            let v = v.unwrap_or(&Value::Null);
+            *slot = slot.numeric_add(v)?;
+        }
+    }
+    let mut out = Vec::with_capacity(order.len());
+    for k in order {
+        let sums = groups.remove(&k).expect("group recorded in order");
+        let mut row = k;
+        for (name, sum) in values.iter().zip(sums) {
+            let sum = match (&sum, finalize) {
+                (Value::Null, true) => Value::Int(0),
+                _ => sum,
+            };
+            row.set(name.clone(), sum);
+        }
+        out.push(Value::Tuple(row));
+    }
+    Ok(out)
+}

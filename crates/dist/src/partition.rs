@@ -1,0 +1,167 @@
+//! Partitioning primitives: the scoped-thread partition-parallel runner, the
+//! hash shuffle, worker memory accounting and key hashing.
+//!
+//! The engine models a cluster of `workers` executors over `partitions` hash
+//! partitions (`partitions >= workers`, as on a real cluster where each
+//! executor owns several shuffle partitions). Partition `i` lives on worker
+//! `i % workers`; every operator runs its partitions on `workers` OS threads
+//! via [`std::thread::scope`], so operator closures only need `Send + Sync`,
+//! not `'static`.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+use trance_nrc::{MemSize, Tuple, Value};
+
+use crate::error::{ExecError, Result};
+use crate::DistContext;
+
+/// Below this many total rows an operator runs on the calling thread: the
+/// thread fan-out costs more than the work it would parallelize.
+const PARALLEL_THRESHOLD: usize = 256;
+
+/// Splits rows round-robin into `partitions` slices (balanced independent of
+/// input order).
+pub(crate) fn split_round_robin(rows: Vec<Value>, partitions: usize) -> Vec<Vec<Value>> {
+    let partitions = partitions.max(1);
+    let mut parts: Vec<Vec<Value>> = (0..partitions)
+        .map(|i| {
+            Vec::with_capacity(rows.len() / partitions + usize::from(i < rows.len() % partitions))
+        })
+        .collect();
+    for (i, row) in rows.into_iter().enumerate() {
+        parts[i % partitions].push(row);
+    }
+    parts
+}
+
+/// Runs `f` once per partition, in parallel across the configured worker
+/// count, and returns the per-partition results in partition order. The first
+/// error (lowest partition index) wins.
+pub(crate) fn run_partitioned<T, F>(ctx: &DistContext, parts: &[Vec<Value>], f: F) -> Result<Vec<T>>
+where
+    F: Fn(usize, &[Value]) -> Result<T> + Send + Sync,
+    T: Send,
+{
+    let workers = ctx.config().workers.max(1);
+    let total_rows: usize = parts.iter().map(Vec::len).sum();
+    if workers == 1 || parts.len() <= 1 || total_rows < PARALLEL_THRESHOLD {
+        return parts.iter().enumerate().map(|(i, p)| f(i, p)).collect();
+    }
+    let threads = workers.min(parts.len());
+    let slots: Vec<Mutex<Option<Result<T>>>> = parts.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move || {
+                // Static striping: thread w owns partitions w, w+threads, ...
+                // (partition -> worker placement is deterministic).
+                for i in (w..parts.len()).step_by(threads) {
+                    *slots[i].lock().unwrap() = Some(f(i, &parts[i]));
+                }
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(parts.len());
+    for slot in slots {
+        match slot.into_inner().unwrap() {
+            Some(Ok(v)) => out.push(v),
+            Some(Err(e)) => return Err(e),
+            None => return Err(ExecError::Other("partition task did not run".into())),
+        }
+    }
+    Ok(out)
+}
+
+/// Enforces the simulated per-worker memory cap on a freshly materialized
+/// partition set. Partition `i` is charged to worker `i % workers`.
+pub(crate) fn enforce_memory(ctx: &DistContext, parts: &[Vec<Value>]) -> Result<()> {
+    let Some(limit) = ctx.config().worker_memory else {
+        return Ok(());
+    };
+    let workers = ctx.config().workers.max(1);
+    let mut used = vec![0usize; workers];
+    for (i, part) in parts.iter().enumerate() {
+        used[i % workers] += part.iter().map(MemSize::mem_size).sum::<usize>();
+    }
+    for (worker, used_bytes) in used.into_iter().enumerate() {
+        if used_bytes > limit {
+            return Err(ExecError::MemoryExceeded {
+                worker,
+                used_bytes,
+                limit_bytes: limit,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Hash of an arbitrary value, stable within a process run.
+pub(crate) fn hash_value(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+/// Hash of a multi-column key.
+pub(crate) fn hash_key(key: &[Value]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for v in key {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Extracts the values of `cols` from a row as a join/grouping key.
+///
+/// Returns `None` when any key column is missing or NULL: such rows can never
+/// satisfy an equality predicate (`NULL = x` is false in the compiled
+/// predicates), so inner joins drop them and outer joins emit them unmatched.
+pub(crate) fn key_of(t: &Tuple, cols: &[String]) -> Option<Vec<Value>> {
+    let slots = t.project_values(cols);
+    let mut key = Vec::with_capacity(cols.len());
+    for slot in slots {
+        match slot {
+            Some(Value::Null) | None => return None,
+            Some(v) => key.push(v.clone()),
+        }
+    }
+    Some(key)
+}
+
+/// Repartitions rows by `route` (a hash per row), metering the move as a
+/// shuffle under `op`. Returns the new partition set (same partition count).
+pub(crate) fn shuffle<F>(
+    ctx: &DistContext,
+    parts: &[Vec<Value>],
+    route: F,
+) -> Result<Vec<Vec<Value>>>
+where
+    F: Fn(&Value) -> Result<u64> + Send + Sync,
+{
+    let nparts = ctx.config().partitions.max(1);
+    let bucketed = run_partitioned(ctx, parts, |_, rows| {
+        let mut buckets: Vec<Vec<Value>> = (0..nparts).map(|_| Vec::new()).collect();
+        let mut bytes = 0u64;
+        for row in rows {
+            bytes += row.mem_size() as u64;
+            let target = (route(row)? % nparts as u64) as usize;
+            buckets[target].push(row.clone());
+        }
+        Ok((buckets, rows.len() as u64, bytes))
+    })?;
+    let mut out: Vec<Vec<Value>> = (0..nparts).map(|_| Vec::new()).collect();
+    let mut tuples = 0u64;
+    let mut bytes = 0u64;
+    for (buckets, t, b) in bucketed {
+        tuples += t;
+        bytes += b;
+        for (target, bucket) in buckets.into_iter().enumerate() {
+            out[target].extend(bucket);
+        }
+    }
+    ctx.stats().record_shuffle(tuples, bytes);
+    Ok(out)
+}

@@ -1,0 +1,198 @@
+//! Skew-aware processing (Section 5 of the paper).
+//!
+//! A [`SkewTriple`] represents a collection split into a *light* part (keys
+//! with ordinary frequencies) and a *heavy* part (keys frequent enough to
+//! overload a single hash partition). Heavy keys are found by sampling key
+//! frequencies; a key is heavy when its sampled share reaches the cluster's
+//! heavy-key threshold (by default `1 / partitions` — the share at which one
+//! partition would hold more than its fair slice).
+//!
+//! Joins then process the two parts differently:
+//!
+//! * the light part uses the regular partitioned shuffle join;
+//! * the heavy part **broadcasts the matching rows of the other side** (few,
+//!   because only a handful of keys are heavy) and keeps the heavy rows in
+//!   place — no shuffle of the skewed data at all. If those matching rows
+//!   exceed the broadcast limit, the engine falls back to a shuffle join and
+//!   counts it in [`crate::StatsSnapshot::skew_fallback_joins`].
+//!
+//! [`SkewTriple::merged`] unions the two results back into one collection.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use trance_nrc::Value;
+
+use crate::error::Result;
+use crate::join::{join_impl, JoinPath, JoinSpec};
+use crate::ops::DistCollection;
+use crate::partition::key_of;
+use crate::ClusterConfig;
+
+/// A collection split into light and heavy sub-collections by key frequency.
+#[derive(Debug, Clone)]
+pub struct SkewTriple {
+    light: DistCollection,
+    heavy: DistCollection,
+    heavy_keys: Option<Arc<HashSet<Vec<Value>>>>,
+}
+
+impl SkewTriple {
+    /// Wraps a collection whose skew is not yet known: everything starts in
+    /// the light part and operators split on demand.
+    pub fn unknown(data: DistCollection) -> SkewTriple {
+        let heavy = data.context().empty();
+        SkewTriple {
+            light: data,
+            heavy,
+            heavy_keys: None,
+        }
+    }
+
+    /// The light sub-collection.
+    pub fn light(&self) -> &DistCollection {
+        &self.light
+    }
+
+    /// The heavy sub-collection.
+    pub fn heavy(&self) -> &DistCollection {
+        &self.heavy
+    }
+
+    /// The heavy keys of the most recent split, if one happened.
+    pub fn heavy_key_count(&self) -> usize {
+        self.heavy_keys.as_ref().map_or(0, |k| k.len())
+    }
+
+    /// Reunites the light and heavy results into one collection.
+    pub fn merged(&self) -> Result<DistCollection> {
+        self.light.union(&self.heavy)
+    }
+
+    /// Skew-aware equi-join (Section 5): samples the left side's key
+    /// frequencies, shuffle-joins the light keys, and broadcast-joins the
+    /// heavy keys (falling back to a shuffle when the matching right rows
+    /// exceed the broadcast limit).
+    pub fn join(&self, right: &DistCollection, spec: &JoinSpec) -> Result<SkewTriple> {
+        let left = self.merged()?;
+        let ctx = left.context().clone();
+        left.timed("skew_join", || {
+            let heavy_keys = detect_heavy_keys(&left, spec.left_keys(), ctx.config())?;
+            if heavy_keys.is_empty() {
+                return Ok(SkewTriple {
+                    light: left.join(right, spec)?,
+                    heavy: ctx.empty(),
+                    heavy_keys: None,
+                });
+            }
+            let keys = Arc::new(heavy_keys);
+            let (left_light, left_heavy) = split_by_keys(&left, spec.left_keys(), &keys)?;
+            let (right_light, right_heavy) = split_by_keys(right, spec.right_keys(), &keys)?;
+            let light = left_light.join(&right_light, spec)?;
+            let heavy = if right_heavy.total_bytes() <= ctx.config().broadcast_limit {
+                join_impl(
+                    &left_heavy,
+                    &right_heavy,
+                    spec,
+                    JoinPath::ForceBroadcastRight { skew: true },
+                )?
+            } else {
+                join_impl(
+                    &left_heavy,
+                    &right_heavy,
+                    spec,
+                    JoinPath::ForceShuffle { skew: true },
+                )?
+            };
+            Ok(SkewTriple {
+                light,
+                heavy,
+                heavy_keys: Some(keys),
+            })
+        })
+    }
+
+    /// Skew-aware `Γ+` aggregation: heavy grouping keys are aggregated
+    /// separately from the light ones so a dominant key cannot overload the
+    /// partition its hash lands on. Both parts use map-side partial
+    /// aggregation, so the heavy shuffle moves at most one partial row per
+    /// source partition per heavy key.
+    pub fn nest_sum(&self, key: &[String], values: &[String]) -> Result<SkewTriple> {
+        let rows = self.merged()?;
+        let ctx = rows.context().clone();
+        rows.timed("skew_nest_sum", || {
+            let heavy_keys = detect_heavy_keys(&rows, key, ctx.config())?;
+            if heavy_keys.is_empty() {
+                return Ok(SkewTriple {
+                    light: rows.nest_sum(key, values)?,
+                    heavy: ctx.empty(),
+                    heavy_keys: None,
+                });
+            }
+            let keys = Arc::new(heavy_keys);
+            let (light, heavy) = split_by_keys(&rows, key, &keys)?;
+            Ok(SkewTriple {
+                light: light.nest_sum(key, values)?,
+                heavy: heavy.nest_sum(key, values)?,
+                heavy_keys: Some(keys),
+            })
+        })
+    }
+}
+
+/// Samples key frequencies and returns the keys whose sampled share reaches
+/// the cluster's heavy-key threshold.
+///
+/// Sampling is deterministic (every `stride`-th row up to
+/// [`ClusterConfig::skew_sample`] rows), so repeated runs agree on the split.
+pub fn detect_heavy_keys(
+    data: &DistCollection,
+    key_cols: &[String],
+    config: &ClusterConfig,
+) -> Result<HashSet<Vec<Value>>> {
+    let total: usize = data.len();
+    if total == 0 {
+        return Ok(HashSet::new());
+    }
+    let sample_target = config.skew_sample.max(1);
+    let stride = (total / sample_target).max(1);
+    let mut counts: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut sampled = 0usize;
+    for (i, row) in data.partitions().iter().flatten().enumerate() {
+        if i % stride != 0 {
+            continue;
+        }
+        sampled += 1;
+        if let Some(key) = key_of(row.as_tuple()?, key_cols) {
+            *counts.entry(key).or_insert(0) += 1;
+        }
+    }
+    if sampled == 0 {
+        return Ok(HashSet::new());
+    }
+    let threshold = config.heavy_key_threshold();
+    let min_count = (threshold * sampled as f64).max(2.0);
+    Ok(counts
+        .into_iter()
+        .filter(|(_, c)| *c as f64 >= min_count)
+        .map(|(k, _)| k)
+        .collect())
+}
+
+/// Splits a collection into (keys not in `keys`, keys in `keys`) without
+/// moving rows between partitions.
+fn split_by_keys(
+    data: &DistCollection,
+    key_cols: &[String],
+    keys: &Arc<HashSet<Vec<Value>>>,
+) -> Result<(DistCollection, DistCollection)> {
+    let in_set = |row: &Value| -> Result<bool> {
+        Ok(match key_of(row.as_tuple()?, key_cols) {
+            Some(k) => keys.contains(&k),
+            None => false,
+        })
+    };
+    let light = data.filter(|row| Ok(!in_set(row)?))?;
+    let heavy = data.filter(in_set)?;
+    Ok((light, heavy))
+}

@@ -1,0 +1,191 @@
+//! Engine metrics: shuffle / broadcast volume, join strategy counters and
+//! per-operator wall-clock timings.
+//!
+//! A [`Stats`] instance lives inside the [`crate::DistContext`] and is shared
+//! (lock-free for the hot counters) by every operator executed under that
+//! context. Benchmark harnesses call [`Stats::reset`] before a run and
+//! [`Stats::snapshot`] after it; the resulting [`StatsSnapshot`] is a plain
+//! value that can be stored, compared and serialized.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Which physical strategy a join execution took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// Both sides hash-partitioned by key, per-partition hash join.
+    Shuffle,
+    /// One side small enough to replicate to every worker.
+    Broadcast,
+    /// Skew path: heavy keys joined by broadcasting the matching rows of the
+    /// other side (Section 5).
+    SkewBroadcast,
+    /// Skew path: the heavy-key side exceeded the broadcast limit, so the
+    /// engine fell back to a shuffle join for the heavy part.
+    SkewFallback,
+}
+
+/// Aggregated calls/time of one operator kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpTiming {
+    /// Number of operator executions.
+    pub calls: u64,
+    /// Total wall-clock microseconds across those executions.
+    pub micros: u64,
+}
+
+/// Shared, thread-safe metric accumulators of one [`crate::DistContext`].
+#[derive(Default)]
+pub struct Stats {
+    shuffled_tuples: AtomicU64,
+    shuffled_bytes: AtomicU64,
+    broadcast_tuples: AtomicU64,
+    broadcast_bytes: AtomicU64,
+    shuffle_joins: AtomicU64,
+    broadcast_joins: AtomicU64,
+    skew_broadcast_joins: AtomicU64,
+    skew_fallback_joins: AtomicU64,
+    timings: Mutex<BTreeMap<String, OpTiming>>,
+}
+
+impl Stats {
+    /// Creates a zeroed metric set.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Zeroes every counter and timing.
+    pub fn reset(&self) {
+        self.shuffled_tuples.store(0, Ordering::Relaxed);
+        self.shuffled_bytes.store(0, Ordering::Relaxed);
+        self.broadcast_tuples.store(0, Ordering::Relaxed);
+        self.broadcast_bytes.store(0, Ordering::Relaxed);
+        self.shuffle_joins.store(0, Ordering::Relaxed);
+        self.broadcast_joins.store(0, Ordering::Relaxed);
+        self.skew_broadcast_joins.store(0, Ordering::Relaxed);
+        self.skew_fallback_joins.store(0, Ordering::Relaxed);
+        self.timings.lock().unwrap().clear();
+    }
+
+    /// Meters rows moving through a shuffle (repartition-by-key).
+    pub fn record_shuffle(&self, tuples: u64, bytes: u64) {
+        self.shuffled_tuples.fetch_add(tuples, Ordering::Relaxed);
+        self.shuffled_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Meters a dataset replicated to every worker.
+    pub fn record_broadcast(&self, tuples: u64, bytes: u64) {
+        self.broadcast_tuples.fetch_add(tuples, Ordering::Relaxed);
+        self.broadcast_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Counts which physical strategy a join execution took.
+    pub fn record_join(&self, strategy: JoinStrategy) {
+        let counter = match strategy {
+            JoinStrategy::Shuffle => &self.shuffle_joins,
+            JoinStrategy::Broadcast => &self.broadcast_joins,
+            JoinStrategy::SkewBroadcast => &self.skew_broadcast_joins,
+            JoinStrategy::SkewFallback => &self.skew_fallback_joins,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds one execution of operator `op` taking `elapsed`.
+    pub fn record_op(&self, op: &str, elapsed: Duration) {
+        let mut timings = self.timings.lock().unwrap();
+        let entry = timings.entry(op.to_string()).or_default();
+        entry.calls += 1;
+        entry.micros += elapsed.as_micros() as u64;
+    }
+
+    /// Copies the current counters into a plain value.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            shuffled_tuples: self.shuffled_tuples.load(Ordering::Relaxed),
+            shuffled_bytes: self.shuffled_bytes.load(Ordering::Relaxed),
+            broadcast_tuples: self.broadcast_tuples.load(Ordering::Relaxed),
+            broadcast_bytes: self.broadcast_bytes.load(Ordering::Relaxed),
+            shuffle_joins: self.shuffle_joins.load(Ordering::Relaxed),
+            broadcast_joins: self.broadcast_joins.load(Ordering::Relaxed),
+            skew_broadcast_joins: self.skew_broadcast_joins.load(Ordering::Relaxed),
+            skew_fallback_joins: self.skew_fallback_joins.load(Ordering::Relaxed),
+            op_timings: self.timings.lock().unwrap().clone(),
+        }
+    }
+}
+
+impl fmt::Debug for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Stats({:?})", self.snapshot())
+    }
+}
+
+/// A point-in-time copy of the engine metrics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Rows moved through shuffles.
+    pub shuffled_tuples: u64,
+    /// Estimated bytes moved through shuffles.
+    pub shuffled_bytes: u64,
+    /// Rows replicated by broadcasts (counted once per receiving worker).
+    pub broadcast_tuples: u64,
+    /// Estimated bytes replicated by broadcasts.
+    pub broadcast_bytes: u64,
+    /// Joins executed as partitioned shuffle hash joins.
+    pub shuffle_joins: u64,
+    /// Joins executed by broadcasting the small side.
+    pub broadcast_joins: u64,
+    /// Skew-aware joins whose heavy part used the broadcast strategy.
+    pub skew_broadcast_joins: u64,
+    /// Skew-aware joins whose heavy part fell back to a shuffle.
+    pub skew_fallback_joins: u64,
+    /// Per-operator call counts and wall-clock time.
+    pub op_timings: BTreeMap<String, OpTiming>,
+}
+
+impl StatsSnapshot {
+    /// Shuffled volume in mebibytes.
+    pub fn shuffled_mib(&self) -> f64 {
+        self.shuffled_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Broadcast volume in mebibytes.
+    pub fn broadcast_mib(&self) -> f64 {
+        self.broadcast_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// True when at least one join took a broadcast strategy (standard or
+    /// skew-aware heavy part).
+    pub fn used_broadcast(&self) -> bool {
+        self.broadcast_joins > 0 || self.skew_broadcast_joins > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let stats = Stats::new();
+        stats.record_shuffle(10, 1000);
+        stats.record_shuffle(5, 500);
+        stats.record_broadcast(3, 300);
+        stats.record_join(JoinStrategy::Shuffle);
+        stats.record_join(JoinStrategy::SkewBroadcast);
+        stats.record_op("map", Duration::from_micros(42));
+        let snap = stats.snapshot();
+        assert_eq!(snap.shuffled_tuples, 15);
+        assert_eq!(snap.shuffled_bytes, 1500);
+        assert_eq!(snap.broadcast_bytes, 300);
+        assert_eq!(snap.shuffle_joins, 1);
+        assert_eq!(snap.skew_broadcast_joins, 1);
+        assert!(snap.used_broadcast());
+        assert_eq!(snap.op_timings["map"].calls, 1);
+        stats.reset();
+        assert_eq!(stats.snapshot(), StatsSnapshot::default());
+    }
+}

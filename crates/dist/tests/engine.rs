@@ -1,0 +1,350 @@
+//! Engine-level tests: partition parallelism, operator semantics, the
+//! skew-aware join path (heavy-key detection, light ∪ heavy correctness on a
+//! Zipf-skewed input, broadcast-limit fallback) and the memory-cap FAIL
+//! behaviour.
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+use std::thread::ThreadId;
+
+use trance_dist::{detect_heavy_keys, ClusterConfig, DistContext, ExecError, JoinSpec, SkewTriple};
+use trance_nrc::{Bag, Tuple, Value};
+
+fn row(k: i64, v: i64) -> Value {
+    Value::tuple([("k", Value::Int(k)), ("v", Value::Int(v))])
+}
+
+/// A deterministic Zipf-flavoured fact table: key 0 owns `heavy_share` of the
+/// rows, the rest spread over `keys` distinct keys.
+fn skewed_rows(n: usize, keys: i64, heavy_share: f64) -> Vec<Value> {
+    (0..n)
+        .map(|i| {
+            let k = if (i as f64 / n as f64) < heavy_share {
+                0
+            } else {
+                1 + (i as i64 % (keys - 1))
+            };
+            row(k, i as i64)
+        })
+        .collect()
+}
+
+fn dim_rows(keys: i64) -> Vec<Value> {
+    (0..keys)
+        .map(|k| {
+            Value::tuple([
+                ("dk", Value::Int(k)),
+                ("name", Value::str(format!("key{k}"))),
+            ])
+        })
+        .collect()
+}
+
+/// Reference nested-loop equi-join used as the correctness oracle.
+fn nested_loop_join(left: &[Value], right: &[Value]) -> Bag {
+    let mut out = Bag::empty();
+    for l in left {
+        let lt = l.as_tuple().unwrap();
+        for r in right {
+            let rt = r.as_tuple().unwrap();
+            if lt.get("k") == rt.get("dk") {
+                out.push(Value::Tuple(lt.concat(rt)));
+            }
+        }
+    }
+    out
+}
+
+fn canonical(bag: &Bag) -> Vec<Value> {
+    let mut items: Vec<Value> = bag
+        .iter()
+        .map(|v| {
+            let t = v.as_tuple().unwrap();
+            let mut fields: Vec<(String, Value)> =
+                t.iter().map(|(n, v)| (n.to_string(), v.clone())).collect();
+            fields.sort_by(|a, b| a.0.cmp(&b.0));
+            Value::Tuple(Tuple::new(fields))
+        })
+        .collect();
+    items.sort();
+    items
+}
+
+// ---------------------------------------------------------------------------
+// partition parallelism
+// ---------------------------------------------------------------------------
+
+#[test]
+fn operators_run_partition_parallel_across_workers() {
+    let ctx = DistContext::new(ClusterConfig::new(4, 8));
+    let data = ctx.parallelize((0..10_000).map(|i| row(i, i)).collect());
+    let threads: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+    let out = data
+        .map(|v| {
+            threads.lock().unwrap().insert(std::thread::current().id());
+            Ok(v.clone())
+        })
+        .unwrap();
+    assert_eq!(out.len(), 10_000);
+    assert_eq!(out.partitions().len(), 8);
+    let distinct_threads = threads.lock().unwrap().len();
+    assert!(
+        distinct_threads >= 4,
+        "expected the 4 configured workers to participate, saw {distinct_threads} threads"
+    );
+}
+
+#[test]
+fn single_worker_runs_inline() {
+    let ctx = DistContext::new(ClusterConfig::new(1, 4));
+    let data = ctx.parallelize((0..1000).map(|i| row(i, i)).collect());
+    let threads: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+    data.map(|v| {
+        threads.lock().unwrap().insert(std::thread::current().id());
+        Ok(v.clone())
+    })
+    .unwrap();
+    assert_eq!(threads.lock().unwrap().len(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// operator semantics
+// ---------------------------------------------------------------------------
+
+#[test]
+fn map_filter_union_distinct_roundtrip() {
+    let ctx = DistContext::new(ClusterConfig::new(3, 6));
+    let a = ctx.parallelize((0..50).map(|i| row(i % 5, i)).collect());
+    let evens = a
+        .filter(|v| Ok(v.as_tuple()?.get("v").unwrap().as_int()? % 2 == 0))
+        .unwrap();
+    assert_eq!(evens.len(), 25);
+    let doubled = evens
+        .map(|v| {
+            let mut t = v.as_tuple()?.clone();
+            let x = t.get("v").unwrap().as_int()?;
+            t.set("v", Value::Int(x * 2));
+            Ok(Value::Tuple(t))
+        })
+        .unwrap();
+    let unioned = doubled.union(&evens).unwrap();
+    assert_eq!(unioned.len(), 50);
+    let keys = unioned
+        .map(|v| Ok(v.as_tuple()?.get("k").unwrap().clone()))
+        .unwrap()
+        .distinct()
+        .unwrap();
+    assert_eq!(keys.len(), 5);
+}
+
+#[test]
+fn nest_sum_matches_sequential_aggregation() {
+    let ctx = DistContext::new(ClusterConfig::new(4, 8));
+    let rows: Vec<Value> = (0..1000).map(|i| row(i % 7, i)).collect();
+    let mut expected = [0i64; 7];
+    for i in 0..1000i64 {
+        expected[(i % 7) as usize] += i;
+    }
+    let data = ctx.parallelize(rows);
+    let summed = data
+        .nest_sum(&["k".to_string()], &["v".to_string()])
+        .unwrap();
+    assert_eq!(summed.len(), 7);
+    for v in summed.collect() {
+        let t = v.as_tuple().unwrap();
+        let k = t.get("k").unwrap().as_int().unwrap();
+        assert_eq!(t.get("v").unwrap().as_int().unwrap(), expected[k as usize]);
+    }
+}
+
+#[test]
+fn with_unique_id_assigns_distinct_ids() {
+    let ctx = DistContext::new(ClusterConfig::new(4, 8));
+    let data = ctx.parallelize((0..500).map(|i| row(i % 3, i)).collect());
+    let tagged = data.with_unique_id("__id").unwrap();
+    let ids: HashSet<i64> = tagged
+        .collect()
+        .iter()
+        .map(|v| v.as_tuple().unwrap().get("__id").unwrap().as_int().unwrap())
+        .collect();
+    assert_eq!(ids.len(), 500);
+}
+
+#[test]
+fn memory_cap_fails_operators_but_not_loading() {
+    let ctx = DistContext::new(ClusterConfig::new(2, 4).with_worker_memory(500));
+    // Loading is not capped (the paper excludes input caching)...
+    let data = ctx.parallelize((0..200).map(|i| row(i, i)).collect());
+    // ...but the first operator that materializes output is.
+    let result = data.map(|v| Ok(v.clone()));
+    match result {
+        Err(ExecError::MemoryExceeded { limit_bytes, .. }) => assert_eq!(limit_bytes, 500),
+        other => panic!("expected MemoryExceeded, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// skew handling (Section 5)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn heavy_key_detection_respects_threshold() {
+    let ctx = DistContext::new(ClusterConfig::new(2, 4).with_skew_threshold(0.25));
+    // Key 0: 50% of rows; key 1: ~5% — only key 0 crosses the 25% threshold.
+    let data = ctx.parallelize(skewed_rows(2000, 11, 0.5));
+    let heavy = detect_heavy_keys(&data, &["k".to_string()], ctx.config()).unwrap();
+    assert_eq!(heavy, HashSet::from([vec![Value::Int(0)]]));
+
+    // With a 1% threshold every key (each ≥ 5% of rows) is heavy.
+    let low = ctx.config().clone().with_skew_threshold(0.01);
+    let heavy = detect_heavy_keys(&data, &["k".to_string()], &low).unwrap();
+    assert_eq!(heavy.len(), 11);
+
+    // A uniform distribution over many keys has no heavy keys at the default
+    // (1/partitions) threshold.
+    let uniform = ctx.parallelize((0..2000).map(|i| row(i % 100, i)).collect());
+    let heavy = detect_heavy_keys(&uniform, &["k".to_string()], &ClusterConfig::new(2, 4)).unwrap();
+    assert!(heavy.is_empty(), "uniform keys misdetected: {heavy:?}");
+}
+
+#[test]
+fn skew_join_on_zipf_input_equals_nested_loop_join() {
+    let facts = skewed_rows(4000, 40, 0.6);
+    let dims = dim_rows(40);
+    let expected = nested_loop_join(&facts, &dims);
+
+    let ctx = DistContext::new(ClusterConfig::new(4, 16).with_broadcast_limit(16 * 1024));
+    let left = ctx.parallelize(facts);
+    let right = ctx.parallelize(dims);
+    let spec = JoinSpec::inner(&["k"], &["dk"]);
+
+    let standard = left.join(&right, &spec).unwrap();
+    let skewed = SkewTriple::unknown(left.clone())
+        .join(&right, &spec)
+        .unwrap();
+    assert!(
+        skewed.heavy_key_count() >= 1,
+        "key 0 must be detected heavy"
+    );
+    let merged = skewed.merged().unwrap();
+
+    assert_eq!(canonical(&expected), canonical(&standard.collect_bag()));
+    assert_eq!(canonical(&expected), canonical(&merged.collect_bag()));
+
+    // The skew path must have taken the heavy-key broadcast strategy.
+    let snap = ctx.stats().snapshot();
+    assert!(
+        snap.skew_broadcast_joins >= 1,
+        "expected a heavy-key broadcast join, stats: {snap:?}"
+    );
+}
+
+#[test]
+fn skew_left_outer_join_preserves_unmatched_rows() {
+    // Dimension covers only half the keys; unmatched facts must survive with
+    // NULL-extended right fields, identically on both paths.
+    let facts = skewed_rows(2000, 20, 0.5);
+    let dims = dim_rows(10);
+    let ctx = DistContext::new(ClusterConfig::new(3, 8).with_broadcast_limit(8 * 1024));
+    let left = ctx.parallelize(facts);
+    let right = ctx.parallelize(dims);
+    let spec = JoinSpec::left_outer(&["k"], &["dk"]).with_right_fields(&["name"]);
+    let standard = left.join(&right, &spec).unwrap();
+    let skewed = SkewTriple::unknown(left.clone())
+        .join(&right, &spec)
+        .unwrap()
+        .merged()
+        .unwrap();
+    assert_eq!(
+        canonical(&standard.collect_bag()),
+        canonical(&skewed.collect_bag())
+    );
+    assert_eq!(standard.len(), 2000);
+}
+
+#[test]
+fn skew_join_falls_back_to_shuffle_over_broadcast_limit() {
+    let facts = skewed_rows(3000, 30, 0.6);
+    // Wide dimension rows so the heavy-matching right rows exceed the limit.
+    let dims: Vec<Value> = (0..30)
+        .map(|k| Value::tuple([("dk", Value::Int(k)), ("pad", Value::str("x".repeat(256)))]))
+        .collect();
+    let expected = {
+        let mut out = Bag::empty();
+        for l in &facts {
+            let lt = l.as_tuple().unwrap();
+            for r in &dims {
+                let rt = r.as_tuple().unwrap();
+                if lt.get("k") == rt.get("dk") {
+                    out.push(Value::Tuple(lt.concat(rt)));
+                }
+            }
+        }
+        out
+    };
+    // Broadcast limit smaller than a single padded dimension row.
+    let ctx = DistContext::new(ClusterConfig::new(4, 8).with_broadcast_limit(128));
+    let left = ctx.parallelize(facts);
+    let right = ctx.parallelize(dims);
+    let spec = JoinSpec::inner(&["k"], &["dk"]);
+    let merged = SkewTriple::unknown(left)
+        .join(&right, &spec)
+        .unwrap()
+        .merged()
+        .unwrap();
+    assert_eq!(canonical(&expected), canonical(&merged.collect_bag()));
+    let snap = ctx.stats().snapshot();
+    assert!(
+        snap.skew_fallback_joins >= 1,
+        "expected the heavy part to fall back to a shuffle join, stats: {snap:?}"
+    );
+    assert_eq!(snap.skew_broadcast_joins, 0);
+}
+
+#[test]
+fn skew_nest_sum_equals_standard_nest_sum() {
+    let rows = skewed_rows(3000, 25, 0.7);
+    let ctx = DistContext::new(ClusterConfig::new(4, 8));
+    let data = ctx.parallelize(rows);
+    let key = vec!["k".to_string()];
+    let values = vec!["v".to_string()];
+    let standard = data.nest_sum(&key, &values).unwrap();
+    let skewed = SkewTriple::unknown(data.clone())
+        .nest_sum(&key, &values)
+        .unwrap()
+        .merged()
+        .unwrap();
+    assert_eq!(
+        canonical(&standard.collect_bag()),
+        canonical(&skewed.collect_bag())
+    );
+}
+
+#[test]
+fn skew_join_shuffles_less_than_standard_on_heavy_input() {
+    // The headline property: with a heavy key, the skew-aware join moves far
+    // fewer rows through the shuffle because heavy rows stay in place.
+    let facts = skewed_rows(8000, 50, 0.8);
+    let dims = dim_rows(50);
+    let spec = JoinSpec::inner(&["k"], &["dk"]);
+
+    // Force both paths to shuffle-join the light part by keeping the
+    // dimension over the broadcast limit, but leave room to broadcast the
+    // heavy-matching rows.
+    let standard_ctx = DistContext::new(ClusterConfig::new(4, 16).with_broadcast_limit(512));
+    let l = standard_ctx.parallelize(facts.clone());
+    let r = standard_ctx.parallelize(dims.clone());
+    l.join(&r, &spec).unwrap();
+    let standard_shuffled = standard_ctx.stats().snapshot().shuffled_tuples;
+
+    let skew_ctx = DistContext::new(ClusterConfig::new(4, 16).with_broadcast_limit(512));
+    let l = skew_ctx.parallelize(facts);
+    let r = skew_ctx.parallelize(dims);
+    SkewTriple::unknown(l).join(&r, &spec).unwrap();
+    let skew_shuffled = skew_ctx.stats().snapshot().shuffled_tuples;
+
+    assert!(
+        skew_shuffled * 2 < standard_shuffled,
+        "skew path should shuffle far less: {skew_shuffled} vs {standard_shuffled}"
+    );
+}

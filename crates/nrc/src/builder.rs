@@ -294,7 +294,10 @@ mod tests {
                         cmp_eq(proj(var("op"), "pid"), proj(var("p"), "pid")),
                         singleton(tuple([
                             ("pname", proj(var("p"), "pname")),
-                            ("total", mul(proj(var("op"), "qty"), proj(var("p"), "price"))),
+                            (
+                                "total",
+                                mul(proj(var("op"), "qty"), proj(var("p"), "price")),
+                            ),
                         ])),
                     ),
                 ),

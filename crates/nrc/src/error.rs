@@ -56,7 +56,10 @@ impl fmt::Display for NrcError {
                 expected,
                 found,
                 context,
-            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "type mismatch in {context}: expected {expected}, found {found}"
+            ),
             NrcError::GetOnNonSingleton { size } => {
                 write!(f, "get() applied to a bag with {size} elements")
             }

@@ -265,7 +265,10 @@ impl Evaluator {
             let t = item.as_tuple()?.clone();
             let k = t.project(&key_refs);
             let rest = t.project_away(&key_refs);
-            groups.entry(k).or_insert_with(Bag::empty).push(Value::Tuple(rest));
+            groups
+                .entry(k)
+                .or_insert_with(Bag::empty)
+                .push(Value::Tuple(rest));
         }
         let mut out = Bag::empty();
         for (k, group) in groups {
@@ -358,10 +361,7 @@ mod tests {
         let env = Env::from_bindings([("R", Value::bag(vec![Value::Int(1), Value::Int(2)]))]);
         let e = forin("x", var("R"), singleton(add(var("x"), int(10))));
         let out = eval(&e, &env).unwrap();
-        assert_eq!(
-            out,
-            Value::bag(vec![Value::Int(11), Value::Int(12)])
-        );
+        assert_eq!(out, Value::bag(vec![Value::Int(11), Value::Int(12)]));
     }
 
     #[test]
@@ -370,7 +370,10 @@ mod tests {
         let e = forin(
             "p",
             var("P"),
-            ifthen(cmp_eq(proj(var("p"), "pid"), int(1)), singleton(proj(var("p"), "pname"))),
+            ifthen(
+                cmp_eq(proj(var("p"), "pid"), int(1)),
+                singleton(proj(var("p"), "pname")),
+            ),
         );
         let out = eval(&e, &env).unwrap();
         assert_eq!(out, Value::bag(vec![Value::str("bolt")]));
@@ -427,7 +430,10 @@ mod tests {
             match_label(var("l"), 3, &["k"], singleton(tuple([("key", var("k"))]))),
         );
         let out = eval(&e, &Env::new()).unwrap();
-        assert_eq!(out, Value::bag(vec![Value::tuple([("key", Value::Int(7))])]));
+        assert_eq!(
+            out,
+            Value::bag(vec![Value::tuple([("key", Value::Int(7))])])
+        );
         // Matching against the wrong site yields the empty bag.
         let wrong = letin(
             "l",
@@ -565,6 +571,9 @@ mod tests {
             .iter()
             .find(|v| v.as_tuple().unwrap().get("pname") == Some(&Value::str("bolt")))
             .unwrap();
-        assert_eq!(bolt.as_tuple().unwrap().get("total"), Some(&Value::Real(6.0)));
+        assert_eq!(
+            bolt.as_tuple().unwrap().get("total"),
+            Some(&Value::Real(6.0))
+        );
     }
 }

@@ -276,10 +276,7 @@ impl Expr {
                 body.collect_free_vars(bound, out);
                 bound.pop();
             }
-            Expr::Union(a, b)
-            | Expr::And(a, b)
-            | Expr::Or(a, b)
-            | Expr::DictTreeUnion(a, b) => {
+            Expr::Union(a, b) | Expr::And(a, b) | Expr::Or(a, b) | Expr::DictTreeUnion(a, b) => {
                 a.collect_free_vars(bound, out);
                 b.collect_free_vars(bound, out);
             }
@@ -351,12 +348,9 @@ impl Expr {
                 tuple: Box::new(recur(tuple)),
                 field: field.clone(),
             },
-            Expr::Tuple(fields) => Expr::Tuple(
-                fields
-                    .iter()
-                    .map(|(n, e)| (n.clone(), recur(e)))
-                    .collect(),
-            ),
+            Expr::Tuple(fields) => {
+                Expr::Tuple(fields.iter().map(|(n, e)| (n.clone(), recur(e))).collect())
+            }
             Expr::Singleton(e) => Expr::Singleton(Box::new(recur(e))),
             Expr::Get(e) => Expr::Get(Box::new(recur(e))),
             Expr::Not(e) => Expr::Not(Box::new(recur(e))),
@@ -500,10 +494,7 @@ impl Expr {
                 value.visit(f);
                 body.visit(f);
             }
-            Expr::Union(a, b)
-            | Expr::And(a, b)
-            | Expr::Or(a, b)
-            | Expr::DictTreeUnion(a, b) => {
+            Expr::Union(a, b) | Expr::And(a, b) | Expr::Or(a, b) | Expr::DictTreeUnion(a, b) => {
                 a.visit(f);
                 b.visit(f);
             }
@@ -555,7 +546,10 @@ mod tests {
         let e = forin(
             "x",
             var("R"),
-            singleton(tuple([("a", proj(var("x"), "a")), ("b", proj(var("y"), "b"))])),
+            singleton(tuple([
+                ("a", proj(var("x"), "a")),
+                ("b", proj(var("y"), "b")),
+            ])),
         );
         let fv = e.free_vars();
         assert!(fv.contains("R"));

@@ -83,7 +83,7 @@ fn write_expr(out: &mut String, expr: &Expr, level: usize) {
         }
         Expr::For { var, source, body } => {
             indent(out, level);
-            let _ = write!(out, "for {var} in {} union\n", inline(source));
+            let _ = writeln!(out, "for {var} in {} union", inline(source));
             write_expr(out, body, level + 1);
         }
         Expr::Union(a, b) => {
@@ -95,7 +95,7 @@ fn write_expr(out: &mut String, expr: &Expr, level: usize) {
         }
         Expr::Let { var, value, body } => {
             indent(out, level);
-            let _ = write!(out, "let {var} := {} in\n", inline(value));
+            let _ = writeln!(out, "let {var} := {} in", inline(value));
             write_expr(out, body, level);
         }
         Expr::If {
@@ -104,7 +104,7 @@ fn write_expr(out: &mut String, expr: &Expr, level: usize) {
             else_branch,
         } => {
             indent(out, level);
-            let _ = write!(out, "if {} then\n", inline(cond));
+            let _ = writeln!(out, "if {} then", inline(cond));
             write_expr(out, then_branch, level + 1);
             if let Some(e) = else_branch {
                 out.push('\n');
@@ -129,13 +129,13 @@ fn write_expr(out: &mut String, expr: &Expr, level: usize) {
             group_attr,
         } => {
             indent(out, level);
-            let _ = write!(out, "groupBy[{}; group={group_attr}](\n", key.join(","));
+            let _ = writeln!(out, "groupBy[{}; group={group_attr}](", key.join(","));
             write_expr(out, input, level + 1);
             out.push(')');
         }
         Expr::SumBy { input, key, values } => {
             indent(out, level);
-            let _ = write!(out, "sumBy[{}; {}](\n", key.join(","), values.join(","));
+            let _ = writeln!(out, "sumBy[{}; {}](", key.join(","), values.join(","));
             write_expr(out, input, level + 1);
             out.push(')');
         }
@@ -154,9 +154,9 @@ fn write_expr(out: &mut String, expr: &Expr, level: usize) {
             body,
         } => {
             indent(out, level);
-            let _ = write!(
+            let _ = writeln!(
                 out,
-                "match {} = NewLabel#{site}({}) then\n",
+                "match {} = NewLabel#{site}({}) then",
                 inline(label),
                 params.join(", ")
             );
@@ -164,7 +164,7 @@ fn write_expr(out: &mut String, expr: &Expr, level: usize) {
         }
         Expr::Lambda { param, body } => {
             indent(out, level);
-            let _ = write!(out, "lambda {param} .\n");
+            let _ = writeln!(out, "lambda {param} .");
             write_expr(out, body, level + 1);
         }
         Expr::Lookup { dict, label } => {

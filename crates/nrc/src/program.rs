@@ -148,7 +148,11 @@ mod tests {
         let mut p = Program::new();
         p.assign(
             "Names",
-            forin("p", var("Part"), singleton(tuple([("n", proj(var("p"), "pname"))]))),
+            forin(
+                "p",
+                var("Part"),
+                singleton(tuple([("n", proj(var("p"), "pname"))])),
+            ),
         );
         p.assign("Deduped", dedup(var("Names")));
         let env = TypeEnv::from_bindings([(

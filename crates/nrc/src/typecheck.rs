@@ -57,10 +57,13 @@ pub fn infer(expr: &Expr, env: &TypeEnv) -> Result<Type> {
         Expr::Proj { tuple, field } => {
             let t = infer(tuple, env)?;
             match t {
-                Type::Tuple(tt) => tt.field(field).cloned().ok_or_else(|| NrcError::UnknownField {
-                    field: field.clone(),
-                    context: format!("projection on {}", Type::Tuple(tt.clone())),
-                }),
+                Type::Tuple(tt) => tt
+                    .field(field)
+                    .cloned()
+                    .ok_or_else(|| NrcError::UnknownField {
+                        field: field.clone(),
+                        context: format!("projection on {}", Type::Tuple(tt.clone())),
+                    }),
                 Type::Unknown => Ok(Type::Unknown),
                 other => Err(NrcError::TypeMismatch {
                     expected: "tuple".into(),
@@ -306,7 +309,12 @@ pub fn infer(expr: &Expr, env: &TypeEnv) -> Result<Type> {
             }
         }
         Expr::NewLabel { .. } => Ok(Type::Label),
-        Expr::MatchLabel { label, body, params, .. } => {
+        Expr::MatchLabel {
+            label,
+            body,
+            params,
+            ..
+        } => {
             let lt = infer(label, env)?;
             if !lt.compatible(&Type::Label) {
                 return Err(NrcError::TypeMismatch {
@@ -469,7 +477,10 @@ mod tests {
             Err(NrcError::UnboundVariable(_))
         ));
         let e = forin("c", var("COP"), singleton(proj(var("c"), "nope")));
-        assert!(matches!(infer(&e, &env), Err(NrcError::UnknownField { .. })));
+        assert!(matches!(
+            infer(&e, &env),
+            Err(NrcError::UnknownField { .. })
+        ));
     }
 
     #[test]
@@ -481,7 +492,10 @@ mod tests {
         let t = infer(&good, &env).unwrap();
         let elem = t.bag_elem().unwrap().as_tuple().unwrap();
         assert_eq!(elem.field("price"), Some(&Type::real()));
-        assert!(elem.field("pid").is_none(), "non-key non-value attrs dropped");
+        assert!(
+            elem.field("pid").is_none(),
+            "non-key non-value attrs dropped"
+        );
     }
 
     #[test]
@@ -532,12 +546,18 @@ mod tests {
                                             "p",
                                             var("Part"),
                                             ifthen(
-                                                cmp_eq(proj(var("op"), "pid"), proj(var("p"), "pid")),
+                                                cmp_eq(
+                                                    proj(var("op"), "pid"),
+                                                    proj(var("p"), "pid"),
+                                                ),
                                                 singleton(tuple([
                                                     ("pname", proj(var("p"), "pname")),
                                                     (
                                                         "total",
-                                                        mul(proj(var("op"), "qty"), proj(var("p"), "price")),
+                                                        mul(
+                                                            proj(var("op"), "qty"),
+                                                            proj(var("p"), "price"),
+                                                        ),
                                                     ),
                                                 ])),
                                             ),
@@ -556,7 +576,13 @@ mod tests {
         assert!(t.is_bag());
         let c = t.bag_elem().unwrap().as_tuple().unwrap();
         assert_eq!(c.field("cname"), Some(&Type::string()));
-        let orders = c.field("corders").unwrap().bag_elem().unwrap().as_tuple().unwrap();
+        let orders = c
+            .field("corders")
+            .unwrap()
+            .bag_elem()
+            .unwrap()
+            .as_tuple()
+            .unwrap();
         let oparts = orders.field("oparts").unwrap();
         assert!(oparts.is_flat_bag());
     }

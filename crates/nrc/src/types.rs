@@ -7,7 +7,7 @@
 use std::fmt;
 
 /// Scalar (atomic) types.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScalarType {
     /// 64-bit integers.
     Int,
@@ -34,7 +34,7 @@ impl fmt::Display for ScalarType {
 }
 
 /// A named, ordered collection of attribute types.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct TupleType {
     /// Attribute name / type pairs, in declaration order.
     pub fields: Vec<(String, Type)>,
@@ -64,13 +64,15 @@ impl TupleType {
 
     /// True when every attribute has scalar type, i.e. the tuple is flat.
     pub fn is_flat(&self) -> bool {
-        self.fields.iter().all(|(_, t)| t.is_scalar() || matches!(t, Type::Label))
+        self.fields
+            .iter()
+            .all(|(_, t)| t.is_scalar() || matches!(t, Type::Label))
     }
 }
 
 /// NRC types (`T` in Figure 1), extended with `Label` and dictionary types for
 /// the shredded pipeline (NRC^{Lbl+λ}).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Type {
     /// A scalar type.
     Scalar(ScalarType),

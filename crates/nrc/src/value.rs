@@ -110,9 +110,34 @@ impl Tuple {
         Tuple {
             fields: names
                 .iter()
-                .filter_map(|n| self.get(n).map(|v| (n.to_string(), v.clone())))
+                .zip(self.project_values(names))
+                .filter_map(|(n, v)| v.map(|v| (n.to_string(), v.clone())))
                 .collect(),
         }
+    }
+
+    /// Batch accessor: looks up every name in `names` in a **single pass**
+    /// over the tuple's attributes, returning the values in `names` order
+    /// (`None` for missing attributes).
+    ///
+    /// Per-row per-column [`Tuple::get`] calls in hot loops (row
+    /// finalization, join key extraction, grouping) are O(fields) each; this
+    /// replaces `names.len()` scans with one.
+    pub fn project_values<'a, S: AsRef<str>>(&'a self, names: &[S]) -> Vec<Option<&'a Value>> {
+        let mut out: Vec<Option<&Value>> = vec![None; names.len()];
+        let mut unfilled = names.len();
+        for (n, v) in &self.fields {
+            if unfilled == 0 {
+                break;
+            }
+            for (slot, name) in out.iter_mut().zip(names) {
+                if slot.is_none() && name.as_ref() == n {
+                    *slot = Some(v);
+                    unfilled -= 1;
+                }
+            }
+        }
+        out
     }
 
     /// Returns a new tuple with the attributes in `names` removed.
@@ -562,12 +587,8 @@ impl Ord for Value {
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
             (Value::Int(a), Value::Int(b)) => a.cmp(b),
             (Value::Real(a), Value::Real(b)) => normalize_real(*a).cmp(&normalize_real(*b)),
-            (Value::Int(a), Value::Real(b)) => {
-                normalize_real(*a as f64).cmp(&normalize_real(*b))
-            }
-            (Value::Real(a), Value::Int(b)) => {
-                normalize_real(*a).cmp(&normalize_real(*b as f64))
-            }
+            (Value::Int(a), Value::Real(b)) => normalize_real(*a as f64).cmp(&normalize_real(*b)),
+            (Value::Real(a), Value::Int(b)) => normalize_real(*a).cmp(&normalize_real(*b as f64)),
             (Value::Str(a), Value::Str(b)) => a.cmp(b),
             (Value::Date(a), Value::Date(b)) => a.cmp(b),
             (Value::Label(a), Value::Label(b)) => a.cmp(b),
@@ -683,8 +704,15 @@ mod tests {
             ("name", Value::str("bolt")),
         ]);
         assert_eq!(t.get("pid"), Some(&Value::Int(7)));
-        assert_eq!(t.project(&["name", "pid"]).field_names(), vec!["name", "pid"]);
+        assert_eq!(
+            t.project(&["name", "pid"]).field_names(),
+            vec!["name", "pid"]
+        );
         assert_eq!(t.project_away(&["qty"]).len(), 2);
+        assert_eq!(
+            t.project_values(&["qty", "missing", "pid"]),
+            vec![Some(&Value::Real(2.5)), None, Some(&Value::Int(7))]
+        );
         let mut t2 = t.clone();
         t2.set("qty", Value::Real(9.0));
         assert_eq!(t2.get("qty"), Some(&Value::Real(9.0)));
@@ -720,7 +748,7 @@ mod tests {
 
     #[test]
     fn null_coerces_to_neutral_values() {
-        assert_eq!(Value::Null.as_bool().unwrap(), false);
+        assert!(!Value::Null.as_bool().unwrap());
         assert_eq!(Value::Null.as_real().unwrap(), 0.0);
         assert!(Value::Null.clone().into_bag().unwrap().is_empty());
     }
@@ -736,7 +764,10 @@ mod tests {
     fn infer_type_of_nested_value() {
         let v = Value::bag(vec![Value::tuple([
             ("cname", Value::str("c1")),
-            ("corders", Value::bag(vec![Value::tuple([("odate", Value::Date(1))])])),
+            (
+                "corders",
+                Value::bag(vec![Value::tuple([("odate", Value::Date(1))])]),
+            ),
         ])]);
         let t = v.infer_type();
         assert!(t.is_bag());

@@ -77,7 +77,11 @@ struct DictHandle {
 }
 
 impl DictHandle {
-    fn from_structure(input: &str, prefix: &str, s: &NestingStructure) -> BTreeMap<String, DictHandle> {
+    fn from_structure(
+        input: &str,
+        prefix: &str,
+        s: &NestingStructure,
+    ) -> BTreeMap<String, DictHandle> {
         let mut out = BTreeMap::new();
         for (attr, child) in &s.children {
             let path = if prefix.is_empty() {
@@ -249,8 +253,7 @@ fn shred_bag(
                         } else {
                             format!("{out_path}_{name}")
                         };
-                        let (label_expr, handle) =
-                            shred_inner_bag(fe, env, st, &path)?;
+                        let (label_expr, handle) = shred_inner_bag(fe, env, st, &path)?;
                         flat_fields.push((name.clone(), label_expr));
                         handles.insert(name.clone(), handle);
                     } else {
@@ -490,9 +493,7 @@ fn shred_inner_bag(
         else_branch: None,
     } = body
     {
-        if let Some((outer_expr, inner_expr, residual)) =
-            split_correlation(cond, env, &var)
-        {
+        if let Some((outer_expr, inner_expr, residual)) = split_correlation(cond, env, &var) {
             let site = st.sites.fresh();
             let label_expr = Expr::NewLabel {
                 site,
@@ -611,9 +612,7 @@ fn split_correlation(cond: &Expr, env: &Env, loop_var: &str) -> Option<(Expr, Ex
         residual.push(c);
     }
     let (outer, inner) = outer_inner?;
-    let residual = residual
-        .into_iter()
-        .reduce(|a, bx| b::and(a, bx));
+    let residual = residual.into_iter().reduce(b::and);
     Some((outer, inner, residual))
 }
 

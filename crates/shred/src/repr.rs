@@ -122,8 +122,7 @@ fn shred_bag(
                             let label = Label::new(site, vec![Value::Int(*counter as i64)]);
                             // Recursively shred the inner bag's contents and
                             // register one dictionary row per inner tuple.
-                            let inner_flat =
-                                shred_bag(inner, &child_path, dicts, sites, counter)?;
+                            let inner_flat = shred_bag(inner, &child_path, dicts, sites, counter)?;
                             let dict = dicts.entry(child_path).or_insert_with(Bag::empty);
                             for row in inner_flat.iter() {
                                 let mut dict_row = Tuple::new([(
@@ -273,8 +272,7 @@ pub fn nesting_structure(ty: &Type) -> Result<NestingStructure> {
     if let Type::Tuple(tt) = elem {
         for (name, ft) in &tt.fields {
             if ft.is_bag() {
-                out.children
-                    .insert(name.clone(), nesting_structure(ft)?);
+                out.children.insert(name.clone(), nesting_structure(ft)?);
             }
         }
     }
@@ -297,8 +295,14 @@ mod tests {
                             (
                                 "oparts",
                                 Value::bag(vec![
-                                    Value::tuple([("pid", Value::Int(1)), ("qty", Value::Real(3.0))]),
-                                    Value::tuple([("pid", Value::Int(2)), ("qty", Value::Real(1.0))]),
+                                    Value::tuple([
+                                        ("pid", Value::Int(1)),
+                                        ("qty", Value::Real(3.0)),
+                                    ]),
+                                    Value::tuple([
+                                        ("pid", Value::Int(2)),
+                                        ("qty", Value::Real(1.0)),
+                                    ]),
                                 ]),
                             ),
                         ]),
@@ -306,7 +310,10 @@ mod tests {
                     ]),
                 ),
             ]),
-            Value::tuple([("cname", Value::str("bob")), ("corders", Value::empty_bag())]),
+            Value::tuple([
+                ("cname", Value::str("bob")),
+                ("corders", Value::empty_bag()),
+            ]),
         ])
     }
 
@@ -317,7 +324,10 @@ mod tests {
                 "corders",
                 Type::bag_of([
                     ("odate", Type::date()),
-                    ("oparts", Type::bag_of([("pid", Type::int()), ("qty", Type::real())])),
+                    (
+                        "oparts",
+                        Type::bag_of([("pid", Type::int()), ("qty", Type::real())]),
+                    ),
                 ]),
             ),
         ])
@@ -352,7 +362,10 @@ mod tests {
         let shredded = shred_value(&original).unwrap();
         let structure = nesting_structure(&cop_type()).unwrap();
         let rebuilt = unshred_value(&shredded, &structure).unwrap();
-        assert!(rebuilt.multiset_eq(&original), "round trip must preserve the nested value");
+        assert!(
+            rebuilt.multiset_eq(&original),
+            "round trip must preserve the nested value"
+        );
     }
 
     #[test]
@@ -366,24 +379,32 @@ mod tests {
             .iter()
             .find(|r| r.as_tuple().unwrap().get("cname") == Some(&Value::str("bob")))
             .unwrap();
-        assert_eq!(bob.as_tuple().unwrap().get("corders"), Some(&Value::empty_bag()));
+        assert_eq!(
+            bob.as_tuple().unwrap().get("corders"),
+            Some(&Value::empty_bag())
+        );
     }
 
     #[test]
     fn nesting_structure_paths_follow_the_type() {
         let s = nesting_structure(&cop_type()).unwrap();
-        assert_eq!(s.paths(), vec!["corders".to_string(), "corders_oparts".to_string()]);
+        assert_eq!(
+            s.paths(),
+            vec!["corders".to_string(), "corders_oparts".to_string()]
+        );
     }
 
     #[test]
     fn labels_use_distinct_sites_per_path() {
         let shredded = shred_value(&cop_value()).unwrap();
-        let top_label_site = shredded.top.iter().find_map(|r| {
-            match r.as_tuple().unwrap().get("corders") {
-                Some(Value::Label(l)) => Some(l.site),
-                _ => None,
-            }
-        });
+        let top_label_site =
+            shredded
+                .top
+                .iter()
+                .find_map(|r| match r.as_tuple().unwrap().get("corders") {
+                    Some(Value::Label(l)) => Some(l.site),
+                    _ => None,
+                });
         let inner_label_site = shredded.dict("corders").iter().find_map(|r| {
             match r.as_tuple().unwrap().get("oparts") {
                 Some(Value::Label(l)) => Some(l.site),

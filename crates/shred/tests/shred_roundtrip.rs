@@ -7,8 +7,8 @@
 use trance_nrc::builder::*;
 use trance_nrc::{eval, Bag, Env, Value};
 use trance_shred::{
-    bind_shredded_input, eval_and_unshred, nesting_structure, shred_query, shred_value,
-    NestingStructure, ShreddedInputDecl,
+    bind_shredded_input, eval_and_unshred, shred_query, shred_value, NestingStructure,
+    ShreddedInputDecl,
 };
 
 fn cop_value() -> Value {
@@ -49,7 +49,10 @@ fn cop_value() -> Value {
                 ])]),
             ),
         ]),
-        Value::tuple([("cname", Value::str("carol")), ("corders", Value::empty_bag())]),
+        Value::tuple([
+            ("cname", Value::str("carol")),
+            ("corders", Value::empty_bag()),
+        ]),
     ])
 }
 
@@ -74,8 +77,10 @@ fn part_value() -> Value {
 }
 
 fn cop_structure() -> NestingStructure {
-    NestingStructure::flat()
-        .with_child("corders", NestingStructure::flat().with_child("oparts", NestingStructure::flat()))
+    NestingStructure::flat().with_child(
+        "corders",
+        NestingStructure::flat().with_child("oparts", NestingStructure::flat()),
+    )
 }
 
 /// The running example (Example 1): nested-to-nested with a join and sumBy at
@@ -108,7 +113,10 @@ fn running_example_query() -> trance_nrc::Expr {
                                                 ("pname", proj(var("p"), "pname")),
                                                 (
                                                     "total",
-                                                    mul(proj(var("op"), "qty"), proj(var("p"), "price")),
+                                                    mul(
+                                                        proj(var("op"), "qty"),
+                                                        proj(var("p"), "price"),
+                                                    ),
                                                 ),
                                             ])),
                                         ),
@@ -207,22 +215,34 @@ fn flat_to_nested_grouping() {
         Value::tuple([("okey", Value::Int(3)), ("odate", Value::Date(102))]), // no lineitems
     ]);
     let lineitem = Value::bag(vec![
-        Value::tuple([("okey", Value::Int(1)), ("pid", Value::Int(10)), ("qty", Value::Real(1.0))]),
-        Value::tuple([("okey", Value::Int(1)), ("pid", Value::Int(11)), ("qty", Value::Real(2.0))]),
-        Value::tuple([("okey", Value::Int(2)), ("pid", Value::Int(10)), ("qty", Value::Real(3.0))]),
+        Value::tuple([
+            ("okey", Value::Int(1)),
+            ("pid", Value::Int(10)),
+            ("qty", Value::Real(1.0)),
+        ]),
+        Value::tuple([
+            ("okey", Value::Int(1)),
+            ("pid", Value::Int(11)),
+            ("qty", Value::Real(2.0)),
+        ]),
+        Value::tuple([
+            ("okey", Value::Int(2)),
+            ("pid", Value::Int(10)),
+            ("qty", Value::Real(3.0)),
+        ]),
     ]);
-    let (expected, _) = assert_shredding_equivalent(
-        &query,
-        &[],
-        &[("Orders", orders), ("Lineitem", lineitem)],
-    );
+    let (expected, _) =
+        assert_shredding_equivalent(&query, &[], &[("Orders", orders), ("Lineitem", lineitem)]);
     assert_eq!(expected.len(), 3);
     // Order 3 must keep an empty oparts bag.
     let o3 = expected
         .iter()
         .find(|r| r.as_tuple().unwrap().get("odate") == Some(&Value::Date(102)))
         .unwrap();
-    assert_eq!(o3.as_tuple().unwrap().get("oparts"), Some(&Value::empty_bag()));
+    assert_eq!(
+        o3.as_tuple().unwrap().get("oparts"),
+        Some(&Value::empty_bag())
+    );
 }
 
 #[test]
@@ -245,7 +265,10 @@ fn nested_to_flat_aggregation() {
                             cmp_eq(proj(var("op"), "pid"), proj(var("p"), "pid")),
                             singleton(tuple([
                                 ("cname", proj(var("cop"), "cname")),
-                                ("spent", mul(proj(var("op"), "qty"), proj(var("p"), "price"))),
+                                (
+                                    "spent",
+                                    mul(proj(var("op"), "qty"), proj(var("p"), "price")),
+                                ),
                             ])),
                         ),
                     ),
@@ -266,7 +289,10 @@ fn nested_to_flat_aggregation() {
         .iter()
         .find(|r| r.as_tuple().unwrap().get("cname") == Some(&Value::str("alice")))
         .unwrap();
-    assert_eq!(alice.as_tuple().unwrap().get("spent"), Some(&Value::Real(9.0)));
+    assert_eq!(
+        alice.as_tuple().unwrap().get("spent"),
+        Some(&Value::Real(9.0))
+    );
 }
 
 #[test]
@@ -311,13 +337,33 @@ fn two_level_flat_to_nested() {
         Value::tuple([("ckey", Value::Int(2)), ("cname", Value::str("bob"))]),
     ]);
     let orders = Value::bag(vec![
-        Value::tuple([("okey", Value::Int(10)), ("ckey", Value::Int(1)), ("odate", Value::Date(5))]),
-        Value::tuple([("okey", Value::Int(11)), ("ckey", Value::Int(1)), ("odate", Value::Date(6))]),
-        Value::tuple([("okey", Value::Int(12)), ("ckey", Value::Int(2)), ("odate", Value::Date(7))]),
+        Value::tuple([
+            ("okey", Value::Int(10)),
+            ("ckey", Value::Int(1)),
+            ("odate", Value::Date(5)),
+        ]),
+        Value::tuple([
+            ("okey", Value::Int(11)),
+            ("ckey", Value::Int(1)),
+            ("odate", Value::Date(6)),
+        ]),
+        Value::tuple([
+            ("okey", Value::Int(12)),
+            ("ckey", Value::Int(2)),
+            ("odate", Value::Date(7)),
+        ]),
     ]);
     let lineitem = Value::bag(vec![
-        Value::tuple([("okey", Value::Int(10)), ("pid", Value::Int(1)), ("qty", Value::Real(4.0))]),
-        Value::tuple([("okey", Value::Int(12)), ("pid", Value::Int(2)), ("qty", Value::Real(6.0))]),
+        Value::tuple([
+            ("okey", Value::Int(10)),
+            ("pid", Value::Int(1)),
+            ("qty", Value::Real(4.0)),
+        ]),
+        Value::tuple([
+            ("okey", Value::Int(12)),
+            ("pid", Value::Int(2)),
+            ("qty", Value::Real(6.0)),
+        ]),
     ]);
     assert_shredding_equivalent(
         &query,
@@ -344,7 +390,10 @@ fn shredded_program_shape_matches_the_paper() {
     assert!(names.contains(&"MatDict_corders"));
     assert!(names.contains(&"MatDict_corders_oparts"));
     assert_eq!(*names.last().unwrap(), "TopBag");
-    assert_eq!(shredded.structure.paths(), vec!["corders", "corders_oparts"]);
+    assert_eq!(
+        shredded.structure.paths(),
+        vec!["corders", "corders_oparts"]
+    );
     // The program's inputs are the shredded COP plus the flat Part.
     let inputs = shredded.input_names();
     assert!(inputs.contains(&"COP__F".to_string()));

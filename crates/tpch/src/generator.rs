@@ -154,7 +154,10 @@ pub fn generate(config: &TpchConfig) -> TpchData {
                     ("c_custkey", Value::Int(c as i64)),
                     ("c_name", Value::str(format!("customer-{c}"))),
                     ("c_nationkey", Value::Int((c % n_nat) as i64)),
-                    ("c_comment", Value::str(format!("customer comment {c} lorem ipsum"))),
+                    (
+                        "c_comment",
+                        Value::str(format!("customer comment {c} lorem ipsum")),
+                    ),
                 ])
             })
             .collect(),
@@ -176,9 +179,15 @@ pub fn generate(config: &TpchConfig) -> TpchData {
             .map(|o| {
                 Value::tuple([
                     ("o_orderkey", Value::Int(o as i64)),
-                    ("o_custkey", Value::Int(zipf_key(&mut rng, n_cust, config.skew))),
+                    (
+                        "o_custkey",
+                        Value::Int(zipf_key(&mut rng, n_cust, config.skew)),
+                    ),
                     ("o_orderdate", Value::Date(10_000 + (o % 2500) as i64)),
-                    ("o_comment", Value::str(format!("order comment {o} lorem ipsum dolor"))),
+                    (
+                        "o_comment",
+                        Value::str(format!("order comment {o} lorem ipsum dolor")),
+                    ),
                 ])
             })
             .collect(),
@@ -187,11 +196,20 @@ pub fn generate(config: &TpchConfig) -> TpchData {
         (0..n_li)
             .map(|l| {
                 Value::tuple([
-                    ("l_orderkey", Value::Int(zipf_key(&mut rng, n_ord, config.skew))),
-                    ("l_partkey", Value::Int(zipf_key(&mut rng, n_part, config.skew))),
+                    (
+                        "l_orderkey",
+                        Value::Int(zipf_key(&mut rng, n_ord, config.skew)),
+                    ),
+                    (
+                        "l_partkey",
+                        Value::Int(zipf_key(&mut rng, n_part, config.skew)),
+                    ),
                     ("l_quantity", Value::Real(1.0 + (l % 50) as f64)),
                     ("l_price", Value::Real(0.9 + (l % 1000) as f64 / 100.0)),
-                    ("l_comment", Value::str(format!("lineitem comment {l} lorem ipsum dolor sit"))),
+                    (
+                        "l_comment",
+                        Value::str(format!("lineitem comment {l} lorem ipsum dolor sit")),
+                    ),
                 ])
             })
             .collect(),
@@ -244,7 +262,13 @@ mod tests {
         let data = generate(&TpchConfig::new(0.2, 2));
         let n_ord = TpchConfig::new(0.2, 2).orders() as i64;
         for r in data.lineitem.iter() {
-            let k = r.as_tuple().unwrap().get("l_orderkey").unwrap().as_int().unwrap();
+            let k = r
+                .as_tuple()
+                .unwrap()
+                .get("l_orderkey")
+                .unwrap()
+                .as_int()
+                .unwrap();
             assert!(k >= 0 && k < n_ord);
         }
     }

@@ -47,7 +47,13 @@ const JOIN_KEY: [(&str, &str); 5] = [
 fn kept_attrs(level: usize, variant: QueryVariant) -> Vec<&'static str> {
     match (level, variant) {
         (0, QueryVariant::Narrow) => vec!["l_partkey", "l_quantity"],
-        (0, QueryVariant::Wide) => vec!["l_orderkey", "l_partkey", "l_quantity", "l_price", "l_comment"],
+        (0, QueryVariant::Wide) => vec![
+            "l_orderkey",
+            "l_partkey",
+            "l_quantity",
+            "l_price",
+            "l_comment",
+        ],
         (1, QueryVariant::Narrow) => vec!["o_orderdate"],
         (1, QueryVariant::Wide) => vec!["o_orderkey", "o_custkey", "o_orderdate", "o_comment"],
         (2, QueryVariant::Narrow) => vec!["c_name"],
@@ -76,8 +82,8 @@ fn level_name_attr(level: usize) -> &'static str {
 /// the nested input of the nested-to-* families).
 pub fn nesting_structure_for_depth(depth: usize) -> NestingStructure {
     let mut s = NestingStructure::flat();
-    for level in 1..=depth {
-        s = NestingStructure::flat().with_child(NEST_ATTR[level], s);
+    for attr in &NEST_ATTR[1..=depth] {
+        s = NestingStructure::flat().with_child(*attr, s);
         // NEST_ATTR indexed by the *parent* level that contains it; rebuild
         // outermost-last, so iterate from the leaf upwards.
     }
@@ -93,12 +99,11 @@ pub fn nesting_structure_for_depth(depth: usize) -> NestingStructure {
 /// hierarchy with the table of level `d` at the top.
 pub fn flat_to_nested(depth: usize, variant: QueryVariant) -> Expr {
     assert!(depth <= 4, "the benchmark defines depths 0..=4");
-    build_level(depth, depth, variant)
+    build_level(depth, variant)
 }
 
-/// Recursively builds the flat-to-nested construction for `level`, knowing the
-/// query's overall `depth` (used only for assertions).
-fn build_level(level: usize, depth: usize, variant: QueryVariant) -> Expr {
+/// Recursively builds the flat-to-nested construction for `level`.
+fn build_level(level: usize, variant: QueryVariant) -> Expr {
     let v = LEVEL_VAR[level];
     let table = LEVEL_TABLE[level];
     let mut fields: Vec<(String, Expr)> = kept_attrs(level, variant)
@@ -108,7 +113,7 @@ fn build_level(level: usize, depth: usize, variant: QueryVariant) -> Expr {
     if level > 0 {
         let (child_key, parent_key) = JOIN_KEY[level];
         let child_var = LEVEL_VAR[level - 1];
-        let child = build_level(level - 1, depth, variant);
+        let child = build_level(level - 1, variant);
         // Correlate the child construction with this level's key.
         let correlated = match child {
             Expr::For {
@@ -119,7 +124,10 @@ fn build_level(level: usize, depth: usize, variant: QueryVariant) -> Expr {
                 var: cv,
                 source,
                 body: Box::new(Expr::If {
-                    cond: Box::new(cmp_eq(proj(var(child_var), child_key), proj(var(v), parent_key))),
+                    cond: Box::new(cmp_eq(
+                        proj(var(child_var), child_key),
+                        proj(var(v), parent_key),
+                    )),
                     then_branch: body,
                     else_branch: None,
                 }),
@@ -184,7 +192,10 @@ fn lowest_level_aggregate(lineitems: Expr, lvar: &str) -> Expr {
                         ("p_name", proj(var("p"), "p_name")),
                         (
                             "total",
-                            mul(proj(var(lvar), "l_quantity"), proj(var("p"), "p_retailprice")),
+                            mul(
+                                proj(var(lvar), "l_quantity"),
+                                proj(var("p"), "p_retailprice"),
+                            ),
                         ),
                     ])),
                 ),
@@ -214,7 +225,13 @@ pub fn nested_to_flat(depth: usize, _variant: QueryVariant) -> Expr {
                         cmp_eq(proj(var("l"), "l_partkey"), proj(var("p"), "p_partkey")),
                         singleton(tuple([
                             ("name", proj(var("p"), "p_name")),
-                            ("total", mul(proj(var("l"), "l_quantity"), proj(var("p"), "p_retailprice"))),
+                            (
+                                "total",
+                                mul(
+                                    proj(var("l"), "l_quantity"),
+                                    proj(var("p"), "p_retailprice"),
+                                ),
+                            ),
                         ])),
                     ),
                 ),
@@ -236,7 +253,10 @@ pub fn nested_to_flat(depth: usize, _variant: QueryVariant) -> Expr {
                     ("name", proj(var(level_var_n(depth)), name_attr)),
                     (
                         "total",
-                        mul(proj(var("li"), "l_quantity"), proj(var("p"), "p_retailprice")),
+                        mul(
+                            proj(var("li"), "l_quantity"),
+                            proj(var("p"), "p_retailprice"),
+                        ),
                     ),
                 ])),
             ),
@@ -302,8 +322,8 @@ mod tests {
     fn nested_families_evaluate_on_materialized_input() {
         let base_env = env(0.05);
         for depth in 0..=2usize {
-            let nested_input = eval(&flat_to_nested(depth, QueryVariant::Narrow), &base_env)
-                .unwrap();
+            let nested_input =
+                eval(&flat_to_nested(depth, QueryVariant::Narrow), &base_env).unwrap();
             let mut e2 = base_env.clone();
             e2.bind(NESTED_INPUT, nested_input);
             let nn = eval(&nested_to_nested(depth, QueryVariant::Narrow), &e2).unwrap();

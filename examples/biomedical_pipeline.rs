@@ -4,9 +4,9 @@
 //!
 //! Run with `cargo run --release --example biomedical_pipeline`.
 
-use trance_bench::run_biomed_pipeline;
 use trance::biomed::BiomedConfig;
 use trance::compiler::Strategy;
+use trance_bench::run_biomed_pipeline;
 
 fn main() {
     let cfg = BiomedConfig::small();
@@ -19,8 +19,10 @@ fn main() {
                 None => println!("  {step}: FAIL"),
             }
         }
-        println!("  total: {:.1} ms, shuffled {:.2} MiB\n",
+        println!(
+            "  total: {:.1} ms, shuffled {:.2} MiB\n",
             row.total().as_secs_f64() * 1000.0,
-            row.shuffled_bytes as f64 / (1024.0 * 1024.0));
+            row.shuffled_bytes as f64 / (1024.0 * 1024.0)
+        );
     }
 }

@@ -15,14 +15,26 @@ fn main() {
             AttrSchema::flat(["odate"]).with_nested("oparts", AttrSchema::flat(["pid", "qty"])),
         ),
     );
-    catalog.register("Part", AttrSchema::flat(["pid", "pname", "price", "comment", "brand"]));
+    catalog.register(
+        "Part",
+        AttrSchema::flat(["pid", "pname", "price", "comment", "brand"]),
+    );
 
     let plan = Plan::scan("COP")
         .outer_unnest("corders", "copID")
         .outer_unnest("oparts", "coID")
-        .join(Plan::scan("Part"), &["pid"], &["pid"], PlanJoinKind::LeftOuter)
+        .join(
+            Plan::scan("Part"),
+            &["pid"],
+            &["pid"],
+            PlanJoinKind::LeftOuter,
+        )
         .nest_sum(&["copID", "coID", "cname", "odate", "pname"], &["total"])
-        .nest_bag(&["copID", "coID", "cname", "odate"], &["pname", "total"], "oparts")
+        .nest_bag(
+            &["copID", "coID", "cname", "odate"],
+            &["pname", "total"],
+            "oparts",
+        )
         .nest_bag(&["copID", "cname"], &["odate", "oparts"], "corders")
         .project_columns(&["cname", "corders"]);
 

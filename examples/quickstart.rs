@@ -28,8 +28,16 @@ fn main() {
         ),
     ])]);
     let part = Value::bag(vec![
-        Value::tuple([("pid", Value::Int(1)), ("pname", Value::str("bolt")), ("price", Value::Real(2.0))]),
-        Value::tuple([("pid", Value::Int(2)), ("pname", Value::str("nut")), ("price", Value::Real(0.5))]),
+        Value::tuple([
+            ("pid", Value::Int(1)),
+            ("pname", Value::str("bolt")),
+            ("price", Value::Real(2.0)),
+        ]),
+        Value::tuple([
+            ("pid", Value::Int(2)),
+            ("pname", Value::str("nut")),
+            ("price", Value::Real(0.5)),
+        ]),
     ]);
 
     // Example 1 of the paper: per customer and order, total spent per part name.
@@ -58,7 +66,13 @@ fn main() {
                                             cmp_eq(proj(var("op"), "pid"), proj(var("p"), "pid")),
                                             singleton(tuple([
                                                 ("pname", proj(var("p"), "pname")),
-                                                ("total", mul(proj(var("op"), "qty"), proj(var("p"), "price"))),
+                                                (
+                                                    "total",
+                                                    mul(
+                                                        proj(var("op"), "qty"),
+                                                        proj(var("p"), "price"),
+                                                    ),
+                                                ),
                                             ])),
                                         ),
                                     ),
@@ -73,19 +87,33 @@ fn main() {
         ])),
     );
 
-    let structure = NestingStructure::flat()
-        .with_child("corders", NestingStructure::flat().with_child("oparts", NestingStructure::flat()));
-    let spec = QuerySpec::new("running-example", query, vec![ShreddedInputDecl::new("COP", structure)]);
+    let structure = NestingStructure::flat().with_child(
+        "corders",
+        NestingStructure::flat().with_child("oparts", NestingStructure::flat()),
+    );
+    let spec = QuerySpec::new(
+        "running-example",
+        query,
+        vec![ShreddedInputDecl::new("COP", structure)],
+    );
 
     let ctx = DistContext::new(ClusterConfig::new(4, 8));
     let mut inputs = InputSet::new(ctx);
-    inputs.add_nested("COP", cop.as_bag().unwrap().clone()).unwrap();
-    inputs.add_flat("Part", part.as_bag().unwrap().clone()).unwrap();
+    inputs
+        .add_nested("COP", cop.as_bag().unwrap().clone())
+        .unwrap();
+    inputs
+        .add_flat("Part", part.as_bag().unwrap().clone())
+        .unwrap();
 
     for strategy in [Strategy::Standard, Strategy::Shred, Strategy::ShredUnshred] {
         let outcome = run_query(&spec, &inputs, strategy);
-        println!("--- {} ({:.2} ms, {} tuples shuffled) ---",
-            strategy.label(), outcome.seconds() * 1000.0, outcome.stats.shuffled_tuples);
+        println!(
+            "--- {} ({:.2} ms, {} tuples shuffled) ---",
+            strategy.label(),
+            outcome.seconds() * 1000.0,
+            outcome.stats.shuffled_tuples
+        );
         match outcome.result {
             RunResult::Nested(d) => println!("{}", d.collect_bag()),
             RunResult::Shredded(out) => {

@@ -4,9 +4,9 @@
 //!
 //! Run with `cargo run --release --example skew_handling`.
 
-use trance_bench::{run_tpch_query, Family};
 use trance::compiler::Strategy;
 use trance::tpch::{QueryVariant, TpchConfig};
+use trance_bench::{run_tpch_query, Family};
 
 fn main() {
     println!("Nested-to-nested narrow, depth 2, skew factors 0-4 (scale 0.2)\n");

@@ -1,15 +1,20 @@
 //! Repository-level integration tests: the whole stack (NRC -> shredding ->
 //! distributed execution -> unshredding) against the reference evaluator,
-//! plus property-based tests on the core invariants.
+//! plus randomized-input tests on the core invariants.
+//!
+//! The randomized tests use a deterministic seeded generator (the workspace
+//! builds offline, so `proptest` is unavailable): every case is reproducible
+//! from its iteration index.
 
-use proptest::prelude::*;
-use proptest::strategy::Strategy as _;
 use trance::compiler::{collect_unshredded, run_query, InputSet, QuerySpec, RunResult, Strategy};
 use trance::dist::{ClusterConfig, DistContext};
 use trance::nrc::builder::*;
 use trance::nrc::{eval, Bag, Env, Value};
 use trance::shred::{nesting_structure, shred_value, unshred_value, ShreddedInputDecl};
-use trance::tpch::{flat_to_nested, generate, nested_to_nested, nesting_structure_for_depth, QueryVariant, TpchConfig};
+use trance::tpch::{
+    flat_to_nested, generate, nested_to_nested, nesting_structure_for_depth, QueryVariant,
+    TpchConfig,
+};
 
 #[test]
 fn tpch_nested_to_nested_depth2_matches_reference_for_all_strategies() {
@@ -39,9 +44,17 @@ fn tpch_nested_to_nested_depth2_matches_reference_for_all_strategies() {
     let spec = QuerySpec::new(
         "nn2",
         query,
-        vec![ShreddedInputDecl::new("Nested", nesting_structure_for_depth(2))],
+        vec![ShreddedInputDecl::new(
+            "Nested",
+            nesting_structure_for_depth(2),
+        )],
     );
-    for strategy in [Strategy::Standard, Strategy::Shred, Strategy::ShredUnshred, Strategy::ShredSkew] {
+    for strategy in [
+        Strategy::Standard,
+        Strategy::Shred,
+        Strategy::ShredUnshred,
+        Strategy::ShredSkew,
+    ] {
         let outcome = run_query(&spec, &inputs, strategy);
         let produced = match &outcome.result {
             RunResult::Nested(d) => d.collect_bag(),
@@ -82,74 +95,116 @@ fn canonicalize(bag: &Bag) -> Bag {
 }
 
 // ---------------------------------------------------------------------------
-// property-based tests
+// randomized-input tests (deterministic seeded generation)
 // ---------------------------------------------------------------------------
 
-fn arb_scalar() -> impl proptest::strategy::Strategy<Value = Value> {
-    prop_oneof![
-        any::<i64>().prop_map(|i| Value::Int(i % 1000)),
-        (0..100i64).prop_map(|r| Value::Real(r as f64 / 4.0)),
-        "[a-z]{0,6}".prop_map(Value::str),
-        any::<bool>().prop_map(Value::Bool),
-    ]
-}
+/// SplitMix64: tiny deterministic generator for the randomized tests.
+struct Gen(u64);
 
-/// Arbitrary two-level nested bags with the COP-like shape.
-fn arb_nested_bag() -> impl proptest::strategy::Strategy<Value = Bag> {
-    let inner = proptest::collection::vec((any::<u8>(), arb_scalar()), 0..4).prop_map(|items| {
-        Value::bag(
-            items
-                .into_iter()
-                .map(|(k, v)| Value::tuple([("k", Value::Int(k as i64)), ("v", v)]))
-                .collect(),
-        )
-    });
-    proptest::collection::vec((arb_scalar(), inner), 0..6).prop_map(|rows| {
-        rows.into_iter()
-            .map(|(name, inner)| Value::tuple([("name", name), ("items", inner)]))
-            .collect()
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Value shredding followed by unshredding is the identity (up to bag order).
-    #[test]
-    fn prop_shred_unshred_roundtrip(bag in arb_nested_bag()) {
-        let ty = trance::nrc::Type::bag_of([
-            ("name", trance::nrc::Type::Unknown),
-            ("items", trance::nrc::Type::bag_of([
-                ("k", trance::nrc::Type::int()),
-                ("v", trance::nrc::Type::Unknown),
-            ])),
-        ]);
-        let shredded = shred_value(&bag).unwrap();
-        let structure = nesting_structure(&ty).unwrap();
-        let rebuilt = unshred_value(&shredded, &structure).unwrap();
-        prop_assert!(canonicalize(&bag).multiset_eq(&canonicalize(&rebuilt)));
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
-    /// The distributed engine's join + nest agree with the reference evaluator
-    /// on arbitrary flat relations (the Γ⊎ / ⋈ correctness invariant).
-    #[test]
-    fn prop_distributed_grouping_matches_local(keys in proptest::collection::vec(0..8i64, 0..40)) {
-        let rows: Vec<Value> = keys
-            .iter()
-            .enumerate()
-            .map(|(i, k)| Value::tuple([("k", Value::Int(*k)), ("v", Value::Int(i as i64))]))
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn scalar(&mut self) -> Value {
+        match self.below(4) {
+            0 => Value::Int(self.below(1000) as i64 - 500),
+            1 => Value::Real(self.below(400) as f64 / 4.0),
+            2 => {
+                let len = self.below(7) as usize;
+                let s: String = (0..len)
+                    .map(|_| (b'a' + self.below(26) as u8) as char)
+                    .collect();
+                Value::str(s)
+            }
+            _ => Value::Bool(self.below(2) == 0),
+        }
+    }
+
+    /// Arbitrary two-level nested bag with the COP-like shape.
+    fn nested_bag(&mut self) -> Bag {
+        (0..self.below(6))
+            .map(|_| {
+                let name = self.scalar();
+                let items: Vec<Value> = (0..self.below(4))
+                    .map(|_| {
+                        Value::tuple([
+                            ("k", Value::Int(self.below(256) as i64)),
+                            ("v", self.scalar()),
+                        ])
+                    })
+                    .collect();
+                Value::tuple([("name", name), ("items", Value::bag(items))])
+            })
+            .collect()
+    }
+}
+
+/// Value shredding followed by unshredding is the identity (up to bag order).
+#[test]
+fn prop_shred_unshred_roundtrip() {
+    let ty = trance::nrc::Type::bag_of([
+        ("name", trance::nrc::Type::Unknown),
+        (
+            "items",
+            trance::nrc::Type::bag_of([
+                ("k", trance::nrc::Type::int()),
+                ("v", trance::nrc::Type::Unknown),
+            ]),
+        ),
+    ]);
+    let structure = nesting_structure(&ty).unwrap();
+    for seed in 0..64 {
+        let bag = Gen(seed).nested_bag();
+        let shredded = shred_value(&bag).unwrap();
+        let rebuilt = unshred_value(&shredded, &structure).unwrap();
+        assert!(
+            canonicalize(&bag).multiset_eq(&canonicalize(&rebuilt)),
+            "roundtrip diverged for seed {seed}"
+        );
+    }
+}
+
+/// The distributed engine's join + nest agree with the reference evaluator
+/// on arbitrary flat relations (the Γ⊎ / ⋈ correctness invariant).
+#[test]
+fn prop_distributed_grouping_matches_local() {
+    for seed in 0..64 {
+        let mut gen = Gen(seed);
+        let n = gen.below(40) as usize;
+        let rows: Vec<Value> = (0..n)
+            .map(|i| {
+                Value::tuple([
+                    ("k", Value::Int(gen.below(8) as i64)),
+                    ("v", Value::Int(i as i64)),
+                ])
+            })
             .collect();
         let query = group_by(var("R"), &["k"], "grp");
-        let expected = eval(&query, &Env::from_bindings([("R", Value::bag(rows.clone()))]))
-            .unwrap()
-            .into_bag()
-            .unwrap();
+        let expected = eval(
+            &query,
+            &Env::from_bindings([("R", Value::bag(rows.clone()))]),
+        )
+        .unwrap()
+        .into_bag()
+        .unwrap();
         let ctx = DistContext::new(ClusterConfig::new(2, 4));
         let mut inputs = InputSet::new(ctx);
         inputs.add_flat("R", Bag::new(rows)).unwrap();
         let spec = QuerySpec::new("grp", query, vec![]);
         let outcome = run_query(&spec, &inputs, Strategy::Standard);
         let produced = outcome.result.nested_bag().unwrap();
-        prop_assert!(canonicalize(&expected).multiset_eq(&canonicalize(&produced)));
+        assert!(
+            canonicalize(&expected).multiset_eq(&canonicalize(&produced)),
+            "grouping diverged for seed {seed}"
+        );
     }
 }
