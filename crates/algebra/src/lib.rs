@@ -1,24 +1,39 @@
 //! # trance-algebra
 //!
-//! The plan language of **trance-rs** (Section 2 of the paper) together with
-//! attribute-level schema inference and the plan optimizer (Section 3).
+//! The plan layer of **trance-rs** — the middle of the live compilation
+//! pipeline **NRC → Plan → optimize → execute** (Figure 2 of the paper):
 //!
-//! The unnesting stage of the compiler translates NRC programs into [`Plan`]
-//! trees built from selections, projections, (outer) joins, (outer) unnests,
-//! nest operators `Γ⊎`/`Γ+`, duplicate elimination, unions, and the
-//! dictionary-specific `BagToDict` / `DictLookup` operators used by the
-//! shredded pipeline. Plans are then optimized and handed to the code
-//! generator in `trance-compiler`, which executes them on the `trance-dist`
-//! engine.
+//! 1. [`lower`] implements the unnesting algorithm (Figure 3): it translates
+//!    an NRC bag expression into a [`PlanProgram`] — materialized assignments
+//!    plus a root [`Plan`] built from selections, projections/extensions,
+//!    (cross/equi/outer) joins, unnests, nest operators `Γ⊎`/`Γ+`, duplicate
+//!    elimination, unions, and the dictionary-specific `BagToDict` /
+//!    `DictLookup` operators reserved for shredded plans. The shredded route
+//!    lowers each of its flat assignments through the same entry point.
+//! 2. [`optimize`] is the single place optimization lives: selection
+//!    pushdown, column pruning above scans *and* unnests (replacing the
+//!    ad-hoc field pruning the fused executor used to do), aggregation
+//!    pushdown, and broadcast-vs-shuffle-vs-skew join strategy selection
+//!    annotated on [`Plan::Join`] nodes. Running a lowered program without
+//!    this step *is* the SparkSQL-like baseline.
+//! 3. `trance-compiler`'s physical executor interprets the optimized plans
+//!    on `trance-dist` collections; [`pretty_plan`] renders them (pruned
+//!    columns and chosen join strategies included) for EXPLAIN output.
+//!
+//! [`schema`] provides the attribute-level schema inference and the
+//! [`Catalog`] (schemas plus materialized sizes) that both the optimizer and
+//! the lowering consult.
 
 #![warn(missing_docs)]
 
+pub mod lower;
 pub mod optimize;
 pub mod plan;
 pub mod scalar;
 pub mod schema;
 
+pub use lower::{lower, LowerError, LowerResult, PlanAssignment, PlanProgram};
 pub use optimize::{optimize, optimize_default, OptimizerConfig};
-pub use plan::{pretty_plan, NestOp, Plan, PlanJoinKind};
+pub use plan::{pretty_plan, JoinStrategy, NestOp, Plan, PlanJoinKind};
 pub use scalar::ScalarExpr;
 pub use schema::{output_schema, AttrSchema, Catalog};

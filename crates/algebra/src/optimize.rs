@@ -1,22 +1,29 @@
 //! Plan optimizations (Section 3, "Optimization").
 //!
-//! Three rewrite families are implemented, matching the ones the paper calls
-//! out as applied by the framework and usually overlooked by hand-written
-//! distributed programs:
+//! This module is the single place optimization lives: the compiler lowers
+//! NRC to a [`Plan`] program, runs [`optimize`] on every plan, and hands the
+//! optimized trees to the physical executor. Four rewrite families are
+//! implemented, matching the ones the paper calls out as applied by the
+//! framework and usually overlooked by hand-written distributed programs:
 //!
-//! 1. **Selection pushdown** — `σ` moves below projections and into the join
-//!    side that supplies all of the predicate's columns.
-//! 2. **Column pruning** — projections are inserted directly above scans so
-//!    unused attributes never enter a shuffle. (This is the "narrow" benefit
-//!    the benchmark's narrow/wide split measures.)
+//! 1. **Selection pushdown** — `σ` moves below projections, extensions and
+//!    into the join side that supplies all of the predicate's columns.
+//! 2. **Column pruning** — projections are inserted directly above scans
+//!    *and unnests* so unused attributes never enter a shuffle. (This is the
+//!    "narrow" benefit the benchmark's narrow/wide split measures; pruning
+//!    above unnests is what drops unused attributes of nested bag elements.)
 //! 3. **Aggregation pushdown** — a summing nest `Γ+` above a join computes
 //!    partial sums below the join when all summed attributes come from the
 //!    left input and the grouping key covers the join key (the partial-sum
 //!    example discussed with Figure 3).
+//! 4. **Join strategy selection** — every [`Plan::Join`] is annotated with a
+//!    physical strategy: `Skew` when the pipeline requests skew-aware
+//!    execution, `Broadcast`/`Shuffle` when the catalog's size information
+//!    proves the choice, and `Auto` (runtime size check) otherwise.
 
 use std::collections::BTreeSet;
 
-use crate::plan::{NestOp, Plan, PlanJoinKind};
+use crate::plan::{JoinStrategy, NestOp, Plan, PlanJoinKind};
 use crate::scalar::ScalarExpr;
 use crate::schema::{output_schema, Catalog};
 
@@ -25,10 +32,17 @@ use crate::schema::{output_schema, Catalog};
 pub struct OptimizerConfig {
     /// Enable selection pushdown.
     pub pushdown_selections: bool,
-    /// Enable column pruning above scans.
+    /// Enable column pruning above scans and unnests.
     pub prune_columns: bool,
     /// Enable pushing `Γ+` below joins.
     pub pushdown_aggregation: bool,
+    /// Annotate every join with a physical strategy.
+    pub select_join_strategies: bool,
+    /// Request skew-aware joins (Section 5) — every join is annotated `Skew`.
+    pub skew_joins: bool,
+    /// The engine's broadcast limit in bytes; required for provable
+    /// `Broadcast`/`Shuffle` annotations (without it joins stay `Auto`).
+    pub broadcast_limit: Option<usize>,
 }
 
 impl Default for OptimizerConfig {
@@ -37,6 +51,9 @@ impl Default for OptimizerConfig {
             pushdown_selections: true,
             prune_columns: true,
             pushdown_aggregation: true,
+            select_join_strategies: true,
+            skew_joins: false,
+            broadcast_limit: None,
         }
     }
 }
@@ -61,6 +78,9 @@ pub fn optimize(plan: &Plan, catalog: &Catalog, config: &OptimizerConfig) -> Pla
             break;
         }
         current = next;
+    }
+    if config.select_join_strategies {
+        current = select_join_strategies(&current, catalog, config);
     }
     current
 }
@@ -103,6 +123,26 @@ fn push_selections(plan: &Plan, catalog: &Catalog) -> Plan {
                     };
                 }
             }
+            // σ over an extension: swap when the predicate does not touch any
+            // column the extension computes.
+            Plan::Extend {
+                input: ext_in,
+                columns,
+            } => {
+                let independent = cols.iter().all(|c| !columns.iter().any(|(n, _)| n == c));
+                if independent {
+                    return Plan::Extend {
+                        input: Box::new(push_selections(
+                            &Plan::Select {
+                                input: ext_in.clone(),
+                                predicate: predicate.clone(),
+                            },
+                            catalog,
+                        )),
+                        columns: columns.clone(),
+                    };
+                }
+            }
             // σ over ⋈: push into the side that supplies every column.
             Plan::Join {
                 left,
@@ -110,6 +150,7 @@ fn push_selections(plan: &Plan, catalog: &Catalog) -> Plan {
                 left_key,
                 right_key,
                 kind,
+                strategy,
             } => {
                 let left_schema = output_schema(left, catalog);
                 let right_schema = output_schema(right, catalog);
@@ -126,6 +167,7 @@ fn push_selections(plan: &Plan, catalog: &Catalog) -> Plan {
                         left_key: left_key.clone(),
                         right_key: right_key.clone(),
                         kind: *kind,
+                        strategy: *strategy,
                     };
                 }
                 // Only inner joins admit pushing into the right side (an
@@ -146,6 +188,7 @@ fn push_selections(plan: &Plan, catalog: &Catalog) -> Plan {
                         left_key: left_key.clone(),
                         right_key: right_key.clone(),
                         kind: *kind,
+                        strategy: *strategy,
                     };
                 }
             }
@@ -160,17 +203,17 @@ fn push_selections(plan: &Plan, catalog: &Catalog) -> Plan {
 // ---------------------------------------------------------------------------
 
 fn prune_columns(plan: &Plan, catalog: &Catalog) -> Plan {
-    // Collect, for every scan, the set of attributes referenced anywhere above
-    // it. `None` means "everything" (e.g. the scan feeds a dedup or union with
-    // no projection information).
+    // Collect the set of attributes referenced anywhere in the plan. `all`
+    // means "everything" (e.g. some operator needs the full row, or the root
+    // does not name its output columns).
     let required = collect_required(plan);
-    insert_scan_projections(plan, catalog, &required)
+    insert_pruning_projections(plan, catalog, &required)
 }
 
 #[derive(Debug, Default, Clone)]
 struct Required {
     /// Attributes referenced by operators (selection predicates, projection
-    /// expressions, join/nest keys, unnest attributes).
+    /// and extension expressions, join/nest keys, unnest attributes).
     attrs: BTreeSet<String>,
     /// True when some operator needs the full row (no pruning possible).
     all: bool,
@@ -182,7 +225,7 @@ fn collect_required(plan: &Plan) -> Required {
         Plan::Select { predicate, .. } => {
             req.attrs.extend(predicate.referenced_columns());
         }
-        Plan::Project { columns, .. } => {
+        Plan::Project { columns, .. } | Plan::Extend { columns, .. } => {
             for (_, e) in columns {
                 req.attrs.extend(e.referenced_columns());
             }
@@ -210,10 +253,13 @@ fn collect_required(plan: &Plan) -> Required {
         Plan::DictLookup { label_attr, .. } => {
             req.attrs.insert(label_attr.clone());
         }
+        Plan::AddIndex { id_attr, .. } => {
+            req.attrs.insert(id_attr.clone());
+        }
         Plan::Dedup { .. } | Plan::Union { .. } => {
             req.all = true;
         }
-        Plan::Scan { .. } | Plan::BagToDict { .. } => {}
+        Plan::Scan { .. } | Plan::Unit | Plan::Empty | Plan::BagToDict { .. } => {}
     });
     // The root's output attributes are also required: without full projection
     // tracking we conservatively keep whatever the top projection names, and
@@ -225,32 +271,69 @@ fn collect_required(plan: &Plan) -> Required {
     req
 }
 
-fn insert_scan_projections(plan: &Plan, catalog: &Catalog, required: &Required) -> Plan {
+/// Inserts pass-through projections above the operators that introduce
+/// attributes — scans and unnests — keeping only the required ones.
+///
+/// Catalog schemas may be sampled from the data, so for an aliased source
+/// every required `alias.`-prefixed attribute is kept even when the sampled
+/// schema missed it: an attribute present only in unsampled rows then flows
+/// through instead of being silently dropped (absent ones evaluate to NULL
+/// either way).
+fn insert_pruning_projections(plan: &Plan, catalog: &Catalog, required: &Required) -> Plan {
     if required.all {
         return plan.clone();
     }
     map_plan(plan, &|p| {
-        if let Plan::Scan { name } = p {
-            if let Some(schema) = catalog.get(name) {
-                if schema.attrs.is_empty() {
-                    return None;
-                }
-                let keep: Vec<String> = schema
-                    .attrs
-                    .iter()
-                    .filter(|a| required.attrs.contains(*a))
-                    .cloned()
-                    .collect();
-                if !keep.is_empty() && keep.len() < schema.attrs.len() {
-                    return Some(Plan::Project {
-                        input: Box::new(p.clone()),
-                        columns: keep
-                            .into_iter()
-                            .map(|a| (a.clone(), ScalarExpr::col(a)))
-                            .collect(),
-                    });
+        let (prunable, alias) = match p {
+            Plan::Scan { alias, .. } => (true, alias.clone()),
+            // An unnest can only be pruned when the inner schema of the
+            // flattened bag is known — otherwise the projection would drop
+            // the (unknown) element attributes.
+            Plan::Unnest {
+                input,
+                bag_attr,
+                alias,
+                ..
+            } => {
+                let in_schema = output_schema(input, catalog);
+                let inner_known = in_schema
+                    .nested_schema(bag_attr)
+                    .map(|s| !s.attrs.is_empty())
+                    .unwrap_or(false);
+                (inner_known, alias.clone())
+            }
+            _ => (false, None),
+        };
+        if !prunable {
+            return None;
+        }
+        let schema = output_schema(p, catalog);
+        if schema.attrs.is_empty() {
+            return None;
+        }
+        let mut keep: Vec<String> = schema
+            .attrs
+            .iter()
+            .filter(|a| required.attrs.contains(*a))
+            .cloned()
+            .collect();
+        let drops_something = schema.attrs.iter().any(|a| !required.attrs.contains(a));
+        if let Some(alias) = alias {
+            let prefix = format!("{alias}.");
+            for a in &required.attrs {
+                if a.starts_with(&prefix) && !keep.contains(a) {
+                    keep.push(a.clone());
                 }
             }
+        }
+        if !keep.is_empty() && drops_something {
+            return Some(Plan::Project {
+                input: Box::new(p.clone()),
+                columns: keep
+                    .into_iter()
+                    .map(|a| (a.clone(), ScalarExpr::col(a)))
+                    .collect(),
+            });
         }
         None
     })
@@ -275,6 +358,7 @@ fn push_aggregation(plan: &Plan, catalog: &Catalog) -> Plan {
             left_key,
             right_key,
             kind,
+            strategy,
         } = input.as_ref()
         {
             let left_schema = output_schema(left, catalog);
@@ -312,6 +396,7 @@ fn push_aggregation(plan: &Plan, catalog: &Catalog) -> Plan {
                         left_key: left_key.clone(),
                         right_key: right_key.clone(),
                         kind: *kind,
+                        strategy: *strategy,
                     }),
                     key: key.clone(),
                     values: values.clone(),
@@ -321,6 +406,106 @@ fn push_aggregation(plan: &Plan, catalog: &Catalog) -> Plan {
         }
     }
     rebuilt
+}
+
+// ---------------------------------------------------------------------------
+// join strategy selection
+// ---------------------------------------------------------------------------
+
+/// Annotates every `Auto` join with a physical strategy. The annotation never
+/// contradicts what the engine's runtime size check would decide: `Broadcast`
+/// is chosen only when an upper bound on the right side provably fits under
+/// the broadcast limit, `Shuffle` only when lower-bound-free reasoning cannot
+/// apply but both sides' upper bounds provably exceed it.
+fn select_join_strategies(plan: &Plan, catalog: &Catalog, config: &OptimizerConfig) -> Plan {
+    map_plan(plan, &|p| {
+        if let Plan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+            kind,
+            strategy: JoinStrategy::Auto,
+        } = p
+        {
+            let strategy = if config.skew_joins {
+                JoinStrategy::Skew
+            } else if let Some(limit) = config.broadcast_limit {
+                let right_bound = size_upper_bound(right, catalog);
+                let left_bound = size_upper_bound(left, catalog);
+                match (right_bound, left_bound) {
+                    (Some(r), _) if r <= limit => JoinStrategy::Broadcast,
+                    // Lower bounds: a scan's recorded size is exact, so a
+                    // bare scan larger than the limit can never broadcast.
+                    _ => {
+                        let right_big = scan_exact_size(right, catalog)
+                            .map(|r| r > limit)
+                            .unwrap_or(false);
+                        let left_big = scan_exact_size(left, catalog)
+                            .map(|l| l > limit)
+                            .unwrap_or(false);
+                        if right_big && (left_big || *kind == PlanJoinKind::LeftOuter) {
+                            JoinStrategy::Shuffle
+                        } else {
+                            JoinStrategy::Auto
+                        }
+                    }
+                }
+            } else {
+                JoinStrategy::Auto
+            };
+            if strategy != JoinStrategy::Auto {
+                return Some(Plan::Join {
+                    left: left.clone(),
+                    right: right.clone(),
+                    left_key: left_key.clone(),
+                    right_key: right_key.clone(),
+                    kind: *kind,
+                    strategy,
+                });
+            }
+        }
+        None
+    })
+}
+
+/// An upper bound on the materialized size of a subplan's output, when one is
+/// provable: shrinking-only operators pass their input's bound through, a
+/// scan contributes its recorded size.
+fn size_upper_bound(plan: &Plan, catalog: &Catalog) -> Option<usize> {
+    match plan {
+        Plan::Scan { name, .. } => catalog.size_of(name),
+        Plan::Unit | Plan::Empty => Some(0),
+        Plan::Select { input, .. } | Plan::Dedup { input } => size_upper_bound(input, catalog),
+        // A pass-through projection keeps a subset of each row.
+        Plan::Project { input, columns } => {
+            let passthrough = columns
+                .iter()
+                .all(|(n, e)| matches!(e, ScalarExpr::Col(c) if c == n));
+            if passthrough {
+                size_upper_bound(input, catalog)
+            } else {
+                None
+            }
+        }
+        // Γ+ emits at most one row per input row, each a subset of key/value
+        // columns.
+        Plan::Nest {
+            input,
+            op: NestOp::Sum,
+            ..
+        } => size_upper_bound(input, catalog),
+        _ => None,
+    }
+}
+
+/// The exact recorded size of a bare (possibly pruned/filtered) scan — used
+/// as a lower bound only when nothing below could have shrunk it.
+fn scan_exact_size(plan: &Plan, catalog: &Catalog) -> Option<usize> {
+    match plan {
+        Plan::Scan { name, .. } => catalog.size_of(name),
+        _ => None,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -356,6 +541,10 @@ fn substitute_cols(
         ),
         ScalarExpr::Not(e) => ScalarExpr::Not(Box::new(substitute_cols(e, defs)?)),
         ScalarExpr::IsNull(e) => ScalarExpr::IsNull(Box::new(substitute_cols(e, defs)?)),
+        ScalarExpr::Coalesce(a, b) => ScalarExpr::Coalesce(
+            Box::new(substitute_cols(a, defs)?),
+            Box::new(substitute_cols(b, defs)?),
+        ),
         ScalarExpr::NewLabel { site, captures } => ScalarExpr::NewLabel {
             site: *site,
             captures: captures
@@ -407,7 +596,7 @@ fn collapse_projections(plan: &Plan) -> Plan {
 /// Rebuilds a node with its children transformed by `f`.
 fn map_children(plan: &Plan, f: impl Fn(&Plan) -> Plan) -> Plan {
     match plan {
-        Plan::Scan { .. } => plan.clone(),
+        Plan::Scan { .. } | Plan::Unit | Plan::Empty => plan.clone(),
         Plan::Select { input, predicate } => Plan::Select {
             input: Box::new(f(input)),
             predicate: predicate.clone(),
@@ -416,27 +605,39 @@ fn map_children(plan: &Plan, f: impl Fn(&Plan) -> Plan) -> Plan {
             input: Box::new(f(input)),
             columns: columns.clone(),
         },
+        Plan::Extend { input, columns } => Plan::Extend {
+            input: Box::new(f(input)),
+            columns: columns.clone(),
+        },
+        Plan::AddIndex { input, id_attr } => Plan::AddIndex {
+            input: Box::new(f(input)),
+            id_attr: id_attr.clone(),
+        },
         Plan::Join {
             left,
             right,
             left_key,
             right_key,
             kind,
+            strategy,
         } => Plan::Join {
             left: Box::new(f(left)),
             right: Box::new(f(right)),
             left_key: left_key.clone(),
             right_key: right_key.clone(),
             kind: *kind,
+            strategy: *strategy,
         },
         Plan::Unnest {
             input,
             bag_attr,
+            alias,
             outer,
             id_attr,
         } => Plan::Unnest {
             input: Box::new(f(input)),
             bag_attr: bag_attr.clone(),
+            alias: alias.clone(),
             outer: *outer,
             id_attr: id_attr.clone(),
         },
@@ -536,6 +737,40 @@ mod tests {
     }
 
     #[test]
+    fn selection_is_pushed_below_an_independent_extension() {
+        let c = catalog();
+        let plan = Plan::scan("Lineitem")
+            .extend(vec![(
+                "double_qty".into(),
+                ScalarExpr::Prim {
+                    op: trance_nrc::PrimOp::Add,
+                    left: Box::new(ScalarExpr::col("l_quantity")),
+                    right: Box::new(ScalarExpr::col("l_quantity")),
+                },
+            )])
+            .select(ScalarExpr::Cmp {
+                op: trance_nrc::CmpOp::Gt,
+                left: Box::new(ScalarExpr::col("l_partkey")),
+                right: Box::new(ScalarExpr::constant(Value::Int(3))),
+            })
+            .project_columns(&["l_orderkey", "double_qty"]);
+        let opt = optimize_default(&plan, &c);
+        let mut select_below_extend = false;
+        opt.visit(&mut |p| {
+            if let Plan::Extend { input, .. } = p {
+                // The selection must have moved somewhere below the
+                // extension (possibly under a pruning projection too).
+                select_below_extend |= input.count(|n| matches!(n, Plan::Select { .. })) > 0;
+            }
+        });
+        assert!(
+            select_below_extend,
+            "selection must commute below the extension:\n{}",
+            crate::plan::pretty_plan(&opt)
+        );
+    }
+
+    #[test]
     fn unused_columns_are_pruned_above_scans() {
         let c = catalog();
         let plan = Plan::scan("Lineitem")
@@ -568,6 +803,51 @@ mod tests {
             "projections must be inserted above both scans"
         );
         assert!(pruned, "comment columns must be pruned");
+    }
+
+    #[test]
+    fn unused_inner_attributes_are_pruned_above_unnests() {
+        let mut c = Catalog::new();
+        c.register(
+            "COP",
+            AttrSchema::flat(["cname", "ccomment"])
+                .with_nested("corders", AttrSchema::flat(["odate", "ocomment", "total"])),
+        );
+        // for co in cop.corders keep only odate/total.
+        let plan = Plan::scan_as("COP", "cop")
+            .unnest_as("cop.corders", "co")
+            .project(vec![
+                ("cname".into(), ScalarExpr::col("cop.cname")),
+                ("odate".into(), ScalarExpr::col("co.odate")),
+                ("total".into(), ScalarExpr::col("co.total")),
+            ]);
+        let opt = optimize_default(&plan, &c);
+        let mut unnest_pruned = false;
+        opt.visit(&mut |p| {
+            if let Plan::Project { columns, input } = p {
+                if matches!(input.as_ref(), Plan::Unnest { .. }) {
+                    let names: Vec<&str> = columns.iter().map(|(n, _)| n.as_str()).collect();
+                    unnest_pruned = !names.contains(&"co.ocomment");
+                }
+            }
+        });
+        assert!(
+            unnest_pruned,
+            "unused unnested element attributes must be pruned:\n{}",
+            crate::plan::pretty_plan(&opt)
+        );
+        // The scan is pruned too (ccomment unused; corders still needed).
+        let mut scan_keeps_bag = false;
+        opt.visit(&mut |p| {
+            if let Plan::Project { columns, input } = p {
+                if matches!(input.as_ref(), Plan::Scan { .. }) {
+                    let names: Vec<&str> = columns.iter().map(|(n, _)| n.as_str()).collect();
+                    scan_keeps_bag =
+                        names.contains(&"cop.corders") && !names.contains(&"cop.ccomment");
+                }
+            }
+        });
+        assert!(scan_keeps_bag, "{}", crate::plan::pretty_plan(&opt));
     }
 
     #[test]
@@ -610,6 +890,71 @@ mod tests {
             "expected a partial Γ+ below the join:\n{}",
             crate::plan::pretty_plan(&opt)
         );
+    }
+
+    #[test]
+    fn join_strategies_are_annotated_from_catalog_sizes() {
+        let mut c = catalog();
+        c.set_size("Lineitem", 1_000_000);
+        c.set_size("Part", 512);
+        let plan = Plan::scan("Lineitem")
+            .join(
+                Plan::scan("Part"),
+                &["l_partkey"],
+                &["p_partkey"],
+                PlanJoinKind::Inner,
+            )
+            .project_columns(&["l_orderkey", "p_name"]);
+        let cfg = OptimizerConfig {
+            broadcast_limit: Some(4096),
+            ..OptimizerConfig::default()
+        };
+        let opt = optimize(&plan, &c, &cfg);
+        let mut strategy = None;
+        opt.visit(&mut |p| {
+            if let Plan::Join { strategy: s, .. } = p {
+                strategy = Some(*s);
+            }
+        });
+        assert_eq!(strategy, Some(JoinStrategy::Broadcast));
+
+        // Both sides provably over the limit: shuffle.
+        c.set_size("Part", 1_000_000);
+        let plan2 = Plan::scan("Lineitem")
+            .join(
+                Plan::scan("Part"),
+                &["l_partkey"],
+                &["p_partkey"],
+                PlanJoinKind::Inner,
+            )
+            .project_columns(&["l_orderkey", "p_name"]);
+        let cfg2 = OptimizerConfig {
+            broadcast_limit: Some(4096),
+            prune_columns: false,
+            ..OptimizerConfig::default()
+        };
+        let opt2 = optimize(&plan2, &c, &cfg2);
+        let mut strategy2 = None;
+        opt2.visit(&mut |p| {
+            if let Plan::Join { strategy: s, .. } = p {
+                strategy2 = Some(*s);
+            }
+        });
+        assert_eq!(strategy2, Some(JoinStrategy::Shuffle));
+
+        // Skew-aware pipelines annotate every join Skew.
+        let skew_cfg = OptimizerConfig {
+            skew_joins: true,
+            ..OptimizerConfig::default()
+        };
+        let opt3 = optimize(&plan2, &c, &skew_cfg);
+        let mut strategy3 = None;
+        opt3.visit(&mut |p| {
+            if let Plan::Join { strategy: s, .. } = p {
+                strategy3 = Some(*s);
+            }
+        });
+        assert_eq!(strategy3, Some(JoinStrategy::Skew));
     }
 
     #[test]

@@ -1,6 +1,12 @@
 //! The plan language (Section 2): the algebraic operators the unnesting
 //! algorithm targets, variants of the intermediate object algebra of
 //! Fegaras & Maier used by the paper.
+//!
+//! Plans are produced by [`crate::lower`], rewritten by [`crate::optimize`],
+//! and interpreted on the distributed engine by `trance-compiler`'s physical
+//! executor. Attribute names in a lowered plan follow the flattened-stream
+//! convention of the unnesting algorithm: a [`Plan::Scan`] or [`Plan::Unnest`]
+//! carrying an `alias` renames the fields it introduces to `alias.field`.
 
 use std::collections::BTreeSet;
 
@@ -14,6 +20,39 @@ pub enum PlanJoinKind {
     /// Left-outer equi-join `⟕` generated when compiling at a non-root
     /// nesting level.
     LeftOuter,
+}
+
+/// The physical join strategy the optimizer selected for a [`Plan::Join`].
+///
+/// `Auto` defers the broadcast-vs-shuffle decision to the engine's runtime
+/// size check; the optimizer upgrades it to `Broadcast` / `Shuffle` when the
+/// catalog's size information makes the choice provable, and to `Skew` when
+/// the pipeline requests skew-aware execution (Section 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinStrategy {
+    /// Decide broadcast vs. shuffle from actual side sizes at runtime.
+    #[default]
+    Auto,
+    /// Replicate the right side to every worker (provably under the
+    /// broadcast limit).
+    Broadcast,
+    /// Shuffle both sides by key hash (provably neither side fits).
+    Shuffle,
+    /// Skew-aware execution: sampled heavy keys broadcast, light keys
+    /// shuffled.
+    Skew,
+}
+
+impl JoinStrategy {
+    /// Short label used by EXPLAIN output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JoinStrategy::Auto => "auto",
+            JoinStrategy::Broadcast => "broadcast",
+            JoinStrategy::Shuffle => "shuffle",
+            JoinStrategy::Skew => "skew",
+        }
+    }
 }
 
 /// Aggregate flavour of the nest operator `Γ`.
@@ -32,12 +71,20 @@ pub enum NestOp {
 /// A node of the query plan.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Plan {
-    /// Scan of a named input collection (top-level bag or materialized
-    /// dictionary).
+    /// Scan of a named input collection (top-level bag, materialized
+    /// dictionary, or a materialized intermediate assignment).
     Scan {
         /// The input's name in the catalog.
         name: String,
+        /// When set, fields of scanned tuples are renamed to `alias.field`
+        /// (non-tuple rows become a single `alias.__value` attribute) — the
+        /// flattened-stream naming of the unnesting algorithm.
+        alias: Option<String>,
     },
+    /// A single empty tuple — the unit input of a constant singleton bag.
+    Unit,
+    /// The empty collection (lowered from `∅`).
+    Empty,
     /// Selection `σ`.
     Select {
         /// Input plan.
@@ -45,14 +92,33 @@ pub enum Plan {
         /// Filter predicate.
         predicate: ScalarExpr,
     },
-    /// Projection `π` (also used for renaming and computing derived columns).
+    /// Projection `π` (also used for renaming and pruning columns).
     Project {
         /// Input plan.
         input: Box<Plan>,
         /// `(output name, expression)` pairs.
         columns: Vec<(String, ScalarExpr)>,
     },
-    /// Equi-join `⋈` / left-outer equi-join `⟕`.
+    /// Map-style projection that adds (or overwrites) computed columns and
+    /// keeps every other attribute of the row — the lowering's tuple
+    /// construction step over a flattened stream.
+    Extend {
+        /// Input plan.
+        input: Box<Plan>,
+        /// `(attribute, expression)` pairs set on every row, in order.
+        columns: Vec<(String, ScalarExpr)>,
+    },
+    /// Attaches a globally unique integer under `id_attr` to every row —
+    /// the fresh parent identifier the unnesting algorithm introduces before
+    /// compiling a nested output level.
+    AddIndex {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Name of the generated identifier attribute.
+        id_attr: String,
+    },
+    /// Equi-join `⋈` / left-outer equi-join `⟕`. Empty key lists denote a
+    /// cross product (every pair of rows matches).
     Join {
         /// Left input.
         left: Box<Plan>,
@@ -64,6 +130,8 @@ pub enum Plan {
         right_key: Vec<String>,
         /// Inner or left-outer.
         kind: PlanJoinKind,
+        /// Physical strategy chosen by the optimizer.
+        strategy: JoinStrategy,
     },
     /// Unnest `µ` / outer-unnest `µ̄` of a bag-valued attribute.
     Unnest {
@@ -71,6 +139,9 @@ pub enum Plan {
         input: Box<Plan>,
         /// The bag-valued attribute to flatten.
         bag_attr: String,
+        /// When set, fields of the flattened elements are renamed to
+        /// `alias.field` (non-tuple elements become `alias.__value`).
+        alias: Option<String>,
         /// When true this is the outer variant: the parent tuple is kept even
         /// if the bag is empty (inner attributes become NULL) and a unique
         /// parent identifier `id_attr` is attached.
@@ -124,9 +195,21 @@ pub enum Plan {
 }
 
 impl Plan {
-    /// Scan of a named input.
+    /// Scan of a named input (fields keep their original names).
     pub fn scan(name: impl Into<String>) -> Plan {
-        Plan::Scan { name: name.into() }
+        Plan::Scan {
+            name: name.into(),
+            alias: None,
+        }
+    }
+
+    /// Scan of a named input bound to an iteration variable: fields are
+    /// renamed to `alias.field`, the flattened-stream convention.
+    pub fn scan_as(name: impl Into<String>, alias: impl Into<String>) -> Plan {
+        Plan::Scan {
+            name: name.into(),
+            alias: Some(alias.into()),
+        }
     }
 
     /// Wraps this plan in a selection.
@@ -155,7 +238,23 @@ impl Plan {
         )
     }
 
-    /// Joins this plan with `right`.
+    /// Wraps this plan in an [`Plan::Extend`] computing the given columns.
+    pub fn extend(self, columns: Vec<(String, ScalarExpr)>) -> Plan {
+        Plan::Extend {
+            input: Box::new(self),
+            columns,
+        }
+    }
+
+    /// Wraps this plan in an [`Plan::AddIndex`] generating `id_attr`.
+    pub fn add_index(self, id_attr: impl Into<String>) -> Plan {
+        Plan::AddIndex {
+            input: Box::new(self),
+            id_attr: id_attr.into(),
+        }
+    }
+
+    /// Joins this plan with `right` (strategy left to the optimizer).
     pub fn join(
         self,
         right: Plan,
@@ -169,14 +268,28 @@ impl Plan {
             left_key: left_key.iter().map(|s| s.to_string()).collect(),
             right_key: right_key.iter().map(|s| s.to_string()).collect(),
             kind,
+            strategy: JoinStrategy::Auto,
         }
     }
 
-    /// Unnests a bag-valued attribute (inner variant).
+    /// Unnests a bag-valued attribute (inner variant, no renaming).
     pub fn unnest(self, bag_attr: impl Into<String>) -> Plan {
         Plan::Unnest {
             input: Box::new(self),
             bag_attr: bag_attr.into(),
+            alias: None,
+            outer: false,
+            id_attr: None,
+        }
+    }
+
+    /// Unnests a bag-valued attribute, renaming the flattened element fields
+    /// to `alias.field` (the lowering's `for var in x.bag`).
+    pub fn unnest_as(self, bag_attr: impl Into<String>, alias: impl Into<String>) -> Plan {
+        Plan::Unnest {
+            input: Box::new(self),
+            bag_attr: bag_attr.into(),
+            alias: Some(alias.into()),
             outer: false,
             id_attr: None,
         }
@@ -188,6 +301,7 @@ impl Plan {
         Plan::Unnest {
             input: Box::new(self),
             bag_attr: bag_attr.into(),
+            alias: None,
             outer: true,
             id_attr: Some(id_attr.into()),
         }
@@ -225,9 +339,11 @@ impl Plan {
     /// Children of this node, in order.
     pub fn children(&self) -> Vec<&Plan> {
         match self {
-            Plan::Scan { .. } => vec![],
+            Plan::Scan { .. } | Plan::Unit | Plan::Empty => vec![],
             Plan::Select { input, .. }
             | Plan::Project { input, .. }
+            | Plan::Extend { input, .. }
+            | Plan::AddIndex { input, .. }
             | Plan::Unnest { input, .. }
             | Plan::Nest { input, .. }
             | Plan::Dedup { input }
@@ -241,7 +357,7 @@ impl Plan {
     pub fn scanned_inputs(&self) -> BTreeSet<String> {
         let mut out = BTreeSet::new();
         self.visit(&mut |p| {
-            if let Plan::Scan { name } = p {
+            if let Plan::Scan { name, .. } = p {
                 out.insert(name.clone());
             }
         });
@@ -275,72 +391,115 @@ impl Plan {
     }
 }
 
-/// Renders a plan as an indented operator tree (children below parents), in
-/// the spirit of Figure 3.
-pub fn pretty_plan(plan: &Plan) -> String {
-    fn go(plan: &Plan, depth: usize, out: &mut String) {
-        let pad = "  ".repeat(depth);
-        let line = match plan {
-            Plan::Scan { name } => format!("Scan {name}"),
-            Plan::Select { predicate, .. } => format!("Select {}", predicate.display()),
-            Plan::Project { columns, .. } => format!(
-                "Project [{}]",
-                columns
-                    .iter()
-                    .map(|(n, e)| if e == &ScalarExpr::col(n.clone()) {
+/// One line of the rendered operator tree for `plan` (without children).
+fn node_line(plan: &Plan) -> String {
+    match plan {
+        Plan::Scan { name, alias } => match alias {
+            Some(a) => format!("Scan {name} as {a}"),
+            None => format!("Scan {name}"),
+        },
+        Plan::Unit => "Unit".to_string(),
+        Plan::Empty => "Empty".to_string(),
+        Plan::Select { predicate, .. } => format!("Select {}", predicate.display()),
+        Plan::Project { columns, input } => {
+            let cols = columns
+                .iter()
+                .map(|(n, e)| {
+                    if e == &ScalarExpr::col(n.clone()) {
                         n.clone()
                     } else {
                         format!("{n}:={}", e.display())
-                    })
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            ),
-            Plan::Join {
-                left_key,
-                right_key,
-                kind,
-                ..
-            } => format!(
-                "{} on {} = {}",
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            // A pass-through projection directly above a source operator is a
+            // pruning projection inserted by the optimizer: say so.
+            let pruning = columns
+                .iter()
+                .all(|(n, e)| e == &ScalarExpr::col(n.clone()))
+                && matches!(input.as_ref(), Plan::Scan { .. } | Plan::Unnest { .. });
+            if pruning {
+                format!("Prune [{cols}]")
+            } else {
+                format!("Project [{cols}]")
+            }
+        }
+        Plan::Extend { columns, .. } => format!(
+            "Extend [{}]",
+            columns
+                .iter()
+                .map(|(n, e)| format!("{n}:={}", e.display()))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Plan::AddIndex { id_attr, .. } => format!("AddIndex {id_attr}"),
+        Plan::Join {
+            left_key,
+            right_key,
+            kind,
+            strategy,
+            ..
+        } => {
+            let keys = if left_key.is_empty() {
+                "cross".to_string()
+            } else {
+                format!("on {} = {}", left_key.join(","), right_key.join(","))
+            };
+            format!(
+                "{} {keys} [{}]",
                 match kind {
                     PlanJoinKind::Inner => "Join",
                     PlanJoinKind::LeftOuter => "OuterJoin",
                 },
-                left_key.join(","),
-                right_key.join(",")
+                strategy.label(),
+            )
+        }
+        Plan::Unnest {
+            bag_attr,
+            alias,
+            outer,
+            ..
+        } => {
+            let head = if *outer { "OuterUnnest" } else { "Unnest" };
+            match alias {
+                Some(a) => format!("{head} {bag_attr} as {a}"),
+                None => format!("{head} {bag_attr}"),
+            }
+        }
+        Plan::Nest {
+            key, values, op, ..
+        } => match op {
+            NestOp::Bag { group_attr } => format!(
+                "NestBag key=[{}] values=[{}] as {group_attr}",
+                key.join(","),
+                values.join(",")
             ),
-            Plan::Unnest {
-                bag_attr, outer, ..
-            } => format!(
-                "{} {bag_attr}",
-                if *outer { "OuterUnnest" } else { "Unnest" }
+            NestOp::Sum => format!(
+                "NestSum key=[{}] values=[{}]",
+                key.join(","),
+                values.join(",")
             ),
-            Plan::Nest {
-                key, values, op, ..
-            } => match op {
-                NestOp::Bag { group_attr } => format!(
-                    "NestBag key=[{}] values=[{}] as {group_attr}",
-                    key.join(","),
-                    values.join(",")
-                ),
-                NestOp::Sum => format!(
-                    "NestSum key=[{}] values=[{}]",
-                    key.join(","),
-                    values.join(",")
-                ),
-            },
-            Plan::Dedup { .. } => "Dedup".to_string(),
-            Plan::Union { .. } => "Union".to_string(),
-            Plan::BagToDict { .. } => "BagToDict".to_string(),
-            Plan::DictLookup {
-                label_attr, outer, ..
-            } => format!(
-                "DictLookup on {label_attr}{}",
-                if *outer { " (outer)" } else { "" }
-            ),
-        };
-        out.push_str(&pad);
-        out.push_str(&line);
+        },
+        Plan::Dedup { .. } => "Dedup".to_string(),
+        Plan::Union { .. } => "Union".to_string(),
+        Plan::BagToDict { .. } => "BagToDict".to_string(),
+        Plan::DictLookup {
+            label_attr, outer, ..
+        } => format!(
+            "DictLookup on {label_attr}{}",
+            if *outer { " (outer)" } else { "" }
+        ),
+    }
+}
+
+/// Renders a plan as an indented operator tree (children below parents), in
+/// the spirit of Figure 3. Pruning projections and chosen join strategies are
+/// called out inline, which makes this the EXPLAIN rendering as well.
+pub fn pretty_plan(plan: &Plan) -> String {
+    fn go(plan: &Plan, depth: usize, out: &mut String) {
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&node_line(plan));
         out.push('\n');
         for c in plan.children() {
             go(c, depth + 1, out);
@@ -395,5 +554,36 @@ mod tests {
         // Children are indented deeper than parents.
         let proj_line = s.lines().next().unwrap();
         assert!(proj_line.starts_with("Project"));
+    }
+
+    #[test]
+    fn pretty_plan_labels_strategies_and_aliases() {
+        let p = Plan::scan_as("Part", "p").join(
+            Plan::scan("Small"),
+            &["p.pid"],
+            &["pid"],
+            PlanJoinKind::Inner,
+        );
+        let p = match p {
+            Plan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+                kind,
+                ..
+            } => Plan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+                kind,
+                strategy: JoinStrategy::Broadcast,
+            },
+            other => other,
+        };
+        let s = pretty_plan(&p);
+        assert!(s.contains("[broadcast]"), "{s}");
+        assert!(s.contains("Scan Part as p"), "{s}");
     }
 }

@@ -39,6 +39,10 @@ pub enum ScalarExpr {
     /// True when the operand evaluates to NULL (used to filter outer-join
     /// mismatches).
     IsNull(Box<ScalarExpr>),
+    /// The first operand unless it evaluates to NULL, else the second. Used
+    /// by the lowering to turn the NULL a left-outer join leaves on an
+    /// unmatched nesting level into the empty bag (`Γ⊎` semantics).
+    Coalesce(Box<ScalarExpr>, Box<ScalarExpr>),
     /// Construct a label capturing the named columns (shredded plans).
     NewLabel {
         /// Label construction site.
@@ -77,9 +81,12 @@ impl ScalarExpr {
     }
 
     /// Evaluates the expression against `row`.
+    ///
+    /// A column absent from the row evaluates to NULL — plan streams follow
+    /// the outer-join convention where missing attributes stand for NULL.
     pub fn eval(&self, row: &Tuple) -> Result<Value> {
         match self {
-            ScalarExpr::Col(name) => row.get_or_err(name, "plan column").cloned(),
+            ScalarExpr::Col(name) => Ok(row.get(name).cloned().unwrap_or(Value::Null)),
             ScalarExpr::Const(v) => Ok(v.clone()),
             ScalarExpr::Prim { op, left, right } => {
                 let l = left.eval(row)?;
@@ -127,6 +134,10 @@ impl ScalarExpr {
             )),
             ScalarExpr::Not(e) => Ok(Value::Bool(!e.eval(row)?.as_bool()?)),
             ScalarExpr::IsNull(e) => Ok(Value::Bool(matches!(e.eval(row)?, Value::Null))),
+            ScalarExpr::Coalesce(a, b) => match a.eval(row)? {
+                Value::Null => b.eval(row),
+                v => Ok(v),
+            },
             ScalarExpr::NewLabel { site, captures } => {
                 let mut vals = Vec::with_capacity(captures.len());
                 for (_, e) in captures {
@@ -166,7 +177,7 @@ impl ScalarExpr {
                 left.collect_columns(out);
                 right.collect_columns(out);
             }
-            ScalarExpr::And(a, b) | ScalarExpr::Or(a, b) => {
+            ScalarExpr::And(a, b) | ScalarExpr::Or(a, b) | ScalarExpr::Coalesce(a, b) => {
                 a.collect_columns(out);
                 b.collect_columns(out);
             }
@@ -195,6 +206,9 @@ impl ScalarExpr {
             ScalarExpr::Or(a, b) => format!("({} || {})", a.display(), b.display()),
             ScalarExpr::Not(e) => format!("!({})", e.display()),
             ScalarExpr::IsNull(e) => format!("isnull({})", e.display()),
+            ScalarExpr::Coalesce(a, b) => {
+                format!("coalesce({}, {})", a.display(), b.display())
+            }
             ScalarExpr::NewLabel { site, captures } => format!(
                 "NewLabel#{site}({})",
                 captures

@@ -87,10 +87,12 @@ impl AttrSchema {
     }
 }
 
-/// Maps input (scan) names to their schemas.
+/// Maps input (scan) names to their schemas and, when known, their
+/// materialized sizes (used for the optimizer's join strategy selection).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Catalog {
     inputs: BTreeMap<String, AttrSchema>,
+    sizes: BTreeMap<String, usize>,
 }
 
 impl Catalog {
@@ -105,9 +107,25 @@ impl Catalog {
         self
     }
 
+    /// Records the materialized size in bytes of an input.
+    pub fn set_size(&mut self, name: impl Into<String>, bytes: usize) -> &mut Self {
+        self.sizes.insert(name.into(), bytes);
+        self
+    }
+
+    /// The recorded size in bytes of an input, when known.
+    pub fn size_of(&self, name: &str) -> Option<usize> {
+        self.sizes.get(name).copied()
+    }
+
     /// Looks up an input schema.
     pub fn get(&self, name: &str) -> Option<&AttrSchema> {
         self.inputs.get(name)
+    }
+
+    /// True when `name` is a registered input.
+    pub fn contains(&self, name: &str) -> bool {
+        self.inputs.contains_key(name)
     }
 
     /// Names of all registered inputs.
@@ -116,13 +134,79 @@ impl Catalog {
     }
 }
 
+/// Renames every top-level attribute of `schema` to `alias.attr`, keeping the
+/// nested schemas (whose inner names stay raw, matching the flattened-stream
+/// convention where only the level just introduced is prefixed).
+fn prefix_schema(schema: &AttrSchema, alias: &str) -> AttrSchema {
+    AttrSchema {
+        attrs: schema
+            .attrs
+            .iter()
+            .map(|a| format!("{alias}.{a}"))
+            .collect(),
+        nested: schema
+            .nested
+            .iter()
+            .map(|(a, s)| (format!("{alias}.{a}"), s.clone()))
+            .collect(),
+    }
+}
+
 /// Computes the output schema of a plan. Unknown inputs produce an empty
 /// schema, which downstream rules treat as "don't know — don't touch".
 pub fn output_schema(plan: &Plan, catalog: &Catalog) -> AttrSchema {
     match plan {
-        Plan::Scan { name } => catalog.get(name).cloned().unwrap_or_default(),
+        Plan::Scan { name, alias } => {
+            let base = catalog.get(name).cloned().unwrap_or_default();
+            match alias {
+                Some(a) if !base.attrs.is_empty() => prefix_schema(&base, a),
+                _ => base,
+            }
+        }
+        Plan::Unit | Plan::Empty => AttrSchema::default(),
         Plan::Select { input, .. } | Plan::Dedup { input } | Plan::BagToDict { input } => {
             output_schema(input, catalog)
+        }
+        Plan::Extend { input, columns } => {
+            let mut out = output_schema(input, catalog);
+            if out.attrs.is_empty() {
+                // Unknown input schema: the extension alone is known.
+                return AttrSchema::default();
+            }
+            for (name, expr) in columns {
+                if !out.contains(name) {
+                    out.attrs.push(name.clone());
+                }
+                // Pass-through (possibly NULL-coalesced) columns keep their
+                // nested schema; other expressions reset it.
+                let source_col = match expr {
+                    ScalarExpr::Col(c) => Some(c.clone()),
+                    ScalarExpr::Coalesce(a, _) => match a.as_ref() {
+                        ScalarExpr::Col(c) => Some(c.clone()),
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                match source_col.and_then(|c| out.nested_schema(&c).cloned()) {
+                    Some(inner) => {
+                        out.nested.insert(name.clone(), inner);
+                    }
+                    None => {
+                        out.nested.remove(name);
+                    }
+                }
+            }
+            out
+        }
+        Plan::AddIndex { input, id_attr } => {
+            let mut out = output_schema(input, catalog);
+            if out.attrs.is_empty() {
+                return AttrSchema::default();
+            }
+            if !out.contains(id_attr) {
+                out.attrs.push(id_attr.clone());
+            }
+            out
         }
         Plan::Project { input, columns } => {
             let in_schema = output_schema(input, catalog);
@@ -146,6 +230,7 @@ pub fn output_schema(plan: &Plan, catalog: &Catalog) -> AttrSchema {
         Plan::Unnest {
             input,
             bag_attr,
+            alias,
             outer,
             id_attr,
         } => {
@@ -154,6 +239,10 @@ pub fn output_schema(plan: &Plan, catalog: &Catalog) -> AttrSchema {
                 .nested_schema(bag_attr)
                 .cloned()
                 .unwrap_or_default();
+            let inner = match alias {
+                Some(a) if !inner.attrs.is_empty() => prefix_schema(&inner, a),
+                _ => inner,
+            };
             let mut out = AttrSchema {
                 attrs: in_schema
                     .attrs

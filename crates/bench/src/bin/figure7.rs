@@ -1,25 +1,21 @@
 //! Reproduces Figure 7 (a: narrow, b: wide): TPC-H query families at nesting
 //! depths 0–4 under each strategy.
 //!
-//! Usage: `figure7 [--schema narrow|wide] [--family <name>|all] [--scale F] [--memory-factor F]`
+//! Usage: `figure7 [--schema narrow|wide] [--family <name>|all] [--scale F] [--memory-factor F]
+//! [--explain [--depth N]]`
+//!
+//! With `--explain` the binary prints, instead of the timing table, the
+//! optimized plans each strategy executes at `--depth` (default 2).
 
-use trance_bench::{run_tpch_query, Family};
-use trance_compiler::Strategy;
+use trance_bench::{cli_arg, cli_flag, run_tpch_query, tpch_input_set, Family};
+use trance_compiler::{explain_query, Strategy};
 use trance_tpch::{QueryVariant, TpchConfig};
 
-fn arg(name: &str, default: &str) -> String {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| default.to_string())
-}
-
 fn main() {
-    let schema = arg("--schema", "narrow");
-    let family_arg = arg("--family", "all");
-    let scale: f64 = arg("--scale", "0.3").parse().unwrap();
-    let memory_factor: f64 = arg("--memory-factor", "3.0").parse().unwrap();
+    let schema = cli_arg("--schema", "narrow");
+    let family_arg = cli_arg("--family", "all");
+    let scale: f64 = cli_arg("--scale", "0.3").parse().unwrap();
+    let memory_factor: f64 = cli_arg("--memory-factor", "3.0").parse().unwrap();
     let variant = if schema == "wide" {
         QueryVariant::Wide
     } else {
@@ -36,6 +32,20 @@ fn main() {
         Strategy::Standard,
         Strategy::Baseline,
     ];
+    if cli_flag("--explain") {
+        let depth: usize = cli_arg("--depth", "2").parse().unwrap();
+        let cfg = TpchConfig::new(scale, 0);
+        for family in families {
+            let (inputs, spec) = tpch_input_set(&cfg, family, depth, variant, memory_factor);
+            for s in &strategies {
+                match explain_query(&spec, &inputs, *s) {
+                    Ok(text) => println!("{text}\n"),
+                    Err(e) => println!("== {} · {} == run failed: {e}\n", spec.name, s.label()),
+                }
+            }
+        }
+        return;
+    }
     println!("Figure 7 ({schema} schema), scale {scale}, memory factor {memory_factor}");
     println!("runtimes in ms, shuffle in MiB; FAIL = simulated worker memory exhausted\n");
     for family in families {

@@ -2,23 +2,19 @@
 //! nesting on increasingly skewed datasets (skew factor 0–4), with and without
 //! skew-aware processing.
 //!
-//! Usage: `figure8 [--scale F] [--memory-factor F]`
+//! Usage: `figure8 [--scale F] [--memory-factor F] [--explain [--skew N]]`
+//!
+//! With `--explain` the binary prints, instead of the timing table, the
+//! optimized plans each strategy executes at skew factor `--skew` (default 3)
+//! — including the `[skew]` join annotations the skew-aware strategies get.
 
-use trance_bench::{run_tpch_query, Family};
-use trance_compiler::Strategy;
+use trance_bench::{cli_arg, cli_flag, run_tpch_query, tpch_input_set, Family};
+use trance_compiler::{explain_query, Strategy};
 use trance_tpch::{QueryVariant, TpchConfig};
 
-fn arg(name: &str, default: &str) -> String {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| default.to_string())
-}
-
 fn main() {
-    let scale: f64 = arg("--scale", "0.3").parse().unwrap();
-    let memory_factor: f64 = arg("--memory-factor", "3.0").parse().unwrap();
+    let scale: f64 = cli_arg("--scale", "0.3").parse().unwrap();
+    let memory_factor: f64 = cli_arg("--memory-factor", "3.0").parse().unwrap();
     let strategies = [
         Strategy::ShredUnshred,
         Strategy::Shred,
@@ -28,6 +24,24 @@ fn main() {
         Strategy::ShredSkew,
         Strategy::StandardSkew,
     ];
+    if cli_flag("--explain") {
+        let skew: u32 = cli_arg("--skew", "3").parse().unwrap();
+        let cfg = TpchConfig::new(scale, skew);
+        let (inputs, spec) = tpch_input_set(
+            &cfg,
+            Family::NestedToNested,
+            2,
+            QueryVariant::Narrow,
+            memory_factor,
+        );
+        for s in &strategies {
+            match explain_query(&spec, &inputs, *s) {
+                Ok(text) => println!("{text}\n"),
+                Err(e) => println!("== {} · {} == run failed: {e}\n", spec.name, s.label()),
+            }
+        }
+        return;
+    }
     println!("Figure 8: nested-to-nested narrow, depth 2, skew factors 0-4 (scale {scale})");
     println!("runtimes in ms, shuffle in MiB; FAIL = simulated worker memory exhausted\n");
     print!("{:>5}", "skew");

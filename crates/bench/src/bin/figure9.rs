@@ -1,24 +1,29 @@
 //! Reproduces Figure 9: the five-step biomedical end-to-end pipeline on the
 //! small and full datasets, per strategy and per step.
 //!
-//! Usage: `figure9 [--memory-factor F] [--scale F]`
+//! Usage: `figure9 [--memory-factor F] [--scale F] [--explain]`
+//!
+//! With `--explain` the binary prints, instead of the timing table, the
+//! optimized plans each pipeline step executes per strategy (small dataset).
 
-use trance_bench::run_biomed_pipeline;
+use trance_bench::{cli_arg, cli_flag, explain_biomed_pipeline, run_biomed_pipeline};
 use trance_biomed::BiomedConfig;
 use trance_compiler::Strategy;
 
-fn arg(name: &str, default: &str) -> String {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| default.to_string())
-}
-
 fn main() {
-    let memory_factor: f64 = arg("--memory-factor", "12.0").parse().unwrap();
-    let scale: f64 = arg("--scale", "1.0").parse().unwrap();
+    let memory_factor: f64 = cli_arg("--memory-factor", "12.0").parse().unwrap();
+    let scale: f64 = cli_arg("--scale", "1.0").parse().unwrap();
     let strategies = [Strategy::Shred, Strategy::Standard, Strategy::Baseline];
+    if cli_flag("--explain") {
+        let cfg = BiomedConfig::small().scaled(scale);
+        for strategy in strategies {
+            for (step, text) in explain_biomed_pipeline(&cfg, strategy, memory_factor) {
+                println!("### step {step} ({})", strategy.label());
+                println!("{text}\n");
+            }
+        }
+        return;
+    }
     for (label, cfg) in [
         ("SMALL DATASET", BiomedConfig::small().scaled(scale)),
         ("FULL DATASET", BiomedConfig::full().scaled(scale)),

@@ -2,6 +2,12 @@
 //! (Section 6 bullet list) and writes every measured cell to
 //! `BENCH_summary.json` so successive changes have a machine-readable perf
 //! trajectory to regress against.
+//!
+//! Every row carries an explicit `status` (`ok` / `fail`); `wall_ms` is a
+//! number exactly when `status` is `ok` and `null` only for failed runs (the
+//! paper's FAIL cells, whose shuffle counters still reflect the work done
+//! before the memory cap hit). `op_ms` breaks the run down per engine
+//! operator.
 
 use std::fmt::Write as _;
 
@@ -34,19 +40,28 @@ fn render_json(cells: &[JsonCell]) -> String {
     let mut out = String::from("{\n  \"rows\": [\n");
     for (i, cell) in cells.iter().enumerate() {
         let s = &cell.row.stats;
-        let wall = match cell.row.elapsed {
-            Some(d) => format!("{:.3}", d.as_secs_f64() * 1000.0),
-            None => "null".to_string(),
+        let (status, wall) = match cell.row.elapsed {
+            Some(d) => ("ok", format!("{:.3}", d.as_secs_f64() * 1000.0)),
+            None => ("fail", "null".to_string()),
         };
+        let op_ms = s
+            .op_timings
+            .iter()
+            .map(|(op, t)| format!("\"{}\": {:.3}", escape(op), t.micros as f64 / 1000.0))
+            .collect::<Vec<_>>()
+            .join(", ");
         let _ = writeln!(
             out,
-            "    {{\"query\": \"{}\", \"strategy\": \"{}\", \"wall_ms\": {}, \
+            "    {{\"query\": \"{}\", \"strategy\": \"{}\", \"status\": \"{}\", \
+             \"wall_ms\": {}, \
              \"shuffled_tuples\": {}, \"shuffled_bytes\": {}, \
              \"broadcast_tuples\": {}, \"broadcast_bytes\": {}, \
              \"shuffle_joins\": {}, \"broadcast_joins\": {}, \
-             \"skew_broadcast_joins\": {}, \"skew_fallback_joins\": {}}}{}",
+             \"skew_broadcast_joins\": {}, \"skew_fallback_joins\": {}, \
+             \"op_ms\": {{{}}}}}{}",
             escape(&cell.query),
             escape(cell.row.strategy.label()),
+            status,
             wall,
             s.shuffled_tuples,
             s.shuffled_bytes,
@@ -56,6 +71,7 @@ fn render_json(cells: &[JsonCell]) -> String {
             s.broadcast_joins,
             s.skew_broadcast_joins,
             s.skew_fallback_joins,
+            op_ms,
             if i + 1 < cells.len() { "," } else { "" },
         );
     }
@@ -95,6 +111,26 @@ fn main() {
             row,
         }));
     }
+    // Optimizer-on vs optimizer-off at a scale where both runs complete: the
+    // plan optimizer (column pruning + pushdown) must strictly reduce the
+    // shuffled volume of the standard route vs the SparkSQL-like baseline.
+    let rows = run_tpch_query(
+        &cfg,
+        Family::NestedToNested,
+        2,
+        QueryVariant::Narrow,
+        &[Strategy::Standard, Strategy::Baseline],
+        3.0,
+    );
+    println!(
+        "NestedToNested     depth 2 (narrow): standard shuffle / baseline shuffle = {:.2}x",
+        rows[0].stats.shuffled_bytes.max(1) as f64 / rows[1].stats.shuffled_bytes.max(1) as f64
+    );
+    cells.extend(rows.into_iter().map(|row| JsonCell {
+        query: "NestedToNested-depth2-Narrow-scale0.3".to_string(),
+        row,
+    }));
+
     // Skew: shuffle reduction of the skew-aware shredded join (Figure 8 claim).
     let skew_cfg = TpchConfig::new(0.3, 3);
     let rows = run_tpch_query(

@@ -279,6 +279,27 @@ pub fn run_biomed_pipeline(
     strategy: Strategy,
     memory_factor: f64,
 ) -> PipelineRow {
+    run_biomed_pipeline_impl(config, strategy, memory_factor, None)
+}
+
+/// Runs the pipeline like [`run_biomed_pipeline`] while capturing, per step,
+/// the EXPLAIN rendering of the optimized plans the step executed.
+pub fn explain_biomed_pipeline(
+    config: &BiomedConfig,
+    strategy: Strategy,
+    memory_factor: f64,
+) -> Vec<(String, String)> {
+    let mut explains = Vec::new();
+    run_biomed_pipeline_impl(config, strategy, memory_factor, Some(&mut explains));
+    explains
+}
+
+fn run_biomed_pipeline_impl(
+    config: &BiomedConfig,
+    strategy: Strategy,
+    memory_factor: f64,
+    mut explains: Option<&mut Vec<(String, String)>>,
+) -> PipelineRow {
     let (mut inputs, _) = biomed_input_set(config, memory_factor);
     let structures: HashMap<&str, trance_shred::NestingStructure> = HashMap::from([
         ("Occurrences", trance_biomed::occurrences_structure()),
@@ -305,7 +326,15 @@ pub fn run_biomed_pipeline(
             })
             .collect();
         let spec = QuerySpec::new(step_name, expr, decls);
-        let outcome = run_query(&spec, &inputs, strategy);
+        let outcome = match explains.as_deref_mut() {
+            Some(explains) => {
+                let (outcome, text) =
+                    trance_compiler::run_query_explained(&spec, &inputs, strategy);
+                explains.push((step_name.to_string(), text));
+                outcome
+            }
+            None => run_query(&spec, &inputs, strategy),
+        };
         shuffled += outcome.stats.shuffled_bytes;
         match &outcome.result {
             RunResult::Failed(_) => {

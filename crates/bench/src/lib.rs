@@ -21,6 +21,21 @@
 pub mod harness;
 
 pub use harness::{
-    biomed_input_set, default_cluster, materialize_nested_input, run_biomed_pipeline,
-    run_tpch_query, tpch_input_set, BenchRow, Family, PipelineRow,
+    biomed_input_set, default_cluster, explain_biomed_pipeline, materialize_nested_input,
+    run_biomed_pipeline, run_tpch_query, tpch_input_set, BenchRow, Family, PipelineRow,
 };
+
+/// Returns the value following `name` on the command line, or `default`
+/// (shared argument parsing of the figure binaries).
+pub fn cli_arg(name: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| default.to_string())
+}
+
+/// True when `name` appears anywhere on the command line.
+pub fn cli_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}

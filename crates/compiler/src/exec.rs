@@ -1,9 +1,17 @@
-//! The distributed code generator / executor.
+//! The **legacy fused** distributed code generator / executor.
 //!
-//! This module plays the role of the paper's *unnesting + code generation*
-//! stages fused into one: it walks an NRC bag expression and directly emits
-//! operations on the `trance-dist` engine, following the same strategy the
-//! unnesting algorithm uses to build plans (Figure 3):
+//! This module is the original executor that fused the paper's *unnesting +
+//! code generation* stages into one: it walks an NRC bag expression and
+//! directly emits operations on the `trance-dist` engine. Since the plan
+//! layer went live (`trance_algebra::lower` → `optimize` → the physical
+//! executor in [`crate::physical`]), production strategies no longer run
+//! through this module — it is kept behind
+//! [`ExecOptions::legacy_fused`] as a differential-testing **oracle**: the
+//! plan route must agree with it on every query and strategy (see
+//! `tests/strategies_agree.rs`).
+//!
+//! It follows the same strategy the unnesting algorithm uses to build plans
+//! (Figure 3):
 //!
 //! * iterating an input relation establishes a flattened *stream* of rows
 //!   whose columns are named `var.field`;
@@ -30,18 +38,25 @@ use trance_nrc::{CmpOp, Expr, NrcError, PrimOp, Tuple, Value};
 /// Compilation options for one query execution.
 #[derive(Debug, Clone)]
 pub struct ExecOptions {
-    /// Prune unused input attributes as relations enter the stream (the
-    /// paper's column pruning; disabled for the SparkSQL-like baseline).
-    pub prune_columns: bool,
+    /// Run the plan optimizer (column pruning, selection pushdown, join
+    /// strategy selection). Disabled for the SparkSQL-like baseline — the
+    /// baseline is the same compilation route with the optimizer off, not a
+    /// separate code path. On the legacy fused executor this toggles its
+    /// ad-hoc required-field pruning, the closest equivalent.
+    pub optimize: bool,
     /// Use skew-aware joins (Section 5).
     pub skew_aware: bool,
+    /// Execute through the legacy fused NRC executor ([`execute`]) instead
+    /// of the plan route — kept as a differential-testing oracle.
+    pub legacy_fused: bool,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
         ExecOptions {
-            prune_columns: true,
+            optimize: true,
             skew_aware: false,
+            legacy_fused: false,
         }
     }
 }
@@ -135,7 +150,7 @@ impl Executor {
             .inputs
             .get(name)
             .ok_or_else(|| ExecError::Other(format!("unknown input relation `{name}`")))?;
-        let keep = if self.options.prune_columns {
+        let keep = if self.options.optimize {
             self.required.get(var).cloned().unwrap_or(None)
         } else {
             None
@@ -410,7 +425,7 @@ impl Executor {
                     )));
                 }
                 let bag_col = col(&outer_var, &path);
-                let keep = if self.options.prune_columns {
+                let keep = if self.options.optimize {
                     self.required.get(var).cloned().unwrap_or(None)
                 } else {
                     None

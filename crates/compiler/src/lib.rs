@@ -2,30 +2,44 @@
 //!
 //! The compilation framework of **trance-rs** (Section 3 of the paper): it
 //! turns NRC programs into distributed executions on the `trance-dist`
-//! engine, via two routes.
+//! engine through the live plan pipeline
+//! **NRC → Plan → optimize → execute**:
 //!
-//! * The **standard route** ([`exec`]) mirrors the unnesting algorithm: nested
-//!   inputs are flattened with (outer) unnests, correlated iterations become
-//!   distributed joins, aggregations become `Γ+`/`Γ⊎`, and nested outputs are
-//!   regrouped level by level.
-//! * The **shredded route** ([`pipeline`]) first applies query shredding
-//!   (`trance-shred`), executes the resulting flat assignments — one per
-//!   output dictionary — and optionally unshreds the output with distributed
-//!   label joins.
+//! * the unnesting algorithm (`trance_algebra::lower`, Figure 3) reifies the
+//!   query as a `PlanProgram`;
+//! * `trance_algebra::optimize` applies column pruning, selection/aggregation
+//!   pushdown and broadcast-vs-shuffle-vs-skew join strategy selection — the
+//!   SparkSQL-like baseline is this same route with the optimizer off;
+//! * the physical executor ([`physical`]) interprets the optimized plans on
+//!   `DistCollection`s, materializing assignment intermediates so later plans
+//!   optimize against their inferred schemas and sizes.
 //!
-//! Both routes can generate **skew-aware** executions that use the operators
-//! of Section 5 for every join.
+//! The **shredded route** ([`pipeline`]) first applies query shredding
+//! (`trance-shred`), then lowers and executes each resulting flat assignment
+//! — one per output dictionary — through the same plan layer, optionally
+//! unshredding the output with distributed label joins.
+//!
+//! The original fused executor ([`exec`]) is retained behind
+//! [`ExecOptions::legacy_fused`] purely as a differential-testing oracle.
 //!
 //! The strategies compared in the paper's experiments are exposed as
-//! [`pipeline::Strategy`] and driven by [`pipeline::run_query`].
+//! [`pipeline::Strategy`] and driven by [`pipeline::run_query`];
+//! [`pipeline::explain_query`] renders the optimized plans a strategy
+//! actually executes.
 
 #![warn(missing_docs)]
 
 pub mod exec;
+pub mod physical;
 pub mod pipeline;
 
 pub use exec::{execute, ExecOptions};
+pub use physical::{
+    eval_plan, exact_schema, execute_program, execute_via_plans, infer_catalog, infer_schema,
+    CapturedPlans,
+};
 pub use pipeline::{
-    collect_unshredded, run_query, run_shredded, unshred_distributed, InputSet, QuerySpec,
-    RunOutcome, RunResult, ShreddedOutput, Strategy,
+    collect_unshredded, explain_query, run_query, run_query_explained, run_query_legacy,
+    run_shredded, strategy_options, unshred_distributed, InputSet, QuerySpec, RunOutcome,
+    RunResult, ShreddedOutput, Strategy,
 };

@@ -1,0 +1,399 @@
+//! The physical executor: interprets optimized [`Plan`] trees on
+//! [`DistCollection`]s.
+//!
+//! This is the last stage of the live compilation pipeline
+//! **NRC → Plan → optimize → execute**:
+//!
+//! 1. [`infer_catalog`] samples the distributed inputs to build the
+//!    attribute-level [`Catalog`] (schemas plus materialized sizes) that
+//!    drives lowering and optimization;
+//! 2. `trance_algebra::lower` produces a [`PlanProgram`];
+//! 3. each assignment and the root are run through
+//!    `trance_algebra::optimize` **immediately before execution**, so plans
+//!    over intermediates benefit from the schemas and sizes of the
+//!    materializations that precede them;
+//! 4. [`eval_plan`] maps every plan operator onto the engine: scans with
+//!    `var.field` renaming, selections/projections/extensions as
+//!    partition-parallel maps, joins as distributed hash joins honouring the
+//!    optimizer's strategy annotation (broadcast / shuffle / skew-aware),
+//!    unnests as flat-maps, `Γ⊎`/`Γ+` as the engine's grouping operators.
+//!
+//! With optimization disabled the same interpreter reproduces the
+//! SparkSQL-like baseline: wide rows travel through every shuffle.
+
+use std::collections::HashMap;
+
+use trance_algebra::{
+    lower, optimize, AttrSchema, Catalog, JoinStrategy, NestOp, OptimizerConfig, Plan,
+    PlanJoinKind, PlanProgram,
+};
+use trance_dist::{DistCollection, DistContext, ExecError, JoinHint, JoinSpec, Result, SkewTriple};
+use trance_nrc::{Expr, NrcError, Tuple, Value};
+
+use crate::exec::ExecOptions;
+
+/// Optimized plans captured during one execution, in execution order. The
+/// last entry is the root plan (named by the caller); earlier entries are the
+/// program's materialized assignments.
+pub type CapturedPlans = Vec<(String, Plan)>;
+
+/// Lowers an NRC bag expression to a plan program and executes it over the
+/// distributed inputs — the plan-route counterpart of [`crate::execute`].
+///
+/// When `capture` is provided, every optimized plan is recorded (for EXPLAIN
+/// output) with the root plan stored under `root_label`.
+pub fn execute_via_plans(
+    expr: &Expr,
+    inputs: &HashMap<String, DistCollection>,
+    ctx: &DistContext,
+    options: &ExecOptions,
+    root_label: &str,
+    capture: Option<&mut CapturedPlans>,
+) -> Result<DistCollection> {
+    let catalog = infer_catalog(inputs);
+    let program = lower(expr, &catalog).map_err(|e| ExecError::Other(e.to_string()))?;
+    execute_program(&program, inputs, ctx, options, root_label, capture)
+}
+
+/// Executes a lowered [`PlanProgram`]: materializes each assignment in order
+/// (optimizing it against the catalog known so far, then registering its
+/// inferred schema and size), then evaluates the root plan.
+pub fn execute_program(
+    program: &PlanProgram,
+    inputs: &HashMap<String, DistCollection>,
+    ctx: &DistContext,
+    options: &ExecOptions,
+    root_label: &str,
+    mut capture: Option<&mut CapturedPlans>,
+) -> Result<DistCollection> {
+    let mut env = inputs.clone();
+    let mut catalog = infer_catalog(&env);
+    let opt_config = optimizer_config(options, ctx);
+    for assignment in &program.assignments {
+        let plan = match &opt_config {
+            Some(cfg) => optimize(&assignment.plan, &catalog, cfg),
+            None => assignment.plan.clone(),
+        };
+        if let Some(capture) = capture.as_deref_mut() {
+            capture.push((assignment.name.clone(), plan.clone()));
+        }
+        let out = eval_plan(&plan, &env, ctx, options)?;
+        // Intermediates are registered with their *exact* top-level
+        // attribute set: their scans carry no alias, so the pruning pass has
+        // no prefix fallback and a sampled schema could silently drop an
+        // attribute present only in unsampled rows.
+        catalog.register(assignment.name.clone(), exact_schema(&out));
+        catalog.set_size(assignment.name.clone(), out.total_bytes());
+        env.insert(assignment.name.clone(), out);
+    }
+    let root = match &opt_config {
+        Some(cfg) => optimize(&program.root, &catalog, cfg),
+        None => program.root.clone(),
+    };
+    if let Some(capture) = capture {
+        capture.push((root_label.to_string(), root.clone()));
+    }
+    eval_plan(&root, &env, ctx, options)
+}
+
+/// The optimizer configuration for one run; `None` when optimization is off
+/// (the SparkSQL-like baseline executes lowered plans verbatim).
+fn optimizer_config(options: &ExecOptions, ctx: &DistContext) -> Option<OptimizerConfig> {
+    if !options.optimize {
+        return None;
+    }
+    Some(OptimizerConfig {
+        skew_joins: options.skew_aware,
+        broadcast_limit: Some(ctx.config().broadcast_limit),
+        ..OptimizerConfig::default()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// catalog inference
+// ---------------------------------------------------------------------------
+
+/// Builds a [`Catalog`] from distributed inputs by sampling rows for the
+/// attribute schemas (recursively into bag-valued attributes) and recording
+/// materialized sizes for join strategy selection.
+pub fn infer_catalog(inputs: &HashMap<String, DistCollection>) -> Catalog {
+    let mut catalog = Catalog::new();
+    for (name, coll) in inputs {
+        catalog.register(name.clone(), infer_schema(coll));
+        catalog.set_size(name.clone(), coll.total_bytes());
+    }
+    catalog
+}
+
+/// Infers the attribute schema of a collection from a small row sample.
+/// Empty collections (or non-tuple rows) yield the empty schema, which the
+/// optimizer treats as "unknown — don't touch".
+pub fn infer_schema(coll: &DistCollection) -> AttrSchema {
+    let mut sample: Vec<&Value> = Vec::new();
+    'outer: for part in coll.partitions() {
+        for row in part.iter().take(8) {
+            sample.push(row);
+            if sample.len() >= 64 {
+                break 'outer;
+            }
+        }
+    }
+    schema_of_rows(&sample)
+}
+
+/// The exact top-level attribute union across **all** rows of a collection
+/// (one pass, like the size metering). Nested bag schemas stay sampled:
+/// pruning below an aliased unnest keeps every required `alias.`-prefixed
+/// attribute regardless of what the sample saw.
+pub fn exact_schema(coll: &DistCollection) -> AttrSchema {
+    let mut out = AttrSchema::default();
+    for part in coll.partitions() {
+        for row in part {
+            if let Value::Tuple(t) = row {
+                for (name, value) in t.iter() {
+                    if !out.contains(name) {
+                        out.attrs.push(name.to_string());
+                    }
+                    if let Value::Bag(bag) = value {
+                        let inner_rows: Vec<&Value> = bag.iter().take(8).collect();
+                        let inner = schema_of_rows(&inner_rows);
+                        let entry = out.nested.entry(name.to_string()).or_default();
+                        *entry = entry.merge(&inner);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn schema_of_rows(rows: &[&Value]) -> AttrSchema {
+    let mut out = AttrSchema::default();
+    for row in rows {
+        if let Value::Tuple(t) = row {
+            for (name, value) in t.iter() {
+                if !out.contains(name) {
+                    out.attrs.push(name.to_string());
+                }
+                if let Value::Bag(bag) = value {
+                    let inner_rows: Vec<&Value> = bag.iter().take(8).collect();
+                    let inner = schema_of_rows(&inner_rows);
+                    let entry = out.nested.entry(name.to_string()).or_default();
+                    *entry = entry.merge(&inner);
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// the interpreter
+// ---------------------------------------------------------------------------
+
+/// Evaluates one plan tree against the environment of named collections.
+pub fn eval_plan(
+    plan: &Plan,
+    env: &HashMap<String, DistCollection>,
+    ctx: &DistContext,
+    options: &ExecOptions,
+) -> Result<DistCollection> {
+    match plan {
+        Plan::Scan { name, alias } => {
+            let coll = env
+                .get(name)
+                .ok_or_else(|| ExecError::Other(format!("unknown input relation `{name}`")))?;
+            match alias {
+                None => Ok(coll.clone()),
+                Some(alias) => {
+                    let alias = alias.clone();
+                    coll.map(move |row| Ok(Value::Tuple(rename_row(row, &alias))))
+                }
+            }
+        }
+        Plan::Unit => Ok(ctx.parallelize(vec![Value::Tuple(Tuple::empty())])),
+        Plan::Empty => Ok(ctx.empty()),
+        Plan::Select { input, predicate } => {
+            let rows = eval_plan(input, env, ctx, options)?;
+            let predicate = predicate.clone();
+            rows.filter(move |row| Ok(predicate.eval(row.as_tuple()?)?.as_bool()?))
+        }
+        Plan::Project { input, columns } => {
+            let rows = eval_plan(input, env, ctx, options)?;
+            let columns = columns.clone();
+            rows.map(move |row| {
+                let t = row.as_tuple()?;
+                let mut out = Tuple::empty();
+                for (name, expr) in &columns {
+                    out.set(name.clone(), expr.eval(t)?);
+                }
+                Ok(Value::Tuple(out))
+            })
+        }
+        Plan::Extend { input, columns } => {
+            let rows = eval_plan(input, env, ctx, options)?;
+            let columns = columns.clone();
+            rows.map(move |row| {
+                let mut t = row.as_tuple()?.clone();
+                for (name, expr) in &columns {
+                    let v = expr.eval(&t)?;
+                    t.set(name.clone(), v);
+                }
+                Ok(Value::Tuple(t))
+            })
+        }
+        Plan::AddIndex { input, id_attr } => {
+            let rows = eval_plan(input, env, ctx, options)?;
+            rows.with_unique_id(id_attr)
+        }
+        Plan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+            kind,
+            strategy,
+        } => {
+            let l = eval_plan(left, env, ctx, options)?;
+            let r = eval_plan(right, env, ctx, options)?;
+            let lk: Vec<&str> = left_key.iter().map(String::as_str).collect();
+            let rk: Vec<&str> = right_key.iter().map(String::as_str).collect();
+            let spec = match kind {
+                PlanJoinKind::Inner => JoinSpec::inner(&lk, &rk),
+                PlanJoinKind::LeftOuter => JoinSpec::left_outer(&lk, &rk),
+            };
+            if options.skew_aware || *strategy == JoinStrategy::Skew {
+                SkewTriple::unknown(l).join(&r, &spec)?.merged()
+            } else {
+                let spec = match strategy {
+                    // The planner's size bound predates the `var.field`
+                    // renaming, which inflates per-row bytes; force the
+                    // broadcast only when the materialized side really fits,
+                    // otherwise fall back to the runtime decision.
+                    JoinStrategy::Broadcast if r.total_bytes() <= ctx.config().broadcast_limit => {
+                        spec.with_hint(JoinHint::BroadcastRight)
+                    }
+                    JoinStrategy::Shuffle => spec.with_hint(JoinHint::Shuffle),
+                    _ => spec,
+                };
+                l.join(&r, &spec)
+            }
+        }
+        Plan::Unnest {
+            input,
+            bag_attr,
+            alias,
+            outer,
+            id_attr,
+        } => {
+            let rows = eval_plan(input, env, ctx, options)?;
+            let rows = match (outer, id_attr) {
+                (true, Some(id)) => rows.with_unique_id(id)?,
+                _ => rows,
+            };
+            let bag_attr = bag_attr.clone();
+            let alias = alias.clone();
+            let outer = *outer;
+            rows.flat_map(move |row| {
+                let t = row.as_tuple()?;
+                let bag = match t.get(&bag_attr) {
+                    Some(Value::Bag(b)) => b.clone(),
+                    Some(Value::Null) | None => trance_nrc::Bag::empty(),
+                    Some(other) => {
+                        return Err(NrcError::TypeMismatch {
+                            expected: "bag".into(),
+                            found: other.kind().into(),
+                            context: format!("unnest of {bag_attr}"),
+                        }
+                        .into())
+                    }
+                };
+                let parent = t.project_away(&[bag_attr.as_str()]);
+                if bag.is_empty() {
+                    // The outer variant keeps the parent tuple (inner
+                    // attributes stay absent, i.e. NULL).
+                    return Ok(if outer {
+                        vec![Value::Tuple(parent)]
+                    } else {
+                        Vec::new()
+                    });
+                }
+                let mut out = Vec::with_capacity(bag.len());
+                for elem in bag.iter() {
+                    let mut new_row = parent.clone();
+                    merge_element(&mut new_row, elem, alias.as_deref());
+                    out.push(Value::Tuple(new_row));
+                }
+                Ok(out)
+            })
+        }
+        Plan::Nest {
+            input,
+            key,
+            values,
+            op,
+        } => {
+            let rows = eval_plan(input, env, ctx, options)?;
+            match op {
+                NestOp::Sum => {
+                    if options.skew_aware {
+                        SkewTriple::unknown(rows).nest_sum(key, values)?.merged()
+                    } else {
+                        rows.nest_sum(key, values)
+                    }
+                }
+                NestOp::Bag { group_attr } => rows.nest_bag(key, values, group_attr),
+            }
+        }
+        Plan::Dedup { input } => eval_plan(input, env, ctx, options)?.distinct(),
+        Plan::Union { left, right } => {
+            let l = eval_plan(left, env, ctx, options)?;
+            let r = eval_plan(right, env, ctx, options)?;
+            l.union(&r)
+        }
+        Plan::BagToDict { input } => {
+            // The partitioning guarantee is implicit in the engine; the cast
+            // is a no-op at execution time.
+            eval_plan(input, env, ctx, options)
+        }
+        Plan::DictLookup { .. } => Err(ExecError::Other(
+            "DictLookup is not produced by the lowering (shredded plans are flat); \
+             reserved for hand-written plans"
+                .into(),
+        )),
+    }
+}
+
+/// Renames the fields of a scanned row to `alias.field` (non-tuple rows
+/// become a single `alias.__value` attribute).
+fn rename_row(row: &Value, alias: &str) -> Tuple {
+    let mut out = Tuple::empty();
+    match row {
+        Value::Tuple(t) => {
+            for (f, v) in t.iter() {
+                out.set(format!("{alias}.{f}"), v.clone());
+            }
+        }
+        other => out.set(format!("{alias}.__value"), other.clone()),
+    }
+    out
+}
+
+/// Merges one flattened bag element into a stream row, renaming its fields to
+/// `alias.field` when an alias is present.
+fn merge_element(row: &mut Tuple, elem: &Value, alias: Option<&str>) {
+    match (elem, alias) {
+        (Value::Tuple(et), Some(alias)) => {
+            for (f, v) in et.iter() {
+                row.set(format!("{alias}.{f}"), v.clone());
+            }
+        }
+        (Value::Tuple(et), None) => {
+            for (f, v) in et.iter() {
+                row.set(f.to_string(), v.clone());
+            }
+        }
+        (other, Some(alias)) => row.set(format!("{alias}.__value"), other.clone()),
+        (other, None) => row.set("__value".to_string(), other.clone()),
+    }
+}

@@ -1,18 +1,31 @@
 //! End-to-end compilation pipelines (Figure 2) and the evaluation strategies
 //! compared in Section 6.
 //!
+//! Every strategy compiles through the plan layer — NRC is lowered to a
+//! `trance_algebra::PlanProgram`, optimized, and interpreted by the physical
+//! executor ([`crate::physical`]); the shredded strategies lower each flat
+//! assignment of the shredded program the same way:
+//!
 //! * **Standard** — the standard compilation route: flattening execution over
-//!   nested rows with column pruning.
-//! * **Baseline** — the SparkSQL-like competitor: same flattening execution
-//!   but without column pruning (wide rows travel through every shuffle).
+//!   nested rows with the optimizer on (column pruning, pushdown, join
+//!   strategy selection).
+//! * **Baseline** — the SparkSQL-like competitor: the same route with the
+//!   optimizer **off** (wide rows travel through every shuffle), not a
+//!   separate code path.
 //! * **Shred** — the shredded compilation route, leaving the output in
 //!   shredded (dictionary) form for downstream consumers.
 //! * **ShredUnshred** — shredded route plus distributed unshredding of the
 //!   final nested output.
 //! * `*Skew` variants run every join with the skew-aware operators of
-//!   Section 5.
+//!   Section 5 (the optimizer annotates every `Plan::Join` with `Skew`).
+//!
+//! The legacy fused executor survives behind
+//! [`ExecOptions::legacy_fused`] / [`run_query_legacy`] as a differential-
+//! testing oracle, and [`explain_query`] renders the optimized plans a
+//! strategy actually executes.
 
 use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use trance_dist::{DistCollection, DistContext, ExecError, JoinSpec, StatsSnapshot};
@@ -23,6 +36,7 @@ use trance_shred::{
 };
 
 use crate::exec::{execute, ExecOptions};
+use crate::physical::{execute_via_plans, CapturedPlans};
 
 /// The evaluation strategies of the paper's experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -259,12 +273,75 @@ impl RunOutcome {
     }
 }
 
-/// Runs `spec` under `strategy` over the given inputs.
+/// The options a strategy runs under (plan route by default; set
+/// `legacy_fused` to execute through the legacy oracle instead).
+pub fn strategy_options(strategy: Strategy, legacy_fused: bool) -> ExecOptions {
+    ExecOptions {
+        optimize: strategy != Strategy::Baseline,
+        skew_aware: strategy.skew_aware(),
+        legacy_fused,
+    }
+}
+
+/// Runs `spec` under `strategy` over the given inputs — through the plan
+/// route (NRC → Plan → optimize → physical execution).
 pub fn run_query(spec: &QuerySpec, inputs: &InputSet, strategy: Strategy) -> RunOutcome {
+    run_query_impl(spec, inputs, strategy, false, None)
+}
+
+/// Runs `spec` under `strategy` through the **legacy fused** executor — the
+/// differential-testing oracle the plan route must agree with.
+pub fn run_query_legacy(spec: &QuerySpec, inputs: &InputSet, strategy: Strategy) -> RunOutcome {
+    run_query_impl(spec, inputs, strategy, true, None)
+}
+
+/// Runs `spec` under `strategy` while capturing the optimized plans it
+/// executes, returning the outcome together with the rendered EXPLAIN text.
+pub fn run_query_explained(
+    spec: &QuerySpec,
+    inputs: &InputSet,
+    strategy: Strategy,
+) -> (RunOutcome, String) {
+    let mut capture: CapturedPlans = Vec::new();
+    let outcome = run_query_impl(spec, inputs, strategy, false, Some(&mut capture));
+    let mut out = String::new();
+    let _ = writeln!(out, "== {} · {} ==", spec.name, strategy.label());
+    for (name, plan) in &capture {
+        let _ = writeln!(out, "-- {name} --");
+        out.push_str(&trance_algebra::pretty_plan(plan));
+    }
+    if let RunResult::Failed(e) = &outcome.result {
+        let _ = writeln!(out, "-- run failed: {e} --");
+    }
+    (outcome, out)
+}
+
+/// Renders the optimized plans `strategy` actually executes for `spec` (the
+/// query runs so intermediate schemas and sizes inform optimization, exactly
+/// as in a measured run).
+pub fn explain_query(
+    spec: &QuerySpec,
+    inputs: &InputSet,
+    strategy: Strategy,
+) -> trance_dist::Result<String> {
+    let (outcome, text) = run_query_explained(spec, inputs, strategy);
+    if let RunResult::Failed(e) = &outcome.result {
+        return Err(e.clone());
+    }
+    Ok(text)
+}
+
+fn run_query_impl(
+    spec: &QuerySpec,
+    inputs: &InputSet,
+    strategy: Strategy,
+    legacy_fused: bool,
+    capture: Option<&mut CapturedPlans>,
+) -> RunOutcome {
     let ctx = inputs.context();
     ctx.stats().reset();
     let start = Instant::now();
-    let result = match dispatch(spec, inputs, strategy) {
+    let result = match dispatch(spec, inputs, strategy, legacy_fused, capture) {
         Ok(r) => r,
         Err(e) => RunResult::Failed(e),
     };
@@ -276,32 +353,50 @@ pub fn run_query(spec: &QuerySpec, inputs: &InputSet, strategy: Strategy) -> Run
     }
 }
 
+/// Runs one NRC bag expression through the configured route.
+fn execute_query(
+    expr: &Expr,
+    env: &HashMap<String, DistCollection>,
+    ctx: &DistContext,
+    options: &ExecOptions,
+    root_label: &str,
+    capture: Option<&mut CapturedPlans>,
+) -> trance_dist::Result<DistCollection> {
+    if options.legacy_fused {
+        execute(expr, env, ctx, options)
+    } else {
+        execute_via_plans(expr, env, ctx, options, root_label, capture)
+    }
+}
+
 fn dispatch(
     spec: &QuerySpec,
     inputs: &InputSet,
     strategy: Strategy,
+    legacy_fused: bool,
+    capture: Option<&mut CapturedPlans>,
 ) -> trance_dist::Result<RunResult> {
     let ctx = inputs.context();
+    let options = strategy_options(strategy, legacy_fused);
     match strategy {
         Strategy::Standard | Strategy::StandardSkew | Strategy::Baseline => {
-            let options = ExecOptions {
-                prune_columns: strategy != Strategy::Baseline,
-                skew_aware: strategy.skew_aware(),
-            };
-            let out = execute(&spec.query, inputs.nested_inputs(), ctx, &options)?;
+            let out = execute_query(
+                &spec.query,
+                inputs.nested_inputs(),
+                ctx,
+                &options,
+                "result",
+                capture,
+            )?;
             Ok(RunResult::Nested(out))
         }
         Strategy::Shred
         | Strategy::ShredUnshred
         | Strategy::ShredSkew
         | Strategy::ShredUnshredSkew => {
-            let options = ExecOptions {
-                prune_columns: true,
-                skew_aware: strategy.skew_aware(),
-            };
             let shredded =
                 shred_query(&spec.query, &spec.nested_inputs).map_err(ExecError::from)?;
-            let output = run_shredded(&shredded, inputs, &options)?;
+            let output = run_shredded_impl(&shredded, inputs, &options, capture)?;
             if strategy.unshreds() {
                 let nested = unshred_distributed(&output, ctx, &options)?;
                 Ok(RunResult::Nested(nested))
@@ -313,16 +408,33 @@ fn dispatch(
 }
 
 /// Executes the flat assignments of a shredded program in order, returning the
-/// shredded output.
+/// shredded output. Each assignment goes through the plan layer (lowered,
+/// optimized and interpreted) unless `options.legacy_fused` is set.
 pub fn run_shredded(
     shredded: &ShreddedQuery,
     inputs: &InputSet,
     options: &ExecOptions,
 ) -> trance_dist::Result<ShreddedOutput> {
+    run_shredded_impl(shredded, inputs, options, None)
+}
+
+fn run_shredded_impl(
+    shredded: &ShreddedQuery,
+    inputs: &InputSet,
+    options: &ExecOptions,
+    mut capture: Option<&mut CapturedPlans>,
+) -> trance_dist::Result<ShreddedOutput> {
     let ctx = inputs.context();
     let mut env = inputs.shredded_inputs().clone();
     for assignment in &shredded.program.assignments {
-        let out = execute(&assignment.expr, &env, ctx, options)?;
+        let out = execute_query(
+            &assignment.expr,
+            &env,
+            ctx,
+            options,
+            &assignment.name,
+            capture.as_deref_mut(),
+        )?;
         env.insert(assignment.name.clone(), out);
     }
     let top = env

@@ -1,14 +1,21 @@
 //! Cross-strategy correctness: every compilation strategy (standard,
 //! SparkSQL-like baseline, shredded, shredded+unshredded, and their skew-aware
 //! variants) must produce the same result as the local reference evaluator on
-//! the paper's query families.
+//! the paper's query families — **through the plan route and through the
+//! legacy fused executor**, which serve as differential oracles for each
+//! other. A seeded random NRC program generator widens the net beyond the
+//! hand-written queries.
 
 use std::collections::BTreeMap;
 
-use trance_compiler::{collect_unshredded, run_query, InputSet, QuerySpec, RunResult, Strategy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trance_compiler::{
+    collect_unshredded, run_query, run_query_legacy, InputSet, QuerySpec, RunResult, Strategy,
+};
 use trance_dist::{ClusterConfig, DistContext};
 use trance_nrc::builder::*;
-use trance_nrc::{eval, Bag, Env, Value};
+use trance_nrc::{eval, Bag, Env, Expr, Value};
 use trance_shred::{NestingStructure, ShreddedInputDecl};
 
 fn ctx() -> DistContext {
@@ -157,6 +164,7 @@ fn check_all_strategies(spec: &QuerySpec, values: &[(&str, Value, bool)]) {
         }
     }
     for strategy in Strategy::all() {
+        // Plan route (NRC → Plan → optimize → physical execution).
         let outcome = run_query(spec, &inputs, strategy);
         let produced: Bag = match &outcome.result {
             RunResult::Nested(d) => d.collect_bag(),
@@ -167,6 +175,21 @@ fn check_all_strategies(spec: &QuerySpec, values: &[(&str, Value, bool)]) {
             canonical(&expected),
             canonical(&produced),
             "strategy {} disagrees with the reference evaluator for query {}",
+            strategy.label(),
+            spec.name
+        );
+        // Differential: the legacy fused executor must agree with the plan
+        // route on every query/strategy pair.
+        let legacy = run_query_legacy(spec, &inputs, strategy);
+        let legacy_bag: Bag = match &legacy.result {
+            RunResult::Nested(d) => d.collect_bag(),
+            RunResult::Shredded(out) => collect_unshredded(out).unwrap(),
+            RunResult::Failed(e) => panic!("legacy {} failed: {e}", strategy.label()),
+        };
+        assert_eq!(
+            canonical(&produced),
+            canonical(&legacy_bag),
+            "plan route and legacy fused executor disagree under {} for query {}",
             strategy.label(),
             spec.name
         );
@@ -390,6 +413,400 @@ fn shredded_strategy_reports_lower_shuffle_than_baseline_for_wide_rows() {
         shred.stats.shuffled_bytes < baseline.stats.shuffled_bytes,
         "shredded route should shuffle fewer bytes ({} vs {})",
         shred.stats.shuffled_bytes,
+        baseline.stats.shuffled_bytes
+    );
+}
+
+// ---------------------------------------------------------------------------
+// seeded randomized NRC programs: plan route vs legacy oracle vs reference
+// ---------------------------------------------------------------------------
+
+/// Random flat relation `R(a, b, c)` (ints and reals, with duplicate keys so
+/// joins and groupings hit multiplicities).
+fn random_flat(rng: &mut StdRng, rows: usize, key_space: i64) -> Value {
+    Value::bag(
+        (0..rows)
+            .map(|_| {
+                Value::tuple([
+                    ("a", Value::Int(rng.gen_range(0..key_space))),
+                    ("b", Value::Int(rng.gen_range(-5..50))),
+                    ("c", Value::Real(rng.gen_range(0.0..10.0))),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Random nested relation `N(key, name, items: {(ik, iv)})`, some item bags
+/// empty so outer-regrouping paths are exercised.
+fn random_nested(rng: &mut StdRng, rows: usize, key_space: i64) -> Value {
+    Value::bag(
+        (0..rows)
+            .map(|i| {
+                let n_items = rng.gen_range(0..5usize);
+                let items: Vec<Value> = (0..n_items)
+                    .map(|_| {
+                        Value::tuple([
+                            ("ik", Value::Int(rng.gen_range(0..key_space))),
+                            ("iv", Value::Real(rng.gen_range(0.0..4.0))),
+                        ])
+                    })
+                    .collect();
+                Value::tuple([
+                    ("key", Value::Int(i as i64 % key_space)),
+                    ("name", Value::str(format!("n{i}"))),
+                    ("items", Value::bag(items)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// A random scalar expression over the fields of `x` (no division — the
+/// generator must not manufacture runtime errors).
+fn random_scalar(rng: &mut StdRng, var: &str) -> Expr {
+    match rng.gen_range(0..4u32) {
+        0 => proj(trance_nrc::builder::var(var), "a"),
+        1 => proj(trance_nrc::builder::var(var), "b"),
+        2 => add(
+            proj(trance_nrc::builder::var(var), "a"),
+            proj(trance_nrc::builder::var(var), "b"),
+        ),
+        _ => mul(
+            proj(trance_nrc::builder::var(var), "c"),
+            Expr::Const(Value::Real(rng.gen_range(0.5..2.0))),
+        ),
+    }
+}
+
+/// A random filter over `x` (comparisons only — NULL-safe by construction).
+fn random_predicate(rng: &mut StdRng, var: &str) -> Expr {
+    let field = if rng.gen_bool(0.5) { "a" } else { "b" };
+    let bound = Value::Int(rng.gen_range(0..20));
+    let lhs = proj(trance_nrc::builder::var(var), field);
+    if rng.gen_bool(0.5) {
+        cmp_lt(lhs, Expr::Const(bound))
+    } else {
+        cmp_eq(lhs, Expr::Const(bound))
+    }
+}
+
+/// One random NRC query over `R`, `S` (flat) and `N` (nested).
+fn random_query(rng: &mut StdRng) -> Expr {
+    match rng.gen_range(0..6u32) {
+        // Filter + project.
+        0 => forin(
+            "x",
+            var("R"),
+            ifthen(
+                random_predicate(rng, "x"),
+                singleton(tuple([
+                    ("u", random_scalar(rng, "x")),
+                    ("v", proj(var("x"), "c")),
+                ])),
+            ),
+        ),
+        // Equi-join with a residual predicate.
+        1 => forin(
+            "x",
+            var("R"),
+            forin(
+                "y",
+                var("S"),
+                ifthen(
+                    and(
+                        cmp_eq(proj(var("x"), "a"), proj(var("y"), "a")),
+                        random_predicate(rng, "y"),
+                    ),
+                    singleton(tuple([
+                        ("u", random_scalar(rng, "x")),
+                        ("w", proj(var("y"), "c")),
+                    ])),
+                ),
+            ),
+        ),
+        // Aggregation over a join.
+        2 => sum_by(
+            forin(
+                "x",
+                var("R"),
+                forin(
+                    "y",
+                    var("S"),
+                    ifthen(
+                        cmp_eq(proj(var("x"), "a"), proj(var("y"), "a")),
+                        singleton(tuple([
+                            ("k", proj(var("x"), "b")),
+                            ("total", mul(proj(var("x"), "c"), proj(var("y"), "c"))),
+                        ])),
+                    ),
+                ),
+            ),
+            &["k"],
+            &["total"],
+        ),
+        // Nested output: navigate the nested input, join the flat side at the
+        // inner level, regroup.
+        3 => forin(
+            "n",
+            var("N"),
+            singleton(tuple([
+                ("name", proj(var("n"), "name")),
+                (
+                    "stuff",
+                    forin(
+                        "i",
+                        proj(var("n"), "items"),
+                        forin(
+                            "y",
+                            var("S"),
+                            ifthen(
+                                cmp_eq(proj(var("i"), "ik"), proj(var("y"), "a")),
+                                singleton(tuple([
+                                    ("ik", proj(var("i"), "ik")),
+                                    ("score", mul(proj(var("i"), "iv"), proj(var("y"), "c"))),
+                                ])),
+                            ),
+                        ),
+                    ),
+                ),
+            ])),
+        ),
+        // Grouping into bags.
+        4 => group_by(
+            forin(
+                "x",
+                var("R"),
+                ifthen(
+                    random_predicate(rng, "x"),
+                    singleton(tuple([
+                        ("k", proj(var("x"), "a")),
+                        ("p", proj(var("x"), "b")),
+                    ])),
+                ),
+            ),
+            &["k"],
+            "grp",
+        ),
+        // Union of two filtered branches.
+        _ => Expr::Union(
+            Box::new(forin(
+                "x",
+                var("R"),
+                ifthen(
+                    random_predicate(rng, "x"),
+                    singleton(tuple([("u", proj(var("x"), "a"))])),
+                ),
+            )),
+            Box::new(forin(
+                "x",
+                var("R"),
+                ifthen(
+                    random_predicate(rng, "x"),
+                    singleton(tuple([("u", proj(var("x"), "b"))])),
+                ),
+            )),
+        ),
+    }
+}
+
+/// Approximate value equality: distributed aggregation sums reals in a
+/// different order than the sequential reference evaluator, so grouped totals
+/// may differ in the last ulp. Everything except reals must match exactly.
+fn approx_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Real(x), Value::Real(y)) => {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= 1e-9 * scale
+        }
+        (Value::Tuple(x), Value::Tuple(y)) => {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y.iter())
+                    .all(|((nx, vx), (ny, vy))| nx == ny && approx_eq(vx, vy))
+        }
+        (Value::Bag(x), Value::Bag(y)) => {
+            x.len() == y.len() && x.iter().zip(y.iter()).all(|(vx, vy)| approx_eq(vx, vy))
+        }
+        _ => a == b,
+    }
+}
+
+fn assert_bags_approx_eq(expected: &Bag, produced: &Bag, context: &str) {
+    let e = canonical(expected);
+    let p = canonical(produced);
+    assert_eq!(e.len(), p.len(), "{context}: cardinality mismatch");
+    for (ev, pv) in e.iter().zip(p.iter()) {
+        assert!(
+            approx_eq(ev, pv),
+            "{context}: rows differ beyond float tolerance\n  expected: {ev:?}\n  produced: {pv:?}"
+        );
+    }
+}
+
+#[test]
+fn randomized_programs_plan_route_matches_legacy_and_reference() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE + seed);
+        let r_rows = rng.gen_range(5..40usize);
+        let s_rows = rng.gen_range(5..30usize);
+        let n_rows = rng.gen_range(3..20usize);
+        let r = random_flat(&mut rng, r_rows, 8);
+        let s = random_flat(&mut rng, s_rows, 8);
+        let n = random_nested(&mut rng, n_rows, 8);
+        let query = random_query(&mut rng);
+
+        let env = Env::from_bindings([("R", r.clone()), ("S", s.clone()), ("N", n.clone())]);
+        let expected = eval(&query, &env).unwrap().into_bag().unwrap();
+
+        let ctx = ctx();
+        let mut inputs = InputSet::new(ctx);
+        inputs.add_flat("R", r.as_bag().unwrap().clone()).unwrap();
+        inputs.add_flat("S", s.as_bag().unwrap().clone()).unwrap();
+        inputs.add_nested("N", n.as_bag().unwrap().clone()).unwrap();
+        let spec = QuerySpec::new(format!("random-{seed}"), query, vec![]);
+
+        for strategy in [
+            Strategy::Standard,
+            Strategy::Baseline,
+            Strategy::StandardSkew,
+        ] {
+            let plan_out = match &run_query(&spec, &inputs, strategy).result {
+                RunResult::Nested(d) => d.collect_bag(),
+                other => panic!("seed {seed} {}: {other:?}", strategy.label()),
+            };
+            let legacy_out = match &run_query_legacy(&spec, &inputs, strategy).result {
+                RunResult::Nested(d) => d.collect_bag(),
+                other => panic!("seed {seed} legacy {}: {other:?}", strategy.label()),
+            };
+            assert_bags_approx_eq(
+                &expected,
+                &plan_out,
+                &format!(
+                    "seed {seed}: plan route vs reference evaluator under {}",
+                    strategy.label()
+                ),
+            );
+            assert_bags_approx_eq(
+                &plan_out,
+                &legacy_out,
+                &format!(
+                    "seed {seed}: plan route vs legacy oracle under {}",
+                    strategy.label()
+                ),
+            );
+        }
+    }
+}
+
+#[test]
+fn shadowed_let_bindings_execute_lexically_on_the_plan_route() {
+    // let X = {pids} in (let X = {pids+100} in scan X) ∪ (scan X): the second
+    // branch must read the OUTER binding. (The legacy fused executor resolves
+    // let-bindings through a mutable input map and gets this wrong, which is
+    // one reason the plan route freshens assignment names.)
+    let inner = trance_nrc::Expr::Let {
+        var: "X".into(),
+        value: Box::new(forin(
+            "p",
+            var("Part"),
+            singleton(tuple([("u", add(proj(var("p"), "pid"), int(100)))])),
+        )),
+        body: Box::new(forin(
+            "t",
+            var("X"),
+            singleton(tuple([("u", proj(var("t"), "u"))])),
+        )),
+    };
+    let outer_use = forin(
+        "t",
+        var("X"),
+        singleton(tuple([("u", proj(var("t"), "u"))])),
+    );
+    let query = trance_nrc::Expr::Let {
+        var: "X".into(),
+        value: Box::new(forin(
+            "p",
+            var("Part"),
+            singleton(tuple([("u", proj(var("p"), "pid"))])),
+        )),
+        body: Box::new(trance_nrc::Expr::Union(
+            Box::new(inner),
+            Box::new(outer_use),
+        )),
+    };
+    let expected = reference_result(&query, &[("Part", part_value())]);
+    let ctx = ctx();
+    let mut inputs = InputSet::new(ctx);
+    inputs
+        .add_flat("Part", part_value().as_bag().unwrap().clone())
+        .unwrap();
+    let spec = QuerySpec::new("shadowed-lets", query, vec![]);
+    let outcome = run_query(&spec, &inputs, Strategy::Standard);
+    let produced = match &outcome.result {
+        RunResult::Nested(d) => d.collect_bag(),
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(canonical(&expected), canonical(&produced));
+}
+
+#[test]
+fn optimizer_reduces_standard_route_shuffle_volume() {
+    // The SparkSQL-like baseline is the standard route with the optimizer
+    // off: with it on, column pruning (at scans *and* unnests) must strictly
+    // reduce the shuffled volume on wide nested rows.
+    let mut rows = Vec::new();
+    for c in 0..40 {
+        let orders: Vec<Value> = (0..6)
+            .map(|o| {
+                Value::tuple([
+                    ("odate", Value::Date(o)),
+                    ("ocomment", Value::str("y".repeat(60))),
+                    (
+                        "oparts",
+                        Value::bag(
+                            (0..8)
+                                .map(|p| {
+                                    Value::tuple([
+                                        ("pid", Value::Int(p % 7)),
+                                        ("qty", Value::Real(p as f64)),
+                                        ("note", Value::str("z".repeat(40))),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        rows.push(Value::tuple([
+            ("cname", Value::str(format!("customer-{c}"))),
+            ("comment", Value::str("x".repeat(120))),
+            ("corders", Value::bag(orders)),
+        ]));
+    }
+    let cop = Value::bag(rows);
+    let ctx = DistContext::new(ClusterConfig::new(3, 8).with_broadcast_limit(64));
+    let mut inputs = InputSet::new(ctx);
+    inputs
+        .add_nested("COP", cop.as_bag().unwrap().clone())
+        .unwrap();
+    inputs
+        .add_flat("Part", part_value().as_bag().unwrap().clone())
+        .unwrap();
+    let spec = QuerySpec::new(
+        "running-example",
+        running_example(),
+        vec![ShreddedInputDecl::new("COP", cop_structure())],
+    );
+    let standard = run_query(&spec, &inputs, Strategy::Standard);
+    let baseline = run_query(&spec, &inputs, Strategy::Baseline);
+    assert!(!standard.result.is_failure());
+    assert!(!baseline.result.is_failure());
+    assert!(
+        standard.stats.shuffled_bytes < baseline.stats.shuffled_bytes,
+        "optimizer on must shuffle strictly fewer bytes ({} vs {})",
+        standard.stats.shuffled_bytes,
         baseline.stats.shuffled_bytes
     );
 }

@@ -21,15 +21,34 @@ pub enum JoinKind {
     LeftOuter,
 }
 
+/// A physical strategy requested by the planner for one join execution.
+///
+/// The plan optimizer annotates `Plan::Join` nodes with a strategy when the
+/// catalog's size information makes the choice provable; the hint is carried
+/// down to the engine through [`JoinSpec::with_hint`]. `Auto` keeps the
+/// engine's size-based runtime decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinHint {
+    /// Decide broadcast vs. shuffle from the actual side sizes at runtime.
+    #[default]
+    Auto,
+    /// Replicate the right side to every worker (the planner proved it fits
+    /// under the broadcast limit).
+    BroadcastRight,
+    /// Shuffle both sides by key hash (the planner proved neither side fits).
+    Shuffle,
+}
+
 /// Specification of a distributed equi-join: key columns on each side, the
-/// join kind, and (optionally) which right-side fields survive into the
-/// output.
+/// join kind, (optionally) which right-side fields survive into the output,
+/// and the planner's strategy hint.
 #[derive(Debug, Clone)]
 pub struct JoinSpec {
     left_keys: Vec<String>,
     right_keys: Vec<String>,
     kind: JoinKind,
     right_fields: Option<Vec<String>>,
+    hint: JoinHint,
 }
 
 impl JoinSpec {
@@ -40,6 +59,7 @@ impl JoinSpec {
             right_keys: right_keys.iter().map(|s| s.to_string()).collect(),
             kind: JoinKind::Inner,
             right_fields: None,
+            hint: JoinHint::Auto,
         }
     }
 
@@ -77,6 +97,18 @@ impl JoinSpec {
     /// The configured right-side output fields, if restricted.
     pub fn right_fields(&self) -> Option<&[String]> {
         self.right_fields.as_deref()
+    }
+
+    /// Requests a physical strategy chosen by the planner instead of the
+    /// engine's runtime size check.
+    pub fn with_hint(mut self, hint: JoinHint) -> JoinSpec {
+        self.hint = hint;
+        self
+    }
+
+    /// The planner's strategy hint.
+    pub fn hint(&self) -> JoinHint {
+        self.hint
     }
 
     /// The right-side output projection of one right row.
@@ -120,7 +152,12 @@ impl DistCollection {
     /// both sides shuffle by key hash and each partition runs a hash join
     /// built on its smaller side.
     pub fn join(&self, right: &DistCollection, spec: &JoinSpec) -> Result<DistCollection> {
-        self.timed("join", || join_impl(self, right, spec, JoinPath::Auto))
+        let path = match spec.hint() {
+            JoinHint::Auto => JoinPath::Auto,
+            JoinHint::BroadcastRight => JoinPath::ForceBroadcastRight { skew: false },
+            JoinHint::Shuffle => JoinPath::ForceShuffle { skew: false },
+        };
+        self.timed("join", || join_impl(self, right, spec, path))
     }
 }
 

@@ -38,7 +38,7 @@ pub mod skew;
 pub mod stats;
 
 pub use error::{ExecError, Result};
-pub use join::{JoinKind, JoinSpec};
+pub use join::{JoinHint, JoinKind, JoinSpec};
 pub use ops::DistCollection;
 pub use skew::{detect_heavy_keys, SkewTriple};
 pub use stats::{JoinStrategy, OpTiming, Stats, StatsSnapshot};
