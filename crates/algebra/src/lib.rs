@@ -36,4 +36,4 @@ pub use lower::{lower, LowerError, LowerResult, PlanAssignment, PlanProgram};
 pub use optimize::{optimize, optimize_default, OptimizerConfig};
 pub use plan::{pretty_plan, JoinStrategy, NestOp, Plan, PlanJoinKind};
 pub use scalar::ScalarExpr;
-pub use schema::{output_schema, AttrSchema, Catalog};
+pub use schema::{output_schema, physical_fields, AttrSchema, Catalog, PhysField, PhysType};

@@ -87,6 +87,47 @@ impl AttrSchema {
     }
 }
 
+/// The physical column type an attribute should take in the engine's
+/// columnar batches — the schema→physical-type mapping the executor uses to
+/// type batches *from plan schemas* instead of only from sampled values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhysType {
+    /// Scalar attribute: the concrete vector type (int/real/bool/date/
+    /// dictionary string) is refined from the values at ingest.
+    Scalar,
+    /// Bag-valued attribute: an offset-encoded nested-bag column whose child
+    /// batch has the given fields.
+    Bag(Vec<PhysField>),
+}
+
+/// One attribute of a physical batch schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhysField {
+    /// Attribute name.
+    pub name: String,
+    /// Physical column type.
+    pub ty: PhysType,
+}
+
+/// Maps an attribute-level schema to physical batch fields: every attribute
+/// in schema order, bag-valued ones carrying their inner fields recursively.
+/// An attribute the schema marks as nested becomes a bag column even when
+/// the data at hand holds only NULLs or empty bags — plan-schema typing,
+/// which value sampling alone cannot provide.
+pub fn physical_fields(schema: &AttrSchema) -> Vec<PhysField> {
+    schema
+        .attrs
+        .iter()
+        .map(|name| PhysField {
+            name: name.clone(),
+            ty: match schema.nested_schema(name) {
+                Some(inner) => PhysType::Bag(physical_fields(inner)),
+                None => PhysType::Scalar,
+            },
+        })
+        .collect()
+}
+
 /// Maps input (scan) names to their schemas and, when known, their
 /// materialized sizes (used for the optimizer's join strategy selection).
 #[derive(Debug, Clone, Default, PartialEq)]

@@ -11,7 +11,7 @@
 
 use std::fmt::Write as _;
 
-use trance_bench::{run_tpch_query, BenchRow, Family};
+use trance_bench::{run_tpch_query, run_tpch_query_repr, BenchRow, Family};
 use trance_compiler::Strategy;
 use trance_tpch::{QueryVariant, TpchConfig};
 
@@ -28,6 +28,7 @@ fn ratio(a: Option<std::time::Duration>, b: Option<std::time::Duration>) -> Stri
 /// One measured cell destined for `BENCH_summary.json`.
 struct JsonCell {
     query: String,
+    repr: &'static str,
     row: BenchRow,
 }
 
@@ -50,23 +51,36 @@ fn render_json(cells: &[JsonCell]) -> String {
             .map(|(op, t)| format!("\"{}\": {:.3}", escape(op), t.micros as f64 / 1000.0))
             .collect::<Vec<_>>()
             .join(", ");
+        // Per-row shuffled bytes (physical): the representation win the perf
+        // trajectory tracks next to wall time.
+        let bytes_per_tuple = if s.shuffled_tuples > 0 {
+            s.shuffled_bytes_phys as f64 / s.shuffled_tuples as f64
+        } else {
+            0.0
+        };
         let _ = writeln!(
             out,
-            "    {{\"query\": \"{}\", \"strategy\": \"{}\", \"status\": \"{}\", \
-             \"wall_ms\": {}, \
+            "    {{\"query\": \"{}\", \"strategy\": \"{}\", \"repr\": \"{}\", \
+             \"status\": \"{}\", \"wall_ms\": {}, \
              \"shuffled_tuples\": {}, \"shuffled_bytes\": {}, \
+             \"shuffled_bytes_phys\": {}, \"bytes_per_tuple\": {:.3}, \
              \"broadcast_tuples\": {}, \"broadcast_bytes\": {}, \
+             \"broadcast_bytes_phys\": {}, \
              \"shuffle_joins\": {}, \"broadcast_joins\": {}, \
              \"skew_broadcast_joins\": {}, \"skew_fallback_joins\": {}, \
              \"op_ms\": {{{}}}}}{}",
             escape(&cell.query),
             escape(cell.row.strategy.label()),
+            cell.repr,
             status,
             wall,
             s.shuffled_tuples,
             s.shuffled_bytes,
+            s.shuffled_bytes_phys,
+            bytes_per_tuple,
             s.broadcast_tuples,
             s.broadcast_bytes,
+            s.broadcast_bytes_phys,
             s.shuffle_joins,
             s.broadcast_joins,
             s.skew_broadcast_joins,
@@ -108,6 +122,7 @@ fn main() {
         let query = format!("{family:?}-depth{depth}-Wide-scale0.3");
         cells.extend(rows.into_iter().map(|row| JsonCell {
             query: query.clone(),
+            repr: "columnar",
             row,
         }));
     }
@@ -128,8 +143,34 @@ fn main() {
     );
     cells.extend(rows.into_iter().map(|row| JsonCell {
         query: "NestedToNested-depth2-Narrow-scale0.3".to_string(),
+        repr: "columnar",
         row,
     }));
+
+    // Row-vs-columnar representation pair: the same Wide STANDARD cell run
+    // over typed batches and over row collections (no memory cap so both
+    // complete). Columnar must ship strictly fewer *physical* bytes — the
+    // schema-once + dictionary-encoding win the refactor is about.
+    for (label, columnar) in [("columnar", true), ("row", false)] {
+        let rows = run_tpch_query_repr(
+            &cfg,
+            Family::NestedToNested,
+            2,
+            QueryVariant::Wide,
+            &[Strategy::Standard],
+            0.0,
+            columnar,
+        );
+        println!(
+            "representation {label:>8}: STANDARD wide shuffles {} physical bytes ({} logical)",
+            rows[0].stats.shuffled_bytes_phys, rows[0].stats.shuffled_bytes
+        );
+        cells.extend(rows.into_iter().map(|row| JsonCell {
+            query: "NestedToNested-depth2-Wide-scale0.3-repr".to_string(),
+            repr: label,
+            row,
+        }));
+    }
 
     // Skew: shuffle reduction of the skew-aware shredded join (Figure 8 claim).
     let skew_cfg = TpchConfig::new(0.3, 3);
@@ -147,6 +188,7 @@ fn main() {
     );
     cells.extend(rows.into_iter().map(|row| JsonCell {
         query: "NestedToNested-depth2-Narrow-scale0.3-skew3".to_string(),
+        repr: "columnar",
         row,
     }));
 

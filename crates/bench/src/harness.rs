@@ -4,7 +4,9 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use trance_biomed::{BiomedConfig, BiomedData};
-use trance_compiler::{run_query, InputSet, QuerySpec, RunOutcome, RunResult, Strategy};
+use trance_compiler::{
+    run_query, run_query_repr, InputSet, QuerySpec, RunOutcome, RunResult, Strategy,
+};
 use trance_dist::{ClusterConfig, DistContext, StatsSnapshot};
 use trance_nrc::{eval, Bag, Env, MemSize, Value};
 use trance_shred::ShreddedInputDecl;
@@ -198,7 +200,8 @@ pub fn tpch_input_set(
     (inputs, spec)
 }
 
-/// Runs one TPC-H experiment cell for each requested strategy.
+/// Runs one TPC-H experiment cell for each requested strategy (columnar
+/// representation, the default).
 pub fn run_tpch_query(
     config: &TpchConfig,
     family: Family,
@@ -207,10 +210,34 @@ pub fn run_tpch_query(
     strategies: &[Strategy],
     memory_factor: f64,
 ) -> Vec<BenchRow> {
+    run_tpch_query_repr(
+        config,
+        family,
+        depth,
+        variant,
+        strategies,
+        memory_factor,
+        true,
+    )
+}
+
+/// Runs one TPC-H experiment cell in an explicit physical representation
+/// (`columnar = false` selects the row oracle) — the pair the
+/// row-vs-columnar byte comparisons in `BENCH_summary.json` are built from.
+#[allow(clippy::too_many_arguments)]
+pub fn run_tpch_query_repr(
+    config: &TpchConfig,
+    family: Family,
+    depth: usize,
+    variant: QueryVariant,
+    strategies: &[Strategy],
+    memory_factor: f64,
+    columnar: bool,
+) -> Vec<BenchRow> {
     let (inputs, spec) = tpch_input_set(config, family, depth, variant, memory_factor);
     strategies
         .iter()
-        .map(|s| outcome_to_row(run_query(&spec, &inputs, *s)))
+        .map(|s| outcome_to_row(run_query_repr(&spec, &inputs, *s, columnar)))
         .collect()
 }
 

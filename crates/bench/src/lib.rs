@@ -22,7 +22,8 @@ pub mod harness;
 
 pub use harness::{
     biomed_input_set, default_cluster, explain_biomed_pipeline, materialize_nested_input,
-    run_biomed_pipeline, run_tpch_query, tpch_input_set, BenchRow, Family, PipelineRow,
+    run_biomed_pipeline, run_tpch_query, run_tpch_query_repr, tpch_input_set, BenchRow, Family,
+    PipelineRow,
 };
 
 /// Returns the value following `name` on the command line, or `default`

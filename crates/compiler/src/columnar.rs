@@ -1,0 +1,338 @@
+//! The columnar physical executor: interprets optimized [`Plan`] trees over
+//! [`ColCollection`]s — typed batches end to end.
+//!
+//! This is the default route of **NRC → Plan → optimize → execute** since the
+//! columnar refactor: inputs cross the row/column boundary exactly once at
+//! **scan ingest** ([`ingest_env`], where batches are typed from the
+//! plan-layer schemas via `trance_algebra::physical_fields`), every operator
+//! — including materialized assignment intermediates — runs over batches,
+//! and rows are only rebuilt at the **collect** boundary
+//! (`ColCollection::to_rows` / `collect_bag`). The row interpreter in
+//! [`crate::physical`] stays selectable through
+//! [`ExecOptions::columnar`]`= false` as a differential oracle.
+//!
+//! Catalog inference is *exact and free* here: a batch already carries its
+//! attribute schema (nested bag columns included), so intermediates register
+//! their true schemas without scanning a single row.
+
+use std::collections::HashMap;
+
+use trance_algebra::{
+    lower, optimize, physical_fields, AttrSchema, Catalog, JoinStrategy, NestOp, PhysField,
+    PhysType, Plan, PlanJoinKind,
+};
+use trance_dist::batch::BagElems;
+use trance_dist::{
+    Batch, ColCollection, Column, DistCollection, DistContext, ExecError, FieldHint, JoinHint,
+    JoinSpec, Result,
+};
+use trance_nrc::{Expr, Value};
+
+use crate::exec::ExecOptions;
+use crate::physical::{optimizer_config, CapturedPlans};
+
+/// Converts the plan layer's physical fields into engine field hints.
+fn field_hints(fields: &[PhysField]) -> Vec<FieldHint> {
+    fields
+        .iter()
+        .map(|f| match &f.ty {
+            PhysType::Scalar => FieldHint::scalar(f.name.clone()),
+            PhysType::Bag(inner) => FieldHint::bag(f.name.clone(), field_hints(inner)),
+        })
+        .collect()
+}
+
+/// Ingests row inputs into columnar collections — the scan-ingest boundary.
+/// Each input's batches are typed from its (sampled) attribute schema, so
+/// bag-valued attributes become offset-encoded bag columns even when the
+/// sampled rows hold only empty bags.
+pub fn ingest_env(inputs: &HashMap<String, DistCollection>) -> HashMap<String, ColCollection> {
+    inputs
+        .iter()
+        .map(|(name, coll)| {
+            let schema = crate::physical::infer_schema(coll);
+            let hints = field_hints(&physical_fields(&schema));
+            (name.clone(), ColCollection::ingest(coll, &hints))
+        })
+        .collect()
+}
+
+/// The exact attribute schema of a columnar collection, read straight off the
+/// batch schemas (nested bag columns recursively) — no row sampling.
+pub fn exact_schema_col(coll: &ColCollection) -> AttrSchema {
+    let mut out = AttrSchema::default();
+    for batch in coll.partitions() {
+        out = out.merge(&schema_of_batch(batch));
+    }
+    out
+}
+
+fn schema_of_batch(batch: &Batch) -> AttrSchema {
+    let mut out = AttrSchema::default();
+    if batch.schema().is_opaque() {
+        return out;
+    }
+    for (name, col) in batch.schema().fields().iter().zip(batch.columns()) {
+        out.attrs.push(name.clone());
+        match col.as_ref() {
+            Column::Bag {
+                elems: BagElems::Rows(child),
+                ..
+            } => {
+                out.nested.insert(name.clone(), schema_of_batch(child));
+            }
+            Column::Bag { .. } => {
+                out.nested.insert(name.clone(), AttrSchema::default());
+            }
+            Column::Other { values, .. } => {
+                // A fallback column may still hold bags; sample for nesting.
+                if let Some(Value::Bag(bag)) = values.iter().find(|v| matches!(v, Value::Bag(_))) {
+                    let rows: Vec<&Value> = bag.iter().take(8).collect();
+                    let inner = schema_of_batch(&Batch::from_row_refs(&rows));
+                    out.nested.insert(name.clone(), inner);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Builds a [`Catalog`] from columnar inputs: exact batch schemas plus
+/// logical (row-equivalent) sizes, so the optimizer makes the same join
+/// strategy decisions as on the row route.
+pub fn infer_catalog_col(inputs: &HashMap<String, ColCollection>) -> Catalog {
+    let mut catalog = Catalog::new();
+    for (name, coll) in inputs {
+        catalog.register(name.clone(), exact_schema_col(coll));
+        catalog.set_size(name.clone(), coll.logical_bytes());
+    }
+    catalog
+}
+
+/// Lowers an NRC bag expression to a plan program and executes it over
+/// columnar inputs — the columnar counterpart of
+/// [`crate::physical::execute_via_plans`].
+pub fn execute_via_plans_col(
+    expr: &Expr,
+    inputs: &HashMap<String, ColCollection>,
+    ctx: &DistContext,
+    options: &ExecOptions,
+    root_label: &str,
+    capture: Option<&mut CapturedPlans>,
+) -> Result<ColCollection> {
+    let catalog = infer_catalog_col(inputs);
+    let program = lower(expr, &catalog).map_err(|e| ExecError::Other(e.to_string()))?;
+    execute_program_col_impl(&program, inputs, catalog, ctx, options, root_label, capture)
+}
+
+/// Executes a lowered plan program over columnar inputs: each assignment is
+/// optimized against the catalog known so far, evaluated to a columnar
+/// intermediate, and registered with its exact batch schema and logical
+/// size; then the root plan runs.
+pub fn execute_program_col(
+    program: &trance_algebra::PlanProgram,
+    inputs: &HashMap<String, ColCollection>,
+    ctx: &DistContext,
+    options: &ExecOptions,
+    root_label: &str,
+    capture: Option<&mut CapturedPlans>,
+) -> Result<ColCollection> {
+    let catalog = infer_catalog_col(inputs);
+    execute_program_col_impl(program, inputs, catalog, ctx, options, root_label, capture)
+}
+
+/// [`execute_program_col`] with the input catalog already computed — the
+/// lowering entry point reuses the catalog it lowered against instead of
+/// walking every input's bytes a second time.
+#[allow(clippy::too_many_arguments)]
+fn execute_program_col_impl(
+    program: &trance_algebra::PlanProgram,
+    inputs: &HashMap<String, ColCollection>,
+    mut catalog: Catalog,
+    ctx: &DistContext,
+    options: &ExecOptions,
+    root_label: &str,
+    mut capture: Option<&mut CapturedPlans>,
+) -> Result<ColCollection> {
+    let mut env = inputs.clone();
+    let opt_config = optimizer_config(options, ctx);
+    for assignment in &program.assignments {
+        let plan = match &opt_config {
+            Some(cfg) => optimize(&assignment.plan, &catalog, cfg),
+            None => assignment.plan.clone(),
+        };
+        if let Some(capture) = capture.as_deref_mut() {
+            capture.push((assignment.name.clone(), plan.clone()));
+        }
+        let out = eval_plan_col(&plan, &env, ctx, options)?;
+        catalog.register(assignment.name.clone(), exact_schema_col(&out));
+        catalog.set_size(assignment.name.clone(), out.logical_bytes());
+        env.insert(assignment.name.clone(), out);
+    }
+    let root = match &opt_config {
+        Some(cfg) => optimize(&program.root, &catalog, cfg),
+        None => program.root.clone(),
+    };
+    if let Some(capture) = capture {
+        capture.push((root_label.to_string(), root.clone()));
+    }
+    eval_plan_col(&root, &env, ctx, options)
+}
+
+/// Evaluates an expression into a column ready to be *set* on a batch:
+/// projection/extension outputs always carry the attribute, so absence
+/// collapses to an explicit NULL (the row engine's `Tuple::set` of a NULL).
+fn set_column(batch: &Batch, expr: &trance_algebra::ScalarExpr) -> Result<std::sync::Arc<Column>> {
+    let col = crate::vector::eval_scalar_batch(expr, batch)?;
+    Ok(if col.has_absent() {
+        std::sync::Arc::new(col.absent_as_null())
+    } else {
+        col
+    })
+}
+
+/// Evaluates one plan tree against an environment of columnar collections.
+pub fn eval_plan_col(
+    plan: &Plan,
+    env: &HashMap<String, ColCollection>,
+    ctx: &DistContext,
+    options: &ExecOptions,
+) -> Result<ColCollection> {
+    match plan {
+        Plan::Scan { name, alias } => {
+            let coll = env
+                .get(name)
+                .ok_or_else(|| ExecError::Other(format!("unknown input relation `{name}`")))?;
+            match alias {
+                None => Ok(coll.clone()),
+                Some(alias) => {
+                    // `alias.field` renaming is a schema rewrite per batch —
+                    // no per-row work at all.
+                    let alias = alias.clone();
+                    coll.map_batches("map", move |b| {
+                        Ok(
+                            b.rename_fields(
+                                |f| format!("{alias}.{f}"),
+                                &format!("{alias}.__value"),
+                            ),
+                        )
+                    })
+                }
+            }
+        }
+        Plan::Unit => Ok(ColCollection::single(ctx, Batch::unit(1))),
+        Plan::Empty => Ok(ColCollection::empty(ctx)),
+        Plan::Select { input, predicate } => {
+            let rows = eval_plan_col(input, env, ctx, options)?;
+            let predicate = predicate.clone();
+            rows.filter_mask(move |b| crate::vector::eval_mask(&predicate, b))
+        }
+        Plan::Project { input, columns } => {
+            let rows = eval_plan_col(input, env, ctx, options)?;
+            let columns = columns.clone();
+            rows.map_batches("map", move |b| {
+                let mut out = Batch::unit(b.rows());
+                for (name, expr) in &columns {
+                    out = out.with_column(name, set_column(b, expr)?);
+                }
+                Ok(out)
+            })
+        }
+        Plan::Extend { input, columns } => {
+            let rows = eval_plan_col(input, env, ctx, options)?;
+            let columns = columns.clone();
+            rows.map_batches("map", move |b| {
+                let mut out = b.clone();
+                for (name, expr) in &columns {
+                    // Each extension sees the columns set before it, exactly
+                    // like the row engine's in-order `Tuple::set` loop; the
+                    // untouched columns are Arc-shared, not copied.
+                    let col = set_column(&out, expr)?;
+                    out = out.with_column(name, col);
+                }
+                Ok(out)
+            })
+        }
+        Plan::AddIndex { input, id_attr } => {
+            eval_plan_col(input, env, ctx, options)?.with_unique_id(id_attr)
+        }
+        Plan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+            kind,
+            strategy,
+        } => {
+            let l = eval_plan_col(left, env, ctx, options)?;
+            let r = eval_plan_col(right, env, ctx, options)?;
+            let lk: Vec<&str> = left_key.iter().map(String::as_str).collect();
+            let rk: Vec<&str> = right_key.iter().map(String::as_str).collect();
+            let spec = match kind {
+                PlanJoinKind::Inner => JoinSpec::inner(&lk, &rk),
+                PlanJoinKind::LeftOuter => JoinSpec::left_outer(&lk, &rk),
+            };
+            if options.skew_aware || *strategy == JoinStrategy::Skew {
+                l.skew_join(&r, &spec)
+            } else {
+                let spec = match strategy {
+                    // Same guard as the row route: force the broadcast only
+                    // when the materialized side really fits.
+                    JoinStrategy::Broadcast
+                        if r.logical_bytes() <= ctx.config().broadcast_limit =>
+                    {
+                        spec.with_hint(JoinHint::BroadcastRight)
+                    }
+                    JoinStrategy::Shuffle => spec.with_hint(JoinHint::Shuffle),
+                    _ => spec,
+                };
+                l.join(&r, &spec)
+            }
+        }
+        Plan::Unnest {
+            input,
+            bag_attr,
+            alias,
+            outer,
+            id_attr,
+        } => {
+            let rows = eval_plan_col(input, env, ctx, options)?;
+            let rows = match (outer, id_attr) {
+                (true, Some(id)) => rows.with_unique_id(id)?,
+                _ => rows,
+            };
+            rows.unnest(bag_attr, alias.as_deref(), *outer)
+        }
+        Plan::Nest {
+            input,
+            key,
+            values,
+            op,
+        } => {
+            let rows = eval_plan_col(input, env, ctx, options)?;
+            match op {
+                NestOp::Sum => {
+                    if options.skew_aware {
+                        rows.nest_sum_skew(key, values)
+                    } else {
+                        rows.nest_sum(key, values)
+                    }
+                }
+                NestOp::Bag { group_attr } => rows.nest_bag(key, values, group_attr),
+            }
+        }
+        Plan::Dedup { input } => eval_plan_col(input, env, ctx, options)?.distinct(),
+        Plan::Union { left, right } => {
+            let l = eval_plan_col(left, env, ctx, options)?;
+            let r = eval_plan_col(right, env, ctx, options)?;
+            l.union(&r)
+        }
+        Plan::BagToDict { input } => eval_plan_col(input, env, ctx, options),
+        Plan::DictLookup { .. } => Err(ExecError::Other(
+            "DictLookup is not produced by the lowering (shredded plans are flat); \
+             reserved for hand-written plans"
+                .into(),
+        )),
+    }
+}

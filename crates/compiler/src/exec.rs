@@ -49,6 +49,13 @@ pub struct ExecOptions {
     /// Execute through the legacy fused NRC executor ([`execute`]) instead
     /// of the plan route — kept as a differential-testing oracle.
     pub legacy_fused: bool,
+    /// Execute plans over the columnar representation (typed batches, the
+    /// default): inputs convert to `trance_dist::Batch`es at scan ingest and
+    /// back to rows only at the collect boundary. With this off the plan
+    /// route interprets over row `DistCollection`s — kept selectable as the
+    /// row-representation differential oracle. Ignored by the legacy fused
+    /// executor, which is row-only.
+    pub columnar: bool,
 }
 
 impl Default for ExecOptions {
@@ -57,6 +64,7 @@ impl Default for ExecOptions {
             optimize: true,
             skew_aware: false,
             legacy_fused: false,
+            columnar: true,
         }
     }
 }
@@ -343,10 +351,11 @@ impl Executor {
         match out {
             LevelOutput::Flattened { rows, attrs, ids } => Ok((rows, attrs, ids)),
             LevelOutput::Passthrough(d) => {
-                // Discover attributes from the data (whole-relation aggregate).
+                // Discover attributes from the data (whole-relation
+                // aggregate); the collection passes through as-is — the old
+                // identity `map` re-cloned every row for nothing.
                 let attrs = first_row_attrs(&d);
-                let renamed = d.map(|row| Ok(row.clone()))?;
-                Ok((renamed, attrs, Vec::new()))
+                Ok((d, attrs, Vec::new()))
             }
         }
     }

@@ -29,10 +29,16 @@
 
 #![warn(missing_docs)]
 
+pub mod columnar;
 pub mod exec;
 pub mod physical;
 pub mod pipeline;
+pub mod vector;
 
+pub use columnar::{
+    eval_plan_col, exact_schema_col, execute_program_col, execute_via_plans_col, infer_catalog_col,
+    ingest_env,
+};
 pub use exec::{execute, ExecOptions};
 pub use physical::{
     eval_plan, exact_schema, execute_program, execute_via_plans, infer_catalog, infer_schema,
@@ -40,6 +46,7 @@ pub use physical::{
 };
 pub use pipeline::{
     collect_unshredded, explain_query, run_query, run_query_explained, run_query_legacy,
-    run_shredded, strategy_options, unshred_distributed, InputSet, QuerySpec, RunOutcome,
-    RunResult, ShreddedOutput, Strategy,
+    run_query_repr, run_shredded, strategy_options, unshred_distributed, InputSet, QuerySpec,
+    RunOutcome, RunResult, ShreddedOutput, Strategy,
 };
+pub use vector::{eval_mask, eval_scalar_batch};

@@ -52,7 +52,7 @@ pub fn execute_via_plans(
 ) -> Result<DistCollection> {
     let catalog = infer_catalog(inputs);
     let program = lower(expr, &catalog).map_err(|e| ExecError::Other(e.to_string()))?;
-    execute_program(&program, inputs, ctx, options, root_label, capture)
+    execute_program_impl(&program, inputs, catalog, ctx, options, root_label, capture)
 }
 
 /// Executes a lowered [`PlanProgram`]: materializes each assignment in order
@@ -64,10 +64,25 @@ pub fn execute_program(
     ctx: &DistContext,
     options: &ExecOptions,
     root_label: &str,
+    capture: Option<&mut CapturedPlans>,
+) -> Result<DistCollection> {
+    let catalog = infer_catalog(inputs);
+    execute_program_impl(program, inputs, catalog, ctx, options, root_label, capture)
+}
+
+/// [`execute_program`] with the input catalog already computed (the lowering
+/// entry point reuses the catalog it lowered against).
+#[allow(clippy::too_many_arguments)]
+fn execute_program_impl(
+    program: &PlanProgram,
+    inputs: &HashMap<String, DistCollection>,
+    mut catalog: Catalog,
+    ctx: &DistContext,
+    options: &ExecOptions,
+    root_label: &str,
     mut capture: Option<&mut CapturedPlans>,
 ) -> Result<DistCollection> {
     let mut env = inputs.clone();
-    let mut catalog = infer_catalog(&env);
     let opt_config = optimizer_config(options, ctx);
     for assignment in &program.assignments {
         let plan = match &opt_config {
@@ -97,8 +112,12 @@ pub fn execute_program(
 }
 
 /// The optimizer configuration for one run; `None` when optimization is off
-/// (the SparkSQL-like baseline executes lowered plans verbatim).
-fn optimizer_config(options: &ExecOptions, ctx: &DistContext) -> Option<OptimizerConfig> {
+/// (the SparkSQL-like baseline executes lowered plans verbatim). Shared by
+/// the row and columnar interpreters.
+pub(crate) fn optimizer_config(
+    options: &ExecOptions,
+    ctx: &DistContext,
+) -> Option<OptimizerConfig> {
     if !options.optimize {
         return None;
     }

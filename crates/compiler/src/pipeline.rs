@@ -35,6 +35,7 @@ use trance_shred::{
     ShreddedInputDecl, ShreddedQuery, TOP_BAG,
 };
 
+use crate::columnar::{execute_via_plans_col, ingest_env};
 use crate::exec::{execute, ExecOptions};
 use crate::physical::{execute_via_plans, CapturedPlans};
 
@@ -273,26 +274,41 @@ impl RunOutcome {
     }
 }
 
-/// The options a strategy runs under (plan route by default; set
-/// `legacy_fused` to execute through the legacy oracle instead).
+/// The options a strategy runs under (plan route over columnar batches by
+/// default; set `legacy_fused` to execute through the legacy oracle
+/// instead).
 pub fn strategy_options(strategy: Strategy, legacy_fused: bool) -> ExecOptions {
     ExecOptions {
         optimize: strategy != Strategy::Baseline,
         skew_aware: strategy.skew_aware(),
         legacy_fused,
+        columnar: true,
     }
 }
 
 /// Runs `spec` under `strategy` over the given inputs — through the plan
-/// route (NRC → Plan → optimize → physical execution).
+/// route (NRC → Plan → optimize → columnar physical execution).
 pub fn run_query(spec: &QuerySpec, inputs: &InputSet, strategy: Strategy) -> RunOutcome {
-    run_query_impl(spec, inputs, strategy, false, None)
+    run_query_impl(spec, inputs, strategy, false, true, None)
 }
 
 /// Runs `spec` under `strategy` through the **legacy fused** executor — the
 /// differential-testing oracle the plan route must agree with.
 pub fn run_query_legacy(spec: &QuerySpec, inputs: &InputSet, strategy: Strategy) -> RunOutcome {
-    run_query_impl(spec, inputs, strategy, true, None)
+    run_query_impl(spec, inputs, strategy, true, true, None)
+}
+
+/// Runs `spec` under `strategy` through the plan route in an explicit
+/// physical representation: `columnar = true` executes over typed batches
+/// (the default), `columnar = false` over row collections — the
+/// row-vs-columnar differential pair the byte-accounting benchmarks compare.
+pub fn run_query_repr(
+    spec: &QuerySpec,
+    inputs: &InputSet,
+    strategy: Strategy,
+    columnar: bool,
+) -> RunOutcome {
+    run_query_impl(spec, inputs, strategy, false, columnar, None)
 }
 
 /// Runs `spec` under `strategy` while capturing the optimized plans it
@@ -303,7 +319,7 @@ pub fn run_query_explained(
     strategy: Strategy,
 ) -> (RunOutcome, String) {
     let mut capture: CapturedPlans = Vec::new();
-    let outcome = run_query_impl(spec, inputs, strategy, false, Some(&mut capture));
+    let outcome = run_query_impl(spec, inputs, strategy, false, true, Some(&mut capture));
     let mut out = String::new();
     let _ = writeln!(out, "== {} · {} ==", spec.name, strategy.label());
     for (name, plan) in &capture {
@@ -336,12 +352,13 @@ fn run_query_impl(
     inputs: &InputSet,
     strategy: Strategy,
     legacy_fused: bool,
+    columnar: bool,
     capture: Option<&mut CapturedPlans>,
 ) -> RunOutcome {
     let ctx = inputs.context();
     ctx.stats().reset();
     let start = Instant::now();
-    let result = match dispatch(spec, inputs, strategy, legacy_fused, capture) {
+    let result = match dispatch(spec, inputs, strategy, legacy_fused, columnar, capture) {
         Ok(r) => r,
         Err(e) => RunResult::Failed(e),
     };
@@ -374,20 +391,30 @@ fn dispatch(
     inputs: &InputSet,
     strategy: Strategy,
     legacy_fused: bool,
+    columnar: bool,
     capture: Option<&mut CapturedPlans>,
 ) -> trance_dist::Result<RunResult> {
     let ctx = inputs.context();
-    let options = strategy_options(strategy, legacy_fused);
+    let mut options = strategy_options(strategy, legacy_fused);
+    options.columnar = columnar;
     match strategy {
         Strategy::Standard | Strategy::StandardSkew | Strategy::Baseline => {
-            let out = execute_query(
-                &spec.query,
-                inputs.nested_inputs(),
-                ctx,
-                &options,
-                "result",
-                capture,
-            )?;
+            let out = if options.columnar && !options.legacy_fused {
+                // Columnar route: rows cross into batches once at scan
+                // ingest, back out once at the collect boundary.
+                let env = ingest_env(inputs.nested_inputs());
+                execute_via_plans_col(&spec.query, &env, ctx, &options, "result", capture)?
+                    .to_rows()
+            } else {
+                execute_query(
+                    &spec.query,
+                    inputs.nested_inputs(),
+                    ctx,
+                    &options,
+                    "result",
+                    capture,
+                )?
+            };
             Ok(RunResult::Nested(out))
         }
         Strategy::Shred
@@ -425,6 +452,24 @@ fn run_shredded_impl(
     mut capture: Option<&mut CapturedPlans>,
 ) -> trance_dist::Result<ShreddedOutput> {
     let ctx = inputs.context();
+    if options.columnar && !options.legacy_fused {
+        // Columnar route: the environment of materialized flat assignments
+        // stays in batches across the whole shredded program; only the final
+        // top bag and dictionaries cross back to rows.
+        let mut env = ingest_env(inputs.shredded_inputs());
+        for assignment in &shredded.program.assignments {
+            let out = execute_via_plans_col(
+                &assignment.expr,
+                &env,
+                ctx,
+                options,
+                &assignment.name,
+                capture.as_deref_mut(),
+            )?;
+            env.insert(assignment.name.clone(), out);
+        }
+        return assemble_shredded_output(shredded, |name| env.get(name).map(|d| d.to_rows()));
+    }
     let mut env = inputs.shredded_inputs().clone();
     for assignment in &shredded.program.assignments {
         let out = execute_query(
@@ -437,9 +482,18 @@ fn run_shredded_impl(
         )?;
         env.insert(assignment.name.clone(), out);
     }
-    let top = env
-        .get(TOP_BAG)
-        .cloned()
+    assemble_shredded_output(shredded, |name| env.get(name).cloned())
+}
+
+/// Collects a shredded program's outputs (the top bag plus one collection
+/// per dictionary path) out of an executed environment — shared by both
+/// physical representations so dictionary naming and error handling cannot
+/// diverge between them.
+fn assemble_shredded_output(
+    shredded: &ShreddedQuery,
+    lookup: impl Fn(&str) -> Option<DistCollection>,
+) -> trance_dist::Result<ShreddedOutput> {
+    let top = lookup(TOP_BAG)
         .ok_or_else(|| ExecError::Other("shredded program produced no TopBag".into()))?;
     let mut dicts = BTreeMap::new();
     for path in shredded.structure.paths() {
@@ -448,8 +502,8 @@ fn run_shredded_impl(
             .get(&path)
             .cloned()
             .unwrap_or_else(|| output_dict_name(&path));
-        if let Some(d) = env.get(&name) {
-            dicts.insert(path, d.clone());
+        if let Some(d) = lookup(&name) {
+            dicts.insert(path, d);
         }
     }
     Ok(ShreddedOutput {

@@ -1,17 +1,20 @@
 //! Cross-strategy correctness: every compilation strategy (standard,
 //! SparkSQL-like baseline, shredded, shredded+unshredded, and their skew-aware
 //! variants) must produce the same result as the local reference evaluator on
-//! the paper's query families — **through the plan route and through the
-//! legacy fused executor**, which serve as differential oracles for each
-//! other. A seeded random NRC program generator widens the net beyond the
-//! hand-written queries.
+//! the paper's query families — **through the columnar plan route (the
+//! default), the row plan route, and the legacy fused executor**, which serve
+//! as differential oracles for one another. A seeded random NRC program
+//! generator widens the net beyond the hand-written queries; the
+//! row-vs-columnar comparison runs on every query/strategy pair and on all
+//! seeded random programs.
 
 use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use trance_compiler::{
-    collect_unshredded, run_query, run_query_legacy, InputSet, QuerySpec, RunResult, Strategy,
+    collect_unshredded, run_query, run_query_legacy, run_query_repr, InputSet, QuerySpec,
+    RunResult, Strategy,
 };
 use trance_dist::{ClusterConfig, DistContext};
 use trance_nrc::builder::*;
@@ -175,6 +178,22 @@ fn check_all_strategies(spec: &QuerySpec, values: &[(&str, Value, bool)]) {
             canonical(&expected),
             canonical(&produced),
             "strategy {} disagrees with the reference evaluator for query {}",
+            strategy.label(),
+            spec.name
+        );
+        // Differential: the row representation of the plan route must agree
+        // with the (default) columnar representation on every query/strategy
+        // pair.
+        let row_repr = run_query_repr(spec, &inputs, strategy, false);
+        let row_bag: Bag = match &row_repr.result {
+            RunResult::Nested(d) => d.collect_bag(),
+            RunResult::Shredded(out) => collect_unshredded(out).unwrap(),
+            RunResult::Failed(e) => panic!("row-repr {} failed: {e}", strategy.label()),
+        };
+        assert_eq!(
+            canonical(&produced),
+            canonical(&row_bag),
+            "columnar and row representations disagree under {} for query {}",
             strategy.label(),
             spec.name
         );
@@ -679,11 +698,23 @@ fn randomized_programs_plan_route_matches_legacy_and_reference() {
                 RunResult::Nested(d) => d.collect_bag(),
                 other => panic!("seed {seed} legacy {}: {other:?}", strategy.label()),
             };
+            let row_out = match &run_query_repr(&spec, &inputs, strategy, false).result {
+                RunResult::Nested(d) => d.collect_bag(),
+                other => panic!("seed {seed} row-repr {}: {other:?}", strategy.label()),
+            };
             assert_bags_approx_eq(
                 &expected,
                 &plan_out,
                 &format!(
                     "seed {seed}: plan route vs reference evaluator under {}",
+                    strategy.label()
+                ),
+            );
+            assert_bags_approx_eq(
+                &plan_out,
+                &row_out,
+                &format!(
+                    "seed {seed}: columnar vs row representation under {}",
                     strategy.label()
                 ),
             );
@@ -808,6 +839,71 @@ fn optimizer_reduces_standard_route_shuffle_volume() {
         "optimizer on must shuffle strictly fewer bytes ({} vs {})",
         standard.stats.shuffled_bytes,
         baseline.stats.shuffled_bytes
+    );
+}
+
+#[test]
+fn columnar_representation_ships_fewer_physical_bytes_than_rows() {
+    // Same plans, same logical volume — but the columnar representation must
+    // ship strictly fewer *physical* bytes (schema once per batch, typed
+    // vectors, buffer-dictionary strings).
+    let mut rows = Vec::new();
+    for c in 0..40 {
+        let orders: Vec<Value> = (0..6)
+            .map(|o| {
+                Value::tuple([
+                    ("odate", Value::Date(o)),
+                    (
+                        "oparts",
+                        Value::bag(
+                            (0..8)
+                                .map(|p| {
+                                    Value::tuple([
+                                        ("pid", Value::Int(p % 7)),
+                                        ("qty", Value::Real(p as f64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        rows.push(Value::tuple([
+            ("cname", Value::str(format!("customer-{c}"))),
+            ("corders", Value::bag(orders)),
+        ]));
+    }
+    let cop = Value::bag(rows);
+    let ctx = DistContext::new(ClusterConfig::new(3, 8).with_broadcast_limit(64));
+    let mut inputs = InputSet::new(ctx);
+    inputs
+        .add_nested("COP", cop.as_bag().unwrap().clone())
+        .unwrap();
+    inputs
+        .add_flat("Part", part_value().as_bag().unwrap().clone())
+        .unwrap();
+    let spec = QuerySpec::new(
+        "running-example",
+        running_example(),
+        vec![ShreddedInputDecl::new("COP", cop_structure())],
+    );
+    let col = run_query_repr(&spec, &inputs, Strategy::Standard, true);
+    let row = run_query_repr(&spec, &inputs, Strategy::Standard, false);
+    assert!(!col.result.is_failure() && !row.result.is_failure());
+    assert_eq!(
+        col.stats.shuffled_bytes, row.stats.shuffled_bytes,
+        "both representations must report the same logical shuffle volume"
+    );
+    assert_eq!(
+        row.stats.shuffled_bytes, row.stats.shuffled_bytes_phys,
+        "rows ship as heap values: logical == physical on the row path"
+    );
+    assert!(
+        col.stats.shuffled_bytes_phys < row.stats.shuffled_bytes_phys,
+        "columnar must ship strictly fewer physical bytes ({} vs {})",
+        col.stats.shuffled_bytes_phys,
+        row.stats.shuffled_bytes_phys
     );
 }
 

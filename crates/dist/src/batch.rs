@@ -1,0 +1,1777 @@
+//! Columnar batches: the typed physical representation of the engine.
+//!
+//! A [`Batch`] stores a partition's rows column-wise: the attribute names
+//! live **once** in a shared [`Schema`] (`Arc<Schema>`), and the data lives
+//! in typed [`Column`]s — `i64`/`f64`/`bool`/date vectors, dictionary-encoded
+//! strings, and offset-encoded nested-bag columns whose elements are
+//! themselves a child `Batch`. Row-wise, every tuple of a
+//! [`trance_nrc::Value`] collection repeats its attribute names as heap
+//! strings; batch-wise those bytes are paid once per batch, which is what
+//! makes the columnar route's shuffle volume so much smaller.
+//!
+//! Validity is tracked with two [`Bitmap`]s per column:
+//!
+//! * `nulls` — the row holds an explicit `Value::Null` (outer joins and
+//!   outer unnests produce these);
+//! * `absent` — the row's tuple did not contain the attribute at all. The
+//!   nested data model distinguishes a tuple without attribute `a` from one
+//!   with `a: NULL`, and a lossless `Value` ↔ `Batch` round trip must too.
+//!
+//! Values a typed column cannot hold (labels, mixed numeric kinds, nested
+//! tuples) fall back to a [`Column::Other`] value vector — still schema-once,
+//! just not vector-typed. Rows that are not tuples at all are kept verbatim
+//! in an *opaque* batch ([`Schema::is_opaque`]), mirroring how the row engine
+//! passes non-tuple values through untouched.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use trance_nrc::{Bag, MemSize, Tuple, Value};
+
+// ---------------------------------------------------------------------------
+// bitmaps
+// ---------------------------------------------------------------------------
+
+/// A fixed-length bitmap (one bit per row) used for null / absent tracking.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bitmap {
+    bits: Vec<u64>,
+    len: usize,
+    ones: usize,
+}
+
+impl Bitmap {
+    /// An all-zero bitmap of `len` bits.
+    pub fn zeros(len: usize) -> Bitmap {
+        Bitmap {
+            bits: vec![0; len.div_ceil(64)],
+            len,
+            ones: 0,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.bits[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Sets bit `i` to one.
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        let slot = &mut self.bits[i / 64];
+        let mask = 1u64 << (i % 64);
+        if *slot & mask == 0 {
+            *slot |= mask;
+            self.ones += 1;
+        }
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, b: bool) {
+        if self.len.is_multiple_of(64) {
+            self.bits.push(0);
+        }
+        self.len += 1;
+        if b {
+            let i = self.len - 1;
+            self.bits[i / 64] |= 1u64 << (i % 64);
+            self.ones += 1;
+        }
+    }
+
+    /// Number of one bits.
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// True when at least one bit is set.
+    pub fn any(&self) -> bool {
+        self.ones > 0
+    }
+
+    /// Physical size of the bit buffer in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+// ---------------------------------------------------------------------------
+// schema
+// ---------------------------------------------------------------------------
+
+/// The attribute schema shared by every row of a [`Batch`]: the field names,
+/// stored once per batch instead of once per row.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<String>,
+    opaque: bool,
+}
+
+impl Schema {
+    /// A schema over the given attribute names, in order.
+    pub fn new(fields: Vec<String>) -> Schema {
+        Schema {
+            fields,
+            opaque: false,
+        }
+    }
+
+    /// The marker schema of an *opaque* batch: rows that are not tuples are
+    /// stored verbatim in a single value column.
+    pub fn opaque() -> Schema {
+        Schema {
+            fields: Vec::new(),
+            opaque: true,
+        }
+    }
+
+    /// The attribute names, in order.
+    pub fn fields(&self) -> &[String] {
+        &self.fields
+    }
+
+    /// True for the opaque (non-tuple rows) schema.
+    pub fn is_opaque(&self) -> bool {
+        self.opaque
+    }
+
+    /// Position of attribute `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f == name)
+    }
+
+    /// Physical bytes of the schema itself (concatenated field-name buffer
+    /// plus one offset per field), charged once per batch by the exact byte
+    /// accounting.
+    pub fn byte_size(&self) -> usize {
+        8 + self.fields.iter().map(|f| 4 + f.len()).sum::<usize>()
+    }
+}
+
+/// A planner-provided column hint: the field's name plus whether the plan
+/// schema knows it to be bag-valued. Produced from
+/// `trance_algebra::AttrSchema` by the compiler and used to type batch
+/// columns from the plan schema even when the sampled data alone could not
+/// (e.g. a nested attribute whose bags are all empty).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldHint {
+    /// Attribute name.
+    pub name: String,
+    /// Inner hints when the plan schema marks the attribute bag-valued;
+    /// `None` for scalar (or unknown) attributes.
+    pub nested: Option<Vec<FieldHint>>,
+}
+
+impl FieldHint {
+    /// A scalar (or unknown-typed) field hint.
+    pub fn scalar(name: impl Into<String>) -> FieldHint {
+        FieldHint {
+            name: name.into(),
+            nested: None,
+        }
+    }
+
+    /// A bag-valued field hint with the given inner fields.
+    pub fn bag(name: impl Into<String>, inner: Vec<FieldHint>) -> FieldHint {
+        FieldHint {
+            name: name.into(),
+            nested: Some(inner),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// columns
+// ---------------------------------------------------------------------------
+
+/// A string dictionary stored the way columnar formats ship it: one
+/// concatenated byte buffer plus `u32` entry offsets. Entry `i` is
+/// `bytes[offsets[i] .. offsets[i + 1]]`. Unlike a `Vec<String>`, a unique
+/// string costs its bytes plus one offset — not a full heap-string header —
+/// so dictionary encoding never loses to the row representation even when
+/// every value is distinct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrDict {
+    bytes: String,
+    offsets: Vec<u32>,
+}
+
+/// `Default` must uphold the `offsets.len() == len() + 1` invariant, so it
+/// delegates to [`StrDict::new`] instead of deriving (a derived empty
+/// `offsets` would underflow `len()`).
+impl Default for StrDict {
+    fn default() -> StrDict {
+        StrDict::new()
+    }
+}
+
+impl StrDict {
+    /// The empty dictionary.
+    pub fn new() -> StrDict {
+        StrDict {
+            bytes: String::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when the dictionary has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entry `i`.
+    pub fn get(&self, i: usize) -> &str {
+        &self.bytes[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Appends an entry, returning its code.
+    pub fn push(&mut self, s: &str) -> u32 {
+        self.bytes.push_str(s);
+        let end = u32::try_from(self.bytes.len())
+            .expect("string dictionary exceeds the u32 offset space of one batch");
+        self.offsets.push(end);
+        (self.offsets.len() - 2) as u32
+    }
+
+    /// Byte length of entry `i`.
+    fn entry_len(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Physical bytes: the concatenated buffer plus one offset per entry.
+    pub fn byte_size(&self) -> usize {
+        self.bytes.len() + self.offsets.len() * 4
+    }
+
+    /// Iterator over the entries.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        (0..self.len()).map(|i| self.get(i))
+    }
+}
+
+/// The elements of a [`Column::Bag`]: either a child batch (every element is
+/// a tuple — the common, fully columnar case) or a plain value vector.
+#[derive(Debug, Clone)]
+pub enum BagElems {
+    /// All elements are tuples; they form a child batch shared by the whole
+    /// column.
+    Rows(Box<Batch>),
+    /// Mixed or non-tuple elements, kept as values.
+    Values(Vec<Value>),
+}
+
+/// One typed column of a [`Batch`].
+///
+/// Every variant carries an `absent` bitmap (the row's tuple lacked the
+/// attribute); the typed variants additionally carry a `nulls` bitmap for
+/// explicit `Value::Null` entries, whose data slots hold an arbitrary
+/// placeholder.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// 64-bit integers.
+    Int {
+        /// Values (placeholder where null/absent).
+        data: Vec<i64>,
+        /// Explicit NULL rows.
+        nulls: Bitmap,
+        /// Rows whose tuple lacked the attribute.
+        absent: Bitmap,
+    },
+    /// 64-bit floats.
+    Real {
+        /// Values (placeholder where null/absent).
+        data: Vec<f64>,
+        /// Explicit NULL rows.
+        nulls: Bitmap,
+        /// Rows whose tuple lacked the attribute.
+        absent: Bitmap,
+    },
+    /// Booleans.
+    Bool {
+        /// Values (placeholder where null/absent).
+        data: Vec<bool>,
+        /// Explicit NULL rows.
+        nulls: Bitmap,
+        /// Rows whose tuple lacked the attribute.
+        absent: Bitmap,
+    },
+    /// Dates (days since the epoch, like [`Value::Date`]).
+    Date {
+        /// Values (placeholder where null/absent).
+        data: Vec<i64>,
+        /// Explicit NULL rows.
+        nulls: Bitmap,
+        /// Rows whose tuple lacked the attribute.
+        absent: Bitmap,
+    },
+    /// Dictionary-encoded strings: `codes[i]` indexes into `dict`, whose
+    /// bytes are stored (and byte-accounted) once per batch.
+    Str {
+        /// The distinct string values (concatenated buffer + offsets).
+        dict: StrDict,
+        /// Per-row dictionary codes (placeholder where null/absent).
+        codes: Vec<u32>,
+        /// Explicit NULL rows.
+        nulls: Bitmap,
+        /// Rows whose tuple lacked the attribute.
+        absent: Bitmap,
+    },
+    /// Offset-encoded nested bags: row `i`'s bag is
+    /// `elems[offsets[i] .. offsets[i + 1]]`.
+    Bag {
+        /// `rows + 1` monotone offsets into `elems`.
+        offsets: Vec<u32>,
+        /// The flattened elements of every bag in the column.
+        elems: BagElems,
+        /// Explicit NULL rows (distinct from an empty bag).
+        nulls: Bitmap,
+        /// Rows whose tuple lacked the attribute.
+        absent: Bitmap,
+    },
+    /// Fallback for values no typed column can hold (labels, nested tuples,
+    /// mixed numeric kinds, all-NULL columns): the values verbatim, with
+    /// `Value::Null` standing in for NULL rows.
+    Other {
+        /// The values (NULL rows hold `Value::Null`).
+        values: Vec<Value>,
+        /// Rows whose tuple lacked the attribute.
+        absent: Bitmap,
+    },
+}
+
+/// Candidate column type while scanning values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Unset,
+    Int,
+    Real,
+    Bool,
+    Date,
+    Str,
+    Bag,
+    Mixed,
+}
+
+fn kind_of(v: &Value) -> Kind {
+    match v {
+        Value::Int(_) => Kind::Int,
+        Value::Real(_) => Kind::Real,
+        Value::Bool(_) => Kind::Bool,
+        Value::Date(_) => Kind::Date,
+        Value::Str(_) => Kind::Str,
+        Value::Bag(_) => Kind::Bag,
+        Value::Null => Kind::Unset,
+        Value::Label(_) | Value::Tuple(_) => Kind::Mixed,
+    }
+}
+
+/// Builds a column from per-row slots: `None` = attribute absent,
+/// `Some(&Value::Null)` = explicit NULL.
+pub(crate) fn build_column(slots: &[Option<&Value>]) -> Column {
+    let mut kind = Kind::Unset;
+    for v in slots.iter().flatten() {
+        let k = kind_of(v);
+        kind = match (kind, k) {
+            (cur, Kind::Unset) => cur,
+            (Kind::Unset, k) => k,
+            (cur, k) if cur == k => cur,
+            _ => Kind::Mixed,
+        };
+        if kind == Kind::Mixed {
+            break;
+        }
+    }
+    let n = slots.len();
+    let mut nulls = Bitmap::zeros(n);
+    let mut absent = Bitmap::zeros(n);
+    macro_rules! fill_prim {
+        ($variant:ident, $t:ty, $default:expr, $pat:pat => $val:expr) => {{
+            let mut data: Vec<$t> = Vec::with_capacity(n);
+            for (i, slot) in slots.iter().enumerate() {
+                match slot {
+                    Some($pat) => data.push($val),
+                    Some(Value::Null) => {
+                        data.push($default);
+                        nulls.set(i);
+                    }
+                    None => {
+                        data.push($default);
+                        absent.set(i);
+                    }
+                    _ => unreachable!("kind scan guaranteed uniform values"),
+                }
+            }
+            Column::$variant {
+                data,
+                nulls,
+                absent,
+            }
+        }};
+    }
+    match kind {
+        Kind::Int => fill_prim!(Int, i64, 0, Value::Int(x) => *x),
+        Kind::Real => fill_prim!(Real, f64, 0.0, Value::Real(x) => *x),
+        Kind::Bool => fill_prim!(Bool, bool, false, Value::Bool(x) => *x),
+        Kind::Date => fill_prim!(Date, i64, 0, Value::Date(x) => *x),
+        Kind::Str => {
+            let mut dict = StrDict::new();
+            let mut lookup: HashMap<&str, u32> = HashMap::new();
+            let mut codes: Vec<u32> = Vec::with_capacity(n);
+            for (i, slot) in slots.iter().enumerate() {
+                match slot {
+                    Some(Value::Str(s)) => {
+                        let code = *lookup.entry(s.as_str()).or_insert_with(|| dict.push(s));
+                        codes.push(code);
+                    }
+                    Some(Value::Null) => {
+                        codes.push(0);
+                        nulls.set(i);
+                    }
+                    None => {
+                        codes.push(0);
+                        absent.set(i);
+                    }
+                    _ => unreachable!("kind scan guaranteed uniform values"),
+                }
+            }
+            Column::Str {
+                dict,
+                codes,
+                nulls,
+                absent,
+            }
+        }
+        Kind::Bag => {
+            let mut offsets: Vec<u32> = Vec::with_capacity(n + 1);
+            offsets.push(0);
+            let mut elem_refs: Vec<&Value> = Vec::new();
+            let mut all_tuples = true;
+            for (i, slot) in slots.iter().enumerate() {
+                match slot {
+                    Some(Value::Bag(b)) => {
+                        for e in b.iter() {
+                            all_tuples &= matches!(e, Value::Tuple(_));
+                            elem_refs.push(e);
+                        }
+                    }
+                    Some(Value::Null) => nulls.set(i),
+                    None => absent.set(i),
+                    _ => unreachable!("kind scan guaranteed uniform values"),
+                }
+                let end = u32::try_from(elem_refs.len())
+                    .expect("bag column exceeds the u32 offset space of one batch");
+                offsets.push(end);
+            }
+            let elems = if all_tuples {
+                BagElems::Rows(Box::new(Batch::from_row_refs(&elem_refs)))
+            } else {
+                BagElems::Values(elem_refs.into_iter().cloned().collect())
+            };
+            Column::Bag {
+                offsets,
+                elems,
+                nulls,
+                absent,
+            }
+        }
+        Kind::Unset | Kind::Mixed => {
+            let mut values: Vec<Value> = Vec::with_capacity(n);
+            for (i, slot) in slots.iter().enumerate() {
+                match slot {
+                    Some(v) => values.push((*v).clone()),
+                    None => {
+                        values.push(Value::Null);
+                        absent.set(i);
+                    }
+                }
+            }
+            Column::Other { values, absent }
+        }
+    }
+}
+
+fn build_column_owned(slots: &[Option<Value>]) -> Column {
+    let refs: Vec<Option<&Value>> = slots.iter().map(Option::as_ref).collect();
+    build_column(&refs)
+}
+
+impl Column {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int { data, .. } | Column::Date { data, .. } => data.len(),
+            Column::Real { data, .. } => data.len(),
+            Column::Bool { data, .. } => data.len(),
+            Column::Str { codes, .. } => codes.len(),
+            Column::Bag { offsets, .. } => offsets.len().saturating_sub(1),
+            Column::Other { values, .. } => values.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Builds a typed column from owned values (no absent rows) — the entry
+    /// point vectorized expression evaluators use to materialize results.
+    pub fn from_values(values: Vec<Value>) -> Column {
+        let slots: Vec<Option<&Value>> = values.iter().map(Some).collect();
+        build_column(&slots)
+    }
+
+    /// A boolean column with no nulls (predicate results).
+    pub fn from_bools(data: Vec<bool>) -> Column {
+        let n = data.len();
+        Column::Bool {
+            data,
+            nulls: Bitmap::zeros(n),
+            absent: Bitmap::zeros(n),
+        }
+    }
+
+    /// The `i64` buffer when this is a no-null, no-absent integer column
+    /// (vectorized fast path).
+    pub fn dense_ints(&self) -> Option<&[i64]> {
+        match self {
+            Column::Int {
+                data,
+                nulls,
+                absent,
+            } if !nulls.any() && !absent.any() => Some(data),
+            _ => None,
+        }
+    }
+
+    /// The `f64` buffer when this is a no-null, no-absent real column.
+    pub fn dense_reals(&self) -> Option<&[f64]> {
+        match self {
+            Column::Real {
+                data,
+                nulls,
+                absent,
+            } if !nulls.any() && !absent.any() => Some(data),
+            _ => None,
+        }
+    }
+
+    /// The `bool` buffer when this is a no-null, no-absent boolean column.
+    pub fn dense_bools(&self) -> Option<&[bool]> {
+        match self {
+            Column::Bool {
+                data,
+                nulls,
+                absent,
+            } if !nulls.any() && !absent.any() => Some(data),
+            _ => None,
+        }
+    }
+
+    /// The absent bitmap.
+    fn absent(&self) -> &Bitmap {
+        match self {
+            Column::Int { absent, .. }
+            | Column::Real { absent, .. }
+            | Column::Bool { absent, .. }
+            | Column::Date { absent, .. }
+            | Column::Str { absent, .. }
+            | Column::Bag { absent, .. }
+            | Column::Other { absent, .. } => absent,
+        }
+    }
+
+    /// True when row `i`'s tuple lacked this attribute.
+    pub fn is_absent(&self, i: usize) -> bool {
+        self.absent().get(i)
+    }
+
+    /// True when any row lacks this attribute.
+    pub fn has_absent(&self) -> bool {
+        self.absent().any()
+    }
+
+    /// Number of rows whose tuple carries the attribute (present, possibly
+    /// NULL).
+    pub fn present_count(&self) -> usize {
+        self.len() - self.absent().count_ones()
+    }
+
+    /// The value of row `i`; `None` when the attribute is absent from that
+    /// row's tuple.
+    pub fn value_at(&self, i: usize) -> Option<Value> {
+        if self.is_absent(i) {
+            return None;
+        }
+        Some(match self {
+            Column::Int { data, nulls, .. } => {
+                if nulls.get(i) {
+                    Value::Null
+                } else {
+                    Value::Int(data[i])
+                }
+            }
+            Column::Real { data, nulls, .. } => {
+                if nulls.get(i) {
+                    Value::Null
+                } else {
+                    Value::Real(data[i])
+                }
+            }
+            Column::Bool { data, nulls, .. } => {
+                if nulls.get(i) {
+                    Value::Null
+                } else {
+                    Value::Bool(data[i])
+                }
+            }
+            Column::Date { data, nulls, .. } => {
+                if nulls.get(i) {
+                    Value::Null
+                } else {
+                    Value::Date(data[i])
+                }
+            }
+            Column::Str {
+                dict, codes, nulls, ..
+            } => {
+                if nulls.get(i) {
+                    Value::Null
+                } else {
+                    Value::Str(dict.get(codes[i] as usize).to_string())
+                }
+            }
+            Column::Bag {
+                offsets,
+                elems,
+                nulls,
+                ..
+            } => {
+                if nulls.get(i) {
+                    Value::Null
+                } else {
+                    let (lo, hi) = (offsets[i] as usize, offsets[i + 1] as usize);
+                    let items: Vec<Value> = match elems {
+                        BagElems::Rows(b) => (lo..hi).map(|j| b.row_value(j)).collect(),
+                        BagElems::Values(v) => v[lo..hi].to_vec(),
+                    };
+                    Value::Bag(Bag::new(items))
+                }
+            }
+            Column::Other { values, .. } => values[i].clone(),
+        })
+    }
+
+    /// Reinterprets absent rows as explicit NULLs. Projection outputs always
+    /// set every attribute they compute, so absence collapses to NULL there
+    /// (exactly what `Tuple::get(..) -> None -> NULL` does on the row path).
+    pub fn absent_as_null(&self) -> Column {
+        let mut out = self.clone();
+        match &mut out {
+            Column::Int { nulls, absent, .. }
+            | Column::Real { nulls, absent, .. }
+            | Column::Bool { nulls, absent, .. }
+            | Column::Date { nulls, absent, .. }
+            | Column::Str { nulls, absent, .. }
+            | Column::Bag { nulls, absent, .. } => {
+                for i in 0..absent.len() {
+                    if absent.get(i) {
+                        nulls.set(i);
+                    }
+                }
+                *absent = Bitmap::zeros(nulls.len());
+            }
+            Column::Other { values, absent } => {
+                // Absent slots already hold `Value::Null` placeholders.
+                let n = values.len();
+                *absent = Bitmap::zeros(n);
+            }
+        }
+        out
+    }
+
+    /// Gathers rows by index. `None` entries produce an absent row when
+    /// `none_absent` is set, else an explicit NULL row — the two
+    /// null-extension flavours of outer joins.
+    pub fn gather(&self, idx: &[Option<usize>], none_absent: bool) -> Column {
+        let n = idx.len();
+        let mut out_nulls = Bitmap::zeros(n);
+        let mut out_absent = Bitmap::zeros(n);
+        let fill_missing = |slot: usize, bm_nulls: &mut Bitmap, bm_absent: &mut Bitmap| {
+            if none_absent {
+                bm_absent.set(slot);
+            } else {
+                bm_nulls.set(slot);
+            }
+        };
+        // One loop body serves every primitive vector; only the variant and
+        // the placeholder differ.
+        macro_rules! gather_prim {
+            ($variant:ident, $data:expr, $nulls:expr, $absent:expr, $default:expr) => {{
+                let mut out = Vec::with_capacity(n);
+                for (slot, ix) in idx.iter().enumerate() {
+                    match ix {
+                        Some(i) => {
+                            out.push($data[*i]);
+                            if $nulls.get(*i) {
+                                out_nulls.set(slot);
+                            }
+                            if $absent.get(*i) {
+                                out_absent.set(slot);
+                            }
+                        }
+                        None => {
+                            out.push($default);
+                            fill_missing(slot, &mut out_nulls, &mut out_absent);
+                        }
+                    }
+                }
+                Column::$variant {
+                    data: out,
+                    nulls: out_nulls,
+                    absent: out_absent,
+                }
+            }};
+        }
+        match self {
+            Column::Int {
+                data,
+                nulls,
+                absent,
+            } => gather_prim!(Int, data, nulls, absent, 0),
+            Column::Date {
+                data,
+                nulls,
+                absent,
+            } => gather_prim!(Date, data, nulls, absent, 0),
+            Column::Real {
+                data,
+                nulls,
+                absent,
+            } => gather_prim!(Real, data, nulls, absent, 0.0),
+            Column::Bool {
+                data,
+                nulls,
+                absent,
+            } => gather_prim!(Bool, data, nulls, absent, false),
+            Column::Str {
+                dict,
+                codes,
+                nulls,
+                absent,
+            } => {
+                // Shrink the dictionary to the codes that survive the gather
+                // so the physical accounting stays exact after filters.
+                let mut remap: Vec<u32> = vec![u32::MAX; dict.len()];
+                let mut out_dict = StrDict::new();
+                let mut out_codes: Vec<u32> = Vec::with_capacity(n);
+                for (slot, ix) in idx.iter().enumerate() {
+                    match ix {
+                        Some(i) => {
+                            if nulls.get(*i) {
+                                out_nulls.set(slot);
+                                out_codes.push(0);
+                            } else if absent.get(*i) {
+                                out_absent.set(slot);
+                                out_codes.push(0);
+                            } else {
+                                let old = codes[*i] as usize;
+                                if remap[old] == u32::MAX {
+                                    remap[old] = out_dict.push(dict.get(old));
+                                }
+                                out_codes.push(remap[old]);
+                            }
+                        }
+                        None => {
+                            out_codes.push(0);
+                            fill_missing(slot, &mut out_nulls, &mut out_absent);
+                        }
+                    }
+                }
+                Column::Str {
+                    dict: out_dict,
+                    codes: out_codes,
+                    nulls: out_nulls,
+                    absent: out_absent,
+                }
+            }
+            Column::Bag {
+                offsets,
+                elems,
+                nulls,
+                absent,
+            } => {
+                let mut out_offsets: Vec<u32> = Vec::with_capacity(n + 1);
+                out_offsets.push(0);
+                let mut elem_idx: Vec<Option<usize>> = Vec::new();
+                for (slot, ix) in idx.iter().enumerate() {
+                    match ix {
+                        Some(i) => {
+                            if nulls.get(*i) {
+                                out_nulls.set(slot);
+                            } else if absent.get(*i) {
+                                out_absent.set(slot);
+                            } else {
+                                for j in offsets[*i] as usize..offsets[*i + 1] as usize {
+                                    elem_idx.push(Some(j));
+                                }
+                            }
+                        }
+                        None => fill_missing(slot, &mut out_nulls, &mut out_absent),
+                    }
+                    out_offsets.push(elem_idx.len() as u32);
+                }
+                let out_elems = match elems {
+                    BagElems::Rows(b) => BagElems::Rows(Box::new(b.take_opt(&elem_idx, true))),
+                    BagElems::Values(v) => BagElems::Values(
+                        elem_idx
+                            .iter()
+                            .map(|j| v[j.expect("bag element gathers are dense")].clone())
+                            .collect(),
+                    ),
+                };
+                Column::Bag {
+                    offsets: out_offsets,
+                    elems: out_elems,
+                    nulls: out_nulls,
+                    absent: out_absent,
+                }
+            }
+            Column::Other { values, absent } => {
+                let mut out = Vec::with_capacity(n);
+                for (slot, ix) in idx.iter().enumerate() {
+                    match ix {
+                        Some(i) => {
+                            out.push(values[*i].clone());
+                            if absent.get(*i) {
+                                out_absent.set(slot);
+                            }
+                        }
+                        None => {
+                            out.push(Value::Null);
+                            fill_missing(slot, &mut out_nulls, &mut out_absent);
+                        }
+                    }
+                }
+                // `Other` has no separate null bitmap: a NULL extension keeps
+                // the explicit `Value::Null` entry.
+                Column::Other {
+                    values: out,
+                    absent: out_absent,
+                }
+            }
+        }
+    }
+
+    /// Appends `other` in place when the variants are compatible; returns
+    /// `false` (leaving `self` unspecified-but-valid) when the caller must
+    /// rebuild from values instead.
+    fn append(&mut self, other: &Column) -> bool {
+        fn extend_bitmap(dst: &mut Bitmap, src: &Bitmap) {
+            for i in 0..src.len() {
+                dst.push(src.get(i));
+            }
+        }
+        // The four primitive vectors share one append body.
+        macro_rules! append_prim {
+            ($data:ident, $nulls:ident, $absent:ident, $d2:ident, $n2:ident, $a2:ident) => {{
+                $data.extend_from_slice($d2);
+                extend_bitmap($nulls, $n2);
+                extend_bitmap($absent, $a2);
+                true
+            }};
+        }
+        match (self, other) {
+            (
+                Column::Int {
+                    data,
+                    nulls,
+                    absent,
+                },
+                Column::Int {
+                    data: d2,
+                    nulls: n2,
+                    absent: a2,
+                },
+            ) => append_prim!(data, nulls, absent, d2, n2, a2),
+            (
+                Column::Date {
+                    data,
+                    nulls,
+                    absent,
+                },
+                Column::Date {
+                    data: d2,
+                    nulls: n2,
+                    absent: a2,
+                },
+            ) => append_prim!(data, nulls, absent, d2, n2, a2),
+            (
+                Column::Real {
+                    data,
+                    nulls,
+                    absent,
+                },
+                Column::Real {
+                    data: d2,
+                    nulls: n2,
+                    absent: a2,
+                },
+            ) => append_prim!(data, nulls, absent, d2, n2, a2),
+            (
+                Column::Bool {
+                    data,
+                    nulls,
+                    absent,
+                },
+                Column::Bool {
+                    data: d2,
+                    nulls: n2,
+                    absent: a2,
+                },
+            ) => append_prim!(data, nulls, absent, d2, n2, a2),
+            (
+                Column::Str {
+                    dict,
+                    codes,
+                    nulls,
+                    absent,
+                },
+                Column::Str {
+                    dict: dict2,
+                    codes: codes2,
+                    nulls: n2,
+                    absent: a2,
+                },
+            ) => {
+                let lookup: HashMap<&str, u32> = dict
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (s, i as u32))
+                    .collect();
+                // Entries of `dict2` are distinct among themselves, so a
+                // fresh (unseen) entry never needs to be looked up again.
+                let mut remap: Vec<u32> = Vec::with_capacity(dict2.len());
+                let mut fresh: Vec<String> = Vec::new();
+                for s in dict2.iter() {
+                    match lookup.get(s) {
+                        Some(code) => remap.push(*code),
+                        None => {
+                            remap.push((dict.len() + fresh.len()) as u32);
+                            fresh.push(s.to_string());
+                        }
+                    }
+                }
+                drop(lookup);
+                for s in fresh {
+                    dict.push(&s);
+                }
+                for (i, c) in codes2.iter().enumerate() {
+                    if n2.get(i) || a2.get(i) {
+                        codes.push(0);
+                    } else {
+                        codes.push(remap[*c as usize]);
+                    }
+                }
+                extend_bitmap(nulls, n2);
+                extend_bitmap(absent, a2);
+                true
+            }
+            (
+                Column::Bag {
+                    offsets,
+                    elems,
+                    nulls,
+                    absent,
+                },
+                Column::Bag {
+                    offsets: o2,
+                    elems: e2,
+                    nulls: n2,
+                    absent: a2,
+                },
+            ) => {
+                match (elems, e2) {
+                    (BagElems::Rows(b1), BagElems::Rows(b2)) => {
+                        let merged = Batch::concat(&[std::mem::take(b1.as_mut()), (**b2).clone()]);
+                        **b1 = merged;
+                    }
+                    (BagElems::Values(v1), BagElems::Values(v2)) => {
+                        v1.extend(v2.iter().cloned());
+                    }
+                    _ => return false,
+                }
+                let base = *offsets.last().expect("offsets start at 0");
+                offsets.extend(o2.iter().skip(1).map(|o| o + base));
+                extend_bitmap(nulls, n2);
+                extend_bitmap(absent, a2);
+                true
+            }
+            (
+                Column::Other { values, absent },
+                Column::Other {
+                    values: v2,
+                    absent: a2,
+                },
+            ) => {
+                values.extend(v2.iter().cloned());
+                extend_bitmap(absent, a2);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Exact physical bytes of the column's buffers. Validity bitmaps are
+    /// charged only when they carry a set bit — an all-valid column ships
+    /// without them, as in real columnar wire formats.
+    pub fn physical_bytes(&self) -> usize {
+        fn bitmaps(nulls: &Bitmap, absent: &Bitmap) -> usize {
+            let mut total = 0;
+            if nulls.any() {
+                total += nulls.byte_size();
+            }
+            if absent.any() {
+                total += absent.byte_size();
+            }
+            total
+        }
+        match self {
+            Column::Int {
+                data,
+                nulls,
+                absent,
+            }
+            | Column::Date {
+                data,
+                nulls,
+                absent,
+            } => data.len() * 8 + bitmaps(nulls, absent),
+            Column::Real {
+                data,
+                nulls,
+                absent,
+            } => data.len() * 8 + bitmaps(nulls, absent),
+            Column::Bool {
+                data,
+                nulls,
+                absent,
+            } => data.len() + bitmaps(nulls, absent),
+            Column::Str {
+                dict,
+                codes,
+                nulls,
+                absent,
+            } => codes.len() * 4 + dict.byte_size() + bitmaps(nulls, absent),
+            Column::Bag {
+                offsets,
+                elems,
+                nulls,
+                absent,
+            } => {
+                let elem_bytes = match elems {
+                    BagElems::Rows(b) => b.physical_bytes(),
+                    BagElems::Values(v) => v.iter().map(MemSize::mem_size).sum(),
+                };
+                offsets.len() * 4 + elem_bytes + bitmaps(nulls, absent)
+            }
+            Column::Other { values, absent } => {
+                values.iter().map(MemSize::mem_size).sum::<usize>()
+                    + if absent.any() { absent.byte_size() } else { 0 }
+            }
+        }
+    }
+
+    /// Row-equivalent bytes of the column's *values* (the contribution the
+    /// same data would make to `Value::mem_size` as tuple fields), excluding
+    /// the per-field name/slot overhead, which the batch accounts from the
+    /// schema and the present counts.
+    fn logical_value_bytes(&self) -> usize {
+        match self {
+            Column::Int { absent, .. }
+            | Column::Date { absent, .. }
+            | Column::Real { absent, .. }
+            | Column::Bool { absent, .. } => (self.len() - absent.count_ones()) * 8,
+            Column::Str {
+                dict,
+                codes,
+                nulls,
+                absent,
+            } => {
+                let mut total = 0usize;
+                for (i, c) in codes.iter().enumerate() {
+                    if absent.get(i) {
+                        continue;
+                    }
+                    total += if nulls.get(i) {
+                        8
+                    } else {
+                        24 + dict.entry_len(*c as usize)
+                    };
+                }
+                total
+            }
+            Column::Bag {
+                offsets,
+                elems,
+                nulls,
+                absent,
+            } => {
+                let n = offsets.len().saturating_sub(1);
+                let present = n - absent.count_ones();
+                let null_rows = nulls.count_ones();
+                let elem_bytes = match elems {
+                    BagElems::Rows(b) => b.logical_bytes(),
+                    BagElems::Values(v) => v.iter().map(MemSize::mem_size).sum(),
+                };
+                (present - null_rows) * 24 + null_rows * 8 + elem_bytes
+            }
+            Column::Other { values, absent } => values
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !absent.get(*i))
+                .map(|(_, v)| v.mem_size())
+                .sum(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// batches
+// ---------------------------------------------------------------------------
+
+/// A columnar batch: one partition's rows as `Arc<Schema>` + typed columns.
+///
+/// Columns are `Arc`-shared: operators that keep a column untouched
+/// (projection pass-through, column extension, renaming, expression
+/// references) copy a pointer, not the buffers.
+#[derive(Debug, Clone, Default)]
+pub struct Batch {
+    schema: Arc<Schema>,
+    columns: Vec<Arc<Column>>,
+    rows: usize,
+}
+
+impl Batch {
+    /// The empty batch (no rows, no attributes).
+    pub fn empty() -> Batch {
+        Batch::default()
+    }
+
+    /// Builds a batch from row values. Tuples become columns under the union
+    /// of their attribute names (first-occurrence order); if any row is not a
+    /// tuple the whole batch is stored *opaque* (values verbatim).
+    pub fn from_rows(rows: &[Value]) -> Batch {
+        let refs: Vec<&Value> = rows.iter().collect();
+        Batch::from_row_refs(&refs)
+    }
+
+    /// [`Batch::from_rows`] over borrowed rows.
+    pub fn from_row_refs(rows: &[&Value]) -> Batch {
+        Batch::from_row_refs_hinted(rows, &[])
+    }
+
+    /// Builds a batch whose leading columns follow the planner's field hints
+    /// (see [`FieldHint`]): hinted fields come first in hint order, and a
+    /// hinted bag-valued field becomes a [`Column::Bag`] even when every row
+    /// holds NULL or no data at all — batches typed from plan schemas, not
+    /// only from sampled values.
+    pub fn from_row_refs_hinted(rows: &[&Value], hints: &[FieldHint]) -> Batch {
+        if rows.is_empty() {
+            let fields: Vec<String> = hints.iter().map(|h| h.name.clone()).collect();
+            let columns = hints
+                .iter()
+                .map(|h| Arc::new(empty_hinted_column(h)))
+                .collect();
+            return Batch {
+                schema: Arc::new(Schema::new(fields)),
+                columns,
+                rows: 0,
+            };
+        }
+        if rows.iter().any(|r| !matches!(r, Value::Tuple(_))) {
+            return Batch {
+                schema: Arc::new(Schema::opaque()),
+                columns: vec![Arc::new(Column::Other {
+                    values: rows.iter().map(|r| (*r).clone()).collect(),
+                    absent: Bitmap::zeros(rows.len()),
+                })],
+                rows: rows.len(),
+            };
+        }
+        // Field order: a topological merge of the rows' attribute orders
+        // (hint fields lead), so every set of rows with *consistent* relative
+        // orders — even when individual rows skip attributes — round-trips
+        // with its order intact. Conflicting orders normalize to the merged
+        // order, breaking ties by first occurrence.
+        let fields = merge_field_order(rows, hints);
+        let index: HashMap<&str, usize> = fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.as_str(), i))
+            .collect();
+        let mut slots: Vec<Vec<Option<&Value>>> = vec![vec![None; rows.len()]; fields.len()];
+        for (r, row) in rows.iter().enumerate() {
+            if let Value::Tuple(t) = row {
+                for (name, value) in t.fields() {
+                    slots[index[name.as_str()]][r] = Some(value);
+                }
+            }
+        }
+        let columns: Vec<Arc<Column>> = fields
+            .iter()
+            .enumerate()
+            .map(|(c, name)| {
+                let col = build_column(&slots[c]);
+                Arc::new(match hints.iter().find(|h| h.name == *name) {
+                    Some(FieldHint {
+                        nested: Some(inner),
+                        ..
+                    }) => coerce_to_bag(col, inner),
+                    _ => col,
+                })
+            })
+            .collect();
+        Batch {
+            schema: Arc::new(Schema::new(fields)),
+            columns,
+            rows: rows.len(),
+        }
+    }
+
+    /// Builds a batch directly from columns (all of length `rows`).
+    pub fn from_columns(fields: Vec<String>, columns: Vec<Column>, rows: usize) -> Batch {
+        debug_assert_eq!(fields.len(), columns.len());
+        debug_assert!(columns.iter().all(|c| c.len() == rows));
+        Batch {
+            schema: Arc::new(Schema::new(fields)),
+            columns: columns.into_iter().map(Arc::new).collect(),
+            rows,
+        }
+    }
+
+    /// A batch of `rows` empty tuples (used for the plan `Unit` input).
+    pub fn unit(rows: usize) -> Batch {
+        Batch {
+            schema: Arc::new(Schema::new(Vec::new())),
+            columns: Vec::new(),
+            rows,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// True when the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The shared schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The columns, in schema order (`Arc`-shared).
+    pub fn columns(&self) -> &[Arc<Column>] {
+        &self.columns
+    }
+
+    /// The column of attribute `name`.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.schema.index_of(name).map(|i| self.columns[i].as_ref())
+    }
+
+    /// The shared handle of attribute `name`'s column — a pointer copy, the
+    /// cheap path for expression references.
+    pub fn column_arc(&self, name: &str) -> Option<Arc<Column>> {
+        self.schema.index_of(name).map(|i| self.columns[i].clone())
+    }
+
+    /// The value of attribute `name` in row `i` (`None` when the attribute is
+    /// absent from that row).
+    pub fn value_at(&self, i: usize, name: &str) -> Option<Value> {
+        self.column(name).and_then(|c| c.value_at(i))
+    }
+
+    /// Materializes row `i` as a [`Value`]: a tuple of the present attributes
+    /// in schema order, or the stored value verbatim for opaque batches.
+    pub fn row_value(&self, i: usize) -> Value {
+        if self.schema.is_opaque() {
+            if let Column::Other { values, .. } = self.columns[0].as_ref() {
+                return values[i].clone();
+            }
+            unreachable!("opaque batches hold a single value column");
+        }
+        let mut fields: Vec<(String, Value)> = Vec::with_capacity(self.columns.len());
+        for (name, col) in self.schema.fields().iter().zip(&self.columns) {
+            if let Some(v) = col.value_at(i) {
+                fields.push((name.clone(), v));
+            }
+        }
+        Value::Tuple(Tuple::new(fields))
+    }
+
+    /// Materializes every row (the collect boundary back to the row world).
+    pub fn to_rows(&self) -> Vec<Value> {
+        (0..self.rows).map(|i| self.row_value(i)).collect()
+    }
+
+    /// Gathers the given rows into a new batch.
+    pub fn take(&self, idx: &[usize]) -> Batch {
+        let opt: Vec<Option<usize>> = idx.iter().map(|i| Some(*i)).collect();
+        self.take_opt(&opt, true)
+    }
+
+    /// Gathers rows with optional indices: `None` rows come out all-absent
+    /// (`none_absent`) or all-NULL — the right-side null extension of outer
+    /// joins.
+    pub fn take_opt(&self, idx: &[Option<usize>], none_absent: bool) -> Batch {
+        let columns: Vec<Arc<Column>> = self
+            .columns
+            .iter()
+            .map(|c| Arc::new(c.gather(idx, none_absent)))
+            .collect();
+        Batch {
+            schema: self.schema.clone(),
+            columns,
+            rows: idx.len(),
+        }
+    }
+
+    /// Keeps the rows whose mask bit is set.
+    pub fn filter(&self, mask: &[bool]) -> Batch {
+        debug_assert_eq!(mask.len(), self.rows);
+        let idx: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| m.then_some(i))
+            .collect();
+        self.take(&idx)
+    }
+
+    /// Concatenates batches into one. Batches with identical schemas append
+    /// column buffers directly; mixed schemas fall back to a value-level
+    /// rebuild (the row engine's union cost).
+    pub fn concat(batches: &[Batch]) -> Batch {
+        let nonempty: Vec<&Batch> = batches.iter().filter(|b| !b.is_empty()).collect();
+        match nonempty.len() {
+            0 => {
+                // Preserve a schema if any input has one.
+                return batches
+                    .iter()
+                    .find(|b| !b.schema.fields().is_empty())
+                    .or(batches.first())
+                    .cloned()
+                    .unwrap_or_default();
+            }
+            1 => return nonempty[0].clone(),
+            _ => {}
+        }
+        let first = nonempty[0];
+        if nonempty.iter().all(|b| b.schema == first.schema)
+            || nonempty
+                .iter()
+                .all(|b| !b.schema.is_opaque() && b.schema.fields() == first.schema.fields())
+        {
+            let mut columns = first.columns.clone();
+            let mut rows = first.rows;
+            let mut ok = true;
+            'append: for b in &nonempty[1..] {
+                for (c, col) in columns.iter_mut().enumerate() {
+                    if !Arc::make_mut(col).append(&b.columns[c]) {
+                        ok = false;
+                        break 'append;
+                    }
+                }
+                rows += b.rows;
+            }
+            if ok {
+                return Batch {
+                    schema: first.schema.clone(),
+                    columns,
+                    rows,
+                };
+            }
+        }
+        // Heterogeneous fallback: rebuild from materialized rows.
+        let mut rows: Vec<Value> = Vec::with_capacity(nonempty.iter().map(|b| b.rows).sum());
+        for b in &nonempty {
+            rows.extend(b.to_rows());
+        }
+        Batch::from_rows(&rows)
+    }
+
+    /// Left-to-right tuple concatenation of two same-length batches with the
+    /// row engine's overwrite semantics: the output keeps `self`'s attribute
+    /// order; where `other` carries the same attribute and the row is
+    /// present on the right, the right value wins; `other`-only attributes
+    /// are appended.
+    pub fn merge_overwrite(&self, other: &Batch) -> Batch {
+        debug_assert_eq!(self.rows, other.rows);
+        let mut fields: Vec<String> = Vec::new();
+        let mut columns: Vec<Arc<Column>> = Vec::new();
+        for (name, left_col) in self.schema.fields().iter().zip(&self.columns) {
+            match other.column_arc(name) {
+                None => {
+                    fields.push(name.clone());
+                    columns.push(left_col.clone());
+                }
+                Some(right_col) => {
+                    fields.push(name.clone());
+                    if !right_col.absent().any() {
+                        columns.push(right_col);
+                    } else {
+                        // Row-wise overwrite: right wins where present.
+                        let slots: Vec<Option<Value>> = (0..self.rows)
+                            .map(|i| right_col.value_at(i).or_else(|| left_col.value_at(i)))
+                            .collect();
+                        columns.push(Arc::new(build_column_owned(&slots)));
+                    }
+                }
+            }
+        }
+        for (name, right_col) in other.schema.fields().iter().zip(&other.columns) {
+            if self.schema.index_of(name).is_none() {
+                fields.push(name.clone());
+                columns.push(right_col.clone());
+            }
+        }
+        Batch {
+            schema: Arc::new(Schema::new(fields)),
+            columns,
+            rows: self.rows,
+        }
+    }
+
+    /// Renames every attribute through `f` — a schema-only operation, the
+    /// columnar counterpart of the row engine's per-row `alias.field`
+    /// rewrite. Opaque batches become a single column named `value_name`
+    /// (the `alias.__value` convention).
+    pub fn rename_fields(&self, f: impl Fn(&str) -> String, value_name: &str) -> Batch {
+        if self.schema.is_opaque() {
+            return Batch {
+                schema: Arc::new(Schema::new(vec![value_name.to_string()])),
+                columns: self.columns.clone(),
+                rows: self.rows,
+            };
+        }
+        let fields: Vec<String> = self.schema.fields().iter().map(|n| f(n)).collect();
+        Batch {
+            schema: Arc::new(Schema::new(fields)),
+            columns: self.columns.clone(),
+            rows: self.rows,
+        }
+    }
+
+    /// Keeps only the attributes in `names`, in `names` order, skipping
+    /// names the schema lacks — the columnar `Tuple::project`. Columns are
+    /// shared, not copied.
+    pub fn project_fields(&self, names: &[String]) -> Batch {
+        let mut fields: Vec<String> = Vec::with_capacity(names.len());
+        let mut columns: Vec<Arc<Column>> = Vec::with_capacity(names.len());
+        for name in names {
+            if let Some(i) = self.schema.index_of(name) {
+                fields.push(name.clone());
+                columns.push(self.columns[i].clone());
+            }
+        }
+        Batch {
+            schema: Arc::new(Schema::new(fields)),
+            columns,
+            rows: self.rows,
+        }
+    }
+
+    /// The batch without attribute `name` (no-op when absent).
+    pub fn without_column(&self, name: &str) -> Batch {
+        match self.schema.index_of(name) {
+            None => self.clone(),
+            Some(i) => {
+                let mut fields = self.schema.fields().to_vec();
+                fields.remove(i);
+                let mut columns = self.columns.clone();
+                columns.remove(i);
+                Batch {
+                    schema: Arc::new(Schema::new(fields)),
+                    columns,
+                    rows: self.rows,
+                }
+            }
+        }
+    }
+
+    /// Adds or replaces a column with tuple `set` semantics: an existing
+    /// attribute keeps its position, a new one is appended. The untouched
+    /// columns are shared, so repeated extension is linear, not quadratic.
+    pub fn with_column(&self, name: &str, column: Arc<Column>) -> Batch {
+        debug_assert_eq!(column.len(), self.rows);
+        let mut fields = self.schema.fields().to_vec();
+        let mut columns = self.columns.clone();
+        match self.schema.index_of(name) {
+            Some(i) => columns[i] = column,
+            None => {
+                fields.push(name.to_string());
+                columns.push(column);
+            }
+        }
+        Batch {
+            schema: Arc::new(Schema::new(fields)),
+            columns,
+            rows: self.rows,
+        }
+    }
+
+    /// Exact physical bytes of the batch: the column buffers plus the schema
+    /// (and each string dictionary) counted **once per batch**.
+    pub fn physical_bytes(&self) -> usize {
+        self.schema.byte_size()
+            + self
+                .columns
+                .iter()
+                .map(|c| c.physical_bytes())
+                .sum::<usize>()
+    }
+
+    /// Row-equivalent bytes: what the same rows would occupy (and be metered
+    /// at) in the row representation, i.e. `Σ Value::mem_size`. Used for the
+    /// legacy logical counters, broadcast planning and the simulated memory
+    /// cap, so both representations make identical planning decisions.
+    pub fn logical_bytes(&self) -> usize {
+        if self.schema.is_opaque() {
+            if let Column::Other { values, .. } = self.columns[0].as_ref() {
+                return values.iter().map(MemSize::mem_size).sum();
+            }
+        }
+        let mut total = self.rows * 16;
+        for (name, col) in self.schema.fields().iter().zip(&self.columns) {
+            total += col.present_count() * (name.len() + 8) + col.logical_value_bytes();
+        }
+        total
+    }
+}
+
+/// Merges the attribute orders of tuple rows (and leading hints) into one
+/// schema order: Kahn's topological sort over the adjacency constraints each
+/// row contributes, ties broken by first occurrence. Rows with mutually
+/// consistent orders reproduce exactly; genuinely conflicting orders get a
+/// deterministic normalization (the cycle is broken at the earliest-seen
+/// field).
+fn merge_field_order(rows: &[&Value], hints: &[FieldHint]) -> Vec<String> {
+    // Rows overwhelmingly repeat one attribute sequence: collapse to the
+    // *distinct* sequences first (in first-seen order) so the constraint
+    // graph is built from a handful of chains, not one chain per row.
+    let mut seqs: Vec<Vec<&str>> = Vec::new();
+    let mut seen: std::collections::HashSet<Vec<&str>> = std::collections::HashSet::new();
+    for row in rows {
+        if let Value::Tuple(t) = row {
+            let names: Vec<&str> = t.fields().iter().map(|(n, _)| n.as_str()).collect();
+            if seen.insert(names.clone()) {
+                seqs.push(names);
+            }
+        }
+    }
+    if hints.is_empty() && seqs.len() == 1 {
+        return seqs.remove(0).into_iter().map(String::from).collect();
+    }
+    let mut names: Vec<String> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut intern = |name: &str, names: &mut Vec<String>| -> usize {
+        if let Some(i) = index.get(name) {
+            return *i;
+        }
+        names.push(name.to_string());
+        index.insert(name.to_string(), names.len() - 1);
+        names.len() - 1
+    };
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut prev: Option<usize> = None;
+    for h in hints {
+        let i = intern(&h.name, &mut names);
+        if let Some(p) = prev {
+            edges.push((p, i));
+        }
+        prev = Some(i);
+    }
+    for seq in &seqs {
+        let mut prev: Option<usize> = None;
+        for name in seq {
+            let i = intern(name, &mut names);
+            if let Some(p) = prev {
+                if p != i {
+                    edges.push((p, i));
+                }
+            }
+            prev = Some(i);
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    let n = names.len();
+    let mut indegree = vec![0usize; n];
+    for (_, v) in &edges {
+        indegree[*v] += 1;
+    }
+    let mut placed = vec![false; n];
+    let mut out: Vec<String> = Vec::with_capacity(n);
+    while out.len() < n {
+        // Lowest first-occurrence node with no remaining predecessors; if
+        // none (a cycle of conflicting orders), the earliest remaining node.
+        let next = (0..n)
+            .find(|i| !placed[*i] && indegree[*i] == 0)
+            .or_else(|| (0..n).find(|i| !placed[*i]))
+            .expect("unplaced node exists");
+        placed[next] = true;
+        out.push(names[next].clone());
+        for (u, v) in &edges {
+            if *u == next && !placed[*v] {
+                indegree[*v] = indegree[*v].saturating_sub(1);
+            }
+        }
+    }
+    out
+}
+
+/// An empty (zero-row) column matching a field hint.
+fn empty_hinted_column(hint: &FieldHint) -> Column {
+    match &hint.nested {
+        Some(inner) => Column::Bag {
+            offsets: vec![0],
+            elems: BagElems::Rows(Box::new(Batch::from_row_refs_hinted(&[], inner))),
+            nulls: Bitmap::zeros(0),
+            absent: Bitmap::zeros(0),
+        },
+        None => Column::Other {
+            values: Vec::new(),
+            absent: Bitmap::zeros(0),
+        },
+    }
+}
+
+/// Upgrades an all-null/absent fallback column to a typed bag column when the
+/// plan schema says the attribute is bag-valued.
+fn coerce_to_bag(col: Column, inner: &[FieldHint]) -> Column {
+    match &col {
+        Column::Bag { .. } => col,
+        Column::Other { values, absent } if values.iter().all(|v| matches!(v, Value::Null)) => {
+            let n = values.len();
+            let mut nulls = Bitmap::zeros(n);
+            for i in 0..n {
+                if !absent.get(i) {
+                    nulls.set(i);
+                }
+            }
+            Column::Bag {
+                offsets: vec![0; n + 1],
+                elems: BagElems::Rows(Box::new(Batch::from_row_refs_hinted(&[], inner))),
+                nulls,
+                absent: absent.clone(),
+            }
+        }
+        _ => col,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Value> {
+        vec![
+            Value::tuple([
+                ("a", Value::Int(1)),
+                ("s", Value::str("x")),
+                (
+                    "bag",
+                    Value::bag(vec![Value::tuple([("k", Value::Int(10))])]),
+                ),
+            ]),
+            Value::tuple([
+                ("a", Value::Null),
+                ("s", Value::str("x")),
+                ("bag", Value::bag(vec![])),
+            ]),
+            Value::tuple([("a", Value::Int(3)), ("s", Value::str("y"))]),
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_rows_nulls_and_absence() {
+        let rows = rows();
+        let batch = Batch::from_rows(&rows);
+        assert_eq!(batch.rows(), 3);
+        assert_eq!(batch.schema().fields(), ["a", "s", "bag"]);
+        assert_eq!(batch.to_rows(), rows);
+    }
+
+    #[test]
+    fn string_dictionary_deduplicates() {
+        let rows: Vec<Value> = (0..100)
+            .map(|i| Value::tuple([("s", Value::str(if i % 2 == 0 { "even" } else { "odd" }))]))
+            .collect();
+        let batch = Batch::from_rows(&rows);
+        match batch.column("s").unwrap() {
+            Column::Str { dict, .. } => assert_eq!(dict.len(), 2),
+            other => panic!("expected dict column, got {other:?}"),
+        }
+        assert!(batch.physical_bytes() < batch.logical_bytes());
+    }
+
+    #[test]
+    fn opaque_batches_hold_non_tuple_rows_verbatim() {
+        let rows = vec![Value::Int(1), Value::str("two")];
+        let batch = Batch::from_rows(&rows);
+        assert!(batch.schema().is_opaque());
+        assert_eq!(batch.to_rows(), rows);
+    }
+
+    #[test]
+    fn take_and_filter_gather_nested_bags() {
+        let rows = rows();
+        let batch = Batch::from_rows(&rows);
+        let taken = batch.take(&[2, 0]);
+        assert_eq!(taken.to_rows(), vec![rows[2].clone(), rows[0].clone()]);
+        let filtered = batch.filter(&[false, true, false]);
+        assert_eq!(filtered.to_rows(), vec![rows[1].clone()]);
+    }
+
+    #[test]
+    fn concat_appends_same_schema_batches() {
+        let rows = rows();
+        let b1 = Batch::from_rows(&rows[..2]);
+        let b2 = Batch::from_rows(&rows[..2]);
+        let all = Batch::concat(&[b1, b2]);
+        assert_eq!(all.rows(), 4);
+        assert_eq!(all.to_rows()[2..], rows[..2]);
+    }
+
+    #[test]
+    fn hinted_build_types_empty_bag_columns() {
+        let rows = vec![Value::tuple([("k", Value::Int(1)), ("items", Value::Null)])];
+        let hints = vec![
+            FieldHint::scalar("k"),
+            FieldHint::bag("items", vec![FieldHint::scalar("x")]),
+        ];
+        let refs: Vec<&Value> = rows.iter().collect();
+        let batch = Batch::from_row_refs_hinted(&refs, &hints);
+        assert!(matches!(batch.column("items").unwrap(), Column::Bag { .. }));
+        assert_eq!(batch.to_rows(), rows);
+    }
+}

@@ -1,0 +1,1021 @@
+//! [`ColCollection`]: the columnar counterpart of [`DistCollection`] — a
+//! hash-partitioned collection whose partitions are typed [`Batch`]es instead
+//! of `Vec<Value>` rows.
+//!
+//! Every operator mirrors the semantics of its row-engine twin (the
+//! differential suites in `trance-compiler` hold the two representations to
+//! multiset-identical outputs) while executing over column buffers:
+//!
+//! * projections/extensions/selections run as whole-batch transforms
+//!   ([`ColCollection::map_batches`] / [`ColCollection::filter_mask`]) whose
+//!   column expressions are evaluated vectorized by the compiler;
+//! * scan renaming (`alias.field`) is a schema rewrite — zero data movement;
+//! * unnest gathers parent columns by fan-out index and splices the bag
+//!   column's child batch in, all offset arithmetic;
+//! * joins gather matched rows from both sides by index lists;
+//! * shuffles ship whole batches and meter **exact physical buffer bytes**
+//!   (schema and string dictionaries counted once per shipped batch) next to
+//!   the row-equivalent logical estimate, so row-vs-columnar byte cells are
+//!   directly comparable.
+//!
+//! Broadcast planning and the simulated per-worker memory cap use the
+//! *logical* (row-equivalent) sizes on purpose: both representations make
+//! identical planning decisions and fail the same FAIL runs; only the
+//! shipped bytes differ.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+use trance_nrc::{Bag, Tuple, Value};
+
+use crate::batch::{Batch, Bitmap, Column, FieldHint};
+use crate::error::{ExecError, Result};
+use crate::join::{JoinKind, JoinSpec};
+use crate::ops::DistCollection;
+use crate::partition::{hash_key, hash_value, run_partitioned};
+use crate::stats::JoinStrategy;
+use crate::{DistContext, JoinHint};
+
+/// A distributed collection of columnar [`Batch`]es, one per hash partition.
+#[derive(Clone)]
+pub struct ColCollection {
+    ctx: DistContext,
+    parts: Arc<Vec<Batch>>,
+}
+
+impl std::fmt::Debug for ColCollection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ColCollection")
+            .field("partitions", &self.parts.len())
+            .field("rows", &self.len())
+            .finish()
+    }
+}
+
+impl ColCollection {
+    fn from_parts(ctx: DistContext, parts: Vec<Batch>) -> Self {
+        ColCollection {
+            ctx,
+            parts: Arc::new(parts),
+        }
+    }
+
+    /// Wraps freshly produced operator output, enforcing the per-worker
+    /// memory cap (on row-equivalent bytes, exactly like the row engine).
+    fn materialize(ctx: DistContext, parts: Vec<Batch>) -> Result<Self> {
+        enforce_memory_col(&ctx, &parts)?;
+        Ok(ColCollection::from_parts(ctx, parts))
+    }
+
+    /// Converts a row collection into batches, partition by partition — the
+    /// **scan ingest** boundary, the only place (besides
+    /// [`ColCollection::to_rows`]) where the columnar route touches
+    /// row values. `hints` come from the plan-layer schema and type columns
+    /// the sampled values alone could not; ingest is not metered, matching
+    /// the paper's exclusion of input loading.
+    pub fn ingest(coll: &DistCollection, hints: &[FieldHint]) -> ColCollection {
+        let parts: Vec<Batch> = coll
+            .partitions()
+            .iter()
+            .map(|rows| {
+                let refs: Vec<&Value> = rows.iter().collect();
+                Batch::from_row_refs_hinted(&refs, hints)
+            })
+            .collect();
+        ColCollection::from_parts(coll.context().clone(), parts)
+    }
+
+    /// An empty columnar collection over this context's partitions.
+    pub fn empty(ctx: &DistContext) -> ColCollection {
+        ColCollection::from_parts(
+            ctx.clone(),
+            vec![Batch::empty(); ctx.config().partitions.max(1)],
+        )
+    }
+
+    /// A collection holding `batch` in partition 0 (the columnar counterpart
+    /// of parallelizing a tiny constant input such as the plan `Unit`).
+    pub fn single(ctx: &DistContext, batch: Batch) -> ColCollection {
+        let nparts = ctx.config().partitions.max(1);
+        let mut parts = vec![Batch::empty(); nparts];
+        parts[0] = batch;
+        ColCollection::from_parts(ctx.clone(), parts)
+    }
+
+    /// The owning context.
+    pub fn context(&self) -> &DistContext {
+        &self.ctx
+    }
+
+    /// The partition batches.
+    pub fn partitions(&self) -> &[Batch] {
+        &self.parts
+    }
+
+    /// Total number of rows.
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(Batch::rows).sum()
+    }
+
+    /// True when no partition holds rows.
+    pub fn is_empty(&self) -> bool {
+        self.parts.iter().all(Batch::is_empty)
+    }
+
+    /// Row-equivalent (logical) bytes across all partitions — what the same
+    /// rows would occupy in the row representation. Drives broadcast
+    /// planning and the memory cap.
+    pub fn logical_bytes(&self) -> usize {
+        self.parts.iter().map(Batch::logical_bytes).sum()
+    }
+
+    /// Exact physical buffer bytes across all partitions.
+    pub fn physical_bytes(&self) -> usize {
+        self.parts.iter().map(Batch::physical_bytes).sum()
+    }
+
+    /// Materializes every partition back into the row representation — the
+    /// **collect** boundary. Not metered.
+    pub fn to_rows(&self) -> DistCollection {
+        DistCollection::from_parts(
+            self.ctx.clone(),
+            self.parts.iter().map(Batch::to_rows).collect(),
+        )
+    }
+
+    /// Gathers every row into a [`Bag`].
+    pub fn collect_bag(&self) -> Bag {
+        let mut items = Vec::with_capacity(self.len());
+        for part in self.parts.iter() {
+            items.extend(part.to_rows());
+        }
+        Bag::new(items)
+    }
+
+    /// Times `f` under operator name `op` in the context stats.
+    pub(crate) fn timed<T>(&self, op: &str, f: impl FnOnce() -> Result<T>) -> Result<T> {
+        let start = Instant::now();
+        let out = f();
+        self.ctx.stats().record_op(op, start.elapsed());
+        out
+    }
+
+    /// Applies a whole-batch transform to every partition
+    /// (partition-parallel, no shuffle). The compiler's vectorized expression
+    /// evaluator drives projections and extensions through this.
+    pub fn map_batches<F>(&self, op: &str, f: F) -> Result<ColCollection>
+    where
+        F: Fn(&Batch) -> Result<Batch> + Send + Sync,
+    {
+        self.timed(op, || {
+            let parts = run_partitioned(&self.ctx, &self.parts, |_, b| f(b))?;
+            ColCollection::materialize(self.ctx.clone(), parts)
+        })
+    }
+
+    /// Keeps the rows whose mask bit is set; `f` produces one bool per row of
+    /// the partition batch (vectorized predicate evaluation).
+    pub fn filter_mask<F>(&self, f: F) -> Result<ColCollection>
+    where
+        F: Fn(&Batch) -> Result<Vec<bool>> + Send + Sync,
+    {
+        self.timed("filter", || self.filter_mask_untimed(&f))
+    }
+
+    fn filter_mask_untimed<F>(&self, f: &F) -> Result<ColCollection>
+    where
+        F: Fn(&Batch) -> Result<Vec<bool>> + Send + Sync,
+    {
+        let parts = run_partitioned(&self.ctx, &self.parts, |_, b| {
+            let mask = f(b)?;
+            Ok(b.filter(&mask))
+        })?;
+        ColCollection::materialize(self.ctx.clone(), parts)
+    }
+
+    /// Bag union: partitions are concatenated pairwise, no data moves.
+    pub fn union(&self, other: &ColCollection) -> Result<ColCollection> {
+        self.timed("union", || {
+            let n = self.parts.len().max(other.parts.len());
+            let empty = Batch::empty();
+            let mut parts = Vec::with_capacity(n);
+            for i in 0..n {
+                let a = self.parts.get(i).unwrap_or(&empty);
+                let b = other.parts.get(i).unwrap_or(&empty);
+                parts.push(Batch::concat(&[a.clone(), b.clone()]));
+            }
+            ColCollection::materialize(self.ctx.clone(), parts)
+        })
+    }
+
+    /// Distinct rows (set semantics): shuffles by row hash so equal rows meet
+    /// in one partition, then deduplicates per partition.
+    pub fn distinct(&self) -> Result<ColCollection> {
+        self.timed("distinct", || {
+            let shuffled = shuffle_batches(&self.ctx, &self.parts, |b, i| {
+                Ok(hash_value(&b.row_value(i)))
+            })?;
+            let parts = run_partitioned(&self.ctx, &shuffled, |_, b| {
+                let mut seen: HashSet<Value> = HashSet::with_capacity(b.rows());
+                let mut keep: Vec<usize> = Vec::new();
+                for i in 0..b.rows() {
+                    if seen.insert(b.row_value(i)) {
+                        keep.push(i);
+                    }
+                }
+                Ok(b.take(&keep))
+            })?;
+            ColCollection::materialize(self.ctx.clone(), parts)
+        })
+    }
+
+    /// Adds a globally unique integer id under `attr` without coordination:
+    /// row `i` of partition `p` gets `p + i * partitions`.
+    pub fn with_unique_id(&self, attr: &str) -> Result<ColCollection> {
+        self.timed("with_unique_id", || {
+            let stride = self.parts.len().max(1) as i64;
+            let parts = run_partitioned(&self.ctx, &self.parts, |p, b| {
+                tuple_rows_required(b)?;
+                let data: Vec<i64> = (0..b.rows())
+                    .map(|i| p as i64 + i as i64 * stride)
+                    .collect();
+                let n = data.len();
+                Ok(b.with_column(
+                    attr,
+                    Arc::new(Column::Int {
+                        data,
+                        nulls: Bitmap::zeros(n),
+                        absent: Bitmap::zeros(n),
+                    }),
+                ))
+            })?;
+            ColCollection::materialize(self.ctx.clone(), parts)
+        })
+    }
+
+    /// Unnest (`µ` / outer `µ̄`) of a bag-valued attribute: parent columns are
+    /// gathered by fan-out index, the bag column's child batch is spliced in
+    /// (renamed to `alias.field` when an alias is given — a schema rewrite).
+    /// With `outer`, rows whose bag is empty/NULL keep their parent tuple and
+    /// the inner attributes stay absent.
+    pub fn unnest(
+        &self,
+        bag_attr: &str,
+        alias: Option<&str>,
+        outer: bool,
+    ) -> Result<ColCollection> {
+        self.timed("flat_map", || {
+            let parts = run_partitioned(&self.ctx, &self.parts, |_, b| {
+                unnest_batch(b, bag_attr, alias, outer)
+            })?;
+            ColCollection::materialize(self.ctx.clone(), parts)
+        })
+    }
+
+    /// The `Γ+` aggregation over columns: map-side partial aggregation, a
+    /// shuffle of the (small) partial batches by key hash, and a final
+    /// reduce. Semantics mirror [`DistCollection::nest_sum`] exactly
+    /// (integer sums stay integral, NULL contributes nothing, an all-NULL
+    /// group finalizes to 0).
+    pub fn nest_sum(&self, key: &[String], values: &[String]) -> Result<ColCollection> {
+        self.timed("nest_sum", || self.nest_sum_untimed(key, values))
+    }
+
+    fn nest_sum_untimed(&self, key: &[String], values: &[String]) -> Result<ColCollection> {
+        let partials = run_partitioned(&self.ctx, &self.parts, |_, b| {
+            sum_batch(b, key, values, false)
+        })?;
+        let shuffled = shuffle_batches(&self.ctx, &partials, |b, i| {
+            Ok(hash_key(&routing_key(b, i, key)))
+        })?;
+        let parts = run_partitioned(&self.ctx, &shuffled, |_, b| sum_batch(b, key, values, true))?;
+        ColCollection::materialize(self.ctx.clone(), parts)
+    }
+
+    /// The `Γ⊎` grouping over columns: rows shuffle by key hash, then each
+    /// partition groups and emits one row per group whose `out_attr` is an
+    /// offset-encoded bag column over the projected value columns.
+    pub fn nest_bag(
+        &self,
+        key: &[String],
+        value_attrs: &[String],
+        out_attr: &str,
+    ) -> Result<ColCollection> {
+        self.timed("nest_bag", || {
+            let shuffled = shuffle_batches(&self.ctx, &self.parts, |b, i| {
+                Ok(hash_key(&routing_key(b, i, key)))
+            })?;
+            let parts = run_partitioned(&self.ctx, &shuffled, |_, b| {
+                nest_bag_batch(b, key, value_attrs, out_attr)
+            })?;
+            ColCollection::materialize(self.ctx.clone(), parts)
+        })
+    }
+
+    /// Distributed equi-join following `spec` (broadcast / shuffle chosen
+    /// from the hint or from logical sizes, exactly like the row engine).
+    pub fn join(&self, right: &ColCollection, spec: &JoinSpec) -> Result<ColCollection> {
+        let path = match spec.hint() {
+            JoinHint::Auto => ColJoinPath::Auto,
+            JoinHint::BroadcastRight => ColJoinPath::BroadcastRight { skew: false },
+            JoinHint::Shuffle => ColJoinPath::Shuffle { skew: false },
+        };
+        self.timed("join", || join_impl_col(self, right, spec, path))
+    }
+
+    /// Skew-aware equi-join (Section 5) over batches: samples the left side's
+    /// key frequencies, shuffle-joins the light keys and broadcast-joins the
+    /// heavy keys (falling back to a shuffle when the matching right rows
+    /// exceed the broadcast limit).
+    pub fn skew_join(&self, right: &ColCollection, spec: &JoinSpec) -> Result<ColCollection> {
+        self.timed("skew_join", || {
+            let heavy = detect_heavy_keys_col(self, spec.left_keys())?;
+            if heavy.is_empty() {
+                return self.join(right, spec);
+            }
+            let keys = Arc::new(heavy);
+            let (left_light, left_heavy) = split_by_keys_col(self, spec.left_keys(), &keys)?;
+            let (right_light, right_heavy) = split_by_keys_col(right, spec.right_keys(), &keys)?;
+            let light = left_light.join(&right_light, spec)?;
+            let limit = self.ctx.config().broadcast_limit;
+            let heavy = if right_heavy.logical_bytes() <= limit {
+                join_impl_col(
+                    &left_heavy,
+                    &right_heavy,
+                    spec,
+                    ColJoinPath::BroadcastRight { skew: true },
+                )?
+            } else {
+                join_impl_col(
+                    &left_heavy,
+                    &right_heavy,
+                    spec,
+                    ColJoinPath::Shuffle { skew: true },
+                )?
+            };
+            light.union(&heavy)
+        })
+    }
+
+    /// Skew-aware `Γ+`: heavy grouping keys aggregate separately from the
+    /// light ones, mirroring `SkewTriple::nest_sum`.
+    pub fn nest_sum_skew(&self, key: &[String], values: &[String]) -> Result<ColCollection> {
+        self.timed("skew_nest_sum", || {
+            let heavy = detect_heavy_keys_col(self, key)?;
+            if heavy.is_empty() {
+                return self.nest_sum(key, values);
+            }
+            let keys = Arc::new(heavy);
+            let (light, heavy) = split_by_keys_col(self, key, &keys)?;
+            light
+                .nest_sum(key, values)?
+                .union(&heavy.nest_sum(key, values)?)
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// shared helpers
+// ---------------------------------------------------------------------------
+
+fn tuple_rows_required(b: &Batch) -> Result<()> {
+    if b.schema().is_opaque() && !b.is_empty() {
+        return Err(ExecError::Other(
+            "columnar operator requires tuple rows (opaque batch)".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Enforces the simulated per-worker memory cap on freshly materialized
+/// batches, charged in row-equivalent bytes so FAIL behaviour matches the
+/// row engine.
+fn enforce_memory_col(ctx: &DistContext, parts: &[Batch]) -> Result<()> {
+    let Some(limit) = ctx.config().worker_memory else {
+        return Ok(());
+    };
+    let workers = ctx.config().workers.max(1);
+    let mut used = vec![0usize; workers];
+    for (i, part) in parts.iter().enumerate() {
+        used[i % workers] += part.logical_bytes();
+    }
+    for (worker, used_bytes) in used.into_iter().enumerate() {
+        if used_bytes > limit {
+            return Err(ExecError::MemoryExceeded {
+                worker,
+                used_bytes,
+                limit_bytes: limit,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The equi-join / grouping key of one batch row: `None` when any key column
+/// is NULL or absent (such rows can never satisfy an equality).
+fn key_at(b: &Batch, i: usize, cols: &[String]) -> Option<Vec<Value>> {
+    let mut key = Vec::with_capacity(cols.len());
+    for c in cols {
+        match b.value_at(i, c) {
+            None | Some(Value::Null) => return None,
+            Some(v) => key.push(v),
+        }
+    }
+    Some(key)
+}
+
+/// Routing key for grouping shuffles: NULL stands in for missing columns
+/// (a stable stand-in is enough to route).
+fn routing_key(b: &Batch, i: usize, cols: &[String]) -> Vec<Value> {
+    cols.iter()
+        .map(|c| b.value_at(i, c).unwrap_or(Value::Null))
+        .collect()
+}
+
+/// The grouping key tuple of a row: key columns in `key` order, missing
+/// columns skipped (mirrors the row engine's `project_tuple`).
+fn group_key_tuple(b: &Batch, i: usize, key: &[String]) -> Tuple {
+    Tuple::new(
+        key.iter()
+            .filter_map(|c| b.value_at(i, c).map(|v| (c.clone(), v))),
+    )
+}
+
+/// Repartitions batch rows by a per-row hash, metering the move as a shuffle
+/// with both logical (row-equivalent) and exact physical buffer bytes.
+fn shuffle_batches<F>(ctx: &DistContext, parts: &[Batch], route: F) -> Result<Vec<Batch>>
+where
+    F: Fn(&Batch, usize) -> Result<u64> + Send + Sync,
+{
+    let nparts = ctx.config().partitions.max(1);
+    let bucketed = run_partitioned(ctx, parts, |_, b| {
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); nparts];
+        for i in 0..b.rows() {
+            let target = (route(b, i)? % nparts as u64) as usize;
+            buckets[target].push(i);
+        }
+        let mut shipped: Vec<Option<Batch>> = Vec::with_capacity(nparts);
+        let mut logical = 0u64;
+        let mut physical = 0u64;
+        for idx in &buckets {
+            if idx.is_empty() {
+                shipped.push(None);
+                continue;
+            }
+            let piece = b.take(idx);
+            logical += piece.logical_bytes() as u64;
+            physical += piece.physical_bytes() as u64;
+            shipped.push(Some(piece));
+        }
+        Ok((shipped, b.rows() as u64, logical, physical))
+    })?;
+    let mut received: Vec<Vec<Batch>> = (0..nparts).map(|_| Vec::new()).collect();
+    let mut tuples = 0u64;
+    let mut logical = 0u64;
+    let mut physical = 0u64;
+    for (shipped, t, l, p) in bucketed {
+        tuples += t;
+        logical += l;
+        physical += p;
+        for (target, piece) in shipped.into_iter().enumerate() {
+            if let Some(piece) = piece {
+                received[target].push(piece);
+            }
+        }
+    }
+    ctx.stats().record_shuffle(tuples, logical, physical);
+    Ok(received.into_iter().map(|b| Batch::concat(&b)).collect())
+}
+
+// ---------------------------------------------------------------------------
+// unnest
+// ---------------------------------------------------------------------------
+
+fn rename_child(child: &Batch, alias: Option<&str>) -> Batch {
+    match alias {
+        Some(a) => child.rename_fields(|f| format!("{a}.{f}"), &format!("{a}.__value")),
+        None => child.rename_fields(|f| f.to_string(), "__value"),
+    }
+}
+
+fn unnest_batch(b: &Batch, bag_attr: &str, alias: Option<&str>, outer: bool) -> Result<Batch> {
+    tuple_rows_required(b)?;
+    let parent_shape = b.without_column(bag_attr);
+    let Some(col) = b.column(bag_attr) else {
+        // Every bag is missing → empty; the outer variant keeps the parents.
+        return Ok(if outer { parent_shape } else { Batch::empty() });
+    };
+    match col {
+        Column::Bag { offsets, elems, .. } => {
+            let mut parent_idx: Vec<usize> = Vec::new();
+            let mut child_idx: Vec<Option<usize>> = Vec::new();
+            for i in 0..b.rows() {
+                let (lo, hi) = (offsets[i] as usize, offsets[i + 1] as usize);
+                if lo == hi {
+                    if outer {
+                        parent_idx.push(i);
+                        child_idx.push(None);
+                    }
+                    continue;
+                }
+                for j in lo..hi {
+                    parent_idx.push(i);
+                    child_idx.push(Some(j));
+                }
+            }
+            let parents = parent_shape.take(&parent_idx);
+            let child = match elems {
+                crate::batch::BagElems::Rows(elem_batch) => {
+                    rename_child(elem_batch, alias).take_opt(&child_idx, true)
+                }
+                crate::batch::BagElems::Values(values) => {
+                    // Mixed / non-tuple elements: fall back to per-element
+                    // row merging (the row engine's merge_element).
+                    let rows: Vec<Value> = child_idx
+                        .iter()
+                        .map(|j| match j {
+                            Some(j) => values[*j].clone(),
+                            None => Value::Null,
+                        })
+                        .collect();
+                    element_rows_to_batch(&rows, &child_idx, alias)
+                }
+            };
+            Ok(parents.merge_overwrite(&child))
+        }
+        other => {
+            // Row-wise fallback for bags stored in a value column; scalars
+            // raise the same type error as the row engine.
+            let mut out_rows: Vec<Value> = Vec::new();
+            for i in 0..b.rows() {
+                let parent = parent_shape.row_value(i);
+                let bag = match other.value_at(i) {
+                    Some(Value::Bag(bag)) => bag,
+                    Some(Value::Null) | None => Bag::empty(),
+                    Some(v) => {
+                        return Err(trance_nrc::NrcError::TypeMismatch {
+                            expected: "bag".into(),
+                            found: v.kind().into(),
+                            context: format!("unnest of {bag_attr}"),
+                        }
+                        .into())
+                    }
+                };
+                if bag.is_empty() {
+                    if outer {
+                        out_rows.push(parent);
+                    }
+                    continue;
+                }
+                let parent_t = parent.as_tuple()?.clone();
+                for elem in bag.iter() {
+                    let mut row = parent_t.clone();
+                    merge_element_row(&mut row, elem, alias);
+                    out_rows.push(Value::Tuple(row));
+                }
+            }
+            Ok(Batch::from_rows(&out_rows))
+        }
+    }
+}
+
+/// Builds the child-side batch for non-tuple bag elements: tuple elements
+/// expand into (possibly aliased) fields, other values become
+/// `alias.__value`, `None` slots (outer parents) stay absent.
+fn element_rows_to_batch(
+    rows: &[Value],
+    child_idx: &[Option<usize>],
+    alias: Option<&str>,
+) -> Batch {
+    let merged: Vec<Value> = rows
+        .iter()
+        .zip(child_idx)
+        .map(|(elem, j)| {
+            if j.is_none() {
+                return Value::Tuple(Tuple::empty());
+            }
+            let mut t = Tuple::empty();
+            merge_element_row(&mut t, elem, alias);
+            Value::Tuple(t)
+        })
+        .collect();
+    Batch::from_rows(&merged)
+}
+
+/// Merges one flattened bag element into a row, renaming its fields to
+/// `alias.field` when an alias is present (the row engine's `merge_element`).
+fn merge_element_row(row: &mut Tuple, elem: &Value, alias: Option<&str>) {
+    match (elem, alias) {
+        (Value::Tuple(et), Some(alias)) => {
+            for (f, v) in et.iter() {
+                row.set(format!("{alias}.{f}"), v.clone());
+            }
+        }
+        (Value::Tuple(et), None) => {
+            for (f, v) in et.iter() {
+                row.set(f.to_string(), v.clone());
+            }
+        }
+        (other, Some(alias)) => row.set(format!("{alias}.__value"), other.clone()),
+        (other, None) => row.set("__value".to_string(), other.clone()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// grouping
+// ---------------------------------------------------------------------------
+
+/// One local `Γ+` pass over a batch (see [`ColCollection::nest_sum`]).
+fn sum_batch(b: &Batch, key: &[String], values: &[String], finalize: bool) -> Result<Batch> {
+    tuple_rows_required(b)?;
+    let mut groups: HashMap<Tuple, Vec<Value>> = HashMap::new();
+    let mut order: Vec<Tuple> = Vec::new();
+    for i in 0..b.rows() {
+        let k = group_key_tuple(b, i, key);
+        let sums = groups.entry(k.clone()).or_insert_with(|| {
+            order.push(k);
+            vec![Value::Null; values.len()]
+        });
+        for (slot, name) in sums.iter_mut().zip(values) {
+            let v = b.value_at(i, name).unwrap_or(Value::Null);
+            *slot = slot.numeric_add(&v)?;
+        }
+    }
+    let mut out_rows = Vec::with_capacity(order.len());
+    for k in order {
+        let sums = groups.remove(&k).expect("group recorded in order");
+        let mut row = k;
+        for (name, sum) in values.iter().zip(sums) {
+            let sum = match (&sum, finalize) {
+                (Value::Null, true) => Value::Int(0),
+                _ => sum,
+            };
+            row.set(name.clone(), sum);
+        }
+        out_rows.push(Value::Tuple(row));
+    }
+    Ok(Batch::from_rows(&out_rows))
+}
+
+/// One partition's `Γ⊎`: group rows, emit key columns plus an offset-encoded
+/// bag column over the projected value columns.
+fn nest_bag_batch(
+    b: &Batch,
+    key: &[String],
+    value_attrs: &[String],
+    out_attr: &str,
+) -> Result<Batch> {
+    tuple_rows_required(b)?;
+    let mut groups: HashMap<Tuple, Vec<usize>> = HashMap::new();
+    let mut order: Vec<Tuple> = Vec::new();
+    for i in 0..b.rows() {
+        let k = group_key_tuple(b, i, key);
+        groups
+            .entry(k.clone())
+            .or_insert_with(|| {
+                order.push(k);
+                Vec::new()
+            })
+            .push(i);
+    }
+    let mut key_rows: Vec<Value> = Vec::with_capacity(order.len());
+    let mut offsets: Vec<u32> = Vec::with_capacity(order.len() + 1);
+    offsets.push(0);
+    let mut elem_idx: Vec<usize> = Vec::new();
+    for k in &order {
+        let members = &groups[k];
+        elem_idx.extend_from_slice(members);
+        offsets.push(elem_idx.len() as u32);
+        key_rows.push(Value::Tuple(k.clone()));
+    }
+    let projected = b.project_fields(value_attrs);
+    let child = projected.take(&elem_idx);
+    let n = key_rows.len();
+    let bag_col = Column::Bag {
+        offsets,
+        elems: crate::batch::BagElems::Rows(Box::new(child)),
+        nulls: Bitmap::zeros(n),
+        absent: Bitmap::zeros(n),
+    };
+    Ok(Batch::from_rows(&key_rows).with_column(out_attr, Arc::new(bag_col)))
+}
+
+// ---------------------------------------------------------------------------
+// joins
+// ---------------------------------------------------------------------------
+
+/// Which physical plan the columnar join takes (mirrors the row engine's
+/// `JoinPath`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColJoinPath {
+    Auto,
+    Shuffle { skew: bool },
+    BroadcastRight { skew: bool },
+}
+
+fn join_impl_col(
+    left: &ColCollection,
+    right: &ColCollection,
+    spec: &JoinSpec,
+    path: ColJoinPath,
+) -> Result<ColCollection> {
+    let limit = left.ctx.config().broadcast_limit;
+    match path {
+        ColJoinPath::BroadcastRight { skew } => broadcast_right_col(left, right, spec, skew),
+        ColJoinPath::Shuffle { skew } => shuffle_join_col(left, right, spec, skew),
+        ColJoinPath::Auto => {
+            if right.logical_bytes() <= limit {
+                broadcast_right_col(left, right, spec, false)
+            } else if spec.kind() == JoinKind::Inner && left.logical_bytes() <= limit {
+                broadcast_left_col(left, right, spec)
+            } else {
+                shuffle_join_col(left, right, spec, false)
+            }
+        }
+    }
+}
+
+/// The right side's output projection: the spec'd fields (existing columns
+/// only, like `Tuple::project`) padded with all-absent columns for spec'd
+/// fields the data lacks, so a NULL extension can still name them.
+fn project_right_batch(b: &Batch, spec: &JoinSpec) -> Batch {
+    match spec.right_fields() {
+        None => b.clone(),
+        Some(fields) => {
+            let mut out = b.project_fields(fields);
+            for f in fields {
+                if out.schema().index_of(f).is_none() {
+                    let n = out.rows();
+                    let mut absent = Bitmap::zeros(n);
+                    for i in 0..n {
+                        absent.set(i);
+                    }
+                    out = out.with_column(
+                        f,
+                        Arc::new(Column::Other {
+                            values: vec![Value::Null; n],
+                            absent,
+                        }),
+                    );
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Whether a missing right match leaves the right fields absent (no
+/// projection configured → empty null extension) or explicit NULLs.
+fn none_is_absent(spec: &JoinSpec) -> bool {
+    spec.right_fields().is_none()
+}
+
+fn meter_broadcast_col(ctx: &DistContext, side: &ColCollection, skew: bool) {
+    let workers = ctx.config().workers.max(1) as u64;
+    ctx.stats().record_broadcast(
+        side.len() as u64 * workers,
+        side.logical_bytes() as u64 * workers,
+        side.physical_bytes() as u64 * workers,
+    );
+    ctx.stats().record_join(if skew {
+        JoinStrategy::SkewBroadcast
+    } else {
+        JoinStrategy::Broadcast
+    });
+}
+
+/// Build-side hash table over a single (concatenated) batch.
+fn build_table(b: &Batch, cols: &[String]) -> Result<HashMap<Vec<Value>, Vec<usize>>> {
+    tuple_rows_required(b)?;
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(b.rows());
+    for i in 0..b.rows() {
+        if let Some(k) = key_at(b, i, cols) {
+            table.entry(k).or_default().push(i);
+        }
+    }
+    Ok(table)
+}
+
+/// Gathers one joined partition: matched pairs (and, for left-outer joins,
+/// unmatched left rows) in left-row order.
+fn gather_joined(
+    lbatch: &Batch,
+    rproj: &Batch,
+    table: &HashMap<Vec<Value>, Vec<usize>>,
+    spec: &JoinSpec,
+) -> Result<Batch> {
+    tuple_rows_required(lbatch)?;
+    let mut lidx: Vec<usize> = Vec::new();
+    let mut ridx: Vec<Option<usize>> = Vec::new();
+    for i in 0..lbatch.rows() {
+        match key_at(lbatch, i, spec.left_keys()).and_then(|k| table.get(&k)) {
+            Some(matches) => {
+                for r in matches {
+                    lidx.push(i);
+                    ridx.push(Some(*r));
+                }
+            }
+            None => {
+                if spec.kind() == JoinKind::LeftOuter {
+                    lidx.push(i);
+                    ridx.push(None);
+                }
+            }
+        }
+    }
+    let left_side = lbatch.take(&lidx);
+    let right_side = rproj.take_opt(&ridx, none_is_absent(spec));
+    Ok(left_side.merge_overwrite(&right_side))
+}
+
+fn broadcast_right_col(
+    left: &ColCollection,
+    right: &ColCollection,
+    spec: &JoinSpec,
+    skew: bool,
+) -> Result<ColCollection> {
+    let ctx = left.ctx.clone();
+    meter_broadcast_col(&ctx, right, skew);
+    let rbatch = Batch::concat(right.partitions());
+    tuple_rows_required(&rbatch)?;
+    let rproj = project_right_batch(&rbatch, spec);
+    let table = build_table(&rbatch, spec.right_keys())?;
+    let parts = run_partitioned(&ctx, left.partitions(), |_, lbatch| {
+        gather_joined(lbatch, &rproj, &table, spec)
+    })?;
+    ColCollection::materialize(ctx, parts)
+}
+
+/// Inner-join variant replicating the (small) left side and probing it from
+/// the right partitions.
+fn broadcast_left_col(
+    left: &ColCollection,
+    right: &ColCollection,
+    spec: &JoinSpec,
+) -> Result<ColCollection> {
+    let ctx = left.ctx.clone();
+    meter_broadcast_col(&ctx, left, false);
+    let lbatch = Batch::concat(left.partitions());
+    tuple_rows_required(&lbatch)?;
+    let table = build_table(&lbatch, spec.left_keys())?;
+    let parts = run_partitioned(&ctx, right.partitions(), |_, rbatch| {
+        tuple_rows_required(rbatch)?;
+        let rproj = project_right_batch(rbatch, spec);
+        let mut lidx: Vec<usize> = Vec::new();
+        let mut ridx: Vec<Option<usize>> = Vec::new();
+        for i in 0..rbatch.rows() {
+            if let Some(matches) = key_at(rbatch, i, spec.right_keys()).and_then(|k| table.get(&k))
+            {
+                for l in matches {
+                    lidx.push(*l);
+                    ridx.push(Some(i));
+                }
+            }
+        }
+        let left_side = lbatch.take(&lidx);
+        let right_side = rproj.take_opt(&ridx, none_is_absent(spec));
+        Ok(left_side.merge_overwrite(&right_side))
+    })?;
+    ColCollection::materialize(ctx, parts)
+}
+
+fn shuffle_join_col(
+    left: &ColCollection,
+    right: &ColCollection,
+    spec: &JoinSpec,
+    skew: bool,
+) -> Result<ColCollection> {
+    let ctx = left.ctx.clone();
+    ctx.stats().record_join(if skew {
+        JoinStrategy::SkewFallback
+    } else {
+        JoinStrategy::Shuffle
+    });
+    // Left rows with NULL/missing keys can never match: inner joins drop
+    // them, outer joins emit them unmatched without shuffling them at all.
+    let mut local_unmatched: Option<Batch> = None;
+    if spec.kind() == JoinKind::LeftOuter {
+        let mut unmatched: Vec<Batch> = Vec::new();
+        for b in left.partitions() {
+            tuple_rows_required(b)?;
+            let mask: Vec<bool> = (0..b.rows())
+                .map(|i| key_at(b, i, spec.left_keys()).is_none())
+                .collect();
+            if mask.iter().any(|m| *m) {
+                let kept = b.filter(&mask);
+                let n = kept.rows();
+                let nulls = project_right_batch(&Batch::empty(), spec)
+                    .take_opt(&vec![None; n], none_is_absent(spec));
+                unmatched.push(kept.merge_overwrite(&nulls));
+            }
+        }
+        if !unmatched.is_empty() {
+            local_unmatched = Some(Batch::concat(&unmatched));
+        }
+    }
+    let keyed = |coll: &ColCollection, cols: &[String]| -> Result<ColCollection> {
+        let cols = cols.to_vec();
+        coll.filter_mask_untimed(&|b: &Batch| {
+            tuple_rows_required(b)?;
+            Ok((0..b.rows())
+                .map(|i| key_at(b, i, &cols).is_some())
+                .collect())
+        })
+    };
+    let keyed_left = keyed(left, spec.left_keys())?;
+    let keyed_right = keyed(right, spec.right_keys())?;
+    let lparts = shuffle_batches(&ctx, keyed_left.partitions(), |b, i| {
+        Ok(hash_key(&key_at(b, i, spec.left_keys()).expect("filtered")))
+    })?;
+    let rparts = shuffle_batches(&ctx, keyed_right.partitions(), |b, i| {
+        Ok(hash_key(
+            &key_at(b, i, spec.right_keys()).expect("filtered"),
+        ))
+    })?;
+    let mut parts = run_partitioned(&ctx, &lparts, |p, lbatch| {
+        let rbatch = &rparts[p];
+        let rproj = project_right_batch(rbatch, spec);
+        let table = build_table(rbatch, spec.right_keys())?;
+        gather_joined(lbatch, &rproj, &table, spec)
+    })?;
+    if let Some(unmatched) = local_unmatched {
+        match parts.first_mut() {
+            Some(first) => *first = Batch::concat(&[std::mem::take(first), unmatched]),
+            None => parts.push(unmatched),
+        }
+    }
+    ColCollection::materialize(ctx, parts)
+}
+
+// ---------------------------------------------------------------------------
+// skew helpers
+// ---------------------------------------------------------------------------
+
+/// Samples key frequencies over batches and returns the keys whose sampled
+/// share reaches the cluster's heavy-key threshold (the columnar counterpart
+/// of [`crate::skew::detect_heavy_keys`], same deterministic stride).
+fn detect_heavy_keys_col(data: &ColCollection, key_cols: &[String]) -> Result<HashSet<Vec<Value>>> {
+    let config = data.ctx.config();
+    let total = data.len();
+    if total == 0 {
+        return Ok(HashSet::new());
+    }
+    let sample_target = config.skew_sample.max(1);
+    let stride = (total / sample_target).max(1);
+    let mut counts: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut sampled = 0usize;
+    let mut global = 0usize;
+    for b in data.partitions() {
+        tuple_rows_required(b)?;
+        for i in 0..b.rows() {
+            let pick = global.is_multiple_of(stride);
+            global += 1;
+            if !pick {
+                continue;
+            }
+            sampled += 1;
+            if let Some(key) = key_at(b, i, key_cols) {
+                *counts.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+    if sampled == 0 {
+        return Ok(HashSet::new());
+    }
+    let threshold = config.heavy_key_threshold();
+    let min_count = (threshold * sampled as f64).max(2.0);
+    Ok(counts
+        .into_iter()
+        .filter(|(_, c)| *c as f64 >= min_count)
+        .map(|(k, _)| k)
+        .collect())
+}
+
+/// Splits a collection into (keys not in `keys`, keys in `keys`) without
+/// moving rows between partitions.
+fn split_by_keys_col(
+    data: &ColCollection,
+    key_cols: &[String],
+    keys: &Arc<HashSet<Vec<Value>>>,
+) -> Result<(ColCollection, ColCollection)> {
+    let masks = |invert: bool| {
+        let keys = Arc::clone(keys);
+        let key_cols = key_cols.to_vec();
+        move |b: &Batch| -> Result<Vec<bool>> {
+            tuple_rows_required(b)?;
+            Ok((0..b.rows())
+                .map(|i| {
+                    let hit = match key_at(b, i, &key_cols) {
+                        Some(k) => keys.contains(&k),
+                        None => false,
+                    };
+                    hit != invert
+                })
+                .collect())
+        }
+    };
+    let light = data.filter_mask_untimed(&masks(true))?;
+    let heavy = data.filter_mask_untimed(&masks(false))?;
+    Ok((light, heavy))
+}

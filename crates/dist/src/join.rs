@@ -2,13 +2,11 @@
 //! smaller side) with automatic broadcast of a small side under the cluster's
 //! broadcast limit.
 
-use std::collections::HashMap;
-
 use trance_nrc::{Tuple, Value};
 
 use crate::error::Result;
 use crate::ops::DistCollection;
-use crate::partition::{hash_key, key_of, run_partitioned, shuffle};
+use crate::partition::{hash_key_ref, key_of_ref, run_partitioned, shuffle, RefKeyTable};
 use crate::stats::JoinStrategy;
 
 /// Inner or left-outer equi-join.
@@ -194,11 +192,14 @@ fn broadcast_right(
 ) -> Result<DistCollection> {
     let ctx = left.context().clone();
     meter_broadcast(&ctx, right, skew);
-    let mut table: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
+    // Build and probe with *borrowed* keys: no key value is cloned per row.
+    let mut table: RefKeyTable<'_, Vec<Tuple>> = RefKeyTable::with_capacity(right.len());
     for row in right.partitions().iter().flatten() {
         let t = row.as_tuple()?;
-        if let Some(key) = key_of(t, spec.right_keys()) {
-            table.entry(key).or_default().push(spec.project_right(t));
+        if let Some(key) = key_of_ref(t, spec.right_keys()) {
+            table
+                .entry_or_insert_with(key, Vec::new)
+                .push(spec.project_right(t));
         }
     }
     let null_right = spec.null_right();
@@ -206,7 +207,7 @@ fn broadcast_right(
         let mut out = Vec::with_capacity(rows.len());
         for row in rows {
             let t = row.as_tuple()?;
-            match key_of(t, spec.left_keys()).and_then(|k| table.get(&k)) {
+            match key_of_ref(t, spec.left_keys()).and_then(|k| table.get(&k)) {
                 Some(matches) => {
                     for r in matches {
                         out.push(Value::Tuple(t.concat(r)));
@@ -233,18 +234,18 @@ fn broadcast_left(
 ) -> Result<DistCollection> {
     let ctx = left.context().clone();
     meter_broadcast(&ctx, left, false);
-    let mut table: HashMap<Vec<Value>, Vec<&Value>> = HashMap::new();
+    let mut table: RefKeyTable<'_, Vec<&Value>> = RefKeyTable::with_capacity(left.len());
     for row in left.partitions().iter().flatten() {
         let t = row.as_tuple()?;
-        if let Some(key) = key_of(t, spec.left_keys()) {
-            table.entry(key).or_default().push(row);
+        if let Some(key) = key_of_ref(t, spec.left_keys()) {
+            table.entry_or_insert_with(key, Vec::new).push(row);
         }
     }
     let parts = run_partitioned(&ctx, right.partitions(), |_, rows| {
         let mut out = Vec::new();
         for row in rows {
             let t = row.as_tuple()?;
-            if let Some(matches) = key_of(t, spec.right_keys()).and_then(|k| table.get(&k)) {
+            if let Some(matches) = key_of_ref(t, spec.right_keys()).and_then(|k| table.get(&k)) {
                 let projected = spec.project_right(t);
                 for l in matches {
                     out.push(Value::Tuple(l.as_tuple()?.concat(&projected)));
@@ -277,22 +278,23 @@ fn shuffle_join(
         let null_right = spec.null_right();
         for row in left.partitions().iter().flatten() {
             let t = row.as_tuple()?;
-            if key_of(t, spec.left_keys()).is_none() {
+            if key_of_ref(t, spec.left_keys()).is_none() {
                 local_unmatched.push(Value::Tuple(t.concat(&null_right)));
             }
         }
     }
-    let keyed_left = left.filter(|row| Ok(key_of(row.as_tuple()?, spec.left_keys()).is_some()))?;
+    let keyed_left =
+        left.filter(|row| Ok(key_of_ref(row.as_tuple()?, spec.left_keys()).is_some()))?;
     let keyed_right =
-        right.filter(|row| Ok(key_of(row.as_tuple()?, spec.right_keys()).is_some()))?;
+        right.filter(|row| Ok(key_of_ref(row.as_tuple()?, spec.right_keys()).is_some()))?;
     let lparts = shuffle(&ctx, keyed_left.partitions(), |row| {
-        Ok(hash_key(
-            &key_of(row.as_tuple()?, spec.left_keys()).expect("filtered"),
+        Ok(hash_key_ref(
+            &key_of_ref(row.as_tuple()?, spec.left_keys()).expect("filtered"),
         ))
     })?;
     let rparts = shuffle(&ctx, keyed_right.partitions(), |row| {
-        Ok(hash_key(
-            &key_of(row.as_tuple()?, spec.right_keys()).expect("filtered"),
+        Ok(hash_key_ref(
+            &key_of_ref(row.as_tuple()?, spec.right_keys()).expect("filtered"),
         ))
     })?;
     let mut parts = run_partitioned(&ctx, &lparts, |p, lrows| {
@@ -312,16 +314,17 @@ fn join_partition(lrows: &[Value], rrows: &[Value], spec: &JoinSpec) -> Result<V
     let mut out = Vec::new();
     let null_right = spec.null_right();
     if lrows.len() <= rrows.len() && spec.kind() == JoinKind::Inner {
-        // Build on the left, probe with the right.
-        let mut table: HashMap<Vec<Value>, Vec<&Value>> = HashMap::with_capacity(lrows.len());
+        // Build on the left, probe with the right; keys stay borrowed on
+        // both sides.
+        let mut table: RefKeyTable<'_, Vec<&Value>> = RefKeyTable::with_capacity(lrows.len());
         for row in lrows {
-            if let Some(key) = key_of(row.as_tuple()?, spec.left_keys()) {
-                table.entry(key).or_default().push(row);
+            if let Some(key) = key_of_ref(row.as_tuple()?, spec.left_keys()) {
+                table.entry_or_insert_with(key, Vec::new).push(row);
             }
         }
         for row in rrows {
             let t = row.as_tuple()?;
-            if let Some(matches) = key_of(t, spec.right_keys()).and_then(|k| table.get(&k)) {
+            if let Some(matches) = key_of_ref(t, spec.right_keys()).and_then(|k| table.get(&k)) {
                 let projected = spec.project_right(t);
                 for l in matches {
                     out.push(Value::Tuple(l.as_tuple()?.concat(&projected)));
@@ -331,16 +334,18 @@ fn join_partition(lrows: &[Value], rrows: &[Value], spec: &JoinSpec) -> Result<V
     } else {
         // Build on the right (always correct for left-outer), probe with the
         // left.
-        let mut table: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::with_capacity(rrows.len());
+        let mut table: RefKeyTable<'_, Vec<Tuple>> = RefKeyTable::with_capacity(rrows.len());
         for row in rrows {
             let t = row.as_tuple()?;
-            if let Some(key) = key_of(t, spec.right_keys()) {
-                table.entry(key).or_default().push(spec.project_right(t));
+            if let Some(key) = key_of_ref(t, spec.right_keys()) {
+                table
+                    .entry_or_insert_with(key, Vec::new)
+                    .push(spec.project_right(t));
             }
         }
         for row in lrows {
             let t = row.as_tuple()?;
-            match key_of(t, spec.left_keys()).and_then(|k| table.get(&k)) {
+            match key_of_ref(t, spec.left_keys()).and_then(|k| table.get(&k)) {
                 Some(matches) => {
                     for r in matches {
                         out.push(Value::Tuple(t.concat(r)));
@@ -360,10 +365,10 @@ fn join_partition(lrows: &[Value], rrows: &[Value], spec: &JoinSpec) -> Result<V
 /// Meters the replication of `side` to every worker and counts the strategy.
 fn meter_broadcast(ctx: &crate::DistContext, side: &DistCollection, skew: bool) {
     let workers = ctx.config().workers.max(1) as u64;
-    ctx.stats().record_broadcast(
-        side.len() as u64 * workers,
-        side.total_bytes() as u64 * workers,
-    );
+    // Rows broadcast as heap values: logical estimate == physical bytes.
+    let bytes = side.total_bytes() as u64 * workers;
+    ctx.stats()
+        .record_broadcast(side.len() as u64 * workers, bytes, bytes);
     ctx.stats().record_join(if skew {
         JoinStrategy::SkewBroadcast
     } else {

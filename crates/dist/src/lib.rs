@@ -19,6 +19,21 @@
 //!   detection, light/heavy splitting, shuffle joins for the light part and
 //!   heavy-key broadcast joins under [`ClusterConfig::with_broadcast_limit`],
 //!   re-merged with [`SkewTriple::merged`].
+//! * [`Batch`] / [`ColCollection`] — the **columnar representation**, the
+//!   default physical layer since the columnar refactor. A batch holds one
+//!   partition's rows as `Arc<Schema>` (attribute names once per batch) plus
+//!   typed columns: `i64`/`f64`/`bool`/date vectors, dictionary-encoded
+//!   strings (one concatenated byte buffer + `u32` offsets and codes), and
+//!   offset-encoded nested-bag columns whose elements form a child batch.
+//!   Validity is two bitmaps per column — `nulls` for explicit NULLs and
+//!   `absent` for attributes a row's tuple never carried, which keeps the
+//!   `Value` ↔ `Batch` round trip lossless. [`ColCollection`] mirrors the
+//!   whole operator suite over batches; its shuffles meter **exact physical
+//!   buffer bytes** ([`StatsSnapshot::shuffled_bytes_phys`]) next to the
+//!   row-equivalent logical estimate, while broadcast planning and the
+//!   memory cap use logical sizes so both representations take identical
+//!   plans. Batch schemas are the attribute sets of the optimized plan
+//!   operators that produce them — the same plans `--explain` renders.
 //!
 //! The engine also simulates the paper's FAIL runs: when a per-worker memory
 //! cap is configured ([`ClusterConfig::with_worker_memory`]), operators whose
@@ -30,6 +45,8 @@ use std::sync::Arc;
 
 use trance_nrc::Value;
 
+pub mod batch;
+pub mod colops;
 pub mod error;
 pub mod join;
 pub mod ops;
@@ -37,6 +54,8 @@ mod partition;
 pub mod skew;
 pub mod stats;
 
+pub use batch::{Batch, Bitmap, Column, FieldHint, Schema, StrDict};
+pub use colops::ColCollection;
 pub use error::{ExecError, Result};
 pub use join::{JoinHint, JoinKind, JoinSpec};
 pub use ops::DistCollection;

@@ -16,7 +16,7 @@ use trance_nrc::{Bag, MemSize, Tuple, Value};
 
 use crate::error::Result;
 use crate::partition::{
-    enforce_memory, hash_key, hash_value, run_partitioned, shuffle, split_round_robin,
+    enforce_memory, hash_key_ref, hash_value, run_partitioned, shuffle, split_round_robin,
 };
 use crate::DistContext;
 
@@ -225,8 +225,7 @@ impl DistCollection {
                 sum_partition(rows, key, values, false)
             })?;
             let shuffled = shuffle(&self.ctx, &partials, |row| {
-                let t = row.as_tuple()?;
-                Ok(hash_key(&clone_key(t, key)))
+                Ok(hash_routing_key(row.as_tuple()?, key))
             })?;
             let parts = run_partitioned(&self.ctx, &shuffled, |_, rows| {
                 sum_partition(rows, key, values, true)
@@ -246,8 +245,7 @@ impl DistCollection {
     ) -> Result<DistCollection> {
         self.timed("nest_bag", || {
             let shuffled = shuffle(&self.ctx, &self.parts, |row| {
-                let t = row.as_tuple()?;
-                Ok(hash_key(&clone_key(t, key)))
+                Ok(hash_routing_key(row.as_tuple()?, key))
             })?;
             let value_refs: Vec<&str> = value_attrs.iter().map(String::as_str).collect();
             let parts = run_partitioned(&self.ctx, &shuffled, |_, rows| {
@@ -290,13 +288,17 @@ fn project_tuple(t: &Tuple, key: &[String]) -> Tuple {
     )
 }
 
-/// Key column values of a row, with NULL standing in for missing columns
-/// (used only for routing hashes, where a stable stand-in is enough).
-fn clone_key(t: &Tuple, key: &[String]) -> Vec<Value> {
-    t.project_values(key)
+/// Routing hash over the key columns of a row, with NULL standing in for
+/// missing columns (a stable stand-in is enough to route) — computed from
+/// borrowed values, no clones.
+fn hash_routing_key(t: &Tuple, key: &[String]) -> u64 {
+    let null = Value::Null;
+    let refs: Vec<&Value> = t
+        .project_values(key)
         .into_iter()
-        .map(|v| v.cloned().unwrap_or(Value::Null))
-        .collect()
+        .map(|v| v.unwrap_or(&null))
+        .collect();
+    hash_key_ref(&refs)
 }
 
 /// One local aggregation pass of [`DistCollection::nest_sum`]: sums the value

@@ -9,6 +9,7 @@
 //! not `'static`.
 
 use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
 
@@ -36,16 +37,37 @@ pub(crate) fn split_round_robin(rows: Vec<Value>, partitions: usize) -> Vec<Vec<
     parts
 }
 
+/// Anything that can report how many rows it holds — lets the scoped-thread
+/// partition runner work over row partitions (`Vec<Value>`) and columnar
+/// partitions ([`crate::batch::Batch`]) alike.
+pub(crate) trait PartRows {
+    /// Number of rows in the partition.
+    fn part_rows(&self) -> usize;
+}
+
+impl PartRows for Vec<Value> {
+    fn part_rows(&self) -> usize {
+        self.len()
+    }
+}
+
+impl PartRows for crate::batch::Batch {
+    fn part_rows(&self) -> usize {
+        self.rows()
+    }
+}
+
 /// Runs `f` once per partition, in parallel across the configured worker
 /// count, and returns the per-partition results in partition order. The first
 /// error (lowest partition index) wins.
-pub(crate) fn run_partitioned<T, F>(ctx: &DistContext, parts: &[Vec<Value>], f: F) -> Result<Vec<T>>
+pub(crate) fn run_partitioned<P, T, F>(ctx: &DistContext, parts: &[P], f: F) -> Result<Vec<T>>
 where
-    F: Fn(usize, &[Value]) -> Result<T> + Send + Sync,
+    P: PartRows + Sync,
+    F: Fn(usize, &P) -> Result<T> + Send + Sync,
     T: Send,
 {
     let workers = ctx.config().workers.max(1);
-    let total_rows: usize = parts.iter().map(Vec::len).sum();
+    let total_rows: usize = parts.iter().map(PartRows::part_rows).sum();
     if workers == 1 || parts.len() <= 1 || total_rows < PARALLEL_THRESHOLD {
         return parts.iter().enumerate().map(|(i, p)| f(i, p)).collect();
     }
@@ -114,21 +136,79 @@ pub(crate) fn hash_key(key: &[Value]) -> u64 {
     h.finish()
 }
 
+/// Hash of a borrowed multi-column key; agrees with [`hash_key`] for equal
+/// values, so probe-side keys never need cloning.
+pub(crate) fn hash_key_ref(key: &[&Value]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for v in key {
+        (*v).hash(&mut h);
+    }
+    h.finish()
+}
+
 /// Extracts the values of `cols` from a row as a join/grouping key.
 ///
 /// Returns `None` when any key column is missing or NULL: such rows can never
 /// satisfy an equality predicate (`NULL = x` is false in the compiled
 /// predicates), so inner joins drop them and outer joins emit them unmatched.
 pub(crate) fn key_of(t: &Tuple, cols: &[String]) -> Option<Vec<Value>> {
+    key_of_ref(t, cols).map(|key| key.into_iter().cloned().collect())
+}
+
+/// Borrowing variant of [`key_of`]: the hash-join build and probe loops use
+/// this so no key value is cloned per row.
+pub(crate) fn key_of_ref<'a>(t: &'a Tuple, cols: &[String]) -> Option<Vec<&'a Value>> {
     let slots = t.project_values(cols);
     let mut key = Vec::with_capacity(cols.len());
     for slot in slots {
         match slot {
             Some(Value::Null) | None => return None,
-            Some(v) => key.push(v.clone()),
+            Some(v) => key.push(v),
         }
     }
     Some(key)
+}
+
+/// A hash table keyed by borrowed multi-column keys, probe-able with keys of
+/// a *different* lifetime (the scoped-thread closures' reborrowed rows):
+/// entries bucket by [`hash_key_ref`] and compare by value. This is what lets
+/// the hash joins build and probe without cloning a single key value.
+pub(crate) struct RefKeyTable<'a, V> {
+    buckets: HashMap<u64, Vec<(Vec<&'a Value>, V)>>,
+}
+
+impl<'a, V> RefKeyTable<'a, V> {
+    pub(crate) fn with_capacity(n: usize) -> Self {
+        RefKeyTable {
+            buckets: HashMap::with_capacity(n),
+        }
+    }
+
+    /// Returns the slot for `key`, inserting `default()` when absent.
+    pub(crate) fn entry_or_insert_with(
+        &mut self,
+        key: Vec<&'a Value>,
+        default: impl FnOnce() -> V,
+    ) -> &mut V {
+        let bucket = self.buckets.entry(hash_key_ref(&key)).or_default();
+        match bucket.iter().position(|(k, _)| k == &key) {
+            Some(i) => &mut bucket[i].1,
+            None => {
+                bucket.push((key, default()));
+                &mut bucket.last_mut().expect("just pushed").1
+            }
+        }
+    }
+
+    /// Looks up a probe key of any lifetime.
+    pub(crate) fn get(&self, key: &[&Value]) -> Option<&V> {
+        self.buckets.get(&hash_key_ref(key)).and_then(|bucket| {
+            bucket
+                .iter()
+                .find(|(k, _)| k.len() == key.len() && k.iter().zip(key).all(|(a, b)| *a == *b))
+                .map(|(_, v)| v)
+        })
+    }
 }
 
 /// Repartitions rows by `route` (a hash per row), metering the move as a
@@ -162,6 +242,8 @@ where
             out[target].extend(bucket);
         }
     }
-    ctx.stats().record_shuffle(tuples, bytes);
+    // Rows ship as heap values: the logical estimate *is* the physical
+    // representation, so both counters advance by the same amount.
+    ctx.stats().record_shuffle(tuples, bytes, bytes);
     Ok(out)
 }

@@ -42,8 +42,10 @@ pub struct OpTiming {
 pub struct Stats {
     shuffled_tuples: AtomicU64,
     shuffled_bytes: AtomicU64,
+    shuffled_bytes_phys: AtomicU64,
     broadcast_tuples: AtomicU64,
     broadcast_bytes: AtomicU64,
+    broadcast_bytes_phys: AtomicU64,
     shuffle_joins: AtomicU64,
     broadcast_joins: AtomicU64,
     skew_broadcast_joins: AtomicU64,
@@ -61,8 +63,10 @@ impl Stats {
     pub fn reset(&self) {
         self.shuffled_tuples.store(0, Ordering::Relaxed);
         self.shuffled_bytes.store(0, Ordering::Relaxed);
+        self.shuffled_bytes_phys.store(0, Ordering::Relaxed);
         self.broadcast_tuples.store(0, Ordering::Relaxed);
         self.broadcast_bytes.store(0, Ordering::Relaxed);
+        self.broadcast_bytes_phys.store(0, Ordering::Relaxed);
         self.shuffle_joins.store(0, Ordering::Relaxed);
         self.broadcast_joins.store(0, Ordering::Relaxed);
         self.skew_broadcast_joins.store(0, Ordering::Relaxed);
@@ -71,15 +75,29 @@ impl Stats {
     }
 
     /// Meters rows moving through a shuffle (repartition-by-key).
-    pub fn record_shuffle(&self, tuples: u64, bytes: u64) {
+    ///
+    /// `bytes` is the *logical* volume — the row-equivalent
+    /// `Value::mem_size` estimate both representations report so their cells
+    /// stay comparable. `phys_bytes` is the *exact physical* buffer volume
+    /// actually shipped: for the row representation the two coincide (rows
+    /// ship as heap values), for the columnar representation it is the batch
+    /// buffer size with the schema and string dictionaries counted once per
+    /// batch.
+    pub fn record_shuffle(&self, tuples: u64, bytes: u64, phys_bytes: u64) {
         self.shuffled_tuples.fetch_add(tuples, Ordering::Relaxed);
         self.shuffled_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.shuffled_bytes_phys
+            .fetch_add(phys_bytes, Ordering::Relaxed);
     }
 
-    /// Meters a dataset replicated to every worker.
-    pub fn record_broadcast(&self, tuples: u64, bytes: u64) {
+    /// Meters a dataset replicated to every worker. `bytes` / `phys_bytes`
+    /// follow the same logical-vs-physical split as
+    /// [`Stats::record_shuffle`].
+    pub fn record_broadcast(&self, tuples: u64, bytes: u64, phys_bytes: u64) {
         self.broadcast_tuples.fetch_add(tuples, Ordering::Relaxed);
         self.broadcast_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.broadcast_bytes_phys
+            .fetch_add(phys_bytes, Ordering::Relaxed);
     }
 
     /// Counts which physical strategy a join execution took.
@@ -106,8 +124,10 @@ impl Stats {
         StatsSnapshot {
             shuffled_tuples: self.shuffled_tuples.load(Ordering::Relaxed),
             shuffled_bytes: self.shuffled_bytes.load(Ordering::Relaxed),
+            shuffled_bytes_phys: self.shuffled_bytes_phys.load(Ordering::Relaxed),
             broadcast_tuples: self.broadcast_tuples.load(Ordering::Relaxed),
             broadcast_bytes: self.broadcast_bytes.load(Ordering::Relaxed),
+            broadcast_bytes_phys: self.broadcast_bytes_phys.load(Ordering::Relaxed),
             shuffle_joins: self.shuffle_joins.load(Ordering::Relaxed),
             broadcast_joins: self.broadcast_joins.load(Ordering::Relaxed),
             skew_broadcast_joins: self.skew_broadcast_joins.load(Ordering::Relaxed),
@@ -128,12 +148,19 @@ impl fmt::Debug for Stats {
 pub struct StatsSnapshot {
     /// Rows moved through shuffles.
     pub shuffled_tuples: u64,
-    /// Estimated bytes moved through shuffles.
+    /// Logical (row-equivalent `Value::mem_size`) bytes moved through
+    /// shuffles — comparable across representations.
     pub shuffled_bytes: u64,
+    /// Exact physical buffer bytes moved through shuffles (schema and string
+    /// dictionaries counted once per batch on the columnar path; equal to
+    /// `shuffled_bytes` on the row path).
+    pub shuffled_bytes_phys: u64,
     /// Rows replicated by broadcasts (counted once per receiving worker).
     pub broadcast_tuples: u64,
-    /// Estimated bytes replicated by broadcasts.
+    /// Logical (row-equivalent) bytes replicated by broadcasts.
     pub broadcast_bytes: u64,
+    /// Exact physical buffer bytes replicated by broadcasts.
+    pub broadcast_bytes_phys: u64,
     /// Joins executed as partitioned shuffle hash joins.
     pub shuffle_joins: u64,
     /// Joins executed by broadcasting the small side.
@@ -171,16 +198,18 @@ mod tests {
     #[test]
     fn counters_accumulate_and_reset() {
         let stats = Stats::new();
-        stats.record_shuffle(10, 1000);
-        stats.record_shuffle(5, 500);
-        stats.record_broadcast(3, 300);
+        stats.record_shuffle(10, 1000, 400);
+        stats.record_shuffle(5, 500, 200);
+        stats.record_broadcast(3, 300, 120);
         stats.record_join(JoinStrategy::Shuffle);
         stats.record_join(JoinStrategy::SkewBroadcast);
         stats.record_op("map", Duration::from_micros(42));
         let snap = stats.snapshot();
         assert_eq!(snap.shuffled_tuples, 15);
         assert_eq!(snap.shuffled_bytes, 1500);
+        assert_eq!(snap.shuffled_bytes_phys, 600);
         assert_eq!(snap.broadcast_bytes, 300);
+        assert_eq!(snap.broadcast_bytes_phys, 120);
         assert_eq!(snap.shuffle_joins, 1);
         assert_eq!(snap.skew_broadcast_joins, 1);
         assert!(snap.used_broadcast());

@@ -167,6 +167,13 @@ impl Tuple {
         self.fields.iter().map(|(n, v)| (n.as_str(), v))
     }
 
+    /// Immutable view of the `(name, value)` pairs in attribute order — the
+    /// converter entry point used by columnar batch builders, which need
+    /// indexed access to a row's fields without the iterator adaptor.
+    pub fn fields(&self) -> &[(String, Value)] {
+        &self.fields
+    }
+
     /// Attribute names in order.
     pub fn field_names(&self) -> Vec<&str> {
         self.fields.iter().map(|(n, _)| n.as_str()).collect()
@@ -680,14 +687,29 @@ impl MemSize for Value {
             Value::Int(_) | Value::Real(_) | Value::Date(_) => 8,
             Value::Str(s) => 24 + s.len(),
             Value::Label(l) => 8 + l.values.iter().map(MemSize::mem_size).sum::<usize>(),
-            Value::Tuple(t) => {
-                16 + t
-                    .iter()
-                    .map(|(n, v)| n.len() + 8 + v.mem_size())
-                    .sum::<usize>()
-            }
-            Value::Bag(b) => 24 + b.iter().map(MemSize::mem_size).sum::<usize>(),
+            Value::Tuple(t) => t.mem_size(),
+            Value::Bag(b) => b.mem_size(),
         }
+    }
+}
+
+/// Tuples charge 16 bytes of structure plus, per attribute, the name bytes,
+/// an 8-byte slot and the value itself. Exposed directly (not only through
+/// [`Value`]) so columnar converters can account for the row-equivalent size
+/// of data they no longer store as tuples.
+impl MemSize for Tuple {
+    fn mem_size(&self) -> usize {
+        16 + self
+            .iter()
+            .map(|(n, v)| n.len() + 8 + v.mem_size())
+            .sum::<usize>()
+    }
+}
+
+/// Bags charge 24 bytes of structure plus their elements.
+impl MemSize for Bag {
+    fn mem_size(&self) -> usize {
+        24 + self.iter().map(MemSize::mem_size).sum::<usize>()
     }
 }
 
