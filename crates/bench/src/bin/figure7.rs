@@ -2,12 +2,19 @@
 //! depths 0–4 under each strategy.
 //!
 //! Usage: `figure7 [--schema narrow|wide] [--family <name>|all] [--scale F] [--memory-factor F]
-//! [--explain [--depth N]]`
+//! [--partitions N] [--memory BYTES] [--spill] [--explain [--depth N]]`
+//!
+//! `--memory` sets an absolute per-worker cap (overriding the
+//! input-proportional `--memory-factor`), `--partitions` the shuffle
+//! partition count, and `--spill` enables the out-of-core subsystem so
+//! capped cells complete (with spill metrics) instead of printing FAIL.
 //!
 //! With `--explain` the binary prints, instead of the timing table, the
 //! optimized plans each strategy executes at `--depth` (default 2).
 
-use trance_bench::{cli_arg, cli_flag, run_tpch_query, tpch_input_set, Family};
+use trance_bench::{
+    cli_arg, cli_flag, cli_tuning, run_tpch_query_tuned, tpch_input_set_tuned, Family,
+};
 use trance_compiler::{explain_query, Strategy};
 use trance_tpch::{QueryVariant, TpchConfig};
 
@@ -16,6 +23,7 @@ fn main() {
     let family_arg = cli_arg("--family", "all");
     let scale: f64 = cli_arg("--scale", "0.3").parse().unwrap();
     let memory_factor: f64 = cli_arg("--memory-factor", "3.0").parse().unwrap();
+    let tuning = cli_tuning();
     let variant = if schema == "wide" {
         QueryVariant::Wide
     } else {
@@ -36,7 +44,8 @@ fn main() {
         let depth: usize = cli_arg("--depth", "2").parse().unwrap();
         let cfg = TpchConfig::new(scale, 0);
         for family in families {
-            let (inputs, spec) = tpch_input_set(&cfg, family, depth, variant, memory_factor);
+            let (inputs, spec) =
+                tpch_input_set_tuned(&cfg, family, depth, variant, memory_factor, &tuning);
             for s in &strategies {
                 match explain_query(&spec, &inputs, *s) {
                     Ok(text) => println!("{text}\n"),
@@ -57,7 +66,15 @@ fn main() {
         println!();
         for depth in 0..=4usize {
             let cfg = TpchConfig::new(scale, 0);
-            let rows = run_tpch_query(&cfg, family, depth, variant, &strategies, memory_factor);
+            let rows = run_tpch_query_tuned(
+                &cfg,
+                family,
+                depth,
+                variant,
+                &strategies,
+                memory_factor,
+                &tuning,
+            );
             print!("{depth:>6}");
             for r in &rows {
                 print!(" | {} {}", r.time_cell(), r.shuffle_cell());

@@ -2,19 +2,23 @@
 //! nesting on increasingly skewed datasets (skew factor 0–4), with and without
 //! skew-aware processing.
 //!
-//! Usage: `figure8 [--scale F] [--memory-factor F] [--explain [--skew N]]`
+//! Usage: `figure8 [--scale F] [--memory-factor F] [--partitions N] [--memory BYTES]
+//! [--spill] [--explain [--skew N]]`
 //!
 //! With `--explain` the binary prints, instead of the timing table, the
 //! optimized plans each strategy executes at skew factor `--skew` (default 3)
 //! — including the `[skew]` join annotations the skew-aware strategies get.
 
-use trance_bench::{cli_arg, cli_flag, run_tpch_query, tpch_input_set, Family};
+use trance_bench::{
+    cli_arg, cli_flag, cli_tuning, run_tpch_query_tuned, tpch_input_set_tuned, Family,
+};
 use trance_compiler::{explain_query, Strategy};
 use trance_tpch::{QueryVariant, TpchConfig};
 
 fn main() {
     let scale: f64 = cli_arg("--scale", "0.3").parse().unwrap();
     let memory_factor: f64 = cli_arg("--memory-factor", "3.0").parse().unwrap();
+    let tuning = cli_tuning();
     let strategies = [
         Strategy::ShredUnshred,
         Strategy::Shred,
@@ -27,12 +31,13 @@ fn main() {
     if cli_flag("--explain") {
         let skew: u32 = cli_arg("--skew", "3").parse().unwrap();
         let cfg = TpchConfig::new(scale, skew);
-        let (inputs, spec) = tpch_input_set(
+        let (inputs, spec) = tpch_input_set_tuned(
             &cfg,
             Family::NestedToNested,
             2,
             QueryVariant::Narrow,
             memory_factor,
+            &tuning,
         );
         for s in &strategies {
             match explain_query(&spec, &inputs, *s) {
@@ -51,13 +56,14 @@ fn main() {
     println!();
     for skew in 0..=4u32 {
         let cfg = TpchConfig::new(scale, skew);
-        let rows = run_tpch_query(
+        let rows = run_tpch_query_tuned(
             &cfg,
             Family::NestedToNested,
             2,
             QueryVariant::Narrow,
             &strategies,
             memory_factor,
+            &tuning,
         );
         print!("{skew:>5}");
         for r in &rows {

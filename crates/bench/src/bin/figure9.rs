@@ -1,18 +1,22 @@
 //! Reproduces Figure 9: the five-step biomedical end-to-end pipeline on the
 //! small and full datasets, per strategy and per step.
 //!
-//! Usage: `figure9 [--memory-factor F] [--scale F] [--explain]`
+//! Usage: `figure9 [--memory-factor F] [--scale F] [--partitions N] [--memory BYTES]
+//! [--spill] [--explain]`
 //!
 //! With `--explain` the binary prints, instead of the timing table, the
 //! optimized plans each pipeline step executes per strategy (small dataset).
 
-use trance_bench::{cli_arg, cli_flag, explain_biomed_pipeline, run_biomed_pipeline};
+use trance_bench::{
+    cli_arg, cli_flag, cli_tuning, explain_biomed_pipeline, run_biomed_pipeline_tuned,
+};
 use trance_biomed::BiomedConfig;
 use trance_compiler::Strategy;
 
 fn main() {
     let memory_factor: f64 = cli_arg("--memory-factor", "12.0").parse().unwrap();
     let scale: f64 = cli_arg("--scale", "1.0").parse().unwrap();
+    let tuning = cli_tuning();
     let strategies = [Strategy::Shred, Strategy::Standard, Strategy::Baseline];
     if cli_flag("--explain") {
         let cfg = BiomedConfig::small().scaled(scale);
@@ -30,7 +34,7 @@ fn main() {
     ] {
         println!("== Figure 9: E2E pipeline, {label} ==");
         for strategy in strategies {
-            let row = run_biomed_pipeline(&cfg, strategy, memory_factor);
+            let row = run_biomed_pipeline_tuned(&cfg, strategy, memory_factor, &tuning);
             print!("{:>14}:", strategy.label());
             for (step, d) in &row.steps {
                 match d {

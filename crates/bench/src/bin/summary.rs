@@ -7,11 +7,15 @@
 //! number exactly when `status` is `ok` and `null` only for failed runs (the
 //! paper's FAIL cells, whose shuffle counters still reflect the work done
 //! before the memory cap hit). `op_ms` breaks the run down per engine
-//! operator.
+//! operator. `spill` / `spilled_bytes` / `spill_files` / `spill_ms` describe
+//! the out-of-core subsystem: the `-capped` rows re-run the three FAIL cells
+//! on a spill-capable cluster at the same cap, spill off (still FAIL) and
+//! spill on (ok, differentially checked against an uncapped oracle via
+//! `results_match_uncapped`).
 
 use std::fmt::Write as _;
 
-use trance_bench::{run_tpch_query, run_tpch_query_repr, BenchRow, Family};
+use trance_bench::{run_capped_cells, run_tpch_query, run_tpch_query_repr, BenchRow, Family};
 use trance_compiler::Strategy;
 use trance_tpch::{QueryVariant, TpchConfig};
 
@@ -29,7 +33,23 @@ fn ratio(a: Option<std::time::Duration>, b: Option<std::time::Duration>) -> Stri
 struct JsonCell {
     query: String,
     repr: &'static str,
+    /// Whether the out-of-core subsystem was enabled for this run.
+    spill: &'static str,
+    /// For capped spill-on runs: did the result match the uncapped oracle?
+    results_match: Option<bool>,
     row: BenchRow,
+}
+
+impl JsonCell {
+    fn new(query: String, repr: &'static str, row: BenchRow) -> JsonCell {
+        JsonCell {
+            query,
+            repr,
+            spill: "off",
+            results_match: None,
+            row,
+        }
+    }
 }
 
 /// Renders the collected cells as a JSON document (the workspace builds
@@ -58,6 +78,10 @@ fn render_json(cells: &[JsonCell]) -> String {
         } else {
             0.0
         };
+        let results_match = match cell.results_match {
+            Some(m) => format!(", \"results_match_uncapped\": {m}"),
+            None => String::new(),
+        };
         let _ = writeln!(
             out,
             "    {{\"query\": \"{}\", \"strategy\": \"{}\", \"repr\": \"{}\", \
@@ -68,6 +92,8 @@ fn render_json(cells: &[JsonCell]) -> String {
              \"broadcast_bytes_phys\": {}, \
              \"shuffle_joins\": {}, \"broadcast_joins\": {}, \
              \"skew_broadcast_joins\": {}, \"skew_fallback_joins\": {}, \
+             \"spill\": \"{}\", \"spilled_bytes\": {}, \"spill_files\": {}, \
+             \"spill_ms\": {:.3}{}, \
              \"op_ms\": {{{}}}}}{}",
             escape(&cell.query),
             escape(cell.row.strategy.label()),
@@ -85,6 +111,11 @@ fn render_json(cells: &[JsonCell]) -> String {
             s.broadcast_joins,
             s.skew_broadcast_joins,
             s.skew_fallback_joins,
+            cell.spill,
+            s.spilled_bytes,
+            s.spill_files,
+            s.spill_ms(),
+            results_match,
             op_ms,
             if i + 1 < cells.len() { "," } else { "" },
         );
@@ -120,11 +151,10 @@ fn main() {
             standard.stats.shuffled_bytes.max(1) as f64 / shred.stats.shuffled_bytes.max(1) as f64,
         );
         let query = format!("{family:?}-depth{depth}-Wide-scale0.3");
-        cells.extend(rows.into_iter().map(|row| JsonCell {
-            query: query.clone(),
-            repr: "columnar",
-            row,
-        }));
+        cells.extend(
+            rows.into_iter()
+                .map(|row| JsonCell::new(query.clone(), "columnar", row)),
+        );
     }
     // Optimizer-on vs optimizer-off at a scale where both runs complete: the
     // plan optimizer (column pruning + pushdown) must strictly reduce the
@@ -141,10 +171,12 @@ fn main() {
         "NestedToNested     depth 2 (narrow): standard shuffle / baseline shuffle = {:.2}x",
         rows[0].stats.shuffled_bytes.max(1) as f64 / rows[1].stats.shuffled_bytes.max(1) as f64
     );
-    cells.extend(rows.into_iter().map(|row| JsonCell {
-        query: "NestedToNested-depth2-Narrow-scale0.3".to_string(),
-        repr: "columnar",
-        row,
+    cells.extend(rows.into_iter().map(|row| {
+        JsonCell::new(
+            "NestedToNested-depth2-Narrow-scale0.3".to_string(),
+            "columnar",
+            row,
+        )
     }));
 
     // Row-vs-columnar representation pair: the same Wide STANDARD cell run
@@ -165,10 +197,12 @@ fn main() {
             "representation {label:>8}: STANDARD wide shuffles {} physical bytes ({} logical)",
             rows[0].stats.shuffled_bytes_phys, rows[0].stats.shuffled_bytes
         );
-        cells.extend(rows.into_iter().map(|row| JsonCell {
-            query: "NestedToNested-depth2-Wide-scale0.3-repr".to_string(),
-            repr: label,
-            row,
+        cells.extend(rows.into_iter().map(|row| {
+            JsonCell::new(
+                "NestedToNested-depth2-Wide-scale0.3-repr".to_string(),
+                label,
+                row,
+            )
         }));
     }
 
@@ -186,11 +220,41 @@ fn main() {
         "skew factor 3      depth 2: shred shuffle / shred-skew shuffle = {:.1}x",
         rows[0].stats.shuffled_bytes.max(1) as f64 / rows[1].stats.shuffled_bytes.max(1) as f64
     );
-    cells.extend(rows.into_iter().map(|row| JsonCell {
-        query: "NestedToNested-depth2-Narrow-scale0.3-skew3".to_string(),
-        repr: "columnar",
-        row,
+    cells.extend(rows.into_iter().map(|row| {
+        JsonCell::new(
+            "NestedToNested-depth2-Narrow-scale0.3-skew3".to_string(),
+            "columnar",
+            row,
+        )
     }));
+
+    // Capped mode: the three FAIL cells re-run on a spill-capable cluster at
+    // the same cap — FAIL (spill off) next to ok-with-spill (spill on), the
+    // paper's story plus the engineering answer to it. The spill-on result is
+    // differentially checked against an uncapped in-memory oracle.
+    for cell in run_capped_cells(&cfg, 3.0) {
+        let query = format!("{:?}-depth2-Wide-scale0.3-capped", cell.family);
+        println!(
+            "capped {:<15} {:>13}: spill off = {}, spill on = {} ms \
+             ({} spilled bytes, {} files, {:.1} ms I/O, oracle match = {})",
+            format!("{:?}", cell.family),
+            cell.strategy.label(),
+            cell.spill_off.time_cell().trim(),
+            cell.spill_on.time_cell().trim(),
+            cell.spill_on.stats.spilled_bytes,
+            cell.spill_on.stats.spill_files,
+            cell.spill_on.stats.spill_ms(),
+            cell.results_match_uncapped,
+        );
+        cells.push(JsonCell::new(query.clone(), "columnar", cell.spill_off));
+        cells.push(JsonCell {
+            query,
+            repr: "columnar",
+            spill: "on",
+            results_match: Some(cell.results_match_uncapped),
+            row: cell.spill_on,
+        });
+    }
 
     let json = render_json(&cells);
     match std::fs::write("BENCH_summary.json", &json) {

@@ -5,7 +5,8 @@ use std::time::Duration;
 
 use trance_biomed::{BiomedConfig, BiomedData};
 use trance_compiler::{
-    run_query, run_query_repr, InputSet, QuerySpec, RunOutcome, RunResult, Strategy,
+    run_query, run_query_repr, run_query_spill, InputSet, QuerySpec, RunOutcome, RunResult,
+    Strategy,
 };
 use trance_dist::{ClusterConfig, DistContext, StatsSnapshot};
 use trance_nrc::{eval, Bag, Env, MemSize, Value};
@@ -94,18 +95,46 @@ fn outcome_to_row(outcome: RunOutcome) -> BenchRow {
     }
 }
 
+/// Command-line overrides of the simulated cluster shape shared by the
+/// figure binaries (see `trance_bench::cli_tuning`).
+#[derive(Debug, Clone, Default)]
+pub struct ClusterTuning {
+    /// Overrides the number of hash partitions (default 16).
+    pub partitions: Option<usize>,
+    /// Absolute per-worker memory cap in bytes, overriding the
+    /// input-proportional `--memory-factor` formula.
+    pub memory_bytes: Option<usize>,
+    /// Enables the out-of-core spill subsystem on the cluster.
+    pub spill: bool,
+}
+
 /// The default simulated cluster used by every figure: 4 workers, 16 shuffle
 /// partitions, a small broadcast threshold (so joins actually shuffle), and a
 /// per-worker memory cap proportional to the input size so that strategies
 /// which blow up the flattened representation fail exactly as in the paper.
 pub fn default_cluster(input_bytes: usize, memory_factor: f64) -> DistContext {
+    default_cluster_tuned(input_bytes, memory_factor, &ClusterTuning::default())
+}
+
+/// [`default_cluster`] with CLI-provided overrides applied.
+pub fn default_cluster_tuned(
+    input_bytes: usize,
+    memory_factor: f64,
+    tuning: &ClusterTuning,
+) -> DistContext {
     // 4 KiB keeps even the small dimension tables over the limit at the
     // benchmark scales, so ordinary joins shuffle and only the skew path's
     // heavy-key subsets qualify for broadcast.
-    let mut cfg = ClusterConfig::new(4, 16).with_broadcast_limit(4 * 1024);
-    if memory_factor > 0.0 {
+    let mut cfg =
+        ClusterConfig::new(4, tuning.partitions.unwrap_or(16)).with_broadcast_limit(4 * 1024);
+    if let Some(bytes) = tuning.memory_bytes {
+        cfg = cfg.with_worker_memory(bytes);
+    } else if memory_factor > 0.0 {
         let per_worker = ((input_bytes as f64 / cfg.workers as f64) * memory_factor) as usize;
         cfg = cfg.with_worker_memory(per_worker.max(64 * 1024));
+    }
+    if tuning.spill {
+        cfg = cfg.with_spill();
     }
     DistContext::new(cfg)
 }
@@ -154,6 +183,25 @@ pub fn tpch_input_set(
     variant: QueryVariant,
     memory_factor: f64,
 ) -> (InputSet, QuerySpec) {
+    tpch_input_set_tuned(
+        config,
+        family,
+        depth,
+        variant,
+        memory_factor,
+        &ClusterTuning::default(),
+    )
+}
+
+/// [`tpch_input_set`] with CLI-provided cluster overrides applied.
+pub fn tpch_input_set_tuned(
+    config: &TpchConfig,
+    family: Family,
+    depth: usize,
+    variant: QueryVariant,
+    memory_factor: f64,
+    tuning: &ClusterTuning,
+) -> (InputSet, QuerySpec) {
     let (env, flat_bytes) = tpch_env(config);
     let (query, nested_decls, nested_input) = match family {
         Family::FlatToNested => (flat_to_nested(depth, variant), vec![], None),
@@ -178,7 +226,7 @@ pub fn tpch_input_set(
         .as_ref()
         .map(|b| b.iter().map(MemSize::mem_size).sum())
         .unwrap_or(0);
-    let ctx = default_cluster(flat_bytes + nested_bytes, memory_factor);
+    let ctx = default_cluster_tuned(flat_bytes + nested_bytes, memory_factor, tuning);
     let mut inputs = InputSet::new(ctx);
     for name in ["Lineitem", "Orders", "Customer", "Nation", "Region", "Part"] {
         inputs
@@ -241,6 +289,99 @@ pub fn run_tpch_query_repr(
         .collect()
 }
 
+/// [`run_tpch_query`] on a CLI-tuned cluster (partitions / absolute memory
+/// cap / spill subsystem).
+pub fn run_tpch_query_tuned(
+    config: &TpchConfig,
+    family: Family,
+    depth: usize,
+    variant: QueryVariant,
+    strategies: &[Strategy],
+    memory_factor: f64,
+    tuning: &ClusterTuning,
+) -> Vec<BenchRow> {
+    let (inputs, spec) =
+        tpch_input_set_tuned(config, family, depth, variant, memory_factor, tuning);
+    strategies
+        .iter()
+        .map(|s| outcome_to_row(run_query(&spec, &inputs, *s)))
+        .collect()
+}
+
+/// One memory-capped cell run both ways on a spill-capable cluster: spill
+/// off (reproducing the paper's FAIL) and spill on (completing out-of-core),
+/// with the spill-on result differentially checked against an uncapped
+/// in-memory oracle run.
+#[derive(Debug, Clone)]
+pub struct CappedCell {
+    /// Query family of the cell.
+    pub family: Family,
+    /// Strategy of the cell.
+    pub strategy: Strategy,
+    /// The run with spilling disabled (expected: FAIL).
+    pub spill_off: BenchRow,
+    /// The run with spilling enabled (expected: ok, `spilled_bytes > 0`).
+    pub spill_on: BenchRow,
+    /// Whether the spill-on result matched the uncapped oracle
+    /// (multiset-equal up to float-summation order).
+    pub results_match_uncapped: bool,
+}
+
+/// Re-runs the three cells that FAIL under the default memory cap
+/// (FlatToNested-Wide STANDARD + SPARKSQL-LIKE, NestedToNested-Wide
+/// SPARKSQL-LIKE) on a spill-capable cluster at the **same cap**: spill off
+/// must still FAIL, spill on must complete with results identical to an
+/// uncapped oracle run.
+pub fn run_capped_cells(config: &TpchConfig, memory_factor: f64) -> Vec<CappedCell> {
+    let cells = [
+        (Family::FlatToNested, Strategy::Standard),
+        (Family::FlatToNested, Strategy::Baseline),
+        (Family::NestedToNested, Strategy::Baseline),
+    ];
+    let mut out = Vec::new();
+    for (family, strategy) in cells {
+        // Uncapped in-memory oracle.
+        let (oracle_inputs, oracle_spec) =
+            tpch_input_set(config, family, 2, QueryVariant::Wide, 0.0);
+        let oracle = run_query(&oracle_spec, &oracle_inputs, strategy);
+        let oracle_bag = match &oracle.result {
+            RunResult::Nested(d) => Some(d.collect_bag()),
+            _ => None,
+        };
+
+        // The capped, spill-capable cluster (same memory factor as the
+        // figure runs that FAIL).
+        let tuning = ClusterTuning {
+            spill: true,
+            ..ClusterTuning::default()
+        };
+        let (inputs, spec) = tpch_input_set_tuned(
+            config,
+            family,
+            2,
+            QueryVariant::Wide,
+            memory_factor,
+            &tuning,
+        );
+        let off = run_query_spill(&spec, &inputs, strategy, false);
+        let on = run_query_spill(&spec, &inputs, strategy, true);
+        let results_match_uncapped = match (&oracle_bag, &on.result) {
+            (Some(expected), RunResult::Nested(d)) => {
+                trance_nrc::bags_approx_equal(expected, &d.collect_bag())
+            }
+            _ => false,
+        };
+        out.push(CappedCell {
+            family,
+            strategy,
+            spill_off: outcome_to_row(off),
+            spill_on: outcome_to_row(on),
+            results_match_uncapped,
+        });
+    }
+    out
+}
+
 // ---------------------------------------------------------------------------
 // biomedical pipeline
 // ---------------------------------------------------------------------------
@@ -271,6 +412,15 @@ impl PipelineRow {
 
 /// Builds the distributed input set for the biomedical benchmark.
 pub fn biomed_input_set(config: &BiomedConfig, memory_factor: f64) -> (InputSet, BiomedData) {
+    biomed_input_set_tuned(config, memory_factor, &ClusterTuning::default())
+}
+
+/// [`biomed_input_set`] with CLI-provided cluster overrides applied.
+pub fn biomed_input_set_tuned(
+    config: &BiomedConfig,
+    memory_factor: f64,
+    tuning: &ClusterTuning,
+) -> (InputSet, BiomedData) {
     let data = trance_biomed::generate(config);
     let bytes: usize = [
         &data.occurrences,
@@ -282,7 +432,7 @@ pub fn biomed_input_set(config: &BiomedConfig, memory_factor: f64) -> (InputSet,
     .iter()
     .map(|b| b.iter().map(MemSize::mem_size).sum::<usize>())
     .sum();
-    let ctx = default_cluster(bytes, memory_factor);
+    let ctx = default_cluster_tuned(bytes, memory_factor, tuning);
     let mut inputs = InputSet::new(ctx);
     inputs
         .add_nested("Occurrences", data.occurrences.clone())
@@ -306,7 +456,17 @@ pub fn run_biomed_pipeline(
     strategy: Strategy,
     memory_factor: f64,
 ) -> PipelineRow {
-    run_biomed_pipeline_impl(config, strategy, memory_factor, None)
+    run_biomed_pipeline_tuned(config, strategy, memory_factor, &ClusterTuning::default())
+}
+
+/// [`run_biomed_pipeline`] on a CLI-tuned cluster.
+pub fn run_biomed_pipeline_tuned(
+    config: &BiomedConfig,
+    strategy: Strategy,
+    memory_factor: f64,
+    tuning: &ClusterTuning,
+) -> PipelineRow {
+    run_biomed_pipeline_impl(config, strategy, memory_factor, tuning, None)
 }
 
 /// Runs the pipeline like [`run_biomed_pipeline`] while capturing, per step,
@@ -317,7 +477,13 @@ pub fn explain_biomed_pipeline(
     memory_factor: f64,
 ) -> Vec<(String, String)> {
     let mut explains = Vec::new();
-    run_biomed_pipeline_impl(config, strategy, memory_factor, Some(&mut explains));
+    run_biomed_pipeline_impl(
+        config,
+        strategy,
+        memory_factor,
+        &ClusterTuning::default(),
+        Some(&mut explains),
+    );
     explains
 }
 
@@ -325,9 +491,10 @@ fn run_biomed_pipeline_impl(
     config: &BiomedConfig,
     strategy: Strategy,
     memory_factor: f64,
+    tuning: &ClusterTuning,
     mut explains: Option<&mut Vec<(String, String)>>,
 ) -> PipelineRow {
-    let (mut inputs, _) = biomed_input_set(config, memory_factor);
+    let (mut inputs, _) = biomed_input_set_tuned(config, memory_factor, tuning);
     let structures: HashMap<&str, trance_shred::NestingStructure> = HashMap::from([
         ("Occurrences", trance_biomed::occurrences_structure()),
         ("Network", trance_biomed::network_structure()),

@@ -21,22 +21,40 @@
 pub mod harness;
 
 pub use harness::{
-    biomed_input_set, default_cluster, explain_biomed_pipeline, materialize_nested_input,
-    run_biomed_pipeline, run_tpch_query, run_tpch_query_repr, tpch_input_set, BenchRow, Family,
-    PipelineRow,
+    biomed_input_set, biomed_input_set_tuned, default_cluster, default_cluster_tuned,
+    explain_biomed_pipeline, materialize_nested_input, run_biomed_pipeline,
+    run_biomed_pipeline_tuned, run_capped_cells, run_tpch_query, run_tpch_query_repr,
+    run_tpch_query_tuned, tpch_input_set, tpch_input_set_tuned, BenchRow, CappedCell,
+    ClusterTuning, Family, PipelineRow,
 };
 
 /// Returns the value following `name` on the command line, or `default`
 /// (shared argument parsing of the figure binaries).
 pub fn cli_arg(name: &str, default: &str) -> String {
+    cli_opt(name).unwrap_or_else(|| default.to_string())
+}
+
+/// Returns the value following `name` on the command line, if present.
+pub fn cli_opt(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| default.to_string())
 }
 
 /// True when `name` appears anywhere on the command line.
 pub fn cli_flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
+}
+
+/// Parses the cluster-shape flags shared by every figure binary:
+/// `--partitions N`, `--memory BYTES` (an absolute per-worker cap overriding
+/// `--memory-factor`) and `--spill` (enable the out-of-core subsystem), so
+/// capped and spilling runs are reproducible from the command line.
+pub fn cli_tuning() -> ClusterTuning {
+    ClusterTuning {
+        partitions: cli_opt("--partitions").map(|v| v.parse().expect("--partitions N")),
+        memory_bytes: cli_opt("--memory").map(|v| v.parse().expect("--memory BYTES")),
+        spill: cli_flag("--spill"),
+    }
 }

@@ -46,25 +46,30 @@ fn field_hints(fields: &[PhysField]) -> Vec<FieldHint> {
 /// Each input's batches are typed from its (sampled) attribute schema, so
 /// bag-valued attributes become offset-encoded bag columns even when the
 /// sampled rows hold only empty bags.
-pub fn ingest_env(inputs: &HashMap<String, DistCollection>) -> HashMap<String, ColCollection> {
+pub fn ingest_env(
+    inputs: &HashMap<String, DistCollection>,
+) -> Result<HashMap<String, ColCollection>> {
     inputs
         .iter()
         .map(|(name, coll)| {
-            let schema = crate::physical::infer_schema(coll);
+            let schema = crate::physical::infer_schema(coll)?;
             let hints = field_hints(&physical_fields(&schema));
-            (name.clone(), ColCollection::ingest(coll, &hints))
+            Ok((name.clone(), ColCollection::ingest(coll, &hints)?))
         })
         .collect()
 }
 
 /// The exact attribute schema of a columnar collection, read straight off the
-/// batch schemas (nested bag columns recursively) — no row sampling.
-pub fn exact_schema_col(coll: &ColCollection) -> AttrSchema {
+/// batch schemas (nested bag columns recursively) — no row sampling. Spilled
+/// partitions stream chunk by chunk (schema merge is associative), so
+/// inspection never re-materializes what the memory cap evicted.
+pub fn exact_schema_col(coll: &ColCollection) -> Result<AttrSchema> {
     let mut out = AttrSchema::default();
-    for batch in coll.partitions() {
+    coll.for_each_batch(|batch| {
         out = out.merge(&schema_of_batch(batch));
-    }
-    out
+        Ok(())
+    })?;
+    Ok(out)
 }
 
 fn schema_of_batch(batch: &Batch) -> AttrSchema {
@@ -101,13 +106,13 @@ fn schema_of_batch(batch: &Batch) -> AttrSchema {
 /// Builds a [`Catalog`] from columnar inputs: exact batch schemas plus
 /// logical (row-equivalent) sizes, so the optimizer makes the same join
 /// strategy decisions as on the row route.
-pub fn infer_catalog_col(inputs: &HashMap<String, ColCollection>) -> Catalog {
+pub fn infer_catalog_col(inputs: &HashMap<String, ColCollection>) -> Result<Catalog> {
     let mut catalog = Catalog::new();
     for (name, coll) in inputs {
-        catalog.register(name.clone(), exact_schema_col(coll));
+        catalog.register(name.clone(), exact_schema_col(coll)?);
         catalog.set_size(name.clone(), coll.logical_bytes());
     }
-    catalog
+    Ok(catalog)
 }
 
 /// Lowers an NRC bag expression to a plan program and executes it over
@@ -121,7 +126,7 @@ pub fn execute_via_plans_col(
     root_label: &str,
     capture: Option<&mut CapturedPlans>,
 ) -> Result<ColCollection> {
-    let catalog = infer_catalog_col(inputs);
+    let catalog = infer_catalog_col(inputs)?;
     let program = lower(expr, &catalog).map_err(|e| ExecError::Other(e.to_string()))?;
     execute_program_col_impl(&program, inputs, catalog, ctx, options, root_label, capture)
 }
@@ -138,7 +143,7 @@ pub fn execute_program_col(
     root_label: &str,
     capture: Option<&mut CapturedPlans>,
 ) -> Result<ColCollection> {
-    let catalog = infer_catalog_col(inputs);
+    let catalog = infer_catalog_col(inputs)?;
     execute_program_col_impl(program, inputs, catalog, ctx, options, root_label, capture)
 }
 
@@ -166,7 +171,7 @@ fn execute_program_col_impl(
             capture.push((assignment.name.clone(), plan.clone()));
         }
         let out = eval_plan_col(&plan, &env, ctx, options)?;
-        catalog.register(assignment.name.clone(), exact_schema_col(&out));
+        catalog.register(assignment.name.clone(), exact_schema_col(&out)?);
         catalog.set_size(assignment.name.clone(), out.logical_bytes());
         env.insert(assignment.name.clone(), out);
     }

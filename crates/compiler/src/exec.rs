@@ -56,6 +56,13 @@ pub struct ExecOptions {
     /// row-representation differential oracle. Ignored by the legacy fused
     /// executor, which is row-only.
     pub columnar: bool,
+    /// Allow out-of-core execution: on clusters with the spill subsystem
+    /// enabled (`ClusterConfig::with_spill`) and a worker memory cap set,
+    /// memory pressure spills victim partitions to disk instead of failing
+    /// with `MemoryExceeded`. **Default on when a memory cap is set** — a
+    /// capped run only reproduces the paper's FAIL cells when this is turned
+    /// off (or the cluster has no spill support, the legacy default).
+    pub spill: bool,
 }
 
 impl Default for ExecOptions {
@@ -65,6 +72,7 @@ impl Default for ExecOptions {
             skew_aware: false,
             legacy_fused: false,
             columnar: true,
+            spill: true,
         }
     }
 }
@@ -354,7 +362,7 @@ impl Executor {
                 // Discover attributes from the data (whole-relation
                 // aggregate); the collection passes through as-is — the old
                 // identity `map` re-cloned every row for nothing.
-                let attrs = first_row_attrs(&d);
+                let attrs = first_row_attrs(&d)?;
                 Ok((d, attrs, Vec::new()))
             }
         }
@@ -834,14 +842,10 @@ fn split_join_condition(
 }
 
 /// Attribute names of the first row of a collection (used for whole-relation
-/// pass-through aggregates).
-fn first_row_attrs(d: &DistCollection) -> Vec<String> {
-    for p in d.partitions() {
-        if let Some(Value::Tuple(t)) = p.first() {
-            return t.field_names().iter().map(|s| s.to_string()).collect();
-        }
-    }
-    Vec::new()
+/// pass-through aggregates; early exit — at most one spilled partition is
+/// read back).
+fn first_row_attrs(d: &DistCollection) -> Result<Vec<String>> {
+    d.first_fields()
 }
 
 /// Adds a constant column (used to express uncorrelated cross products as

@@ -46,7 +46,7 @@ pub use physical::{
 };
 pub use pipeline::{
     collect_unshredded, explain_query, run_query, run_query_explained, run_query_legacy,
-    run_query_repr, run_shredded, strategy_options, unshred_distributed, InputSet, QuerySpec,
-    RunOutcome, RunResult, ShreddedOutput, Strategy,
+    run_query_repr, run_query_spill, run_shredded, strategy_options, unshred_distributed,
+    unshred_distributed_col, InputSet, QuerySpec, RunOutcome, RunResult, ShreddedOutput, Strategy,
 };
 pub use vector::{eval_mask, eval_scalar_batch};

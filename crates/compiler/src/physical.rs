@@ -50,7 +50,7 @@ pub fn execute_via_plans(
     root_label: &str,
     capture: Option<&mut CapturedPlans>,
 ) -> Result<DistCollection> {
-    let catalog = infer_catalog(inputs);
+    let catalog = infer_catalog(inputs)?;
     let program = lower(expr, &catalog).map_err(|e| ExecError::Other(e.to_string()))?;
     execute_program_impl(&program, inputs, catalog, ctx, options, root_label, capture)
 }
@@ -66,7 +66,7 @@ pub fn execute_program(
     root_label: &str,
     capture: Option<&mut CapturedPlans>,
 ) -> Result<DistCollection> {
-    let catalog = infer_catalog(inputs);
+    let catalog = infer_catalog(inputs)?;
     execute_program_impl(program, inputs, catalog, ctx, options, root_label, capture)
 }
 
@@ -97,7 +97,7 @@ fn execute_program_impl(
         // attribute set: their scans carry no alias, so the pruning pass has
         // no prefix fallback and a sampled schema could silently drop an
         // attribute present only in unsampled rows.
-        catalog.register(assignment.name.clone(), exact_schema(&out));
+        catalog.register(assignment.name.clone(), exact_schema(&out)?);
         catalog.set_size(assignment.name.clone(), out.total_bytes());
         env.insert(assignment.name.clone(), out);
     }
@@ -135,39 +135,42 @@ pub(crate) fn optimizer_config(
 /// Builds a [`Catalog`] from distributed inputs by sampling rows for the
 /// attribute schemas (recursively into bag-valued attributes) and recording
 /// materialized sizes for join strategy selection.
-pub fn infer_catalog(inputs: &HashMap<String, DistCollection>) -> Catalog {
+pub fn infer_catalog(inputs: &HashMap<String, DistCollection>) -> Result<Catalog> {
     let mut catalog = Catalog::new();
     for (name, coll) in inputs {
-        catalog.register(name.clone(), infer_schema(coll));
+        catalog.register(name.clone(), infer_schema(coll)?);
         catalog.set_size(name.clone(), coll.total_bytes());
     }
-    catalog
+    Ok(catalog)
 }
 
 /// Infers the attribute schema of a collection from a small row sample.
 /// Empty collections (or non-tuple rows) yield the empty schema, which the
-/// optimizer treats as "unknown — don't touch".
-pub fn infer_schema(coll: &DistCollection) -> AttrSchema {
-    let mut sample: Vec<&Value> = Vec::new();
-    'outer: for part in coll.partitions() {
-        for row in part.iter().take(8) {
-            sample.push(row);
-            if sample.len() >= 64 {
-                break 'outer;
+/// optimizer treats as "unknown — don't touch". Partitions stream one at a
+/// time, so spilled collections are never re-materialized wholesale.
+pub fn infer_schema(coll: &DistCollection) -> Result<AttrSchema> {
+    let mut sample: Vec<Value> = Vec::new();
+    coll.for_each_partition(|rows| {
+        for row in rows.iter().take(8) {
+            if sample.len() < 64 {
+                sample.push(row.clone());
             }
         }
-    }
-    schema_of_rows(&sample)
+        Ok(())
+    })?;
+    let refs: Vec<&Value> = sample.iter().collect();
+    Ok(schema_of_rows(&refs))
 }
 
 /// The exact top-level attribute union across **all** rows of a collection
 /// (one pass, like the size metering). Nested bag schemas stay sampled:
 /// pruning below an aliased unnest keeps every required `alias.`-prefixed
-/// attribute regardless of what the sample saw.
-pub fn exact_schema(coll: &DistCollection) -> AttrSchema {
+/// attribute regardless of what the sample saw. Partitions stream one at a
+/// time, like [`infer_schema`].
+pub fn exact_schema(coll: &DistCollection) -> Result<AttrSchema> {
     let mut out = AttrSchema::default();
-    for part in coll.partitions() {
-        for row in part {
+    coll.for_each_partition(|rows| {
+        for row in rows {
             if let Value::Tuple(t) = row {
                 for (name, value) in t.iter() {
                     if !out.contains(name) {
@@ -182,8 +185,9 @@ pub fn exact_schema(coll: &DistCollection) -> AttrSchema {
                 }
             }
         }
-    }
-    out
+        Ok(())
+    })?;
+    Ok(out)
 }
 
 fn schema_of_rows(rows: &[&Value]) -> AttrSchema {

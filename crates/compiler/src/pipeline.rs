@@ -35,6 +35,10 @@ use trance_shred::{
     ShreddedInputDecl, ShreddedQuery, TOP_BAG,
 };
 
+use std::sync::Arc;
+
+use trance_dist::{ColCollection, Column};
+
 use crate::columnar::{execute_via_plans_col, ingest_env};
 use crate::exec::{execute, ExecOptions};
 use crate::physical::{execute_via_plans, CapturedPlans};
@@ -283,19 +287,34 @@ pub fn strategy_options(strategy: Strategy, legacy_fused: bool) -> ExecOptions {
         skew_aware: strategy.skew_aware(),
         legacy_fused,
         columnar: true,
+        spill: true,
     }
 }
 
 /// Runs `spec` under `strategy` over the given inputs — through the plan
 /// route (NRC → Plan → optimize → columnar physical execution).
 pub fn run_query(spec: &QuerySpec, inputs: &InputSet, strategy: Strategy) -> RunOutcome {
-    run_query_impl(spec, inputs, strategy, false, true, None)
+    run_query_impl(spec, inputs, strategy, false, true, true, None)
+}
+
+/// Runs `spec` under `strategy` with an explicit spill switch: `spill =
+/// false` reproduces the paper's FAIL behaviour on a spill-capable capped
+/// cluster, `spill = true` (the [`run_query`] default) lets memory pressure
+/// go out-of-core instead. The switch only matters on clusters built with
+/// `ClusterConfig::with_spill` and a worker memory cap.
+pub fn run_query_spill(
+    spec: &QuerySpec,
+    inputs: &InputSet,
+    strategy: Strategy,
+    spill: bool,
+) -> RunOutcome {
+    run_query_impl(spec, inputs, strategy, false, true, spill, None)
 }
 
 /// Runs `spec` under `strategy` through the **legacy fused** executor — the
 /// differential-testing oracle the plan route must agree with.
 pub fn run_query_legacy(spec: &QuerySpec, inputs: &InputSet, strategy: Strategy) -> RunOutcome {
-    run_query_impl(spec, inputs, strategy, true, true, None)
+    run_query_impl(spec, inputs, strategy, true, true, true, None)
 }
 
 /// Runs `spec` under `strategy` through the plan route in an explicit
@@ -308,23 +327,42 @@ pub fn run_query_repr(
     strategy: Strategy,
     columnar: bool,
 ) -> RunOutcome {
-    run_query_impl(spec, inputs, strategy, false, columnar, None)
+    run_query_impl(spec, inputs, strategy, false, columnar, true, None)
 }
 
 /// Runs `spec` under `strategy` while capturing the optimized plans it
 /// executes, returning the outcome together with the rendered EXPLAIN text.
+/// Runs that went out-of-core report their spill volume and I/O time after
+/// the plans.
 pub fn run_query_explained(
     spec: &QuerySpec,
     inputs: &InputSet,
     strategy: Strategy,
 ) -> (RunOutcome, String) {
     let mut capture: CapturedPlans = Vec::new();
-    let outcome = run_query_impl(spec, inputs, strategy, false, true, Some(&mut capture));
+    let outcome = run_query_impl(
+        spec,
+        inputs,
+        strategy,
+        false,
+        true,
+        true,
+        Some(&mut capture),
+    );
     let mut out = String::new();
     let _ = writeln!(out, "== {} · {} ==", spec.name, strategy.label());
     for (name, plan) in &capture {
         let _ = writeln!(out, "-- {name} --");
         out.push_str(&trance_algebra::pretty_plan(plan));
+    }
+    if outcome.stats.spilled_bytes > 0 {
+        let _ = writeln!(
+            out,
+            "-- spill: {} bytes in {} files, {:.1} ms I/O --",
+            outcome.stats.spilled_bytes,
+            outcome.stats.spill_files,
+            outcome.stats.spill_ms(),
+        );
     }
     if let RunResult::Failed(e) = &outcome.result {
         let _ = writeln!(out, "-- run failed: {e} --");
@@ -347,18 +385,28 @@ pub fn explain_query(
     Ok(text)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_query_impl(
     spec: &QuerySpec,
     inputs: &InputSet,
     strategy: Strategy,
     legacy_fused: bool,
     columnar: bool,
+    spill: bool,
     capture: Option<&mut CapturedPlans>,
 ) -> RunOutcome {
     let ctx = inputs.context();
     ctx.stats().reset();
     let start = Instant::now();
-    let result = match dispatch(spec, inputs, strategy, legacy_fused, columnar, capture) {
+    let result = match dispatch(
+        spec,
+        inputs,
+        strategy,
+        legacy_fused,
+        columnar,
+        spill,
+        capture,
+    ) {
         Ok(r) => r,
         Err(e) => RunResult::Failed(e),
     };
@@ -392,19 +440,25 @@ fn dispatch(
     strategy: Strategy,
     legacy_fused: bool,
     columnar: bool,
+    spill: bool,
     capture: Option<&mut CapturedPlans>,
 ) -> trance_dist::Result<RunResult> {
     let ctx = inputs.context();
     let mut options = strategy_options(strategy, legacy_fused);
     options.columnar = columnar;
+    options.spill = spill;
+    // `ExecOptions::spill` only bites on clusters built with
+    // `ClusterConfig::with_spill` and a memory cap; everywhere else the
+    // session toggle is a no-op and capped runs FAIL as in the paper.
+    ctx.set_spill_session(options.spill);
     match strategy {
         Strategy::Standard | Strategy::StandardSkew | Strategy::Baseline => {
             let out = if options.columnar && !options.legacy_fused {
                 // Columnar route: rows cross into batches once at scan
                 // ingest, back out once at the collect boundary.
-                let env = ingest_env(inputs.nested_inputs());
+                let env = ingest_env(inputs.nested_inputs())?;
                 execute_via_plans_col(&spec.query, &env, ctx, &options, "result", capture)?
-                    .to_rows()
+                    .to_rows()?
             } else {
                 execute_query(
                     &spec.query,
@@ -423,6 +477,27 @@ fn dispatch(
         | Strategy::ShredUnshredSkew => {
             let shredded =
                 shred_query(&spec.query, &spec.nested_inputs).map_err(ExecError::from)?;
+            if options.columnar && !options.legacy_fused {
+                // Columnar route end to end: the flat assignments stay in
+                // batches, and unshredding runs over columnar operators too,
+                // so its shuffles meter exact physical buffer bytes instead
+                // of falling back to the row engine's logical estimate.
+                let (top, dicts) = run_shredded_col(&shredded, inputs, &options, capture)?;
+                if strategy.unshreds() {
+                    let nested =
+                        unshred_distributed_col(&top, &dicts, &shredded.structure, &options)?;
+                    return Ok(RunResult::Nested(nested.to_rows()?));
+                }
+                let mut row_dicts = BTreeMap::new();
+                for (path, d) in dicts {
+                    row_dicts.insert(path, d.to_rows()?);
+                }
+                return Ok(RunResult::Shredded(ShreddedOutput {
+                    top: top.to_rows()?,
+                    dicts: row_dicts,
+                    structure: shredded.structure.clone(),
+                }));
+            }
             let output = run_shredded_impl(&shredded, inputs, &options, capture)?;
             if strategy.unshreds() {
                 let nested = unshred_distributed(&output, ctx, &options)?;
@@ -453,22 +528,16 @@ fn run_shredded_impl(
 ) -> trance_dist::Result<ShreddedOutput> {
     let ctx = inputs.context();
     if options.columnar && !options.legacy_fused {
-        // Columnar route: the environment of materialized flat assignments
-        // stays in batches across the whole shredded program; only the final
-        // top bag and dictionaries cross back to rows.
-        let mut env = ingest_env(inputs.shredded_inputs());
-        for assignment in &shredded.program.assignments {
-            let out = execute_via_plans_col(
-                &assignment.expr,
-                &env,
-                ctx,
-                options,
-                &assignment.name,
-                capture.as_deref_mut(),
-            )?;
-            env.insert(assignment.name.clone(), out);
+        let (top, dicts) = run_shredded_col(shredded, inputs, options, capture)?;
+        let mut row_dicts = BTreeMap::new();
+        for (path, d) in dicts {
+            row_dicts.insert(path, d.to_rows()?);
         }
-        return assemble_shredded_output(shredded, |name| env.get(name).map(|d| d.to_rows()));
+        return Ok(ShreddedOutput {
+            top: top.to_rows()?,
+            dicts: row_dicts,
+            structure: shredded.structure.clone(),
+        });
     }
     let mut env = inputs.shredded_inputs().clone();
     for assignment in &shredded.program.assignments {
@@ -483,6 +552,47 @@ fn run_shredded_impl(
         env.insert(assignment.name.clone(), out);
     }
     assemble_shredded_output(shredded, |name| env.get(name).cloned())
+}
+
+/// Columnar execution of a shredded program: the environment of materialized
+/// flat assignments stays in batches across the whole program; the result is
+/// the columnar top bag plus one columnar collection per dictionary path
+/// (ready for columnar unshredding — nothing crosses back to rows here).
+fn run_shredded_col(
+    shredded: &ShreddedQuery,
+    inputs: &InputSet,
+    options: &ExecOptions,
+    mut capture: Option<&mut CapturedPlans>,
+) -> trance_dist::Result<(ColCollection, BTreeMap<String, ColCollection>)> {
+    let ctx = inputs.context();
+    let mut env = ingest_env(inputs.shredded_inputs())?;
+    for assignment in &shredded.program.assignments {
+        let out = execute_via_plans_col(
+            &assignment.expr,
+            &env,
+            ctx,
+            options,
+            &assignment.name,
+            capture.as_deref_mut(),
+        )?;
+        env.insert(assignment.name.clone(), out);
+    }
+    let top = env
+        .get(TOP_BAG)
+        .cloned()
+        .ok_or_else(|| ExecError::Other("shredded program produced no TopBag".into()))?;
+    let mut dicts = BTreeMap::new();
+    for path in shredded.structure.paths() {
+        let name = shredded
+            .dict_names
+            .get(&path)
+            .cloned()
+            .unwrap_or_else(|| output_dict_name(&path));
+        if let Some(d) = env.get(&name) {
+            dicts.insert(path, d.clone());
+        }
+    }
+    Ok((top, dicts))
 }
 
 /// Collects a shredded program's outputs (the top bag plus one collection
@@ -540,7 +650,7 @@ pub fn unshred_distributed(
             .filter(|p| dicts.contains_key(p));
 
         // Group the child dictionary rows by label into a single bag column.
-        let value_attrs: Vec<String> = first_attrs(&child)
+        let value_attrs: Vec<String> = first_attrs(&child)?
             .into_iter()
             .filter(|a| a != "label")
             .collect();
@@ -595,14 +705,100 @@ pub fn unshred_distributed(
     Ok(top)
 }
 
-/// Attribute names of the first available row.
-fn first_attrs(d: &DistCollection) -> Vec<String> {
-    for p in d.partitions() {
-        if let Some(Value::Tuple(t)) = p.first() {
-            return t.field_names().iter().map(|s| s.to_string()).collect();
+/// Distributed unshredding over the **columnar** representation: the same
+/// label-grouping and label-join cascade as [`unshred_distributed`], executed
+/// on [`ColCollection`]s — so the unshred phase's shuffles ship batches and
+/// meter exact physical buffer bytes instead of falling back to the row
+/// engine's logical estimate.
+pub fn unshred_distributed_col(
+    top: &ColCollection,
+    dicts: &BTreeMap<String, ColCollection>,
+    structure: &NestingStructure,
+    options: &ExecOptions,
+) -> trance_dist::Result<ColCollection> {
+    let mut dicts: BTreeMap<String, ColCollection> = dicts.clone();
+    let mut paths: Vec<String> = structure.paths();
+    paths.sort_by_key(|p| std::cmp::Reverse(p.matches('_').count()));
+
+    let mut top = top.clone();
+    for path in paths {
+        let child = match dicts.get(&path) {
+            Some(c) => c.clone(),
+            None => continue,
+        };
+        let attr = path.rsplit('_').next().unwrap_or(&path).to_string();
+        let parent_path: Option<String> = path
+            .rfind('_')
+            .map(|i| path[..i].to_string())
+            .filter(|p| dicts.contains_key(p));
+
+        // Group the child dictionary rows by label into a single bag column,
+        // then keep only the join key (renamed label) and the group — a
+        // schema-only rewrite on batches.
+        let value_attrs: Vec<String> = child
+            .first_fields()?
+            .into_iter()
+            .filter(|a| a != "label")
+            .collect();
+        let grouped = child.nest_bag(&["label".to_string()], &value_attrs, "__grp")?;
+        let keep = vec!["label".to_string(), "__grp".to_string()];
+        let grouped = grouped.map_batches("map", move |b| {
+            Ok(b.project_fields(&keep).rename_fields(
+                |f| {
+                    if f == "label" {
+                        "__jk".to_string()
+                    } else {
+                        f.to_string()
+                    }
+                },
+                "__value",
+            ))
+        })?;
+
+        let attach = |parent: &ColCollection| -> trance_dist::Result<ColCollection> {
+            let spec =
+                JoinSpec::left_outer(&[attr.as_str()], &["__jk"]).with_right_fields(&["__grp"]);
+            let joined = if options.skew_aware {
+                parent.skew_join(&grouped, &spec)?
+            } else {
+                parent.join(&grouped, &spec)?
+            };
+            let attr = attr.clone();
+            joined.map_batches("map", move |b| {
+                // NULL-extended rows (labels with no child entries) become
+                // empty bags, exactly like the row route's final map; the
+                // group replaces the label at the attribute's position.
+                let grp: Vec<Value> = (0..b.rows())
+                    .map(|i| match b.value_at(i, "__grp") {
+                        Some(Value::Bag(bag)) => Value::Bag(bag),
+                        _ => Value::empty_bag(),
+                    })
+                    .collect();
+                let out = b.with_column(&attr, Arc::new(Column::from_values(grp)));
+                Ok(out.without_column("__jk").without_column("__grp"))
+            })
+        };
+
+        match parent_path {
+            Some(pp) => {
+                let parent = dicts
+                    .get(&pp)
+                    .cloned()
+                    .ok_or_else(|| ExecError::Other(format!("missing parent dictionary `{pp}`")))?;
+                dicts.insert(pp, attach(&parent)?);
+            }
+            None => {
+                top = attach(&top)?;
+            }
         }
     }
-    Vec::new()
+    Ok(top)
+}
+
+/// Attribute names of the first available row (early exit: at most one
+/// spilled partition is read back).
+fn first_attrs(d: &DistCollection) -> trance_dist::Result<Vec<String>> {
+    d.first_fields()
 }
 
 /// Collects a shredded output and reassembles the nested value locally (used

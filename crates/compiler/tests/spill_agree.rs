@@ -1,0 +1,190 @@
+//! Out-of-core correctness: with the spill subsystem enabled, memory-capped
+//! runs must produce results **identical** to uncapped in-memory runs — on
+//! every strategy, on both physical representations, and across the seeded
+//! random NRC program suite — while the same cap with spilling disabled
+//! still reproduces the paper's FAIL. Spill files must drain back to zero
+//! once the runs' collections are gone.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trance_compiler::{
+    collect_unshredded, run_query_repr, run_query_spill, InputSet, QuerySpec, RunResult, Strategy,
+};
+use trance_dist::{ClusterConfig, DistContext};
+use trance_nrc::{eval, Bag, Env, Value};
+use trance_shred::ShreddedInputDecl;
+
+mod common;
+use common::{
+    assert_bags_approx_eq, cop_structure, cop_value, part_value, random_flat, random_nested,
+    random_query, running_example,
+};
+
+/// A spill-capable cluster with a cap small enough that the flattening
+/// strategies go out-of-core on the running example.
+fn capped_ctx(worker_memory: usize) -> DistContext {
+    DistContext::new(
+        ClusterConfig::new(3, 8)
+            .with_broadcast_limit(64)
+            .with_worker_memory(worker_memory)
+            .with_spill(),
+    )
+}
+
+fn uncapped_ctx() -> DistContext {
+    DistContext::new(ClusterConfig::new(3, 8).with_broadcast_limit(64))
+}
+
+fn input_set(ctx: DistContext, values: &[(&str, Value, bool)]) -> InputSet {
+    let mut inputs = InputSet::new(ctx);
+    for (name, v, nested) in values {
+        if *nested {
+            inputs
+                .add_nested(name, v.as_bag().unwrap().clone())
+                .unwrap();
+        } else {
+            inputs.add_flat(name, v.as_bag().unwrap().clone()).unwrap();
+        }
+    }
+    inputs
+}
+
+fn outcome_bag(result: &RunResult, context: &str) -> Bag {
+    match result {
+        RunResult::Nested(d) => d.collect_bag(),
+        RunResult::Shredded(out) => collect_unshredded(out).unwrap(),
+        RunResult::Failed(e) => panic!("{context}: run failed: {e}"),
+    }
+}
+
+#[test]
+fn capped_spill_runs_match_uncapped_on_every_strategy() {
+    let values = [("COP", cop_value(120), true), ("Part", part_value(), false)];
+    let spec = QuerySpec::new(
+        "running-example",
+        running_example(),
+        vec![ShreddedInputDecl::new("COP", cop_structure())],
+    );
+
+    let uncapped = input_set(uncapped_ctx(), &values);
+    let capped = input_set(capped_ctx(12 * 1024), &values);
+    let mut spilled_somewhere = false;
+    for strategy in Strategy::all() {
+        let expected = outcome_bag(
+            &run_query_spill(&spec, &uncapped, strategy, true).result,
+            &format!("uncapped {}", strategy.label()),
+        );
+        let outcome = run_query_spill(&spec, &capped, strategy, true);
+        let produced = outcome_bag(
+            &outcome.result,
+            &format!("capped+spill {}", strategy.label()),
+        );
+        spilled_somewhere |= outcome.stats.spilled_bytes > 0;
+        assert_bags_approx_eq(
+            &expected,
+            &produced,
+            &format!(
+                "strategy {}: capped spill run vs uncapped oracle",
+                strategy.label()
+            ),
+        );
+    }
+    assert!(
+        spilled_somewhere,
+        "the cap is meant to force at least one strategy out-of-core"
+    );
+
+    // The same cap with spilling off must still reproduce the paper's FAIL
+    // for the flattening strategy (SPARKSQL-LIKE drags wide rows through
+    // every shuffle).
+    let outcome = run_query_spill(&spec, &capped, Strategy::Baseline, false);
+    assert!(
+        outcome.result.is_failure(),
+        "spill off on the capped cluster must FAIL like the paper"
+    );
+
+    // Once every run's collections are dropped, no spill file may remain.
+    drop(uncapped);
+    if let Some(dir) = capped.context().spill_dir() {
+        drop(capped);
+        assert!(
+            !dir.exists(),
+            "dropping the context must remove the scoped spill directory"
+        );
+    }
+}
+
+#[test]
+fn randomized_capped_spill_runs_match_uncapped_in_both_representations() {
+    let mut spilled_somewhere = false;
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE + seed);
+        let r_rows = rng.gen_range(5..40usize);
+        let s_rows = rng.gen_range(5..30usize);
+        let n_rows = rng.gen_range(3..20usize);
+        let r = random_flat(&mut rng, r_rows, 8);
+        let s = random_flat(&mut rng, s_rows, 8);
+        let n = random_nested(&mut rng, n_rows, 8);
+        let query = random_query(&mut rng);
+
+        let env = Env::from_bindings([("R", r.clone()), ("S", s.clone()), ("N", n.clone())]);
+        let expected = eval(&query, &env).unwrap().into_bag().unwrap();
+
+        let values = [("R", r, false), ("S", s, false), ("N", n, true)];
+        // A cap this small forces even the random programs' joins and
+        // groupings out-of-core; spilling must keep them correct anyway.
+        let capped = input_set(capped_ctx(2 * 1024), &values);
+        let spec = QuerySpec::new(format!("random-{seed}"), query, vec![]);
+
+        for strategy in [Strategy::Standard, Strategy::Baseline] {
+            // Columnar (default) representation under the cap.
+            let col = run_query_spill(&spec, &capped, strategy, true);
+            spilled_somewhere |= col.stats.spilled_bytes > 0;
+            let col_bag = outcome_bag(
+                &col.result,
+                &format!("seed {seed} capped columnar {}", strategy.label()),
+            );
+            assert_bags_approx_eq(
+                &expected,
+                &col_bag,
+                &format!(
+                    "seed {seed}: capped columnar spill run vs reference under {}",
+                    strategy.label()
+                ),
+            );
+            // Row-representation oracle under the same cap: the row engine
+            // spills through the same machinery and must agree too.
+            let row = run_query_repr(&spec, &capped, strategy, false);
+            let row_bag = outcome_bag(
+                &row.result,
+                &format!("seed {seed} capped row {}", strategy.label()),
+            );
+            assert_bags_approx_eq(
+                &expected,
+                &row_bag,
+                &format!(
+                    "seed {seed}: capped row spill run vs reference under {}",
+                    strategy.label()
+                ),
+            );
+        }
+
+        // All collections die with the input set: the scoped directory must
+        // be empty (it is removed entirely when the context drops).
+        if let Some(dir) = capped.context().spill_dir() {
+            let ctx = capped.context().clone();
+            drop(capped);
+            assert_eq!(
+                std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0),
+                0,
+                "seed {seed}: spill files leaked"
+            );
+            drop(ctx);
+            assert!(!dir.exists());
+        }
+    }
+    assert!(
+        spilled_somewhere,
+        "the randomized capped suite is meant to exercise real spills"
+    );
+}

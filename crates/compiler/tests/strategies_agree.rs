@@ -18,128 +18,17 @@ use trance_compiler::{
 };
 use trance_dist::{ClusterConfig, DistContext};
 use trance_nrc::builder::*;
-use trance_nrc::{eval, Bag, Env, Expr, Value};
-use trance_shred::{NestingStructure, ShreddedInputDecl};
+use trance_nrc::{eval, Bag, Env, Value};
+use trance_shred::ShreddedInputDecl;
+
+mod common;
+use common::{
+    assert_bags_approx_eq, canonical, cop_structure, cop_value, part_value, random_flat,
+    random_nested, random_query, running_example,
+};
 
 fn ctx() -> DistContext {
     DistContext::new(ClusterConfig::new(3, 8).with_broadcast_limit(64))
-}
-
-fn cop_value(customers: usize) -> Value {
-    let mut rows = Vec::new();
-    for c in 0..customers {
-        let mut orders = Vec::new();
-        for o in 0..(c % 4) {
-            let mut parts = Vec::new();
-            for p in 0..(o + c) % 5 {
-                parts.push(Value::tuple([
-                    ("pid", Value::Int((p % 7) as i64)),
-                    ("qty", Value::Real(1.0 + p as f64)),
-                ]));
-            }
-            orders.push(Value::tuple([
-                ("odate", Value::Date(100 + o as i64)),
-                ("oparts", Value::bag(parts)),
-            ]));
-        }
-        rows.push(Value::tuple([
-            ("cname", Value::str(format!("c{c}"))),
-            ("corders", Value::bag(orders)),
-        ]));
-    }
-    Value::bag(rows)
-}
-
-fn part_value() -> Value {
-    Value::bag(
-        (0..7)
-            .map(|p| {
-                Value::tuple([
-                    ("pid", Value::Int(p)),
-                    ("pname", Value::str(format!("part{p}"))),
-                    ("price", Value::Real(0.5 + p as f64)),
-                ])
-            })
-            .collect(),
-    )
-}
-
-fn cop_structure() -> NestingStructure {
-    NestingStructure::flat().with_child(
-        "corders",
-        NestingStructure::flat().with_child("oparts", NestingStructure::flat()),
-    )
-}
-
-fn running_example() -> trance_nrc::Expr {
-    forin(
-        "cop",
-        var("COP"),
-        singleton(tuple([
-            ("cname", proj(var("cop"), "cname")),
-            (
-                "corders",
-                forin(
-                    "co",
-                    proj(var("cop"), "corders"),
-                    singleton(tuple([
-                        ("odate", proj(var("co"), "odate")),
-                        (
-                            "oparts",
-                            sum_by(
-                                forin(
-                                    "op",
-                                    proj(var("co"), "oparts"),
-                                    forin(
-                                        "p",
-                                        var("Part"),
-                                        ifthen(
-                                            cmp_eq(proj(var("op"), "pid"), proj(var("p"), "pid")),
-                                            singleton(tuple([
-                                                ("pname", proj(var("p"), "pname")),
-                                                (
-                                                    "total",
-                                                    mul(
-                                                        proj(var("op"), "qty"),
-                                                        proj(var("p"), "price"),
-                                                    ),
-                                                ),
-                                            ])),
-                                        ),
-                                    ),
-                                ),
-                                &["pname"],
-                                &["total"],
-                            ),
-                        ),
-                    ])),
-                ),
-            ),
-        ])),
-    )
-}
-
-/// Canonicalizes nested rows for comparison: sorts bags recursively.
-fn canonical(bag: &Bag) -> Vec<Value> {
-    fn canon(v: &Value) -> Value {
-        match v {
-            Value::Bag(b) => {
-                let mut items: Vec<Value> = b.iter().map(canon).collect();
-                items.sort();
-                Value::Bag(Bag::new(items))
-            }
-            Value::Tuple(t) => {
-                let mut fields: Vec<(String, Value)> =
-                    t.iter().map(|(n, v)| (n.to_string(), canon(v))).collect();
-                fields.sort_by(|a, b| a.0.cmp(&b.0));
-                Value::Tuple(trance_nrc::Tuple::new(fields))
-            }
-            other => other.clone(),
-        }
-    }
-    let mut items: Vec<Value> = bag.iter().map(canon).collect();
-    items.sort();
-    items
 }
 
 fn reference_result(query: &trance_nrc::Expr, inputs: &[(&str, Value)]) -> Bag {
@@ -439,229 +328,6 @@ fn shredded_strategy_reports_lower_shuffle_than_baseline_for_wide_rows() {
 // ---------------------------------------------------------------------------
 // seeded randomized NRC programs: plan route vs legacy oracle vs reference
 // ---------------------------------------------------------------------------
-
-/// Random flat relation `R(a, b, c)` (ints and reals, with duplicate keys so
-/// joins and groupings hit multiplicities).
-fn random_flat(rng: &mut StdRng, rows: usize, key_space: i64) -> Value {
-    Value::bag(
-        (0..rows)
-            .map(|_| {
-                Value::tuple([
-                    ("a", Value::Int(rng.gen_range(0..key_space))),
-                    ("b", Value::Int(rng.gen_range(-5..50))),
-                    ("c", Value::Real(rng.gen_range(0.0..10.0))),
-                ])
-            })
-            .collect(),
-    )
-}
-
-/// Random nested relation `N(key, name, items: {(ik, iv)})`, some item bags
-/// empty so outer-regrouping paths are exercised.
-fn random_nested(rng: &mut StdRng, rows: usize, key_space: i64) -> Value {
-    Value::bag(
-        (0..rows)
-            .map(|i| {
-                let n_items = rng.gen_range(0..5usize);
-                let items: Vec<Value> = (0..n_items)
-                    .map(|_| {
-                        Value::tuple([
-                            ("ik", Value::Int(rng.gen_range(0..key_space))),
-                            ("iv", Value::Real(rng.gen_range(0.0..4.0))),
-                        ])
-                    })
-                    .collect();
-                Value::tuple([
-                    ("key", Value::Int(i as i64 % key_space)),
-                    ("name", Value::str(format!("n{i}"))),
-                    ("items", Value::bag(items)),
-                ])
-            })
-            .collect(),
-    )
-}
-
-/// A random scalar expression over the fields of `x` (no division — the
-/// generator must not manufacture runtime errors).
-fn random_scalar(rng: &mut StdRng, var: &str) -> Expr {
-    match rng.gen_range(0..4u32) {
-        0 => proj(trance_nrc::builder::var(var), "a"),
-        1 => proj(trance_nrc::builder::var(var), "b"),
-        2 => add(
-            proj(trance_nrc::builder::var(var), "a"),
-            proj(trance_nrc::builder::var(var), "b"),
-        ),
-        _ => mul(
-            proj(trance_nrc::builder::var(var), "c"),
-            Expr::Const(Value::Real(rng.gen_range(0.5..2.0))),
-        ),
-    }
-}
-
-/// A random filter over `x` (comparisons only — NULL-safe by construction).
-fn random_predicate(rng: &mut StdRng, var: &str) -> Expr {
-    let field = if rng.gen_bool(0.5) { "a" } else { "b" };
-    let bound = Value::Int(rng.gen_range(0..20));
-    let lhs = proj(trance_nrc::builder::var(var), field);
-    if rng.gen_bool(0.5) {
-        cmp_lt(lhs, Expr::Const(bound))
-    } else {
-        cmp_eq(lhs, Expr::Const(bound))
-    }
-}
-
-/// One random NRC query over `R`, `S` (flat) and `N` (nested).
-fn random_query(rng: &mut StdRng) -> Expr {
-    match rng.gen_range(0..6u32) {
-        // Filter + project.
-        0 => forin(
-            "x",
-            var("R"),
-            ifthen(
-                random_predicate(rng, "x"),
-                singleton(tuple([
-                    ("u", random_scalar(rng, "x")),
-                    ("v", proj(var("x"), "c")),
-                ])),
-            ),
-        ),
-        // Equi-join with a residual predicate.
-        1 => forin(
-            "x",
-            var("R"),
-            forin(
-                "y",
-                var("S"),
-                ifthen(
-                    and(
-                        cmp_eq(proj(var("x"), "a"), proj(var("y"), "a")),
-                        random_predicate(rng, "y"),
-                    ),
-                    singleton(tuple([
-                        ("u", random_scalar(rng, "x")),
-                        ("w", proj(var("y"), "c")),
-                    ])),
-                ),
-            ),
-        ),
-        // Aggregation over a join.
-        2 => sum_by(
-            forin(
-                "x",
-                var("R"),
-                forin(
-                    "y",
-                    var("S"),
-                    ifthen(
-                        cmp_eq(proj(var("x"), "a"), proj(var("y"), "a")),
-                        singleton(tuple([
-                            ("k", proj(var("x"), "b")),
-                            ("total", mul(proj(var("x"), "c"), proj(var("y"), "c"))),
-                        ])),
-                    ),
-                ),
-            ),
-            &["k"],
-            &["total"],
-        ),
-        // Nested output: navigate the nested input, join the flat side at the
-        // inner level, regroup.
-        3 => forin(
-            "n",
-            var("N"),
-            singleton(tuple([
-                ("name", proj(var("n"), "name")),
-                (
-                    "stuff",
-                    forin(
-                        "i",
-                        proj(var("n"), "items"),
-                        forin(
-                            "y",
-                            var("S"),
-                            ifthen(
-                                cmp_eq(proj(var("i"), "ik"), proj(var("y"), "a")),
-                                singleton(tuple([
-                                    ("ik", proj(var("i"), "ik")),
-                                    ("score", mul(proj(var("i"), "iv"), proj(var("y"), "c"))),
-                                ])),
-                            ),
-                        ),
-                    ),
-                ),
-            ])),
-        ),
-        // Grouping into bags.
-        4 => group_by(
-            forin(
-                "x",
-                var("R"),
-                ifthen(
-                    random_predicate(rng, "x"),
-                    singleton(tuple([
-                        ("k", proj(var("x"), "a")),
-                        ("p", proj(var("x"), "b")),
-                    ])),
-                ),
-            ),
-            &["k"],
-            "grp",
-        ),
-        // Union of two filtered branches.
-        _ => Expr::Union(
-            Box::new(forin(
-                "x",
-                var("R"),
-                ifthen(
-                    random_predicate(rng, "x"),
-                    singleton(tuple([("u", proj(var("x"), "a"))])),
-                ),
-            )),
-            Box::new(forin(
-                "x",
-                var("R"),
-                ifthen(
-                    random_predicate(rng, "x"),
-                    singleton(tuple([("u", proj(var("x"), "b"))])),
-                ),
-            )),
-        ),
-    }
-}
-
-/// Approximate value equality: distributed aggregation sums reals in a
-/// different order than the sequential reference evaluator, so grouped totals
-/// may differ in the last ulp. Everything except reals must match exactly.
-fn approx_eq(a: &Value, b: &Value) -> bool {
-    match (a, b) {
-        (Value::Real(x), Value::Real(y)) => {
-            let scale = x.abs().max(y.abs()).max(1.0);
-            (x - y).abs() <= 1e-9 * scale
-        }
-        (Value::Tuple(x), Value::Tuple(y)) => {
-            x.len() == y.len()
-                && x.iter()
-                    .zip(y.iter())
-                    .all(|((nx, vx), (ny, vy))| nx == ny && approx_eq(vx, vy))
-        }
-        (Value::Bag(x), Value::Bag(y)) => {
-            x.len() == y.len() && x.iter().zip(y.iter()).all(|(vx, vy)| approx_eq(vx, vy))
-        }
-        _ => a == b,
-    }
-}
-
-fn assert_bags_approx_eq(expected: &Bag, produced: &Bag, context: &str) {
-    let e = canonical(expected);
-    let p = canonical(produced);
-    assert_eq!(e.len(), p.len(), "{context}: cardinality mismatch");
-    for (ev, pv) in e.iter().zip(p.iter()) {
-        assert!(
-            approx_eq(ev, pv),
-            "{context}: rows differ beyond float tolerance\n  expected: {ev:?}\n  produced: {pv:?}"
-        );
-    }
-}
 
 #[test]
 fn randomized_programs_plan_route_matches_legacy_and_reference() {

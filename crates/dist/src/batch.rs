@@ -104,6 +104,19 @@ impl Bitmap {
     pub fn byte_size(&self) -> usize {
         self.bits.len() * 8
     }
+
+    /// The raw bit words (spill serialization).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Rebuilds a bitmap from raw words and a bit length (spill
+    /// deserialization); the ones count is recomputed.
+    pub(crate) fn from_words(bits: Vec<u64>, len: usize) -> Bitmap {
+        debug_assert_eq!(bits.len(), len.div_ceil(64));
+        let ones = bits.iter().map(|w| w.count_ones() as usize).sum();
+        Bitmap { bits, len, ones }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -262,6 +275,18 @@ impl StrDict {
     /// Iterator over the entries.
     pub fn iter(&self) -> impl Iterator<Item = &str> {
         (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// The raw concatenated buffer and offsets (spill serialization).
+    pub(crate) fn raw_parts(&self) -> (&str, &[u32]) {
+        (&self.bytes, &self.offsets)
+    }
+
+    /// Rebuilds a dictionary from its raw buffers (spill deserialization).
+    pub(crate) fn from_raw(bytes: String, offsets: Vec<u32>) -> StrDict {
+        debug_assert!(!offsets.is_empty() && offsets[0] == 0);
+        debug_assert_eq!(*offsets.last().unwrap() as usize, bytes.len());
+        StrDict { bytes, offsets }
     }
 }
 
@@ -1251,6 +1276,17 @@ impl Batch {
             schema: Arc::new(Schema::new(fields)),
             columns,
             rows: rows.len(),
+        }
+    }
+
+    /// Rebuilds a batch from its raw parts (spill deserialization): the
+    /// exact schema (opaque flag included) and the decoded columns.
+    pub(crate) fn from_raw(schema: Arc<Schema>, columns: Vec<Arc<Column>>, rows: usize) -> Batch {
+        debug_assert!(columns.iter().all(|c| c.len() == rows) || schema.is_opaque());
+        Batch {
+            schema,
+            columns,
+            rows,
         }
     }
 

@@ -22,26 +22,217 @@
 //! *logical* (row-equivalent) sizes on purpose: both representations make
 //! identical planning decisions and fail the same FAIL runs; only the
 //! shipped bytes differ.
+//!
+//! ## Out-of-core execution
+//!
+//! With the spill subsystem enabled ([`crate::ClusterConfig::with_spill`] +
+//! a worker memory cap), a partition is either **resident** (an in-memory
+//! batch) or **spilled** (chunked frames in a `trance-store` spill file),
+//! and memory pressure spills instead of failing:
+//!
+//! * **materialize-time governor** — after every operator, the
+//!   [`trance_store::MemoryGovernor`] picks victim partitions (largest first
+//!   per overloaded worker) and writes them to disk;
+//! * **spilling shuffle writers** — a receiving shuffle partition whose
+//!   accumulated pieces exceed its share of worker memory is written frame
+//!   by frame instead of concatenated in memory;
+//! * **external (Grace-style) hash join** — a co-partitioned join whose
+//!   inputs exceed the operator budget sub-partitions both sides by a salted
+//!   key hash into on-disk buckets and joins the bucket pairs one at a time;
+//! * **spilling grouping** — `nest_bag` / `nest_sum` finalization over an
+//!   oversized partition sub-partitions by grouping-key hash the same way
+//!   (groups never span buckets);
+//! * row-local operators (map/filter/unnest and broadcast-join probes)
+//!   stream spilled inputs chunk by chunk and overflow their outputs back
+//!   to disk once they outgrow the partition budget.
 
+use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
 use trance_nrc::{Bag, Tuple, Value};
+use trance_store::MemoryGovernor;
 
 use crate::batch::{Batch, Bitmap, Column, FieldHint};
 use crate::error::{ExecError, Result};
 use crate::join::{JoinKind, JoinSpec};
 use crate::ops::DistCollection;
-use crate::partition::{hash_key, hash_value, run_partitioned};
+use crate::partition::{hash_key, hash_value, run_partitioned, PartRows};
+use crate::spill::{batch_frames, read_batches, spill_batch, SpillChunkWriter, SpilledBatches};
 use crate::stats::JoinStrategy;
 use crate::{DistContext, JoinHint};
+
+// ---------------------------------------------------------------------------
+// partitions: resident or spilled
+// ---------------------------------------------------------------------------
+
+/// One partition of a [`ColCollection`]: resident in memory or spilled to a
+/// frame file on disk.
+#[derive(Debug, Clone)]
+pub(crate) enum ColPart {
+    /// Resident batch.
+    Mem(Batch),
+    /// Disk-resident partition (shared so clones of the collection share one
+    /// file; the file is deleted when the last reference drops).
+    Spilled(Arc<SpilledBatches>),
+}
+
+impl ColPart {
+    fn rows(&self) -> usize {
+        match self {
+            ColPart::Mem(b) => b.rows(),
+            ColPart::Spilled(s) => s.rows(),
+        }
+    }
+
+    /// Bytes currently held in worker memory (0 for spilled partitions).
+    fn resident_bytes(&self) -> usize {
+        match self {
+            ColPart::Mem(b) => b.logical_bytes(),
+            ColPart::Spilled(_) => 0,
+        }
+    }
+
+    fn logical_bytes(&self) -> usize {
+        match self {
+            ColPart::Mem(b) => b.logical_bytes(),
+            ColPart::Spilled(s) => s.logical_bytes(),
+        }
+    }
+
+    fn physical_bytes(&self) -> usize {
+        match self {
+            ColPart::Mem(b) => b.physical_bytes(),
+            ColPart::Spilled(s) => s.physical_bytes(),
+        }
+    }
+
+    /// The whole partition as one batch (reads spilled partitions back).
+    fn batch<'a>(&'a self, ctx: &DistContext) -> Result<Cow<'a, Batch>> {
+        match self {
+            ColPart::Mem(b) => Ok(Cow::Borrowed(b)),
+            ColPart::Spilled(s) => Ok(Cow::Owned(read_batches(ctx, s)?)),
+        }
+    }
+
+    /// Streams the partition chunk by chunk without materializing it whole.
+    fn chunks<'a>(&'a self, ctx: &'a DistContext) -> Result<ColChunks<'a>> {
+        Ok(match self {
+            ColPart::Mem(b) => ColChunks::Mem(Some(b)),
+            ColPart::Spilled(s) => ColChunks::Spilled(batch_frames(ctx, s)?),
+        })
+    }
+}
+
+impl PartRows for ColPart {
+    fn part_rows(&self) -> usize {
+        self.rows()
+    }
+}
+
+/// Chunk iterator over one partition (see [`ColPart::chunks`]).
+pub(crate) enum ColChunks<'a> {
+    Mem(Option<&'a Batch>),
+    Spilled(crate::spill::BatchFrames<'a>),
+}
+
+impl Iterator for ColChunks<'_> {
+    type Item = Result<Batch>;
+
+    fn next(&mut self) -> Option<Result<Batch>> {
+        match self {
+            ColChunks::Mem(slot) => slot.take().map(|b| Ok(b.clone())),
+            ColChunks::Spilled(frames) => frames.next(),
+        }
+    }
+}
+
+/// The per-partition resident budget: one worker owns
+/// `ceil(partitions / workers)` partitions, so a single partition may keep
+/// about that share of the worker cap in memory before overflowing to disk.
+fn part_budget(ctx: &DistContext) -> usize {
+    let limit = ctx.config().worker_memory.unwrap_or(usize::MAX);
+    let per_worker = ctx
+        .config()
+        .partitions
+        .max(1)
+        .div_ceil(ctx.config().workers.max(1));
+    (limit / per_worker.max(1)).max(1)
+}
+
+/// The working-set budget of one operator execution (a worker processes one
+/// partition at a time) — the governor's policy, defined once in
+/// [`MemoryGovernor::operator_budget`].
+fn op_budget(ctx: &DistContext) -> usize {
+    MemoryGovernor::new(
+        ctx.config().worker_memory.unwrap_or(usize::MAX),
+        ctx.config().workers,
+    )
+    .operator_budget()
+}
+
+/// Accumulates operator output chunks for one partition: stays in memory
+/// until the partition budget is exceeded, then overflows every chunk to a
+/// spill file — the write side of every streaming operator.
+struct PartBuilder<'a> {
+    ctx: &'a DistContext,
+    budget: usize,
+    mem: Vec<Batch>,
+    mem_logical: usize,
+    writer: Option<SpillChunkWriter>,
+}
+
+impl<'a> PartBuilder<'a> {
+    fn new(ctx: &'a DistContext) -> PartBuilder<'a> {
+        let budget = if ctx.spill_active() {
+            part_budget(ctx)
+        } else {
+            usize::MAX
+        };
+        PartBuilder {
+            ctx,
+            budget,
+            mem: Vec::new(),
+            mem_logical: 0,
+            writer: None,
+        }
+    }
+
+    fn push(&mut self, chunk: Batch) -> Result<()> {
+        if crate::spill::batch_is_void(&chunk) {
+            return Ok(());
+        }
+        if let Some(writer) = self.writer.as_mut() {
+            return writer.push(self.ctx, &chunk);
+        }
+        self.mem_logical += chunk.logical_bytes();
+        self.mem.push(chunk);
+        if self.mem_logical > self.budget {
+            // Overflow: move everything accumulated so far to disk.
+            let mut writer = SpillChunkWriter::new(self.ctx)?;
+            for chunk in self.mem.drain(..) {
+                writer.push(self.ctx, &chunk)?;
+            }
+            self.mem_logical = 0;
+            self.writer = Some(writer);
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Result<ColPart> {
+        match self.writer {
+            Some(writer) => Ok(ColPart::Spilled(Arc::new(writer.finish(self.ctx)?))),
+            None => Ok(ColPart::Mem(Batch::concat(&self.mem))),
+        }
+    }
+}
 
 /// A distributed collection of columnar [`Batch`]es, one per hash partition.
 #[derive(Clone)]
 pub struct ColCollection {
     ctx: DistContext,
-    parts: Arc<Vec<Batch>>,
+    parts: Arc<Vec<ColPart>>,
 }
 
 impl std::fmt::Debug for ColCollection {
@@ -55,6 +246,10 @@ impl std::fmt::Debug for ColCollection {
 
 impl ColCollection {
     fn from_parts(ctx: DistContext, parts: Vec<Batch>) -> Self {
+        ColCollection::from_col_parts(ctx, parts.into_iter().map(ColPart::Mem).collect())
+    }
+
+    fn from_col_parts(ctx: DistContext, parts: Vec<ColPart>) -> Self {
         ColCollection {
             ctx,
             parts: Arc::new(parts),
@@ -63,9 +258,24 @@ impl ColCollection {
 
     /// Wraps freshly produced operator output, enforcing the per-worker
     /// memory cap (on row-equivalent bytes, exactly like the row engine).
+    /// With spilling enabled, the memory governor spills victim partitions
+    /// instead of failing.
     fn materialize(ctx: DistContext, parts: Vec<Batch>) -> Result<Self> {
-        enforce_memory_col(&ctx, &parts)?;
-        Ok(ColCollection::from_parts(ctx, parts))
+        ColCollection::materialize_parts(ctx, parts.into_iter().map(ColPart::Mem).collect())
+    }
+
+    fn materialize_parts(ctx: DistContext, mut parts: Vec<ColPart>) -> Result<Self> {
+        if ctx.spill_active() {
+            crate::spill::govern_materialized(&ctx, &mut parts, ColPart::resident_bytes, |part| {
+                Ok(match part {
+                    ColPart::Mem(batch) => ColPart::Spilled(Arc::new(spill_batch(&ctx, batch)?)),
+                    ColPart::Spilled(s) => ColPart::Spilled(s.clone()),
+                })
+            })?;
+        } else {
+            enforce_memory_col(&ctx, &parts)?;
+        }
+        Ok(ColCollection::from_col_parts(ctx, parts))
     }
 
     /// Converts a row collection into batches, partition by partition — the
@@ -74,16 +284,14 @@ impl ColCollection {
     /// row values. `hints` come from the plan-layer schema and type columns
     /// the sampled values alone could not; ingest is not metered, matching
     /// the paper's exclusion of input loading.
-    pub fn ingest(coll: &DistCollection, hints: &[FieldHint]) -> ColCollection {
-        let parts: Vec<Batch> = coll
-            .partitions()
-            .iter()
-            .map(|rows| {
-                let refs: Vec<&Value> = rows.iter().collect();
-                Batch::from_row_refs_hinted(&refs, hints)
-            })
-            .collect();
-        ColCollection::from_parts(coll.context().clone(), parts)
+    pub fn ingest(coll: &DistCollection, hints: &[FieldHint]) -> Result<ColCollection> {
+        let mut parts: Vec<Batch> = Vec::with_capacity(coll.num_partitions());
+        coll.for_each_partition(|rows| {
+            let refs: Vec<&Value> = rows.iter().collect();
+            parts.push(Batch::from_row_refs_hinted(&refs, hints));
+            Ok(())
+        })?;
+        Ok(ColCollection::from_parts(coll.context().clone(), parts))
     }
 
     /// An empty columnar collection over this context's partitions.
@@ -108,49 +316,97 @@ impl ColCollection {
         &self.ctx
     }
 
-    /// The partition batches.
-    pub fn partitions(&self) -> &[Batch] {
-        &self.parts
+    /// The partitions loaded as batches (spilled partitions are read back;
+    /// resident ones are borrowed). For consumers that genuinely need every
+    /// partition at once — streaming consumers use
+    /// [`ColCollection::for_each_batch`] instead.
+    pub fn batches(&self) -> Result<Vec<Cow<'_, Batch>>> {
+        self.parts.iter().map(|p| p.batch(&self.ctx)).collect()
+    }
+
+    /// Streams every partition chunk by chunk: at most one decoded spill
+    /// frame is resident at a time, so schema inspection over spilled
+    /// collections does not re-materialize what the memory cap evicted.
+    pub fn for_each_batch(&self, mut f: impl FnMut(&Batch) -> Result<()>) -> Result<()> {
+        for part in self.parts.iter() {
+            for chunk in part.chunks(&self.ctx)? {
+                f(&chunk?)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Number of partitions currently spilled to disk.
+    pub fn spilled_partitions(&self) -> usize {
+        self.parts
+            .iter()
+            .filter(|p| matches!(p, ColPart::Spilled(_)))
+            .count()
+    }
+
+    /// The attribute names of the first non-empty partition's schema (used
+    /// by schema-directed consumers such as distributed unshredding).
+    pub fn first_fields(&self) -> Result<Vec<String>> {
+        for part in self.parts.iter() {
+            if part.rows() == 0 {
+                continue;
+            }
+            for chunk in part.chunks(&self.ctx)? {
+                let chunk = chunk?;
+                if !chunk.schema().fields().is_empty() {
+                    return Ok(chunk.schema().fields().to_vec());
+                }
+            }
+        }
+        Ok(Vec::new())
     }
 
     /// Total number of rows.
     pub fn len(&self) -> usize {
-        self.parts.iter().map(Batch::rows).sum()
+        self.parts.iter().map(ColPart::rows).sum()
     }
 
     /// True when no partition holds rows.
     pub fn is_empty(&self) -> bool {
-        self.parts.iter().all(Batch::is_empty)
+        self.parts.iter().all(|p| p.rows() == 0)
     }
 
     /// Row-equivalent (logical) bytes across all partitions — what the same
     /// rows would occupy in the row representation. Drives broadcast
     /// planning and the memory cap.
     pub fn logical_bytes(&self) -> usize {
-        self.parts.iter().map(Batch::logical_bytes).sum()
+        self.parts.iter().map(ColPart::logical_bytes).sum()
     }
 
     /// Exact physical buffer bytes across all partitions.
     pub fn physical_bytes(&self) -> usize {
-        self.parts.iter().map(Batch::physical_bytes).sum()
+        self.parts.iter().map(ColPart::physical_bytes).sum()
     }
 
     /// Materializes every partition back into the row representation — the
     /// **collect** boundary. Not metered.
-    pub fn to_rows(&self) -> DistCollection {
-        DistCollection::from_parts(
-            self.ctx.clone(),
-            self.parts.iter().map(Batch::to_rows).collect(),
-        )
+    pub fn to_rows(&self) -> Result<DistCollection> {
+        let mut parts = Vec::with_capacity(self.parts.len());
+        for part in self.parts.iter() {
+            parts.push(part.batch(&self.ctx)?.to_rows());
+        }
+        Ok(DistCollection::from_parts(self.ctx.clone(), parts))
     }
 
     /// Gathers every row into a [`Bag`].
-    pub fn collect_bag(&self) -> Bag {
+    pub fn collect_bag(&self) -> Result<Bag> {
         let mut items = Vec::with_capacity(self.len());
         for part in self.parts.iter() {
-            items.extend(part.to_rows());
+            for chunk in part.chunks(&self.ctx)? {
+                items.extend(chunk?.to_rows());
+            }
         }
-        Bag::new(items)
+        Ok(Bag::new(items))
     }
 
     /// Times `f` under operator name `op` in the context stats.
@@ -161,17 +417,16 @@ impl ColCollection {
         out
     }
 
-    /// Applies a whole-batch transform to every partition
+    /// Applies a whole-batch, row-local transform to every partition
     /// (partition-parallel, no shuffle). The compiler's vectorized expression
-    /// evaluator drives projections and extensions through this.
+    /// evaluator drives projections and extensions through this. Spilled
+    /// partitions stream chunk by chunk; oversized outputs overflow back to
+    /// disk.
     pub fn map_batches<F>(&self, op: &str, f: F) -> Result<ColCollection>
     where
         F: Fn(&Batch) -> Result<Batch> + Send + Sync,
     {
-        self.timed(op, || {
-            let parts = run_partitioned(&self.ctx, &self.parts, |_, b| f(b))?;
-            ColCollection::materialize(self.ctx.clone(), parts)
-        })
+        self.timed(op, || self.transform_streamed(&f))
     }
 
     /// Keeps the rows whose mask bit is set; `f` produces one bool per row of
@@ -187,25 +442,56 @@ impl ColCollection {
     where
         F: Fn(&Batch) -> Result<Vec<bool>> + Send + Sync,
     {
-        let parts = run_partitioned(&self.ctx, &self.parts, |_, b| {
+        self.transform_streamed(&|b: &Batch| {
             let mask = f(b)?;
             Ok(b.filter(&mask))
+        })
+    }
+
+    /// Shared body of the row-local streaming operators: applies `f` to each
+    /// chunk of each partition, accumulating outputs through a
+    /// [`PartBuilder`].
+    fn transform_streamed<F>(&self, f: &F) -> Result<ColCollection>
+    where
+        F: Fn(&Batch) -> Result<Batch> + Send + Sync,
+    {
+        let parts = run_partitioned(&self.ctx, &self.parts, |_, part| {
+            let mut builder = PartBuilder::new(&self.ctx);
+            for chunk in part.chunks(&self.ctx)? {
+                builder.push(f(&chunk?)?)?;
+            }
+            builder.finish()
         })?;
-        ColCollection::materialize(self.ctx.clone(), parts)
+        ColCollection::materialize_parts(self.ctx.clone(), parts)
     }
 
     /// Bag union: partitions are concatenated pairwise, no data moves.
+    /// Pairs involving a spilled partition are streamed into a fresh spill
+    /// file instead of being materialized.
     pub fn union(&self, other: &ColCollection) -> Result<ColCollection> {
         self.timed("union", || {
             let n = self.parts.len().max(other.parts.len());
-            let empty = Batch::empty();
+            let empty = ColPart::Mem(Batch::empty());
             let mut parts = Vec::with_capacity(n);
             for i in 0..n {
                 let a = self.parts.get(i).unwrap_or(&empty);
                 let b = other.parts.get(i).unwrap_or(&empty);
-                parts.push(Batch::concat(&[a.clone(), b.clone()]));
+                match (a, b) {
+                    (ColPart::Mem(a), ColPart::Mem(b)) => {
+                        parts.push(ColPart::Mem(Batch::concat(&[a.clone(), b.clone()])));
+                    }
+                    _ => {
+                        let mut builder = PartBuilder::new(&self.ctx);
+                        for side in [a, b] {
+                            for chunk in side.chunks(&self.ctx)? {
+                                builder.push(chunk?)?;
+                            }
+                        }
+                        parts.push(builder.finish()?);
+                    }
+                }
             }
-            ColCollection::materialize(self.ctx.clone(), parts)
+            ColCollection::materialize_parts(self.ctx.clone(), parts)
         })
     }
 
@@ -216,7 +502,8 @@ impl ColCollection {
             let shuffled = shuffle_batches(&self.ctx, &self.parts, |b, i| {
                 Ok(hash_value(&b.row_value(i)))
             })?;
-            let parts = run_partitioned(&self.ctx, &shuffled, |_, b| {
+            let parts = run_partitioned(&self.ctx, &shuffled, |_, part| {
+                let b = part.batch(&self.ctx)?;
                 let mut seen: HashSet<Value> = HashSet::with_capacity(b.rows());
                 let mut keep: Vec<usize> = Vec::new();
                 for i in 0..b.rows() {
@@ -235,22 +522,29 @@ impl ColCollection {
     pub fn with_unique_id(&self, attr: &str) -> Result<ColCollection> {
         self.timed("with_unique_id", || {
             let stride = self.parts.len().max(1) as i64;
-            let parts = run_partitioned(&self.ctx, &self.parts, |p, b| {
-                tuple_rows_required(b)?;
-                let data: Vec<i64> = (0..b.rows())
-                    .map(|i| p as i64 + i as i64 * stride)
-                    .collect();
-                let n = data.len();
-                Ok(b.with_column(
-                    attr,
-                    Arc::new(Column::Int {
-                        data,
-                        nulls: Bitmap::zeros(n),
-                        absent: Bitmap::zeros(n),
-                    }),
-                ))
+            let parts = run_partitioned(&self.ctx, &self.parts, |p, part| {
+                let mut builder = PartBuilder::new(&self.ctx);
+                let mut offset = 0usize;
+                for chunk in part.chunks(&self.ctx)? {
+                    let b = chunk?;
+                    tuple_rows_required(&b)?;
+                    let data: Vec<i64> = (0..b.rows())
+                        .map(|i| p as i64 + (offset + i) as i64 * stride)
+                        .collect();
+                    offset += b.rows();
+                    let n = data.len();
+                    builder.push(b.with_column(
+                        attr,
+                        Arc::new(Column::Int {
+                            data,
+                            nulls: Bitmap::zeros(n),
+                            absent: Bitmap::zeros(n),
+                        }),
+                    ))?;
+                }
+                builder.finish()
             })?;
-            ColCollection::materialize(self.ctx.clone(), parts)
+            ColCollection::materialize_parts(self.ctx.clone(), parts)
         })
     }
 
@@ -258,7 +552,8 @@ impl ColCollection {
     /// gathered by fan-out index, the bag column's child batch is spliced in
     /// (renamed to `alias.field` when an alias is given — a schema rewrite).
     /// With `outer`, rows whose bag is empty/NULL keep their parent tuple and
-    /// the inner attributes stay absent.
+    /// the inner attributes stay absent. Row-local, so spilled partitions
+    /// stream and flattening blow-ups overflow straight back to disk.
     pub fn unnest(
         &self,
         bag_attr: &str,
@@ -266,10 +561,7 @@ impl ColCollection {
         outer: bool,
     ) -> Result<ColCollection> {
         self.timed("flat_map", || {
-            let parts = run_partitioned(&self.ctx, &self.parts, |_, b| {
-                unnest_batch(b, bag_attr, alias, outer)
-            })?;
-            ColCollection::materialize(self.ctx.clone(), parts)
+            self.transform_streamed(&|b: &Batch| unnest_batch(b, bag_attr, alias, outer))
         })
     }
 
@@ -283,14 +575,19 @@ impl ColCollection {
     }
 
     fn nest_sum_untimed(&self, key: &[String], values: &[String]) -> Result<ColCollection> {
-        let partials = run_partitioned(&self.ctx, &self.parts, |_, b| {
-            sum_batch(b, key, values, false)
+        // Map-side partials stream chunk by chunk into one accumulator per
+        // partition (algebraic aggregation: chunk order cannot matter).
+        let partials = run_partitioned(&self.ctx, &self.parts, |_, part| {
+            sum_chunks(part.chunks(&self.ctx)?, key, values, false)
         })?;
+        let partials: Vec<ColPart> = partials.into_iter().map(ColPart::Mem).collect();
         let shuffled = shuffle_batches(&self.ctx, &partials, |b, i| {
             Ok(hash_key(&routing_key(b, i, key)))
         })?;
-        let parts = run_partitioned(&self.ctx, &shuffled, |_, b| sum_batch(b, key, values, true))?;
-        ColCollection::materialize(self.ctx.clone(), parts)
+        let parts = run_partitioned(&self.ctx, &shuffled, |_, part| {
+            self.grouped_part(part, key, |b| sum_batch(b, key, values, true))
+        })?;
+        ColCollection::materialize_parts(self.ctx.clone(), parts)
     }
 
     /// The `Γ⊎` grouping over columns: rows shuffle by key hash, then each
@@ -306,11 +603,36 @@ impl ColCollection {
             let shuffled = shuffle_batches(&self.ctx, &self.parts, |b, i| {
                 Ok(hash_key(&routing_key(b, i, key)))
             })?;
-            let parts = run_partitioned(&self.ctx, &shuffled, |_, b| {
-                nest_bag_batch(b, key, value_attrs, out_attr)
+            let parts = run_partitioned(&self.ctx, &shuffled, |_, part| {
+                self.grouped_part(part, key, |b| nest_bag_batch(b, key, value_attrs, out_attr))
             })?;
-            ColCollection::materialize(self.ctx.clone(), parts)
+            ColCollection::materialize_parts(self.ctx.clone(), parts)
         })
+    }
+
+    /// Runs a grouping finalizer over one co-partitioned-by-key partition.
+    /// Oversized partitions go out-of-core: rows are sub-partitioned by a
+    /// salted hash of the grouping key into on-disk buckets (groups never
+    /// span buckets) and each bucket is finalized independently.
+    fn grouped_part(
+        &self,
+        part: &ColPart,
+        key: &[String],
+        finalize: impl Fn(&Batch) -> Result<Batch>,
+    ) -> Result<ColPart> {
+        let ctx = &self.ctx;
+        if !ctx.spill_active() || part.logical_bytes() <= op_budget(ctx) {
+            return Ok(ColPart::Mem(finalize(part.batch(ctx)?.as_ref())?));
+        }
+        let buckets = spill_split(ctx, part, op_budget(ctx), |b, i| {
+            Ok(salted(hash_key(&routing_key(b, i, key))))
+        })?;
+        let mut builder = PartBuilder::new(ctx);
+        for bucket in &buckets {
+            let b = read_batches(ctx, bucket)?;
+            builder.push(finalize(&b)?)?;
+        }
+        builder.finish()
     }
 
     /// Distributed equi-join following `spec` (broadcast / shuffle chosen
@@ -390,8 +712,10 @@ fn tuple_rows_required(b: &Batch) -> Result<()> {
 
 /// Enforces the simulated per-worker memory cap on freshly materialized
 /// batches, charged in row-equivalent bytes so FAIL behaviour matches the
-/// row engine.
-fn enforce_memory_col(ctx: &DistContext, parts: &[Batch]) -> Result<()> {
+/// row engine. Only reached with spilling off; spilled partitions (left over
+/// from a spill-enabled producer) still charge their logical size — turning
+/// spilling off mid-pipeline does not grant free memory.
+fn enforce_memory_col(ctx: &DistContext, parts: &[ColPart]) -> Result<()> {
     let Some(limit) = ctx.config().worker_memory else {
         return Ok(());
     };
@@ -442,33 +766,72 @@ fn group_key_tuple(b: &Batch, i: usize, key: &[String]) -> Tuple {
     )
 }
 
+/// Salts a routing hash so Grace sub-partitioning decorrelates from the
+/// cluster's partition hash (otherwise every row of one hash partition would
+/// land in the same sub-bucket).
+fn salted(h: u64) -> u64 {
+    // splitmix64 finalizer.
+    let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Sub-partitions one partition into on-disk buckets by a per-row hash —
+/// the Grace fan-out shared by the external hash join and the spilling
+/// grouping. The fan-out is sized so each bucket fits the operator budget.
+fn spill_split<F>(
+    ctx: &DistContext,
+    part: &ColPart,
+    budget: usize,
+    route: F,
+) -> Result<Vec<SpilledBatches>>
+where
+    F: Fn(&Batch, usize) -> Result<u64>,
+{
+    let fanout = (part.logical_bytes() / budget.max(1) + 1)
+        .next_power_of_two()
+        .clamp(2, 32);
+    spill_split_fanout(ctx, part, fanout, route)
+}
+
 /// Repartitions batch rows by a per-row hash, metering the move as a shuffle
 /// with both logical (row-equivalent) and exact physical buffer bytes.
-fn shuffle_batches<F>(ctx: &DistContext, parts: &[Batch], route: F) -> Result<Vec<Batch>>
+///
+/// This is the **spilling shuffle writer**: resident source partitions ship
+/// one piece per target exactly as before, spilled sources stream chunk by
+/// chunk, and a receiving partition whose accumulated pieces exceed its
+/// budget is written to disk frame by frame instead of concatenated in
+/// memory.
+fn shuffle_batches<F>(ctx: &DistContext, parts: &[ColPart], route: F) -> Result<Vec<ColPart>>
 where
     F: Fn(&Batch, usize) -> Result<u64> + Send + Sync,
 {
     let nparts = ctx.config().partitions.max(1);
-    let bucketed = run_partitioned(ctx, parts, |_, b| {
-        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); nparts];
-        for i in 0..b.rows() {
-            let target = (route(b, i)? % nparts as u64) as usize;
-            buckets[target].push(i);
-        }
-        let mut shipped: Vec<Option<Batch>> = Vec::with_capacity(nparts);
+    let bucketed = run_partitioned(ctx, parts, |_, part| {
+        let mut shipped: Vec<Vec<Batch>> = vec![Vec::new(); nparts];
+        let mut rows = 0u64;
         let mut logical = 0u64;
         let mut physical = 0u64;
-        for idx in &buckets {
-            if idx.is_empty() {
-                shipped.push(None);
-                continue;
+        for chunk in part.chunks(ctx)? {
+            let b = chunk?;
+            rows += b.rows() as u64;
+            let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); nparts];
+            for i in 0..b.rows() {
+                let target = (route(&b, i)? % nparts as u64) as usize;
+                buckets[target].push(i);
             }
-            let piece = b.take(idx);
-            logical += piece.logical_bytes() as u64;
-            physical += piece.physical_bytes() as u64;
-            shipped.push(Some(piece));
+            for (target, idx) in buckets.iter().enumerate() {
+                if idx.is_empty() {
+                    continue;
+                }
+                let piece = b.take(idx);
+                logical += piece.logical_bytes() as u64;
+                physical += piece.physical_bytes() as u64;
+                shipped[target].push(piece);
+            }
         }
-        Ok((shipped, b.rows() as u64, logical, physical))
+        Ok((shipped, rows, logical, physical))
     })?;
     let mut received: Vec<Vec<Batch>> = (0..nparts).map(|_| Vec::new()).collect();
     let mut tuples = 0u64;
@@ -478,14 +841,26 @@ where
         tuples += t;
         logical += l;
         physical += p;
-        for (target, piece) in shipped.into_iter().enumerate() {
-            if let Some(piece) = piece {
-                received[target].push(piece);
-            }
+        for (target, pieces) in shipped.into_iter().enumerate() {
+            received[target].extend(pieces);
         }
     }
     ctx.stats().record_shuffle(tuples, logical, physical);
-    Ok(received.into_iter().map(|b| Batch::concat(&b)).collect())
+    received
+        .into_iter()
+        .map(|pieces| {
+            let total: usize = pieces.iter().map(Batch::logical_bytes).sum();
+            if ctx.spill_active() && total > part_budget(ctx) {
+                let mut builder = PartBuilder::new(ctx);
+                for piece in pieces {
+                    builder.push(piece)?;
+                }
+                builder.finish()
+            } else {
+                Ok(ColPart::Mem(Batch::concat(&pieces)))
+            }
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -626,20 +1001,30 @@ fn merge_element_row(row: &mut Tuple, elem: &Value, alias: Option<&str>) {
 // grouping
 // ---------------------------------------------------------------------------
 
-/// One local `Γ+` pass over a batch (see [`ColCollection::nest_sum`]).
-fn sum_batch(b: &Batch, key: &[String], values: &[String], finalize: bool) -> Result<Batch> {
-    tuple_rows_required(b)?;
+/// Streaming `Γ+` over a partition's chunks: one accumulation map across all
+/// chunks (see [`ColCollection::nest_sum`]). Aggregation is algebraic, so
+/// feeding chunks sequentially is exactly the whole-batch result.
+fn sum_chunks(
+    chunks: ColChunks<'_>,
+    key: &[String],
+    values: &[String],
+    finalize: bool,
+) -> Result<Batch> {
     let mut groups: HashMap<Tuple, Vec<Value>> = HashMap::new();
     let mut order: Vec<Tuple> = Vec::new();
-    for i in 0..b.rows() {
-        let k = group_key_tuple(b, i, key);
-        let sums = groups.entry(k.clone()).or_insert_with(|| {
-            order.push(k);
-            vec![Value::Null; values.len()]
-        });
-        for (slot, name) in sums.iter_mut().zip(values) {
-            let v = b.value_at(i, name).unwrap_or(Value::Null);
-            *slot = slot.numeric_add(&v)?;
+    for chunk in chunks {
+        let b = chunk?;
+        tuple_rows_required(&b)?;
+        for i in 0..b.rows() {
+            let k = group_key_tuple(&b, i, key);
+            let sums = groups.entry(k.clone()).or_insert_with(|| {
+                order.push(k);
+                vec![Value::Null; values.len()]
+            });
+            for (slot, name) in sums.iter_mut().zip(values) {
+                let v = b.value_at(i, name).unwrap_or(Value::Null);
+                *slot = slot.numeric_add(&v)?;
+            }
         }
     }
     let mut out_rows = Vec::with_capacity(order.len());
@@ -656,6 +1041,11 @@ fn sum_batch(b: &Batch, key: &[String], values: &[String], finalize: bool) -> Re
         out_rows.push(Value::Tuple(row));
     }
     Ok(Batch::from_rows(&out_rows))
+}
+
+/// One local `Γ+` pass over a single batch.
+fn sum_batch(b: &Batch, key: &[String], values: &[String], finalize: bool) -> Result<Batch> {
+    sum_chunks(ColChunks::Mem(Some(b)), key, values, finalize)
 }
 
 /// One partition's `Γ⊎`: group rows, emit key columns plus an offset-encoded
@@ -837,14 +1227,22 @@ fn broadcast_right_col(
 ) -> Result<ColCollection> {
     let ctx = left.ctx.clone();
     meter_broadcast_col(&ctx, right, skew);
-    let rbatch = Batch::concat(right.partitions());
+    // The broadcast side fits under the broadcast limit by construction:
+    // concatenate it resident.
+    let rbatches: Vec<Cow<'_, Batch>> = right.batches()?;
+    let rowned: Vec<Batch> = rbatches.iter().map(|b| b.as_ref().clone()).collect();
+    let rbatch = Batch::concat(&rowned);
     tuple_rows_required(&rbatch)?;
     let rproj = project_right_batch(&rbatch, spec);
     let table = build_table(&rbatch, spec.right_keys())?;
-    let parts = run_partitioned(&ctx, left.partitions(), |_, lbatch| {
-        gather_joined(lbatch, &rproj, &table, spec)
+    let parts = run_partitioned(&ctx, &left.parts, |_, part| {
+        let mut builder = PartBuilder::new(&ctx);
+        for chunk in part.chunks(&ctx)? {
+            builder.push(gather_joined(&chunk?, &rproj, &table, spec)?)?;
+        }
+        builder.finish()
     })?;
-    ColCollection::materialize(ctx, parts)
+    ColCollection::materialize_parts(ctx, parts)
 }
 
 /// Inner-join variant replicating the (small) left side and probing it from
@@ -856,28 +1254,106 @@ fn broadcast_left_col(
 ) -> Result<ColCollection> {
     let ctx = left.ctx.clone();
     meter_broadcast_col(&ctx, left, false);
-    let lbatch = Batch::concat(left.partitions());
+    let lbatches: Vec<Cow<'_, Batch>> = left.batches()?;
+    let lowned: Vec<Batch> = lbatches.iter().map(|b| b.as_ref().clone()).collect();
+    let lbatch = Batch::concat(&lowned);
     tuple_rows_required(&lbatch)?;
     let table = build_table(&lbatch, spec.left_keys())?;
-    let parts = run_partitioned(&ctx, right.partitions(), |_, rbatch| {
-        tuple_rows_required(rbatch)?;
-        let rproj = project_right_batch(rbatch, spec);
-        let mut lidx: Vec<usize> = Vec::new();
-        let mut ridx: Vec<Option<usize>> = Vec::new();
-        for i in 0..rbatch.rows() {
-            if let Some(matches) = key_at(rbatch, i, spec.right_keys()).and_then(|k| table.get(&k))
-            {
-                for l in matches {
-                    lidx.push(*l);
-                    ridx.push(Some(i));
+    let parts = run_partitioned(&ctx, &right.parts, |_, part| {
+        let mut builder = PartBuilder::new(&ctx);
+        for chunk in part.chunks(&ctx)? {
+            let rbatch = chunk?;
+            tuple_rows_required(&rbatch)?;
+            let rproj = project_right_batch(&rbatch, spec);
+            let mut lidx: Vec<usize> = Vec::new();
+            let mut ridx: Vec<Option<usize>> = Vec::new();
+            for i in 0..rbatch.rows() {
+                if let Some(matches) =
+                    key_at(&rbatch, i, spec.right_keys()).and_then(|k| table.get(&k))
+                {
+                    for l in matches {
+                        lidx.push(*l);
+                        ridx.push(Some(i));
+                    }
                 }
             }
+            let left_side = lbatch.take(&lidx);
+            let right_side = rproj.take_opt(&ridx, none_is_absent(spec));
+            builder.push(left_side.merge_overwrite(&right_side))?;
         }
-        let left_side = lbatch.take(&lidx);
-        let right_side = rproj.take_opt(&ridx, none_is_absent(spec));
-        Ok(left_side.merge_overwrite(&right_side))
+        builder.finish()
     })?;
-    ColCollection::materialize(ctx, parts)
+    ColCollection::materialize_parts(ctx, parts)
+}
+
+/// One co-partitioned join pair that exceeds the operator budget: the
+/// **external (Grace-style) hash join**. Both sides sub-partition by a
+/// salted key hash into on-disk buckets; bucket pairs are then joined one at
+/// a time, so the in-memory working set is one bucket pair instead of one
+/// partition pair.
+fn grace_join_partition(
+    ctx: &DistContext,
+    lpart: &ColPart,
+    rpart: &ColPart,
+    spec: &JoinSpec,
+) -> Result<ColPart> {
+    let budget = op_budget(ctx);
+    let route = |cols: &[String]| {
+        let cols = cols.to_vec();
+        move |b: &Batch, i: usize| -> Result<u64> {
+            Ok(salted(hash_key(
+                &key_at(b, i, &cols).expect("grace inputs are keyed"),
+            )))
+        }
+    };
+    // Both sides must use the same fan-out for bucket pairs to align; size
+    // it from the larger side.
+    let joint = lpart.logical_bytes().max(rpart.logical_bytes());
+    let fanout = (joint / budget.max(1) + 1).next_power_of_two().clamp(2, 32);
+    let lbuckets = spill_split_fanout(ctx, lpart, fanout, route(spec.left_keys()))?;
+    let rbuckets = spill_split_fanout(ctx, rpart, fanout, route(spec.right_keys()))?;
+    let mut builder = PartBuilder::new(ctx);
+    for (lb, rb) in lbuckets.iter().zip(&rbuckets) {
+        if lb.rows() == 0 {
+            continue;
+        }
+        let rbatch = read_batches(ctx, rb)?;
+        let rproj = project_right_batch(&rbatch, spec);
+        let table = build_table(&rbatch, spec.right_keys())?;
+        for chunk in batch_frames(ctx, lb)? {
+            builder.push(gather_joined(&chunk?, &rproj, &table, spec)?)?;
+        }
+    }
+    builder.finish()
+}
+
+/// [`spill_split`] with a caller-fixed fan-out (Grace bucket pairs must
+/// align across the two join sides).
+fn spill_split_fanout<F>(
+    ctx: &DistContext,
+    part: &ColPart,
+    fanout: usize,
+    route: F,
+) -> Result<Vec<SpilledBatches>>
+where
+    F: Fn(&Batch, usize) -> Result<u64>,
+{
+    let mut writers: Vec<SpillChunkWriter> = (0..fanout)
+        .map(|_| SpillChunkWriter::new(ctx))
+        .collect::<Result<_>>()?;
+    for chunk in part.chunks(ctx)? {
+        let b = chunk?;
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); fanout];
+        for i in 0..b.rows() {
+            buckets[(route(&b, i)? % fanout as u64) as usize].push(i);
+        }
+        for (f, idx) in buckets.iter().enumerate() {
+            if !idx.is_empty() {
+                writers[f].push(ctx, &b.take(idx))?;
+            }
+        }
+    }
+    writers.into_iter().map(|w| w.finish(ctx)).collect()
 }
 
 fn shuffle_join_col(
@@ -897,17 +1373,20 @@ fn shuffle_join_col(
     let mut local_unmatched: Option<Batch> = None;
     if spec.kind() == JoinKind::LeftOuter {
         let mut unmatched: Vec<Batch> = Vec::new();
-        for b in left.partitions() {
-            tuple_rows_required(b)?;
-            let mask: Vec<bool> = (0..b.rows())
-                .map(|i| key_at(b, i, spec.left_keys()).is_none())
-                .collect();
-            if mask.iter().any(|m| *m) {
-                let kept = b.filter(&mask);
-                let n = kept.rows();
-                let nulls = project_right_batch(&Batch::empty(), spec)
-                    .take_opt(&vec![None; n], none_is_absent(spec));
-                unmatched.push(kept.merge_overwrite(&nulls));
+        for part in left.parts.iter() {
+            for chunk in part.chunks(&ctx)? {
+                let b = chunk?;
+                tuple_rows_required(&b)?;
+                let mask: Vec<bool> = (0..b.rows())
+                    .map(|i| key_at(&b, i, spec.left_keys()).is_none())
+                    .collect();
+                if mask.iter().any(|m| *m) {
+                    let kept = b.filter(&mask);
+                    let n = kept.rows();
+                    let nulls = project_right_batch(&Batch::empty(), spec)
+                        .take_opt(&vec![None; n], none_is_absent(spec));
+                    unmatched.push(kept.merge_overwrite(&nulls));
+                }
             }
         }
         if !unmatched.is_empty() {
@@ -925,27 +1404,45 @@ fn shuffle_join_col(
     };
     let keyed_left = keyed(left, spec.left_keys())?;
     let keyed_right = keyed(right, spec.right_keys())?;
-    let lparts = shuffle_batches(&ctx, keyed_left.partitions(), |b, i| {
+    let lparts = shuffle_batches(&ctx, &keyed_left.parts, |b, i| {
         Ok(hash_key(&key_at(b, i, spec.left_keys()).expect("filtered")))
     })?;
-    let rparts = shuffle_batches(&ctx, keyed_right.partitions(), |b, i| {
+    let rparts = shuffle_batches(&ctx, &keyed_right.parts, |b, i| {
         Ok(hash_key(
             &key_at(b, i, spec.right_keys()).expect("filtered"),
         ))
     })?;
-    let mut parts = run_partitioned(&ctx, &lparts, |p, lbatch| {
-        let rbatch = &rparts[p];
-        let rproj = project_right_batch(rbatch, spec);
-        let table = build_table(rbatch, spec.right_keys())?;
-        gather_joined(lbatch, &rproj, &table, spec)
+    let mut parts = run_partitioned(&ctx, &lparts, |p, lpart| {
+        let rpart = &rparts[p];
+        if ctx.spill_active() && lpart.logical_bytes() + rpart.logical_bytes() > op_budget(&ctx) {
+            return grace_join_partition(&ctx, lpart, rpart, spec);
+        }
+        let rbatch = rpart.batch(&ctx)?;
+        let rproj = project_right_batch(&rbatch, spec);
+        let table = build_table(&rbatch, spec.right_keys())?;
+        let mut builder = PartBuilder::new(&ctx);
+        for chunk in lpart.chunks(&ctx)? {
+            builder.push(gather_joined(&chunk?, &rproj, &table, spec)?)?;
+        }
+        builder.finish()
     })?;
     if let Some(unmatched) = local_unmatched {
         match parts.first_mut() {
-            Some(first) => *first = Batch::concat(&[std::mem::take(first), unmatched]),
-            None => parts.push(unmatched),
+            Some(ColPart::Mem(first)) => {
+                *first = Batch::concat(&[std::mem::take(first), unmatched]);
+            }
+            Some(slot) => {
+                let mut builder = PartBuilder::new(&ctx);
+                for chunk in slot.chunks(&ctx)? {
+                    builder.push(chunk?)?;
+                }
+                builder.push(unmatched)?;
+                *slot = builder.finish()?;
+            }
+            None => parts.push(ColPart::Mem(unmatched)),
         }
     }
-    ColCollection::materialize(ctx, parts)
+    ColCollection::materialize_parts(ctx, parts)
 }
 
 // ---------------------------------------------------------------------------
@@ -966,17 +1463,20 @@ fn detect_heavy_keys_col(data: &ColCollection, key_cols: &[String]) -> Result<Ha
     let mut counts: HashMap<Vec<Value>, usize> = HashMap::new();
     let mut sampled = 0usize;
     let mut global = 0usize;
-    for b in data.partitions() {
-        tuple_rows_required(b)?;
-        for i in 0..b.rows() {
-            let pick = global.is_multiple_of(stride);
-            global += 1;
-            if !pick {
-                continue;
-            }
-            sampled += 1;
-            if let Some(key) = key_at(b, i, key_cols) {
-                *counts.entry(key).or_insert(0) += 1;
+    for part in data.parts.iter() {
+        for chunk in part.chunks(&data.ctx)? {
+            let b = chunk?;
+            tuple_rows_required(&b)?;
+            for i in 0..b.rows() {
+                let pick = global.is_multiple_of(stride);
+                global += 1;
+                if !pick {
+                    continue;
+                }
+                sampled += 1;
+                if let Some(key) = key_at(&b, i, key_cols) {
+                    *counts.entry(key).or_insert(0) += 1;
+                }
             }
         }
     }

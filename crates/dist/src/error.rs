@@ -21,6 +21,9 @@ pub enum ExecError {
     },
     /// A row-level evaluation error bubbled up from the NRC value model.
     Nrc(NrcError),
+    /// The spill subsystem failed (I/O error or corrupt spill frame). Carries
+    /// the rendered error so `ExecError` stays `Clone + PartialEq`.
+    Spill(String),
     /// Anything else (unknown inputs, unsupported shapes, ...).
     Other(String),
 }
@@ -38,6 +41,7 @@ impl fmt::Display for ExecError {
                  {limit_bytes} allowed)"
             ),
             ExecError::Nrc(e) => write!(f, "{e}"),
+            ExecError::Spill(msg) => write!(f, "spill failure: {msg}"),
             ExecError::Other(msg) => write!(f, "{msg}"),
         }
     }
@@ -55,6 +59,12 @@ impl std::error::Error for ExecError {
 impl From<NrcError> for ExecError {
     fn from(e: NrcError) -> Self {
         ExecError::Nrc(e)
+    }
+}
+
+impl From<std::io::Error> for ExecError {
+    fn from(e: std::io::Error) -> Self {
+        ExecError::Spill(e.to_string())
     }
 }
 

@@ -193,8 +193,11 @@ fn broadcast_right(
     let ctx = left.context().clone();
     meter_broadcast(&ctx, right, skew);
     // Build and probe with *borrowed* keys: no key value is cloned per row.
+    // The replicated side is materialized once (it fits under the broadcast
+    // limit by construction, spilled partitions included).
+    let rstore = right.partitions()?;
     let mut table: RefKeyTable<'_, Vec<Tuple>> = RefKeyTable::with_capacity(right.len());
-    for row in right.partitions().iter().flatten() {
+    for row in rstore.iter().flat_map(|p| p.iter()) {
         let t = row.as_tuple()?;
         if let Some(key) = key_of_ref(t, spec.right_keys()) {
             table
@@ -203,9 +206,10 @@ fn broadcast_right(
         }
     }
     let null_right = spec.null_right();
-    let parts = run_partitioned(&ctx, left.partitions(), |_, rows| {
+    let parts = run_partitioned(&ctx, left.parts(), |_, part| {
+        let rows = part.rows(&ctx)?;
         let mut out = Vec::with_capacity(rows.len());
-        for row in rows {
+        for row in rows.iter() {
             let t = row.as_tuple()?;
             match key_of_ref(t, spec.left_keys()).and_then(|k| table.get(&k)) {
                 Some(matches) => {
@@ -234,16 +238,17 @@ fn broadcast_left(
 ) -> Result<DistCollection> {
     let ctx = left.context().clone();
     meter_broadcast(&ctx, left, false);
+    let lstore = left.partitions()?;
     let mut table: RefKeyTable<'_, Vec<&Value>> = RefKeyTable::with_capacity(left.len());
-    for row in left.partitions().iter().flatten() {
+    for row in lstore.iter().flat_map(|p| p.iter()) {
         let t = row.as_tuple()?;
         if let Some(key) = key_of_ref(t, spec.left_keys()) {
             table.entry_or_insert_with(key, Vec::new).push(row);
         }
     }
-    let parts = run_partitioned(&ctx, right.partitions(), |_, rows| {
+    let parts = run_partitioned(&ctx, right.parts(), |_, part| {
         let mut out = Vec::new();
-        for row in rows {
+        for row in part.rows(&ctx)?.iter() {
             let t = row.as_tuple()?;
             if let Some(matches) = key_of_ref(t, spec.right_keys()).and_then(|k| table.get(&k)) {
                 let projected = spec.project_right(t);
@@ -276,10 +281,12 @@ fn shuffle_join(
     let mut local_unmatched: Vec<Value> = Vec::new();
     if spec.kind() == JoinKind::LeftOuter {
         let null_right = spec.null_right();
-        for row in left.partitions().iter().flatten() {
-            let t = row.as_tuple()?;
-            if key_of_ref(t, spec.left_keys()).is_none() {
-                local_unmatched.push(Value::Tuple(t.concat(&null_right)));
+        for part in left.parts() {
+            for row in part.rows(&ctx)?.iter() {
+                let t = row.as_tuple()?;
+                if key_of_ref(t, spec.left_keys()).is_none() {
+                    local_unmatched.push(Value::Tuple(t.concat(&null_right)));
+                }
             }
         }
     }
@@ -287,12 +294,12 @@ fn shuffle_join(
         left.filter(|row| Ok(key_of_ref(row.as_tuple()?, spec.left_keys()).is_some()))?;
     let keyed_right =
         right.filter(|row| Ok(key_of_ref(row.as_tuple()?, spec.right_keys()).is_some()))?;
-    let lparts = shuffle(&ctx, keyed_left.partitions(), |row| {
+    let lparts = shuffle(&ctx, keyed_left.parts(), |row| {
         Ok(hash_key_ref(
             &key_of_ref(row.as_tuple()?, spec.left_keys()).expect("filtered"),
         ))
     })?;
-    let rparts = shuffle(&ctx, keyed_right.partitions(), |row| {
+    let rparts = shuffle(&ctx, keyed_right.parts(), |row| {
         Ok(hash_key_ref(
             &key_of_ref(row.as_tuple()?, spec.right_keys()).expect("filtered"),
         ))

@@ -38,12 +38,25 @@
 //! The engine also simulates the paper's FAIL runs: when a per-worker memory
 //! cap is configured ([`ClusterConfig::with_worker_memory`]), operators whose
 //! output overloads a worker raise [`ExecError::MemoryExceeded`].
+//!
+//! With the **out-of-core spill subsystem** enabled
+//! ([`ClusterConfig::with_spill`], backed by the `trance-store` crate),
+//! memory pressure spills instead of failing: the memory governor picks
+//! victim partitions at materialize time, shuffle writers overflow oversized
+//! receiving partitions to disk, co-partitioned joins that exceed the
+//! operator budget run as external (Grace-style) hash joins over on-disk
+//! buckets, and grouping finalizers sub-partition the same way (see
+//! [`spill`] and [`colops`]). Spill traffic is metered in
+//! [`StatsSnapshot::spilled_bytes`] / `spill_files` / `spill_micros`.
 
 #![warn(missing_docs)]
 
-use std::sync::Arc;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 use trance_nrc::Value;
+use trance_store::SpillManager;
 
 pub mod batch;
 pub mod colops;
@@ -52,6 +65,7 @@ pub mod join;
 pub mod ops;
 mod partition;
 pub mod skew;
+pub mod spill;
 pub mod stats;
 
 pub use batch::{Batch, Bitmap, Column, FieldHint, Schema, StrDict};
@@ -80,6 +94,15 @@ pub struct ClusterConfig {
     /// Sampled frequency share at which a key counts as heavy; defaults to
     /// `1 / partitions` when unset.
     pub skew_threshold: Option<f64>,
+    /// Whether the spill subsystem is available: with this set (and a
+    /// [`ClusterConfig::worker_memory`] cap configured), operators whose
+    /// materialized output overloads a worker spill victim partitions to
+    /// disk instead of raising [`ExecError::MemoryExceeded`]. Off by default
+    /// so the paper's FAIL reproduction is untouched.
+    pub spill: bool,
+    /// Base directory for the run's scoped spill directory (the system temp
+    /// directory when unset).
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl ClusterConfig {
@@ -93,6 +116,8 @@ impl ClusterConfig {
             worker_memory: None,
             skew_sample: 1024,
             skew_threshold: None,
+            spill: false,
+            spill_dir: None,
         }
     }
 
@@ -105,6 +130,22 @@ impl ClusterConfig {
     /// Sets the simulated per-worker memory cap in bytes.
     pub fn with_worker_memory(mut self, bytes: usize) -> ClusterConfig {
         self.worker_memory = Some(bytes);
+        self
+    }
+
+    /// Enables the out-of-core spill subsystem: with a worker memory cap
+    /// set, memory pressure spills victim partitions to disk instead of
+    /// failing the run.
+    pub fn with_spill(mut self) -> ClusterConfig {
+        self.spill = true;
+        self
+    }
+
+    /// Enables spilling with an explicit base directory for the run's
+    /// scoped spill directory.
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> ClusterConfig {
+        self.spill = true;
+        self.spill_dir = Some(dir.into());
         self
     }
 
@@ -132,6 +173,14 @@ impl ClusterConfig {
 struct CtxInner {
     config: ClusterConfig,
     stats: Stats,
+    /// Per-run spill toggle: lets a caller (the compiler's
+    /// `ExecOptions::spill`) run one query with spilling off on a
+    /// spill-capable cluster — the FAIL-vs-spill comparison the capped
+    /// benchmarks report.
+    spill_session: AtomicBool,
+    /// The scoped spill directory, created lazily on the first spill so
+    /// non-spilling runs never touch the filesystem.
+    spill_manager: Mutex<Option<Arc<SpillManager>>>,
 }
 
 /// Handle to the simulated cluster: configuration plus shared metrics.
@@ -148,6 +197,8 @@ impl DistContext {
             inner: Arc::new(CtxInner {
                 config,
                 stats: Stats::new(),
+                spill_session: AtomicBool::new(true),
+                spill_manager: Mutex::new(None),
             }),
         }
     }
@@ -160,6 +211,44 @@ impl DistContext {
     /// The shared engine metrics.
     pub fn stats(&self) -> &Stats {
         &self.inner.stats
+    }
+
+    /// True when memory pressure spills instead of failing: the cluster
+    /// enables spilling, a worker memory cap is set, and the current session
+    /// has not turned spilling off.
+    pub fn spill_active(&self) -> bool {
+        self.inner.config.spill
+            && self.inner.config.worker_memory.is_some()
+            && self.inner.spill_session.load(Ordering::Relaxed)
+    }
+
+    /// Toggles spilling for subsequent operators on this context (no-op on
+    /// clusters without [`ClusterConfig::spill`]). The compiler sets this
+    /// from `ExecOptions::spill` at the start of each run.
+    pub fn set_spill_session(&self, on: bool) {
+        self.inner.spill_session.store(on, Ordering::Relaxed);
+    }
+
+    /// The run's scoped spill directory, if any spill has happened yet.
+    /// Tests assert it drains back to empty once spilled collections drop.
+    pub fn spill_dir(&self) -> Option<PathBuf> {
+        self.inner
+            .spill_manager
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|m| m.dir().to_path_buf())
+    }
+
+    /// The spill manager, created on first use.
+    pub(crate) fn spill_manager(&self) -> error::Result<Arc<SpillManager>> {
+        let mut slot = self.inner.spill_manager.lock().unwrap();
+        if let Some(m) = slot.as_ref() {
+            return Ok(m.clone());
+        }
+        let manager = Arc::new(SpillManager::new(self.inner.config.spill_dir.as_deref())?);
+        *slot = Some(manager.clone());
+        Ok(manager)
     }
 
     /// Distributes local rows over the cluster's partitions (round-robin).

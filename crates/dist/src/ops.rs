@@ -7,7 +7,15 @@
 //! cap on its output, and records its wall-clock time under its operator
 //! name. Grouping operators pre-aggregate map-side before shuffling, so a
 //! skewed grouping key costs at most `partitions` partial rows per key.
+//!
+//! With the spill subsystem enabled, a partition is either resident
+//! (`Vec<Value>`) or spilled (encoded row chunks in a `trance-store` frame
+//! file), and the memory governor spills victim partitions at materialize
+//! time instead of raising [`crate::ExecError::MemoryExceeded`] — the row
+//! representation goes out-of-core through the same machinery as the
+//! columnar one, so the differential oracles cover spilling runs too.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -16,16 +24,67 @@ use trance_nrc::{Bag, MemSize, Tuple, Value};
 
 use crate::error::Result;
 use crate::partition::{
-    enforce_memory, hash_key_ref, hash_value, run_partitioned, shuffle, split_round_robin,
+    enforce_memory, hash_key_ref, hash_value, run_partitioned, shuffle, split_round_robin, PartRows,
 };
+use crate::spill::{govern_materialized, read_rows, spill_rows, SpilledRows};
 use crate::DistContext;
+
+/// One partition of a [`DistCollection`]: resident rows or a spilled frame
+/// file (shared so collection clones share the file; it is deleted when the
+/// last reference drops).
+#[derive(Debug, Clone)]
+pub(crate) enum RowPart {
+    /// Resident rows.
+    Mem(Vec<Value>),
+    /// Disk-resident partition.
+    Spilled(Arc<SpilledRows>),
+}
+
+impl RowPart {
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            RowPart::Mem(rows) => rows.len(),
+            RowPart::Spilled(s) => s.rows(),
+        }
+    }
+
+    /// `Value::mem_size` bytes currently resident in worker memory.
+    pub(crate) fn resident_bytes(&self) -> usize {
+        match self {
+            RowPart::Mem(rows) => rows.iter().map(MemSize::mem_size).sum(),
+            RowPart::Spilled(_) => 0,
+        }
+    }
+
+    /// Logical `Value::mem_size` bytes, wherever the partition lives.
+    pub(crate) fn logical_bytes(&self) -> usize {
+        match self {
+            RowPart::Mem(rows) => rows.iter().map(MemSize::mem_size).sum(),
+            RowPart::Spilled(s) => s.bytes(),
+        }
+    }
+
+    /// The partition's rows (spilled partitions are read back).
+    pub(crate) fn rows<'a>(&'a self, ctx: &DistContext) -> Result<Cow<'a, [Value]>> {
+        match self {
+            RowPart::Mem(rows) => Ok(Cow::Borrowed(rows)),
+            RowPart::Spilled(s) => Ok(Cow::Owned(read_rows(ctx, s)?)),
+        }
+    }
+}
+
+impl PartRows for RowPart {
+    fn part_rows(&self) -> usize {
+        self.len()
+    }
+}
 
 /// A distributed collection: rows hash-partitioned into
 /// `ClusterConfig::partitions` slices owned by a [`DistContext`].
 #[derive(Clone)]
 pub struct DistCollection {
     ctx: DistContext,
-    parts: Arc<Vec<Vec<Value>>>,
+    parts: Arc<Vec<RowPart>>,
 }
 
 impl std::fmt::Debug for DistCollection {
@@ -43,15 +102,33 @@ impl DistCollection {
     pub(crate) fn from_parts(ctx: DistContext, parts: Vec<Vec<Value>>) -> Self {
         DistCollection {
             ctx,
+            parts: Arc::new(parts.into_iter().map(RowPart::Mem).collect()),
+        }
+    }
+
+    fn from_row_parts(ctx: DistContext, parts: Vec<RowPart>) -> Self {
+        DistCollection {
+            ctx,
             parts: Arc::new(parts),
         }
     }
 
     /// Wraps freshly produced operator output, enforcing the per-worker
-    /// memory cap first.
+    /// memory cap first. With spilling enabled, the memory governor spills
+    /// victim partitions instead of failing.
     pub(crate) fn materialize(ctx: DistContext, parts: Vec<Vec<Value>>) -> Result<Self> {
-        enforce_memory(&ctx, &parts)?;
-        Ok(DistCollection::from_parts(ctx, parts))
+        let mut parts: Vec<RowPart> = parts.into_iter().map(RowPart::Mem).collect();
+        if ctx.spill_active() {
+            govern_materialized(&ctx, &mut parts, RowPart::resident_bytes, |part| {
+                Ok(match part {
+                    RowPart::Mem(rows) => RowPart::Spilled(Arc::new(spill_rows(&ctx, rows)?)),
+                    RowPart::Spilled(s) => RowPart::Spilled(s.clone()),
+                })
+            })?;
+        } else {
+            enforce_memory(&ctx, &parts)?;
+        }
+        Ok(DistCollection::from_row_parts(ctx, parts))
     }
 
     /// Distributes `rows` round-robin over the context's partitions.
@@ -65,14 +142,61 @@ impl DistCollection {
         &self.ctx
     }
 
-    /// The partitioned rows (partition `i` lives on worker `i % workers`).
-    pub fn partitions(&self) -> &[Vec<Value>] {
+    /// The internal partition set.
+    pub(crate) fn parts(&self) -> &[RowPart] {
         &self.parts
+    }
+
+    /// The partitioned rows (partition `i` lives on worker `i % workers`).
+    /// Spilled partitions are read back; resident ones are borrowed. Fails
+    /// with [`crate::ExecError::Spill`] when a spill file cannot be read —
+    /// for one-partition-at-a-time consumers prefer
+    /// [`DistCollection::for_each_partition`], which never holds more than
+    /// one spilled partition resident.
+    pub fn partitions(&self) -> Result<Vec<Cow<'_, [Value]>>> {
+        self.parts.iter().map(|p| p.rows(&self.ctx)).collect()
+    }
+
+    /// Streams the partitions one at a time: each spilled partition is read
+    /// back, handed to `f`, and dropped before the next loads.
+    pub fn for_each_partition(&self, mut f: impl FnMut(&[Value]) -> Result<()>) -> Result<()> {
+        for part in self.parts.iter() {
+            f(&part.rows(&self.ctx)?)?;
+        }
+        Ok(())
+    }
+
+    /// The attribute names of the first available tuple row, stopping at the
+    /// first non-empty partition — at most one spilled partition is read
+    /// (the row twin of [`crate::ColCollection::first_fields`]).
+    pub fn first_fields(&self) -> Result<Vec<String>> {
+        for part in self.parts.iter() {
+            if part.len() == 0 {
+                continue;
+            }
+            if let Some(Value::Tuple(t)) = part.rows(&self.ctx)?.first() {
+                return Ok(t.field_names().iter().map(|s| s.to_string()).collect());
+            }
+        }
+        Ok(Vec::new())
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Number of partitions currently spilled to disk.
+    pub fn spilled_partitions(&self) -> usize {
+        self.parts
+            .iter()
+            .filter(|p| matches!(p, RowPart::Spilled(_)))
+            .count()
     }
 
     /// Total number of rows.
     pub fn len(&self) -> usize {
-        self.parts.iter().map(Vec::len).sum()
+        self.parts.iter().map(RowPart::len).sum()
     }
 
     /// Alias of [`DistCollection::len`], matching bulk-collection APIs.
@@ -82,21 +206,38 @@ impl DistCollection {
 
     /// True when the collection holds no rows.
     pub fn is_empty(&self) -> bool {
-        self.parts.iter().all(Vec::is_empty)
+        self.parts.iter().all(|p| p.len() == 0)
     }
 
     /// Estimated total in-memory size in bytes (used for broadcast planning
     /// and shuffle metering).
     pub fn total_bytes(&self) -> usize {
-        self.parts.iter().flatten().map(MemSize::mem_size).sum()
+        self.parts.iter().map(RowPart::logical_bytes).sum()
+    }
+
+    /// Gathers every row to the caller ("driver"), in partition order, with
+    /// spill-read failures surfaced as [`crate::ExecError::Spill`].
+    pub fn try_collect(&self) -> Result<Vec<Value>> {
+        let mut out = Vec::with_capacity(self.len());
+        for part in self.parts.iter() {
+            out.extend(part.rows(&self.ctx)?.iter().cloned());
+        }
+        Ok(out)
     }
 
     /// Gathers every row to the caller ("driver"), in partition order.
+    ///
+    /// The final operator's output can itself be spilled, so this *is* a
+    /// spill-read site: a spill file that cannot be read back at the collect
+    /// boundary panics here. Drivers that want the error instead use
+    /// [`DistCollection::try_collect`].
     pub fn collect(&self) -> Vec<Value> {
-        self.parts.iter().flatten().cloned().collect()
+        self.try_collect()
+            .expect("failed to read a spilled partition at the collect boundary")
     }
 
-    /// Gathers every row into a [`Bag`].
+    /// Gathers every row into a [`Bag`] (panics like
+    /// [`DistCollection::collect`]; see [`DistCollection::try_collect`]).
     pub fn collect_bag(&self) -> Bag {
         Bag::new(self.collect())
     }
@@ -115,8 +256,11 @@ impl DistCollection {
         F: Fn(&Value) -> Result<Value> + Send + Sync,
     {
         self.timed("map", || {
-            let parts = run_partitioned(&self.ctx, &self.parts, |_, rows| {
-                rows.iter().map(&f).collect::<Result<Vec<Value>>>()
+            let parts = run_partitioned(&self.ctx, &self.parts, |_, part| {
+                part.rows(&self.ctx)?
+                    .iter()
+                    .map(&f)
+                    .collect::<Result<Vec<Value>>>()
             })?;
             DistCollection::materialize(self.ctx.clone(), parts)
         })
@@ -128,9 +272,9 @@ impl DistCollection {
         F: Fn(&Value) -> Result<bool> + Send + Sync,
     {
         self.timed("filter", || {
-            let parts = run_partitioned(&self.ctx, &self.parts, |_, rows| {
+            let parts = run_partitioned(&self.ctx, &self.parts, |_, part| {
                 let mut out = Vec::new();
-                for row in rows {
+                for row in part.rows(&self.ctx)?.iter() {
                     if pred(row)? {
                         out.push(row.clone());
                     }
@@ -148,9 +292,9 @@ impl DistCollection {
         F: Fn(&Value) -> Result<Vec<Value>> + Send + Sync,
     {
         self.timed("flat_map", || {
-            let parts = run_partitioned(&self.ctx, &self.parts, |_, rows| {
+            let parts = run_partitioned(&self.ctx, &self.parts, |_, part| {
                 let mut out = Vec::new();
-                for row in rows {
+                for row in part.rows(&self.ctx)?.iter() {
                     out.extend(f(row)?);
                 }
                 Ok(out)
@@ -165,8 +309,13 @@ impl DistCollection {
             let n = self.parts.len().max(other.parts.len());
             let mut parts = Vec::with_capacity(n);
             for i in 0..n {
-                let mut p = self.parts.get(i).cloned().unwrap_or_default();
-                p.extend(other.parts.get(i).cloned().unwrap_or_default());
+                let mut p: Vec<Value> = match self.parts.get(i) {
+                    Some(part) => part.rows(&self.ctx)?.into_owned(),
+                    None => Vec::new(),
+                };
+                if let Some(part) = other.parts.get(i) {
+                    p.extend(part.rows(&self.ctx)?.iter().cloned());
+                }
                 parts.push(p);
             }
             DistCollection::materialize(self.ctx.clone(), parts)
@@ -197,8 +346,9 @@ impl DistCollection {
     pub fn with_unique_id(&self, attr: &str) -> Result<DistCollection> {
         self.timed("with_unique_id", || {
             let stride = self.parts.len().max(1) as i64;
-            let parts = run_partitioned(&self.ctx, &self.parts, |p, rows| {
-                rows.iter()
+            let parts = run_partitioned(&self.ctx, &self.parts, |p, part| {
+                part.rows(&self.ctx)?
+                    .iter()
                     .enumerate()
                     .map(|(i, row)| {
                         let mut t = row.as_tuple()?.clone();
@@ -221,9 +371,10 @@ impl DistCollection {
     /// moves at most one partial row per source partition.
     pub fn nest_sum(&self, key: &[String], values: &[String]) -> Result<DistCollection> {
         self.timed("nest_sum", || {
-            let partials = run_partitioned(&self.ctx, &self.parts, |_, rows| {
-                sum_partition(rows, key, values, false)
+            let partials = run_partitioned(&self.ctx, &self.parts, |_, part| {
+                sum_partition(&part.rows(&self.ctx)?, key, values, false)
             })?;
+            let partials: Vec<RowPart> = partials.into_iter().map(RowPart::Mem).collect();
             let shuffled = shuffle(&self.ctx, &partials, |row| {
                 Ok(hash_routing_key(row.as_tuple()?, key))
             })?;

@@ -13,9 +13,10 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
 
-use trance_nrc::{MemSize, Tuple, Value};
+use trance_nrc::{Tuple, Value};
 
 use crate::error::{ExecError, Result};
+use crate::ops::RowPart;
 use crate::DistContext;
 
 /// Below this many total rows an operator runs on the calling thread: the
@@ -98,15 +99,18 @@ where
 }
 
 /// Enforces the simulated per-worker memory cap on a freshly materialized
-/// partition set. Partition `i` is charged to worker `i % workers`.
-pub(crate) fn enforce_memory(ctx: &DistContext, parts: &[Vec<Value>]) -> Result<()> {
+/// partition set. Partition `i` is charged to worker `i % workers`. Only
+/// reached with spilling off; partitions already on disk (left over from a
+/// spill-enabled producer) still charge their logical size — turning
+/// spilling off mid-pipeline does not grant free memory.
+pub(crate) fn enforce_memory(ctx: &DistContext, parts: &[RowPart]) -> Result<()> {
     let Some(limit) = ctx.config().worker_memory else {
         return Ok(());
     };
     let workers = ctx.config().workers.max(1);
     let mut used = vec![0usize; workers];
     for (i, part) in parts.iter().enumerate() {
-        used[i % workers] += part.iter().map(MemSize::mem_size).sum::<usize>();
+        used[i % workers] += part.logical_bytes();
     }
     for (worker, used_bytes) in used.into_iter().enumerate() {
         if used_bytes > limit {
@@ -213,20 +217,17 @@ impl<'a, V> RefKeyTable<'a, V> {
 
 /// Repartitions rows by `route` (a hash per row), metering the move as a
 /// shuffle under `op`. Returns the new partition set (same partition count).
-pub(crate) fn shuffle<F>(
-    ctx: &DistContext,
-    parts: &[Vec<Value>],
-    route: F,
-) -> Result<Vec<Vec<Value>>>
+pub(crate) fn shuffle<F>(ctx: &DistContext, parts: &[RowPart], route: F) -> Result<Vec<Vec<Value>>>
 where
     F: Fn(&Value) -> Result<u64> + Send + Sync,
 {
     let nparts = ctx.config().partitions.max(1);
-    let bucketed = run_partitioned(ctx, parts, |_, rows| {
+    let bucketed = run_partitioned(ctx, parts, |_, part| {
+        let rows = part.rows(ctx)?;
         let mut buckets: Vec<Vec<Value>> = (0..nparts).map(|_| Vec::new()).collect();
         let mut bytes = 0u64;
-        for row in rows {
-            bytes += row.mem_size() as u64;
+        for row in rows.iter() {
+            bytes += trance_nrc::MemSize::mem_size(row) as u64;
             let target = (route(row)? % nparts as u64) as usize;
             buckets[target].push(row.clone());
         }

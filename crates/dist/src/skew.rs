@@ -158,7 +158,8 @@ pub fn detect_heavy_keys(
     let stride = (total / sample_target).max(1);
     let mut counts: HashMap<Vec<Value>, usize> = HashMap::new();
     let mut sampled = 0usize;
-    for (i, row) in data.partitions().iter().flatten().enumerate() {
+    let parts = data.partitions()?;
+    for (i, row) in parts.iter().flat_map(|p| p.iter()).enumerate() {
         if i % stride != 0 {
             continue;
         }

@@ -1,0 +1,570 @@
+//! The engine side of the out-of-core subsystem: the compact on-disk
+//! serialization of [`Batch`] and of row partitions, plus the spilled-part
+//! bookkeeping the operators use.
+//!
+//! A spilled **columnar** partition is a `trance-store` spill file whose
+//! frames are encoded batch chunks (at most [`SPILL_CHUNK_ROWS`] rows each):
+//! schema header (field names + opaque flag), then one typed column per
+//! attribute — `i64`/`f64`/`bool`/date vectors, string dictionaries
+//! (concatenated buffer + offsets + codes), offset-encoded bag columns whose
+//! child batch recurses through the same format, and the null/absent
+//! validity bitmaps as raw words. The round trip is lossless, like the
+//! in-memory `Value` ↔ `Batch` path; `dist/tests/spill_roundtrip.rs` holds it
+//! to strict equality on random nested batches.
+//!
+//! A spilled **row** partition stores frames of encoded `Vec<Value>` chunks
+//! (the `trance-store` value codec), so the row-representation differential
+//! oracle spills through the same machinery.
+//!
+//! All writes and reads are metered into the context [`crate::Stats`]
+//! (`spilled_bytes`, `spill_files`, `spill_micros`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use trance_nrc::{MemSize, Value};
+use trance_store::{
+    decode_value, encode_value, ByteReader, ByteWriter, SpillHandle, SpillReader, Spillable,
+};
+
+use crate::batch::{BagElems, Batch, Bitmap, Column, Schema, StrDict};
+use crate::error::Result;
+use crate::DistContext;
+
+/// Maximum rows per spill frame: bounds the memory a streaming reader needs
+/// to hold one decoded chunk.
+pub const SPILL_CHUNK_ROWS: usize = 2048;
+
+// ---------------------------------------------------------------------------
+// batch codec
+// ---------------------------------------------------------------------------
+
+// Column tags — part of the on-disk format, do not renumber.
+const COL_INT: u8 = 0;
+const COL_REAL: u8 = 1;
+const COL_BOOL: u8 = 2;
+const COL_DATE: u8 = 3;
+const COL_STR: u8 = 4;
+const COL_BAG_ROWS: u8 = 5;
+const COL_BAG_VALUES: u8 = 6;
+const COL_OTHER: u8 = 7;
+
+fn encode_bitmap(bm: &Bitmap, w: &mut ByteWriter) {
+    w.u32(bm.len() as u32);
+    for word in bm.words() {
+        w.u64(*word);
+    }
+}
+
+fn decode_bitmap(r: &mut ByteReader<'_>) -> std::io::Result<Bitmap> {
+    let len = r.u32()? as usize;
+    let mut words = Vec::with_capacity(len.div_ceil(64));
+    for _ in 0..len.div_ceil(64) {
+        words.push(r.u64()?);
+    }
+    Ok(Bitmap::from_words(words, len))
+}
+
+fn encode_column(col: &Column, w: &mut ByteWriter) {
+    macro_rules! prim {
+        ($tag:expr, $data:expr, $nulls:expr, $absent:expr, $write:ident) => {{
+            w.u8($tag);
+            w.u32($data.len() as u32);
+            for v in $data {
+                w.$write(*v);
+            }
+            encode_bitmap($nulls, w);
+            encode_bitmap($absent, w);
+        }};
+    }
+    match col {
+        Column::Int {
+            data,
+            nulls,
+            absent,
+        } => prim!(COL_INT, data, nulls, absent, i64),
+        Column::Real {
+            data,
+            nulls,
+            absent,
+        } => prim!(COL_REAL, data, nulls, absent, f64),
+        Column::Date {
+            data,
+            nulls,
+            absent,
+        } => prim!(COL_DATE, data, nulls, absent, i64),
+        Column::Bool {
+            data,
+            nulls,
+            absent,
+        } => {
+            w.u8(COL_BOOL);
+            w.u32(data.len() as u32);
+            for v in data {
+                w.u8(u8::from(*v));
+            }
+            encode_bitmap(nulls, w);
+            encode_bitmap(absent, w);
+        }
+        Column::Str {
+            dict,
+            codes,
+            nulls,
+            absent,
+        } => {
+            w.u8(COL_STR);
+            let (bytes, offsets) = dict.raw_parts();
+            w.str(bytes);
+            w.u32(offsets.len() as u32);
+            for o in offsets {
+                w.u32(*o);
+            }
+            w.u32(codes.len() as u32);
+            for c in codes {
+                w.u32(*c);
+            }
+            encode_bitmap(nulls, w);
+            encode_bitmap(absent, w);
+        }
+        Column::Bag {
+            offsets,
+            elems,
+            nulls,
+            absent,
+        } => {
+            match elems {
+                BagElems::Rows(child) => {
+                    w.u8(COL_BAG_ROWS);
+                    w.u32(offsets.len() as u32);
+                    for o in offsets {
+                        w.u32(*o);
+                    }
+                    child.encode(w);
+                }
+                BagElems::Values(values) => {
+                    w.u8(COL_BAG_VALUES);
+                    w.u32(offsets.len() as u32);
+                    for o in offsets {
+                        w.u32(*o);
+                    }
+                    w.u32(values.len() as u32);
+                    for v in values {
+                        encode_value(v, w);
+                    }
+                }
+            }
+            encode_bitmap(nulls, w);
+            encode_bitmap(absent, w);
+        }
+        Column::Other { values, absent } => {
+            w.u8(COL_OTHER);
+            w.u32(values.len() as u32);
+            for v in values {
+                encode_value(v, w);
+            }
+            encode_bitmap(absent, w);
+        }
+    }
+}
+
+fn decode_column(r: &mut ByteReader<'_>) -> std::io::Result<Column> {
+    let tag = r.u8()?;
+    macro_rules! prim {
+        ($variant:ident, $read:ident) => {{
+            let n = r.u32()? as usize;
+            let mut data = Vec::with_capacity(n);
+            for _ in 0..n {
+                data.push(r.$read()?);
+            }
+            let nulls = decode_bitmap(r)?;
+            let absent = decode_bitmap(r)?;
+            Column::$variant {
+                data,
+                nulls,
+                absent,
+            }
+        }};
+    }
+    Ok(match tag {
+        COL_INT => prim!(Int, i64),
+        COL_REAL => prim!(Real, f64),
+        COL_DATE => prim!(Date, i64),
+        COL_BOOL => {
+            let n = r.u32()? as usize;
+            let mut data = Vec::with_capacity(n);
+            for _ in 0..n {
+                data.push(r.u8()? != 0);
+            }
+            let nulls = decode_bitmap(r)?;
+            let absent = decode_bitmap(r)?;
+            Column::Bool {
+                data,
+                nulls,
+                absent,
+            }
+        }
+        COL_STR => {
+            let bytes = r.str()?;
+            let n_offsets = r.u32()? as usize;
+            let mut offsets = Vec::with_capacity(n_offsets);
+            for _ in 0..n_offsets {
+                offsets.push(r.u32()?);
+            }
+            let n_codes = r.u32()? as usize;
+            let mut codes = Vec::with_capacity(n_codes);
+            for _ in 0..n_codes {
+                codes.push(r.u32()?);
+            }
+            let nulls = decode_bitmap(r)?;
+            let absent = decode_bitmap(r)?;
+            Column::Str {
+                dict: StrDict::from_raw(bytes, offsets),
+                codes,
+                nulls,
+                absent,
+            }
+        }
+        COL_BAG_ROWS | COL_BAG_VALUES => {
+            let n_offsets = r.u32()? as usize;
+            let mut offsets = Vec::with_capacity(n_offsets);
+            for _ in 0..n_offsets {
+                offsets.push(r.u32()?);
+            }
+            let elems = if tag == COL_BAG_ROWS {
+                BagElems::Rows(Box::new(Batch::decode(r)?))
+            } else {
+                let n = r.u32()? as usize;
+                let mut values = Vec::with_capacity(n);
+                for _ in 0..n {
+                    values.push(decode_value(r)?);
+                }
+                BagElems::Values(values)
+            };
+            let nulls = decode_bitmap(r)?;
+            let absent = decode_bitmap(r)?;
+            Column::Bag {
+                offsets,
+                elems,
+                nulls,
+                absent,
+            }
+        }
+        COL_OTHER => {
+            let n = r.u32()? as usize;
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(decode_value(r)?);
+            }
+            let absent = decode_bitmap(r)?;
+            Column::Other { values, absent }
+        }
+        other => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unknown column tag {other} in spill frame"),
+            ))
+        }
+    })
+}
+
+/// The compact on-disk batch layout: row count, schema header (opaque flag +
+/// field names), then the typed columns.
+impl Spillable for Batch {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.u32(self.rows() as u32);
+        w.u8(u8::from(self.schema().is_opaque()));
+        w.u32(self.schema().fields().len() as u32);
+        for f in self.schema().fields() {
+            w.str(f);
+        }
+        w.u32(self.columns().len() as u32);
+        for col in self.columns() {
+            encode_column(col, w);
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> std::io::Result<Batch> {
+        let rows = r.u32()? as usize;
+        let opaque = r.u8()? != 0;
+        let n_fields = r.u32()? as usize;
+        let mut fields = Vec::with_capacity(n_fields);
+        for _ in 0..n_fields {
+            fields.push(r.str()?);
+        }
+        let schema = if opaque {
+            Schema::opaque()
+        } else {
+            Schema::new(fields)
+        };
+        let n_cols = r.u32()? as usize;
+        let mut columns = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            columns.push(Arc::new(decode_column(r)?));
+        }
+        Ok(Batch::from_raw(Arc::new(schema), columns, rows))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// spilled partitions
+// ---------------------------------------------------------------------------
+
+/// A columnar partition resident on disk: the sealed spill file plus the
+/// metadata planners need without reading it back (row count and the
+/// logical / physical sizes it had in memory). A partition that never
+/// received a row carries no file at all (`handle: None`) — empty Grace
+/// buckets must not create files or count in the spill stats.
+#[derive(Debug)]
+pub struct SpilledBatches {
+    handle: Option<SpillHandle>,
+    rows: usize,
+    logical_bytes: usize,
+    physical_bytes: usize,
+}
+
+impl SpilledBatches {
+    /// Number of rows on disk.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Row-equivalent (logical) bytes the partition had in memory.
+    pub fn logical_bytes(&self) -> usize {
+        self.logical_bytes
+    }
+
+    /// Physical buffer bytes the partition had in memory.
+    pub fn physical_bytes(&self) -> usize {
+        self.physical_bytes
+    }
+}
+
+/// A row partition resident on disk.
+#[derive(Debug)]
+pub struct SpilledRows {
+    handle: SpillHandle,
+    rows: usize,
+    bytes: usize,
+}
+
+impl SpilledRows {
+    /// Number of rows on disk.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// `Value::mem_size` bytes the partition had in memory.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+/// True for a batch carrying no information at all — no rows *and* no
+/// schema. Such batches are skipped by both the resident accumulation path
+/// and the spill writer (one shared predicate, so whether a partition
+/// spilled cannot change which batches survive).
+pub(crate) fn batch_is_void(batch: &Batch) -> bool {
+    batch.is_empty() && batch.schema().fields().is_empty()
+}
+
+/// The memory governor pass every materialization runs under spilling: maps
+/// each partition to its resident bytes, asks the governor for victims, and
+/// replaces each victim with its spilled form — one definition serving both
+/// the row and the columnar engine, so victim policy cannot drift between
+/// the differential twins.
+pub(crate) fn govern_materialized<P>(
+    ctx: &DistContext,
+    parts: &mut [P],
+    resident_bytes: impl Fn(&P) -> usize,
+    spill_part: impl Fn(&P) -> Result<P>,
+) -> Result<()> {
+    let gov = trance_store::MemoryGovernor::new(
+        ctx.config()
+            .worker_memory
+            .expect("spill_active implies a worker memory cap"),
+        ctx.config().workers,
+    );
+    let sizes: Vec<usize> = parts.iter().map(&resident_bytes).collect();
+    for victim in gov.plan_spills(&sizes) {
+        parts[victim] = spill_part(&parts[victim])?;
+    }
+    Ok(())
+}
+
+/// Splits a batch into row-range chunks of at most [`SPILL_CHUNK_ROWS`] rows
+/// (one spill frame each).
+pub(crate) fn batch_chunks(batch: &Batch) -> Vec<Batch> {
+    if batch.rows() <= SPILL_CHUNK_ROWS {
+        return vec![batch.clone()];
+    }
+    let mut out = Vec::with_capacity(batch.rows().div_ceil(SPILL_CHUNK_ROWS));
+    let mut lo = 0;
+    while lo < batch.rows() {
+        let hi = (lo + SPILL_CHUNK_ROWS).min(batch.rows());
+        let idx: Vec<usize> = (lo..hi).collect();
+        out.push(batch.take(&idx));
+        lo = hi;
+    }
+    out
+}
+
+/// Incremental writer of one spilled columnar partition: chunks are encoded
+/// and appended as frames; [`SpillChunkWriter::finish`] seals the file and
+/// meters the spill into the context stats. The file is created lazily on
+/// the first pushed row, so a writer that never receives data (an empty
+/// Grace bucket) leaves no file behind and is not counted in `spill_files`.
+pub(crate) struct SpillChunkWriter {
+    file: Option<trance_store::SpillFile>,
+    rows: usize,
+    logical_bytes: usize,
+    physical_bytes: usize,
+    elapsed: std::time::Duration,
+}
+
+impl SpillChunkWriter {
+    /// A writer whose spill file is created on first use.
+    pub(crate) fn new(_ctx: &DistContext) -> Result<SpillChunkWriter> {
+        Ok(SpillChunkWriter {
+            file: None,
+            rows: 0,
+            logical_bytes: 0,
+            physical_bytes: 0,
+            elapsed: std::time::Duration::ZERO,
+        })
+    }
+
+    /// Appends a batch (re-chunked to [`SPILL_CHUNK_ROWS`]-row frames so the
+    /// streaming reader's working set stays bounded). Empty batches that
+    /// still carry a schema are written (one empty frame), so schema-bearing
+    /// partitions survive the disk round trip exactly like the resident
+    /// path's `Batch::concat` preserves them.
+    pub(crate) fn push(&mut self, ctx: &DistContext, batch: &Batch) -> Result<()> {
+        if batch_is_void(batch) {
+            return Ok(());
+        }
+        let start = Instant::now();
+        let file = match self.file.as_mut() {
+            Some(file) => file,
+            None => self.file.insert(ctx.spill_manager()?.create()?),
+        };
+        for chunk in batch_chunks(batch) {
+            self.rows += chunk.rows();
+            self.logical_bytes += chunk.logical_bytes();
+            self.physical_bytes += chunk.physical_bytes();
+            let mut w = ByteWriter::new();
+            chunk.encode(&mut w);
+            file.append(&w.into_bytes())?;
+        }
+        self.elapsed += start.elapsed();
+        Ok(())
+    }
+
+    /// Seals the file (when one was created) and meters the spill.
+    pub(crate) fn finish(self, ctx: &DistContext) -> Result<SpilledBatches> {
+        let handle = match self.file {
+            Some(file) => {
+                let bytes = file.bytes();
+                let handle = file.finish()?;
+                ctx.stats().record_spill(bytes, 1, self.elapsed);
+                Some(handle)
+            }
+            None => None,
+        };
+        Ok(SpilledBatches {
+            handle,
+            rows: self.rows,
+            logical_bytes: self.logical_bytes,
+            physical_bytes: self.physical_bytes,
+        })
+    }
+}
+
+/// Spills one in-memory batch (chunked into frames).
+pub(crate) fn spill_batch(ctx: &DistContext, batch: &Batch) -> Result<SpilledBatches> {
+    let mut writer = SpillChunkWriter::new(ctx)?;
+    writer.push(ctx, batch)?;
+    writer.finish(ctx)
+}
+
+/// Streaming reader over a spilled columnar partition: one decoded chunk at
+/// a time, never the whole partition. Read time is metered as spill time.
+pub(crate) struct BatchFrames<'a> {
+    ctx: &'a DistContext,
+    reader: Option<SpillReader>,
+}
+
+impl Iterator for BatchFrames<'_> {
+    type Item = Result<Batch>;
+
+    fn next(&mut self) -> Option<Result<Batch>> {
+        let reader = self.reader.as_mut()?;
+        let start = Instant::now();
+        let frame = match reader.next_frame() {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return None,
+            Err(e) => return Some(Err(e.into())),
+        };
+        let out = Batch::decode(&mut ByteReader::new(&frame)).map_err(Into::into);
+        self.ctx.stats().record_spill(0, 0, start.elapsed());
+        Some(out)
+    }
+}
+
+/// Opens a streaming reader over a spilled columnar partition (empty for a
+/// fileless empty partition).
+pub(crate) fn batch_frames<'a>(
+    ctx: &'a DistContext,
+    spilled: &SpilledBatches,
+) -> Result<BatchFrames<'a>> {
+    Ok(BatchFrames {
+        ctx,
+        reader: spilled.handle.as_ref().map(SpillHandle::open).transpose()?,
+    })
+}
+
+/// Reads a whole spilled columnar partition back into one batch.
+pub(crate) fn read_batches(ctx: &DistContext, spilled: &SpilledBatches) -> Result<Batch> {
+    let chunks: Vec<Batch> = batch_frames(ctx, spilled)?.collect::<Result<_>>()?;
+    Ok(Batch::concat(&chunks))
+}
+
+/// Spills one row partition (chunked into frames of [`SPILL_CHUNK_ROWS`]).
+pub(crate) fn spill_rows(ctx: &DistContext, rows: &[Value]) -> Result<SpilledRows> {
+    let start = Instant::now();
+    let manager = ctx.spill_manager()?;
+    let mut file = manager.create()?;
+    let mut bytes = 0usize;
+    for chunk in rows.chunks(SPILL_CHUNK_ROWS.max(1)) {
+        bytes += chunk.iter().map(MemSize::mem_size).sum::<usize>();
+        let mut w = ByteWriter::new();
+        w.u32(chunk.len() as u32);
+        for v in chunk {
+            encode_value(v, &mut w);
+        }
+        file.append(&w.into_bytes())?;
+    }
+    let file_bytes = file.bytes();
+    let handle = file.finish()?;
+    ctx.stats().record_spill(file_bytes, 1, start.elapsed());
+    Ok(SpilledRows {
+        handle,
+        rows: rows.len(),
+        bytes,
+    })
+}
+
+/// Reads a whole spilled row partition back.
+pub(crate) fn read_rows(ctx: &DistContext, spilled: &SpilledRows) -> Result<Vec<Value>> {
+    let start = Instant::now();
+    let mut reader = spilled.handle.open()?;
+    let mut out = Vec::with_capacity(spilled.rows);
+    while let Some(frame) = reader.next_frame()? {
+        let mut r = ByteReader::new(&frame);
+        let n = r.u32().map_err(crate::error::ExecError::from)? as usize;
+        for _ in 0..n {
+            out.push(decode_value(&mut r).map_err(crate::error::ExecError::from)?);
+        }
+    }
+    ctx.stats().record_spill(0, 0, start.elapsed());
+    Ok(out)
+}

@@ -50,6 +50,9 @@ pub struct Stats {
     broadcast_joins: AtomicU64,
     skew_broadcast_joins: AtomicU64,
     skew_fallback_joins: AtomicU64,
+    spilled_bytes: AtomicU64,
+    spill_files: AtomicU64,
+    spill_micros: AtomicU64,
     timings: Mutex<BTreeMap<String, OpTiming>>,
 }
 
@@ -71,6 +74,9 @@ impl Stats {
         self.broadcast_joins.store(0, Ordering::Relaxed);
         self.skew_broadcast_joins.store(0, Ordering::Relaxed);
         self.skew_fallback_joins.store(0, Ordering::Relaxed);
+        self.spilled_bytes.store(0, Ordering::Relaxed);
+        self.spill_files.store(0, Ordering::Relaxed);
+        self.spill_micros.store(0, Ordering::Relaxed);
         self.timings.lock().unwrap().clear();
     }
 
@@ -111,6 +117,18 @@ impl Stats {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Meters bytes written to spill files (`bytes`), the number of spill
+    /// files created (`files`), and wall-clock time spent encoding, writing,
+    /// reading or decoding spill frames (`elapsed`). The spill subsystem
+    /// calls this from both the write and the read side, so `spill_ms` is
+    /// the run's total out-of-core I/O time.
+    pub fn record_spill(&self, bytes: u64, files: u64, elapsed: Duration) {
+        self.spilled_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.spill_files.fetch_add(files, Ordering::Relaxed);
+        self.spill_micros
+            .fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+    }
+
     /// Adds one execution of operator `op` taking `elapsed`.
     pub fn record_op(&self, op: &str, elapsed: Duration) {
         let mut timings = self.timings.lock().unwrap();
@@ -132,6 +150,9 @@ impl Stats {
             broadcast_joins: self.broadcast_joins.load(Ordering::Relaxed),
             skew_broadcast_joins: self.skew_broadcast_joins.load(Ordering::Relaxed),
             skew_fallback_joins: self.skew_fallback_joins.load(Ordering::Relaxed),
+            spilled_bytes: self.spilled_bytes.load(Ordering::Relaxed),
+            spill_files: self.spill_files.load(Ordering::Relaxed),
+            spill_micros: self.spill_micros.load(Ordering::Relaxed),
             op_timings: self.timings.lock().unwrap().clone(),
         }
     }
@@ -169,6 +190,12 @@ pub struct StatsSnapshot {
     pub skew_broadcast_joins: u64,
     /// Skew-aware joins whose heavy part fell back to a shuffle.
     pub skew_fallback_joins: u64,
+    /// Bytes written to spill files (frame payloads plus prefixes).
+    pub spilled_bytes: u64,
+    /// Spill files created during the run.
+    pub spill_files: u64,
+    /// Wall-clock microseconds spent on spill encode/write/read/decode.
+    pub spill_micros: u64,
     /// Per-operator call counts and wall-clock time.
     pub op_timings: BTreeMap<String, OpTiming>,
 }
@@ -188,6 +215,11 @@ impl StatsSnapshot {
     /// skew-aware heavy part).
     pub fn used_broadcast(&self) -> bool {
         self.broadcast_joins > 0 || self.skew_broadcast_joins > 0
+    }
+
+    /// Spill I/O time in milliseconds.
+    pub fn spill_ms(&self) -> f64 {
+        self.spill_micros as f64 / 1000.0
     }
 }
 

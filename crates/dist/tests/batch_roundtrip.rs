@@ -114,7 +114,10 @@ fn round_trip_through_the_columnar_collection_boundaries() {
             .map(|_| random_row(&mut rng, 2, false))
             .collect();
         let coll = ctx.parallelize(rows);
-        let round = ColCollection::ingest(&coll, &[]).to_rows();
+        let round = ColCollection::ingest(&coll, &[])
+            .unwrap()
+            .to_rows()
+            .unwrap();
         let orig = coll.collect();
         let back = round.collect();
         assert_eq!(orig.len(), back.len());

@@ -86,7 +86,7 @@ fn operators_run_partition_parallel_across_workers() {
         })
         .unwrap();
     assert_eq!(out.len(), 10_000);
-    assert_eq!(out.partitions().len(), 8);
+    assert_eq!(out.num_partitions(), 8);
     let distinct_threads = threads.lock().unwrap().len();
     assert!(
         distinct_threads >= 4,

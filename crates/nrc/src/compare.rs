@@ -1,0 +1,95 @@
+//! Result comparison for distributed and out-of-core runs: canonical
+//! (multiset) ordering and float-tolerant equality.
+//!
+//! Bags are multisets, so two correct executions may emit the same result in
+//! different element orders — distribution, skew splitting and spilling all
+//! reorder. [`canonical_rows`] sorts bags (and tuple fields) recursively so
+//! results compare deterministically, and [`approx_eq`] tolerates the
+//! last-ulp differences that reordering real-number summation introduces.
+//! One definition serves the differential test suites and the benchmark
+//! harness's oracle checks, so the two can never drift apart.
+
+use crate::value::{Bag, Value};
+
+/// Canonicalizes a bag for comparison: bags sort recursively and tuple
+/// fields sort by attribute name, so any two multiset-equal results
+/// canonicalize identically regardless of emission or field order.
+pub fn canonical_rows(bag: &Bag) -> Vec<Value> {
+    fn canon(v: &Value) -> Value {
+        match v {
+            Value::Bag(b) => {
+                let mut items: Vec<Value> = b.iter().map(canon).collect();
+                items.sort();
+                Value::Bag(Bag::new(items))
+            }
+            Value::Tuple(t) => {
+                let mut fields: Vec<(String, Value)> =
+                    t.iter().map(|(n, v)| (n.to_string(), canon(v))).collect();
+                fields.sort_by(|a, b| a.0.cmp(&b.0));
+                Value::Tuple(crate::value::Tuple::new(fields))
+            }
+            other => other.clone(),
+        }
+    }
+    let mut items: Vec<Value> = bag.iter().map(canon).collect();
+    items.sort();
+    items
+}
+
+/// Approximate value equality: distributed aggregation sums reals in a
+/// different order than a sequential run, so grouped totals may differ in
+/// the last ulp (relative tolerance `1e-9`). Everything except reals must
+/// match exactly.
+pub fn approx_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Real(x), Value::Real(y)) => {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= 1e-9 * scale
+        }
+        (Value::Tuple(x), Value::Tuple(y)) => {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y.iter())
+                    .all(|((nx, vx), (ny, vy))| nx == ny && approx_eq(vx, vy))
+        }
+        (Value::Bag(x), Value::Bag(y)) => {
+            x.len() == y.len() && x.iter().zip(y.iter()).all(|(vx, vy)| approx_eq(vx, vy))
+        }
+        _ => a == b,
+    }
+}
+
+/// True when the two bags are multiset-equal up to float tolerance
+/// (canonicalize, then compare pairwise with [`approx_eq`]).
+pub fn bags_approx_equal(a: &Bag, b: &Bag) -> bool {
+    let ca = canonical_rows(a);
+    let cb = canonical_rows(b);
+    ca.len() == cb.len() && ca.iter().zip(&cb).all(|(x, y)| approx_eq(x, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reordered_bags_and_fields_canonicalize_equal() {
+        let a = Bag::new(vec![
+            Value::tuple([("x", Value::Int(1)), ("y", Value::Int(2))]),
+            Value::tuple([("x", Value::Int(3)), ("y", Value::Int(4))]),
+        ]);
+        let b = Bag::new(vec![
+            Value::tuple([("y", Value::Int(4)), ("x", Value::Int(3))]),
+            Value::tuple([("y", Value::Int(2)), ("x", Value::Int(1))]),
+        ]);
+        assert!(bags_approx_equal(&a, &b));
+    }
+
+    #[test]
+    fn float_summation_order_is_tolerated_but_real_differences_are_not() {
+        let a = Bag::new(vec![Value::Real(1.0)]);
+        let b = Bag::new(vec![Value::Real(1.0 + 1e-12)]);
+        let c = Bag::new(vec![Value::Real(1.1)]);
+        assert!(bags_approx_equal(&a, &b));
+        assert!(!bags_approx_equal(&a, &c));
+    }
+}

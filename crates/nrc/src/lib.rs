@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod compare;
 pub mod error;
 pub mod eval;
 pub mod expr;
@@ -38,6 +39,7 @@ pub mod typecheck;
 pub mod types;
 pub mod value;
 
+pub use compare::{approx_eq, bags_approx_equal, canonical_rows};
 pub use error::{NrcError, Result};
 pub use eval::{eval, Env, Evaluator};
 pub use expr::{CmpOp, Expr, PrimOp};

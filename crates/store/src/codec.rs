@@ -1,0 +1,343 @@
+//! The binary wire format of spill frames: little-endian primitives plus a
+//! lossless [`trance_nrc::Value`] encoding.
+//!
+//! Frames are written through a [`ByteWriter`] and decoded through a
+//! [`ByteReader`]; anything that can cross the memory/disk boundary
+//! implements [`Spillable`]. Row chunks (`Vec<Value>`) are encoded here; the
+//! columnar batch layout is encoded by `trance-dist` (which owns the batch
+//! type) on top of the same primitives.
+
+use std::io;
+
+use trance_nrc::{Bag, Label, Tuple, Value};
+
+/// Growable byte buffer with little-endian append helpers.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current encoded length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32` (little-endian).
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` (little-endian).
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64` (little-endian).
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` by bit pattern (NaN payloads survive).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends raw bytes (caller is responsible for framing).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// Cursor over an encoded frame; every read checks bounds and returns
+/// `InvalidData` on truncation, so a corrupt spill file surfaces as an error
+/// instead of a panic.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn truncated() -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, "truncated spill frame")
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(truncated());
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `i64`.
+    pub fn i64(&mut self) -> io::Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> io::Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 spill string"))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn raw(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        self.take(n)
+    }
+}
+
+/// A type that can cross the memory/disk boundary as one spill frame.
+pub trait Spillable: Sized {
+    /// Appends the encoded form to `w`.
+    fn encode(&self, w: &mut ByteWriter);
+    /// Decodes one value previously written by [`Spillable::encode`].
+    fn decode(r: &mut ByteReader<'_>) -> io::Result<Self>;
+}
+
+// Value tags — part of the on-disk format, do not renumber.
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_REAL: u8 = 3;
+const TAG_STR: u8 = 4;
+const TAG_DATE: u8 = 5;
+const TAG_LABEL: u8 = 6;
+const TAG_TUPLE: u8 = 7;
+const TAG_BAG: u8 = 8;
+
+/// Encodes one [`Value`] (all nine variants, recursively).
+pub fn encode_value(v: &Value, w: &mut ByteWriter) {
+    match v {
+        Value::Null => w.u8(TAG_NULL),
+        Value::Bool(b) => {
+            w.u8(TAG_BOOL);
+            w.u8(u8::from(*b));
+        }
+        Value::Int(i) => {
+            w.u8(TAG_INT);
+            w.i64(*i);
+        }
+        Value::Real(x) => {
+            w.u8(TAG_REAL);
+            w.f64(*x);
+        }
+        Value::Str(s) => {
+            w.u8(TAG_STR);
+            w.str(s);
+        }
+        Value::Date(d) => {
+            w.u8(TAG_DATE);
+            w.i64(*d);
+        }
+        Value::Label(l) => {
+            w.u8(TAG_LABEL);
+            w.u32(l.site);
+            w.u32(l.values.len() as u32);
+            for v in l.values.iter() {
+                encode_value(v, w);
+            }
+        }
+        Value::Tuple(t) => {
+            w.u8(TAG_TUPLE);
+            w.u32(t.fields().len() as u32);
+            for (name, value) in t.fields() {
+                w.str(name);
+                encode_value(value, w);
+            }
+        }
+        Value::Bag(b) => {
+            w.u8(TAG_BAG);
+            w.u32(b.len() as u32);
+            for v in b.iter() {
+                encode_value(v, w);
+            }
+        }
+    }
+}
+
+/// Decodes one [`Value`] written by [`encode_value`].
+pub fn decode_value(r: &mut ByteReader<'_>) -> io::Result<Value> {
+    Ok(match r.u8()? {
+        TAG_NULL => Value::Null,
+        TAG_BOOL => Value::Bool(r.u8()? != 0),
+        TAG_INT => Value::Int(r.i64()?),
+        TAG_REAL => Value::Real(r.f64()?),
+        TAG_STR => Value::Str(r.str()?),
+        TAG_DATE => Value::Date(r.i64()?),
+        TAG_LABEL => {
+            let site = r.u32()?;
+            let n = r.u32()? as usize;
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(decode_value(r)?);
+            }
+            Value::Label(Label::new(site, values))
+        }
+        TAG_TUPLE => {
+            let n = r.u32()? as usize;
+            let mut fields = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = r.str()?;
+                fields.push((name, decode_value(r)?));
+            }
+            Value::Tuple(Tuple::new(fields))
+        }
+        TAG_BAG => {
+            let n = r.u32()? as usize;
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(decode_value(r)?);
+            }
+            Value::Bag(Bag::new(items))
+        }
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown value tag {other} in spill frame"),
+            ))
+        }
+    })
+}
+
+/// Row chunks spill as a count followed by the encoded rows.
+impl Spillable for Vec<Value> {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.u32(self.len() as u32);
+        for v in self {
+            encode_value(v, w);
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> io::Result<Vec<Value>> {
+        let n = r.u32()? as usize;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(decode_value(r)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Value) -> Value {
+        let mut w = ByteWriter::new();
+        encode_value(v, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = decode_value(&mut r).expect("decode");
+        assert_eq!(r.remaining(), 0, "decoder must consume the whole frame");
+        back
+    }
+
+    #[test]
+    fn every_value_variant_round_trips() {
+        let values = vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-42),
+            Value::Real(3.5),
+            Value::Real(f64::NAN),
+            Value::str("héllo"),
+            Value::Date(19_000),
+            Value::Label(Label::new(7, vec![Value::Int(1), Value::str("k")])),
+            Value::tuple([
+                ("a", Value::Int(1)),
+                ("b", Value::bag(vec![Value::tuple([("x", Value::Null)])])),
+            ]),
+        ];
+        for v in &values {
+            let back = round_trip(v);
+            match v {
+                // NaN != NaN: compare bit patterns instead.
+                Value::Real(x) if x.is_nan() => match back {
+                    Value::Real(y) => assert_eq!(x.to_bits(), y.to_bits()),
+                    other => panic!("expected real, got {other:?}"),
+                },
+                _ => assert_eq!(*v, back),
+            }
+        }
+    }
+
+    #[test]
+    fn row_chunks_round_trip() {
+        let rows = vec![Value::Int(1), Value::str("x"), Value::Null];
+        let mut w = ByteWriter::new();
+        rows.encode(&mut w);
+        let bytes = w.into_bytes();
+        let back = Vec::<Value>::decode(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(rows, back);
+    }
+
+    #[test]
+    fn truncated_frames_error_instead_of_panicking() {
+        let mut w = ByteWriter::new();
+        encode_value(&Value::str("truncate me"), &mut w);
+        let bytes = w.into_bytes();
+        let cut = &bytes[..bytes.len() - 3];
+        assert!(decode_value(&mut ByteReader::new(cut)).is_err());
+    }
+}

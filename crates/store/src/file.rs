@@ -1,0 +1,224 @@
+//! Disk-backed spill files: length-prefixed frames inside a scoped, per-run
+//! temporary directory.
+//!
+//! Lifecycle guarantees (asserted by tests):
+//!
+//! * every [`SpillHandle`] deletes its file when the last reference drops —
+//!   collections that spilled and are no longer live leave nothing behind;
+//! * the [`SpillManager`] removes its whole directory on drop, covering the
+//!   error path and worker-thread panics (a panicking `std::thread::scope`
+//!   worker unwinds into the owner of the context, whose manager still
+//!   drops).
+
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic discriminator so two managers created in the same nanosecond
+/// (e.g. by parallel tests) never collide on a directory name.
+static MANAGER_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A scoped spill directory: every spill file of one run lives under it, and
+/// the whole directory is removed when the manager drops.
+#[derive(Debug)]
+pub struct SpillManager {
+    dir: PathBuf,
+    counter: AtomicU64,
+}
+
+impl SpillManager {
+    /// Creates a fresh, uniquely named spill directory under `base` (the
+    /// system temp directory when `None`).
+    pub fn new(base: Option<&Path>) -> io::Result<SpillManager> {
+        let base = base
+            .map(Path::to_path_buf)
+            .unwrap_or_else(std::env::temp_dir);
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let seq = MANAGER_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = base.join(format!(
+            "trance-spill-{}-{nanos:x}-{seq}",
+            std::process::id()
+        ));
+        fs::create_dir_all(&dir)?;
+        Ok(SpillManager {
+            dir,
+            counter: AtomicU64::new(0),
+        })
+    }
+
+    /// The scoped directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Opens a new spill file for writing.
+    pub fn create(&self) -> io::Result<SpillFile> {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        let path = self.dir.join(format!("spill-{n}.bin"));
+        let file = File::create(&path)?;
+        Ok(SpillFile {
+            path,
+            writer: BufWriter::new(file),
+            frames: 0,
+            bytes: 0,
+        })
+    }
+
+    /// Number of spill files currently on disk in this manager's directory
+    /// (tests assert this returns 0 once all collections are dropped).
+    pub fn live_files(&self) -> io::Result<usize> {
+        Ok(fs::read_dir(&self.dir)?.count())
+    }
+}
+
+impl Drop for SpillManager {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Write side of one spill file: append length-prefixed frames, then
+/// [`SpillFile::finish`] into a [`SpillHandle`].
+#[derive(Debug)]
+pub struct SpillFile {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    frames: u64,
+    bytes: u64,
+}
+
+impl SpillFile {
+    /// Appends one frame (`u64` little-endian length prefix + payload).
+    pub fn append(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.writer.write_all(&(frame.len() as u64).to_le_bytes())?;
+        self.writer.write_all(frame)?;
+        self.frames += 1;
+        self.bytes += 8 + frame.len() as u64;
+        Ok(())
+    }
+
+    /// Frames appended so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Bytes written so far (length prefixes included).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Flushes and seals the file into a read handle.
+    pub fn finish(mut self) -> io::Result<SpillHandle> {
+        self.writer.flush()?;
+        Ok(SpillHandle {
+            path: self.path,
+            frames: self.frames,
+            bytes: self.bytes,
+        })
+    }
+}
+
+/// A sealed spill file. Owns the on-disk bytes: the file is deleted when the
+/// handle drops.
+#[derive(Debug)]
+pub struct SpillHandle {
+    path: PathBuf,
+    frames: u64,
+    bytes: u64,
+}
+
+impl SpillHandle {
+    /// Number of frames in the file.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Total file size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Opens a streaming reader over the frames.
+    pub fn open(&self) -> io::Result<SpillReader> {
+        Ok(SpillReader {
+            reader: BufReader::new(File::open(&self.path)?),
+            remaining: self.frames,
+        })
+    }
+}
+
+impl Drop for SpillHandle {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Streaming reader over a spill file: one frame at a time, never the whole
+/// partition.
+#[derive(Debug)]
+pub struct SpillReader {
+    reader: BufReader<File>,
+    remaining: u64,
+}
+
+impl SpillReader {
+    /// Reads the next frame, or `None` when the file is exhausted.
+    pub fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let mut len_buf = [0u8; 8];
+        self.reader.read_exact(&mut len_buf)?;
+        let len = u64::from_le_bytes(len_buf) as usize;
+        let mut frame = vec![0u8; len];
+        self.reader.read_exact(&mut frame)?;
+        self.remaining -= 1;
+        Ok(Some(frame))
+    }
+
+    /// Frames not yet read.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_and_files_are_scoped() {
+        let manager = SpillManager::new(None).unwrap();
+        let dir = manager.dir().to_path_buf();
+        let mut file = manager.create().unwrap();
+        file.append(b"alpha").unwrap();
+        file.append(b"").unwrap();
+        file.append(b"gamma!").unwrap();
+        let handle = file.finish().unwrap();
+        assert_eq!(handle.frames(), 3);
+        let mut reader = handle.open().unwrap();
+        assert_eq!(reader.next_frame().unwrap().as_deref(), Some(&b"alpha"[..]));
+        assert_eq!(reader.next_frame().unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(
+            reader.next_frame().unwrap().as_deref(),
+            Some(&b"gamma!"[..])
+        );
+        assert_eq!(reader.next_frame().unwrap(), None);
+        assert_eq!(manager.live_files().unwrap(), 1);
+        drop(handle);
+        assert_eq!(
+            manager.live_files().unwrap(),
+            0,
+            "dropping the handle must delete its file"
+        );
+        drop(manager);
+        assert!(
+            !dir.exists(),
+            "dropping the manager must remove the scoped directory"
+        );
+    }
+}

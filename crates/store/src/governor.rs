@@ -1,0 +1,128 @@
+//! The memory governor: per-worker reservation accounting against the
+//! cluster's simulated `worker_memory` cap, with victim selection under
+//! pressure.
+//!
+//! The engine charges partition `i` of a materialized collection to worker
+//! `i % workers` (the same placement the FAIL simulation uses). With spilling
+//! enabled, instead of aborting when a worker's resident bytes exceed the
+//! cap, the governor picks victim partitions — largest first on each
+//! overloaded worker — and the engine writes exactly those to disk.
+
+/// Per-worker memory accounting for one cluster context.
+#[derive(Debug, Clone)]
+pub struct MemoryGovernor {
+    limit: usize,
+    reserved: Vec<usize>,
+}
+
+impl MemoryGovernor {
+    /// A governor over `workers` workers, each capped at `limit` bytes.
+    pub fn new(limit: usize, workers: usize) -> MemoryGovernor {
+        MemoryGovernor {
+            limit,
+            reserved: vec![0; workers.max(1)],
+        }
+    }
+
+    /// The per-worker cap in bytes.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Number of workers tracked.
+    pub fn workers(&self) -> usize {
+        self.reserved.len()
+    }
+
+    /// Records `bytes` resident on the worker owning partition `part`.
+    pub fn reserve(&mut self, part: usize, bytes: usize) {
+        let w = part % self.reserved.len();
+        self.reserved[w] += bytes;
+    }
+
+    /// Releases `bytes` from the worker owning partition `part` (a spill or a
+    /// dropped intermediate).
+    pub fn release(&mut self, part: usize, bytes: usize) {
+        let w = part % self.reserved.len();
+        self.reserved[w] = self.reserved[w].saturating_sub(bytes);
+    }
+
+    /// Bytes currently reserved on `worker`.
+    pub fn used(&self, worker: usize) -> usize {
+        self.reserved[worker % self.reserved.len()]
+    }
+
+    /// True when some worker is over its cap.
+    pub fn over_limit(&self) -> bool {
+        self.reserved.iter().any(|u| *u > self.limit)
+    }
+
+    /// The in-memory working-set budget one operator execution may assume
+    /// before it must go out-of-core (Grace-style sub-partitioning). Half the
+    /// worker cap: the other half is headroom for the operator's output.
+    pub fn operator_budget(&self) -> usize {
+        (self.limit / 2).max(1)
+    }
+
+    /// Victim selection for one freshly materialized collection:
+    /// `sizes[i]` is the resident size of partition `i` (0 for partitions
+    /// already on disk), charged to worker `i % workers`. Returns the
+    /// partition indices to spill — largest first on each overloaded worker,
+    /// until every worker fits under the cap — in ascending index order.
+    pub fn plan_spills(&self, sizes: &[usize]) -> Vec<usize> {
+        let workers = self.reserved.len();
+        let mut victims: Vec<usize> = Vec::new();
+        for w in 0..workers {
+            let mut resident: Vec<usize> = (w..sizes.len()).step_by(workers).collect();
+            let mut used: usize =
+                self.reserved[w] + resident.iter().map(|i| sizes[*i]).sum::<usize>();
+            // Largest partitions first: fewest spills to get under the cap.
+            resident.sort_by_key(|i| std::cmp::Reverse(sizes[*i]));
+            for i in resident {
+                if used <= self.limit {
+                    break;
+                }
+                if sizes[i] == 0 {
+                    continue;
+                }
+                used -= sizes[i];
+                victims.push(i);
+            }
+        }
+        victims.sort_unstable();
+        victims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_largest_victims_per_overloaded_worker() {
+        // 2 workers, cap 100. Worker 0 owns partitions 0 and 2 (60 + 70 =
+        // 130): must spill the largest (70). Worker 1 owns 1 and 3 (40 + 50):
+        // fits, spills nothing.
+        let gov = MemoryGovernor::new(100, 2);
+        assert_eq!(gov.plan_spills(&[60, 40, 70, 50]), vec![2]);
+    }
+
+    #[test]
+    fn spills_everything_when_one_partition_alone_exceeds_the_cap() {
+        let gov = MemoryGovernor::new(10, 1);
+        assert_eq!(gov.plan_spills(&[25, 3]), vec![0]);
+        assert_eq!(gov.plan_spills(&[25, 12]), vec![0, 1]);
+    }
+
+    #[test]
+    fn reservations_count_against_the_cap() {
+        let mut gov = MemoryGovernor::new(100, 1);
+        gov.reserve(0, 80);
+        assert_eq!(gov.used(0), 80);
+        assert!(!gov.over_limit());
+        // 80 reserved + 30 new > 100: the new partition must spill.
+        assert_eq!(gov.plan_spills(&[30]), vec![0]);
+        gov.release(0, 80);
+        assert_eq!(gov.plan_spills(&[30]), Vec::<usize>::new());
+    }
+}

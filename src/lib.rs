@@ -8,6 +8,7 @@
 //! * [`nrc`] — the NRC language, values, type checker and reference evaluator;
 //! * [`algebra`] — the plan language and optimizer;
 //! * [`dist`] — the simulated distributed bulk-collection engine;
+//! * [`store`] — the out-of-core spill subsystem (frame files, governor);
 //! * [`shred`] — value and query shredding, materialization, unshredding;
 //! * [`compiler`] — the standard / shredded / skew-aware pipelines;
 //! * [`tpch`] and [`biomed`] — the paper's two benchmarks.
@@ -21,4 +22,5 @@ pub use trance_compiler as compiler;
 pub use trance_dist as dist;
 pub use trance_nrc as nrc;
 pub use trance_shred as shred;
+pub use trance_store as store;
 pub use trance_tpch as tpch;
