@@ -22,18 +22,27 @@
 //!
 //! [`schema`] provides the attribute-level schema inference and the
 //! [`Catalog`] (schemas plus materialized sizes) that both the optimizer and
-//! the lowering consult.
+//! the lowering consult. [`pipelines`] is the **pipeline-breaker analysis**:
+//! it groups each plan's maximal chains of row-local operators into the
+//! fused pipelines the executors drive morsel-by-morsel
+//! ([`fuse_chain`]), and [`pretty_plan_pipelines`] renders plans with their
+//! pipeline groupings for EXPLAIN.
 
 #![warn(missing_docs)]
 
 pub mod lower;
 pub mod optimize;
+pub mod pipelines;
 pub mod plan;
 pub mod scalar;
 pub mod schema;
 
 pub use lower::{lower, LowerError, LowerResult, PlanAssignment, PlanProgram};
 pub use optimize::{optimize, optimize_default, OptimizerConfig};
+pub use pipelines::{
+    fuse_chain, is_row_local, needs_sequential, pipeline_label, pipeline_op_name,
+    pretty_plan_pipelines,
+};
 pub use plan::{pretty_plan, JoinStrategy, NestOp, Plan, PlanJoinKind};
 pub use scalar::ScalarExpr;
 pub use schema::{output_schema, physical_fields, AttrSchema, Catalog, PhysField, PhysType};

@@ -392,7 +392,7 @@ impl Plan {
 }
 
 /// One line of the rendered operator tree for `plan` (without children).
-fn node_line(plan: &Plan) -> String {
+pub(crate) fn node_line(plan: &Plan) -> String {
     match plan {
         Plan::Scan { name, alias } => match alias {
             Some(a) => format!("Scan {name} as {a}"),

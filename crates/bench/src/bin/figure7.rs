@@ -2,7 +2,7 @@
 //! depths 0–4 under each strategy.
 //!
 //! Usage: `figure7 [--schema narrow|wide] [--family <name>|all] [--scale F] [--memory-factor F]
-//! [--partitions N] [--memory BYTES] [--spill] [--explain [--depth N]]`
+//! [--partitions N] [--memory BYTES] [--spill] [--staged] [--explain [--depth N]]`
 //!
 //! `--memory` sets an absolute per-worker cap (overriding the
 //! input-proportional `--memory-factor`), `--partitions` the shuffle

@@ -3,7 +3,7 @@
 //! skew-aware processing.
 //!
 //! Usage: `figure8 [--scale F] [--memory-factor F] [--partitions N] [--memory BYTES]
-//! [--spill] [--explain [--skew N]]`
+//! [--spill] [--staged] [--explain [--skew N]]`
 //!
 //! With `--explain` the binary prints, instead of the timing table, the
 //! optimized plans each strategy executes at skew factor `--skew` (default 3)

@@ -2,7 +2,7 @@
 //! small and full datasets, per strategy and per step.
 //!
 //! Usage: `figure9 [--memory-factor F] [--scale F] [--partitions N] [--memory BYTES]
-//! [--spill] [--explain]`
+//! [--spill] [--staged] [--explain]`
 //!
 //! With `--explain` the binary prints, instead of the timing table, the
 //! optimized plans each pipeline step executes per strategy (small dataset).

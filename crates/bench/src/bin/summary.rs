@@ -15,7 +15,7 @@
 
 use std::fmt::Write as _;
 
-use trance_bench::{run_capped_cells, run_tpch_query, run_tpch_query_repr, BenchRow, Family};
+use trance_bench::{cli_flag, run_capped_cells, run_tpch_query_exec, BenchRow, Family};
 use trance_compiler::Strategy;
 use trance_tpch::{QueryVariant, TpchConfig};
 
@@ -33,6 +33,10 @@ fn ratio(a: Option<std::time::Duration>, b: Option<std::time::Duration>) -> Stri
 struct JsonCell {
     query: String,
     repr: &'static str,
+    /// Which executor drove the run: morsel-driven fused pipelines
+    /// (`pipelined`, the default) or one materialization per operator
+    /// (`staged`).
+    exec: &'static str,
     /// Whether the out-of-core subsystem was enabled for this run.
     spill: &'static str,
     /// For capped spill-on runs: did the result match the uncapped oracle?
@@ -45,6 +49,7 @@ impl JsonCell {
         JsonCell {
             query,
             repr,
+            exec: "pipelined",
             spill: "off",
             results_match: None,
             row,
@@ -85,7 +90,7 @@ fn render_json(cells: &[JsonCell]) -> String {
         let _ = writeln!(
             out,
             "    {{\"query\": \"{}\", \"strategy\": \"{}\", \"repr\": \"{}\", \
-             \"status\": \"{}\", \"wall_ms\": {}, \
+             \"exec\": \"{}\", \"status\": \"{}\", \"wall_ms\": {}, \
              \"shuffled_tuples\": {}, \"shuffled_bytes\": {}, \
              \"shuffled_bytes_phys\": {}, \"bytes_per_tuple\": {:.3}, \
              \"broadcast_tuples\": {}, \"broadcast_bytes\": {}, \
@@ -94,10 +99,12 @@ fn render_json(cells: &[JsonCell]) -> String {
              \"skew_broadcast_joins\": {}, \"skew_fallback_joins\": {}, \
              \"spill\": \"{}\", \"spilled_bytes\": {}, \"spill_files\": {}, \
              \"spill_ms\": {:.3}{}, \
+             \"pipeline_ms\": {:.3}, \"morsels\": {}, \"steals\": {}, \
              \"op_ms\": {{{}}}}}{}",
             escape(&cell.query),
             escape(cell.row.strategy.label()),
             cell.repr,
+            cell.exec,
             status,
             wall,
             s.shuffled_tuples,
@@ -116,6 +123,9 @@ fn render_json(cells: &[JsonCell]) -> String {
             s.spill_files,
             s.spill_ms(),
             results_match,
+            s.pipeline_ms(),
+            s.total_morsels(),
+            s.steal_count,
             op_ms,
             if i + 1 < cells.len() { "," } else { "" },
         );
@@ -126,6 +136,10 @@ fn render_json(cells: &[JsonCell]) -> String {
 
 fn main() {
     let mut cells: Vec<JsonCell> = Vec::new();
+    // `--staged` switches the headline cells to the staged executor (the
+    // pipelined-vs-staged A/B pair below always runs both).
+    let pipelined = !cli_flag("--staged");
+    let exec_label = if pipelined { "pipelined" } else { "staged" };
     let cfg = TpchConfig::new(0.3, 0);
     let strategies = [
         Strategy::Shred,
@@ -139,7 +153,16 @@ fn main() {
         (Family::NestedToNested, 2),
         (Family::NestedToFlat, 2),
     ] {
-        let rows = run_tpch_query(&cfg, family, depth, QueryVariant::Wide, &strategies, 3.0);
+        let rows = run_tpch_query_exec(
+            &cfg,
+            family,
+            depth,
+            QueryVariant::Wide,
+            &strategies,
+            3.0,
+            true,
+            pipelined,
+        );
         let shred = &rows[0];
         let standard = &rows[2];
         let baseline = &rows[3];
@@ -151,81 +174,131 @@ fn main() {
             standard.stats.shuffled_bytes.max(1) as f64 / shred.stats.shuffled_bytes.max(1) as f64,
         );
         let query = format!("{family:?}-depth{depth}-Wide-scale0.3");
-        cells.extend(
-            rows.into_iter()
-                .map(|row| JsonCell::new(query.clone(), "columnar", row)),
-        );
+        cells.extend(rows.into_iter().map(|row| JsonCell {
+            query: query.clone(),
+            repr: "columnar",
+            exec: exec_label,
+            spill: "off",
+            results_match: None,
+            row,
+        }));
     }
     // Optimizer-on vs optimizer-off at a scale where both runs complete: the
     // plan optimizer (column pruning + pushdown) must strictly reduce the
     // shuffled volume of the standard route vs the SparkSQL-like baseline.
-    let rows = run_tpch_query(
+    let rows = run_tpch_query_exec(
         &cfg,
         Family::NestedToNested,
         2,
         QueryVariant::Narrow,
         &[Strategy::Standard, Strategy::Baseline],
         3.0,
+        true,
+        pipelined,
     );
     println!(
         "NestedToNested     depth 2 (narrow): standard shuffle / baseline shuffle = {:.2}x",
         rows[0].stats.shuffled_bytes.max(1) as f64 / rows[1].stats.shuffled_bytes.max(1) as f64
     );
-    cells.extend(rows.into_iter().map(|row| {
-        JsonCell::new(
-            "NestedToNested-depth2-Narrow-scale0.3".to_string(),
-            "columnar",
-            row,
-        )
+    cells.extend(rows.into_iter().map(|row| JsonCell {
+        query: "NestedToNested-depth2-Narrow-scale0.3".to_string(),
+        repr: "columnar",
+        exec: exec_label,
+        spill: "off",
+        results_match: None,
+        row,
     }));
 
-    // Row-vs-columnar representation pair: the same Wide STANDARD cell run
-    // over typed batches and over row collections (no memory cap so both
-    // complete). Columnar must ship strictly fewer *physical* bytes — the
-    // schema-once + dictionary-encoding win the refactor is about.
+    // Row-vs-columnar representation pair × pipelined-vs-staged executor
+    // pair: the same Wide STANDARD cell run over typed batches and row
+    // collections (no memory cap so all complete), each both through the
+    // morsel-driven fused pipelines and through the staged
+    // one-materialization-per-operator oracle. Columnar must ship strictly
+    // fewer *physical* bytes; the pipelined executor must beat the staged
+    // wall clock at identical logical shuffle volume (fusion moves no extra
+    // byte — it only removes barriers and intermediate materializations).
+    // Each cell reports the best of three runs: single-shot walls on a
+    // shared CI machine are noisy enough to invert a 10-20% margin, and the
+    // byte/morsel counters are identical across repetitions anyway.
+    let mut exec_walls: Vec<(String, Option<std::time::Duration>)> = Vec::new();
     for (label, columnar) in [("columnar", true), ("row", false)] {
-        let rows = run_tpch_query_repr(
-            &cfg,
-            Family::NestedToNested,
-            2,
-            QueryVariant::Wide,
-            &[Strategy::Standard],
-            0.0,
-            columnar,
-        );
-        println!(
-            "representation {label:>8}: STANDARD wide shuffles {} physical bytes ({} logical)",
-            rows[0].stats.shuffled_bytes_phys, rows[0].stats.shuffled_bytes
-        );
-        cells.extend(rows.into_iter().map(|row| {
-            JsonCell::new(
-                "NestedToNested-depth2-Wide-scale0.3-repr".to_string(),
-                label,
+        for (exec, pipelined) in [("pipelined", true), ("staged", false)] {
+            let mut best: Option<BenchRow> = None;
+            for _ in 0..3 {
+                let mut rows = run_tpch_query_exec(
+                    &cfg,
+                    Family::NestedToNested,
+                    2,
+                    QueryVariant::Wide,
+                    &[Strategy::Standard],
+                    0.0,
+                    columnar,
+                    pipelined,
+                );
+                let row = rows.remove(0);
+                let faster = match (&best, &row.elapsed) {
+                    (None, _) => true,
+                    (Some(b), Some(e)) => b.elapsed.map(|be| *e < be).unwrap_or(true),
+                    _ => false,
+                };
+                if faster {
+                    best = Some(row);
+                }
+            }
+            let row = best.expect("three runs produce a best row");
+            println!(
+                "representation {label:>8} ({exec:>9}): STANDARD wide wall {} ms, \
+                 {} physical bytes ({} logical), {} morsels, {} steals",
+                row.time_cell().trim(),
+                row.stats.shuffled_bytes_phys,
+                row.stats.shuffled_bytes,
+                row.stats.total_morsels(),
+                row.stats.steal_count,
+            );
+            exec_walls.push((format!("{label}-{exec}"), row.elapsed));
+            cells.push(JsonCell {
+                query: "NestedToNested-depth2-Wide-scale0.3-repr".to_string(),
+                repr: label,
+                exec,
+                spill: "off",
+                results_match: None,
                 row,
-            )
-        }));
+            });
+        }
+    }
+    if let (Some((_, pipelined)), Some((_, staged))) = (
+        exec_walls.iter().find(|(k, _)| k == "columnar-pipelined"),
+        exec_walls.iter().find(|(k, _)| k == "columnar-staged"),
+    ) {
+        println!(
+            "executor           wide STANDARD: staged / pipelined wall = {}",
+            ratio(*staged, *pipelined)
+        );
     }
 
     // Skew: shuffle reduction of the skew-aware shredded join (Figure 8 claim).
     let skew_cfg = TpchConfig::new(0.3, 3);
-    let rows = run_tpch_query(
+    let rows = run_tpch_query_exec(
         &skew_cfg,
         Family::NestedToNested,
         2,
         QueryVariant::Narrow,
         &[Strategy::Shred, Strategy::ShredSkew],
         3.0,
+        true,
+        pipelined,
     );
     println!(
         "skew factor 3      depth 2: shred shuffle / shred-skew shuffle = {:.1}x",
         rows[0].stats.shuffled_bytes.max(1) as f64 / rows[1].stats.shuffled_bytes.max(1) as f64
     );
-    cells.extend(rows.into_iter().map(|row| {
-        JsonCell::new(
-            "NestedToNested-depth2-Narrow-scale0.3-skew3".to_string(),
-            "columnar",
-            row,
-        )
+    cells.extend(rows.into_iter().map(|row| JsonCell {
+        query: "NestedToNested-depth2-Narrow-scale0.3-skew3".to_string(),
+        repr: "columnar",
+        exec: exec_label,
+        spill: "off",
+        results_match: None,
+        row,
     }));
 
     // Capped mode: the three FAIL cells re-run on a spill-capable cluster at
@@ -250,6 +323,7 @@ fn main() {
         cells.push(JsonCell {
             query,
             repr: "columnar",
+            exec: "pipelined",
             spill: "on",
             results_match: Some(cell.results_match_uncapped),
             row: cell.spill_on,

@@ -5,8 +5,8 @@ use std::time::Duration;
 
 use trance_biomed::{BiomedConfig, BiomedData};
 use trance_compiler::{
-    run_query, run_query_repr, run_query_spill, InputSet, QuerySpec, RunOutcome, RunResult,
-    Strategy,
+    run_query, run_query_configured, run_query_repr, run_query_spill, InputSet, QuerySpec,
+    RunOutcome, RunResult, Strategy,
 };
 use trance_dist::{ClusterConfig, DistContext, StatsSnapshot};
 use trance_nrc::{eval, Bag, Env, MemSize, Value};
@@ -106,6 +106,10 @@ pub struct ClusterTuning {
     pub memory_bytes: Option<usize>,
     /// Enables the out-of-core spill subsystem on the cluster.
     pub spill: bool,
+    /// Runs the **staged** executor (no fused pipelines) instead of the
+    /// default morsel-driven pipelined one — the A side of `--staged` A/B
+    /// comparisons.
+    pub staged: bool,
 }
 
 /// The default simulated cluster used by every figure: 4 workers, 16 shuffle
@@ -124,9 +128,11 @@ pub fn default_cluster_tuned(
 ) -> DistContext {
     // 4 KiB keeps even the small dimension tables over the limit at the
     // benchmark scales, so ordinary joins shuffle and only the skew path's
-    // heavy-key subsets qualify for broadcast.
-    let mut cfg =
-        ClusterConfig::new(4, tuning.partitions.unwrap_or(16)).with_broadcast_limit(4 * 1024);
+    // heavy-key subsets qualify for broadcast. `TRANCE_WORKERS` overrides
+    // the 4-worker default (the CI matrix knob).
+    let mut cfg = ClusterConfig::new(4, tuning.partitions.unwrap_or(16))
+        .with_broadcast_limit(4 * 1024)
+        .with_env_workers();
     if let Some(bytes) = tuning.memory_bytes {
         cfg = cfg.with_worker_memory(bytes);
     } else if memory_factor > 0.0 {
@@ -289,8 +295,34 @@ pub fn run_tpch_query_repr(
         .collect()
 }
 
+/// Runs one TPC-H experiment cell with the physical representation **and**
+/// the executor mode spelled out (`pipelined = false` selects the staged
+/// executor) — the pipelined-vs-staged A/B pairs in `BENCH_summary.json`
+/// are built from this.
+#[allow(clippy::too_many_arguments)]
+pub fn run_tpch_query_exec(
+    config: &TpchConfig,
+    family: Family,
+    depth: usize,
+    variant: QueryVariant,
+    strategies: &[Strategy],
+    memory_factor: f64,
+    columnar: bool,
+    pipelined: bool,
+) -> Vec<BenchRow> {
+    let (inputs, spec) = tpch_input_set(config, family, depth, variant, memory_factor);
+    strategies
+        .iter()
+        .map(|s| {
+            outcome_to_row(run_query_configured(
+                &spec, &inputs, *s, columnar, pipelined,
+            ))
+        })
+        .collect()
+}
+
 /// [`run_tpch_query`] on a CLI-tuned cluster (partitions / absolute memory
-/// cap / spill subsystem).
+/// cap / spill subsystem / staged executor).
 pub fn run_tpch_query_tuned(
     config: &TpchConfig,
     family: Family,
@@ -304,7 +336,15 @@ pub fn run_tpch_query_tuned(
         tpch_input_set_tuned(config, family, depth, variant, memory_factor, tuning);
     strategies
         .iter()
-        .map(|s| outcome_to_row(run_query(&spec, &inputs, *s)))
+        .map(|s| {
+            outcome_to_row(run_query_configured(
+                &spec,
+                &inputs,
+                *s,
+                true,
+                !tuning.staged,
+            ))
+        })
         .collect()
 }
 
@@ -527,7 +567,7 @@ fn run_biomed_pipeline_impl(
                 explains.push((step_name.to_string(), text));
                 outcome
             }
-            None => run_query(&spec, &inputs, strategy),
+            None => run_query_configured(&spec, &inputs, strategy, true, !tuning.staged),
         };
         shuffled += outcome.stats.shuffled_bytes;
         match &outcome.result {

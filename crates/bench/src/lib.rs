@@ -23,9 +23,9 @@ pub mod harness;
 pub use harness::{
     biomed_input_set, biomed_input_set_tuned, default_cluster, default_cluster_tuned,
     explain_biomed_pipeline, materialize_nested_input, run_biomed_pipeline,
-    run_biomed_pipeline_tuned, run_capped_cells, run_tpch_query, run_tpch_query_repr,
-    run_tpch_query_tuned, tpch_input_set, tpch_input_set_tuned, BenchRow, CappedCell,
-    ClusterTuning, Family, PipelineRow,
+    run_biomed_pipeline_tuned, run_capped_cells, run_tpch_query, run_tpch_query_exec,
+    run_tpch_query_repr, run_tpch_query_tuned, tpch_input_set, tpch_input_set_tuned, BenchRow,
+    CappedCell, ClusterTuning, Family, PipelineRow,
 };
 
 /// Returns the value following `name` on the command line, or `default`
@@ -49,12 +49,16 @@ pub fn cli_flag(name: &str) -> bool {
 
 /// Parses the cluster-shape flags shared by every figure binary:
 /// `--partitions N`, `--memory BYTES` (an absolute per-worker cap overriding
-/// `--memory-factor`) and `--spill` (enable the out-of-core subsystem), so
-/// capped and spilling runs are reproducible from the command line.
+/// `--memory-factor`), `--spill` (enable the out-of-core subsystem) and
+/// `--staged` (disable fused pipelines and run the staged
+/// one-materialization-per-operator executor — the A side of pipelined
+/// vs. staged A/B runs), so capped, spilling and A/B runs are reproducible
+/// from the command line.
 pub fn cli_tuning() -> ClusterTuning {
     ClusterTuning {
         partitions: cli_opt("--partitions").map(|v| v.parse().expect("--partitions N")),
         memory_bytes: cli_opt("--memory").map(|v| v.parse().expect("--memory BYTES")),
         spill: cli_flag("--spill"),
+        staged: cli_flag("--staged"),
     }
 }

@@ -18,13 +18,14 @@
 use std::collections::HashMap;
 
 use trance_algebra::{
-    lower, optimize, physical_fields, AttrSchema, Catalog, JoinStrategy, NestOp, PhysField,
-    PhysType, Plan, PlanJoinKind,
+    fuse_chain, lower, needs_sequential, optimize, physical_fields, pipeline_label,
+    pipeline_op_name, AttrSchema, Catalog, JoinStrategy, NestOp, PhysField, PhysType, Plan,
+    PlanJoinKind,
 };
 use trance_dist::batch::BagElems;
 use trance_dist::{
     Batch, ColCollection, Column, DistCollection, DistContext, ExecError, FieldHint, JoinHint,
-    JoinSpec, Result,
+    JoinSpec, MorselCtx, Result,
 };
 use trance_nrc::{Expr, Value};
 
@@ -197,6 +198,195 @@ fn set_column(batch: &Batch, expr: &trance_algebra::ScalarExpr) -> Result<std::s
     })
 }
 
+/// Projection kernel (`π`): a fresh batch holding only the evaluated
+/// columns — one definition shared by the staged operator arm and the fused
+/// pipeline step, so the two executors cannot drift.
+fn project_batch(b: &Batch, columns: &[(String, trance_algebra::ScalarExpr)]) -> Result<Batch> {
+    let mut out = Batch::unit(b.rows());
+    for (name, expr) in columns {
+        out = out.with_column(name, set_column(b, expr)?);
+    }
+    Ok(out)
+}
+
+/// Extension kernel: each extension sees the columns set before it, exactly
+/// like the row engine's in-order `Tuple::set` loop; untouched columns are
+/// Arc-shared, not copied. Shared by the staged arm and the fused step.
+fn extend_batch(b: &Batch, columns: &[(String, trance_algebra::ScalarExpr)]) -> Result<Batch> {
+    let mut out = b.clone();
+    for (name, expr) in columns {
+        let col = set_column(&out, expr)?;
+        out = out.with_column(name, col);
+    }
+    Ok(out)
+}
+
+/// The opaque-batch guard every staged structural operator applies (the
+/// engine's `tuple_rows_required`) — fused id-assignment steps run it too,
+/// so the pipelined executor raises the same errors as the staged oracle.
+fn require_tuple_rows(b: &Batch) -> Result<()> {
+    if b.schema().is_opaque() && !b.is_empty() {
+        return Err(ExecError::Other(
+            "columnar operator requires tuple rows (opaque batch)".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// One fused step of a columnar pipeline: batch in, batch out, with the
+/// morsel cursor supplying per-partition id state for sequential chains.
+type ColStep = Box<dyn Fn(&Batch, &mut MorselCtx) -> Result<Batch> + Send + Sync>;
+
+/// Compiles a maximal chain of row-local plan operators (plus an optional
+/// fused scan rename) into the batch-at-a-time steps of one pipeline.
+struct CompiledColChain {
+    steps: Vec<ColStep>,
+    ops: Vec<String>,
+    label: String,
+    /// True when the chain assigns unique ids and must drive each
+    /// partition's morsels sequentially.
+    sequential: bool,
+}
+
+fn compile_chain_col(scan_alias: Option<String>, chain: &[&Plan]) -> Result<CompiledColChain> {
+    let mut steps: Vec<ColStep> = Vec::new();
+    let mut ops: Vec<String> = Vec::new();
+    let mut id_slots = 0usize;
+    let mut sequential = false;
+    if let Some(alias) = scan_alias {
+        ops.push("scan".to_string());
+        steps.push(Box::new(move |b, _| {
+            Ok(b.rename_fields(|f| format!("{alias}.{f}"), &format!("{alias}.__value")))
+        }));
+    }
+    for node in chain {
+        ops.push(pipeline_op_name(node).to_string());
+        if needs_sequential(node) {
+            sequential = true;
+        }
+        match node {
+            Plan::Select { predicate, .. } => {
+                let predicate = predicate.clone();
+                steps.push(Box::new(move |b, _| {
+                    let mask = crate::vector::eval_mask(&predicate, b)?;
+                    Ok(b.filter(&mask))
+                }));
+            }
+            Plan::Project { columns, .. } => {
+                let columns = columns.clone();
+                steps.push(Box::new(move |b, _| project_batch(b, &columns)));
+            }
+            Plan::Extend { columns, .. } => {
+                let columns = columns.clone();
+                steps.push(Box::new(move |b, _| extend_batch(b, &columns)));
+            }
+            Plan::AddIndex { id_attr, .. } => {
+                let attr = id_attr.clone();
+                let slot = id_slots;
+                id_slots += 1;
+                steps.push(Box::new(move |b, cx| {
+                    require_tuple_rows(b)?;
+                    let start = cx.reserve(slot, b.rows());
+                    Ok(b.with_unique_ids(&attr, cx.partition, start, cx.stride))
+                }));
+            }
+            Plan::Unnest {
+                bag_attr,
+                alias,
+                outer,
+                id_attr,
+                ..
+            } => {
+                let bag_attr = bag_attr.clone();
+                let alias = alias.clone();
+                let outer = *outer;
+                match (outer, id_attr) {
+                    (true, Some(id)) => {
+                        let id = id.clone();
+                        let slot = id_slots;
+                        id_slots += 1;
+                        steps.push(Box::new(move |b, cx| {
+                            require_tuple_rows(b)?;
+                            let start = cx.reserve(slot, b.rows());
+                            let with_ids = b.with_unique_ids(&id, cx.partition, start, cx.stride);
+                            trance_dist::colops::unnest_batch(
+                                &with_ids,
+                                &bag_attr,
+                                alias.as_deref(),
+                                true,
+                            )
+                        }));
+                    }
+                    _ => {
+                        steps.push(Box::new(move |b, _| {
+                            trance_dist::colops::unnest_batch(b, &bag_attr, alias.as_deref(), outer)
+                        }));
+                    }
+                }
+            }
+            other => {
+                return Err(ExecError::Other(format!(
+                    "operator {} is not row-local and cannot join a fused pipeline",
+                    pipeline_op_name(other)
+                )))
+            }
+        }
+    }
+    let label = pipeline_label(&ops);
+    Ok(CompiledColChain {
+        steps,
+        ops,
+        label,
+        sequential,
+    })
+}
+
+/// Attempts morsel-driven execution of `plan`'s topmost fused pipeline:
+/// splits the plan at its first breaker, evaluates the source recursively,
+/// compiles the row-local chain (and a fused scan rename) into one
+/// batch-at-a-time closure, and drives it over the source's partitions on
+/// the persistent worker pool. Returns `None` when there is nothing to fuse
+/// (the plan is a breaker or a bare scan).
+fn eval_pipelined_col(
+    plan: &Plan,
+    env: &HashMap<String, ColCollection>,
+    ctx: &DistContext,
+    options: &ExecOptions,
+) -> Result<Option<ColCollection>> {
+    let (chain, source) = fuse_chain(plan);
+    let scan_alias = match source {
+        Plan::Scan {
+            alias: Some(alias), ..
+        } => Some(alias.clone()),
+        _ => None,
+    };
+    if chain.is_empty() && scan_alias.is_none() {
+        return Ok(None);
+    }
+    let src = match source {
+        Plan::Scan { name, .. } => env
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ExecError::Other(format!("unknown input relation `{name}`")))?,
+        other => eval_plan_col(other, env, ctx, options)?,
+    };
+    let compiled = compile_chain_col(scan_alias, &chain)?;
+    let steps = compiled.steps;
+    let out = src.run_pipeline(
+        &compiled.label,
+        &compiled.ops,
+        compiled.sequential,
+        move |b, cx| {
+            let mut cur = b.clone();
+            for step in &steps {
+                cur = step(&cur, cx)?;
+            }
+            Ok(cur)
+        },
+    )?;
+    Ok(Some(out))
+}
+
 /// Evaluates one plan tree against an environment of columnar collections.
 pub fn eval_plan_col(
     plan: &Plan,
@@ -204,6 +394,11 @@ pub fn eval_plan_col(
     ctx: &DistContext,
     options: &ExecOptions,
 ) -> Result<ColCollection> {
+    if options.pipelined {
+        if let Some(out) = eval_pipelined_col(plan, env, ctx, options)? {
+            return Ok(out);
+        }
+    }
     match plan {
         Plan::Scan { name, alias } => {
             let coll = env
@@ -236,28 +431,12 @@ pub fn eval_plan_col(
         Plan::Project { input, columns } => {
             let rows = eval_plan_col(input, env, ctx, options)?;
             let columns = columns.clone();
-            rows.map_batches("map", move |b| {
-                let mut out = Batch::unit(b.rows());
-                for (name, expr) in &columns {
-                    out = out.with_column(name, set_column(b, expr)?);
-                }
-                Ok(out)
-            })
+            rows.map_batches("map", move |b| project_batch(b, &columns))
         }
         Plan::Extend { input, columns } => {
             let rows = eval_plan_col(input, env, ctx, options)?;
             let columns = columns.clone();
-            rows.map_batches("map", move |b| {
-                let mut out = b.clone();
-                for (name, expr) in &columns {
-                    // Each extension sees the columns set before it, exactly
-                    // like the row engine's in-order `Tuple::set` loop; the
-                    // untouched columns are Arc-shared, not copied.
-                    let col = set_column(&out, expr)?;
-                    out = out.with_column(name, col);
-                }
-                Ok(out)
-            })
+            rows.map_batches("map", move |b| extend_batch(b, &columns))
         }
         Plan::AddIndex { input, id_attr } => {
             eval_plan_col(input, env, ctx, options)?.with_unique_id(id_attr)

@@ -63,6 +63,13 @@ pub struct ExecOptions {
     /// capped run only reproduces the paper's FAIL cells when this is turned
     /// off (or the cluster has no spill support, the legacy default).
     pub spill: bool,
+    /// Execute maximal chains of row-local plan operators as **fused
+    /// pipelines**, morsel-by-morsel on the context's persistent worker pool
+    /// (the default). With this off, every plan operator materializes its
+    /// output before the next one runs — the **staged** executor, kept
+    /// selectable as the differential oracle the scheduler-stress suite
+    /// compares against. Ignored by the legacy fused executor.
+    pub pipelined: bool,
 }
 
 impl Default for ExecOptions {
@@ -73,6 +80,7 @@ impl Default for ExecOptions {
             legacy_fused: false,
             columnar: true,
             spill: true,
+            pipelined: true,
         }
     }
 }

@@ -24,10 +24,12 @@
 use std::collections::HashMap;
 
 use trance_algebra::{
-    lower, optimize, AttrSchema, Catalog, JoinStrategy, NestOp, OptimizerConfig, Plan,
-    PlanJoinKind, PlanProgram,
+    fuse_chain, lower, needs_sequential, optimize, pipeline_label, pipeline_op_name, AttrSchema,
+    Catalog, JoinStrategy, NestOp, OptimizerConfig, Plan, PlanJoinKind, PlanProgram,
 };
-use trance_dist::{DistCollection, DistContext, ExecError, JoinHint, JoinSpec, Result, SkewTriple};
+use trance_dist::{
+    DistCollection, DistContext, ExecError, JoinHint, JoinSpec, MorselCtx, Result, SkewTriple,
+};
 use trance_nrc::{Expr, NrcError, Tuple, Value};
 
 use crate::exec::ExecOptions;
@@ -221,6 +223,11 @@ pub fn eval_plan(
     ctx: &DistContext,
     options: &ExecOptions,
 ) -> Result<DistCollection> {
+    if options.pipelined {
+        if let Some(out) = eval_pipelined_row(plan, env, ctx, options)? {
+            return Ok(out);
+        }
+    }
     match plan {
         Plan::Scan { name, alias } => {
             let coll = env
@@ -244,26 +251,12 @@ pub fn eval_plan(
         Plan::Project { input, columns } => {
             let rows = eval_plan(input, env, ctx, options)?;
             let columns = columns.clone();
-            rows.map(move |row| {
-                let t = row.as_tuple()?;
-                let mut out = Tuple::empty();
-                for (name, expr) in &columns {
-                    out.set(name.clone(), expr.eval(t)?);
-                }
-                Ok(Value::Tuple(out))
-            })
+            rows.map(move |row| Ok(Value::Tuple(project_row(row.as_tuple()?, &columns)?)))
         }
         Plan::Extend { input, columns } => {
             let rows = eval_plan(input, env, ctx, options)?;
             let columns = columns.clone();
-            rows.map(move |row| {
-                let mut t = row.as_tuple()?.clone();
-                for (name, expr) in &columns {
-                    let v = expr.eval(&t)?;
-                    t.set(name.clone(), v);
-                }
-                Ok(Value::Tuple(t))
-            })
+            rows.map(move |row| Ok(Value::Tuple(extend_row(row.as_tuple()?, &columns)?)))
         }
         Plan::AddIndex { input, id_attr } => {
             let rows = eval_plan(input, env, ctx, options)?;
@@ -318,36 +311,7 @@ pub fn eval_plan(
             let alias = alias.clone();
             let outer = *outer;
             rows.flat_map(move |row| {
-                let t = row.as_tuple()?;
-                let bag = match t.get(&bag_attr) {
-                    Some(Value::Bag(b)) => b.clone(),
-                    Some(Value::Null) | None => trance_nrc::Bag::empty(),
-                    Some(other) => {
-                        return Err(NrcError::TypeMismatch {
-                            expected: "bag".into(),
-                            found: other.kind().into(),
-                            context: format!("unnest of {bag_attr}"),
-                        }
-                        .into())
-                    }
-                };
-                let parent = t.project_away(&[bag_attr.as_str()]);
-                if bag.is_empty() {
-                    // The outer variant keeps the parent tuple (inner
-                    // attributes stay absent, i.e. NULL).
-                    return Ok(if outer {
-                        vec![Value::Tuple(parent)]
-                    } else {
-                        Vec::new()
-                    });
-                }
-                let mut out = Vec::with_capacity(bag.len());
-                for elem in bag.iter() {
-                    let mut new_row = parent.clone();
-                    merge_element(&mut new_row, elem, alias.as_deref());
-                    out.push(Value::Tuple(new_row));
-                }
-                Ok(out)
+                unnest_row(row.as_tuple()?, &bag_attr, alias.as_deref(), outer)
             })
         }
         Plan::Nest {
@@ -385,6 +349,252 @@ pub fn eval_plan(
                 .into(),
         )),
     }
+}
+
+/// Flattens one row's bag-valued attribute — the row engine's unnest kernel,
+/// shared by the staged operator and fused pipeline steps. With `outer`, a
+/// row whose bag is empty or NULL keeps its parent tuple (inner attributes
+/// stay absent).
+fn unnest_row(t: &Tuple, bag_attr: &str, alias: Option<&str>, outer: bool) -> Result<Vec<Value>> {
+    let bag = match t.get(bag_attr) {
+        Some(Value::Bag(b)) => b.clone(),
+        Some(Value::Null) | None => trance_nrc::Bag::empty(),
+        Some(other) => {
+            return Err(NrcError::TypeMismatch {
+                expected: "bag".into(),
+                found: other.kind().into(),
+                context: format!("unnest of {bag_attr}"),
+            }
+            .into())
+        }
+    };
+    let parent = t.project_away(&[bag_attr]);
+    if bag.is_empty() {
+        return Ok(if outer {
+            vec![Value::Tuple(parent)]
+        } else {
+            Vec::new()
+        });
+    }
+    let mut out = Vec::with_capacity(bag.len());
+    for elem in bag.iter() {
+        let mut new_row = parent.clone();
+        merge_element(&mut new_row, elem, alias);
+        out.push(Value::Tuple(new_row));
+    }
+    Ok(out)
+}
+
+/// Projection kernel (`π`) over one row — shared by the staged operator arm
+/// and the fused pipeline step, so the two executors cannot drift.
+fn project_row(t: &Tuple, columns: &[(String, trance_algebra::ScalarExpr)]) -> Result<Tuple> {
+    let mut out = Tuple::empty();
+    for (name, expr) in columns {
+        out.set(name.clone(), expr.eval(t)?);
+    }
+    Ok(out)
+}
+
+/// Extension kernel over one row: each extension sees the attributes set
+/// before it. Shared by the staged arm and the fused step.
+fn extend_row(t: &Tuple, columns: &[(String, trance_algebra::ScalarExpr)]) -> Result<Tuple> {
+    let mut t = t.clone();
+    for (name, expr) in columns {
+        let v = expr.eval(&t)?;
+        t.set(name.clone(), v);
+    }
+    Ok(t)
+}
+
+// ---------------------------------------------------------------------------
+// fused pipelines (row representation)
+// ---------------------------------------------------------------------------
+
+/// One fused step of a row pipeline: borrowed rows in, fresh rows out (every
+/// row-local operator builds new rows, so borrowing the input avoids a deep
+/// clone per morsel), with the morsel cursor supplying per-partition id
+/// state for sequential chains.
+type RowStep = Box<dyn Fn(&[Value], &mut MorselCtx) -> Result<Vec<Value>> + Send + Sync>;
+
+/// The row-representation twin of the columnar chain compiler: a maximal
+/// chain of row-local operators (plus an optional fused scan rename)
+/// compiled into rows-at-a-time steps.
+struct CompiledRowChain {
+    steps: Vec<RowStep>,
+    ops: Vec<String>,
+    label: String,
+    sequential: bool,
+}
+
+fn compile_chain_row(scan_alias: Option<String>, chain: &[&Plan]) -> Result<CompiledRowChain> {
+    let mut steps: Vec<RowStep> = Vec::new();
+    let mut ops: Vec<String> = Vec::new();
+    let mut id_slots = 0usize;
+    let mut sequential = false;
+    if let Some(alias) = scan_alias {
+        ops.push("scan".to_string());
+        steps.push(Box::new(move |rows, _| {
+            Ok(rows
+                .iter()
+                .map(|row| Value::Tuple(rename_row(row, &alias)))
+                .collect())
+        }));
+    }
+    for node in chain {
+        ops.push(pipeline_op_name(node).to_string());
+        if needs_sequential(node) {
+            sequential = true;
+        }
+        match node {
+            Plan::Select { predicate, .. } => {
+                let predicate = predicate.clone();
+                steps.push(Box::new(move |rows, _| {
+                    let mut out = Vec::with_capacity(rows.len());
+                    for row in rows {
+                        if predicate.eval(row.as_tuple()?)?.as_bool()? {
+                            out.push(row.clone());
+                        }
+                    }
+                    Ok(out)
+                }));
+            }
+            Plan::Project { columns, .. } => {
+                let columns = columns.clone();
+                steps.push(Box::new(move |rows, _| {
+                    rows.iter()
+                        .map(|row| Ok(Value::Tuple(project_row(row.as_tuple()?, &columns)?)))
+                        .collect()
+                }));
+            }
+            Plan::Extend { columns, .. } => {
+                let columns = columns.clone();
+                steps.push(Box::new(move |rows, _| {
+                    rows.iter()
+                        .map(|row| Ok(Value::Tuple(extend_row(row.as_tuple()?, &columns)?)))
+                        .collect()
+                }));
+            }
+            Plan::AddIndex { id_attr, .. } => {
+                let attr = id_attr.clone();
+                let slot = id_slots;
+                id_slots += 1;
+                steps.push(Box::new(move |rows, cx| {
+                    let start = cx.reserve(slot, rows.len());
+                    rows.iter()
+                        .enumerate()
+                        .map(|(i, row)| {
+                            let mut t = row.as_tuple()?.clone();
+                            t.set(
+                                attr.clone(),
+                                Value::Int(cx.partition as i64 + (start + i as i64) * cx.stride),
+                            );
+                            Ok(Value::Tuple(t))
+                        })
+                        .collect()
+                }));
+            }
+            Plan::Unnest {
+                bag_attr,
+                alias,
+                outer,
+                id_attr,
+                ..
+            } => {
+                let bag_attr = bag_attr.clone();
+                let alias = alias.clone();
+                let outer = *outer;
+                let id = match (outer, id_attr) {
+                    (true, Some(id)) => {
+                        id_slots += 1;
+                        Some((id.clone(), id_slots - 1))
+                    }
+                    _ => None,
+                };
+                steps.push(Box::new(move |rows, cx| {
+                    let start = match &id {
+                        Some((_, slot)) => cx.reserve(*slot, rows.len()),
+                        None => 0,
+                    };
+                    let mut out = Vec::with_capacity(rows.len());
+                    for (i, row) in rows.iter().enumerate() {
+                        let t = row.as_tuple()?;
+                        let flattened = match &id {
+                            Some((attr, _)) => {
+                                let mut t = t.clone();
+                                t.set(
+                                    attr.clone(),
+                                    Value::Int(
+                                        cx.partition as i64 + (start + i as i64) * cx.stride,
+                                    ),
+                                );
+                                unnest_row(&t, &bag_attr, alias.as_deref(), outer)?
+                            }
+                            None => unnest_row(t, &bag_attr, alias.as_deref(), outer)?,
+                        };
+                        out.extend(flattened);
+                    }
+                    Ok(out)
+                }));
+            }
+            other => {
+                return Err(ExecError::Other(format!(
+                    "operator {} is not row-local and cannot join a fused pipeline",
+                    pipeline_op_name(other)
+                )))
+            }
+        }
+    }
+    let label = pipeline_label(&ops);
+    Ok(CompiledRowChain {
+        steps,
+        ops,
+        label,
+        sequential,
+    })
+}
+
+/// Attempts morsel-driven execution of `plan`'s topmost fused pipeline over
+/// row collections — the row twin of the columnar fast path. Returns `None`
+/// when there is nothing to fuse.
+fn eval_pipelined_row(
+    plan: &Plan,
+    env: &HashMap<String, DistCollection>,
+    ctx: &DistContext,
+    options: &ExecOptions,
+) -> Result<Option<DistCollection>> {
+    let (chain, source) = fuse_chain(plan);
+    let scan_alias = match source {
+        Plan::Scan {
+            alias: Some(alias), ..
+        } => Some(alias.clone()),
+        _ => None,
+    };
+    if chain.is_empty() && scan_alias.is_none() {
+        return Ok(None);
+    }
+    let src = match source {
+        Plan::Scan { name, .. } => env
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ExecError::Other(format!("unknown input relation `{name}`")))?,
+        other => eval_plan(other, env, ctx, options)?,
+    };
+    let compiled = compile_chain_row(scan_alias, &chain)?;
+    let steps = compiled.steps;
+    let out = src.run_pipeline(
+        &compiled.label,
+        &compiled.ops,
+        compiled.sequential,
+        move |morsel, cx| {
+            let (first, rest) = steps.split_first().expect("non-empty chain");
+            let mut rows = first(morsel, cx)?;
+            for step in rest {
+                rows = step(&rows, cx)?;
+            }
+            Ok(rows)
+        },
+    )?;
+    Ok(Some(out))
 }
 
 /// Renames the fields of a scanned row to `alias.field` (non-tuple rows

@@ -278,9 +278,9 @@ impl RunOutcome {
     }
 }
 
-/// The options a strategy runs under (plan route over columnar batches by
-/// default; set `legacy_fused` to execute through the legacy oracle
-/// instead).
+/// The options a strategy runs under (plan route over columnar batches,
+/// morsel-driven fused pipelines by default; set `legacy_fused` to execute
+/// through the legacy oracle instead).
 pub fn strategy_options(strategy: Strategy, legacy_fused: bool) -> ExecOptions {
     ExecOptions {
         optimize: strategy != Strategy::Baseline,
@@ -288,13 +288,14 @@ pub fn strategy_options(strategy: Strategy, legacy_fused: bool) -> ExecOptions {
         legacy_fused,
         columnar: true,
         spill: true,
+        pipelined: true,
     }
 }
 
 /// Runs `spec` under `strategy` over the given inputs — through the plan
 /// route (NRC → Plan → optimize → columnar physical execution).
 pub fn run_query(spec: &QuerySpec, inputs: &InputSet, strategy: Strategy) -> RunOutcome {
-    run_query_impl(spec, inputs, strategy, false, true, true, None)
+    run_query_impl(spec, inputs, strategy, false, true, true, true, None)
 }
 
 /// Runs `spec` under `strategy` with an explicit spill switch: `spill =
@@ -308,13 +309,13 @@ pub fn run_query_spill(
     strategy: Strategy,
     spill: bool,
 ) -> RunOutcome {
-    run_query_impl(spec, inputs, strategy, false, true, spill, None)
+    run_query_impl(spec, inputs, strategy, false, true, spill, true, None)
 }
 
 /// Runs `spec` under `strategy` through the **legacy fused** executor — the
 /// differential-testing oracle the plan route must agree with.
 pub fn run_query_legacy(spec: &QuerySpec, inputs: &InputSet, strategy: Strategy) -> RunOutcome {
-    run_query_impl(spec, inputs, strategy, true, true, true, None)
+    run_query_impl(spec, inputs, strategy, true, true, true, true, None)
 }
 
 /// Runs `spec` under `strategy` through the plan route in an explicit
@@ -327,7 +328,25 @@ pub fn run_query_repr(
     strategy: Strategy,
     columnar: bool,
 ) -> RunOutcome {
-    run_query_impl(spec, inputs, strategy, false, columnar, true, None)
+    run_query_impl(spec, inputs, strategy, false, columnar, true, true, None)
+}
+
+/// Runs `spec` under `strategy` with the physical representation **and** the
+/// executor mode spelled out: `pipelined = true` (the default elsewhere)
+/// fuses row-local operator chains into morsel-driven pipelines on the
+/// persistent worker pool, `pipelined = false` is the **staged** executor
+/// (one materialization per plan operator) — the oracle the
+/// scheduler-stress suite differentials against.
+pub fn run_query_configured(
+    spec: &QuerySpec,
+    inputs: &InputSet,
+    strategy: Strategy,
+    columnar: bool,
+    pipelined: bool,
+) -> RunOutcome {
+    run_query_impl(
+        spec, inputs, strategy, false, columnar, true, pipelined, None,
+    )
 }
 
 /// Runs `spec` under `strategy` while capturing the optimized plans it
@@ -347,13 +366,35 @@ pub fn run_query_explained(
         false,
         true,
         true,
+        true,
         Some(&mut capture),
     );
     let mut out = String::new();
     let _ = writeln!(out, "== {} · {} ==", spec.name, strategy.label());
     for (name, plan) in &capture {
         let _ = writeln!(out, "-- {name} --");
-        out.push_str(&trance_algebra::pretty_plan(plan));
+        // Each operator is annotated with the fused pipeline it executes in
+        // (`·p0`, `·p1`, …); breakers carry no marker.
+        out.push_str(&trance_algebra::pretty_plan_pipelines(plan));
+    }
+    if !outcome.stats.pipeline_timings.is_empty() {
+        let _ = writeln!(
+            out,
+            "-- pipelines: {} morsels, {} steals, {:.1} ms total --",
+            outcome.stats.total_morsels(),
+            outcome.stats.steal_count,
+            outcome.stats.pipeline_ms(),
+        );
+        for (label, t) in &outcome.stats.pipeline_timings {
+            let _ = writeln!(
+                out,
+                "   {label}: {} runs, {} morsels, {:.1} ms [{}]",
+                t.calls,
+                t.morsels,
+                t.micros as f64 / 1000.0,
+                t.ops.join(" → "),
+            );
+        }
     }
     if outcome.stats.spilled_bytes > 0 {
         let _ = writeln!(
@@ -393,6 +434,7 @@ fn run_query_impl(
     legacy_fused: bool,
     columnar: bool,
     spill: bool,
+    pipelined: bool,
     capture: Option<&mut CapturedPlans>,
 ) -> RunOutcome {
     let ctx = inputs.context();
@@ -405,6 +447,7 @@ fn run_query_impl(
         legacy_fused,
         columnar,
         spill,
+        pipelined,
         capture,
     ) {
         Ok(r) => r,
@@ -434,6 +477,7 @@ fn execute_query(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn dispatch(
     spec: &QuerySpec,
     inputs: &InputSet,
@@ -441,12 +485,14 @@ fn dispatch(
     legacy_fused: bool,
     columnar: bool,
     spill: bool,
+    pipelined: bool,
     capture: Option<&mut CapturedPlans>,
 ) -> trance_dist::Result<RunResult> {
     let ctx = inputs.context();
     let mut options = strategy_options(strategy, legacy_fused);
     options.columnar = columnar;
     options.spill = spill;
+    options.pipelined = pipelined;
     // `ExecOptions::spill` only bites on clusters built with
     // `ClusterConfig::with_spill` and a memory cap; everywhere else the
     // session toggle is a no-op and capped runs FAIL as in the paper.

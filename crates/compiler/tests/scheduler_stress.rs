@@ -1,0 +1,214 @@
+//! Scheduler-stress differential suite: morsel-driven **pipelined** execution
+//! must agree with the **staged** executor — bag-equal results and identical
+//! logical shuffle volume — on every strategy, both physical
+//! representations, and the seeded random NRC program suite, at worker
+//! counts {1, 2, 7}. Odd worker counts and repeated pipelined runs shake out
+//! ordering and work-stealing races: stolen morsels are re-assembled in
+//! source order, so not a byte may move differently.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trance_compiler::{
+    collect_unshredded, run_query_configured, InputSet, QuerySpec, RunResult, Strategy,
+};
+use trance_dist::{ClusterConfig, DistContext};
+use trance_nrc::{Bag, Value};
+use trance_shred::{NestingStructure, ShreddedInputDecl};
+
+mod common;
+use common::{
+    assert_bags_approx_eq, cop_structure, cop_value, part_value, random_flat, random_nested,
+    random_query, running_example,
+};
+
+/// The stress suite pins its worker counts explicitly (it *is* the matrix),
+/// so `TRANCE_WORKERS` is deliberately not consulted here.
+fn ctx(workers: usize) -> DistContext {
+    DistContext::new(ClusterConfig::new(workers, 8).with_broadcast_limit(64))
+}
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 7];
+
+fn outcome_bag(result: &RunResult, context: &str) -> Bag {
+    match result {
+        RunResult::Nested(d) => d.collect_bag(),
+        RunResult::Shredded(out) => collect_unshredded(out).unwrap(),
+        RunResult::Failed(e) => panic!("{context}: run failed: {e}"),
+    }
+}
+
+/// Runs `spec` pipelined and staged in one representation and asserts
+/// bag-equal results and identical logical shuffle bytes; `repeats` extra
+/// pipelined runs guard against steal-order nondeterminism.
+fn check_pipelined_vs_staged(
+    spec: &QuerySpec,
+    inputs: &InputSet,
+    strategy: Strategy,
+    columnar: bool,
+    repeats: usize,
+    context: &str,
+) {
+    let staged = run_query_configured(spec, inputs, strategy, columnar, false);
+    let staged_bag = outcome_bag(&staged.result, &format!("{context} staged"));
+    for rep in 0..=repeats {
+        let pipelined = run_query_configured(spec, inputs, strategy, columnar, true);
+        let pipelined_bag =
+            outcome_bag(&pipelined.result, &format!("{context} pipelined rep{rep}"));
+        assert_bags_approx_eq(
+            &staged_bag,
+            &pipelined_bag,
+            &format!("{context} rep{rep}: pipelined vs staged results"),
+        );
+        assert_eq!(
+            staged.stats.shuffled_bytes, pipelined.stats.shuffled_bytes,
+            "{context} rep{rep}: fusion must not move a single extra logical shuffle byte"
+        );
+        assert_eq!(
+            staged.stats.shuffled_tuples, pipelined.stats.shuffled_tuples,
+            "{context} rep{rep}: shuffled tuple counts must match"
+        );
+    }
+}
+
+#[test]
+fn running_example_pipelined_matches_staged_all_strategies_reprs_and_workers() {
+    let spec = QuerySpec::new(
+        "running-example",
+        running_example(),
+        vec![ShreddedInputDecl::new("COP", cop_structure())],
+    );
+    for workers in WORKER_COUNTS {
+        let mut inputs = InputSet::new(ctx(workers));
+        inputs
+            .add_nested("COP", cop_value(30).as_bag().unwrap().clone())
+            .unwrap();
+        inputs
+            .add_flat("Part", part_value().as_bag().unwrap().clone())
+            .unwrap();
+        for strategy in Strategy::all() {
+            for columnar in [true, false] {
+                check_pipelined_vs_staged(
+                    &spec,
+                    &inputs,
+                    strategy,
+                    columnar,
+                    0,
+                    &format!(
+                        "running-example workers={workers} {} {}",
+                        strategy.label(),
+                        if columnar { "columnar" } else { "row" }
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn random_programs_pipelined_matches_staged_all_strategies_reprs_and_workers() {
+    // The nested input's structure, declared so the shredded strategies can
+    // run the random programs too.
+    let n_structure = NestingStructure::flat().with_child("items", NestingStructure::flat());
+    for workers in WORKER_COUNTS {
+        // Repeated pipelined runs only at the odd worker count, where steal
+        // interleavings are most adversarial (keeps suite runtime sane).
+        let repeats = if workers == 7 { 1 } else { 0 };
+        for seed in 0..24u64 {
+            let mut rng = StdRng::seed_from_u64(0xC0FFEE + seed);
+            let r_rows = rng.gen_range(5..40usize);
+            let s_rows = rng.gen_range(5..30usize);
+            let n_rows = rng.gen_range(3..20usize);
+            let r = random_flat(&mut rng, r_rows, 8);
+            let s = random_flat(&mut rng, s_rows, 8);
+            let n = random_nested(&mut rng, n_rows, 8);
+            let query = random_query(&mut rng);
+
+            let mut inputs = InputSet::new(ctx(workers));
+            inputs.add_flat("R", r.as_bag().unwrap().clone()).unwrap();
+            inputs.add_flat("S", s.as_bag().unwrap().clone()).unwrap();
+            inputs.add_nested("N", n.as_bag().unwrap().clone()).unwrap();
+            let spec = QuerySpec::new(
+                format!("random-{seed}"),
+                query,
+                vec![ShreddedInputDecl::new("N", n_structure.clone())],
+            );
+
+            for strategy in Strategy::all() {
+                for columnar in [true, false] {
+                    check_pipelined_vs_staged(
+                        &spec,
+                        &inputs,
+                        strategy,
+                        columnar,
+                        repeats,
+                        &format!(
+                            "seed {seed} workers={workers} {} {}",
+                            strategy.label(),
+                            if columnar { "columnar" } else { "row" }
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pipelined_runs_report_morsels_and_truthful_op_attribution() {
+    // The stats contract the benches and `--explain` surface: a pipelined
+    // run reports per-pipeline timings with member operator lists; a staged
+    // run reports none. Fused time never lands in a bare member-op bucket
+    // that did not actually run staged.
+    let spec = QuerySpec::new(
+        "running-example",
+        running_example(),
+        vec![ShreddedInputDecl::new("COP", cop_structure())],
+    );
+    let mut inputs = InputSet::new(ctx(3));
+    inputs
+        .add_nested("COP", cop_value(40).as_bag().unwrap().clone())
+        .unwrap();
+    inputs
+        .add_flat("Part", part_value().as_bag().unwrap().clone())
+        .unwrap();
+
+    let pipelined = run_query_configured(&spec, &inputs, Strategy::Standard, true, true);
+    assert!(!pipelined.result.is_failure());
+    assert!(
+        !pipelined.stats.pipeline_timings.is_empty(),
+        "a pipelined run must report per-pipeline timings"
+    );
+    assert!(pipelined.stats.total_morsels() > 0);
+    for (label, timing) in &pipelined.stats.pipeline_timings {
+        assert!(
+            !timing.ops.is_empty(),
+            "pipeline {label} must report its member operator list"
+        );
+        assert_eq!(
+            label,
+            &trance_algebra::pipeline_label(&timing.ops),
+            "the label must be derived from the member list"
+        );
+        assert!(
+            pipelined.stats.op_timings.contains_key(label),
+            "pipeline {label} must appear in op_ms under its own label"
+        );
+    }
+    // Row-local member operators of fused chains never show up as bare
+    // staged entries on the pipelined run.
+    for fused_member in ["map", "filter", "flat_map"] {
+        assert!(
+            !pipelined.stats.op_timings.contains_key(fused_member),
+            "fused pipelines must not lump time into the staged `{fused_member}` bucket"
+        );
+    }
+
+    let staged = run_query_configured(&spec, &inputs, Strategy::Standard, true, false);
+    assert!(!staged.result.is_failure());
+    assert!(
+        staged.stats.pipeline_timings.is_empty(),
+        "a staged run must not report pipelines"
+    );
+    assert_eq!(staged.stats.total_morsels(), 0);
+    let _ = Value::Null;
+}

@@ -8,7 +8,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use trance_compiler::{
-    collect_unshredded, run_query_repr, run_query_spill, InputSet, QuerySpec, RunResult, Strategy,
+    collect_unshredded, run_query_configured, run_query_repr, run_query_spill, InputSet, QuerySpec,
+    RunResult, Strategy,
 };
 use trance_dist::{ClusterConfig, DistContext};
 use trance_nrc::{eval, Bag, Env, Value};
@@ -21,18 +22,25 @@ use common::{
 };
 
 /// A spill-capable cluster with a cap small enough that the flattening
-/// strategies go out-of-core on the running example.
+/// strategies go out-of-core on the running example. `TRANCE_WORKERS`
+/// overrides the worker count (the CI matrix knob) — the assertions here are
+/// differential, so they must hold at any pool size.
 fn capped_ctx(worker_memory: usize) -> DistContext {
     DistContext::new(
         ClusterConfig::new(3, 8)
             .with_broadcast_limit(64)
             .with_worker_memory(worker_memory)
-            .with_spill(),
+            .with_spill()
+            .with_env_workers(),
     )
 }
 
 fn uncapped_ctx() -> DistContext {
-    DistContext::new(ClusterConfig::new(3, 8).with_broadcast_limit(64))
+    DistContext::new(
+        ClusterConfig::new(3, 8)
+            .with_broadcast_limit(64)
+            .with_env_workers(),
+    )
 }
 
 fn input_set(ctx: DistContext, values: &[(&str, Value, bool)]) -> InputSet {
@@ -111,6 +119,68 @@ fn capped_spill_runs_match_uncapped_on_every_strategy() {
             !dir.exists(),
             "dropping the context must remove the scoped spill directory"
         );
+    }
+}
+
+#[test]
+fn capped_pipelined_fail_cells_match_their_uncapped_oracles() {
+    // The spill × pipeline interaction the capped benchmark cells rely on:
+    // on the FAIL-cell strategies (the flattening routes that exceed the
+    // cap), a memory-capped **pipelined** run with spilling on must match
+    // the uncapped staged oracle exactly — on both physical
+    // representations. Fused pipelines stream through the same spill-aware
+    // PartBuilder sinks as the staged operators, so going out-of-core
+    // mid-pipeline must not change a single row.
+    let values = [("COP", cop_value(120), true), ("Part", part_value(), false)];
+    let spec = QuerySpec::new(
+        "running-example",
+        running_example(),
+        vec![ShreddedInputDecl::new("COP", cop_structure())],
+    );
+    let uncapped = input_set(uncapped_ctx(), &values);
+    let capped = input_set(capped_ctx(12 * 1024), &values);
+    let mut spilled_somewhere = false;
+    for strategy in [Strategy::Standard, Strategy::Baseline] {
+        for columnar in [true, false] {
+            let repr = if columnar { "columnar" } else { "row" };
+            // Staged, uncapped: the oracle.
+            let oracle = run_query_configured(&spec, &uncapped, strategy, columnar, false);
+            let oracle_bag = outcome_bag(
+                &oracle.result,
+                &format!("uncapped staged {} {repr}", strategy.label()),
+            );
+            // Pipelined, capped, spilling: must complete and agree.
+            let capped_run = run_query_configured(&spec, &capped, strategy, columnar, true);
+            spilled_somewhere |= capped_run.stats.spilled_bytes > 0;
+            let capped_bag = outcome_bag(
+                &capped_run.result,
+                &format!("capped pipelined {} {repr}", strategy.label()),
+            );
+            assert_bags_approx_eq(
+                &oracle_bag,
+                &capped_bag,
+                &format!(
+                    "{} {repr}: capped pipelined run vs uncapped staged oracle",
+                    strategy.label()
+                ),
+            );
+        }
+    }
+    assert!(
+        spilled_somewhere,
+        "the cap is meant to force the pipelined runs out-of-core"
+    );
+    // Spill files of the pipelined runs drain with their collections.
+    if let Some(dir) = capped.context().spill_dir() {
+        let ctx = capped.context().clone();
+        drop(capped);
+        assert_eq!(
+            std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0),
+            0,
+            "pipelined spill files leaked"
+        );
+        drop(ctx);
+        assert!(!dir.exists());
     }
 }
 

@@ -28,7 +28,14 @@ use common::{
 };
 
 fn ctx() -> DistContext {
-    DistContext::new(ClusterConfig::new(3, 8).with_broadcast_limit(64))
+    // `TRANCE_WORKERS` overrides the worker count (the CI matrix knob):
+    // every assertion here is differential or reference-based, so it must
+    // hold at any pool size.
+    DistContext::new(
+        ClusterConfig::new(3, 8)
+            .with_broadcast_limit(64)
+            .with_env_workers(),
+    )
 }
 
 fn reference_result(query: &trance_nrc::Expr, inputs: &[(&str, Value)]) -> Bag {

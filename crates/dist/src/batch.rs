@@ -1575,6 +1575,28 @@ impl Batch {
         }
     }
 
+    /// Adds (or overwrites) `attr` with the engine's coordination-free
+    /// unique-id numbering: row `i` of this batch gets
+    /// `partition + (start + i) * stride`, where `start` is the number of
+    /// rows of the same partition already numbered. Shared by the staged
+    /// `with_unique_id` operator (where `start` advances chunk by chunk) and
+    /// fused pipelines (where a sequential morsel cursor advances it), so
+    /// both executors assign byte-identical ids.
+    pub fn with_unique_ids(&self, attr: &str, partition: usize, start: i64, stride: i64) -> Batch {
+        let n = self.rows;
+        let data: Vec<i64> = (0..n)
+            .map(|i| partition as i64 + (start + i as i64) * stride)
+            .collect();
+        self.with_column(
+            attr,
+            Arc::new(Column::Int {
+                data,
+                nulls: Bitmap::zeros(n),
+                absent: Bitmap::zeros(n),
+            }),
+        )
+    }
+
     /// Exact physical bytes of the batch: the column buffers plus the schema
     /// (and each string dictionary) counted **once per batch**.
     pub fn physical_bytes(&self) -> usize {

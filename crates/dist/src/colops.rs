@@ -47,8 +47,9 @@
 //!   to disk once they outgrow the partition budget.
 
 use std::borrow::Cow;
-use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use trance_nrc::{Bag, Tuple, Value};
@@ -59,9 +60,15 @@ use crate::error::{ExecError, Result};
 use crate::join::{JoinKind, JoinSpec};
 use crate::ops::DistCollection;
 use crate::partition::{hash_key, hash_value, run_partitioned, PartRows};
+use crate::scheduler::MorselCtx;
 use crate::spill::{batch_frames, read_batches, spill_batch, SpillChunkWriter, SpilledBatches};
 use crate::stats::JoinStrategy;
 use crate::{DistContext, JoinHint};
+
+/// Target rows per morsel: resident partitions larger than this split into
+/// row-range morsels so the worker pool can balance (and steal) within a
+/// partition; spilled partitions already stream in bounded frames.
+pub const MORSEL_ROWS: usize = 4096;
 
 // ---------------------------------------------------------------------------
 // partitions: resident or spilled
@@ -524,23 +531,13 @@ impl ColCollection {
             let stride = self.parts.len().max(1) as i64;
             let parts = run_partitioned(&self.ctx, &self.parts, |p, part| {
                 let mut builder = PartBuilder::new(&self.ctx);
-                let mut offset = 0usize;
+                let mut offset = 0i64;
                 for chunk in part.chunks(&self.ctx)? {
                     let b = chunk?;
                     tuple_rows_required(&b)?;
-                    let data: Vec<i64> = (0..b.rows())
-                        .map(|i| p as i64 + (offset + i) as i64 * stride)
-                        .collect();
-                    offset += b.rows();
-                    let n = data.len();
-                    builder.push(b.with_column(
-                        attr,
-                        Arc::new(Column::Int {
-                            data,
-                            nulls: Bitmap::zeros(n),
-                            absent: Bitmap::zeros(n),
-                        }),
-                    ))?;
+                    let out = b.with_unique_ids(attr, p, offset, stride);
+                    offset += b.rows() as i64;
+                    builder.push(out)?;
                 }
                 builder.finish()
             })?;
@@ -694,6 +691,184 @@ impl ColCollection {
                 .nest_sum(key, values)?
                 .union(&heavy.nest_sum(key, values)?)
         })
+    }
+
+    /// Runs a **fused operator pipeline** morsel-by-morsel on the context's
+    /// persistent worker pool: `step` is the batch-at-a-time closure the
+    /// compiler fused out of a chain of row-local plan operators
+    /// (scan-rename / select / project / extend / unnest / id assignment).
+    ///
+    /// Each partition feeds its own spill-aware [`PartBuilder`] sink, so
+    /// partition alignment is preserved for downstream breakers and
+    /// oversized outputs overflow to disk exactly like the staged operators.
+    /// When the partition count is too small to keep every worker busy
+    /// (fewer than twice the workers), resident partitions larger than
+    /// [`MORSEL_ROWS`] additionally split into row-range morsels executed as
+    /// independent tasks (a reorder buffer re-assembles them in source
+    /// order, keeping the output byte-identical to the staged executor's);
+    /// with ample partitions the whole partition is one morsel — slicing
+    /// would cost a gather without buying parallelism. Spilled partitions
+    /// stream their frames inside one task either way.
+    ///
+    /// With `sequential` set (the chain assigns per-partition unique ids),
+    /// every partition runs as a single task driving its chunks in order
+    /// through a [`MorselCtx`] whose counters reproduce the staged
+    /// numbering.
+    ///
+    /// The run is metered as one [`crate::PipelineTiming`] under `label`
+    /// with the fused `ops` member list — never as individual member
+    /// operators.
+    pub fn run_pipeline<F>(
+        &self,
+        label: &str,
+        ops: &[String],
+        sequential: bool,
+        step: F,
+    ) -> Result<ColCollection>
+    where
+        F: Fn(&Batch, &mut MorselCtx) -> Result<Batch> + Send + Sync,
+    {
+        let start = Instant::now();
+        let ctx = &self.ctx;
+        let nparts = self.parts.len().max(1);
+        let stride = nparts as i64;
+        let morsels = AtomicU64::new(0);
+        // Intra-partition splitting only pays when partitions are scarce
+        // relative to workers; otherwise a partition is one morsel.
+        let split = nparts < 2 * ctx.config().workers.max(1);
+        let sinks: Vec<Mutex<ColMorselSink<'_>>> = (0..self.parts.len())
+            .map(|_| Mutex::new(ColMorselSink::new(ctx)))
+            .collect();
+
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        for (p, part) in self.parts.iter().enumerate() {
+            let sink = &sinks[p];
+            let step = &step;
+            let morsels = &morsels;
+            match part {
+                // One task per partition: spilled frames must be read in
+                // order, and sequential pipelines thread a running cursor.
+                ColPart::Spilled(_) => tasks.push(Box::new(move || {
+                    let mut cx = MorselCtx::new(p, stride);
+                    let mut next = 0usize;
+                    let mut run = || -> Result<()> {
+                        for chunk in part.chunks(ctx)? {
+                            morsels.fetch_add(1, Ordering::Relaxed);
+                            let out = step(&chunk?, &mut cx)?;
+                            sink.lock().unwrap().push(next, out);
+                            next += 1;
+                        }
+                        Ok(())
+                    };
+                    if let Err(e) = run() {
+                        sink.lock().unwrap().fail(e);
+                    }
+                })),
+                ColPart::Mem(batch) if sequential || !split || batch.rows() <= MORSEL_ROWS => tasks
+                    .push(Box::new(move || {
+                        let mut cx = MorselCtx::new(p, stride);
+                        morsels.fetch_add(1, Ordering::Relaxed);
+                        match step(batch, &mut cx) {
+                            Ok(out) => sink.lock().unwrap().push(0, out),
+                            Err(e) => sink.lock().unwrap().fail(e),
+                        }
+                    })),
+                // Large resident partition: independent row-range morsels,
+                // re-assembled in source order by the sink.
+                ColPart::Mem(batch) => {
+                    let chunks = batch.rows().div_ceil(MORSEL_ROWS);
+                    for m in 0..chunks {
+                        tasks.push(Box::new(move || {
+                            let lo = m * MORSEL_ROWS;
+                            let hi = ((m + 1) * MORSEL_ROWS).min(batch.rows());
+                            let idx: Vec<usize> = (lo..hi).collect();
+                            let morsel = batch.take(&idx);
+                            let mut cx = MorselCtx::new(p, stride);
+                            morsels.fetch_add(1, Ordering::Relaxed);
+                            match step(&morsel, &mut cx) {
+                                Ok(out) => sink.lock().unwrap().push(m, out),
+                                Err(e) => sink.lock().unwrap().fail(e),
+                            }
+                        }));
+                    }
+                }
+            }
+        }
+        // Tiny pipelines run inline on the caller, like every other
+        // operator below the parallel threshold.
+        let total_rows: usize = self.parts.iter().map(ColPart::rows).sum();
+        if ctx.config().workers.max(1) == 1 || total_rows < crate::partition::PARALLEL_THRESHOLD {
+            for task in tasks {
+                task();
+            }
+        } else {
+            ctx.run_tasks(tasks);
+        }
+
+        let mut parts = Vec::with_capacity(self.parts.len());
+        for sink in sinks {
+            parts.push(sink.into_inner().unwrap().finish()?);
+        }
+        ctx.stats()
+            .record_pipeline(label, ops, morsels.load(Ordering::Relaxed), start.elapsed());
+        ColCollection::materialize_parts(self.ctx.clone(), parts)
+    }
+}
+
+/// The per-partition sink of a fused pipeline run: morsel outputs arrive in
+/// completion order, a reorder buffer releases them to the spill-aware
+/// [`PartBuilder`] in **source order**, so a pipelined partition is
+/// byte-identical to its staged twin no matter how morsels were stolen.
+struct ColMorselSink<'a> {
+    builder: Option<PartBuilder<'a>>,
+    next: usize,
+    parked: BTreeMap<usize, Batch>,
+    error: Option<ExecError>,
+}
+
+impl<'a> ColMorselSink<'a> {
+    fn new(ctx: &'a DistContext) -> ColMorselSink<'a> {
+        ColMorselSink {
+            builder: Some(PartBuilder::new(ctx)),
+            next: 0,
+            parked: BTreeMap::new(),
+            error: None,
+        }
+    }
+
+    fn push(&mut self, idx: usize, batch: Batch) {
+        if self.error.is_some() {
+            return;
+        }
+        self.parked.insert(idx, batch);
+        while let Some(batch) = self.parked.remove(&self.next) {
+            let builder = self
+                .builder
+                .as_mut()
+                .expect("sink builder present until finish");
+            if let Err(e) = builder.push(batch) {
+                self.error = Some(e);
+                self.parked.clear();
+                return;
+            }
+            self.next += 1;
+        }
+    }
+
+    /// Records the first failure; later morsels of the partition become
+    /// no-ops (the error re-raises at `finish`).
+    fn fail(&mut self, e: ExecError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
+    fn finish(mut self) -> Result<ColPart> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        debug_assert!(self.parked.is_empty(), "morsel indices must be contiguous");
+        self.builder.take().expect("sink finished once").finish()
     }
 }
 
@@ -874,7 +1049,10 @@ fn rename_child(child: &Batch, alias: Option<&str>) -> Batch {
     }
 }
 
-fn unnest_batch(b: &Batch, bag_attr: &str, alias: Option<&str>, outer: bool) -> Result<Batch> {
+/// Unnests a bag-valued attribute of one batch — the batch-at-a-time kernel
+/// behind [`ColCollection::unnest`], exported so the compiler's fused
+/// pipelines can splice it into a morsel closure.
+pub fn unnest_batch(b: &Batch, bag_attr: &str, alias: Option<&str>, outer: bool) -> Result<Batch> {
     tuple_rows_required(b)?;
     let parent_shape = b.without_column(bag_attr);
     let Some(col) = b.column(bag_attr) else {

@@ -8,8 +8,12 @@
 //! * [`DistCollection`] — rows hash-partitioned into
 //!   [`ClusterConfig::partitions`] slices; every operator (`map`, `filter`,
 //!   `flat_map`, `union`, `distinct`, `join`, `nest_sum`, `nest_bag`) runs
-//!   partition-parallel on [`ClusterConfig::workers`] OS threads via
-//!   [`std::thread::scope`].
+//!   partition-parallel on the context's **persistent worker pool**
+//!   ([`scheduler::WorkerPool`], [`ClusterConfig::workers`] participants
+//!   with work-stealing deques — no per-operator thread spawn). Fused
+//!   operator pipelines compiled by `trance-compiler` execute
+//!   **morsel-by-morsel** through [`DistCollection::run_pipeline`] /
+//!   [`ColCollection::run_pipeline`] on the same pool.
 //! * [`DistContext`] — owns the cluster configuration and the shared
 //!   [`Stats`] counters (shuffled rows/bytes, broadcast volume, join
 //!   strategies taken, per-operator timings).
@@ -64,6 +68,7 @@ pub mod error;
 pub mod join;
 pub mod ops;
 mod partition;
+pub mod scheduler;
 pub mod skew;
 pub mod spill;
 pub mod stats;
@@ -73,8 +78,9 @@ pub use colops::ColCollection;
 pub use error::{ExecError, Result};
 pub use join::{JoinHint, JoinKind, JoinSpec};
 pub use ops::DistCollection;
+pub use scheduler::{MorselCtx, WorkerPool};
 pub use skew::{detect_heavy_keys, SkewTriple};
-pub use stats::{JoinStrategy, OpTiming, Stats, StatsSnapshot};
+pub use stats::{JoinStrategy, OpTiming, PipelineTiming, Stats, StatsSnapshot};
 
 /// Shape and limits of the simulated cluster.
 #[derive(Debug, Clone)]
@@ -167,12 +173,41 @@ impl ClusterConfig {
         self.skew_threshold
             .unwrap_or(1.0 / self.partitions.max(1) as f64)
     }
+
+    /// Sets an explicit worker count.
+    pub fn with_workers(mut self, workers: usize) -> ClusterConfig {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Applies the `TRANCE_WORKERS` environment override to the worker
+    /// count, when the variable is set — the knob the CI matrix turns to run
+    /// the differential suites at several pool sizes. Tests that depend on
+    /// an exact worker count (the scheduler-stress suite, the parallelism
+    /// assertions) simply do not call this.
+    pub fn with_env_workers(mut self) -> ClusterConfig {
+        if let Some(workers) = env_workers() {
+            self.workers = workers.max(1);
+        }
+        self
+    }
+}
+
+/// The `TRANCE_WORKERS` environment override, when set to a positive number.
+pub fn env_workers() -> Option<usize> {
+    std::env::var("TRANCE_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|w| *w > 0)
 }
 
 #[derive(Debug)]
 struct CtxInner {
     config: ClusterConfig,
     stats: Stats,
+    /// The persistent worker pool — created once with the context, shared by
+    /// every operator and pipeline run on it (no per-operator thread spawn).
+    pool: WorkerPool,
     /// Per-run spill toggle: lets a caller (the compiler's
     /// `ExecOptions::spill`) run one query with spilling off on a
     /// spill-capable cluster — the FAIL-vs-spill comparison the capped
@@ -193,10 +228,12 @@ pub struct DistContext {
 impl DistContext {
     /// Creates a context for `config`.
     pub fn new(config: ClusterConfig) -> DistContext {
+        let pool = WorkerPool::new(config.workers);
         DistContext {
             inner: Arc::new(CtxInner {
                 config,
                 stats: Stats::new(),
+                pool,
                 spill_session: AtomicBool::new(true),
                 spill_manager: Mutex::new(None),
             }),
@@ -211,6 +248,22 @@ impl DistContext {
     /// The shared engine metrics.
     pub fn stats(&self) -> &Stats {
         &self.inner.stats
+    }
+
+    /// The context's persistent worker pool.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.inner.pool
+    }
+
+    /// Runs a batch of borrowed tasks on the persistent pool, blocking until
+    /// all complete, and meters the scope's steals into the context stats.
+    /// Panics of individual tasks re-raise here after the whole scope
+    /// settled.
+    pub fn run_tasks<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        let steals = self.inner.pool.run(tasks);
+        if steals > 0 {
+            self.inner.stats.record_steals(steals);
+        }
     }
 
     /// True when memory pressure spills instead of failing: the cluster

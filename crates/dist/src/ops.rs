@@ -17,15 +17,18 @@
 
 use std::borrow::Cow;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use trance_nrc::{Bag, MemSize, Tuple, Value};
 
-use crate::error::Result;
+use crate::colops::MORSEL_ROWS;
+use crate::error::{ExecError, Result};
 use crate::partition::{
     enforce_memory, hash_key_ref, hash_value, run_partitioned, shuffle, split_round_robin, PartRows,
 };
+use crate::scheduler::MorselCtx;
 use crate::spill::{govern_materialized, read_rows, spill_rows, SpilledRows};
 use crate::DistContext;
 
@@ -383,6 +386,117 @@ impl DistCollection {
             })?;
             DistCollection::materialize(self.ctx.clone(), parts)
         })
+    }
+
+    /// Runs a **fused operator pipeline** morsel-by-morsel on the context's
+    /// persistent worker pool — the row-representation twin of
+    /// [`crate::ColCollection::run_pipeline`]. `step` is the fused
+    /// rows-at-a-time closure compiled out of a chain of row-local plan
+    /// operators; each partition's morsel outputs are re-assembled in source
+    /// order, so the pipelined result is identical (rows *and* order) to the
+    /// staged executor's.
+    ///
+    /// With `sequential` set, each partition runs as one task whose
+    /// [`MorselCtx`] counters reproduce the staged executor's unique-id
+    /// numbering. The run is metered as one [`crate::PipelineTiming`] under
+    /// `label`, with the member `ops` list.
+    pub fn run_pipeline<F>(
+        &self,
+        label: &str,
+        ops: &[String],
+        sequential: bool,
+        step: F,
+    ) -> Result<DistCollection>
+    where
+        F: Fn(&[Value], &mut MorselCtx) -> Result<Vec<Value>> + Send + Sync,
+    {
+        let start = Instant::now();
+        let ctx = &self.ctx;
+        let nparts = self.parts.len().max(1);
+        let stride = nparts as i64;
+        let morsels = AtomicU64::new(0);
+        // Intra-partition splitting only pays when partitions are scarce
+        // relative to workers; otherwise a partition is one morsel (the
+        // same policy as the columnar driver, so morsel counts agree).
+        let split = nparts < 2 * ctx.config().workers.max(1);
+        // Spilled partitions are read back whole, exactly like the staged
+        // row operators (the columnar driver is the streaming one).
+        let src: Vec<Cow<'_, [Value]>> = self.partitions()?;
+        // Per-partition, per-morsel output slots (chunk order preserved).
+        type MorselSlots = Vec<Mutex<Option<Result<Vec<Value>>>>>;
+        let slots: Vec<MorselSlots> = src
+            .iter()
+            .map(|rows| {
+                let chunks = if sequential || !split {
+                    1
+                } else {
+                    rows.len().div_ceil(MORSEL_ROWS).max(1)
+                };
+                (0..chunks).map(|_| Mutex::new(None)).collect()
+            })
+            .collect();
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        for (p, rows) in src.iter().enumerate() {
+            let step = &step;
+            let morsels = &morsels;
+            let part_slots = &slots[p];
+            if sequential {
+                tasks.push(Box::new(move || {
+                    let mut cx = MorselCtx::new(p, stride);
+                    let mut out: Result<Vec<Value>> = Ok(Vec::new());
+                    for chunk in rows.chunks(MORSEL_ROWS.max(1)) {
+                        // First error wins and stops the partition — like
+                        // the staged executor, no later chunk runs.
+                        let Ok(acc) = &mut out else { break };
+                        morsels.fetch_add(1, Ordering::Relaxed);
+                        match step(chunk, &mut cx) {
+                            Ok(mut produced) => acc.append(&mut produced),
+                            Err(e) => out = Err(e),
+                        }
+                    }
+                    *part_slots[0].lock().unwrap() = Some(out);
+                }));
+                continue;
+            }
+            for (m, slot) in part_slots.iter().enumerate() {
+                let single = part_slots.len() == 1;
+                tasks.push(Box::new(move || {
+                    let (lo, hi) = if single {
+                        (0, rows.len())
+                    } else {
+                        (m * MORSEL_ROWS, ((m + 1) * MORSEL_ROWS).min(rows.len()))
+                    };
+                    let mut cx = MorselCtx::new(p, stride);
+                    morsels.fetch_add(1, Ordering::Relaxed);
+                    *slot.lock().unwrap() = Some(step(&rows[lo..hi], &mut cx));
+                }));
+            }
+        }
+        // Tiny pipelines run inline on the caller, like every other
+        // operator below the parallel threshold.
+        let total_rows: usize = src.iter().map(|rows| rows.len()).sum();
+        if ctx.config().workers.max(1) == 1 || total_rows < crate::partition::PARALLEL_THRESHOLD {
+            for task in tasks {
+                task();
+            }
+        } else {
+            ctx.run_tasks(tasks);
+        }
+        let mut parts: Vec<Vec<Value>> = Vec::with_capacity(src.len());
+        for part_slots in slots {
+            let mut out = Vec::new();
+            for slot in part_slots {
+                match slot.into_inner().unwrap() {
+                    Some(Ok(mut produced)) => out.append(&mut produced),
+                    Some(Err(e)) => return Err(e),
+                    None => return Err(ExecError::Other("morsel task did not run".into())),
+                }
+            }
+            parts.push(out);
+        }
+        ctx.stats()
+            .record_pipeline(label, ops, morsels.load(Ordering::Relaxed), start.elapsed());
+        DistCollection::materialize(self.ctx.clone(), parts)
     }
 
     /// The `Γ⊎` grouping: groups rows by the `key` columns and collects the

@@ -20,8 +20,8 @@ use crate::ops::RowPart;
 use crate::DistContext;
 
 /// Below this many total rows an operator runs on the calling thread: the
-/// thread fan-out costs more than the work it would parallelize.
-const PARALLEL_THRESHOLD: usize = 256;
+/// pool fan-out costs more than the work it would parallelize.
+pub(crate) const PARALLEL_THRESHOLD: usize = 256;
 
 /// Splits rows round-robin into `partitions` slices (balanced independent of
 /// input order).
@@ -58,9 +58,13 @@ impl PartRows for crate::batch::Batch {
     }
 }
 
-/// Runs `f` once per partition, in parallel across the configured worker
-/// count, and returns the per-partition results in partition order. The first
-/// error (lowest partition index) wins.
+/// Runs `f` once per partition, in parallel on the context's **persistent
+/// worker pool**, and returns the per-partition results in partition order.
+/// The first error (lowest partition index) wins.
+///
+/// Partition `i` is assigned to pool slot `i % workers` — the same
+/// deterministic placement the old per-operator scoped threads used — and an
+/// idle participant steals queued partitions from busy ones.
 pub(crate) fn run_partitioned<P, T, F>(ctx: &DistContext, parts: &[P], f: F) -> Result<Vec<T>>
 where
     P: PartRows + Sync,
@@ -72,21 +76,19 @@ where
     if workers == 1 || parts.len() <= 1 || total_rows < PARALLEL_THRESHOLD {
         return parts.iter().enumerate().map(|(i, p)| f(i, p)).collect();
     }
-    let threads = workers.min(parts.len());
     let slots: Vec<Mutex<Option<Result<T>>>> = parts.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for w in 0..threads {
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = parts
+        .iter()
+        .enumerate()
+        .map(|(i, part)| {
             let slots = &slots;
             let f = &f;
-            scope.spawn(move || {
-                // Static striping: thread w owns partitions w, w+threads, ...
-                // (partition -> worker placement is deterministic).
-                for i in (w..parts.len()).step_by(threads) {
-                    *slots[i].lock().unwrap() = Some(f(i, &parts[i]));
-                }
-            });
-        }
-    });
+            Box::new(move || {
+                *slots[i].lock().unwrap() = Some(f(i, part));
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    ctx.run_tasks(tasks);
     let mut out = Vec::with_capacity(parts.len());
     for slot in slots {
         match slot.into_inner().unwrap() {

@@ -37,6 +37,23 @@ pub struct OpTiming {
     pub micros: u64,
 }
 
+/// Aggregated executions of one **fused pipeline** shape: how often it ran,
+/// how many morsels it drove, its total wall-clock time, and the member
+/// operators it fused — so `--explain` and `op_ms` stay truthful about where
+/// operator time went once operators no longer run (or are timed) one at a
+/// time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineTiming {
+    /// Number of pipeline executions.
+    pub calls: u64,
+    /// Total morsels driven across those executions.
+    pub morsels: u64,
+    /// Total wall-clock microseconds across those executions.
+    pub micros: u64,
+    /// The fused member operators, in execution order (source side first).
+    pub ops: Vec<String>,
+}
+
 /// Shared, thread-safe metric accumulators of one [`crate::DistContext`].
 #[derive(Default)]
 pub struct Stats {
@@ -53,7 +70,9 @@ pub struct Stats {
     spilled_bytes: AtomicU64,
     spill_files: AtomicU64,
     spill_micros: AtomicU64,
+    steals: AtomicU64,
     timings: Mutex<BTreeMap<String, OpTiming>>,
+    pipelines: Mutex<BTreeMap<String, PipelineTiming>>,
 }
 
 impl Stats {
@@ -77,7 +96,9 @@ impl Stats {
         self.spilled_bytes.store(0, Ordering::Relaxed);
         self.spill_files.store(0, Ordering::Relaxed);
         self.spill_micros.store(0, Ordering::Relaxed);
+        self.steals.store(0, Ordering::Relaxed);
         self.timings.lock().unwrap().clear();
+        self.pipelines.lock().unwrap().clear();
     }
 
     /// Meters rows moving through a shuffle (repartition-by-key).
@@ -137,6 +158,35 @@ impl Stats {
         entry.micros += elapsed.as_micros() as u64;
     }
 
+    /// Counts work-stealing events of the persistent worker pool.
+    pub fn record_steals(&self, steals: u64) {
+        self.steals.fetch_add(steals, Ordering::Relaxed);
+    }
+
+    /// Adds one execution of a fused pipeline under `label` (e.g.
+    /// `pipeline[scan+select+project]`) that drove `morsels` morsels across
+    /// its `ops` member operators in `elapsed`. The pipeline is mirrored
+    /// into the per-operator timings under the same label — fused time is
+    /// attributed to the *pipeline with its member list*, never lumped into
+    /// a single member operator's bucket.
+    pub fn record_pipeline(&self, label: &str, ops: &[String], morsels: u64, elapsed: Duration) {
+        let micros = elapsed.as_micros() as u64;
+        {
+            let mut pipelines = self.pipelines.lock().unwrap();
+            let entry = pipelines.entry(label.to_string()).or_default();
+            entry.calls += 1;
+            entry.morsels += morsels;
+            entry.micros += micros;
+            if entry.ops.is_empty() {
+                entry.ops = ops.to_vec();
+            }
+        }
+        let mut timings = self.timings.lock().unwrap();
+        let entry = timings.entry(label.to_string()).or_default();
+        entry.calls += 1;
+        entry.micros += micros;
+    }
+
     /// Copies the current counters into a plain value.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -153,7 +203,9 @@ impl Stats {
             spilled_bytes: self.spilled_bytes.load(Ordering::Relaxed),
             spill_files: self.spill_files.load(Ordering::Relaxed),
             spill_micros: self.spill_micros.load(Ordering::Relaxed),
+            steal_count: self.steals.load(Ordering::Relaxed),
             op_timings: self.timings.lock().unwrap().clone(),
+            pipeline_timings: self.pipelines.lock().unwrap().clone(),
         }
     }
 }
@@ -196,8 +248,16 @@ pub struct StatsSnapshot {
     pub spill_files: u64,
     /// Wall-clock microseconds spent on spill encode/write/read/decode.
     pub spill_micros: u64,
-    /// Per-operator call counts and wall-clock time.
+    /// Tasks executed by a pool participant other than the one they were
+    /// assigned to (work-stealing events).
+    pub steal_count: u64,
+    /// Per-operator call counts and wall-clock time. Fused pipelines appear
+    /// here under their `pipeline[...]` label, never under a member
+    /// operator's name.
     pub op_timings: BTreeMap<String, OpTiming>,
+    /// Per-pipeline executions: morsel counts, wall-clock time and the
+    /// member operators each fused shape ran.
+    pub pipeline_timings: BTreeMap<String, PipelineTiming>,
 }
 
 impl StatsSnapshot {
@@ -220,6 +280,20 @@ impl StatsSnapshot {
     /// Spill I/O time in milliseconds.
     pub fn spill_ms(&self) -> f64 {
         self.spill_micros as f64 / 1000.0
+    }
+
+    /// Total wall-clock milliseconds spent inside fused pipelines.
+    pub fn pipeline_ms(&self) -> f64 {
+        self.pipeline_timings
+            .values()
+            .map(|p| p.micros)
+            .sum::<u64>() as f64
+            / 1000.0
+    }
+
+    /// Total morsels driven across all fused pipelines.
+    pub fn total_morsels(&self) -> u64 {
+        self.pipeline_timings.values().map(|p| p.morsels).sum()
     }
 }
 
@@ -248,5 +322,38 @@ mod tests {
         assert_eq!(snap.op_timings["map"].calls, 1);
         stats.reset();
         assert_eq!(stats.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn pipeline_attribution_keeps_member_ops_and_never_lumps_into_one_op() {
+        let stats = Stats::new();
+        let ops = vec!["scan".to_string(), "select".to_string(), "map".to_string()];
+        stats.record_pipeline(
+            "pipeline[scan+select+map]",
+            &ops,
+            7,
+            Duration::from_micros(1500),
+        );
+        stats.record_pipeline(
+            "pipeline[scan+select+map]",
+            &ops,
+            5,
+            Duration::from_micros(500),
+        );
+        stats.record_steals(3);
+        let snap = stats.snapshot();
+        let p = &snap.pipeline_timings["pipeline[scan+select+map]"];
+        assert_eq!(p.calls, 2);
+        assert_eq!(p.morsels, 12);
+        assert_eq!(p.micros, 2000);
+        assert_eq!(p.ops, ops, "the member operator list must be reported");
+        assert_eq!(snap.total_morsels(), 12);
+        assert!((snap.pipeline_ms() - 2.0).abs() < 1e-9);
+        assert_eq!(snap.steal_count, 3);
+        // Fused time shows up under the pipeline label, not under any single
+        // member operator's bucket.
+        assert_eq!(snap.op_timings["pipeline[scan+select+map]"].micros, 2000);
+        assert!(!snap.op_timings.contains_key("select"));
+        assert!(!snap.op_timings.contains_key("map"));
     }
 }
