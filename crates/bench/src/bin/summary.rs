@@ -11,7 +11,10 @@
 //! the out-of-core subsystem: the `-capped` rows re-run the three FAIL cells
 //! on a spill-capable cluster at the same cap, spill off (still FAIL) and
 //! spill on (ok, differentially checked against an uncapped oracle via
-//! `results_match_uncapped`).
+//! `results_match_uncapped`). `faults_injected` / `retries` /
+//! `recovered_partitions` / `cancelled` report the fault-tolerance layer —
+//! all zero unless a fault plan (`--faults` / `TRANCE_FAULT_SEED`) armed the
+//! injector.
 
 use std::fmt::Write as _;
 
@@ -100,6 +103,8 @@ fn render_json(cells: &[JsonCell]) -> String {
              \"spill\": \"{}\", \"spilled_bytes\": {}, \"spill_files\": {}, \
              \"spill_ms\": {:.3}{}, \
              \"pipeline_ms\": {:.3}, \"morsels\": {}, \"steals\": {}, \
+             \"faults_injected\": {}, \"retries\": {}, \
+             \"recovered_partitions\": {}, \"cancelled\": {}, \
              \"op_ms\": {{{}}}}}{}",
             escape(&cell.query),
             escape(cell.row.strategy.label()),
@@ -126,6 +131,10 @@ fn render_json(cells: &[JsonCell]) -> String {
             s.pipeline_ms(),
             s.total_morsels(),
             s.steal_count,
+            s.faults_injected,
+            s.retries,
+            s.recovered_partitions,
+            s.cancelled,
             op_ms,
             if i + 1 < cells.len() { "," } else { "" },
         );

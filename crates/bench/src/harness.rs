@@ -8,7 +8,7 @@ use trance_compiler::{
     run_query, run_query_configured, run_query_repr, run_query_spill, InputSet, QuerySpec,
     RunOutcome, RunResult, Strategy,
 };
-use trance_dist::{ClusterConfig, DistContext, StatsSnapshot};
+use trance_dist::{ClusterConfig, DistContext, FaultPlan, StatsSnapshot};
 use trance_nrc::{eval, Bag, Env, MemSize, Value};
 use trance_shred::ShreddedInputDecl;
 use trance_tpch::{
@@ -110,6 +110,11 @@ pub struct ClusterTuning {
     /// default morsel-driven pipelined one — the A side of `--staged` A/B
     /// comparisons.
     pub staged: bool,
+    /// Fault-plan spec (`--faults`, e.g. `42` or
+    /// `seed=42,morsel=0.02,once=spill_read@3`) arming the cluster's
+    /// deterministic fault injector. When absent, `TRANCE_FAULT_SEED`
+    /// supplies the plan instead; when both are absent, runs are fault-free.
+    pub faults: Option<String>,
 }
 
 /// The default simulated cluster used by every figure: 4 workers, 16 shuffle
@@ -142,6 +147,17 @@ pub fn default_cluster_tuned(
     if tuning.spill {
         cfg = cfg.with_spill();
     }
+    cfg = match &tuning.faults {
+        // `--faults` beats the `TRANCE_FAULT_SEED` environment knob.
+        Some(spec) => match FaultPlan::parse(spec) {
+            Ok(plan) => cfg.with_faults(plan),
+            Err(e) => {
+                eprintln!("warning: ignoring invalid --faults spec: {e}");
+                cfg
+            }
+        },
+        None => cfg.with_env_faults(),
+    };
     DistContext::new(cfg)
 }
 

@@ -52,13 +52,18 @@ pub fn cli_flag(name: &str) -> bool {
 /// `--memory-factor`), `--spill` (enable the out-of-core subsystem) and
 /// `--staged` (disable fused pipelines and run the staged
 /// one-materialization-per-operator executor — the A side of pipelined
-/// vs. staged A/B runs), so capped, spilling and A/B runs are reproducible
-/// from the command line.
+/// vs. staged A/B runs) and `--faults SPEC` (arm the deterministic fault
+/// injector, e.g. `--faults 42` or
+/// `--faults seed=42,morsel=0.02,once=spill_read@3`; the `TRANCE_FAULT_SEED`
+/// environment variable supplies the spec when the flag is absent), so
+/// capped, spilling, A/B and chaos runs are reproducible from the command
+/// line.
 pub fn cli_tuning() -> ClusterTuning {
     ClusterTuning {
         partitions: cli_opt("--partitions").map(|v| v.parse().expect("--partitions N")),
         memory_bytes: cli_opt("--memory").map(|v| v.parse().expect("--memory BYTES")),
         spill: cli_flag("--spill"),
         staged: cli_flag("--staged"),
+        faults: cli_opt("--faults"),
     }
 }

@@ -70,6 +70,11 @@ pub struct ExecOptions {
     /// selectable as the differential oracle the scheduler-stress suite
     /// compares against. Ignored by the legacy fused executor.
     pub pipelined: bool,
+    /// Let the cluster's [`trance_dist::FaultInjector`] fire during this run
+    /// (the default). Only bites on clusters configured with a
+    /// [`trance_dist::FaultPlan`]; turning it off runs fault-free on the same
+    /// cluster — the oracle side of the chaos differential suite.
+    pub faults: bool,
 }
 
 impl Default for ExecOptions {
@@ -81,6 +86,7 @@ impl Default for ExecOptions {
             columnar: true,
             spill: true,
             pipelined: true,
+            faults: true,
         }
     }
 }

@@ -45,9 +45,9 @@ pub use physical::{
     CapturedPlans,
 };
 pub use pipeline::{
-    collect_unshredded, explain_query, run_query, run_query_configured, run_query_explained,
-    run_query_legacy, run_query_repr, run_query_spill, run_shredded, strategy_options,
-    unshred_distributed, unshred_distributed_col, InputSet, QuerySpec, RunOutcome, RunResult,
-    ShreddedOutput, Strategy,
+    collect_unshredded, explain_query, run_query, run_query_bounded, run_query_configured,
+    run_query_explained, run_query_legacy, run_query_repr, run_query_spill, run_shredded,
+    strategy_options, unshred_distributed, unshred_distributed_col, InputSet, QuerySpec,
+    RunOutcome, RunResult, ShreddedOutput, Strategy,
 };
 pub use vector::{eval_mask, eval_scalar_batch};

@@ -289,13 +289,36 @@ pub fn strategy_options(strategy: Strategy, legacy_fused: bool) -> ExecOptions {
         columnar: true,
         spill: true,
         pipelined: true,
+        faults: true,
     }
 }
 
 /// Runs `spec` under `strategy` over the given inputs — through the plan
 /// route (NRC → Plan → optimize → columnar physical execution).
 pub fn run_query(spec: &QuerySpec, inputs: &InputSet, strategy: Strategy) -> RunOutcome {
-    run_query_impl(spec, inputs, strategy, false, true, true, true, None)
+    run_query_impl(
+        spec, inputs, strategy, false, true, true, true, true, None, None,
+    )
+}
+
+/// Runs `spec` under `strategy` with an explicit **fault-tolerance
+/// envelope**: `faults = false` suppresses the cluster's fault injector for
+/// this run (the fault-free oracle side of the chaos differential suite),
+/// and `deadline` arms the context's [`trance_dist::CancelToken`] so the run
+/// is cooperatively cancelled — returning
+/// [`trance_dist::ExecError::Cancelled`] — once the wall-clock budget
+/// expires, even mid-spill. Both knobs are no-ops on clusters without a
+/// [`trance_dist::FaultPlan`] / with no deadline set.
+pub fn run_query_bounded(
+    spec: &QuerySpec,
+    inputs: &InputSet,
+    strategy: Strategy,
+    faults: bool,
+    deadline: Option<Duration>,
+) -> RunOutcome {
+    run_query_impl(
+        spec, inputs, strategy, false, true, true, true, faults, deadline, None,
+    )
 }
 
 /// Runs `spec` under `strategy` with an explicit spill switch: `spill =
@@ -309,13 +332,17 @@ pub fn run_query_spill(
     strategy: Strategy,
     spill: bool,
 ) -> RunOutcome {
-    run_query_impl(spec, inputs, strategy, false, true, spill, true, None)
+    run_query_impl(
+        spec, inputs, strategy, false, true, spill, true, true, None, None,
+    )
 }
 
 /// Runs `spec` under `strategy` through the **legacy fused** executor — the
 /// differential-testing oracle the plan route must agree with.
 pub fn run_query_legacy(spec: &QuerySpec, inputs: &InputSet, strategy: Strategy) -> RunOutcome {
-    run_query_impl(spec, inputs, strategy, true, true, true, true, None)
+    run_query_impl(
+        spec, inputs, strategy, true, true, true, true, true, None, None,
+    )
 }
 
 /// Runs `spec` under `strategy` through the plan route in an explicit
@@ -328,7 +355,9 @@ pub fn run_query_repr(
     strategy: Strategy,
     columnar: bool,
 ) -> RunOutcome {
-    run_query_impl(spec, inputs, strategy, false, columnar, true, true, None)
+    run_query_impl(
+        spec, inputs, strategy, false, columnar, true, true, true, None, None,
+    )
 }
 
 /// Runs `spec` under `strategy` with the physical representation **and** the
@@ -345,7 +374,7 @@ pub fn run_query_configured(
     pipelined: bool,
 ) -> RunOutcome {
     run_query_impl(
-        spec, inputs, strategy, false, columnar, true, pipelined, None,
+        spec, inputs, strategy, false, columnar, true, pipelined, true, None, None,
     )
 }
 
@@ -367,6 +396,8 @@ pub fn run_query_explained(
         true,
         true,
         true,
+        true,
+        None,
         Some(&mut capture),
     );
     let mut out = String::new();
@@ -405,6 +436,18 @@ pub fn run_query_explained(
             outcome.stats.spill_ms(),
         );
     }
+    if outcome.stats.faults_injected > 0 {
+        let _ = writeln!(
+            out,
+            "-- faults: {} injected, {} retries, {} partitions recovered --",
+            outcome.stats.faults_injected,
+            outcome.stats.retries,
+            outcome.stats.recovered_partitions,
+        );
+    }
+    if outcome.stats.cancelled > 0 {
+        let _ = writeln!(out, "-- cancelled --");
+    }
     if let RunResult::Failed(e) = &outcome.result {
         let _ = writeln!(out, "-- run failed: {e} --");
     }
@@ -435,10 +478,17 @@ fn run_query_impl(
     columnar: bool,
     spill: bool,
     pipelined: bool,
+    faults: bool,
+    deadline: Option<Duration>,
     capture: Option<&mut CapturedPlans>,
 ) -> RunOutcome {
     let ctx = inputs.context();
     ctx.stats().reset();
+    // Every run starts with a fresh cancellation scope: a stale flag or
+    // deadline from an earlier run on the same context must not leak in.
+    let cancel = ctx.cancel_token();
+    cancel.reset();
+    cancel.set_timeout(deadline);
     let start = Instant::now();
     let result = match dispatch(
         spec,
@@ -448,11 +498,19 @@ fn run_query_impl(
         columnar,
         spill,
         pipelined,
+        faults,
         capture,
     ) {
         Ok(r) => r,
         Err(e) => RunResult::Failed(e),
     };
+    if let RunResult::Failed(e) = &result {
+        if e.is_cancelled() {
+            ctx.stats().record_cancelled();
+        }
+    }
+    // Disarm the deadline so it cannot fire into a later run.
+    cancel.set_timeout(None);
     RunOutcome {
         strategy,
         elapsed: start.elapsed(),
@@ -486,6 +544,7 @@ fn dispatch(
     columnar: bool,
     spill: bool,
     pipelined: bool,
+    faults: bool,
     capture: Option<&mut CapturedPlans>,
 ) -> trance_dist::Result<RunResult> {
     let ctx = inputs.context();
@@ -493,10 +552,15 @@ fn dispatch(
     options.columnar = columnar;
     options.spill = spill;
     options.pipelined = pipelined;
+    options.faults = faults;
     // `ExecOptions::spill` only bites on clusters built with
     // `ClusterConfig::with_spill` and a memory cap; everywhere else the
     // session toggle is a no-op and capped runs FAIL as in the paper.
     ctx.set_spill_session(options.spill);
+    // Likewise `ExecOptions::faults` only bites on clusters configured with
+    // a `FaultPlan`: turning it off runs the same query fault-free on the
+    // same cluster (the chaos suite's oracle side).
+    ctx.set_fault_session(options.faults);
     match strategy {
         Strategy::Standard | Strategy::StandardSkew | Strategy::Baseline => {
             let out = if options.columnar && !options.legacy_fused {

@@ -1,0 +1,323 @@
+//! Chaos differential suite: under **seeded, deterministic fault injection**
+//! at every site (morsel execution, spill read/write, shuffle delivery,
+//! worker startup), every run must either match the fault-free oracle after
+//! recovery or return a **typed** error within its deadline — never a hang,
+//! never a silently wrong answer, never a leaked spill file. The fault
+//! schedules are pure functions of their seeds, so every failure here
+//! reproduces byte-for-byte.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trance_compiler::{
+    collect_unshredded, run_query_bounded, run_query_repr, InputSet, QuerySpec, RunOutcome,
+    RunResult, Strategy,
+};
+use trance_dist::{ClusterConfig, DistContext, FaultPlan, FaultSite};
+use trance_nrc::{eval, Bag, Env, Value};
+use trance_shred::{NestingStructure, ShreddedInputDecl};
+
+mod common;
+use common::{assert_bags_approx_eq, random_flat, random_nested, random_query, Watchdog};
+
+/// Generous per-run deadline: the contract is "typed result before this
+/// fires", so it only bites when recovery livelocks — which is exactly the
+/// bug it exists to surface (backed up by the process-level watchdog).
+const RUN_DEADLINE: Duration = Duration::from_secs(120);
+
+/// A cluster armed with `plan`. `capped` additionally enables the spill
+/// subsystem under a tight memory cap so the `spill_read` / `spill_write`
+/// injection sites actually execute. The worker count is pinned (like the
+/// scheduler-stress suite, this suite *is* its own matrix): a 1-worker pool
+/// spawns no threads, so honouring `TRANCE_WORKERS=1` would make the
+/// `worker_start` site unreachable and the schedules non-reproducible.
+fn chaos_ctx(plan: FaultPlan, capped: bool) -> DistContext {
+    let mut cfg = ClusterConfig::new(3, 8)
+        .with_broadcast_limit(64)
+        .with_faults(plan);
+    if capped {
+        cfg = cfg.with_worker_memory(2 * 1024).with_spill();
+    }
+    DistContext::new(cfg)
+}
+
+fn outcome_bag(result: &RunResult, context: &str) -> Bag {
+    match result {
+        RunResult::Nested(d) => d.collect_bag(),
+        RunResult::Shredded(out) => collect_unshredded(out).unwrap(),
+        RunResult::Failed(e) => panic!("{context}: run failed: {e}"),
+    }
+}
+
+/// Builds the seeded random program `seed` together with its sequential
+/// reference result (the same generator and seeds as the other differential
+/// suites, so a chaos failure cross-references directly).
+fn random_case(seed: u64) -> (QuerySpec, Vec<(&'static str, Value, bool)>, Bag) {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE + seed);
+    let r_rows = rng.gen_range(5..40usize);
+    let s_rows = rng.gen_range(5..30usize);
+    let n_rows = rng.gen_range(3..20usize);
+    let r = random_flat(&mut rng, r_rows, 8);
+    let s = random_flat(&mut rng, s_rows, 8);
+    let n = random_nested(&mut rng, n_rows, 8);
+    let query = random_query(&mut rng);
+    let env = Env::from_bindings([("R", r.clone()), ("S", s.clone()), ("N", n.clone())]);
+    let expected = eval(&query, &env).unwrap().into_bag().unwrap();
+    let n_structure = NestingStructure::flat().with_child("items", NestingStructure::flat());
+    let spec = QuerySpec::new(
+        format!("chaos-{seed}"),
+        query,
+        vec![ShreddedInputDecl::new("N", n_structure)],
+    );
+    (
+        spec,
+        vec![("R", r, false), ("S", s, false), ("N", n, true)],
+        expected,
+    )
+}
+
+fn input_set(ctx: DistContext, values: &[(&'static str, Value, bool)]) -> InputSet {
+    let mut inputs = InputSet::new(ctx);
+    for (name, v, nested) in values {
+        if *nested {
+            inputs
+                .add_nested(name, v.as_bag().unwrap().clone())
+                .unwrap();
+        } else {
+            inputs.add_flat(name, v.as_bag().unwrap().clone()).unwrap();
+        }
+    }
+    inputs
+}
+
+#[test]
+fn seeded_fault_schedules_recover_or_fail_typed_on_every_strategy_and_repr() {
+    let _watchdog = Watchdog::arm("chaos::seeded_fault_schedules", Duration::from_secs(600));
+    // Accumulated per-site fire counts across the whole suite: the schedules
+    // must collectively exercise every injection point.
+    let mut fired = [0u64; FaultSite::ALL.len()];
+    let mut recovered_runs = 0u64;
+    let mut typed_failures = 0u64;
+    for seed in 0..24u64 {
+        let (spec, values, expected) = random_case(seed);
+        // Odd seeds run memory-capped with spilling on, so the spill
+        // read/write sites execute; even seeds run in-memory.
+        let capped = seed % 2 == 1;
+        let inputs = input_set(chaos_ctx(FaultPlan::seeded(seed), capped), &values);
+        let ctx = inputs.context().clone();
+
+        // The fault-free oracle side: same cluster, injector suppressed for
+        // the run. It must match the sequential reference and inject nothing.
+        let oracle = run_query_bounded(&spec, &inputs, Strategy::Standard, false, None);
+        assert_eq!(
+            oracle.stats.faults_injected, 0,
+            "seed {seed}: a faults-off run must not inject"
+        );
+        let oracle_bag = outcome_bag(&oracle.result, &format!("seed {seed} faults-off oracle"));
+        assert_bags_approx_eq(
+            &expected,
+            &oracle_bag,
+            &format!("seed {seed}: faults-off oracle vs sequential reference"),
+        );
+
+        for strategy in Strategy::all() {
+            for columnar in [true, false] {
+                let repr = if columnar { "columnar" } else { "row" };
+                let outcome = run_faulted(&spec, &inputs, strategy, columnar);
+                recovered_runs +=
+                    u64::from(outcome.stats.retries > 0 || outcome.stats.recovered_partitions > 0);
+                match &outcome.result {
+                    RunResult::Failed(e) => {
+                        // A surviving failure must be typed — retry
+                        // exhaustion, memory, or cancellation — and the
+                        // injector must actually have been the cause class
+                        // the taxonomy claims.
+                        assert!(
+                            e.is_retryable() || e.is_fatal() || e.is_cancelled(),
+                            "seed {seed} {} {repr}: untyped failure {e}",
+                            strategy.label()
+                        );
+                        typed_failures += 1;
+                    }
+                    other => {
+                        let produced =
+                            outcome_bag(other, &format!("seed {seed} {} {repr}", strategy.label()));
+                        assert_bags_approx_eq(
+                            &expected,
+                            &produced,
+                            &format!(
+                                "seed {seed} {} {repr}: faulted run after recovery vs reference",
+                                strategy.label()
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        let injector = ctx.faults().expect("chaos cluster has an injector");
+        for site in FaultSite::ALL {
+            fired[site.index()] += injector.fired(site);
+        }
+
+        // No spill file may survive the runs' collections (the oracle
+        // outcome holds a distributed collection, so it must go too).
+        if let Some(dir) = ctx.spill_dir() {
+            drop(oracle);
+            drop(inputs);
+            assert_eq!(
+                std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0),
+                0,
+                "seed {seed}: spill files leaked under fault injection"
+            );
+            drop(ctx);
+            assert!(!dir.exists(), "seed {seed}: spill dir survived the context");
+        }
+    }
+    for site in FaultSite::ALL {
+        assert!(
+            fired[site.index()] > 0,
+            "the 24 schedules never exercised the `{site}` injection point"
+        );
+    }
+    assert!(
+        recovered_runs > 0,
+        "no run ever retried or recovered — injection is not reaching execution"
+    );
+    // Typed failures are allowed but must stay the exception: recovery is
+    // supposed to absorb the default fault rates almost always.
+    let total_runs = 24 * Strategy::all().len() as u64 * 2;
+    assert!(
+        typed_failures < total_runs / 4,
+        "{typed_failures}/{total_runs} faulted runs failed — recovery is not absorbing faults"
+    );
+}
+
+/// One faulted run under the chaos deadline. The bounded entry runs the
+/// columnar representation; row-representation runs go through the repr
+/// entry (faults on by default) with the process watchdog as their hang
+/// guard instead of a per-run deadline.
+fn run_faulted(
+    spec: &QuerySpec,
+    inputs: &InputSet,
+    strategy: Strategy,
+    columnar: bool,
+) -> RunOutcome {
+    if columnar {
+        run_query_bounded(spec, inputs, strategy, true, Some(RUN_DEADLINE))
+    } else {
+        run_query_repr(spec, inputs, strategy, false)
+    }
+}
+
+#[test]
+fn targeted_one_shot_bursts_force_lineage_recovery_deterministically() {
+    let _watchdog = Watchdog::arm("chaos::one_shot_bursts", Duration::from_secs(600));
+    let (spec, values, expected) = random_case(3);
+    // A quiet plan except for one burst of morsel faults long enough to
+    // exhaust the bounded per-task retries (initial attempt + MAX_TASK_RETRIES
+    // redraws), so the task fails and the partition must be recomputed from
+    // its source — the lineage path, pinned to exact draw indices.
+    let plan = FaultPlan::quiet(7).with_burst(FaultSite::Morsel, 0, 1 + 3);
+    let inputs = input_set(chaos_ctx(plan, false), &values);
+    for strategy in [Strategy::Standard, Strategy::Shred] {
+        let outcome = run_query_bounded(&spec, &inputs, strategy, true, Some(RUN_DEADLINE));
+        let produced = outcome_bag(&outcome.result, &format!("one-shot {}", strategy.label()));
+        assert_bags_approx_eq(
+            &expected,
+            &produced,
+            &format!("one-shot burst {}: recovery vs reference", strategy.label()),
+        );
+    }
+    let injector = inputs.context().faults().unwrap();
+    assert!(
+        injector.fired(FaultSite::Morsel) >= 4,
+        "the pinned burst must have fired all four morsel faults"
+    );
+}
+
+#[test]
+fn deadline_cancellation_races_mid_spill_without_leaks_and_oracle_unaffected() {
+    let _watchdog = Watchdog::arm("chaos::cancellation", Duration::from_secs(600));
+    let (spec, values, expected) = random_case(5);
+    // Quiet injector: this test is about cancellation, not faults — but the
+    // cluster is capped with spilling on so cancellation lands mid-spill.
+    let inputs = input_set(chaos_ctx(FaultPlan::quiet(0), true), &values);
+    let ctx = inputs.context().clone();
+
+    // A zero deadline fires at the first morsel/frame boundary check:
+    // deterministic cancellation, typed error, `cancelled` stat set.
+    let outcome = run_query_bounded(
+        &spec,
+        &inputs,
+        Strategy::Standard,
+        false,
+        Some(Duration::ZERO),
+    );
+    match &outcome.result {
+        RunResult::Failed(e) => assert!(
+            e.is_cancelled(),
+            "zero deadline must surface as Cancelled, got: {e}"
+        ),
+        _ => panic!("zero deadline must cancel the run"),
+    }
+    assert_eq!(outcome.stats.cancelled, 1, "the cancelled stat must be set");
+
+    // Cross-thread cancellation racing the run mid-spill / mid-shuffle: the
+    // canceller sweeps its delay across iterations so the cancel lands at
+    // different pipeline stages. Every iteration must end in a typed
+    // Cancelled error or a clean completion matching the reference — and
+    // never leak a spill file.
+    for delay_us in [0u64, 50, 200, 800, 3200] {
+        let token = ctx.cancel_token();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_micros(delay_us));
+            token.cancel("chaos test canceller");
+        });
+        let outcome = run_query_bounded(&spec, &inputs, Strategy::Baseline, false, None);
+        canceller.join().unwrap();
+        match &outcome.result {
+            RunResult::Failed(e) => assert!(
+                e.is_cancelled(),
+                "racing cancel at {delay_us}µs: non-cancellation failure {e}"
+            ),
+            other => {
+                // Cancel lost the race (fired before the run reset its
+                // token, or after completion): the result must be untouched.
+                let produced = outcome_bag(other, &format!("racing cancel at {delay_us}µs"));
+                assert_bags_approx_eq(
+                    &expected,
+                    &produced,
+                    &format!("racing cancel at {delay_us}µs: completed run vs reference"),
+                );
+            }
+        }
+        if let Some(dir) = ctx.spill_dir() {
+            assert_eq!(
+                std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0),
+                0,
+                "racing cancel at {delay_us}µs: spill files leaked"
+            );
+        }
+    }
+
+    // The same context stays healthy after cancellations: a fresh staged
+    // oracle run completes and matches the reference.
+    let oracle = run_query_bounded(&spec, &inputs, Strategy::Standard, false, None);
+    let oracle_bag = outcome_bag(&oracle.result, "post-cancel oracle");
+    assert_bags_approx_eq(&expected, &oracle_bag, "post-cancel oracle vs reference");
+    assert_eq!(oracle.stats.cancelled, 0);
+
+    // Spill teardown still holds after the cancellation storm.
+    if let Some(dir) = ctx.spill_dir() {
+        drop(inputs);
+        assert_eq!(
+            std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0),
+            0,
+            "spill files leaked after the cancellation storm"
+        );
+        drop(ctx);
+        assert!(!dir.exists());
+    }
+}

@@ -1,12 +1,66 @@
-//! Helpers shared by the differential test suites (`strategies_agree.rs` and
-//! `spill_agree.rs`): the paper's running example, the seeded-random NRC
-//! program generator, and the (float-tolerant) canonical bag comparison.
+//! Helpers shared by the differential test suites (`strategies_agree.rs`,
+//! `spill_agree.rs`, `scheduler_stress.rs` and `chaos.rs`): the paper's
+//! running example, the seeded-random NRC program generator, the
+//! (float-tolerant) canonical bag comparison, and the wall-clock watchdog
+//! that turns a hung differential suite into a loud abort.
+
+// Each test binary compiles this module separately and uses the subset of
+// helpers it needs.
+#![allow(dead_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::Rng;
 use trance_nrc::builder::*;
 use trance_nrc::{Bag, Expr, Value};
 use trance_shred::NestingStructure;
+
+/// A wall-clock watchdog for the long differential suites: if the owning
+/// test has not disarmed it (by dropping it) within `limit`, the process
+/// aborts with a message naming the suite — a hang becomes a loud, fast CI
+/// failure instead of a silent timeout an hour later. The fault-tolerance
+/// contract is "typed error or matching result, never a hang", so the
+/// watchdog is itself part of what the chaos suite proves.
+pub struct Watchdog {
+    armed: Arc<AtomicBool>,
+}
+
+impl Watchdog {
+    /// Arms a watchdog that aborts the process after `limit` unless dropped
+    /// first.
+    pub fn arm(label: &str, limit: Duration) -> Watchdog {
+        let armed = Arc::new(AtomicBool::new(true));
+        let flag = armed.clone();
+        let label = label.to_string();
+        std::thread::spawn(move || {
+            let start = Instant::now();
+            while start.elapsed() < limit {
+                std::thread::sleep(Duration::from_millis(100));
+                if !flag.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            if flag.load(Ordering::Relaxed) {
+                eprintln!(
+                    "watchdog: `{label}` still running after {:.0}s — aborting (a fault-tolerance \
+                     bug that hangs must fail loudly, not eat the CI timeout)",
+                    limit.as_secs_f64()
+                );
+                std::process::abort();
+            }
+        });
+        Watchdog { armed }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.armed.store(false, Ordering::Relaxed);
+    }
+}
 
 /// The customers/orders/parts nested input of the running example.
 pub fn cop_value(customers: usize) -> Value {

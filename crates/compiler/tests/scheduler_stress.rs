@@ -18,7 +18,7 @@ use trance_shred::{NestingStructure, ShreddedInputDecl};
 mod common;
 use common::{
     assert_bags_approx_eq, cop_structure, cop_value, part_value, random_flat, random_nested,
-    random_query, running_example,
+    random_query, running_example, Watchdog,
 };
 
 /// The stress suite pins its worker counts explicitly (it *is* the matrix),
@@ -72,6 +72,10 @@ fn check_pipelined_vs_staged(
 
 #[test]
 fn running_example_pipelined_matches_staged_all_strategies_reprs_and_workers() {
+    let _watchdog = Watchdog::arm(
+        "scheduler_stress::running_example",
+        std::time::Duration::from_secs(600),
+    );
     let spec = QuerySpec::new(
         "running-example",
         running_example(),
@@ -106,6 +110,10 @@ fn running_example_pipelined_matches_staged_all_strategies_reprs_and_workers() {
 
 #[test]
 fn random_programs_pipelined_matches_staged_all_strategies_reprs_and_workers() {
+    let _watchdog = Watchdog::arm(
+        "scheduler_stress::random_programs",
+        std::time::Duration::from_secs(600),
+    );
     // The nested input's structure, declared so the shredded strategies can
     // run the random programs too.
     let n_structure = NestingStructure::flat().with_child("items", NestingStructure::flat());

@@ -18,7 +18,7 @@ use trance_shred::ShreddedInputDecl;
 mod common;
 use common::{
     assert_bags_approx_eq, cop_structure, cop_value, part_value, random_flat, random_nested,
-    random_query, running_example,
+    random_query, running_example, Watchdog,
 };
 
 /// A spill-capable cluster with a cap small enough that the flattening
@@ -186,6 +186,10 @@ fn capped_pipelined_fail_cells_match_their_uncapped_oracles() {
 
 #[test]
 fn randomized_capped_spill_runs_match_uncapped_in_both_representations() {
+    let _watchdog = Watchdog::arm(
+        "spill_agree::randomized_capped",
+        std::time::Duration::from_secs(600),
+    );
     let mut spilled_somewhere = false;
     for seed in 0..24u64 {
         let mut rng = StdRng::seed_from_u64(0xC0FFEE + seed);

@@ -57,6 +57,7 @@ use trance_store::MemoryGovernor;
 
 use crate::batch::{Batch, Bitmap, Column, FieldHint};
 use crate::error::{ExecError, Result};
+use crate::fault::{with_retry, FaultSite};
 use crate::join::{JoinKind, JoinSpec};
 use crate::ops::DistCollection;
 use crate::partition::{hash_key, hash_value, run_partitioned, PartRows};
@@ -754,7 +755,7 @@ impl ColCollection {
                     let mut run = || -> Result<()> {
                         for chunk in part.chunks(ctx)? {
                             morsels.fetch_add(1, Ordering::Relaxed);
-                            let out = step(&chunk?, &mut cx)?;
+                            let out = run_morsel(ctx, &step, &chunk?, &mut cx)?;
                             sink.lock().unwrap().push(next, out);
                             next += 1;
                         }
@@ -768,7 +769,7 @@ impl ColCollection {
                     .push(Box::new(move || {
                         let mut cx = MorselCtx::new(p, stride);
                         morsels.fetch_add(1, Ordering::Relaxed);
-                        match step(batch, &mut cx) {
+                        match run_morsel(ctx, &step, batch, &mut cx) {
                             Ok(out) => sink.lock().unwrap().push(0, out),
                             Err(e) => sink.lock().unwrap().fail(e),
                         }
@@ -785,7 +786,7 @@ impl ColCollection {
                             let morsel = batch.take(&idx);
                             let mut cx = MorselCtx::new(p, stride);
                             morsels.fetch_add(1, Ordering::Relaxed);
-                            match step(&morsel, &mut cx) {
+                            match run_morsel(ctx, &step, &morsel, &mut cx) {
                                 Ok(out) => sink.lock().unwrap().push(m, out),
                                 Err(e) => sink.lock().unwrap().fail(e),
                             }
@@ -806,13 +807,50 @@ impl ColCollection {
         }
 
         let mut parts = Vec::with_capacity(self.parts.len());
-        for sink in sinks {
-            parts.push(sink.into_inner().unwrap().finish()?);
+        for (p, sink) in sinks.into_iter().enumerate() {
+            match sink.into_inner().unwrap().finish() {
+                Ok(part) => parts.push(part),
+                // Lineage recovery: a partition whose morsel outputs were
+                // lost to a retry-exhausted transient fault re-runs the
+                // whole fused chain over its still-available source
+                // partition (fresh draws, fresh sink). A failure here is
+                // final and propagates typed.
+                Err(e) if e.is_retryable() => {
+                    ctx.check_cancel()?;
+                    ctx.stats().record_recovered_partition();
+                    let mut cx = MorselCtx::new(p, stride);
+                    let mut builder = PartBuilder::new(ctx);
+                    for chunk in self.parts[p].chunks(ctx)? {
+                        morsels.fetch_add(1, Ordering::Relaxed);
+                        builder.push(run_morsel(ctx, &step, &chunk?, &mut cx)?)?;
+                    }
+                    parts.push(builder.finish()?);
+                }
+                Err(e) => return Err(e),
+            }
         }
         ctx.stats()
             .record_pipeline(label, ops, morsels.load(Ordering::Relaxed), start.elapsed());
         ColCollection::materialize_parts(self.ctx.clone(), parts)
     }
+}
+
+/// Executes one morsel of a fused pipeline with the fault-tolerance
+/// envelope: a cancellation check at the boundary, a fault-injection draw,
+/// and bounded retry that rewinds the [`MorselCtx`] id counters before each
+/// attempt (a failed attempt must not burn ids, or retried output would
+/// diverge from the staged oracle).
+fn run_morsel<F>(ctx: &DistContext, step: &F, batch: &Batch, cx: &mut MorselCtx) -> Result<Batch>
+where
+    F: Fn(&Batch, &mut MorselCtx) -> Result<Batch> + Send + Sync,
+{
+    ctx.check_cancel()?;
+    let saved = cx.save();
+    with_retry(ctx, || {
+        cx.restore(saved.clone());
+        ctx.fault_check(FaultSite::Morsel)?;
+        step(batch, cx)
+    })
 }
 
 /// The per-partition sink of a fused pipeline run: morsel outputs arrive in
@@ -984,29 +1022,35 @@ where
 {
     let nparts = ctx.config().partitions.max(1);
     let bucketed = run_partitioned(ctx, parts, |_, part| {
-        let mut shipped: Vec<Vec<Batch>> = vec![Vec::new(); nparts];
-        let mut rows = 0u64;
-        let mut logical = 0u64;
-        let mut physical = 0u64;
-        for chunk in part.chunks(ctx)? {
-            let b = chunk?;
-            rows += b.rows() as u64;
-            let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); nparts];
-            for i in 0..b.rows() {
-                let target = (route(&b, i)? % nparts as u64) as usize;
-                buckets[target].push(i);
-            }
-            for (target, idx) in buckets.iter().enumerate() {
-                if idx.is_empty() {
-                    continue;
+        // The shuffle-delivery injection point: a fault fails this source
+        // partition's whole routing pass before any piece ships, so a retry
+        // rebuilds the delivery from scratch (no partial double send).
+        with_retry(ctx, || {
+            ctx.fault_check(FaultSite::Shuffle)?;
+            let mut shipped: Vec<Vec<Batch>> = vec![Vec::new(); nparts];
+            let mut rows = 0u64;
+            let mut logical = 0u64;
+            let mut physical = 0u64;
+            for chunk in part.chunks(ctx)? {
+                let b = chunk?;
+                rows += b.rows() as u64;
+                let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); nparts];
+                for i in 0..b.rows() {
+                    let target = (route(&b, i)? % nparts as u64) as usize;
+                    buckets[target].push(i);
                 }
-                let piece = b.take(idx);
-                logical += piece.logical_bytes() as u64;
-                physical += piece.physical_bytes() as u64;
-                shipped[target].push(piece);
+                for (target, idx) in buckets.iter().enumerate() {
+                    if idx.is_empty() {
+                        continue;
+                    }
+                    let piece = b.take(idx);
+                    logical += piece.logical_bytes() as u64;
+                    physical += piece.physical_bytes() as u64;
+                    shipped[target].push(piece);
+                }
             }
-        }
-        Ok((shipped, rows, logical, physical))
+            Ok((shipped, rows, logical, physical))
+        })
     })?;
     let mut received: Vec<Vec<Batch>> = (0..nparts).map(|_| Vec::new()).collect();
     let mut tuples = 0u64;

@@ -1,8 +1,24 @@
-//! Error type shared by every engine operator.
+//! The typed error taxonomy shared by every engine operator.
+//!
+//! Failures fall into four classes, and every recovery decision in the
+//! engine keys off them:
+//!
+//! * **retryable** ([`ExecError::Retryable`]) — transient faults (injected
+//!   by a [`crate::FaultPlan`] or a flaky I/O) that bounded per-task retry
+//!   and partition recompute are allowed to absorb;
+//! * **cancelled** ([`ExecError::Cancelled`]) — the run's
+//!   [`crate::CancelToken`] fired (explicit cancel or deadline); never
+//!   retried, unwinds cooperatively at the next boundary;
+//! * **memory** ([`ExecError::MemoryExceeded`]) — the paper's simulated
+//!   FAIL, a *deterministic* planning outcome, never retried;
+//! * **fatal** (everything else) — wrong data, corrupt spill frames,
+//!   unsupported shapes; retrying cannot help.
 
 use std::fmt;
 
 use trance_nrc::NrcError;
+
+use crate::fault::FaultSite;
 
 /// Errors raised by the distributed engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -10,7 +26,7 @@ pub enum ExecError {
     /// A worker's materialized state exceeded the simulated per-worker memory
     /// cap ([`crate::ClusterConfig::with_worker_memory`]). This reproduces the
     /// paper's FAIL entries: strategies whose flattened intermediates blow up
-    /// die here instead of finishing.
+    /// die here instead of finishing. Deterministic — never retried.
     MemoryExceeded {
         /// The worker that ran out of memory.
         worker: usize,
@@ -21,11 +37,53 @@ pub enum ExecError {
     },
     /// A row-level evaluation error bubbled up from the NRC value model.
     Nrc(NrcError),
-    /// The spill subsystem failed (I/O error or corrupt spill frame). Carries
-    /// the rendered error so `ExecError` stays `Clone + PartialEq`.
+    /// The spill subsystem failed *non-transiently* (I/O error after a
+    /// partial write, corrupt spill frame). Carries the rendered error so
+    /// `ExecError` stays `Clone + PartialEq`.
     Spill(String),
+    /// A transient failure at a fault-injection site: safe to retry, because
+    /// it fired *before* any side effect of the operation. Bounded per-task
+    /// retry absorbs these; a retry budget exhausted escalates to partition
+    /// recompute, and only then to the caller.
+    Retryable {
+        /// The boundary the fault fired at.
+        site: FaultSite,
+        /// Human-readable description of the fault.
+        detail: String,
+    },
+    /// The run was cancelled — explicitly through its
+    /// [`crate::CancelToken`] or by an armed deadline elapsing. Observed at
+    /// the next morsel or spill-frame boundary; never retried.
+    Cancelled {
+        /// Why the run was cancelled (`"deadline exceeded"`, a caller's
+        /// reason, ...).
+        reason: String,
+    },
     /// Anything else (unknown inputs, unsupported shapes, ...).
     Other(String),
+}
+
+/// The engine-wide error name used by the compiler and harness layers; one
+/// taxonomy, two names (`ExecError` predates the fault-tolerance layer).
+pub type EngineError = ExecError;
+
+impl ExecError {
+    /// True for transient failures that bounded retry / partition recompute
+    /// may absorb.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ExecError::Retryable { .. })
+    }
+
+    /// True when the run was cancelled (explicitly or by deadline).
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, ExecError::Cancelled { .. })
+    }
+
+    /// True for errors no recovery layer is allowed to absorb: wrong data,
+    /// deterministic memory FAILs, cancellation, corrupt spill state.
+    pub fn is_fatal(&self) -> bool {
+        !self.is_retryable()
+    }
 }
 
 impl fmt::Display for ExecError {
@@ -42,6 +100,10 @@ impl fmt::Display for ExecError {
             ),
             ExecError::Nrc(e) => write!(f, "{e}"),
             ExecError::Spill(msg) => write!(f, "spill failure: {msg}"),
+            ExecError::Retryable { site, detail } => {
+                write!(f, "transient {site} fault: {detail}")
+            }
+            ExecError::Cancelled { reason } => write!(f, "query cancelled: {reason}"),
             ExecError::Other(msg) => write!(f, "{msg}"),
         }
     }

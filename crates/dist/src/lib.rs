@@ -65,6 +65,7 @@ use trance_store::SpillManager;
 pub mod batch;
 pub mod colops;
 pub mod error;
+pub mod fault;
 pub mod join;
 pub mod ops;
 mod partition;
@@ -75,7 +76,8 @@ pub mod stats;
 
 pub use batch::{Batch, Bitmap, Column, FieldHint, Schema, StrDict};
 pub use colops::ColCollection;
-pub use error::{ExecError, Result};
+pub use error::{EngineError, ExecError, Result};
+pub use fault::{CancelToken, FaultInjector, FaultPlan, FaultSite};
 pub use join::{JoinHint, JoinKind, JoinSpec};
 pub use ops::DistCollection;
 pub use scheduler::{MorselCtx, WorkerPool};
@@ -109,6 +111,10 @@ pub struct ClusterConfig {
     /// Base directory for the run's scoped spill directory (the system temp
     /// directory when unset).
     pub spill_dir: Option<PathBuf>,
+    /// Seeded fault-injection schedule ([`FaultPlan`]); `None` (the
+    /// default) compiles every injection check down to a branch on a
+    /// resident `Option`, so fault-free runs pay nothing measurable.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl ClusterConfig {
@@ -124,6 +130,7 @@ impl ClusterConfig {
             skew_threshold: None,
             spill: false,
             spill_dir: None,
+            fault_plan: None,
         }
     }
 
@@ -191,14 +198,55 @@ impl ClusterConfig {
         }
         self
     }
+
+    /// Installs a seeded fault-injection schedule: every context created
+    /// from this config draws its injected failures from `plan`.
+    pub fn with_faults(mut self, plan: FaultPlan) -> ClusterConfig {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Applies the `TRANCE_FAULT_SEED` environment override, when set: a
+    /// bare seed turns on the default chaos mix ([`FaultPlan::seeded`]), a
+    /// full spec is parsed as [`FaultPlan::parse`]. Invalid specs warn and
+    /// leave the config unchanged — a typo must not silently run fault-free
+    /// *or* crash the harness.
+    pub fn with_env_faults(mut self) -> ClusterConfig {
+        if let Ok(spec) = std::env::var("TRANCE_FAULT_SEED") {
+            match FaultPlan::parse(&spec) {
+                Ok(plan) => self.fault_plan = Some(plan),
+                Err(e) => eprintln!("warning: ignoring TRANCE_FAULT_SEED={spec}: {e}"),
+            }
+        }
+        self
+    }
 }
 
-/// The `TRANCE_WORKERS` environment override, when set to a positive number.
+/// Upper bound [`env_workers`] clamps to: far above any real core count,
+/// low enough that a stray huge value cannot exhaust memory spawning pool
+/// threads.
+pub const MAX_ENV_WORKERS: usize = 256;
+
+/// The `TRANCE_WORKERS` environment override. Hardened: garbage and `0`
+/// are ignored with a warning (the engine must never panic on a bad knob),
+/// absurd values clamp to [`MAX_ENV_WORKERS`] with a warning.
 pub fn env_workers() -> Option<usize> {
-    std::env::var("TRANCE_WORKERS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|w| *w > 0)
+    let raw = std::env::var("TRANCE_WORKERS").ok()?;
+    match raw.trim().parse::<usize>() {
+        Ok(0) => {
+            eprintln!("warning: ignoring TRANCE_WORKERS=0 (worker count must be positive)");
+            None
+        }
+        Ok(w) if w > MAX_ENV_WORKERS => {
+            eprintln!("warning: clamping TRANCE_WORKERS={w} to {MAX_ENV_WORKERS}");
+            Some(MAX_ENV_WORKERS)
+        }
+        Ok(w) => Some(w),
+        Err(_) => {
+            eprintln!("warning: ignoring unparseable TRANCE_WORKERS={raw:?}");
+            None
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -216,6 +264,17 @@ struct CtxInner {
     /// The scoped spill directory, created lazily on the first spill so
     /// non-spilling runs never touch the filesystem.
     spill_manager: Mutex<Option<Arc<SpillManager>>>,
+    /// The seeded fault injector, present iff the config carries a
+    /// [`FaultPlan`]. `None` keeps every injection check down to one
+    /// branch.
+    faults: Option<Arc<FaultInjector>>,
+    /// Per-run fault toggle, mirroring `spill_session`: lets the chaos
+    /// suite run the fault-free oracle on the *same* cluster (same
+    /// partitioning, same pool) the faulty run used.
+    fault_session: AtomicBool,
+    /// The run's cancellation token; reset by the compiler at the start of
+    /// each run, checked at morsel and spill-frame boundaries.
+    cancel: CancelToken,
 }
 
 /// Handle to the simulated cluster: configuration plus shared metrics.
@@ -228,7 +287,11 @@ pub struct DistContext {
 impl DistContext {
     /// Creates a context for `config`.
     pub fn new(config: ClusterConfig) -> DistContext {
-        let pool = WorkerPool::new(config.workers);
+        let faults = config
+            .fault_plan
+            .clone()
+            .map(|plan| Arc::new(FaultInjector::new(plan)));
+        let pool = WorkerPool::with_faults(config.workers, faults.clone());
         DistContext {
             inner: Arc::new(CtxInner {
                 config,
@@ -236,6 +299,9 @@ impl DistContext {
                 pool,
                 spill_session: AtomicBool::new(true),
                 spill_manager: Mutex::new(None),
+                faults,
+                fault_session: AtomicBool::new(true),
+                cancel: CancelToken::new(),
             }),
         }
     }
@@ -280,6 +346,50 @@ impl DistContext {
     /// from `ExecOptions::spill` at the start of each run.
     pub fn set_spill_session(&self, on: bool) {
         self.inner.spill_session.store(on, Ordering::Relaxed);
+    }
+
+    /// The context's fault injector, when the config carries a
+    /// [`FaultPlan`]. The chaos suite reads its per-site counters to assert
+    /// schedule coverage.
+    pub fn faults(&self) -> Option<&FaultInjector> {
+        self.inner.faults.as_deref()
+    }
+
+    /// Toggles fault injection for subsequent operators (no-op without a
+    /// [`FaultPlan`]); mirrors [`DistContext::set_spill_session`]. The
+    /// compiler sets this from `ExecOptions::faults` at the start of each
+    /// run, which is how the fault-free oracle runs on a faulty cluster.
+    pub fn set_fault_session(&self, on: bool) {
+        self.inner.fault_session.store(on, Ordering::Relaxed);
+    }
+
+    /// One fault-injection draw at `site`: `Ok` to proceed,
+    /// [`ExecError::Retryable`] when the plan fires. Called only at morsel,
+    /// spill-frame, shuffle-pass and worker-start boundaries — with no plan
+    /// installed this is a single always-false branch.
+    pub fn fault_check(&self, site: FaultSite) -> error::Result<()> {
+        if let Some(inj) = &self.inner.faults {
+            if self.inner.fault_session.load(Ordering::Relaxed) && inj.should_fault(site) {
+                self.inner.stats.record_fault_injected();
+                return Err(ExecError::Retryable {
+                    site,
+                    detail: format!("injected {site} fault"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The run's cancellation token. Cheap to clone; callers cancel (or arm
+    /// a deadline on) the clone while the run is in flight, and the engine
+    /// observes it at the next morsel or spill-frame boundary.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.inner.cancel.clone()
+    }
+
+    /// Boundary cancellation check (flag + deadline).
+    pub fn check_cancel(&self) -> error::Result<()> {
+        self.inner.cancel.check()
     }
 
     /// The run's scoped spill directory, if any spill has happened yet.

@@ -25,6 +25,7 @@ use trance_nrc::{Bag, MemSize, Tuple, Value};
 
 use crate::colops::MORSEL_ROWS;
 use crate::error::{ExecError, Result};
+use crate::fault::{with_retry, FaultSite};
 use crate::partition::{
     enforce_memory, hash_key_ref, hash_value, run_partitioned, shuffle, split_round_robin, PartRows,
 };
@@ -449,7 +450,7 @@ impl DistCollection {
                         // the staged executor, no later chunk runs.
                         let Ok(acc) = &mut out else { break };
                         morsels.fetch_add(1, Ordering::Relaxed);
-                        match step(chunk, &mut cx) {
+                        match run_morsel_rows(ctx, &step, chunk, &mut cx) {
                             Ok(mut produced) => acc.append(&mut produced),
                             Err(e) => out = Err(e),
                         }
@@ -468,7 +469,8 @@ impl DistCollection {
                     };
                     let mut cx = MorselCtx::new(p, stride);
                     morsels.fetch_add(1, Ordering::Relaxed);
-                    *slot.lock().unwrap() = Some(step(&rows[lo..hi], &mut cx));
+                    *slot.lock().unwrap() =
+                        Some(run_morsel_rows(ctx, &step, &rows[lo..hi], &mut cx));
                 }));
             }
         }
@@ -483,10 +485,35 @@ impl DistCollection {
             ctx.run_tasks(tasks);
         }
         let mut parts: Vec<Vec<Value>> = Vec::with_capacity(src.len());
-        for part_slots in slots {
+        for (p, part_slots) in slots.into_iter().enumerate() {
+            let results: Vec<Option<Result<Vec<Value>>>> = part_slots
+                .into_iter()
+                .map(|slot| slot.into_inner().unwrap())
+                .collect();
+            // Lineage recovery: a partition with a retry-exhausted
+            // transient fault re-runs the whole fused chain over its source
+            // rows (fresh draws, fresh MorselCtx — the chunk walk
+            // reproduces the original morsel boundaries, so output order
+            // and id numbering match the staged executor exactly).
+            if results
+                .iter()
+                .any(|r| matches!(r, Some(Err(e)) if e.is_retryable()))
+            {
+                ctx.check_cancel()?;
+                ctx.stats().record_recovered_partition();
+                let rows = &src[p];
+                let mut cx = MorselCtx::new(p, stride);
+                let mut out = Vec::new();
+                for chunk in rows.chunks(MORSEL_ROWS.max(1)) {
+                    morsels.fetch_add(1, Ordering::Relaxed);
+                    out.append(&mut run_morsel_rows(ctx, &step, chunk, &mut cx)?);
+                }
+                parts.push(out);
+                continue;
+            }
             let mut out = Vec::new();
-            for slot in part_slots {
-                match slot.into_inner().unwrap() {
+            for result in results {
+                match result {
                     Some(Ok(mut produced)) => out.append(&mut produced),
                     Some(Err(e)) => return Err(e),
                     None => return Err(ExecError::Other("morsel task did not run".into())),
@@ -603,4 +630,26 @@ fn sum_partition(
         out.push(Value::Tuple(row));
     }
     Ok(out)
+}
+
+/// Executes one morsel of a row fused pipeline with the fault-tolerance
+/// envelope — the row twin of the columnar `run_morsel`: a cancellation
+/// check at the boundary, a fault-injection draw, and bounded retry that
+/// rewinds the [`MorselCtx`] id counters before each attempt.
+fn run_morsel_rows<F>(
+    ctx: &DistContext,
+    step: &F,
+    rows: &[Value],
+    cx: &mut MorselCtx,
+) -> Result<Vec<Value>>
+where
+    F: Fn(&[Value], &mut MorselCtx) -> Result<Vec<Value>> + Send + Sync,
+{
+    ctx.check_cancel()?;
+    let saved = cx.save();
+    with_retry(ctx, || {
+        cx.restore(saved.clone());
+        ctx.fault_check(FaultSite::Morsel)?;
+        step(rows, cx)
+    })
 }

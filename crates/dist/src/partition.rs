@@ -16,6 +16,7 @@ use std::sync::Mutex;
 use trance_nrc::{Tuple, Value};
 
 use crate::error::{ExecError, Result};
+use crate::fault::{with_retry, FaultSite};
 use crate::ops::RowPart;
 use crate::DistContext;
 
@@ -65,17 +66,43 @@ impl PartRows for crate::batch::Batch {
 /// Partition `i` is assigned to pool slot `i % workers` — the same
 /// deterministic placement the old per-operator scoped threads used — and an
 /// idle participant steals queued partitions from busy ones.
+///
+/// This is also the engine's **lineage-recovery boundary** for staged
+/// operators: a partition whose task failed *retryably* (an injected fault
+/// or transient I/O that exhausted its bounded per-task retries) is
+/// recomputed here from its still-available source partition — the
+/// superstep-recovery model: inputs are immutable within an operator, so
+/// re-running `f` on the source reproduces the lost output exactly.
+/// Cancellation is checked once per partition on the caller before tasks
+/// fan out, and re-checked when recovery would otherwise retry.
 pub(crate) fn run_partitioned<P, T, F>(ctx: &DistContext, parts: &[P], f: F) -> Result<Vec<T>>
 where
     P: PartRows + Sync,
     F: Fn(usize, &P) -> Result<T> + Send + Sync,
     T: Send,
 {
+    let recover = |i: usize, part: &P, e: ExecError| -> Result<T> {
+        if !e.is_retryable() {
+            return Err(e);
+        }
+        ctx.check_cancel()?;
+        ctx.stats().record_recovered_partition();
+        with_retry(ctx, || f(i, part))
+    };
     let workers = ctx.config().workers.max(1);
     let total_rows: usize = parts.iter().map(PartRows::part_rows).sum();
     if workers == 1 || parts.len() <= 1 || total_rows < PARALLEL_THRESHOLD {
-        return parts.iter().enumerate().map(|(i, p)| f(i, p)).collect();
+        let mut out = Vec::with_capacity(parts.len());
+        for (i, p) in parts.iter().enumerate() {
+            ctx.check_cancel()?;
+            match f(i, p) {
+                Ok(v) => out.push(v),
+                Err(e) => out.push(recover(i, p, e)?),
+            }
+        }
+        return Ok(out);
     }
+    ctx.check_cancel()?;
     let slots: Vec<Mutex<Option<Result<T>>>> = parts.iter().map(|_| Mutex::new(None)).collect();
     let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = parts
         .iter()
@@ -90,10 +117,10 @@ where
         .collect();
     ctx.run_tasks(tasks);
     let mut out = Vec::with_capacity(parts.len());
-    for slot in slots {
+    for (i, slot) in slots.into_iter().enumerate() {
         match slot.into_inner().unwrap() {
             Some(Ok(v)) => out.push(v),
-            Some(Err(e)) => return Err(e),
+            Some(Err(e)) => out.push(recover(i, &parts[i], e)?),
             None => return Err(ExecError::Other("partition task did not run".into())),
         }
     }
@@ -225,15 +252,22 @@ where
 {
     let nparts = ctx.config().partitions.max(1);
     let bucketed = run_partitioned(ctx, parts, |_, part| {
-        let rows = part.rows(ctx)?;
-        let mut buckets: Vec<Vec<Value>> = (0..nparts).map(|_| Vec::new()).collect();
-        let mut bytes = 0u64;
-        for row in rows.iter() {
-            bytes += trance_nrc::MemSize::mem_size(row) as u64;
-            let target = (route(row)? % nparts as u64) as usize;
-            buckets[target].push(row.clone());
-        }
-        Ok((buckets, rows.len() as u64, bytes))
+        // The shuffle-delivery injection point: a fault fails this source
+        // partition's whole routing pass before any bucket ships, so a
+        // retry rebuilds the delivery from scratch (no partial double
+        // send).
+        with_retry(ctx, || {
+            ctx.fault_check(FaultSite::Shuffle)?;
+            let rows = part.rows(ctx)?;
+            let mut buckets: Vec<Vec<Value>> = (0..nparts).map(|_| Vec::new()).collect();
+            let mut bytes = 0u64;
+            for row in rows.iter() {
+                bytes += trance_nrc::MemSize::mem_size(row) as u64;
+                let target = (route(row)? % nparts as u64) as usize;
+                buckets[target].push(row.clone());
+            }
+            Ok((buckets, rows.len() as u64, bytes))
+        })
     })?;
     let mut out: Vec<Vec<Value>> = (0..nparts).map(|_| Vec::new()).collect();
     let mut tuples = 0u64;

@@ -42,6 +42,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crate::fault::{FaultInjector, FaultSite};
+
 /// A unit of scheduled work. The `bool` argument tells the task whether it
 /// was *stolen* (executed by a participant other than the slot it was
 /// assigned to), which is how per-scope steal counts stay exact.
@@ -65,6 +67,10 @@ struct PoolShared {
     shutdown: AtomicBool,
     /// Total steals performed over the pool's lifetime.
     steals: AtomicU64,
+    /// Worker threads healed over the pool's lifetime: injected startup
+    /// crashes absorbed by respawn, plus worker loops restarted after a
+    /// panic escaped onto them.
+    healed: AtomicU64,
 }
 
 impl PoolShared {
@@ -144,6 +150,15 @@ impl WorkerPool {
     /// Creates a pool modelling `workers` executors: `workers - 1` persistent
     /// threads plus the calling thread of each [`WorkerPool::run`].
     pub fn new(workers: usize) -> WorkerPool {
+        WorkerPool::with_faults(workers, None)
+    }
+
+    /// [`WorkerPool::new`] with an optional fault injector: worker threads
+    /// draw a [`FaultSite::WorkerStart`] fault when they start, and the
+    /// pool heals every injected startup crash (and every panic that
+    /// escapes onto a worker loop) by respawning the loop in place — a
+    /// fault kills a task, never a pool slot.
+    pub fn with_faults(workers: usize, faults: Option<Arc<FaultInjector>>) -> WorkerPool {
         let participants = workers.max(1);
         let shared = Arc::new(PoolShared {
             slots: (0..participants)
@@ -154,13 +169,42 @@ impl WorkerPool {
             work_cond: Condvar::new(),
             shutdown: AtomicBool::new(false),
             steals: AtomicU64::new(0),
+            healed: AtomicU64::new(0),
         });
         let handles = (1..participants)
             .map(|slot| {
                 let shared = Arc::clone(&shared);
+                let faults = faults.clone();
                 std::thread::Builder::new()
                     .name(format!("trance-worker-{slot}"))
-                    .spawn(move || worker_loop(&shared, slot))
+                    .spawn(move || {
+                        // Injected startup crashes: the thread "dies" before
+                        // reaching its loop and the pool immediately
+                        // respawns it (counted as a heal). Draws are bounded
+                        // so a rate of 1.0 cannot livelock startup.
+                        if let Some(inj) = &faults {
+                            for _ in 0..8 {
+                                if !inj.should_fault(FaultSite::WorkerStart) {
+                                    break;
+                                }
+                                shared.healed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        // Self-healing loop: a panic escaping the worker
+                        // loop (task panics are caught per task in `run`)
+                        // restarts the loop instead of silently shrinking
+                        // the pool.
+                        loop {
+                            if catch_unwind(AssertUnwindSafe(|| worker_loop(&shared, slot))).is_ok()
+                            {
+                                break; // clean shutdown
+                            }
+                            shared.healed.fetch_add(1, Ordering::Relaxed);
+                            if shared.shutdown.load(Ordering::Acquire) {
+                                break;
+                            }
+                        }
+                    })
                     .expect("failed to spawn pool worker")
             })
             .collect();
@@ -175,6 +219,12 @@ impl WorkerPool {
     /// Total steals performed over the pool's lifetime.
     pub fn steal_count(&self) -> u64 {
         self.shared.steals.load(Ordering::Relaxed)
+    }
+
+    /// Worker threads healed over the pool's lifetime (injected startup
+    /// crashes absorbed plus worker loops restarted after a panic).
+    pub fn healed_count(&self) -> u64 {
+        self.shared.healed.load(Ordering::Relaxed)
     }
 
     /// Runs `tasks` on the pool and blocks until all of them completed,
@@ -305,6 +355,18 @@ impl MorselCtx {
             stride,
             counters: Vec::new(),
         }
+    }
+
+    /// Snapshot of the counters, taken before a morsel attempt so bounded
+    /// retry can rewind id assignment — a failed attempt must not burn ids,
+    /// or the retried output would diverge from the staged oracle.
+    pub fn save(&self) -> Vec<i64> {
+        self.counters.clone()
+    }
+
+    /// Rewinds the counters to a [`MorselCtx::save`] snapshot.
+    pub fn restore(&mut self, saved: Vec<i64>) {
+        self.counters = saved;
     }
 
     /// Reserves `n` consecutive per-partition row indices on counter `slot`

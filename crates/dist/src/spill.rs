@@ -29,6 +29,7 @@ use trance_store::{
 
 use crate::batch::{BagElems, Batch, Bitmap, Column, Schema, StrDict};
 use crate::error::Result;
+use crate::fault::{with_retry, FaultSite};
 use crate::DistContext;
 
 /// Maximum rows per spill frame: bounds the memory a streaming reader needs
@@ -442,6 +443,11 @@ impl SpillChunkWriter {
         if batch_is_void(batch) {
             return Ok(());
         }
+        // Frame-boundary checks: cancellation fires even mid-spill, and
+        // injected write faults draw *before* any byte is appended (so a
+        // retry re-draws against a clean file state).
+        ctx.check_cancel()?;
+        with_retry(ctx, || ctx.fault_check(FaultSite::SpillWrite))?;
         let start = Instant::now();
         let file = match self.file.as_mut() {
             Some(file) => file,
@@ -497,6 +503,17 @@ impl Iterator for BatchFrames<'_> {
     type Item = Result<Batch>;
 
     fn next(&mut self) -> Option<Result<Batch>> {
+        if self.reader.is_some() {
+            // Frame-boundary checks mirror the write side: cancellation
+            // stops a half-read partition, injected read faults draw before
+            // the frame is consumed so a retry re-reads cleanly.
+            if let Err(e) = self.ctx.check_cancel() {
+                return Some(Err(e));
+            }
+            if let Err(e) = with_retry(self.ctx, || self.ctx.fault_check(FaultSite::SpillRead)) {
+                return Some(Err(e));
+            }
+        }
         let reader = self.reader.as_mut()?;
         let start = Instant::now();
         let frame = match reader.next_frame() {
@@ -535,6 +552,8 @@ pub(crate) fn spill_rows(ctx: &DistContext, rows: &[Value]) -> Result<SpilledRow
     let mut file = manager.create()?;
     let mut bytes = 0usize;
     for chunk in rows.chunks(SPILL_CHUNK_ROWS.max(1)) {
+        ctx.check_cancel()?;
+        with_retry(ctx, || ctx.fault_check(FaultSite::SpillWrite))?;
         bytes += chunk.iter().map(MemSize::mem_size).sum::<usize>();
         let mut w = ByteWriter::new();
         w.u32(chunk.len() as u32);
@@ -558,7 +577,12 @@ pub(crate) fn read_rows(ctx: &DistContext, spilled: &SpilledRows) -> Result<Vec<
     let start = Instant::now();
     let mut reader = spilled.handle.open()?;
     let mut out = Vec::with_capacity(spilled.rows);
-    while let Some(frame) = reader.next_frame()? {
+    loop {
+        ctx.check_cancel()?;
+        with_retry(ctx, || ctx.fault_check(FaultSite::SpillRead))?;
+        let Some(frame) = reader.next_frame()? else {
+            break;
+        };
         let mut r = ByteReader::new(&frame);
         let n = r.u32().map_err(crate::error::ExecError::from)? as usize;
         for _ in 0..n {

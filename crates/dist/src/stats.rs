@@ -71,6 +71,10 @@ pub struct Stats {
     spill_files: AtomicU64,
     spill_micros: AtomicU64,
     steals: AtomicU64,
+    faults_injected: AtomicU64,
+    retries: AtomicU64,
+    recovered_partitions: AtomicU64,
+    cancelled: AtomicU64,
     timings: Mutex<BTreeMap<String, OpTiming>>,
     pipelines: Mutex<BTreeMap<String, PipelineTiming>>,
 }
@@ -97,6 +101,10 @@ impl Stats {
         self.spill_files.store(0, Ordering::Relaxed);
         self.spill_micros.store(0, Ordering::Relaxed);
         self.steals.store(0, Ordering::Relaxed);
+        self.faults_injected.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.recovered_partitions.store(0, Ordering::Relaxed);
+        self.cancelled.store(0, Ordering::Relaxed);
         self.timings.lock().unwrap().clear();
         self.pipelines.lock().unwrap().clear();
     }
@@ -163,6 +171,27 @@ impl Stats {
         self.steals.fetch_add(steals, Ordering::Relaxed);
     }
 
+    /// Counts one fault fired by the run's [`crate::FaultInjector`].
+    pub fn record_fault_injected(&self) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one bounded-retry attempt absorbing a retryable failure.
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one partition whose output was lost to a fault and recomputed
+    /// from its source (lineage recovery).
+    pub fn record_recovered_partition(&self) {
+        self.recovered_partitions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records that the run was cancelled (explicitly or by deadline).
+    pub fn record_cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Adds one execution of a fused pipeline under `label` (e.g.
     /// `pipeline[scan+select+project]`) that drove `morsels` morsels across
     /// its `ops` member operators in `elapsed`. The pipeline is mirrored
@@ -204,6 +233,10 @@ impl Stats {
             spill_files: self.spill_files.load(Ordering::Relaxed),
             spill_micros: self.spill_micros.load(Ordering::Relaxed),
             steal_count: self.steals.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            recovered_partitions: self.recovered_partitions.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
             op_timings: self.timings.lock().unwrap().clone(),
             pipeline_timings: self.pipelines.lock().unwrap().clone(),
         }
@@ -251,6 +284,16 @@ pub struct StatsSnapshot {
     /// Tasks executed by a pool participant other than the one they were
     /// assigned to (work-stealing events).
     pub steal_count: u64,
+    /// Faults fired by the run's [`crate::FaultInjector`] (0 without a
+    /// [`crate::FaultPlan`]).
+    pub faults_injected: u64,
+    /// Bounded-retry attempts that absorbed retryable failures.
+    pub retries: u64,
+    /// Partitions whose lost outputs were recomputed from their sources
+    /// (lineage recovery).
+    pub recovered_partitions: u64,
+    /// 1 when the run was cancelled (explicitly or by deadline), else 0.
+    pub cancelled: u64,
     /// Per-operator call counts and wall-clock time. Fused pipelines appear
     /// here under their `pipeline[...]` label, never under a member
     /// operator's name.

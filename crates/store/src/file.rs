@@ -61,7 +61,7 @@ impl SpillManager {
         let path = self.dir.join(format!("spill-{n}.bin"));
         let file = File::create(&path)?;
         Ok(SpillFile {
-            path,
+            path: Some(path),
             writer: BufWriter::new(file),
             frames: 0,
             bytes: 0,
@@ -83,9 +83,16 @@ impl Drop for SpillManager {
 
 /// Write side of one spill file: append length-prefixed frames, then
 /// [`SpillFile::finish`] into a [`SpillHandle`].
+///
+/// An **abandoned** write side (dropped before `finish`, e.g. because the
+/// spilling operator hit an error partway through) deletes its partial file
+/// immediately, so a failed spill never leaves bytes on disk waiting for the
+/// manager's directory teardown.
 #[derive(Debug)]
 pub struct SpillFile {
-    path: PathBuf,
+    /// `Some` while writing; taken by [`SpillFile::finish`] so the `Drop`
+    /// impl only deletes files that were never sealed.
+    path: Option<PathBuf>,
     writer: BufWriter<File>,
     frames: u64,
     bytes: u64,
@@ -114,11 +121,20 @@ impl SpillFile {
     /// Flushes and seals the file into a read handle.
     pub fn finish(mut self) -> io::Result<SpillHandle> {
         self.writer.flush()?;
+        let path = self.path.take().expect("finish called once by ownership");
         Ok(SpillHandle {
-            path: self.path,
+            path,
             frames: self.frames,
             bytes: self.bytes,
         })
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        if let Some(path) = self.path.take() {
+            let _ = fs::remove_file(path);
+        }
     }
 }
 
@@ -219,6 +235,23 @@ mod tests {
         assert!(
             !dir.exists(),
             "dropping the manager must remove the scoped directory"
+        );
+    }
+
+    #[test]
+    fn abandoned_write_side_deletes_its_partial_file() {
+        let manager = SpillManager::new(None).unwrap();
+        let mut file = manager.create().unwrap();
+        file.append(b"partial").unwrap();
+        assert_eq!(manager.live_files().unwrap(), 1);
+        // Dropped without finish(): a spill aborted mid-write (error or
+        // injected fault) must clean up immediately, not at directory
+        // teardown.
+        drop(file);
+        assert_eq!(
+            manager.live_files().unwrap(),
+            0,
+            "abandoning a write side must delete its partial file"
         );
     }
 }

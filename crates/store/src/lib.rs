@@ -33,6 +33,9 @@
 //! primitives, which keeps the dependency graph acyclic.
 
 #![warn(missing_docs)]
+// I/O paths must surface typed errors, never panic: a corrupt or truncated
+// spill file is a recoverable fault, not a bug. Tests may still unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod codec;
 pub mod file;
