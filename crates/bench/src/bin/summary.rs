@@ -18,7 +18,9 @@
 
 use std::fmt::Write as _;
 
-use trance_bench::{cli_flag, run_capped_cells, run_tpch_query_exec, BenchRow, Family};
+use trance_bench::{
+    cli_flag, run_capped_cells, run_tpch_query_exec, run_tpch_query_expr, BenchRow, Family,
+};
 use trance_compiler::Strategy;
 use trance_tpch::{QueryVariant, TpchConfig};
 
@@ -40,6 +42,10 @@ struct JsonCell {
     /// (`pipelined`, the default) or one materialization per operator
     /// (`staged`).
     exec: &'static str,
+    /// Which expression engine evaluated scalar operators: register-based
+    /// vectorized kernels (`compiled`, the default) or the tree-walking
+    /// interpreter (`interp`).
+    expr: &'static str,
     /// Whether the out-of-core subsystem was enabled for this run.
     spill: &'static str,
     /// For capped spill-on runs: did the result match the uncapped oracle?
@@ -53,10 +59,21 @@ impl JsonCell {
             query,
             repr,
             exec: "pipelined",
+            expr: ambient_expr(),
             spill: "off",
             results_match: None,
             row,
         }
+    }
+}
+
+/// The expression engine ambient runs use (`compiled` unless
+/// `TRANCE_EXPR=interp` overrides the session default).
+fn ambient_expr() -> &'static str {
+    if trance_compiler::compiled_exprs_default() {
+        "compiled"
+    } else {
+        "interp"
     }
 }
 
@@ -93,7 +110,7 @@ fn render_json(cells: &[JsonCell]) -> String {
         let _ = writeln!(
             out,
             "    {{\"query\": \"{}\", \"strategy\": \"{}\", \"repr\": \"{}\", \
-             \"exec\": \"{}\", \"status\": \"{}\", \"wall_ms\": {}, \
+             \"exec\": \"{}\", \"expr\": \"{}\", \"status\": \"{}\", \"wall_ms\": {}, \
              \"shuffled_tuples\": {}, \"shuffled_bytes\": {}, \
              \"shuffled_bytes_phys\": {}, \"bytes_per_tuple\": {:.3}, \
              \"broadcast_tuples\": {}, \"broadcast_bytes\": {}, \
@@ -103,6 +120,7 @@ fn render_json(cells: &[JsonCell]) -> String {
              \"spill\": \"{}\", \"spilled_bytes\": {}, \"spill_files\": {}, \
              \"spill_ms\": {:.3}{}, \
              \"pipeline_ms\": {:.3}, \"morsels\": {}, \"steals\": {}, \
+             \"expr_compile_ms\": {:.3}, \"expr_instrs\": {}, \
              \"faults_injected\": {}, \"retries\": {}, \
              \"recovered_partitions\": {}, \"cancelled\": {}, \
              \"op_ms\": {{{}}}}}{}",
@@ -110,6 +128,7 @@ fn render_json(cells: &[JsonCell]) -> String {
             escape(cell.row.strategy.label()),
             cell.repr,
             cell.exec,
+            cell.expr,
             status,
             wall,
             s.shuffled_tuples,
@@ -131,6 +150,8 @@ fn render_json(cells: &[JsonCell]) -> String {
             s.pipeline_ms(),
             s.total_morsels(),
             s.steal_count,
+            s.expr_compile_ms(),
+            s.expr_kernel_instrs,
             s.faults_injected,
             s.retries,
             s.recovered_partitions,
@@ -187,6 +208,7 @@ fn main() {
             query: query.clone(),
             repr: "columnar",
             exec: exec_label,
+            expr: ambient_expr(),
             spill: "off",
             results_match: None,
             row,
@@ -213,6 +235,7 @@ fn main() {
         query: "NestedToNested-depth2-Narrow-scale0.3".to_string(),
         repr: "columnar",
         exec: exec_label,
+        expr: ambient_expr(),
         spill: "off",
         results_match: None,
         row,
@@ -269,6 +292,7 @@ fn main() {
                 query: "NestedToNested-depth2-Wide-scale0.3-repr".to_string(),
                 repr: label,
                 exec,
+                expr: ambient_expr(),
                 spill: "off",
                 results_match: None,
                 row,
@@ -282,6 +306,69 @@ fn main() {
         println!(
             "executor           wide STANDARD: staged / pipelined wall = {}",
             ratio(*staged, *pipelined)
+        );
+    }
+
+    // Compiled-kernel vs interpreted expression engine pair: the same Wide
+    // STANDARD columnar pipelined cell with scalar operators evaluated by
+    // register-based vectorized kernel programs (the default) and by the
+    // tree-walking interpreter. Both evaluate identical plans over identical
+    // shuffles — the expr_agree suite proves byte-identical results — so the
+    // pair isolates pure expression-evaluation time; the compiled side's
+    // fused pipeline time must not regress past the interpreter's. Best of
+    // three per side, selected on pipeline time (the metric the pair
+    // compares; wall clock includes input loading noise).
+    let mut expr_walls: Vec<(&str, Option<std::time::Duration>)> = Vec::new();
+    for (expr_label, compiled) in [("compiled", true), ("interp", false)] {
+        let mut best: Option<BenchRow> = None;
+        for _ in 0..3 {
+            let mut rows = run_tpch_query_expr(
+                &cfg,
+                Family::NestedToNested,
+                2,
+                QueryVariant::Wide,
+                &[Strategy::Standard],
+                0.0,
+                true,
+                compiled,
+            );
+            let row = rows.remove(0);
+            let faster = match &best {
+                None => true,
+                Some(b) => row.stats.pipeline_ms() < b.stats.pipeline_ms(),
+            };
+            if faster {
+                best = Some(row);
+            }
+        }
+        let row = best.expect("three runs produce a best row");
+        println!(
+            "expressions {expr_label:>9}: STANDARD wide wall {} ms, pipeline {:.1} ms, \
+             {} kernel instrs over {} programs, {:.2} ms compile",
+            row.time_cell().trim(),
+            row.stats.pipeline_ms(),
+            row.stats.expr_kernel_instrs,
+            row.stats.expr_compiles(),
+            row.stats.expr_compile_ms(),
+        );
+        expr_walls.push((expr_label, row.elapsed));
+        cells.push(JsonCell {
+            query: "NestedToNested-depth2-Wide-scale0.3-expr".to_string(),
+            repr: "columnar",
+            exec: "pipelined",
+            expr: expr_label,
+            spill: "off",
+            results_match: None,
+            row,
+        });
+    }
+    if let (Some((_, compiled)), Some((_, interp))) = (
+        expr_walls.iter().find(|(k, _)| *k == "compiled"),
+        expr_walls.iter().find(|(k, _)| *k == "interp"),
+    ) {
+        println!(
+            "expr engine        wide STANDARD: interp / compiled wall = {}",
+            ratio(*interp, *compiled)
         );
     }
 
@@ -305,6 +392,7 @@ fn main() {
         query: "NestedToNested-depth2-Narrow-scale0.3-skew3".to_string(),
         repr: "columnar",
         exec: exec_label,
+        expr: ambient_expr(),
         spill: "off",
         results_match: None,
         row,
@@ -333,6 +421,7 @@ fn main() {
             query,
             repr: "columnar",
             exec: "pipelined",
+            expr: ambient_expr(),
             spill: "on",
             results_match: Some(cell.results_match_uncapped),
             row: cell.spill_on,

@@ -5,8 +5,8 @@ use std::time::Duration;
 
 use trance_biomed::{BiomedConfig, BiomedData};
 use trance_compiler::{
-    run_query, run_query_configured, run_query_repr, run_query_spill, InputSet, QuerySpec,
-    RunOutcome, RunResult, Strategy,
+    run_query, run_query_configured, run_query_expr, run_query_repr, run_query_spill, InputSet,
+    QuerySpec, RunOutcome, RunResult, Strategy,
 };
 use trance_dist::{ClusterConfig, DistContext, FaultPlan, StatsSnapshot};
 use trance_nrc::{eval, Bag, Env, MemSize, Value};
@@ -334,6 +334,28 @@ pub fn run_tpch_query_exec(
                 &spec, &inputs, *s, columnar, pipelined,
             ))
         })
+        .collect()
+}
+
+/// Runs one TPC-H experiment cell with the **expression engine** spelled out
+/// (`compiled = false` forces the tree interpreter instead of the register
+/// kernels) — the compiled-vs-interpreted A/B pairs in `BENCH_summary.json`
+/// are built from this.
+#[allow(clippy::too_many_arguments)]
+pub fn run_tpch_query_expr(
+    config: &TpchConfig,
+    family: Family,
+    depth: usize,
+    variant: QueryVariant,
+    strategies: &[Strategy],
+    memory_factor: f64,
+    columnar: bool,
+    compiled: bool,
+) -> Vec<BenchRow> {
+    let (inputs, spec) = tpch_input_set(config, family, depth, variant, memory_factor);
+    strategies
+        .iter()
+        .map(|s| outcome_to_row(run_query_expr(&spec, &inputs, *s, columnar, compiled)))
         .collect()
 }
 

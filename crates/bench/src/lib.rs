@@ -24,8 +24,8 @@ pub use harness::{
     biomed_input_set, biomed_input_set_tuned, default_cluster, default_cluster_tuned,
     explain_biomed_pipeline, materialize_nested_input, run_biomed_pipeline,
     run_biomed_pipeline_tuned, run_capped_cells, run_tpch_query, run_tpch_query_exec,
-    run_tpch_query_repr, run_tpch_query_tuned, tpch_input_set, tpch_input_set_tuned, BenchRow,
-    CappedCell, ClusterTuning, Family, PipelineRow,
+    run_tpch_query_expr, run_tpch_query_repr, run_tpch_query_tuned, tpch_input_set,
+    tpch_input_set_tuned, BenchRow, CappedCell, ClusterTuning, Family, PipelineRow,
 };
 
 /// Returns the value following `name` on the command line, or `default`

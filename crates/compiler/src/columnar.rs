@@ -16,6 +16,7 @@
 //! their true schemas without scanning a single row.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use trance_algebra::{
     fuse_chain, lower, needs_sequential, optimize, physical_fields, pipeline_label,
@@ -30,6 +31,7 @@ use trance_dist::{
 use trance_nrc::{Expr, Value};
 
 use crate::exec::ExecOptions;
+use crate::kernel::{compile_mask, compile_ops, KernelOp};
 use crate::physical::{optimizer_config, CapturedPlans};
 
 /// Converts the plan layer's physical fields into engine field hints.
@@ -248,11 +250,39 @@ struct CompiledColChain {
     sequential: bool,
 }
 
-fn compile_chain_col(scan_alias: Option<String>, chain: &[&Plan]) -> Result<CompiledColChain> {
+/// Compiles the accumulated run of expression operators into one register
+/// kernel step, recording the program for the engine stats.
+fn flush_kernel(
+    pending: &mut Vec<KernelOp>,
+    steps: &mut Vec<ColStep>,
+    kernels: &mut Vec<(u64, std::time::Duration, String)>,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    let kops = std::mem::take(pending);
+    let t0 = Instant::now();
+    let prog = compile_ops(&kops);
+    kernels.push((prog.instr_count() as u64, t0.elapsed(), prog.render()));
+    steps.push(Box::new(move |b, _| prog.run(b)));
+}
+
+fn compile_chain_col(
+    scan_alias: Option<String>,
+    chain: &[&Plan],
+    ctx: &DistContext,
+    options: &ExecOptions,
+) -> Result<CompiledColChain> {
     let mut steps: Vec<ColStep> = Vec::new();
     let mut ops: Vec<String> = Vec::new();
     let mut id_slots = 0usize;
     let mut sequential = false;
+    // Consecutive select/project/extend operators accumulate here and fuse
+    // into ONE kernel program (sharing subexpressions, with the selection
+    // vector carried across operator boundaries) — compiled once per
+    // pipeline, before any morsel runs.
+    let mut pending: Vec<KernelOp> = Vec::new();
+    let mut kernels: Vec<(u64, std::time::Duration, String)> = Vec::new();
     if let Some(alias) = scan_alias {
         ops.push("scan".to_string());
         steps.push(Box::new(move |b, _| {
@@ -263,6 +293,23 @@ fn compile_chain_col(scan_alias: Option<String>, chain: &[&Plan]) -> Result<Comp
         ops.push(pipeline_op_name(node).to_string());
         if needs_sequential(node) {
             sequential = true;
+        }
+        if options.compiled_exprs {
+            match node {
+                Plan::Select { predicate, .. } => {
+                    pending.push(KernelOp::Select(predicate.clone()));
+                    continue;
+                }
+                Plan::Project { columns, .. } => {
+                    pending.push(KernelOp::Project(columns.clone()));
+                    continue;
+                }
+                Plan::Extend { columns, .. } => {
+                    pending.push(KernelOp::Extend(columns.clone()));
+                    continue;
+                }
+                _ => flush_kernel(&mut pending, &mut steps, &mut kernels),
+            }
         }
         match node {
             Plan::Select { predicate, .. } => {
@@ -332,7 +379,12 @@ fn compile_chain_col(scan_alias: Option<String>, chain: &[&Plan]) -> Result<Comp
             }
         }
     }
+    flush_kernel(&mut pending, &mut steps, &mut kernels);
     let label = pipeline_label(&ops);
+    for (i, (instrs, dt, text)) in kernels.iter().enumerate() {
+        ctx.stats()
+            .record_expr_compile(&format!("{label}#k{i}"), *instrs, *dt, text);
+    }
     Ok(CompiledColChain {
         steps,
         ops,
@@ -370,7 +422,7 @@ fn eval_pipelined_col(
             .ok_or_else(|| ExecError::Other(format!("unknown input relation `{name}`")))?,
         other => eval_plan_col(other, env, ctx, options)?,
     };
-    let compiled = compile_chain_col(scan_alias, &chain)?;
+    let compiled = compile_chain_col(scan_alias, &chain, ctx, options)?;
     let steps = compiled.steps;
     let out = src.run_pipeline(
         &compiled.label,
@@ -425,18 +477,54 @@ pub fn eval_plan_col(
         Plan::Empty => Ok(ColCollection::empty(ctx)),
         Plan::Select { input, predicate } => {
             let rows = eval_plan_col(input, env, ctx, options)?;
-            let predicate = predicate.clone();
-            rows.filter_mask(move |b| crate::vector::eval_mask(&predicate, b))
+            if options.compiled_exprs {
+                let t0 = Instant::now();
+                let prog = compile_mask(predicate);
+                ctx.stats().record_expr_compile(
+                    "staged:select",
+                    prog.instr_count() as u64,
+                    t0.elapsed(),
+                    &prog.render(),
+                );
+                rows.filter_mask(move |b| prog.mask(b))
+            } else {
+                let predicate = predicate.clone();
+                rows.filter_mask(move |b| crate::vector::eval_mask(&predicate, b))
+            }
         }
         Plan::Project { input, columns } => {
             let rows = eval_plan_col(input, env, ctx, options)?;
-            let columns = columns.clone();
-            rows.map_batches("map", move |b| project_batch(b, &columns))
+            if options.compiled_exprs {
+                let t0 = Instant::now();
+                let prog = compile_ops(&[KernelOp::Project(columns.clone())]);
+                ctx.stats().record_expr_compile(
+                    "staged:project",
+                    prog.instr_count() as u64,
+                    t0.elapsed(),
+                    &prog.render(),
+                );
+                rows.map_batches("map", move |b| prog.run(b))
+            } else {
+                let columns = columns.clone();
+                rows.map_batches("map", move |b| project_batch(b, &columns))
+            }
         }
         Plan::Extend { input, columns } => {
             let rows = eval_plan_col(input, env, ctx, options)?;
-            let columns = columns.clone();
-            rows.map_batches("map", move |b| extend_batch(b, &columns))
+            if options.compiled_exprs {
+                let t0 = Instant::now();
+                let prog = compile_ops(&[KernelOp::Extend(columns.clone())]);
+                ctx.stats().record_expr_compile(
+                    "staged:extend",
+                    prog.instr_count() as u64,
+                    t0.elapsed(),
+                    &prog.render(),
+                );
+                rows.map_batches("map", move |b| prog.run(b))
+            } else {
+                let columns = columns.clone();
+                rows.map_batches("map", move |b| extend_batch(b, &columns))
+            }
         }
         Plan::AddIndex { input, id_attr } => {
             eval_plan_col(input, env, ctx, options)?.with_unique_id(id_attr)

@@ -75,6 +75,17 @@ pub struct ExecOptions {
     /// [`trance_dist::FaultPlan`]; turning it off runs fault-free on the same
     /// cluster — the oracle side of the chaos differential suite.
     pub faults: bool,
+    /// Compile scalar expressions to register-based vectorized kernel
+    /// programs ([`crate::kernel`], the default): the expressions of each
+    /// fused `select`/`extend`/`project` run are flattened — common
+    /// subexpressions shared — into one SSA program per pipeline, compiled
+    /// once at plan time and executed per morsel as type-specialized
+    /// kernels over a selection vector. With this off the columnar route
+    /// evaluates `ScalarExpr` trees per batch through
+    /// [`crate::vector::eval_scalar_batch`] — kept selectable as the
+    /// expression-level differential oracle (`TRANCE_EXPR=interp`). Ignored
+    /// by the row and legacy fused executors, which are row-at-a-time.
+    pub compiled_exprs: bool,
 }
 
 impl Default for ExecOptions {
@@ -87,7 +98,28 @@ impl Default for ExecOptions {
             spill: true,
             pipelined: true,
             faults: true,
+            compiled_exprs: compiled_exprs_default(),
         }
+    }
+}
+
+/// The process-wide default for [`ExecOptions::compiled_exprs`]: `true`
+/// unless the `TRANCE_EXPR` environment variable selects the interpreter
+/// oracle (`TRANCE_EXPR=interp`) — the same escape-hatch pattern as
+/// `TRANCE_WORKERS`. Any other value keeps the compiled default (with a
+/// warning for typos, so `TRANCE_EXPR=interpreted` does not silently
+/// benchmark the wrong route).
+pub fn compiled_exprs_default() -> bool {
+    match std::env::var("TRANCE_EXPR") {
+        Ok(v) if v == "interp" => false,
+        Ok(v) if v == "compiled" || v.is_empty() => true,
+        Ok(v) => {
+            eprintln!(
+                "TRANCE_EXPR={v} not recognized (expected `compiled` or `interp`); using compiled"
+            );
+            true
+        }
+        Err(_) => true,
     }
 }
 

@@ -1,0 +1,1620 @@
+//! Register-based vectorized **expression kernel programs**.
+//!
+//! [`compile_ops`] flattens the scalar expressions of a run of row-local
+//! `select`/`extend`/`project` plan operators — sharing common
+//! subexpressions — into one SSA [`KernelProgram`]: a `Vec<Instr>` over
+//! numbered column registers, compiled **once per pipeline** at plan time
+//! and executed per morsel by type-specialized vectorized kernels. The tree
+//! interpreter ([`crate::vector::eval_scalar_batch`]) stays selectable as
+//! the differential oracle (`ExecOptions::compiled_exprs = false`,
+//! `TRANCE_EXPR=interp`), and every kernel mirrors the interpreter's column
+//! construction exactly, so the two routes produce **byte-identical**
+//! batches — the expr_agree suite asserts identical logical *and* physical
+//! shuffle volumes.
+//!
+//! The executor's cost model:
+//!
+//! * `Lit` constants and absent-column loads are **lazy** registers
+//!   ([`RegVal::Const`]) — O(1) per batch instead of `vec![v.clone(); n]`;
+//! * arithmetic and comparisons run over dense `i64`/`f64`/`bool` buffers
+//!   (constants splatted at read, never materialized);
+//! * string predicates against a constant are **dictionary-aware**: one
+//!   truth-table entry per distinct string, then a u32 code scan — no
+//!   per-row byte comparison;
+//! * `Filter` instructions narrow a **selection vector** of surviving row
+//!   indices, so downstream instructions evaluate only over surviving rows
+//!   and each input column is gathered at most once per morsel;
+//! * short-circuit semantics (`And`/`Or`/`Coalesce`) compile to **guard
+//!   registers**: the right operand's instructions evaluate under a lane
+//!   mask, and raise errors only on guarded lanes — exactly the rows the
+//!   interpreter's gathered sub-batch evaluation would touch.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use trance_algebra::ScalarExpr;
+use trance_dist::{Batch, Bitmap, Column, Result};
+use trance_nrc::{CmpOp, Label, NrcError, PrimOp, Value};
+
+/// A register: the index of the instruction that defines it.
+pub type Reg = usize;
+
+/// One SSA instruction of a [`KernelProgram`].
+///
+/// Instructions that can raise runtime errors (`Prim` division / numeric
+/// coercion, `IsTrue` / `Not` boolean coercion, `LabelCapture`) carry an
+/// optional **guard** register: errors are raised only on lanes where the
+/// guard is true, reproducing the interpreter's short-circuit contract that
+/// a guarded operand's errors never surface. Error-free instructions carry
+/// no guard and may compute every lane (unguarded lanes are never read).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Load an input column by name (a missing column is a lazy NULL
+    /// constant, the outer-join convention).
+    Load {
+        /// The column name.
+        name: String,
+    },
+    /// A literal constant — a lazy O(1) register.
+    Lit {
+        /// The constant value.
+        value: Value,
+    },
+    /// Binary arithmetic with `ScalarExpr::eval` semantics (NULL propagates,
+    /// Int stays Int except division, division by zero errors).
+    Prim {
+        /// The operator.
+        op: PrimOp,
+        /// Left operand register.
+        left: Reg,
+        /// Right operand register.
+        right: Reg,
+        /// Error guard (see [`Instr`]).
+        guard: Option<Reg>,
+    },
+    /// Comparison via the total `Value::cmp` order; NULL on either side
+    /// compares false. Never errors, so no guard.
+    Cmp {
+        /// The comparison operator.
+        op: CmpOp,
+        /// Left operand register.
+        left: Reg,
+        /// Right operand register.
+        right: Reg,
+    },
+    /// Strict truth of `cond` under `guard` with `as_bool` error semantics
+    /// (NULL is false, a non-bool guarded lane errors) — forms the guard
+    /// for `And`/`Or` right branches.
+    IsTrue {
+        /// The condition register.
+        cond: Reg,
+        /// Error guard (see [`Instr`]).
+        guard: Option<Reg>,
+    },
+    /// `guard && !cond` over boolean registers (the `Or` right-branch
+    /// guard). Never errors.
+    NotMask {
+        /// A boolean register (an [`Instr::IsTrue`] output).
+        cond: Reg,
+        /// The enclosing guard.
+        guard: Option<Reg>,
+    },
+    /// `guard && cond-is-NULL` (the `Coalesce` right-branch guard). Never
+    /// errors.
+    NullMask {
+        /// The register whose NULL lanes select the fallback.
+        cond: Reg,
+        /// The enclosing guard.
+        guard: Option<Reg>,
+    },
+    /// `And` merge: lanes where `taken` coerce `b` to bool (errors
+    /// surface there only); all other lanes are false.
+    AndMerge {
+        /// The left-operand-true mask (an [`Instr::IsTrue`] output).
+        taken: Reg,
+        /// The right operand register.
+        b: Reg,
+    },
+    /// `Or` merge: lanes where `a_true` are true; lanes where `taken`
+    /// coerce `b` to bool; all other lanes are false.
+    OrMerge {
+        /// The left-operand-true mask.
+        a_true: Reg,
+        /// The right-branch guard ([`Instr::NotMask`] output).
+        taken: Reg,
+        /// The right operand register.
+        b: Reg,
+    },
+    /// `Coalesce` merge: lanes where `taken` read `b`, the rest read `a`.
+    /// When no lane takes the fallback the register is `a` itself — the
+    /// interpreter's pass-through. Never errors.
+    CoalesceMerge {
+        /// The first operand register.
+        a: Reg,
+        /// The fallback mask ([`Instr::NullMask`] output).
+        taken: Reg,
+        /// The fallback operand register.
+        b: Reg,
+    },
+    /// Boolean negation with `as_bool` error semantics on guarded lanes.
+    Not {
+        /// The operand register.
+        input: Reg,
+        /// Error guard (see [`Instr`]).
+        guard: Option<Reg>,
+    },
+    /// NULL test (absence counts as NULL). Never errors.
+    IsNull {
+        /// The operand register.
+        input: Reg,
+    },
+    /// Construct a label capturing the operand registers (shredded plans).
+    NewLabel {
+        /// Label construction site.
+        site: u32,
+        /// Captured value registers.
+        captures: Vec<Reg>,
+    },
+    /// Extract the `index`-th capture of a label-valued operand; a
+    /// non-label guarded lane errors.
+    LabelCapture {
+        /// The label-valued operand register.
+        label: Reg,
+        /// Position of the capture.
+        index: usize,
+        /// Error guard (see [`Instr`]).
+        guard: Option<Reg>,
+    },
+    /// Narrow the selection vector to the lanes where `pred` is true
+    /// (`as_bool` errors surface, as in `eval_mask`), then compact the
+    /// still-live registers: `live_sets` are output columns (materialized
+    /// and gathered as columns, preserving the interpreter's
+    /// build-then-filter bytes), `live` are scratch registers (compacted
+    /// positionally).
+    Filter {
+        /// The predicate register.
+        pred: Reg,
+        /// Live scratch registers to compact positionally.
+        live: Vec<Reg>,
+        /// Live output-set registers to compact as columns.
+        live_sets: Vec<Reg>,
+    },
+}
+
+/// One row-local plan operator handed to [`compile_ops`] — the expression
+/// payload of a `Select`/`Project`/`Extend` plan node.
+#[derive(Debug, Clone)]
+pub enum KernelOp {
+    /// Keep the rows satisfying the predicate.
+    Select(ScalarExpr),
+    /// Replace the row with the evaluated columns (all expressions see the
+    /// *input* of the project, as in `project_batch`).
+    Project(Vec<(String, ScalarExpr)>),
+    /// Set columns in order, each seeing the columns set before it (the
+    /// `extend_batch` / `Tuple::set` contract).
+    Extend(Vec<(String, ScalarExpr)>),
+}
+
+/// A compiled expression kernel program: SSA instructions plus the output
+/// script that rebuilds the batch (`with_column` replay over either the
+/// filtered input or a fresh unit batch).
+#[derive(Debug, Clone)]
+pub struct KernelProgram {
+    instrs: Vec<Instr>,
+    /// True when the output starts from the (filtered) input batch with its
+    /// columns Arc-shared; false when a project discarded the input.
+    from_input: bool,
+    /// Ordered `with_column` sets applied to the base.
+    sets: Vec<(String, Reg)>,
+    /// For predicate-only programs: the register to read as the selection
+    /// mask.
+    mask_reg: Option<Reg>,
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+struct Compiler {
+    instrs: Vec<Instr>,
+    /// Column name → register set by an extend/project so far.
+    bindings: HashMap<String, Reg>,
+    /// Whether unresolved names still fall through to the input batch
+    /// (false after a project drops the input columns).
+    input_visible: bool,
+    from_input: bool,
+    sets: Vec<(String, Reg)>,
+}
+
+impl Compiler {
+    fn new() -> Compiler {
+        Compiler {
+            instrs: Vec::new(),
+            bindings: HashMap::new(),
+            input_visible: true,
+            from_input: true,
+            sets: Vec::new(),
+        }
+    }
+
+    /// Emits an instruction, interning structurally equal pure instructions
+    /// (common subexpression elimination). `Filter` is never interned — it
+    /// has the side effect of narrowing the selection vector.
+    fn emit(&mut self, instr: Instr) -> Reg {
+        if !matches!(instr, Instr::Filter { .. }) {
+            if let Some(r) = self.instrs.iter().position(|x| *x == instr) {
+                return r;
+            }
+        }
+        self.instrs.push(instr);
+        self.instrs.len() - 1
+    }
+
+    fn resolve(&mut self, name: &str) -> Reg {
+        if let Some(r) = self.bindings.get(name) {
+            return *r;
+        }
+        if self.input_visible {
+            self.emit(Instr::Load {
+                name: name.to_string(),
+            })
+        } else {
+            // The column was dropped by a project: a statically-known NULL.
+            self.emit(Instr::Lit { value: Value::Null })
+        }
+    }
+
+    fn compile_expr(&mut self, e: &ScalarExpr, guard: Option<Reg>) -> Reg {
+        match e {
+            ScalarExpr::Col(name) => self.resolve(name),
+            ScalarExpr::Const(v) => self.emit(Instr::Lit { value: v.clone() }),
+            ScalarExpr::Prim { op, left, right } => {
+                let l = self.compile_expr(left, guard);
+                let r = self.compile_expr(right, guard);
+                self.emit(Instr::Prim {
+                    op: *op,
+                    left: l,
+                    right: r,
+                    guard,
+                })
+            }
+            ScalarExpr::Cmp { op, left, right } => {
+                let l = self.compile_expr(left, guard);
+                let r = self.compile_expr(right, guard);
+                self.emit(Instr::Cmp {
+                    op: *op,
+                    left: l,
+                    right: r,
+                })
+            }
+            ScalarExpr::And(a, b) => {
+                let ra = self.compile_expr(a, guard);
+                let taken = self.emit(Instr::IsTrue { cond: ra, guard });
+                let rb = self.compile_expr(b, Some(taken));
+                self.emit(Instr::AndMerge { taken, b: rb })
+            }
+            ScalarExpr::Or(a, b) => {
+                let ra = self.compile_expr(a, guard);
+                let a_true = self.emit(Instr::IsTrue { cond: ra, guard });
+                let taken = self.emit(Instr::NotMask {
+                    cond: a_true,
+                    guard,
+                });
+                let rb = self.compile_expr(b, Some(taken));
+                self.emit(Instr::OrMerge {
+                    a_true,
+                    taken,
+                    b: rb,
+                })
+            }
+            ScalarExpr::Not(x) => {
+                let r = self.compile_expr(x, guard);
+                self.emit(Instr::Not { input: r, guard })
+            }
+            ScalarExpr::IsNull(x) => {
+                let r = self.compile_expr(x, guard);
+                self.emit(Instr::IsNull { input: r })
+            }
+            ScalarExpr::Coalesce(a, b) => {
+                let ra = self.compile_expr(a, guard);
+                let taken = self.emit(Instr::NullMask { cond: ra, guard });
+                let rb = self.compile_expr(b, Some(taken));
+                self.emit(Instr::CoalesceMerge {
+                    a: ra,
+                    taken,
+                    b: rb,
+                })
+            }
+            ScalarExpr::NewLabel { site, captures } => {
+                let regs: Vec<Reg> = captures
+                    .iter()
+                    .map(|(_, e)| self.compile_expr(e, guard))
+                    .collect();
+                self.emit(Instr::NewLabel {
+                    site: *site,
+                    captures: regs,
+                })
+            }
+            ScalarExpr::LabelCapture { label, index } => {
+                let r = self.compile_expr(label, guard);
+                self.emit(Instr::LabelCapture {
+                    label: r,
+                    index: *index,
+                    guard,
+                })
+            }
+        }
+    }
+
+    fn set(&mut self, name: &str, r: Reg) {
+        self.bindings.insert(name.to_string(), r);
+        self.sets.push((name.to_string(), r));
+    }
+
+    fn compile_op(&mut self, op: &KernelOp) {
+        match op {
+            KernelOp::Select(pred) => {
+                let r = self.compile_expr(pred, None);
+                self.instrs.push(Instr::Filter {
+                    pred: r,
+                    live: Vec::new(),
+                    live_sets: Vec::new(),
+                });
+            }
+            KernelOp::Extend(cols) => {
+                for (name, e) in cols {
+                    let r = self.compile_expr(e, None);
+                    self.set(name, r);
+                }
+            }
+            KernelOp::Project(cols) => {
+                // Every project expression sees the *input* of the project;
+                // only then does the output narrow to the projected columns.
+                let regs: Vec<(String, Reg)> = cols
+                    .iter()
+                    .map(|(n, e)| (n.clone(), self.compile_expr(e, None)))
+                    .collect();
+                self.bindings.clear();
+                self.sets.clear();
+                self.input_visible = false;
+                self.from_input = false;
+                for (n, r) in regs {
+                    self.set(&n, r);
+                }
+            }
+        }
+    }
+
+    /// Fills every `Filter`'s liveness lists: a register is live at a filter
+    /// when a later instruction or the output script reads it. Output-set
+    /// registers compact as columns, scratch registers positionally.
+    fn finish(mut self, mask_reg: Option<Reg>) -> KernelProgram {
+        let set_regs: BTreeSet<Reg> = self.sets.iter().map(|(_, r)| *r).collect();
+        let mut read_later: BTreeSet<Reg> = set_regs.clone();
+        if let Some(r) = mask_reg {
+            read_later.insert(r);
+        }
+        for p in (0..self.instrs.len()).rev() {
+            if matches!(self.instrs[p], Instr::Filter { .. }) {
+                let live: Vec<Reg> = read_later
+                    .iter()
+                    .copied()
+                    .filter(|r| *r < p && !set_regs.contains(r))
+                    .collect();
+                let ls: Vec<Reg> = read_later
+                    .iter()
+                    .copied()
+                    .filter(|r| *r < p && set_regs.contains(r))
+                    .collect();
+                if let Instr::Filter {
+                    live: l, live_sets, ..
+                } = &mut self.instrs[p]
+                {
+                    *l = live;
+                    *live_sets = ls;
+                }
+            }
+            for r in instr_reads(&self.instrs[p]) {
+                read_later.insert(r);
+            }
+        }
+        KernelProgram {
+            instrs: self.instrs,
+            from_input: self.from_input,
+            sets: self.sets,
+            mask_reg,
+        }
+    }
+}
+
+/// The registers an instruction reads.
+fn instr_reads(i: &Instr) -> Vec<Reg> {
+    match i {
+        Instr::Load { .. } | Instr::Lit { .. } => vec![],
+        Instr::Prim {
+            left, right, guard, ..
+        } => with_guard(vec![*left, *right], guard),
+        Instr::Cmp { left, right, .. } => vec![*left, *right],
+        Instr::IsTrue { cond, guard } => with_guard(vec![*cond], guard),
+        Instr::NotMask { cond, guard } => with_guard(vec![*cond], guard),
+        Instr::NullMask { cond, guard } => with_guard(vec![*cond], guard),
+        Instr::AndMerge { taken, b } => vec![*taken, *b],
+        Instr::OrMerge { a_true, taken, b } => vec![*a_true, *taken, *b],
+        Instr::CoalesceMerge { a, taken, b } => vec![*a, *taken, *b],
+        Instr::Not { input, guard } => with_guard(vec![*input], guard),
+        Instr::IsNull { input } => vec![*input],
+        Instr::NewLabel { captures, .. } => captures.clone(),
+        Instr::LabelCapture { label, guard, .. } => with_guard(vec![*label], guard),
+        Instr::Filter { pred, .. } => vec![*pred],
+    }
+}
+
+fn with_guard(mut v: Vec<Reg>, guard: &Option<Reg>) -> Vec<Reg> {
+    if let Some(g) = guard {
+        v.push(*g);
+    }
+    v
+}
+
+/// Compiles a run of row-local operators into one kernel program, sharing
+/// common subexpressions across all their expressions.
+pub fn compile_ops(ops: &[KernelOp]) -> KernelProgram {
+    let mut c = Compiler::new();
+    for op in ops {
+        c.compile_op(op);
+    }
+    c.finish(None)
+}
+
+/// Compiles a bare predicate into a mask program for the staged `Select`
+/// operator ([`KernelProgram::mask`]).
+pub fn compile_mask(pred: &ScalarExpr) -> KernelProgram {
+    let mut c = Compiler::new();
+    let r = c.compile_expr(pred, None);
+    c.finish(Some(r))
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// A register's runtime value — lazy where possible.
+#[derive(Debug, Clone)]
+enum RegVal {
+    /// An input column, Arc-shared (possibly gathered by a filter).
+    Col(Arc<Column>),
+    /// A lazy constant (every lane holds this value) — O(1) per batch.
+    Const(Value),
+    /// Computed dense integers.
+    Ints(Vec<i64>),
+    /// Computed dense reals.
+    Reals(Vec<f64>),
+    /// Computed dense booleans.
+    Bools(Vec<bool>),
+    /// Row-wise values (NULL on unguarded lanes).
+    Values(Vec<Value>),
+}
+
+impl RegVal {
+    fn value_at(&self, i: usize) -> Value {
+        match self {
+            RegVal::Col(c) => c.value_at(i).unwrap_or(Value::Null),
+            RegVal::Const(v) => v.clone(),
+            RegVal::Ints(x) => Value::Int(x[i]),
+            RegVal::Reals(x) => Value::Real(x[i]),
+            RegVal::Bools(x) => Value::Bool(x[i]),
+            RegVal::Values(x) => x[i].clone(),
+        }
+    }
+
+    fn dense_bools(&self) -> Option<&[bool]> {
+        match self {
+            RegVal::Bools(x) => Some(x),
+            RegVal::Col(c) => c.dense_bools(),
+            _ => None,
+        }
+    }
+
+    /// NULL test without cloning values (bag lanes stay untouched).
+    fn is_null_at(&self, i: usize) -> bool {
+        match self {
+            RegVal::Col(c) => col_is_null_at(c, i),
+            RegVal::Const(v) => matches!(v, Value::Null),
+            RegVal::Ints(_) | RegVal::Reals(_) | RegVal::Bools(_) => false,
+            RegVal::Values(x) => matches!(x[i], Value::Null),
+        }
+    }
+}
+
+/// NULL-or-absent test reading the column's bitmaps directly — no value
+/// cloning, unlike `value_at` (a bag lane would clone the whole bag).
+fn col_is_null_at(c: &Column, i: usize) -> bool {
+    match c {
+        Column::Int { nulls, absent, .. }
+        | Column::Real { nulls, absent, .. }
+        | Column::Bool { nulls, absent, .. }
+        | Column::Date { nulls, absent, .. }
+        | Column::Str { nulls, absent, .. }
+        | Column::Bag { nulls, absent, .. } => nulls.get(i) || absent.get(i),
+        Column::Other { values, absent } => absent.get(i) || matches!(values[i], Value::Null),
+    }
+}
+
+/// Dense integer operand view: a buffer or a splatted constant.
+enum IntView<'a> {
+    Slice(&'a [i64]),
+    Splat(i64),
+}
+
+impl IntView<'_> {
+    fn get(&self, i: usize) -> i64 {
+        match self {
+            IntView::Slice(x) => x[i],
+            IntView::Splat(x) => *x,
+        }
+    }
+}
+
+fn int_view(rv: &RegVal) -> Option<IntView<'_>> {
+    match rv {
+        RegVal::Ints(x) => Some(IntView::Slice(x)),
+        RegVal::Col(c) => c.dense_ints().map(IntView::Slice),
+        RegVal::Const(Value::Int(x)) => Some(IntView::Splat(*x)),
+        _ => None,
+    }
+}
+
+/// Dense numeric operand view, widening integers at the read.
+enum NumView<'a> {
+    I(&'a [i64]),
+    R(&'a [f64]),
+    Splat(f64),
+}
+
+impl NumView<'_> {
+    fn get(&self, i: usize) -> f64 {
+        match self {
+            NumView::I(x) => x[i] as f64,
+            NumView::R(x) => x[i],
+            NumView::Splat(x) => *x,
+        }
+    }
+}
+
+fn num_view(rv: &RegVal) -> Option<NumView<'_>> {
+    match rv {
+        RegVal::Ints(x) => Some(NumView::I(x)),
+        RegVal::Reals(x) => Some(NumView::R(x)),
+        RegVal::Col(c) => c
+            .dense_reals()
+            .map(NumView::R)
+            .or_else(|| c.dense_ints().map(NumView::I)),
+        RegVal::Const(Value::Int(x)) => Some(NumView::Splat(*x as f64)),
+        RegVal::Const(Value::Real(x)) => Some(NumView::Splat(*x)),
+        _ => None,
+    }
+}
+
+fn guard_true(g: Option<&[bool]>, i: usize) -> bool {
+    g.is_none_or(|g| g[i])
+}
+
+/// Per-morsel execution state.
+struct State<'a> {
+    batch: &'a Batch,
+    regs: Vec<Option<RegVal>>,
+    /// Surviving original-row indices after the filters executed so far
+    /// (`None` = every row).
+    sel: Option<Vec<u32>>,
+    /// Current lane count (`sel` length, or the batch's row count).
+    len: usize,
+}
+
+impl<'a> State<'a> {
+    fn reg(&self, r: Reg) -> &RegVal {
+        self.regs[r].as_ref().expect("register defined before use")
+    }
+
+    fn guard(&self, g: Option<Reg>) -> Option<&[bool]> {
+        g.map(|r| {
+            self.reg(r)
+                .dense_bools()
+                .expect("guard registers are dense boolean")
+        })
+    }
+
+    fn step(&mut self, idx: usize, instr: &Instr) -> Result<()> {
+        let val = match instr {
+            Instr::Load { name } => Some(match self.batch.column_arc(name) {
+                None => RegVal::Const(Value::Null),
+                Some(col) => match &self.sel {
+                    None => RegVal::Col(col),
+                    Some(s) => {
+                        let idx: Vec<Option<usize>> = s.iter().map(|&i| Some(i as usize)).collect();
+                        RegVal::Col(Arc::new(col.gather(&idx, true)))
+                    }
+                },
+            }),
+            Instr::Lit { value } => Some(RegVal::Const(value.clone())),
+            Instr::Prim {
+                op,
+                left,
+                right,
+                guard,
+            } => {
+                let g = self.guard(*guard);
+                Some(exec_prim(
+                    *op,
+                    self.reg(*left),
+                    self.reg(*right),
+                    g,
+                    self.len,
+                )?)
+            }
+            Instr::Cmp { op, left, right } => {
+                Some(exec_cmp(*op, self.reg(*left), self.reg(*right), self.len))
+            }
+            Instr::IsTrue { cond, guard } => {
+                let g = self.guard(*guard);
+                Some(RegVal::Bools(exec_is_true(self.reg(*cond), g, self.len)?))
+            }
+            Instr::NotMask { cond, guard } => {
+                let g = self.guard(*guard);
+                let c = self.reg(*cond);
+                Some(RegVal::Bools(match c.dense_bools() {
+                    Some(b) => (0..self.len).map(|i| guard_true(g, i) && !b[i]).collect(),
+                    None => (0..self.len)
+                        .map(|i| guard_true(g, i) && !matches!(c.value_at(i), Value::Bool(true)))
+                        .collect(),
+                }))
+            }
+            Instr::NullMask { cond, guard } => {
+                let g = self.guard(*guard);
+                let c = self.reg(*cond);
+                Some(RegVal::Bools(
+                    (0..self.len)
+                        .map(|i| guard_true(g, i) && c.is_null_at(i))
+                        .collect(),
+                ))
+            }
+            Instr::AndMerge { taken, b } => {
+                let t = self
+                    .reg(*taken)
+                    .dense_bools()
+                    .expect("masks are dense boolean");
+                let bv = self.reg(*b);
+                let mut out = Vec::with_capacity(self.len);
+                if let Some(d) = bv.dense_bools() {
+                    for (i, taken) in t.iter().enumerate().take(self.len) {
+                        out.push(*taken && d[i]);
+                    }
+                } else {
+                    for (i, taken) in t.iter().enumerate().take(self.len) {
+                        out.push(if *taken {
+                            bv.value_at(i).as_bool()?
+                        } else {
+                            false
+                        });
+                    }
+                }
+                Some(RegVal::Bools(out))
+            }
+            Instr::OrMerge { a_true, taken, b } => {
+                let at = self
+                    .reg(*a_true)
+                    .dense_bools()
+                    .expect("masks are dense boolean");
+                let t = self
+                    .reg(*taken)
+                    .dense_bools()
+                    .expect("masks are dense boolean");
+                let bv = self.reg(*b);
+                let mut out = Vec::with_capacity(self.len);
+                if let Some(d) = bv.dense_bools() {
+                    for i in 0..self.len {
+                        out.push(at[i] || (t[i] && d[i]));
+                    }
+                } else {
+                    for i in 0..self.len {
+                        out.push(at[i] || (t[i] && bv.value_at(i).as_bool()?));
+                    }
+                }
+                Some(RegVal::Bools(out))
+            }
+            Instr::CoalesceMerge { a, taken, b } => {
+                let t = self
+                    .reg(*taken)
+                    .dense_bools()
+                    .expect("masks are dense boolean");
+                if !t.iter().any(|&x| x) {
+                    // No lane needed the fallback: the interpreter returns
+                    // the first operand unchanged.
+                    Some(self.reg(*a).clone())
+                } else {
+                    let (av, bv) = (self.reg(*a), self.reg(*b));
+                    Some(RegVal::Values(
+                        (0..self.len)
+                            .map(|i| if t[i] { bv.value_at(i) } else { av.value_at(i) })
+                            .collect(),
+                    ))
+                }
+            }
+            Instr::Not { input, guard } => {
+                let g = self.guard(*guard);
+                let c = self.reg(*input);
+                let mut out = Vec::with_capacity(self.len);
+                if let Some(b) = c.dense_bools() {
+                    for (i, v) in b.iter().enumerate().take(self.len) {
+                        out.push(guard_true(g, i) && !*v);
+                    }
+                } else {
+                    for i in 0..self.len {
+                        out.push(if guard_true(g, i) {
+                            !c.value_at(i).as_bool()?
+                        } else {
+                            false
+                        });
+                    }
+                }
+                Some(RegVal::Bools(out))
+            }
+            Instr::IsNull { input } => {
+                let c = self.reg(*input);
+                Some(RegVal::Bools(
+                    (0..self.len).map(|i| c.is_null_at(i)).collect(),
+                ))
+            }
+            Instr::NewLabel { site, captures } => {
+                let cols: Vec<&RegVal> = captures.iter().map(|r| self.reg(*r)).collect();
+                Some(RegVal::Values(
+                    (0..self.len)
+                        .map(|i| {
+                            Value::Label(Label::new(
+                                *site,
+                                cols.iter().map(|c| c.value_at(i)).collect(),
+                            ))
+                        })
+                        .collect(),
+                ))
+            }
+            Instr::LabelCapture {
+                label,
+                index,
+                guard,
+            } => {
+                let g = self.guard(*guard);
+                let c = self.reg(*label);
+                let mut out = Vec::with_capacity(self.len);
+                for i in 0..self.len {
+                    out.push(if guard_true(g, i) {
+                        match c.value_at(i) {
+                            Value::Null => Value::Null,
+                            Value::Label(l) => l.values.get(*index).cloned().unwrap_or(Value::Null),
+                            other => {
+                                return Err(NrcError::TypeMismatch {
+                                    expected: "label".into(),
+                                    found: other.kind().into(),
+                                    context: "LabelCapture".into(),
+                                }
+                                .into())
+                            }
+                        }
+                    } else {
+                        Value::Null
+                    });
+                }
+                Some(RegVal::Values(out))
+            }
+            Instr::Filter {
+                pred,
+                live,
+                live_sets,
+            } => {
+                self.exec_filter(*pred, live, live_sets)?;
+                None
+            }
+        };
+        self.regs[idx] = val;
+        Ok(())
+    }
+
+    /// Narrows the selection vector to the predicate's true lanes and
+    /// compacts the live registers.
+    fn exec_filter(&mut self, pred: Reg, live: &[Reg], live_sets: &[Reg]) -> Result<()> {
+        let mask: Vec<bool> = {
+            let p = self.reg(pred);
+            match p.dense_bools() {
+                Some(b) => b.to_vec(),
+                None => {
+                    let mut m = Vec::with_capacity(self.len);
+                    for i in 0..self.len {
+                        m.push(p.value_at(i).as_bool()?);
+                    }
+                    m
+                }
+            }
+        };
+        let keep: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &t)| t.then_some(i))
+            .collect();
+        self.sel = Some(match &self.sel {
+            None => keep.iter().map(|&i| i as u32).collect(),
+            Some(s) => keep.iter().map(|&i| s[i]).collect(),
+        });
+        self.len = keep.len();
+        for &r in live {
+            let compacted = compact_positional(self.regs[r].take().expect("live register"), &keep);
+            self.regs[r] = Some(compacted);
+        }
+        for &r in live_sets {
+            let compacted = compact_as_column(
+                self.regs[r].take().expect("live register"),
+                &keep,
+                mask.len(),
+            );
+            self.regs[r] = Some(compacted);
+        }
+        Ok(())
+    }
+}
+
+/// Positional compaction of a scratch register (values only ever read
+/// lane-wise afterwards).
+fn compact_positional(rv: RegVal, keep: &[usize]) -> RegVal {
+    match rv {
+        RegVal::Const(v) => RegVal::Const(v),
+        RegVal::Col(c) => {
+            let idx: Vec<Option<usize>> = keep.iter().map(|&i| Some(i)).collect();
+            RegVal::Col(Arc::new(c.gather(&idx, true)))
+        }
+        RegVal::Ints(x) => RegVal::Ints(keep.iter().map(|&i| x[i]).collect()),
+        RegVal::Reals(x) => RegVal::Reals(keep.iter().map(|&i| x[i]).collect()),
+        RegVal::Bools(x) => RegVal::Bools(keep.iter().map(|&i| x[i]).collect()),
+        RegVal::Values(x) => {
+            let mut x = x;
+            let mut out = Vec::with_capacity(keep.len());
+            for &i in keep {
+                out.push(std::mem::replace(&mut x[i], Value::Null));
+            }
+            RegVal::Values(out)
+        }
+    }
+}
+
+/// Compaction of an output-set register. `Values` registers are built into
+/// a column **before** gathering — exactly what the interpreter route does
+/// (the extend materializes, a later select filters) — because
+/// `Column::from_values` infers the column kind from *all* values: building
+/// from the surviving subset could infer a different (narrower) kind and
+/// break physical byte parity with the oracle.
+fn compact_as_column(rv: RegVal, keep: &[usize], _pre_len: usize) -> RegVal {
+    match rv {
+        RegVal::Values(x) => {
+            let col = Column::from_values(x);
+            let idx: Vec<Option<usize>> = keep.iter().map(|&i| Some(i)).collect();
+            RegVal::Col(Arc::new(col.gather(&idx, true)))
+        }
+        other => compact_positional(other, keep),
+    }
+}
+
+fn exec_prim(
+    op: PrimOp,
+    l: &RegVal,
+    r: &RegVal,
+    guard: Option<&[bool]>,
+    n: usize,
+) -> Result<RegVal> {
+    // Dense integer kernel (Div always widens to real, like the
+    // interpreter). Add/Sub/Mul cannot error, so the guard is irrelevant:
+    // unguarded lanes compute a harmless value no one reads.
+    if op != PrimOp::Div {
+        if let (Some(a), Some(b)) = (int_view(l), int_view(r)) {
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let (x, y) = (a.get(i), b.get(i));
+                out.push(match op {
+                    PrimOp::Add => x + y,
+                    PrimOp::Sub => x - y,
+                    PrimOp::Mul => x * y,
+                    PrimOp::Div => unreachable!(),
+                });
+            }
+            return Ok(RegVal::Ints(out));
+        }
+    }
+    // Dense real kernel; division by zero errors only on guarded lanes.
+    if let (Some(a), Some(b)) = (num_view(l), num_view(r)) {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let (x, y) = (a.get(i), b.get(i));
+            out.push(match op {
+                PrimOp::Add => x + y,
+                PrimOp::Sub => x - y,
+                PrimOp::Mul => x * y,
+                PrimOp::Div => {
+                    if y == 0.0 {
+                        if guard_true(guard, i) {
+                            return Err(NrcError::DivisionByZero.into());
+                        }
+                        0.0
+                    } else {
+                        x / y
+                    }
+                }
+            });
+        }
+        return Ok(RegVal::Reals(out));
+    }
+    // Row-wise fallback: exact `ScalarExpr::eval` semantics; errors only on
+    // guarded lanes, NULL elsewhere.
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        if !guard_true(guard, i) {
+            out.push(Value::Null);
+            continue;
+        }
+        let lv = l.value_at(i);
+        let rv = r.value_at(i);
+        out.push(if matches!(lv, Value::Null) || matches!(rv, Value::Null) {
+            Value::Null
+        } else {
+            match op {
+                PrimOp::Add if matches!((&lv, &rv), (Value::Int(_), Value::Int(_))) => {
+                    Value::Int(lv.as_int()? + rv.as_int()?)
+                }
+                PrimOp::Sub if matches!((&lv, &rv), (Value::Int(_), Value::Int(_))) => {
+                    Value::Int(lv.as_int()? - rv.as_int()?)
+                }
+                PrimOp::Mul if matches!((&lv, &rv), (Value::Int(_), Value::Int(_))) => {
+                    Value::Int(lv.as_int()? * rv.as_int()?)
+                }
+                PrimOp::Add => Value::Real(lv.as_real()? + rv.as_real()?),
+                PrimOp::Sub => Value::Real(lv.as_real()? - rv.as_real()?),
+                PrimOp::Mul => Value::Real(lv.as_real()? * rv.as_real()?),
+                PrimOp::Div => {
+                    let d = rv.as_real()?;
+                    if d == 0.0 {
+                        return Err(NrcError::DivisionByZero.into());
+                    }
+                    Value::Real(lv.as_real()? / d)
+                }
+            }
+        });
+    }
+    Ok(RegVal::Values(out))
+}
+
+fn exec_cmp(op: CmpOp, l: &RegVal, r: &RegVal, n: usize) -> RegVal {
+    // Dense integer comparison (constants splatted).
+    if let (Some(a), Some(b)) = (int_view(l), int_view(r)) {
+        return RegVal::Bools((0..n).map(|i| op.eval(a.get(i).cmp(&b.get(i)))).collect());
+    }
+    // Dictionary-aware string predicate: one `Value::cmp` per *distinct*
+    // string, then a u32 code scan — NULL/absent lanes compare false, as in
+    // the row engine.
+    let dict_path = |c: &Column, v: &Value, const_left: bool| -> Option<RegVal> {
+        if matches!(v, Value::Null) {
+            return None;
+        }
+        if let Column::Str {
+            dict,
+            codes,
+            nulls,
+            absent,
+        } = c
+        {
+            let table: Vec<bool> = (0..dict.len())
+                .map(|ci| {
+                    let entry = Value::str(dict.get(ci));
+                    if const_left {
+                        op.eval(v.cmp(&entry))
+                    } else {
+                        op.eval(entry.cmp(v))
+                    }
+                })
+                .collect();
+            return Some(RegVal::Bools(
+                (0..n)
+                    .map(|i| {
+                        if nulls.get(i) || absent.get(i) {
+                            false
+                        } else {
+                            table[codes[i] as usize]
+                        }
+                    })
+                    .collect(),
+            ));
+        }
+        None
+    };
+    if let (RegVal::Col(c), RegVal::Const(v)) = (l, r) {
+        if let Some(out) = dict_path(c, v, false) {
+            return out;
+        }
+    }
+    if let (RegVal::Const(v), RegVal::Col(c)) = (l, r) {
+        if let Some(out) = dict_path(c, v, true) {
+            return out;
+        }
+    }
+    // Row-wise comparison through the total `Value::cmp`; NULL on either
+    // side compares false.
+    RegVal::Bools(
+        (0..n)
+            .map(|i| {
+                let lv = l.value_at(i);
+                let rv = r.value_at(i);
+                if matches!(lv, Value::Null) || matches!(rv, Value::Null) {
+                    false
+                } else {
+                    op.eval(lv.cmp(&rv))
+                }
+            })
+            .collect(),
+    )
+}
+
+fn exec_is_true(cond: &RegVal, guard: Option<&[bool]>, n: usize) -> Result<Vec<bool>> {
+    if let Some(b) = cond.dense_bools() {
+        return Ok((0..n).map(|i| guard_true(guard, i) && b[i]).collect());
+    }
+    if let RegVal::Const(v) = cond {
+        return match v.as_bool() {
+            Ok(x) => Ok((0..n).map(|i| guard_true(guard, i) && x).collect()),
+            Err(e) => {
+                // A non-bool constant errors — but only if a guarded lane
+                // exists (the interpreter never evaluates an empty gather).
+                if (0..n).any(|i| guard_true(guard, i)) {
+                    Err(e.into())
+                } else {
+                    Ok(vec![false; n])
+                }
+            }
+        };
+    }
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(if guard_true(guard, i) {
+            cond.value_at(i).as_bool()?
+        } else {
+            false
+        });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Program API
+// ---------------------------------------------------------------------------
+
+impl KernelProgram {
+    /// Number of SSA instructions.
+    pub fn instr_count(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Executes the program over one batch, producing the output batch —
+    /// byte-identical to running the compiled operators one at a time
+    /// through the interpreter.
+    pub fn run(&self, batch: &Batch) -> Result<Batch> {
+        let mut st = State {
+            batch,
+            regs: vec![None; self.instrs.len()],
+            sel: None,
+            len: batch.rows(),
+        };
+        for (idx, instr) in self.instrs.iter().enumerate() {
+            st.step(idx, instr)?;
+        }
+        let mut out = if self.from_input {
+            match &st.sel {
+                None => batch.clone(),
+                Some(s) => {
+                    let idx: Vec<usize> = s.iter().map(|&i| i as usize).collect();
+                    batch.take(&idx)
+                }
+            }
+        } else {
+            Batch::unit(st.len)
+        };
+        // Replay the `with_column` sets in operator order (replace-in-place
+        // or append), memoizing per register so a register set under two
+        // names shares one column — as the interpreter's Arc sharing does.
+        let mut cache: HashMap<Reg, Arc<Column>> = HashMap::new();
+        for (name, r) in &self.sets {
+            let col = match cache.get(r) {
+                Some(c) => c.clone(),
+                None => {
+                    let c = materialize(st.regs[*r].take().expect("set register"), st.len);
+                    cache.insert(*r, c.clone());
+                    c
+                }
+            };
+            out = out.with_column(name, col);
+        }
+        Ok(out)
+    }
+
+    /// Evaluates a predicate-only program into a selection mask (the staged
+    /// `Select` path) — same semantics as `eval_mask`.
+    pub fn mask(&self, batch: &Batch) -> Result<Vec<bool>> {
+        let reg = self.mask_reg.expect("mask() requires a predicate program");
+        let mut st = State {
+            batch,
+            regs: vec![None; self.instrs.len()],
+            sel: None,
+            len: batch.rows(),
+        };
+        for (idx, instr) in self.instrs.iter().enumerate() {
+            st.step(idx, instr)?;
+        }
+        let p = st.reg(reg);
+        if let Some(b) = p.dense_bools() {
+            return Ok(b.to_vec());
+        }
+        let mut out = Vec::with_capacity(st.len);
+        for i in 0..st.len {
+            out.push(p.value_at(i).as_bool()?);
+        }
+        Ok(out)
+    }
+
+    /// Renders the instruction listing (shown by `--explain` and recorded in
+    /// the engine stats).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let g = |guard: &Option<Reg>| match guard {
+            Some(r) => format!(" ?r{r}"),
+            None => String::new(),
+        };
+        for (i, instr) in self.instrs.iter().enumerate() {
+            let line = match instr {
+                Instr::Load { name } => format!("r{i} = load {name}"),
+                Instr::Lit { value } => format!("r{i} = lit {value}"),
+                Instr::Prim {
+                    op,
+                    left,
+                    right,
+                    guard,
+                } => format!("r{i} = {op:?} r{left} r{right}{}", g(guard)),
+                Instr::Cmp { op, left, right } => format!("r{i} = {op:?} r{left} r{right}"),
+                Instr::IsTrue { cond, guard } => format!("r{i} = is_true r{cond}{}", g(guard)),
+                Instr::NotMask { cond, guard } => format!("r{i} = not_mask r{cond}{}", g(guard)),
+                Instr::NullMask { cond, guard } => {
+                    format!("r{i} = null_mask r{cond}{}", g(guard))
+                }
+                Instr::AndMerge { taken, b } => format!("r{i} = and_merge r{taken} r{b}"),
+                Instr::OrMerge { a_true, taken, b } => {
+                    format!("r{i} = or_merge r{a_true} r{taken} r{b}")
+                }
+                Instr::CoalesceMerge { a, taken, b } => {
+                    format!("r{i} = coalesce r{a} r{taken} r{b}")
+                }
+                Instr::Not { input, guard } => format!("r{i} = not r{input}{}", g(guard)),
+                Instr::IsNull { input } => format!("r{i} = is_null r{input}"),
+                Instr::NewLabel { site, captures } => format!(
+                    "r{i} = new_label #{site} [{}]",
+                    captures
+                        .iter()
+                        .map(|r| format!("r{r}"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                ),
+                Instr::LabelCapture {
+                    label,
+                    index,
+                    guard,
+                } => format!("r{i} = label_capture r{label}.{index}{}", g(guard)),
+                Instr::Filter {
+                    pred,
+                    live,
+                    live_sets,
+                } => {
+                    let all: Vec<String> = live
+                        .iter()
+                        .chain(live_sets.iter())
+                        .map(|r| format!("r{r}"))
+                        .collect();
+                    format!("filter r{pred} compact=[{}]", all.join(" "))
+                }
+            };
+            let _ = writeln!(out, "{line}");
+        }
+        if let Some(r) = self.mask_reg {
+            let _ = writeln!(out, "mask: r{r}");
+        } else {
+            let base = if self.from_input { "input" } else { "unit" };
+            let sets: Vec<String> = self
+                .sets
+                .iter()
+                .map(|(n, r)| format!("{n}:=r{r}"))
+                .collect();
+            let _ = writeln!(out, "out: {base} [{}]", sets.join(", "));
+        }
+        out
+    }
+}
+
+/// Materializes a register as an output column, with the same column
+/// construction — and the same absent-to-NULL collapse — as the
+/// interpreter's `set_column`.
+fn materialize(rv: RegVal, len: usize) -> Arc<Column> {
+    match rv {
+        RegVal::Col(c) => {
+            if c.has_absent() {
+                Arc::new(c.absent_as_null())
+            } else {
+                c
+            }
+        }
+        RegVal::Const(v) => Arc::new(Column::from_const(&v, len)),
+        RegVal::Ints(data) => {
+            let n = data.len();
+            Arc::new(Column::Int {
+                data,
+                nulls: Bitmap::zeros(n),
+                absent: Bitmap::zeros(n),
+            })
+        }
+        RegVal::Reals(data) => {
+            let n = data.len();
+            Arc::new(Column::Real {
+                data,
+                nulls: Bitmap::zeros(n),
+                absent: Bitmap::zeros(n),
+            })
+        }
+        RegVal::Bools(data) => Arc::new(Column::from_bools(data)),
+        RegVal::Values(values) => Arc::new(Column::from_values(values)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trance_algebra::ScalarExpr as E;
+
+    fn prim(op: PrimOp, l: E, r: E) -> E {
+        E::Prim {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
+    }
+
+    fn cmp(op: CmpOp, l: E, r: E) -> E {
+        E::Cmp {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
+    }
+
+    /// A batch exercising every evaluation corner: dense ints, nulls,
+    /// absent attributes, mixed numeric kinds, dictionary strings, labels.
+    fn mixed_batch() -> Batch {
+        Batch::from_rows(&[
+            Value::tuple([
+                ("a", Value::Int(3)),
+                ("b", Value::Int(10)),
+                ("r", Value::Real(1.5)),
+                ("s", Value::str("red")),
+                ("lb", Value::Label(Label::new(7, vec![Value::Int(1)]))),
+            ]),
+            Value::tuple([
+                ("a", Value::Int(-2)),
+                ("b", Value::Null),
+                ("r", Value::Real(0.0)),
+                ("s", Value::str("blue")),
+                ("lb", Value::Label(Label::new(7, vec![Value::Int(2)]))),
+            ]),
+            // `b`, `s` and `lb` absent; `r` holds an int (mixed-kind column).
+            Value::tuple([("a", Value::Int(5)), ("r", Value::Int(4))]),
+            Value::tuple([
+                ("a", Value::Null),
+                ("b", Value::Int(0)),
+                ("r", Value::Real(-2.5)),
+                ("s", Value::str("red")),
+                ("lb", Value::Null),
+            ]),
+        ])
+    }
+
+    /// The interpreter's extend of one column: `set_column` semantics.
+    fn oracle_extend(b: &Batch, name: &str, e: &E) -> Batch {
+        let col = crate::vector::eval_scalar_batch(e, b).expect("oracle eval");
+        let col = if col.has_absent() {
+            Arc::new(col.absent_as_null())
+        } else {
+            col
+        };
+        b.with_column(name, col)
+    }
+
+    fn assert_batches_eq(got: &Batch, want: &Batch, context: &str) {
+        assert_eq!(
+            format!("{got:?}"),
+            format!("{want:?}"),
+            "batch mismatch: {context}"
+        );
+    }
+
+    fn expr_corpus() -> Vec<E> {
+        vec![
+            E::col("a"),
+            E::col("missing"),
+            E::constant(Value::Int(42)),
+            prim(PrimOp::Add, E::col("a"), E::col("b")),
+            prim(PrimOp::Mul, E::col("a"), E::constant(Value::Int(3))),
+            prim(PrimOp::Sub, E::col("r"), E::constant(Value::Real(0.5))),
+            prim(PrimOp::Add, E::col("a"), E::col("r")),
+            cmp(CmpOp::Lt, E::col("a"), E::col("b")),
+            cmp(CmpOp::Ge, E::col("a"), E::constant(Value::Int(0))),
+            cmp(CmpOp::Eq, E::col("s"), E::constant(Value::str("red"))),
+            cmp(CmpOp::Ne, E::constant(Value::str("blue")), E::col("s")),
+            E::And(
+                Box::new(cmp(CmpOp::Gt, E::col("a"), E::constant(Value::Int(0)))),
+                Box::new(cmp(CmpOp::Lt, E::col("b"), E::constant(Value::Int(20)))),
+            ),
+            E::Or(
+                Box::new(cmp(CmpOp::Lt, E::col("a"), E::constant(Value::Int(0)))),
+                Box::new(cmp(CmpOp::Eq, E::col("s"), E::constant(Value::str("red")))),
+            ),
+            E::Not(Box::new(cmp(
+                CmpOp::Eq,
+                E::col("a"),
+                E::constant(Value::Int(5)),
+            ))),
+            E::IsNull(Box::new(E::col("b"))),
+            E::IsNull(Box::new(E::col("missing"))),
+            E::Coalesce(Box::new(E::col("b")), Box::new(E::col("a"))),
+            E::Coalesce(
+                Box::new(E::col("missing")),
+                Box::new(E::constant(Value::Int(-1))),
+            ),
+            E::NewLabel {
+                site: 9,
+                captures: vec![
+                    ("x".into(), E::col("a")),
+                    ("y".into(), prim(PrimOp::Add, E::col("a"), E::col("b"))),
+                ],
+            },
+            E::LabelCapture {
+                label: Box::new(E::col("lb")),
+                index: 0,
+            },
+            // Guarded division: the zero `r` lane is short-circuited away.
+            E::And(
+                Box::new(cmp(CmpOp::Gt, E::col("r"), E::constant(Value::Real(0.5)))),
+                Box::new(cmp(
+                    CmpOp::Gt,
+                    prim(PrimOp::Div, E::col("b"), E::col("r")),
+                    E::constant(Value::Real(1.0)),
+                )),
+            ),
+        ]
+    }
+
+    #[test]
+    fn extend_agrees_with_interpreter_per_expression() {
+        let b = mixed_batch();
+        for (i, e) in expr_corpus().into_iter().enumerate() {
+            let prog = compile_ops(&[KernelOp::Extend(vec![("out".into(), e.clone())])]);
+            let got = prog
+                .run(&b)
+                .unwrap_or_else(|err| panic!("expr #{i} {e:?} failed under kernels: {err}"));
+            let want = oracle_extend(&b, "out", &e);
+            assert_batches_eq(&got, &want, &format!("expr #{i} {e:?}"));
+        }
+    }
+
+    #[test]
+    fn project_agrees_with_interpreter() {
+        let b = mixed_batch();
+        let cols = vec![
+            ("x".into(), prim(PrimOp::Add, E::col("a"), E::col("b"))),
+            ("y".into(), E::col("s")),
+            ("z".into(), E::constant(Value::str("k"))),
+        ];
+        let prog = compile_ops(&[KernelOp::Project(cols.clone())]);
+        let got = prog.run(&b).expect("kernel project");
+        // The interpreter's project: fresh unit batch, every expression
+        // evaluated against the input.
+        let mut want = Batch::unit(b.rows());
+        for (name, e) in &cols {
+            let col = crate::vector::eval_scalar_batch(e, &b).expect("oracle");
+            let col = if col.has_absent() {
+                Arc::new(col.absent_as_null())
+            } else {
+                col
+            };
+            want = want.with_column(name, col);
+        }
+        assert_batches_eq(&got, &want, "project");
+    }
+
+    #[test]
+    fn fused_select_extend_select_agrees_with_sequential_interpretation() {
+        let b = mixed_batch();
+        let pred1 = cmp(CmpOp::Ge, E::col("a"), E::constant(Value::Int(0)));
+        let ext = vec![
+            ("sum".into(), prim(PrimOp::Add, E::col("a"), E::col("b"))),
+            (
+                "isred".into(),
+                cmp(CmpOp::Eq, E::col("s"), E::constant(Value::str("red"))),
+            ),
+        ];
+        let pred2 = E::Or(
+            Box::new(E::col("isred")),
+            Box::new(cmp(CmpOp::Gt, E::col("sum"), E::constant(Value::Int(5)))),
+        );
+        let prog = compile_ops(&[
+            KernelOp::Select(pred1.clone()),
+            KernelOp::Extend(ext.clone()),
+            KernelOp::Select(pred2.clone()),
+        ]);
+        let got = prog.run(&b).expect("fused kernel");
+        // Oracle: one operator at a time through the interpreter.
+        let mask1 = crate::vector::eval_mask(&pred1, &b).expect("mask1");
+        let mut want = b.filter(&mask1);
+        for (name, e) in &ext {
+            want = oracle_extend(&want, name, e);
+        }
+        let mask2 = crate::vector::eval_mask(&pred2, &want).expect("mask2");
+        let want = want.filter(&mask2);
+        assert_batches_eq(&got, &want, "select+extend+select");
+    }
+
+    #[test]
+    fn filter_after_project_compacts_output_registers() {
+        let b = mixed_batch();
+        let proj = vec![
+            ("x".into(), E::col("a")),
+            (
+                "m".into(),
+                prim(PrimOp::Mul, E::col("a"), E::constant(Value::Int(2))),
+            ),
+        ];
+        let pred = cmp(CmpOp::Gt, E::col("x"), E::constant(Value::Int(0)));
+        let prog = compile_ops(&[
+            KernelOp::Project(proj.clone()),
+            KernelOp::Select(pred.clone()),
+        ]);
+        let got = prog.run(&b).expect("kernel");
+        let mut want = Batch::unit(b.rows());
+        for (name, e) in &proj {
+            let col = crate::vector::eval_scalar_batch(e, &b).expect("oracle");
+            let col = if col.has_absent() {
+                Arc::new(col.absent_as_null())
+            } else {
+                col
+            };
+            want = want.with_column(name, col);
+        }
+        let mask = crate::vector::eval_mask(&pred, &want).expect("mask");
+        let want = want.filter(&mask);
+        assert_batches_eq(&got, &want, "project+select");
+    }
+
+    #[test]
+    fn mask_agrees_with_eval_mask() {
+        let b = mixed_batch();
+        for (i, e) in expr_corpus().into_iter().enumerate() {
+            let prog = compile_mask(&e);
+            let got = prog.mask(&b);
+            let want = crate::vector::eval_mask(&e, &b);
+            match (got, want) {
+                (Ok(g), Ok(w)) => assert_eq!(g, w, "mask mismatch on expr #{i} {e:?}"),
+                (Err(_), Err(_)) => {}
+                (g, w) => panic!("mask outcome mismatch on expr #{i} {e:?}: {g:?} vs {w:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn common_subexpressions_are_interned() {
+        let shared = prim(PrimOp::Add, E::col("a"), E::col("b"));
+        let prog = compile_ops(&[KernelOp::Extend(vec![
+            ("x".into(), shared.clone()),
+            (
+                "y".into(),
+                prim(PrimOp::Mul, shared.clone(), E::constant(Value::Int(2))),
+            ),
+            ("z".into(), shared.clone()),
+        ])]);
+        // load a, load b, add, lit 2, mul — the shared sum compiles once and
+        // `z` introduces no instruction at all.
+        assert_eq!(prog.instr_count(), 5, "{}", prog.render());
+    }
+
+    #[test]
+    fn short_circuit_guards_division_errors() {
+        let b = Batch::from_rows(&[
+            Value::tuple([("d", Value::Int(0)), ("n", Value::Int(1))]),
+            Value::tuple([("d", Value::Int(2)), ("n", Value::Int(8))]),
+        ]);
+        let div = prim(PrimOp::Div, E::col("n"), E::col("d"));
+        // Top level: the zero divisor on row 0 must error...
+        let top = compile_ops(&[KernelOp::Extend(vec![("q".into(), div.clone())])]);
+        assert!(
+            top.run(&b).is_err(),
+            "unguarded division by zero must error"
+        );
+        // ...but guarded behind `d != 0` it is short-circuited away.
+        let guarded = E::And(
+            Box::new(cmp(CmpOp::Ne, E::col("d"), E::constant(Value::Int(0)))),
+            Box::new(cmp(CmpOp::Gt, div, E::constant(Value::Real(1.0)))),
+        );
+        let prog = compile_ops(&[KernelOp::Select(guarded.clone())]);
+        let got = prog.run(&b).expect("guarded division must not error");
+        let mask = crate::vector::eval_mask(&guarded, &b).expect("oracle mask");
+        assert_batches_eq(&got, &b.filter(&mask), "guarded division filter");
+    }
+
+    #[test]
+    fn dictionary_predicate_matches_row_comparison() {
+        let rows: Vec<Value> = (0..64)
+            .map(|i| {
+                if i % 7 == 0 {
+                    Value::tuple([("k", Value::Int(i))])
+                } else {
+                    Value::tuple([
+                        ("s", Value::str(["red", "green", "blue"][i as usize % 3])),
+                        ("k", Value::Int(i)),
+                    ])
+                }
+            })
+            .collect();
+        let b = Batch::from_rows(&rows);
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Ge] {
+            let e = cmp(op, E::col("s"), E::constant(Value::str("green")));
+            let prog = compile_mask(&e);
+            assert_eq!(
+                prog.mask(&b).expect("kernel mask"),
+                crate::vector::eval_mask(&e, &b).expect("oracle mask"),
+                "dict predicate {op:?}"
+            );
+            let flipped = cmp(op, E::constant(Value::str("green")), E::col("s"));
+            let prog = compile_mask(&flipped);
+            assert_eq!(
+                prog.mask(&b).expect("kernel mask"),
+                crate::vector::eval_mask(&flipped, &b).expect("oracle mask"),
+                "flipped dict predicate {op:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_registers_stay_constant_sized() {
+        // A constant column over a big batch must not materialize per lane
+        // until output time; the run still produces the splatted column.
+        let rows: Vec<Value> = (0..1000)
+            .map(|i| Value::tuple([("a", Value::Int(i))]))
+            .collect();
+        let b = Batch::from_rows(&rows);
+        let e = E::constant(Value::str("tag"));
+        let prog = compile_ops(&[KernelOp::Extend(vec![("t".into(), e.clone())])]);
+        let got = prog.run(&b).expect("kernel");
+        let want = oracle_extend(&b, "t", &e);
+        assert_batches_eq(&got, &want, "lazy const");
+    }
+
+    #[test]
+    fn render_lists_every_instruction() {
+        let prog = compile_ops(&[
+            KernelOp::Select(cmp(CmpOp::Gt, E::col("a"), E::constant(Value::Int(0)))),
+            KernelOp::Extend(vec![(
+                "x".into(),
+                prim(PrimOp::Add, E::col("a"), E::col("b")),
+            )]),
+        ]);
+        let text = prog.render();
+        assert!(text.contains("load a"), "{text}");
+        assert!(text.contains("filter"), "{text}");
+        assert!(text.lines().count() >= prog.instr_count(), "{text}");
+    }
+}

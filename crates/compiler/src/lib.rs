@@ -31,6 +31,7 @@
 
 pub mod columnar;
 pub mod exec;
+pub mod kernel;
 pub mod physical;
 pub mod pipeline;
 pub mod vector;
@@ -39,15 +40,16 @@ pub use columnar::{
     eval_plan_col, exact_schema_col, execute_program_col, execute_via_plans_col, infer_catalog_col,
     ingest_env,
 };
-pub use exec::{execute, ExecOptions};
+pub use exec::{compiled_exprs_default, execute, ExecOptions};
+pub use kernel::{compile_mask, compile_ops, Instr, KernelOp, KernelProgram};
 pub use physical::{
     eval_plan, exact_schema, execute_program, execute_via_plans, infer_catalog, infer_schema,
     CapturedPlans,
 };
 pub use pipeline::{
     collect_unshredded, explain_query, run_query, run_query_bounded, run_query_configured,
-    run_query_explained, run_query_legacy, run_query_repr, run_query_spill, run_shredded,
-    strategy_options, unshred_distributed, unshred_distributed_col, InputSet, QuerySpec,
-    RunOutcome, RunResult, ShreddedOutput, Strategy,
+    run_query_explained, run_query_expr, run_query_legacy, run_query_repr, run_query_spill,
+    run_shredded, strategy_options, unshred_distributed, unshred_distributed_col, InputSet,
+    QuerySpec, RunOutcome, RunResult, ShreddedOutput, Strategy,
 };
 pub use vector::{eval_mask, eval_scalar_batch};

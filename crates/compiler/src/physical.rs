@@ -20,6 +20,13 @@
 //!
 //! With optimization disabled the same interpreter reproduces the
 //! SparkSQL-like baseline: wide rows travel through every shuffle.
+//!
+//! Scalar expressions on this row-oriented route are always evaluated by
+//! the tree-walking interpreter ([`crate::vector`]): register-based kernel
+//! compilation ([`crate::kernel`]) is a columnar-route concern — its
+//! vectorized instructions operate on typed column buffers, which row
+//! batches do not have — so [`crate::exec::ExecOptions::compiled_exprs`]
+//! has no effect here.
 
 use std::collections::HashMap;
 

@@ -290,6 +290,7 @@ pub fn strategy_options(strategy: Strategy, legacy_fused: bool) -> ExecOptions {
         spill: true,
         pipelined: true,
         faults: true,
+        compiled_exprs: crate::exec::compiled_exprs_default(),
     }
 }
 
@@ -297,7 +298,7 @@ pub fn strategy_options(strategy: Strategy, legacy_fused: bool) -> ExecOptions {
 /// route (NRC → Plan → optimize → columnar physical execution).
 pub fn run_query(spec: &QuerySpec, inputs: &InputSet, strategy: Strategy) -> RunOutcome {
     run_query_impl(
-        spec, inputs, strategy, false, true, true, true, true, None, None,
+        spec, inputs, strategy, false, true, true, true, true, true, None, None,
     )
 }
 
@@ -317,7 +318,7 @@ pub fn run_query_bounded(
     deadline: Option<Duration>,
 ) -> RunOutcome {
     run_query_impl(
-        spec, inputs, strategy, false, true, true, true, faults, deadline, None,
+        spec, inputs, strategy, false, true, true, true, faults, true, deadline, None,
     )
 }
 
@@ -333,7 +334,7 @@ pub fn run_query_spill(
     spill: bool,
 ) -> RunOutcome {
     run_query_impl(
-        spec, inputs, strategy, false, true, spill, true, true, None, None,
+        spec, inputs, strategy, false, true, spill, true, true, true, None, None,
     )
 }
 
@@ -341,7 +342,7 @@ pub fn run_query_spill(
 /// differential-testing oracle the plan route must agree with.
 pub fn run_query_legacy(spec: &QuerySpec, inputs: &InputSet, strategy: Strategy) -> RunOutcome {
     run_query_impl(
-        spec, inputs, strategy, true, true, true, true, true, None, None,
+        spec, inputs, strategy, true, true, true, true, true, true, None, None,
     )
 }
 
@@ -356,7 +357,7 @@ pub fn run_query_repr(
     columnar: bool,
 ) -> RunOutcome {
     run_query_impl(
-        spec, inputs, strategy, false, columnar, true, true, true, None, None,
+        spec, inputs, strategy, false, columnar, true, true, true, true, None, None,
     )
 }
 
@@ -374,7 +375,26 @@ pub fn run_query_configured(
     pipelined: bool,
 ) -> RunOutcome {
     run_query_impl(
-        spec, inputs, strategy, false, columnar, true, pipelined, true, None, None,
+        spec, inputs, strategy, false, columnar, true, pipelined, true, true, None, None,
+    )
+}
+
+/// Runs `spec` under `strategy` with the **expression engine** spelled out:
+/// `compiled = true` evaluates row-local operator chains through compiled
+/// register kernels ([`crate::kernel`]), `compiled = false` forces the tree
+/// interpreter ([`crate::vector::eval_scalar_batch`]) — the differential
+/// oracle the expr_agree suite compares against. Both sides run the same
+/// plans on the same shuffles, so their logical *and* physical byte
+/// accounting must agree exactly.
+pub fn run_query_expr(
+    spec: &QuerySpec,
+    inputs: &InputSet,
+    strategy: Strategy,
+    columnar: bool,
+    compiled: bool,
+) -> RunOutcome {
+    run_query_impl(
+        spec, inputs, strategy, false, columnar, true, true, true, compiled, None, None,
     )
 }
 
@@ -393,6 +413,7 @@ pub fn run_query_explained(
         inputs,
         strategy,
         false,
+        true,
         true,
         true,
         true,
@@ -425,6 +446,25 @@ pub fn run_query_explained(
                 t.micros as f64 / 1000.0,
                 t.ops.join(" → "),
             );
+        }
+    }
+    if !outcome.stats.expr_programs.is_empty() {
+        let _ = writeln!(
+            out,
+            "-- expr kernels: {} instrs over {} compiles, {:.2} ms compile --",
+            outcome.stats.expr_kernel_instrs,
+            outcome.stats.expr_compiles(),
+            outcome.stats.expr_compile_ms(),
+        );
+        for (label, p) in &outcome.stats.expr_programs {
+            let _ = writeln!(
+                out,
+                "   {label}: {} compiles, {} instrs, {} µs",
+                p.compiles, p.instrs, p.micros
+            );
+            for line in p.text.lines() {
+                let _ = writeln!(out, "      {line}");
+            }
         }
     }
     if outcome.stats.spilled_bytes > 0 {
@@ -479,6 +519,7 @@ fn run_query_impl(
     spill: bool,
     pipelined: bool,
     faults: bool,
+    compiled_exprs: bool,
     deadline: Option<Duration>,
     capture: Option<&mut CapturedPlans>,
 ) -> RunOutcome {
@@ -499,6 +540,7 @@ fn run_query_impl(
         spill,
         pipelined,
         faults,
+        compiled_exprs,
         capture,
     ) {
         Ok(r) => r,
@@ -545,6 +587,7 @@ fn dispatch(
     spill: bool,
     pipelined: bool,
     faults: bool,
+    compiled_exprs: bool,
     capture: Option<&mut CapturedPlans>,
 ) -> trance_dist::Result<RunResult> {
     let ctx = inputs.context();
@@ -553,6 +596,9 @@ fn dispatch(
     options.spill = spill;
     options.pipelined = pipelined;
     options.faults = faults;
+    // The caller's switch composes with the session default: an explicit
+    // `TRANCE_EXPR=interp` escape hatch wins over a `true` here.
+    options.compiled_exprs = compiled_exprs && options.compiled_exprs;
     // `ExecOptions::spill` only bites on clusters built with
     // `ClusterConfig::with_spill` and a memory cap; everywhere else the
     // session toggle is a no-op and capped runs FAIL as in the paper.

@@ -23,9 +23,9 @@ pub fn eval_scalar_batch(expr: &ScalarExpr, batch: &Batch) -> Result<Arc<Column>
     Ok(match expr {
         ScalarExpr::Col(name) => match batch.column_arc(name) {
             Some(col) => col,
-            None => Arc::new(Column::from_values(vec![Value::Null; n])),
+            None => Arc::new(Column::null_column(n)),
         },
-        ScalarExpr::Const(v) => Arc::new(Column::from_values(vec![v.clone(); n])),
+        ScalarExpr::Const(v) => Arc::new(Column::from_const(v, n)),
         ScalarExpr::Prim { op, left, right } => {
             let l = eval_scalar_batch(left, batch)?;
             let r = eval_scalar_batch(right, batch)?;
@@ -43,10 +43,15 @@ pub fn eval_scalar_batch(expr: &ScalarExpr, batch: &Batch) -> Result<Arc<Column>
         // type-guarded operand — that the row route never hits.
         ScalarExpr::And(a, b) => {
             let a = eval_scalar_batch(a, batch)?;
-            let mut out = Vec::with_capacity(n);
-            for i in 0..n {
-                out.push(bool_at_arc(&a, i)?);
-            }
+            let mut out = if let Some(x) = a.dense_bools() {
+                x.to_vec()
+            } else {
+                let mut v = Vec::with_capacity(n);
+                for i in 0..n {
+                    v.push(bool_at_arc(&a, i)?);
+                }
+                v
+            };
             let need: Vec<usize> = out
                 .iter()
                 .enumerate()
@@ -57,10 +62,15 @@ pub fn eval_scalar_batch(expr: &ScalarExpr, batch: &Batch) -> Result<Arc<Column>
         }
         ScalarExpr::Or(a, b) => {
             let a = eval_scalar_batch(a, batch)?;
-            let mut out = Vec::with_capacity(n);
-            for i in 0..n {
-                out.push(bool_at_arc(&a, i)?);
-            }
+            let mut out = if let Some(x) = a.dense_bools() {
+                x.to_vec()
+            } else {
+                let mut v = Vec::with_capacity(n);
+                for i in 0..n {
+                    v.push(bool_at_arc(&a, i)?);
+                }
+                v
+            };
             let need: Vec<usize> = out
                 .iter()
                 .enumerate()

@@ -184,8 +184,13 @@ pub fn assert_bags_approx_eq(expected: &Bag, produced: &Bag, context: &str) {
     }
 }
 
-/// Random flat relation `R(a, b, c)` (ints and reals, with duplicate keys so
-/// joins and groupings hit multiplicities).
+/// The small string vocabulary of [`random_flat`]'s `s` field — few distinct
+/// values over many rows, so dictionary-encoded predicates have codes to
+/// reuse.
+pub const STR_VOCAB: [&str; 5] = ["red", "green", "blue", "amber", "teal"];
+
+/// Random flat relation `R(a, b, c, s)` (ints, reals and low-cardinality
+/// strings, with duplicate keys so joins and groupings hit multiplicities).
 pub fn random_flat(rng: &mut StdRng, rows: usize, key_space: i64) -> Value {
     Value::bag(
         (0..rows)
@@ -194,6 +199,10 @@ pub fn random_flat(rng: &mut StdRng, rows: usize, key_space: i64) -> Value {
                     ("a", Value::Int(rng.gen_range(0..key_space))),
                     ("b", Value::Int(rng.gen_range(-5..50))),
                     ("c", Value::Real(rng.gen_range(0.0..10.0))),
+                    (
+                        "s",
+                        Value::str(STR_VOCAB[rng.gen_range(0..STR_VOCAB.len())]),
+                    ),
                 ])
             })
             .collect(),
@@ -220,6 +229,44 @@ pub fn random_nested(rng: &mut StdRng, rows: usize, key_space: i64) -> Value {
                     ("name", Value::str(format!("n{i}"))),
                     ("items", Value::bag(items)),
                 ])
+            })
+            .collect(),
+    )
+}
+
+/// Random flat relation `RN(a, b, c, s, m)` with **awkward operands**: `b`
+/// is sometimes NULL, `s` is sometimes absent (the tuple lacks the
+/// attribute), and `m` mixes integer and real lanes so its column falls off
+/// every dense fast path. Used by the expression-differential suite, whose
+/// oracle is the *interpreted plan route* — not the sequential reference,
+/// whose comparison semantics on NULL differ by design.
+pub fn random_flat_nullable(rng: &mut StdRng, rows: usize, key_space: i64) -> Value {
+    Value::bag(
+        (0..rows)
+            .map(|_| {
+                let b = if rng.gen_bool(0.15) {
+                    Value::Null
+                } else {
+                    Value::Int(rng.gen_range(-5..50))
+                };
+                let m = if rng.gen_bool(0.5) {
+                    Value::Int(rng.gen_range(-3..30))
+                } else {
+                    Value::Real(rng.gen_range(-3.0..30.0))
+                };
+                let mut fields = vec![
+                    ("a", Value::Int(rng.gen_range(0..key_space))),
+                    ("b", b),
+                    ("c", Value::Real(rng.gen_range(0.5..10.0))),
+                    ("m", m),
+                ];
+                if !rng.gen_bool(0.2) {
+                    fields.push((
+                        "s",
+                        Value::str(STR_VOCAB[rng.gen_range(0..STR_VOCAB.len())]),
+                    ));
+                }
+                Value::tuple(fields)
             })
             .collect(),
     )
@@ -369,6 +416,161 @@ pub fn random_query(rng: &mut StdRng) -> Expr {
                     singleton(tuple([("u", proj(var("x"), "b"))])),
                 ),
             )),
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expression-heavy generator (the expr_agree differential corpus)
+// ---------------------------------------------------------------------------
+
+/// A random numeric scalar over `x`'s awkward fields (`a`, `b`-nullable,
+/// `c`, `m`-mixed) — recursive add/sub/mul nests plus constants, never
+/// division (the generator must not manufacture runtime errors).
+pub fn random_deep_scalar(rng: &mut StdRng, var_name: &str, depth: usize) -> Expr {
+    if depth == 0 {
+        return match rng.gen_range(0..6u32) {
+            0 => proj(var(var_name), "a"),
+            1 => proj(var(var_name), "b"),
+            2 => proj(var(var_name), "c"),
+            3 => proj(var(var_name), "m"),
+            4 => int(rng.gen_range(-4..10)),
+            _ => real(rng.gen_range(0.5..3.0)),
+        };
+    }
+    let l = random_deep_scalar(rng, var_name, depth - 1);
+    let r = random_deep_scalar(rng, var_name, depth - 1);
+    match rng.gen_range(0..3u32) {
+        0 => add(l, r),
+        1 => sub(l, r),
+        _ => mul(l, r),
+    }
+}
+
+/// A random deep predicate over `x`: And/Or/Not nests whose leaves compare
+/// arithmetic nests, nullable and mixed-kind fields, and the sometimes-absent
+/// string field `s` against vocabulary constants.
+pub fn random_deep_predicate(rng: &mut StdRng, var_name: &str, depth: usize) -> Expr {
+    if depth == 0 {
+        return match rng.gen_range(0..5u32) {
+            0 => cmp_lt(
+                random_deep_scalar(rng, var_name, 1),
+                random_deep_scalar(rng, var_name, 1),
+            ),
+            1 => cmp_ge(proj(var(var_name), "b"), int(rng.gen_range(0..20))),
+            2 => cmp_eq(
+                proj(var(var_name), "s"),
+                string(STR_VOCAB[rng.gen_range(0..STR_VOCAB.len())]),
+            ),
+            3 => cmp_ne(
+                proj(var(var_name), "s"),
+                string(STR_VOCAB[rng.gen_range(0..STR_VOCAB.len())]),
+            ),
+            _ => cmp_gt(proj(var(var_name), "m"), real(rng.gen_range(0.0..20.0))),
+        };
+    }
+    let l = random_deep_predicate(rng, var_name, depth - 1);
+    match rng.gen_range(0..3u32) {
+        0 => and(l, random_deep_predicate(rng, var_name, depth - 1)),
+        1 => or(l, random_deep_predicate(rng, var_name, depth - 1)),
+        _ => not(l),
+    }
+}
+
+/// One random **expression-heavy** NRC query over `RN` (awkward flat input:
+/// NULL `b` lanes, absent `s` lanes, mixed-kind `m`), `S` (clean flat) and
+/// `N` (nested). The shapes stack deep scalar/predicate nests onto
+/// select/extend/project chains so the compiled kernel route and the
+/// interpreted route disagree loudly on any semantic drift.
+pub fn random_expr_query(rng: &mut StdRng) -> Expr {
+    match rng.gen_range(0..4u32) {
+        // Deep filter + computed projection off the awkward relation.
+        0 => forin(
+            "x",
+            var("RN"),
+            ifthen(
+                random_deep_predicate(rng, "x", 2),
+                singleton(tuple([
+                    ("u", random_deep_scalar(rng, "x", 2)),
+                    ("v", random_deep_scalar(rng, "x", 1)),
+                    ("is_red", cmp_eq(proj(var("x"), "s"), string(STR_VOCAB[0]))),
+                ])),
+            ),
+        ),
+        // Join with a deep residual predicate on both sides.
+        1 => forin(
+            "x",
+            var("RN"),
+            forin(
+                "y",
+                var("S"),
+                ifthen(
+                    and(
+                        cmp_eq(proj(var("x"), "a"), proj(var("y"), "a")),
+                        and(
+                            random_deep_predicate(rng, "x", 1),
+                            random_deep_predicate(rng, "y", 1),
+                        ),
+                    ),
+                    singleton(tuple([
+                        ("u", random_deep_scalar(rng, "x", 2)),
+                        ("w", proj(var("y"), "c")),
+                        ("tag", proj(var("y"), "s")),
+                    ])),
+                ),
+            ),
+        ),
+        // Nested output with deep inner predicates: the lowered plans carry
+        // label-building extends between the selects.
+        2 => forin(
+            "n",
+            var("N"),
+            singleton(tuple([
+                ("name", proj(var("n"), "name")),
+                (
+                    "picks",
+                    forin(
+                        "i",
+                        proj(var("n"), "items"),
+                        forin(
+                            "y",
+                            var("S"),
+                            ifthen(
+                                and(
+                                    cmp_eq(proj(var("i"), "ik"), proj(var("y"), "a")),
+                                    random_deep_predicate(rng, "y", 1),
+                                ),
+                                singleton(tuple([
+                                    ("ik", proj(var("i"), "ik")),
+                                    (
+                                        "score",
+                                        mul(proj(var("i"), "iv"), random_deep_scalar(rng, "y", 1)),
+                                    ),
+                                ])),
+                            ),
+                        ),
+                    ),
+                ),
+            ])),
+        ),
+        // Union of two deep-filtered branches over the same scan.
+        _ => union(
+            forin(
+                "x",
+                var("RN"),
+                ifthen(
+                    random_deep_predicate(rng, "x", 2),
+                    singleton(tuple([("u", random_deep_scalar(rng, "x", 1))])),
+                ),
+            ),
+            forin(
+                "x",
+                var("RN"),
+                ifthen(
+                    random_deep_predicate(rng, "x", 2),
+                    singleton(tuple([("u", random_deep_scalar(rng, "x", 1))])),
+                ),
+            ),
         ),
     }
 }

@@ -210,6 +210,28 @@ fn pipelined_runs_report_morsels_and_truthful_op_attribution() {
             "fused pipelines must not lump time into the staged `{fused_member}` bucket"
         );
     }
+    // Expression kernels are compiled once per pipeline execution — at plan
+    // time, before the first morsel — never once per morsel: across many
+    // morsels the compile count stays bounded by the pipeline run count.
+    if std::env::var("TRANCE_EXPR").as_deref() != Ok("interp") {
+        let pipeline_runs: u64 = pipelined
+            .stats
+            .pipeline_timings
+            .values()
+            .map(|t| t.calls)
+            .sum();
+        let compiles = pipelined.stats.expr_compiles();
+        assert!(
+            compiles > 0,
+            "a pipelined compiled run over expression chains must compile kernels"
+        );
+        assert!(
+            compiles <= pipeline_runs * 4,
+            "kernel compiles ({compiles}) must be bounded by pipeline executions \
+             ({pipeline_runs}), not morsel count ({})",
+            pipelined.stats.total_morsels()
+        );
+    }
 
     let staged = run_query_configured(&spec, &inputs, Strategy::Standard, true, false);
     assert!(!staged.result.is_failure());

@@ -571,6 +571,62 @@ impl Column {
         }
     }
 
+    /// A column holding `n` copies of one value, built by filling the typed
+    /// buffer directly — no per-row `Value` clones, no kind scan. Produces
+    /// exactly the layout [`Column::from_values`] would for the same rows
+    /// (one-entry string dictionaries included), so the constant fast path
+    /// is byte-identical to the general one.
+    pub fn from_const(v: &Value, n: usize) -> Column {
+        match v {
+            Value::Int(x) => Column::Int {
+                data: vec![*x; n],
+                nulls: Bitmap::zeros(n),
+                absent: Bitmap::zeros(n),
+            },
+            Value::Real(x) => Column::Real {
+                data: vec![*x; n],
+                nulls: Bitmap::zeros(n),
+                absent: Bitmap::zeros(n),
+            },
+            Value::Bool(x) => Column::Bool {
+                data: vec![*x; n],
+                nulls: Bitmap::zeros(n),
+                absent: Bitmap::zeros(n),
+            },
+            Value::Date(x) => Column::Date {
+                data: vec![*x; n],
+                nulls: Bitmap::zeros(n),
+                absent: Bitmap::zeros(n),
+            },
+            Value::Str(s) => {
+                let mut dict = StrDict::new();
+                if n > 0 {
+                    dict.push(s);
+                }
+                Column::Str {
+                    dict,
+                    codes: vec![0; n],
+                    nulls: Bitmap::zeros(n),
+                    absent: Bitmap::zeros(n),
+                }
+            }
+            // NULL, bags, labels and tuples keep the `from_values` fallback
+            // layouts (an all-NULL column is `Other` there too).
+            other => Column::from_values(vec![other.clone(); n]),
+        }
+    }
+
+    /// An all-NULL column of `n` rows — what a column reference absent from
+    /// the whole batch evaluates to. Same layout as
+    /// `from_values(vec![Value::Null; n])` (the `Other` fallback), without
+    /// the per-row build dispatch.
+    pub fn null_column(n: usize) -> Column {
+        Column::Other {
+            values: vec![Value::Null; n],
+            absent: Bitmap::zeros(n),
+        }
+    }
+
     /// The `i64` buffer when this is a no-null, no-absent integer column
     /// (vectorized fast path).
     pub fn dense_ints(&self) -> Option<&[i64]> {

@@ -82,7 +82,7 @@ pub use join::{JoinHint, JoinKind, JoinSpec};
 pub use ops::DistCollection;
 pub use scheduler::{MorselCtx, WorkerPool};
 pub use skew::{detect_heavy_keys, SkewTriple};
-pub use stats::{JoinStrategy, OpTiming, PipelineTiming, Stats, StatsSnapshot};
+pub use stats::{ExprProgramStat, JoinStrategy, OpTiming, PipelineTiming, Stats, StatsSnapshot};
 
 /// Shape and limits of the simulated cluster.
 #[derive(Debug, Clone)]

@@ -54,6 +54,25 @@ pub struct PipelineTiming {
     pub ops: Vec<String>,
 }
 
+/// Aggregated compilations of one expression kernel program: how often the
+/// program was (re)compiled, how many SSA instructions it holds, the
+/// wall-clock compile time, and its rendered instruction listing — so
+/// `--explain` can show the compiled program per pipeline and regressions in
+/// compile overhead stay visible. A healthy run compiles once per pipeline
+/// execution, never per morsel.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExprProgramStat {
+    /// Number of compilations recorded under this label.
+    pub compiles: u64,
+    /// Total kernel instructions across those compilations.
+    pub instrs: u64,
+    /// Total wall-clock microseconds spent compiling.
+    pub micros: u64,
+    /// The rendered instruction listing (first compilation wins; later
+    /// programs under the same label are counted but not re-rendered).
+    pub text: String,
+}
+
 /// Shared, thread-safe metric accumulators of one [`crate::DistContext`].
 #[derive(Default)]
 pub struct Stats {
@@ -75,8 +94,11 @@ pub struct Stats {
     retries: AtomicU64,
     recovered_partitions: AtomicU64,
     cancelled: AtomicU64,
+    expr_compile_micros: AtomicU64,
+    expr_kernel_instrs: AtomicU64,
     timings: Mutex<BTreeMap<String, OpTiming>>,
     pipelines: Mutex<BTreeMap<String, PipelineTiming>>,
+    expr_programs: Mutex<BTreeMap<String, ExprProgramStat>>,
 }
 
 impl Stats {
@@ -105,8 +127,11 @@ impl Stats {
         self.retries.store(0, Ordering::Relaxed);
         self.recovered_partitions.store(0, Ordering::Relaxed);
         self.cancelled.store(0, Ordering::Relaxed);
+        self.expr_compile_micros.store(0, Ordering::Relaxed);
+        self.expr_kernel_instrs.store(0, Ordering::Relaxed);
         self.timings.lock().unwrap().clear();
         self.pipelines.lock().unwrap().clear();
+        self.expr_programs.lock().unwrap().clear();
     }
 
     /// Meters rows moving through a shuffle (repartition-by-key).
@@ -216,6 +241,26 @@ impl Stats {
         entry.micros += micros;
     }
 
+    /// Records one compilation of an expression kernel program under `label`
+    /// (the fused pipeline's label, or the staged operator's name): `instrs`
+    /// SSA instructions compiled in `elapsed`, with `text` the rendered
+    /// instruction listing. Called once per pipeline compilation — the
+    /// scheduler tests assert the compile count never scales with morsels.
+    pub fn record_expr_compile(&self, label: &str, instrs: u64, elapsed: Duration, text: &str) {
+        let micros = elapsed.as_micros() as u64;
+        self.expr_compile_micros
+            .fetch_add(micros, Ordering::Relaxed);
+        self.expr_kernel_instrs.fetch_add(instrs, Ordering::Relaxed);
+        let mut programs = self.expr_programs.lock().unwrap();
+        let entry = programs.entry(label.to_string()).or_default();
+        entry.compiles += 1;
+        entry.instrs += instrs;
+        entry.micros += micros;
+        if entry.text.is_empty() {
+            entry.text = text.to_string();
+        }
+    }
+
     /// Copies the current counters into a plain value.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -237,8 +282,11 @@ impl Stats {
             retries: self.retries.load(Ordering::Relaxed),
             recovered_partitions: self.recovered_partitions.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
+            expr_compile_micros: self.expr_compile_micros.load(Ordering::Relaxed),
+            expr_kernel_instrs: self.expr_kernel_instrs.load(Ordering::Relaxed),
             op_timings: self.timings.lock().unwrap().clone(),
             pipeline_timings: self.pipelines.lock().unwrap().clone(),
+            expr_programs: self.expr_programs.lock().unwrap().clone(),
         }
     }
 }
@@ -294,6 +342,12 @@ pub struct StatsSnapshot {
     pub recovered_partitions: u64,
     /// 1 when the run was cancelled (explicitly or by deadline), else 0.
     pub cancelled: u64,
+    /// Wall-clock microseconds spent compiling expression kernel programs
+    /// (once per pipeline, never per morsel).
+    pub expr_compile_micros: u64,
+    /// Total SSA instructions across all compiled expression kernel
+    /// programs.
+    pub expr_kernel_instrs: u64,
     /// Per-operator call counts and wall-clock time. Fused pipelines appear
     /// here under their `pipeline[...]` label, never under a member
     /// operator's name.
@@ -301,6 +355,10 @@ pub struct StatsSnapshot {
     /// Per-pipeline executions: morsel counts, wall-clock time and the
     /// member operators each fused shape ran.
     pub pipeline_timings: BTreeMap<String, PipelineTiming>,
+    /// Per-pipeline compiled expression kernel programs: compile counts,
+    /// instruction counts and the rendered instruction listing (shown by
+    /// `--explain`).
+    pub expr_programs: BTreeMap<String, ExprProgramStat>,
 }
 
 impl StatsSnapshot {
@@ -323,6 +381,16 @@ impl StatsSnapshot {
     /// Spill I/O time in milliseconds.
     pub fn spill_ms(&self) -> f64 {
         self.spill_micros as f64 / 1000.0
+    }
+
+    /// Expression-kernel compile time in milliseconds.
+    pub fn expr_compile_ms(&self) -> f64 {
+        self.expr_compile_micros as f64 / 1000.0
+    }
+
+    /// Total expression-kernel compilations across all pipelines.
+    pub fn expr_compiles(&self) -> u64 {
+        self.expr_programs.values().map(|p| p.compiles).sum()
     }
 
     /// Total wall-clock milliseconds spent inside fused pipelines.
