@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fingerprint;
 pub mod lower;
 pub mod optimize;
 pub mod pipelines;
@@ -37,6 +38,7 @@ pub mod plan;
 pub mod scalar;
 pub mod schema;
 
+pub use fingerprint::{combine as combine_fingerprints, fingerprint, Fnv1a};
 pub use lower::{lower, LowerError, LowerResult, PlanAssignment, PlanProgram};
 pub use optimize::{optimize, optimize_default, OptimizerConfig};
 pub use pipelines::{

@@ -130,10 +130,17 @@ pub fn physical_fields(schema: &AttrSchema) -> Vec<PhysField> {
 
 /// Maps input (scan) names to their schemas and, when known, their
 /// materialized sizes (used for the optimizer's join strategy selection).
+///
+/// The catalog also carries a monotonically increasing **epoch**: every
+/// mutation (schema registration, size update, removal) bumps it. Long-lived
+/// holders — the serving layer's table registry — key their compiled-plan
+/// caches on the epoch, so *any* catalog change conservatively invalidates
+/// every plan optimized against the previous state.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Catalog {
     inputs: BTreeMap<String, AttrSchema>,
     sizes: BTreeMap<String, usize>,
+    epoch: u64,
 }
 
 impl Catalog {
@@ -142,16 +149,36 @@ impl Catalog {
         Catalog::default()
     }
 
-    /// Registers an input schema.
+    /// Registers an input schema (bumps the epoch).
     pub fn register(&mut self, name: impl Into<String>, schema: AttrSchema) -> &mut Self {
         self.inputs.insert(name.into(), schema);
+        self.epoch += 1;
         self
     }
 
-    /// Records the materialized size in bytes of an input.
+    /// Records the materialized size in bytes of an input (bumps the epoch).
     pub fn set_size(&mut self, name: impl Into<String>, bytes: usize) -> &mut Self {
         self.sizes.insert(name.into(), bytes);
+        self.epoch += 1;
         self
+    }
+
+    /// Removes an input and its recorded size (bumps the epoch when the
+    /// input existed).
+    pub fn remove(&mut self, name: &str) -> &mut Self {
+        let had = self.inputs.remove(name).is_some() | self.sizes.remove(name).is_some();
+        if had {
+            self.epoch += 1;
+        }
+        self
+    }
+
+    /// The catalog's mutation epoch: strictly increases with every
+    /// registration, size update or removal. Two equal epochs from the same
+    /// catalog instance imply no mutation happened in between — the
+    /// invariant compiled-plan caches key on.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The recorded size in bytes of an input, when known.

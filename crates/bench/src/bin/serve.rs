@@ -1,0 +1,76 @@
+//! The standalone multi-client serving driver: builds a resident engine
+//! over the TPC-H tables, drives the mixed query set closed-loop from N
+//! client threads, then runs the cold-vs-warm compiled-plan-cache A/B pair
+//! on the Wide STANDARD cell. Knobs: `--clients N` (default 4),
+//! `--iterations M` passes over the query set per client (default 3),
+//! `--samples K` A/B samples per side (default 5), `--scale S` TPC-H scale
+//! (default 0.1), `--depth D` nesting depth (default 2).
+
+use trance_bench::{
+    cli_arg, run_closed_loop, run_cold_warm_pair, serve_engine, serve_query_set,
+    wide_standard_case, ServeRow,
+};
+use trance_tpch::{QueryVariant, TpchConfig};
+
+fn print_row(row: &ServeRow) {
+    println!(
+        "{:<22} {:>3} clients {:>5} queries ({:>3} busy): {:>7.1} qps, \
+         p50 {:>7.1} ms, p95 {:>7.1} ms, p99 {:>7.1} ms, \
+         cache hit {:>5.1}%, compile {:>6.2} ms/q, {} plans",
+        row.label,
+        row.clients,
+        row.queries,
+        row.rejected,
+        row.qps,
+        row.p50_ms,
+        row.p95_ms,
+        row.p99_ms,
+        row.cache_hit_rate * 100.0,
+        row.compile_ms,
+        row.plans_compiled,
+    );
+}
+
+fn main() {
+    let clients: usize = cli_arg("--clients", "4").parse().expect("--clients N");
+    let iterations: usize = cli_arg("--iterations", "3")
+        .parse()
+        .expect("--iterations M");
+    let samples: usize = cli_arg("--samples", "5").parse().expect("--samples K");
+    let scale: f64 = cli_arg("--scale", "0.1").parse().expect("--scale S");
+    let depth: usize = cli_arg("--depth", "2").parse().expect("--depth D");
+
+    let cfg = TpchConfig::new(scale, 0);
+    println!(
+        "serving benchmark: scale {scale}, depth {depth}, {clients} clients x \
+         {iterations} iterations over the mixed set, {samples} A/B samples\n"
+    );
+    let engine = serve_engine(&cfg, depth, QueryVariant::Wide, clients);
+    let cases = serve_query_set(depth, QueryVariant::Wide);
+
+    let mixed = run_closed_loop(&engine, &cases, clients, iterations, "mixed");
+    print_row(&mixed);
+
+    let (spec, strategy) = wide_standard_case(depth);
+    let (cold, warm) = run_cold_warm_pair(&engine, &spec, strategy, samples, "wide-standard");
+    print_row(&cold);
+    print_row(&warm);
+
+    let stats = engine.stats();
+    println!(
+        "\nengine: {} admitted, {} rejected, plan cache {} hits / {} misses \
+         ({} evicted, {} resident), kernel cache {} hits / {} misses",
+        stats.admitted,
+        stats.rejected,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_evictions,
+        stats.cache_len,
+        stats.kernel_hits,
+        stats.kernel_misses,
+    );
+    assert!(
+        warm.compile_ms == 0.0 && warm.plans_compiled == 0,
+        "warm cache hits must book zero compile work"
+    );
+}

@@ -19,7 +19,9 @@
 use std::fmt::Write as _;
 
 use trance_bench::{
-    cli_flag, run_capped_cells, run_tpch_query_exec, run_tpch_query_expr, BenchRow, Family,
+    best_of, cli_flag, run_capped_cells, run_closed_loop, run_cold_warm_pair, run_tpch_query_exec,
+    run_tpch_query_expr, serve_engine, serve_query_set, wide_standard_case, BenchRow, Family,
+    ServeRow,
 };
 use trance_compiler::Strategy;
 use trance_tpch::{QueryVariant, TpchConfig};
@@ -79,7 +81,11 @@ fn ambient_expr() -> &'static str {
 
 /// Renders the collected cells as a JSON document (the workspace builds
 /// offline, so the document is assembled by hand instead of via serde).
-fn render_json(cells: &[JsonCell]) -> String {
+/// The serving rows live under their own top-level `serve` key: they
+/// measure a different object (sustained multi-client throughput against
+/// the resident engine) and carry a different schema than the per-run
+/// `rows`.
+fn render_json(cells: &[JsonCell], serve: &[ServeRow]) -> String {
     fn escape(s: &str) -> String {
         s.replace('\\', "\\\\").replace('"', "\\\"")
     }
@@ -158,6 +164,28 @@ fn render_json(cells: &[JsonCell]) -> String {
             s.cancelled,
             op_ms,
             if i + 1 < cells.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  ],\n  \"serve\": [\n");
+    for (i, row) in serve.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"label\": \"{}\", \"clients\": {}, \"queries\": {}, \
+             \"rejected\": {}, \"qps\": {:.3}, \"p50_ms\": {:.3}, \
+             \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"cache_hit_rate\": {:.4}, \
+             \"compile_ms\": {:.3}, \"plans_compiled\": {}}}{}",
+            escape(&row.label),
+            row.clients,
+            row.queries,
+            row.rejected,
+            row.qps,
+            row.p50_ms,
+            row.p95_ms,
+            row.p99_ms,
+            row.cache_hit_rate,
+            row.compile_ms,
+            row.plans_compiled,
+            if i + 1 < serve.len() { "," } else { "" },
         );
     }
     out.push_str("  ]\n}\n");
@@ -249,35 +277,28 @@ fn main() {
     // fewer *physical* bytes; the pipelined executor must beat the staged
     // wall clock at identical logical shuffle volume (fusion moves no extra
     // byte — it only removes barriers and intermediate materializations).
-    // Each cell reports the best of three runs: single-shot walls on a
-    // shared CI machine are noisy enough to invert a 10-20% margin, and the
-    // byte/morsel counters are identical across repetitions anyway.
+    // Each cell reports the best of three runs (`best_of`, keyed on wall
+    // clock — the metric this pair compares).
     let mut exec_walls: Vec<(String, Option<std::time::Duration>)> = Vec::new();
     for (label, columnar) in [("columnar", true), ("row", false)] {
         for (exec, pipelined) in [("pipelined", true), ("staged", false)] {
-            let mut best: Option<BenchRow> = None;
-            for _ in 0..3 {
-                let mut rows = run_tpch_query_exec(
-                    &cfg,
-                    Family::NestedToNested,
-                    2,
-                    QueryVariant::Wide,
-                    &[Strategy::Standard],
-                    0.0,
-                    columnar,
-                    pipelined,
-                );
-                let row = rows.remove(0);
-                let faster = match (&best, &row.elapsed) {
-                    (None, _) => true,
-                    (Some(b), Some(e)) => b.elapsed.map(|be| *e < be).unwrap_or(true),
-                    _ => false,
-                };
-                if faster {
-                    best = Some(row);
-                }
-            }
-            let row = best.expect("three runs produce a best row");
+            let row = best_of(
+                3,
+                || {
+                    run_tpch_query_exec(
+                        &cfg,
+                        Family::NestedToNested,
+                        2,
+                        QueryVariant::Wide,
+                        &[Strategy::Standard],
+                        0.0,
+                        columnar,
+                        pipelined,
+                    )
+                    .remove(0)
+                },
+                |r| r.elapsed.map(|d| d.as_secs_f64()),
+            );
             println!(
                 "representation {label:>8} ({exec:>9}): STANDARD wide wall {} ms, \
                  {} physical bytes ({} logical), {} morsels, {} steals",
@@ -316,32 +337,27 @@ fn main() {
     // shuffles — the expr_agree suite proves byte-identical results — so the
     // pair isolates pure expression-evaluation time; the compiled side's
     // fused pipeline time must not regress past the interpreter's. Best of
-    // three per side, selected on pipeline time (the metric the pair
-    // compares; wall clock includes input loading noise).
+    // three per side (`best_of`), selected on pipeline time (the metric the
+    // pair compares; wall clock includes input loading noise).
     let mut expr_walls: Vec<(&str, Option<std::time::Duration>)> = Vec::new();
     for (expr_label, compiled) in [("compiled", true), ("interp", false)] {
-        let mut best: Option<BenchRow> = None;
-        for _ in 0..3 {
-            let mut rows = run_tpch_query_expr(
-                &cfg,
-                Family::NestedToNested,
-                2,
-                QueryVariant::Wide,
-                &[Strategy::Standard],
-                0.0,
-                true,
-                compiled,
-            );
-            let row = rows.remove(0);
-            let faster = match &best {
-                None => true,
-                Some(b) => row.stats.pipeline_ms() < b.stats.pipeline_ms(),
-            };
-            if faster {
-                best = Some(row);
-            }
-        }
-        let row = best.expect("three runs produce a best row");
+        let row = best_of(
+            3,
+            || {
+                run_tpch_query_expr(
+                    &cfg,
+                    Family::NestedToNested,
+                    2,
+                    QueryVariant::Wide,
+                    &[Strategy::Standard],
+                    0.0,
+                    true,
+                    compiled,
+                )
+                .remove(0)
+            },
+            |r| Some(r.stats.pipeline_ms()),
+        );
         println!(
             "expressions {expr_label:>9}: STANDARD wide wall {} ms, pipeline {:.1} ms, \
              {} kernel instrs over {} programs, {:.2} ms compile",
@@ -428,7 +444,39 @@ fn main() {
         });
     }
 
-    let json = render_json(&cells);
+    // Query-as-a-service: the resident engine serving the mixed query set
+    // closed-loop from four clients, then the cold-vs-warm compiled-plan-
+    // cache A/B pair on the Wide STANDARD cell (cold clears the plan and
+    // kernel caches before every sample; warm replays the cached plans and
+    // must book zero compile time). Scale 0.1 keeps the added wall time
+    // modest while leaving the per-query compile cost visible.
+    let serve_cfg = TpchConfig::new(0.1, 0);
+    let engine = serve_engine(&serve_cfg, 2, QueryVariant::Wide, 4);
+    let serve_cases = serve_query_set(2, QueryVariant::Wide);
+    let mixed = run_closed_loop(&engine, &serve_cases, 4, 2, "mixed-depth2-Wide-scale0.1");
+    println!(
+        "serving mixed set  4 clients: {:.1} qps, p50 {:.1} ms, p99 {:.1} ms, \
+         cache hit {:.0}%",
+        mixed.qps,
+        mixed.p50_ms,
+        mixed.p99_ms,
+        mixed.cache_hit_rate * 100.0,
+    );
+    let (ab_spec, ab_strategy) = wide_standard_case(2);
+    let (cold, warm) = run_cold_warm_pair(&engine, &ab_spec, ab_strategy, 7, "wide-standard");
+    println!(
+        "serving plan cache wide STANDARD: cold p50 {:.1} ms ({:.2} ms compile, \
+         {} plans), warm p50 {:.1} ms ({:.2} ms compile, {} plans)",
+        cold.p50_ms,
+        cold.compile_ms,
+        cold.plans_compiled,
+        warm.p50_ms,
+        warm.compile_ms,
+        warm.plans_compiled,
+    );
+    let serve_rows = vec![mixed, cold, warm];
+
+    let json = render_json(&cells, &serve_rows);
     match std::fs::write("BENCH_summary.json", &json) {
         Ok(()) => println!(
             "\nwrote {} benchmark rows to BENCH_summary.json",

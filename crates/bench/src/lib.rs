@@ -10,7 +10,10 @@
 //!   skew factors 0–4, with and without skew-aware operators (Figure 8);
 //! * `figure9` — the biomedical end-to-end pipeline, per step, small and full
 //!   datasets (Figure 9);
-//! * `summary` — the headline ratios quoted in the experiment summary.
+//! * `summary` — the headline ratios quoted in the experiment summary;
+//! * `serve` — the closed-loop multi-client serving benchmark over the
+//!   resident query-as-a-service engine: sustained QPS, latency percentiles
+//!   and the compiled-plan-cache cold-vs-warm A/B pair.
 //!
 //! Each binary prints a table with one line per configuration: runtime in
 //! milliseconds (or `FAIL` when the run exceeded the simulated per-worker
@@ -19,13 +22,18 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod serve;
 
 pub use harness::{
-    biomed_input_set, biomed_input_set_tuned, default_cluster, default_cluster_tuned,
+    best_of, biomed_input_set, biomed_input_set_tuned, default_cluster, default_cluster_tuned,
     explain_biomed_pipeline, materialize_nested_input, run_biomed_pipeline,
     run_biomed_pipeline_tuned, run_capped_cells, run_tpch_query, run_tpch_query_exec,
     run_tpch_query_expr, run_tpch_query_repr, run_tpch_query_tuned, tpch_input_set,
     tpch_input_set_tuned, BenchRow, CappedCell, ClusterTuning, Family, PipelineRow,
+};
+pub use serve::{
+    run_closed_loop, run_cold_warm_pair, serve_engine, serve_query_set, wide_standard_case,
+    ServeRow,
 };
 
 /// Returns the value following `name` on the command line, or `default`

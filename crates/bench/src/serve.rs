@@ -1,0 +1,326 @@
+//! Closed-loop **multi-client serving benchmark** over the resident
+//! [`Engine`]: N client threads each drive M iterations of a mixed TPC-H
+//! query set against one shared worker pool, measuring sustained QPS,
+//! client-observed latency percentiles (queue wait included — that is what
+//! a client sees) and the compiled-plan cache hit rate. A cold-vs-warm A/B
+//! pair on the Wide STANDARD cell isolates what the cache buys: the cold
+//! side clears the plan *and* kernel caches before every sample (full
+//! lowering, optimizer pass and kernel compilation each time), the warm
+//! side replays the cached plans verbatim and must book zero compile time.
+
+use std::time::Instant;
+
+use trance_compiler::{QuerySpec, Strategy};
+use trance_dist::ClusterConfig;
+use trance_server::{Engine, EngineConfig, QueryRequest};
+use trance_shred::ShreddedInputDecl;
+use trance_tpch::{
+    flat_to_nested, generate, nested_to_flat, nested_to_nested, nesting_structure_for_depth,
+    QueryVariant, TpchConfig,
+};
+
+use crate::harness::materialize_nested_input;
+
+/// One measured serving configuration, destined for the `serve` section of
+/// `BENCH_summary.json`.
+#[derive(Debug, Clone)]
+pub struct ServeRow {
+    /// Which configuration this row measures (e.g. `mixed`,
+    /// `wide-standard-cold`, `wide-standard-warm`).
+    pub label: String,
+    /// Concurrent client threads driving the closed loop (1 for A/B rows).
+    pub clients: usize,
+    /// Queries completed.
+    pub queries: u64,
+    /// `Busy` rejections observed (each retried until admitted).
+    pub rejected: u64,
+    /// Sustained throughput: completed queries per wall-clock second.
+    pub qps: f64,
+    /// Median client-observed latency (queue wait + execution).
+    pub p50_ms: f64,
+    /// 95th-percentile latency.
+    pub p95_ms: f64,
+    /// 99th-percentile latency.
+    pub p99_ms: f64,
+    /// Fraction of queries served from the compiled-plan cache.
+    pub cache_hit_rate: f64,
+    /// Mean kernel-compile milliseconds per query (0 on a pure warm run).
+    pub compile_ms: f64,
+    /// Optimized plans compiled across the run (0 on a pure warm run).
+    pub plans_compiled: u64,
+}
+
+/// Builds a serving engine over the TPC-H tables: every flat table plus the
+/// materialized nested input (the flat-to-nested output at `depth`),
+/// registered once and resident for every query the engine serves.
+pub fn serve_engine(
+    config: &TpchConfig,
+    depth: usize,
+    variant: QueryVariant,
+    clients: usize,
+) -> Engine {
+    // Same cluster shape as the figure runs (small broadcast limit so joins
+    // actually shuffle; `TRANCE_WORKERS` overrides the pool size), no memory
+    // cap: the serving benchmark measures throughput, not FAIL cells.
+    let cluster = ClusterConfig::new(4, 16)
+        .with_broadcast_limit(4 * 1024)
+        .with_env_workers();
+    let mut engine_config = EngineConfig::with_cluster(cluster);
+    engine_config.max_in_flight = 4;
+    engine_config.queue_capacity = (clients * 2).max(16);
+    let engine = Engine::new(engine_config);
+
+    let data = generate(config);
+    for (name, bag) in [
+        ("Lineitem", data.lineitem),
+        ("Orders", data.orders),
+        ("Customer", data.customer),
+        ("Nation", data.nation),
+        ("Region", data.region),
+        ("Part", data.part),
+    ] {
+        engine
+            .register_flat(name, bag)
+            .expect("register flat table");
+    }
+    let nested = materialize_nested_input(config, depth, variant);
+    if depth == 0 {
+        engine
+            .register_flat("Nested", nested)
+            .expect("register depth-0 input");
+    } else {
+        engine
+            .register_nested("Nested", nested)
+            .expect("register nested input");
+    }
+    engine
+}
+
+fn nested_decls(depth: usize) -> Vec<ShreddedInputDecl> {
+    if depth == 0 {
+        vec![]
+    } else {
+        vec![ShreddedInputDecl::new(
+            "Nested",
+            nesting_structure_for_depth(depth),
+        )]
+    }
+}
+
+/// The mixed query set of the closed loop: all three TPC-H families, each
+/// under a flattening and a shredded strategy — six distinct plan-cache
+/// entries exercising both the standard and the shredded serving routes.
+pub fn serve_query_set(depth: usize, variant: QueryVariant) -> Vec<(QuerySpec, Strategy)> {
+    vec![
+        (
+            QuerySpec::new("serve-f2n", flat_to_nested(depth, variant), vec![]),
+            Strategy::Standard,
+        ),
+        (
+            QuerySpec::new("serve-f2n", flat_to_nested(depth, variant), vec![]),
+            Strategy::Shred,
+        ),
+        (
+            QuerySpec::new(
+                "serve-n2n",
+                nested_to_nested(depth, variant),
+                nested_decls(depth),
+            ),
+            Strategy::Standard,
+        ),
+        (
+            QuerySpec::new(
+                "serve-n2n",
+                nested_to_nested(depth, variant),
+                nested_decls(depth),
+            ),
+            Strategy::Shred,
+        ),
+        (
+            QuerySpec::new(
+                "serve-n2f",
+                nested_to_flat(depth, variant),
+                nested_decls(depth),
+            ),
+            Strategy::Standard,
+        ),
+        (
+            QuerySpec::new(
+                "serve-n2f",
+                nested_to_flat(depth, variant),
+                nested_decls(depth),
+            ),
+            Strategy::ShredUnshred,
+        ),
+    ]
+}
+
+/// The Wide STANDARD cell the cold-vs-warm A/B pair runs: nested-to-nested
+/// under the STANDARD strategy — the cell every other A/B pair in
+/// `BENCH_summary.json` is anchored on.
+pub fn wide_standard_case(depth: usize) -> (QuerySpec, Strategy) {
+    (
+        QuerySpec::new(
+            "serve-n2n",
+            nested_to_nested(depth, QueryVariant::Wide),
+            nested_decls(depth),
+        ),
+        Strategy::Standard,
+    )
+}
+
+#[derive(Default)]
+struct Tally {
+    latencies_ms: Vec<f64>,
+    hits: u64,
+    rejected: u64,
+    compile_ms: f64,
+    plans_compiled: u64,
+}
+
+impl Tally {
+    fn record(&mut self, latency_ms: f64, resp: &trance_server::QueryResponse) {
+        self.latencies_ms.push(latency_ms);
+        if resp.cache_hit {
+            self.hits += 1;
+        }
+        self.compile_ms += resp.compile_ms;
+        self.plans_compiled += resp.plans_compiled as u64;
+    }
+
+    fn into_row(self, label: &str, clients: usize, wall_secs: f64) -> ServeRow {
+        let mut sorted = self.latencies_ms;
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let queries = sorted.len() as u64;
+        ServeRow {
+            label: label.to_string(),
+            clients,
+            queries,
+            rejected: self.rejected,
+            qps: queries as f64 / wall_secs.max(1e-9),
+            p50_ms: percentile(&sorted, 50.0),
+            p95_ms: percentile(&sorted, 95.0),
+            p99_ms: percentile(&sorted, 99.0),
+            cache_hit_rate: if queries == 0 {
+                0.0
+            } else {
+                self.hits as f64 / queries as f64
+            },
+            compile_ms: if queries == 0 {
+                0.0
+            } else {
+                self.compile_ms / queries as f64
+            },
+            plans_compiled: self.plans_compiled,
+        }
+    }
+
+    fn merge(mut tallies: Vec<Tally>) -> Tally {
+        let mut out = Tally::default();
+        for t in tallies.drain(..) {
+            out.latencies_ms.extend(t.latencies_ms);
+            out.hits += t.hits;
+            out.rejected += t.rejected;
+            out.compile_ms += t.compile_ms;
+            out.plans_compiled += t.plans_compiled;
+        }
+        out
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice (0 when empty).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The closed loop: `clients` threads each submit `iterations` passes over
+/// the mixed query set (start offsets rotated per client so the mix
+/// interleaves instead of marching in lockstep). `Busy` rejections are
+/// counted and retried — a closed-loop client backs off, it does not drop
+/// work — and every latency is client-observed: queue wait included.
+pub fn run_closed_loop(
+    engine: &Engine,
+    cases: &[(QuerySpec, Strategy)],
+    clients: usize,
+    iterations: usize,
+    label: &str,
+) -> ServeRow {
+    let t0 = Instant::now();
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut tally = Tally::default();
+                    for it in 0..iterations {
+                        for j in 0..cases.len() {
+                            let (spec, strategy) = &cases[(c + it + j) % cases.len()];
+                            let req =
+                                QueryRequest::new(format!("client-{c}"), spec.clone(), *strategy);
+                            let q0 = Instant::now();
+                            loop {
+                                match engine.submit(&req) {
+                                    Ok(resp) => {
+                                        tally.record(q0.elapsed().as_secs_f64() * 1000.0, &resp);
+                                        break;
+                                    }
+                                    Err(e) if e.is_busy() => {
+                                        tally.rejected += 1;
+                                        std::thread::yield_now();
+                                    }
+                                    Err(e) => panic!("serve bench query failed: {e}"),
+                                }
+                            }
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    Tally::merge(tallies).into_row(label, clients, t0.elapsed().as_secs_f64())
+}
+
+/// The cold-vs-warm compiled-plan-cache A/B pair on one cell, single
+/// client. Cold: the plan *and* kernel caches are cleared before every
+/// sample, so each one pays full lowering, the optimizer pass and kernel
+/// compilation. Warm: one unrecorded priming submission fills the cache,
+/// then every sample replays the captured plans — each must be a cache hit
+/// booking zero compile time.
+pub fn run_cold_warm_pair(
+    engine: &Engine,
+    spec: &QuerySpec,
+    strategy: Strategy,
+    samples: usize,
+    label: &str,
+) -> (ServeRow, ServeRow) {
+    let req = QueryRequest::new("ab-client", spec.clone(), strategy);
+    let sample_loop = |cold: bool| -> (Tally, f64) {
+        engine.clear_plan_cache();
+        if !cold {
+            engine.submit(&req).expect("warm priming run");
+        }
+        let mut tally = Tally::default();
+        let t0 = Instant::now();
+        for _ in 0..samples {
+            if cold {
+                engine.clear_plan_cache();
+            }
+            let q0 = Instant::now();
+            let resp = engine.submit(&req).expect("A/B sample");
+            debug_assert_eq!(resp.cache_hit, !cold, "A/B side hit the wrong cache state");
+            tally.record(q0.elapsed().as_secs_f64() * 1000.0, &resp);
+        }
+        (tally, t0.elapsed().as_secs_f64())
+    };
+    let (cold_tally, cold_wall) = sample_loop(true);
+    let (warm_tally, warm_wall) = sample_loop(false);
+    (
+        cold_tally.into_row(&format!("{label}-cold"), 1, cold_wall),
+        warm_tally.into_row(&format!("{label}-warm"), 1, warm_wall),
+    )
+}

@@ -31,7 +31,7 @@ use trance_dist::{
 use trance_nrc::{Expr, Value};
 
 use crate::exec::ExecOptions;
-use crate::kernel::{compile_mask, compile_ops, KernelOp};
+use crate::kernel::{compile_mask, compile_ops, KernelCache, KernelOp};
 use crate::physical::{optimizer_config, CapturedPlans};
 
 /// Converts the plan layer's physical fields into engine field hints.
@@ -251,20 +251,64 @@ struct CompiledColChain {
 }
 
 /// Compiles the accumulated run of expression operators into one register
-/// kernel step, recording the program for the engine stats.
+/// kernel step, recording the program for the engine stats. With a shared
+/// [`KernelCache`] threaded through the options, a structurally identical
+/// run reuses the `Arc`'d program compiled earlier and records *nothing* —
+/// a warm replay reports zero expression-compile time.
 fn flush_kernel(
     pending: &mut Vec<KernelOp>,
     steps: &mut Vec<ColStep>,
     kernels: &mut Vec<(u64, std::time::Duration, String)>,
+    cache: Option<&std::sync::Arc<KernelCache>>,
 ) {
     if pending.is_empty() {
         return;
     }
     let kops = std::mem::take(pending);
+    if let Some(cache) = cache {
+        let (prog, compiled) = cache.get_or_compile(&kops);
+        if let Some(dt) = compiled {
+            kernels.push((prog.instr_count() as u64, dt, prog.render()));
+        }
+        steps.push(Box::new(move |b, _| prog.run(b)));
+        return;
+    }
     let t0 = Instant::now();
     let prog = compile_ops(&kops);
     kernels.push((prog.instr_count() as u64, t0.elapsed(), prog.render()));
     steps.push(Box::new(move |b, _| prog.run(b)));
+}
+
+/// Compiles the single-op kernel of a staged `Project`/`Extend` arm, going
+/// through the shared [`KernelCache`] when one is threaded through the
+/// options. A hit reuses the `Arc`'d program and records no compile stats;
+/// a miss (or no cache) compiles and books the elapsed time as before. The
+/// staged `Select` mask program stays uncached: it is compiled through
+/// [`compile_mask`], a different entry point, and never runs on the warm
+/// pipelined serving path.
+fn staged_kernel(
+    label: &str,
+    ops: &[KernelOp],
+    ctx: &DistContext,
+    options: &ExecOptions,
+) -> std::sync::Arc<crate::kernel::KernelProgram> {
+    if let Some(cache) = options.kernel_cache.as_ref() {
+        let (prog, compiled) = cache.get_or_compile(ops);
+        if let Some(dt) = compiled {
+            ctx.stats()
+                .record_expr_compile(label, prog.instr_count() as u64, dt, &prog.render());
+        }
+        return prog;
+    }
+    let t0 = Instant::now();
+    let prog = compile_ops(ops);
+    ctx.stats().record_expr_compile(
+        label,
+        prog.instr_count() as u64,
+        t0.elapsed(),
+        &prog.render(),
+    );
+    std::sync::Arc::new(prog)
 }
 
 fn compile_chain_col(
@@ -308,7 +352,12 @@ fn compile_chain_col(
                     pending.push(KernelOp::Extend(columns.clone()));
                     continue;
                 }
-                _ => flush_kernel(&mut pending, &mut steps, &mut kernels),
+                _ => flush_kernel(
+                    &mut pending,
+                    &mut steps,
+                    &mut kernels,
+                    options.kernel_cache.as_ref(),
+                ),
             }
         }
         match node {
@@ -379,7 +428,12 @@ fn compile_chain_col(
             }
         }
     }
-    flush_kernel(&mut pending, &mut steps, &mut kernels);
+    flush_kernel(
+        &mut pending,
+        &mut steps,
+        &mut kernels,
+        options.kernel_cache.as_ref(),
+    );
     let label = pipeline_label(&ops);
     for (i, (instrs, dt, text)) in kernels.iter().enumerate() {
         ctx.stats()
@@ -495,13 +549,11 @@ pub fn eval_plan_col(
         Plan::Project { input, columns } => {
             let rows = eval_plan_col(input, env, ctx, options)?;
             if options.compiled_exprs {
-                let t0 = Instant::now();
-                let prog = compile_ops(&[KernelOp::Project(columns.clone())]);
-                ctx.stats().record_expr_compile(
+                let prog = staged_kernel(
                     "staged:project",
-                    prog.instr_count() as u64,
-                    t0.elapsed(),
-                    &prog.render(),
+                    &[KernelOp::Project(columns.clone())],
+                    ctx,
+                    options,
                 );
                 rows.map_batches("map", move |b| prog.run(b))
             } else {
@@ -512,13 +564,11 @@ pub fn eval_plan_col(
         Plan::Extend { input, columns } => {
             let rows = eval_plan_col(input, env, ctx, options)?;
             if options.compiled_exprs {
-                let t0 = Instant::now();
-                let prog = compile_ops(&[KernelOp::Extend(columns.clone())]);
-                ctx.stats().record_expr_compile(
+                let prog = staged_kernel(
                     "staged:extend",
-                    prog.instr_count() as u64,
-                    t0.elapsed(),
-                    &prog.render(),
+                    &[KernelOp::Extend(columns.clone())],
+                    ctx,
+                    options,
                 );
                 rows.map_batches("map", move |b| prog.run(b))
             } else {

@@ -86,6 +86,14 @@ pub struct ExecOptions {
     /// expression-level differential oracle (`TRANCE_EXPR=interp`). Ignored
     /// by the row and legacy fused executors, which are row-at-a-time.
     pub compiled_exprs: bool,
+    /// A shared [`crate::KernelCache`] to reuse compiled kernel programs
+    /// across runs (`None` by default: every run compiles its own). The
+    /// serving layer threads the engine's cache through here so a warm
+    /// query's fused pipelines replay the cold run's `Arc`'d programs — a
+    /// hit skips both the SSA compiler and its compile-time accounting,
+    /// which is how a warm query reports zero expression-compile time.
+    /// Only consulted by the columnar route when `compiled_exprs` is on.
+    pub kernel_cache: Option<std::sync::Arc<crate::kernel::KernelCache>>,
 }
 
 impl Default for ExecOptions {
@@ -99,6 +107,7 @@ impl Default for ExecOptions {
             pipelined: true,
             faults: true,
             compiled_exprs: compiled_exprs_default(),
+            kernel_cache: None,
         }
     }
 }
@@ -106,19 +115,27 @@ impl Default for ExecOptions {
 /// The process-wide default for [`ExecOptions::compiled_exprs`]: `true`
 /// unless the `TRANCE_EXPR` environment variable selects the interpreter
 /// oracle (`TRANCE_EXPR=interp`) — the same escape-hatch pattern as
-/// `TRANCE_WORKERS`. Any other value keeps the compiled default (with a
-/// warning for typos, so `TRANCE_EXPR=interpreted` does not silently
-/// benchmark the wrong route).
+/// `TRANCE_WORKERS`, with the same hardening: the value is trimmed and
+/// matched case-insensitively, and an unrecognized value keeps the compiled
+/// default with a warning (emitted once per process, not once per query),
+/// so `TRANCE_EXPR=Interpreted` does not silently benchmark the wrong
+/// route.
 pub fn compiled_exprs_default() -> bool {
     match std::env::var("TRANCE_EXPR") {
-        Ok(v) if v == "interp" => false,
-        Ok(v) if v == "compiled" || v.is_empty() => true,
-        Ok(v) => {
-            eprintln!(
-                "TRANCE_EXPR={v} not recognized (expected `compiled` or `interp`); using compiled"
-            );
-            true
-        }
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "interp" => false,
+            "compiled" | "" => true,
+            _ => {
+                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "TRANCE_EXPR={v} not recognized (expected `compiled` or `interp`); \
+                         using compiled"
+                    );
+                });
+                true
+            }
+        },
         Err(_) => true,
     }
 }

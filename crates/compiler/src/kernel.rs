@@ -32,6 +32,7 @@
 use std::collections::{BTreeSet, HashMap};
 use std::fmt::Write as _;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use trance_algebra::ScalarExpr;
 use trance_dist::{Batch, Bitmap, Column, Result};
@@ -473,6 +474,99 @@ pub fn compile_mask(pred: &ScalarExpr) -> KernelProgram {
     let mut c = Compiler::new();
     let r = c.compile_expr(pred, None);
     c.finish(Some(r))
+}
+
+/// A shared cache of compiled kernel programs, keyed by the structural
+/// fingerprint of the [`KernelOp`] run that produced them.
+///
+/// The serving layer threads one of these through
+/// `ExecOptions::kernel_cache` so a warm query replays its fused pipelines
+/// with the `Arc`'d programs compiled on the cold run: a hit skips the SSA
+/// compiler *and* the `record_expr_compile` accounting, which is what makes
+/// a warm query report zero expression-compile time. Misses compile under
+/// the lock (kernel compilation is microseconds; duplicate compilation
+/// under contention would cost more than it saves) and record the elapsed
+/// compile time for the caller to book against its stats.
+pub struct KernelCache {
+    programs: std::sync::Mutex<HashMap<u64, Arc<KernelProgram>>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl KernelCache {
+    /// An empty cache.
+    pub fn new() -> KernelCache {
+        KernelCache {
+            programs: std::sync::Mutex::new(HashMap::new()),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the program compiled from `ops`, compiling and inserting it
+    /// on first sight. The second component is `None` on a hit and the
+    /// measured compile time on a miss, so callers only book compile stats
+    /// for work that actually happened.
+    pub fn get_or_compile(&self, ops: &[KernelOp]) -> (Arc<KernelProgram>, Option<Duration>) {
+        use std::sync::atomic::Ordering;
+        let key = trance_algebra::fingerprint(ops);
+        let mut map = self.programs.lock().unwrap();
+        if let Some(prog) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (prog.clone(), None);
+        }
+        let t0 = Instant::now();
+        let prog = Arc::new(compile_ops(ops));
+        let dt = t0.elapsed();
+        map.insert(key, prog.clone());
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        (prog, Some(dt))
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Cache misses (= programs compiled) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of distinct programs held.
+    pub fn len(&self) -> usize {
+        self.programs.lock().unwrap().len()
+    }
+
+    /// True when no program has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached program and resets the hit/miss counters — the
+    /// serving layer's cold-start switch for cold-vs-warm A/B measurement.
+    pub fn clear(&self) {
+        use std::sync::atomic::Ordering;
+        self.programs.lock().unwrap().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for KernelCache {
+    fn default() -> Self {
+        KernelCache::new()
+    }
+}
+
+impl std::fmt::Debug for KernelCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelCache")
+            .field("programs", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
 }
 
 // ---------------------------------------------------------------------------

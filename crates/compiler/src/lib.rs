@@ -34,6 +34,7 @@ pub mod exec;
 pub mod kernel;
 pub mod physical;
 pub mod pipeline;
+pub mod prepared;
 pub mod vector;
 
 pub use columnar::{
@@ -41,7 +42,7 @@ pub use columnar::{
     ingest_env,
 };
 pub use exec::{compiled_exprs_default, execute, ExecOptions};
-pub use kernel::{compile_mask, compile_ops, Instr, KernelOp, KernelProgram};
+pub use kernel::{compile_mask, compile_ops, Instr, KernelCache, KernelOp, KernelProgram};
 pub use physical::{
     eval_plan, exact_schema, execute_program, execute_via_plans, infer_catalog, infer_schema,
     CapturedPlans,
@@ -52,4 +53,5 @@ pub use pipeline::{
     run_shredded, strategy_options, unshred_distributed, unshred_distributed_col, InputSet,
     QuerySpec, RunOutcome, RunResult, ShreddedOutput, Strategy,
 };
+pub use prepared::{plan_cache_key, prepare_and_run, run_prepared, PreparedQuery};
 pub use vector::{eval_mask, eval_scalar_batch};

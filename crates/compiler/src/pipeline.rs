@@ -100,14 +100,17 @@ impl Strategy {
         )
     }
 
-    fn skew_aware(&self) -> bool {
+    /// True for the strategies that run every join skew-aware (Section 5).
+    pub fn skew_aware(&self) -> bool {
         matches!(
             self,
             Strategy::StandardSkew | Strategy::ShredSkew | Strategy::ShredUnshredSkew
         )
     }
 
-    fn unshreds(&self) -> bool {
+    /// True for the shredded strategies that unshred the final output back
+    /// to nested form.
+    pub fn unshreds(&self) -> bool {
         matches!(self, Strategy::ShredUnshred | Strategy::ShredUnshredSkew)
     }
 }
@@ -291,6 +294,7 @@ pub fn strategy_options(strategy: Strategy, legacy_fused: bool) -> ExecOptions {
         pipelined: true,
         faults: true,
         compiled_exprs: crate::exec::compiled_exprs_default(),
+        kernel_cache: None,
     }
 }
 

@@ -1,0 +1,253 @@
+//! **Prepared queries** — the compiled-plan payload of the serving layer's
+//! plan cache.
+//!
+//! Compiling a query is front-loaded work that repeats identically on every
+//! submission: lowering (the unnesting algorithm), per-assignment
+//! `trance_algebra::optimize` against the catalog known so far,
+//! pipeline-breaker analysis, and kernel-program compilation. A
+//! [`PreparedQuery`] captures what that work produced — the **optimized**
+//! plans of every assignment (for the shredded strategies: of every flat
+//! assignment of the shredded program, each with its own call-local
+//! intermediates) — so a warm submission replays them **verbatim** through
+//! [`eval_plan_col`]: no lowering, no catalog inference over the inputs'
+//! bytes, no optimizer pass. Kernel programs are reused through the shared
+//! [`crate::KernelCache`] threaded through `ExecOptions::kernel_cache`,
+//! which is what makes a warm run report *zero* expression-compile time.
+//!
+//! Replaying a plan optimized against yesterday's statistics is safe:
+//! optimizer choices only affect *how* a plan runs, and the one
+//! data-dependent hazard — a broadcast join whose build side has since
+//! grown — is re-checked at runtime by the columnar executor's broadcast
+//! guard, which falls back to a shuffle join when the side no longer fits
+//! under `broadcast_limit`. Staleness is bounded by the serving layer's
+//! cache key, which includes the table catalog's epoch: any re-registration
+//! invalidates the entry and the next submission re-prepares.
+
+use std::collections::{BTreeMap, HashMap};
+
+use trance_dist::{ColCollection, DistContext, ExecError};
+use trance_shred::{output_dict_name, shred_query, NestingStructure, TOP_BAG};
+
+use crate::columnar::{eval_plan_col, execute_via_plans_col};
+use crate::exec::ExecOptions;
+use crate::physical::CapturedPlans;
+use crate::pipeline::{unshred_distributed_col, QuerySpec, RunResult, ShreddedOutput, Strategy};
+
+/// A query compiled down to its optimized plans, ready for verbatim replay.
+///
+/// Produced by [`prepare_and_run`] on a cache miss (the cold run executes
+/// *and* captures), consumed by [`run_prepared`] on every hit.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    strategy: Strategy,
+    kind: PreparedKind,
+}
+
+#[derive(Debug, Clone)]
+enum PreparedKind {
+    /// Standard-family: one captured program (assignment plans in order,
+    /// root plan last under the `"result"` label).
+    Standard { plans: CapturedPlans },
+    /// Shredded-family: one captured program per flat assignment of the
+    /// shredded query, executed in order over an accumulating environment.
+    Shredded {
+        /// `(assignment name, its captured plans)` in execution order. Each
+        /// unit's intermediate plans are call-local; its root plan's output
+        /// enters the shared environment under the assignment name.
+        units: Vec<(String, CapturedPlans)>,
+        /// The output's nesting structure (for dictionaries / unshredding).
+        structure: NestingStructure,
+        /// `(dictionary path, environment name)` resolved at prepare time.
+        dict_sources: Vec<(String, String)>,
+        /// Whether the strategy unshreds the final output to nested form.
+        unshred: bool,
+    },
+}
+
+impl PreparedQuery {
+    /// The strategy this query was prepared under.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Total number of captured (optimized) plans across all units.
+    pub fn plan_count(&self) -> usize {
+        match &self.kind {
+            PreparedKind::Standard { plans } => plans.len(),
+            PreparedKind::Shredded { units, .. } => units.iter().map(|(_, p)| p.len()).sum(),
+        }
+    }
+}
+
+/// Cold path: runs `spec` under `strategy` over columnar inputs through the
+/// full compile pipeline, capturing the optimized plans of everything it
+/// executes. Returns the result together with the [`PreparedQuery`] to
+/// cache. `env` holds the nested-form inputs (standard strategies), and
+/// `shredded_env` the shredded-form inputs (shredded strategies) — both
+/// already ingested to batches, as the serving layer keeps them resident.
+pub fn prepare_and_run(
+    spec: &QuerySpec,
+    env: &HashMap<String, ColCollection>,
+    shredded_env: &HashMap<String, ColCollection>,
+    ctx: &DistContext,
+    strategy: Strategy,
+    options: &ExecOptions,
+) -> trance_dist::Result<(RunResult, PreparedQuery)> {
+    ctx.set_spill_session(options.spill);
+    ctx.set_fault_session(options.faults);
+    if !strategy.is_shredded() {
+        let mut plans: CapturedPlans = Vec::new();
+        let out =
+            execute_via_plans_col(&spec.query, env, ctx, options, "result", Some(&mut plans))?;
+        let prepared = PreparedQuery {
+            strategy,
+            kind: PreparedKind::Standard { plans },
+        };
+        return Ok((RunResult::Nested(out.to_rows()?), prepared));
+    }
+    let shredded = shred_query(&spec.query, &spec.nested_inputs).map_err(ExecError::from)?;
+    let mut acc = shredded_env.clone();
+    let mut units: Vec<(String, CapturedPlans)> = Vec::new();
+    for assignment in &shredded.program.assignments {
+        let mut plans: CapturedPlans = Vec::new();
+        let out = execute_via_plans_col(
+            &assignment.expr,
+            &acc,
+            ctx,
+            options,
+            &assignment.name,
+            Some(&mut plans),
+        )?;
+        acc.insert(assignment.name.clone(), out);
+        units.push((assignment.name.clone(), plans));
+    }
+    let dict_sources: Vec<(String, String)> = shredded
+        .structure
+        .paths()
+        .into_iter()
+        .map(|path| {
+            let name = shredded
+                .dict_names
+                .get(&path)
+                .cloned()
+                .unwrap_or_else(|| output_dict_name(&path));
+            (path, name)
+        })
+        .collect();
+    let unshred = strategy.unshreds();
+    let result = assemble_from_env(&acc, &dict_sources, &shredded.structure, unshred, options)?;
+    let prepared = PreparedQuery {
+        strategy,
+        kind: PreparedKind::Shredded {
+            units,
+            structure: shredded.structure.clone(),
+            dict_sources,
+            unshred,
+        },
+    };
+    Ok((result, prepared))
+}
+
+/// Warm path: replays a [`PreparedQuery`]'s captured plans **verbatim** —
+/// no lowering, no catalog work, no optimizer pass — over the current
+/// inputs. With the shared kernel cache threaded through
+/// `options.kernel_cache`, the fused pipelines reuse their compiled
+/// programs too, so the run books zero plan- and expression-compile time.
+pub fn run_prepared(
+    prepared: &PreparedQuery,
+    env: &HashMap<String, ColCollection>,
+    shredded_env: &HashMap<String, ColCollection>,
+    ctx: &DistContext,
+    options: &ExecOptions,
+) -> trance_dist::Result<RunResult> {
+    ctx.set_spill_session(options.spill);
+    ctx.set_fault_session(options.faults);
+    match &prepared.kind {
+        PreparedKind::Standard { plans } => {
+            let out = replay_plans(plans, env, ctx, options)?;
+            Ok(RunResult::Nested(out.to_rows()?))
+        }
+        PreparedKind::Shredded {
+            units,
+            structure,
+            dict_sources,
+            unshred,
+        } => {
+            let mut acc = shredded_env.clone();
+            for (name, plans) in units {
+                let out = replay_plans(plans, &acc, ctx, options)?;
+                acc.insert(name.clone(), out);
+            }
+            assemble_from_env(&acc, dict_sources, structure, *unshred, options)
+        }
+    }
+}
+
+/// Replays one captured program: every plan but the last materializes an
+/// intermediate into a call-local environment under its captured name; the
+/// last plan (the program root) produces the output.
+fn replay_plans(
+    plans: &CapturedPlans,
+    inputs: &HashMap<String, ColCollection>,
+    ctx: &DistContext,
+    options: &ExecOptions,
+) -> trance_dist::Result<ColCollection> {
+    let (root, intermediates) = plans
+        .split_last()
+        .ok_or_else(|| ExecError::Other("prepared query holds no plans".into()))?;
+    let mut env = inputs.clone();
+    for (name, plan) in intermediates {
+        let out = eval_plan_col(plan, &env, ctx, options)?;
+        env.insert(name.clone(), out);
+    }
+    eval_plan_col(&root.1, &env, ctx, options)
+}
+
+/// Extracts the shredded outputs (top bag + dictionaries) out of an executed
+/// environment and finishes them the way the strategy asks: unshred to
+/// nested rows, or cross the shredded collections back to rows.
+fn assemble_from_env(
+    env: &HashMap<String, ColCollection>,
+    dict_sources: &[(String, String)],
+    structure: &NestingStructure,
+    unshred: bool,
+    options: &ExecOptions,
+) -> trance_dist::Result<RunResult> {
+    let top = env
+        .get(TOP_BAG)
+        .cloned()
+        .ok_or_else(|| ExecError::Other("shredded program produced no TopBag".into()))?;
+    let mut dicts = BTreeMap::new();
+    for (path, name) in dict_sources {
+        if let Some(d) = env.get(name) {
+            dicts.insert(path.clone(), d.clone());
+        }
+    }
+    if unshred {
+        let nested = unshred_distributed_col(&top, &dicts, structure, options)?;
+        return Ok(RunResult::Nested(nested.to_rows()?));
+    }
+    let mut row_dicts = BTreeMap::new();
+    for (path, d) in dicts {
+        row_dicts.insert(path, d.to_rows()?);
+    }
+    Ok(RunResult::Shredded(ShreddedOutput {
+        top: top.to_rows()?,
+        dicts: row_dicts,
+        structure: structure.clone(),
+    }))
+}
+
+/// The serving layer's plan-cache key for `spec` under `strategy` at a
+/// given catalog `epoch`: structural fingerprints of the NRC program and
+/// the nested-input declarations, combined with the strategy and the epoch.
+/// Any catalog mutation bumps the epoch, so every cached plan compiled
+/// against the old tables misses and re-prepares.
+pub fn plan_cache_key(spec: &QuerySpec, strategy: Strategy, epoch: u64) -> u64 {
+    trance_algebra::combine_fingerprints(&[
+        trance_algebra::fingerprint(&spec.query),
+        trance_algebra::fingerprint(&spec.nested_inputs),
+        trance_algebra::fingerprint(&strategy),
+        epoch,
+    ])
+}

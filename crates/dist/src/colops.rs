@@ -324,6 +324,18 @@ impl ColCollection {
         &self.ctx
     }
 
+    /// Rebinds the collection to another context sharing the same worker
+    /// pool (a [`DistContext::session`]): partitions are Arc-shared (spilled
+    /// partitions own their files, so they stay readable), and subsequent
+    /// operators meter their stats, honour the memory budget and observe the
+    /// cancellation token of `ctx` — the serving layer's per-query isolation.
+    pub fn with_context(&self, ctx: &DistContext) -> ColCollection {
+        ColCollection {
+            ctx: ctx.clone(),
+            parts: self.parts.clone(),
+        }
+    }
+
     /// The partitions loaded as batches (spilled partitions are read back;
     /// resident ones are borrowed). For consumers that genuinely need every
     /// partition at once — streaming consumers use

@@ -253,9 +253,11 @@ pub fn env_workers() -> Option<usize> {
 struct CtxInner {
     config: ClusterConfig,
     stats: Stats,
-    /// The persistent worker pool — created once with the context, shared by
-    /// every operator and pipeline run on it (no per-operator thread spawn).
-    pool: WorkerPool,
+    /// The persistent worker pool — created once with the root context and
+    /// shared (via `Arc`) by every operator, pipeline run and **session
+    /// context** derived from it (no per-operator thread spawn, no per-query
+    /// pool).
+    pool: Arc<WorkerPool>,
     /// Per-run spill toggle: lets a caller (the compiler's
     /// `ExecOptions::spill`) run one query with spilling off on a
     /// spill-capable cluster — the FAIL-vs-spill comparison the capped
@@ -291,7 +293,7 @@ impl DistContext {
             .fault_plan
             .clone()
             .map(|plan| Arc::new(FaultInjector::new(plan)));
-        let pool = WorkerPool::with_faults(config.workers, faults.clone());
+        let pool = Arc::new(WorkerPool::with_faults(config.workers, faults.clone()));
         DistContext {
             inner: Arc::new(CtxInner {
                 config,
@@ -304,6 +306,48 @@ impl DistContext {
                 cancel: CancelToken::new(),
             }),
         }
+    }
+
+    /// Derives a **session context**: a context with its own [`Stats`],
+    /// [`CancelToken`], spill scope and per-run toggles, *sharing this
+    /// context's persistent worker pool* (and fault injector). This is what
+    /// lets several queries run concurrently on one pool without racing on
+    /// each other's metrics, deadlines or spill/fault switches — the serving
+    /// layer creates one session per admitted query.
+    pub fn session(&self) -> DistContext {
+        self.session_with_memory(self.inner.config.worker_memory)
+    }
+
+    /// A session context (see [`DistContext::session`]) with an explicit
+    /// per-session **memory budget**: `worker_memory` overrides the cluster
+    /// cap for every operator run under the session. A budgeted session also
+    /// gets the spill subsystem enabled, so one tenant under memory pressure
+    /// spills to disk while its uncapped neighbours are untouched.
+    pub fn session_with_memory(&self, worker_memory: Option<usize>) -> DistContext {
+        let mut config = self.inner.config.clone();
+        let budgeted = worker_memory != self.inner.config.worker_memory;
+        config.worker_memory = worker_memory;
+        if budgeted && worker_memory.is_some() {
+            config.spill = true;
+        }
+        DistContext {
+            inner: Arc::new(CtxInner {
+                config,
+                stats: Stats::new(),
+                pool: self.inner.pool.clone(),
+                spill_session: AtomicBool::new(true),
+                spill_manager: Mutex::new(None),
+                faults: self.inner.faults.clone(),
+                fault_session: AtomicBool::new(true),
+                cancel: CancelToken::new(),
+            }),
+        }
+    }
+
+    /// True when `other` shares this context's worker pool (i.e. one is a
+    /// session of the other, or both are sessions of the same root).
+    pub fn shares_pool(&self, other: &DistContext) -> bool {
+        Arc::ptr_eq(&self.inner.pool, &other.inner.pool)
     }
 
     /// The cluster configuration.

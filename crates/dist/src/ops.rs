@@ -146,6 +146,18 @@ impl DistCollection {
         &self.ctx
     }
 
+    /// Rebinds the collection to another context sharing the same worker
+    /// pool (a [`DistContext::session`]): the partitions are Arc-shared, so
+    /// the rebind is O(1) and subsequent operators meter their stats, honour
+    /// the memory budget and observe the cancellation token of `ctx` instead
+    /// of the original context's.
+    pub fn with_context(&self, ctx: &DistContext) -> DistCollection {
+        DistCollection {
+            ctx: ctx.clone(),
+            parts: self.parts.clone(),
+        }
+    }
+
     /// The internal partition set.
     pub(crate) fn parts(&self) -> &[RowPart] {
         &self.parts

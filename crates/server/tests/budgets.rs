@@ -1,0 +1,75 @@
+//! **Per-query memory budgets** on the shared pool: a request carrying
+//! `memory_budget` runs under its own worker-memory cap with spilling
+//! forced on — it degrades to out-of-core execution and still answers
+//! correctly — while an unbudgeted neighbor running *the same engine, the
+//! same pool, at the same time* stays fully in memory.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trance_compiler::{QuerySpec, Strategy};
+use trance_dist::ClusterConfig;
+use trance_nrc::builder::{cmp_eq, forin, ifthen, proj, singleton, tuple, var};
+use trance_server::{Engine, EngineConfig, QueryRequest};
+
+#[path = "../../compiler/tests/common/mod.rs"]
+mod common;
+use common::{random_flat, Watchdog};
+
+#[test]
+fn budgeted_query_spills_while_neighbor_runs_uncapped() {
+    let _wd = Watchdog::arm("server_budgets", Duration::from_secs(600));
+    let mut rng = StdRng::seed_from_u64(0xB0D6);
+    let r = random_flat(&mut rng, 20_000, 256).into_bag().unwrap();
+    let s = random_flat(&mut rng, 20_000, 256).into_bag().unwrap();
+
+    let mut config = EngineConfig::with_cluster(ClusterConfig::new(2, 4));
+    config.max_in_flight = 2;
+    let engine = Engine::new(config);
+    engine.register_flat("R", r).unwrap();
+    engine.register_flat("S", s).unwrap();
+
+    let query = forin(
+        "x",
+        var("R"),
+        forin(
+            "y",
+            var("S"),
+            ifthen(
+                cmp_eq(proj(var("x"), "a"), proj(var("y"), "a")),
+                singleton(tuple([
+                    ("u", proj(var("x"), "b")),
+                    ("w", proj(var("y"), "c")),
+                ])),
+            ),
+        ),
+    );
+    let spec = QuerySpec::new("budget", query, vec![]);
+
+    let uncapped = QueryRequest::new("tenant-a", spec.clone(), Strategy::Standard);
+    let mut capped = QueryRequest::new("tenant-b", spec, Strategy::Standard);
+    capped.memory_budget = Some(256 * 1024);
+
+    // Both tenants at once on the shared pool.
+    let engine_ref = &engine;
+    let (free_resp, capped_resp) = std::thread::scope(|scope| {
+        let free = scope.spawn(move || engine_ref.submit(&uncapped).unwrap());
+        let capped = scope.spawn(move || engine_ref.submit(&capped).unwrap());
+        (free.join().unwrap(), capped.join().unwrap())
+    });
+
+    assert_eq!(
+        free_resp.stats.spilled_bytes, 0,
+        "the unbudgeted tenant must not spill"
+    );
+    assert!(
+        capped_resp.stats.spilled_bytes > 0,
+        "the budgeted tenant must degrade to out-of-core execution"
+    );
+    assert_eq!(
+        common::canonical(&free_resp.rows),
+        common::canonical(&capped_resp.rows),
+        "budgeted and unbudgeted executions must agree on the result"
+    );
+}

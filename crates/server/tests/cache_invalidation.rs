@@ -1,0 +1,214 @@
+//! **Plan-cache invalidation differential** across all seven strategies.
+//!
+//! For each strategy: the first submission must miss and compile; the
+//! second must hit, book **zero** plan/kernel compile time, and return a
+//! bag equal to both the fresh compile and the sequential NRC reference
+//! evaluator. Then the catalog is mutated — a table is re-registered with
+//! different sizes and an extra field — and the next submission must miss
+//! again (epoch bump) and produce the correct answer for the *new* data,
+//! proving no stale plan can ever serve.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trance_compiler::{QuerySpec, Strategy};
+use trance_dist::ClusterConfig;
+use trance_nrc::{eval, Bag, Env, Value};
+use trance_server::{Engine, EngineConfig, QueryRequest};
+use trance_shred::{NestingStructure, ShreddedInputDecl};
+
+#[path = "../../compiler/tests/common/mod.rs"]
+mod common;
+use common::{assert_bags_approx_eq, random_flat, random_nested, random_query, Watchdog};
+
+fn n_structure() -> NestingStructure {
+    NestingStructure::flat().with_child("items", NestingStructure::flat())
+}
+
+fn reference(query: &trance_nrc::Expr, r: &Value, s: &Value, n: &Value) -> Bag {
+    let env = Env::from_bindings([("R", r.clone()), ("S", s.clone()), ("N", n.clone())]);
+    eval(query, &env).unwrap().into_bag().unwrap()
+}
+
+fn as_bag(v: &Value) -> Bag {
+    v.clone().into_bag().unwrap()
+}
+
+#[test]
+fn epoch_bump_invalidates_across_all_strategies() {
+    let _wd = Watchdog::arm("cache_invalidation", Duration::from_secs(600));
+    let mut rng = StdRng::seed_from_u64(0xCACE);
+    let r1 = random_flat(&mut rng, 60, 8);
+    let s1 = random_flat(&mut rng, 50, 8);
+    let n1 = random_nested(&mut rng, 40, 8);
+    // The mutated generation: different row count (sizes) AND an extra
+    // field on every `R` row (fields), so both catalog dimensions change.
+    let r2 = Value::bag(
+        random_flat(&mut rng, 110, 8)
+            .into_bag()
+            .unwrap()
+            .into_items()
+            .into_iter()
+            .map(|v| {
+                let mut t = v.as_tuple().unwrap().clone();
+                t.set("extra", Value::Int(7));
+                Value::Tuple(t)
+            })
+            .collect(),
+    );
+
+    let engine = Engine::new(EngineConfig::with_cluster(ClusterConfig::new(4, 8)));
+    engine.register_flat("R", as_bag(&r1)).unwrap();
+    engine.register_flat("S", as_bag(&s1)).unwrap();
+    engine.register_nested("N", as_bag(&n1)).unwrap();
+
+    let mut qrng = StdRng::seed_from_u64(7);
+    let query = random_query(&mut qrng);
+    let expected1 = reference(&query, &r1, &s1, &n1);
+
+    for strategy in Strategy::all() {
+        let spec = QuerySpec::new(
+            format!("cache-{}", strategy.label()),
+            query.clone(),
+            vec![ShreddedInputDecl::new("N", n_structure())],
+        );
+        let req = QueryRequest::new("tester", spec, strategy);
+
+        let cold = engine.submit(&req).unwrap();
+        assert!(
+            !cold.cache_hit,
+            "{}: first submission must miss the plan cache",
+            strategy.label()
+        );
+        assert!(
+            cold.plans_compiled > 0,
+            "{}: cold run must compile plans",
+            strategy.label()
+        );
+        assert_bags_approx_eq(
+            &expected1,
+            &cold.rows,
+            &format!("{} cold vs reference", strategy.label()),
+        );
+
+        let warm = engine.submit(&req).unwrap();
+        assert!(
+            warm.cache_hit,
+            "{}: second submission must hit the plan cache",
+            strategy.label()
+        );
+        assert_eq!(
+            warm.plans_compiled,
+            0,
+            "{}: a hit compiles no plans",
+            strategy.label()
+        );
+        assert_eq!(
+            warm.compile_ms,
+            0.0,
+            "{}: a hit books zero kernel-compile time",
+            strategy.label()
+        );
+        assert_eq!(
+            warm.stats.expr_compiles(),
+            0,
+            "{}: a hit compiles zero kernel programs",
+            strategy.label()
+        );
+        assert_bags_approx_eq(
+            &cold.rows,
+            &warm.rows,
+            &format!("{} warm vs cold", strategy.label()),
+        );
+    }
+
+    // Mutate the catalog: replacing `R` bumps the epoch, so every cached
+    // plan above stops matching and the next submission recompiles against
+    // the new table.
+    let epoch_before = engine.epoch();
+    engine.register_flat("R", as_bag(&r2)).unwrap();
+    assert!(
+        engine.epoch() > epoch_before,
+        "re-registration must bump the catalog epoch"
+    );
+    let expected2 = reference(&query, &r2, &s1, &n1);
+
+    for strategy in Strategy::all() {
+        let spec = QuerySpec::new(
+            format!("cache-{}", strategy.label()),
+            query.clone(),
+            vec![ShreddedInputDecl::new("N", n_structure())],
+        );
+        let req = QueryRequest::new("tester", spec, strategy);
+        let recompiled = engine.submit(&req).unwrap();
+        assert!(
+            !recompiled.cache_hit,
+            "{}: epoch bump must force a plan-cache miss",
+            strategy.label()
+        );
+        assert!(
+            recompiled.plans_compiled > 0,
+            "{}: post-mutation run must recompile",
+            strategy.label()
+        );
+        assert_bags_approx_eq(
+            &expected2,
+            &recompiled.rows,
+            &format!("{} recompiled vs new-data reference", strategy.label()),
+        );
+    }
+
+    let stats = engine.stats();
+    assert_eq!(stats.cache_hits, 7, "one warm hit per strategy");
+    assert_eq!(stats.cache_misses, 14, "cold + post-mutation per strategy");
+}
+
+#[test]
+fn lru_bound_caps_residency_and_clear_resets() {
+    let _wd = Watchdog::arm("cache_lru", Duration::from_secs(300));
+    let mut rng = StdRng::seed_from_u64(0x17B);
+    let r = random_flat(&mut rng, 30, 6);
+    let s = random_flat(&mut rng, 30, 6);
+    let n = random_nested(&mut rng, 20, 6);
+
+    let mut config = EngineConfig::with_cluster(ClusterConfig::new(2, 4));
+    config.plan_cache_capacity = 2;
+    let engine = Engine::new(config);
+    engine.register_flat("R", as_bag(&r)).unwrap();
+    engine.register_flat("S", as_bag(&s)).unwrap();
+    engine.register_nested("N", as_bag(&n)).unwrap();
+
+    // Four structurally distinct queries through a 2-entry cache (the
+    // filter constant differs, so each fingerprints differently):
+    // residency stays ≤ 2.
+    use trance_nrc::builder::{cmp_lt, forin, ifthen, int, proj, singleton, tuple, var};
+    for i in 0..4 {
+        let query = forin(
+            "x",
+            var("R"),
+            ifthen(
+                cmp_lt(proj(var("x"), "a"), int(i)),
+                singleton(tuple([("u", proj(var("x"), "b"))])),
+            ),
+        );
+        let spec = QuerySpec::new(
+            format!("lru-{i}"),
+            query,
+            vec![ShreddedInputDecl::new("N", n_structure())],
+        );
+        engine
+            .submit(&QueryRequest::new("tester", spec, Strategy::Standard))
+            .unwrap();
+    }
+    let stats = engine.stats();
+    assert!(
+        stats.cache_len <= 2,
+        "LRU bound must cap residency, got {}",
+        stats.cache_len
+    );
+    assert!(stats.cache_evictions >= 2, "evictions must be counted");
+
+    engine.clear_plan_cache();
+    assert_eq!(engine.stats().cache_len, 0, "clear empties the plan cache");
+}
