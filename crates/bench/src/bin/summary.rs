@@ -19,12 +19,12 @@
 use std::fmt::Write as _;
 
 use trance_bench::{
-    best_of, cli_flag, run_capped_cells, run_closed_loop, run_cold_warm_pair, run_tpch_query_exec,
-    run_tpch_query_expr, serve_engine, serve_query_set, wide_standard_case, BenchRow, Family,
-    ServeRow,
+    best_of, cli_flag, parse_typecheck_us, run_capped_cells, run_closed_loop, run_cold_warm_pair,
+    run_tpch_query_exec, run_tpch_query_expr, serve_engine, serve_query_set, tpch_type_env,
+    wide_standard_case, BenchRow, Family, ServeRow,
 };
 use trance_compiler::Strategy;
-use trance_tpch::{QueryVariant, TpchConfig};
+use trance_tpch::{flat_to_nested, nested_to_flat, nested_to_nested, QueryVariant, TpchConfig};
 
 fn ratio(a: Option<std::time::Duration>, b: Option<std::time::Duration>) -> String {
     match (a, b) {
@@ -52,11 +52,14 @@ struct JsonCell {
     spill: &'static str,
     /// For capped spill-on runs: did the result match the uncapped oracle?
     results_match: Option<bool>,
+    /// Front-end cost of the textual path for this cell's query: parse the
+    /// pretty-printed surface text and typecheck it (microseconds).
+    parse_typecheck_us: f64,
     row: BenchRow,
 }
 
 impl JsonCell {
-    fn new(query: String, repr: &'static str, row: BenchRow) -> JsonCell {
+    fn new(query: String, repr: &'static str, parse_typecheck_us: f64, row: BenchRow) -> JsonCell {
         JsonCell {
             query,
             repr,
@@ -64,6 +67,7 @@ impl JsonCell {
             expr: ambient_expr(),
             spill: "off",
             results_match: None,
+            parse_typecheck_us,
             row,
         }
     }
@@ -127,6 +131,7 @@ fn render_json(cells: &[JsonCell], serve: &[ServeRow]) -> String {
              \"spill_ms\": {:.3}{}, \
              \"pipeline_ms\": {:.3}, \"morsels\": {}, \"steals\": {}, \
              \"expr_compile_ms\": {:.3}, \"expr_instrs\": {}, \
+             \"parse_typecheck_us\": {:.3}, \
              \"faults_injected\": {}, \"retries\": {}, \
              \"recovered_partitions\": {}, \"cancelled\": {}, \
              \"op_ms\": {{{}}}}}{}",
@@ -158,6 +163,7 @@ fn render_json(cells: &[JsonCell], serve: &[ServeRow]) -> String {
             s.steal_count,
             s.expr_compile_ms(),
             s.expr_kernel_instrs,
+            cell.parse_typecheck_us,
             s.faults_injected,
             s.retries,
             s.recovered_partitions,
@@ -199,6 +205,24 @@ fn main() {
     let pipelined = !cli_flag("--staged");
     let exec_label = if pipelined { "pipelined" } else { "staged" };
     let cfg = TpchConfig::new(0.3, 0);
+    // Front-end cost per distinct query text: a tiny generated sample gives
+    // the table types, then the cell's query is pretty-printed, re-parsed and
+    // typechecked — the price a textual submission pays once per cache miss.
+    let fe_cfg = TpchConfig::new(0.01, 0);
+    let fe_env_wide = tpch_type_env(&fe_cfg, 2, QueryVariant::Wide);
+    let fe_env_narrow = tpch_type_env(&fe_cfg, 2, QueryVariant::Narrow);
+    let front_end_us = |family: Family, variant: QueryVariant| -> f64 {
+        let query = match family {
+            Family::FlatToNested => flat_to_nested(2, variant),
+            Family::NestedToNested => nested_to_nested(2, variant),
+            Family::NestedToFlat => nested_to_flat(2, variant),
+        };
+        let env = match variant {
+            QueryVariant::Wide => &fe_env_wide,
+            QueryVariant::Narrow => &fe_env_narrow,
+        };
+        parse_typecheck_us(&query, env)
+    };
     let strategies = [
         Strategy::Shred,
         Strategy::ShredUnshred,
@@ -232,6 +256,7 @@ fn main() {
             standard.stats.shuffled_bytes.max(1) as f64 / shred.stats.shuffled_bytes.max(1) as f64,
         );
         let query = format!("{family:?}-depth{depth}-Wide-scale0.3");
+        let fe_us = front_end_us(family, QueryVariant::Wide);
         cells.extend(rows.into_iter().map(|row| JsonCell {
             query: query.clone(),
             repr: "columnar",
@@ -239,6 +264,7 @@ fn main() {
             expr: ambient_expr(),
             spill: "off",
             results_match: None,
+            parse_typecheck_us: fe_us,
             row,
         }));
     }
@@ -259,6 +285,7 @@ fn main() {
         "NestedToNested     depth 2 (narrow): standard shuffle / baseline shuffle = {:.2}x",
         rows[0].stats.shuffled_bytes.max(1) as f64 / rows[1].stats.shuffled_bytes.max(1) as f64
     );
+    let narrow_fe_us = front_end_us(Family::NestedToNested, QueryVariant::Narrow);
     cells.extend(rows.into_iter().map(|row| JsonCell {
         query: "NestedToNested-depth2-Narrow-scale0.3".to_string(),
         repr: "columnar",
@@ -266,6 +293,7 @@ fn main() {
         expr: ambient_expr(),
         spill: "off",
         results_match: None,
+        parse_typecheck_us: narrow_fe_us,
         row,
     }));
 
@@ -279,6 +307,7 @@ fn main() {
     // byte — it only removes barriers and intermediate materializations).
     // Each cell reports the best of three runs (`best_of`, keyed on wall
     // clock — the metric this pair compares).
+    let wide_n2n_fe_us = front_end_us(Family::NestedToNested, QueryVariant::Wide);
     let mut exec_walls: Vec<(String, Option<std::time::Duration>)> = Vec::new();
     for (label, columnar) in [("columnar", true), ("row", false)] {
         for (exec, pipelined) in [("pipelined", true), ("staged", false)] {
@@ -316,6 +345,7 @@ fn main() {
                 expr: ambient_expr(),
                 spill: "off",
                 results_match: None,
+                parse_typecheck_us: wide_n2n_fe_us,
                 row,
             });
         }
@@ -375,6 +405,7 @@ fn main() {
             expr: expr_label,
             spill: "off",
             results_match: None,
+            parse_typecheck_us: wide_n2n_fe_us,
             row,
         });
     }
@@ -411,6 +442,7 @@ fn main() {
         expr: ambient_expr(),
         spill: "off",
         results_match: None,
+        parse_typecheck_us: narrow_fe_us,
         row,
     }));
 
@@ -432,7 +464,13 @@ fn main() {
             cell.spill_on.stats.spill_ms(),
             cell.results_match_uncapped,
         );
-        cells.push(JsonCell::new(query.clone(), "columnar", cell.spill_off));
+        let fe_us = front_end_us(cell.family, QueryVariant::Wide);
+        cells.push(JsonCell::new(
+            query.clone(),
+            "columnar",
+            fe_us,
+            cell.spill_off,
+        ));
         cells.push(JsonCell {
             query,
             repr: "columnar",
@@ -440,6 +478,7 @@ fn main() {
             expr: ambient_expr(),
             spill: "on",
             results_match: Some(cell.results_match_uncapped),
+            parse_typecheck_us: fe_us,
             row: cell.spill_on,
         });
     }

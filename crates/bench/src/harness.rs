@@ -1,7 +1,7 @@
 //! Shared machinery for the figure-reproducing binaries and Criterion benches.
 
 use std::collections::HashMap;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use trance_biomed::{BiomedConfig, BiomedData};
 use trance_compiler::{
@@ -9,7 +9,7 @@ use trance_compiler::{
     QuerySpec, RunOutcome, RunResult, Strategy,
 };
 use trance_dist::{ClusterConfig, DistContext, FaultPlan, StatsSnapshot};
-use trance_nrc::{eval, Bag, Env, MemSize, Value};
+use trance_nrc::{eval, infer, Bag, Env, Expr, MemSize, Type, TypeEnv, Value};
 use trance_shred::ShreddedInputDecl;
 use trance_tpch::{
     flat_to_nested, generate, nested_to_flat, nested_to_nested, nesting_structure_for_depth,
@@ -214,6 +214,50 @@ fn tpch_env(config: &TpchConfig) -> (Env, usize) {
         ("Part", Value::Bag(data.part)),
     ]);
     (env, bytes)
+}
+
+/// Typing environment mirroring [`tpch_env`]'s bindings, for driving the
+/// textual front-end path: flat table types are inferred from a generated
+/// sample and, when `depth > 0`, the nested input's type (the flat-to-nested
+/// output type at `depth`) is bound as `Nested`.
+pub fn tpch_type_env(config: &TpchConfig, depth: usize, variant: QueryVariant) -> TypeEnv {
+    let data = generate(config);
+    let mut env = TypeEnv::new();
+    for (name, bag) in [
+        ("Lineitem", &data.lineitem),
+        ("Orders", &data.orders),
+        ("Customer", &data.customer),
+        ("Nation", &data.nation),
+        ("Region", &data.region),
+        ("Part", &data.part),
+    ] {
+        let elem = bag
+            .iter()
+            .next()
+            .map(Value::infer_type)
+            .unwrap_or(Type::Unknown);
+        env.bind(name, Type::bag(elem));
+    }
+    if depth > 0 {
+        let nested = infer(&flat_to_nested(depth, variant), &env)
+            .expect("flat-to-nested must typecheck against the flat tables");
+        env.bind("Nested", nested);
+    }
+    env
+}
+
+/// Microseconds to parse and typecheck the pretty-printed surface text of
+/// `query` under `env` — the front-end cost a textual submission pays before
+/// reaching the (cached) plan compiler. Panics if the query fails to
+/// round-trip through the surface syntax: every benched query must be
+/// expressible as text.
+pub fn parse_typecheck_us(query: &Expr, env: &TypeEnv) -> f64 {
+    let text = trance_nrc::pretty::pretty(query);
+    let start = Instant::now();
+    let parsed = trance_frontend::parse_expr(&text)
+        .unwrap_or_else(|e| panic!("bench query text must re-parse: {e}"));
+    infer(&parsed, env).expect("bench query text must typecheck");
+    start.elapsed().as_secs_f64() * 1e6
 }
 
 /// Materializes the nested input of the nested-to-* families (the flat-to-

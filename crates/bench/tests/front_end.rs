@@ -1,0 +1,34 @@
+//! Every benched TPC-H query must be expressible in the surface syntax:
+//! `parse_typecheck_us` pretty-prints the query, re-parses it with the
+//! front-end and typechecks it, panicking on any mismatch. This pins the
+//! `parse_typecheck_us` column of `BENCH_summary.json` to a measurable
+//! (non-degenerate) front-end pass for every cell the summary emits.
+
+use trance_bench::{parse_typecheck_us, tpch_type_env, Family};
+use trance_tpch::{flat_to_nested, nested_to_flat, nested_to_nested, QueryVariant, TpchConfig};
+
+#[test]
+fn all_summary_queries_round_trip_through_the_front_end() {
+    let cfg = TpchConfig::new(0.01, 0);
+    for variant in [QueryVariant::Narrow, QueryVariant::Wide] {
+        for depth in [1usize, 2] {
+            let env = tpch_type_env(&cfg, depth, variant);
+            for family in [
+                Family::FlatToNested,
+                Family::NestedToNested,
+                Family::NestedToFlat,
+            ] {
+                let query = match family {
+                    Family::FlatToNested => flat_to_nested(depth, variant),
+                    Family::NestedToNested => nested_to_nested(depth, variant),
+                    Family::NestedToFlat => nested_to_flat(depth, variant),
+                };
+                let us = parse_typecheck_us(&query, &env);
+                assert!(
+                    us >= 0.0 && us.is_finite(),
+                    "{family:?} depth {depth} {variant:?}: bad measurement {us}"
+                );
+            }
+        }
+    }
+}

@@ -574,3 +574,39 @@ pub fn random_expr_query(rng: &mut StdRng) -> Expr {
         ),
     }
 }
+
+// ---------------------------------------------------------------------------
+// front-end round-trip fuzzing
+// ---------------------------------------------------------------------------
+
+/// Asserts the front-end round-trip law `parse(pretty(e)) == e` and returns
+/// the re-parsed expression (structurally equal to `e`, but produced by the
+/// text path — feed it to the pipeline for differential runs).
+pub fn assert_round_trips(e: &Expr, context: &str) -> Expr {
+    let text = trance_nrc::pretty::pretty(e);
+    match trance_frontend::parse_expr(&text) {
+        Ok(parsed) => {
+            assert_eq!(
+                &parsed, e,
+                "{context}: parse(pretty(e)) != e for program:\n{text}"
+            );
+            parsed
+        }
+        Err(err) => panic!(
+            "{context}: pretty output failed to re-parse:\n{text}\n--- diagnostic ---\n{err}"
+        ),
+    }
+}
+
+/// Reads a `u64` knob from the environment (trimmed), falling back to
+/// `default` on absence or junk — fuzz suites must never panic on a bad
+/// knob, they just run the default corpus.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => v.trim().parse::<u64>().unwrap_or_else(|_| {
+            eprintln!("{name}={v:?} is not a number; using default {default}");
+            default
+        }),
+        Err(_) => default,
+    }
+}

@@ -1,0 +1,169 @@
+//! Grammar-driven fuzzing of the textual front-end.
+//!
+//! The seeded generator in `common` produces random NRC programs; each one
+//! is pretty-printed, re-parsed with `trance-frontend`, and checked two
+//! ways:
+//!
+//! 1. **Round-trip law**: `parse(pretty(e)) == e`, structurally.
+//! 2. **Differential execution**: the re-parsed program must behave
+//!    *identically* to the directly-built AST on every compilation
+//!    strategy × both shuffle representations — bag-equal results and
+//!    identical logical shuffle volume (or the same failure).
+//!
+//! Seeds come from `TRANCE_FUZZ_SEED` (default `0xF0D`) and the corpus
+//! size from `TRANCE_FUZZ_PROGRAMS` / `TRANCE_FUZZ_DIFF_PROGRAMS`, so CI
+//! can run a date-seeded sweep and echo the seed for replay.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trance_compiler::{
+    collect_unshredded, run_query_repr, InputSet, QuerySpec, RunResult, Strategy,
+};
+use trance_dist::{ClusterConfig, DistContext};
+use trance_nrc::{Bag, Program};
+use trance_shred::{NestingStructure, ShreddedInputDecl};
+
+mod common;
+use common::{
+    assert_round_trips, canonical, env_u64, random_expr_query, random_flat, random_flat_nullable,
+    random_nested, random_query, running_example, Watchdog,
+};
+
+fn ctx() -> DistContext {
+    DistContext::new(
+        ClusterConfig::new(3, 8)
+            .with_broadcast_limit(64)
+            .with_env_workers(),
+    )
+}
+
+fn n_structure() -> NestingStructure {
+    NestingStructure::flat().with_child("items", NestingStructure::flat())
+}
+
+#[test]
+fn roundtrip_law_holds_for_seeded_generator_programs() {
+    let _w = Watchdog::arm("frontend_roundtrip::law", Duration::from_secs(600));
+    let base = env_u64("TRANCE_FUZZ_SEED", 0xF0D);
+    let n = env_u64("TRANCE_FUZZ_PROGRAMS", 48);
+    eprintln!("fuzz: round-trip law over {n} seeds starting at {base} (TRANCE_FUZZ_SEED)");
+    assert_round_trips(&running_example(), "running example");
+    for i in 0..n {
+        let mut rng = StdRng::seed_from_u64(base.wrapping_add(i));
+        let q = random_query(&mut rng);
+        assert_round_trips(&q, &format!("seed {base}+{i} (random_query)"));
+        let q = random_expr_query(&mut rng);
+        assert_round_trips(&q, &format!("seed {base}+{i} (random_expr_query)"));
+    }
+}
+
+#[test]
+fn roundtrip_law_holds_for_multi_assignment_programs() {
+    let base = env_u64("TRANCE_FUZZ_SEED", 0xF0D);
+    for i in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(base.wrapping_add(0x9000 + i));
+        let mut prog = Program::new();
+        prog.assign("A", random_query(&mut rng));
+        prog.assign("B", random_expr_query(&mut rng));
+        prog.assign("Result", random_query(&mut rng));
+        let text = trance_nrc::pretty::pretty_program(&prog);
+        let parsed = trance_frontend::parse_program(&text).unwrap_or_else(|e| {
+            panic!("seed {base}+{i}: program failed to re-parse:\n{text}\n{e}")
+        });
+        assert_eq!(
+            parsed, prog,
+            "seed {base}+{i}: parse_program(pretty_program(p)) != p:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn parsed_text_runs_identically_across_all_strategies_and_representations() {
+    let _w = Watchdog::arm(
+        "frontend_roundtrip::differential",
+        Duration::from_secs(1200),
+    );
+    let base = env_u64("TRANCE_FUZZ_SEED", 0xF0D);
+    let n = env_u64("TRANCE_FUZZ_DIFF_PROGRAMS", 6);
+    eprintln!("fuzz: differential sweep over {n} seeds starting at {base} (TRANCE_FUZZ_SEED)");
+    for i in 0..n {
+        let mut rng = StdRng::seed_from_u64(base.wrapping_add(0x1000 + i));
+        let r_rows = rng.gen_range(5..30usize);
+        let s_rows = rng.gen_range(5..25usize);
+        let n_rows = rng.gen_range(3..15usize);
+        let r = random_flat(&mut rng, r_rows, 8);
+        let rn = random_flat_nullable(&mut rng, r_rows, 8);
+        let s = random_flat(&mut rng, s_rows, 8);
+        let nv = random_nested(&mut rng, n_rows, 8);
+        let query = if i % 2 == 0 {
+            random_query(&mut rng)
+        } else {
+            random_expr_query(&mut rng)
+        };
+        let parsed = assert_round_trips(&query, &format!("diff seed {base}+{i}"));
+
+        let mut inputs = InputSet::new(ctx());
+        inputs.add_flat("R", r.as_bag().unwrap().clone()).unwrap();
+        inputs.add_flat("RN", rn.as_bag().unwrap().clone()).unwrap();
+        inputs.add_flat("S", s.as_bag().unwrap().clone()).unwrap();
+        inputs
+            .add_nested("N", nv.as_bag().unwrap().clone())
+            .unwrap();
+        let decls = vec![ShreddedInputDecl::new("N", n_structure())];
+        let direct_spec = QuerySpec::new(format!("fuzz-{i}"), query, decls.clone());
+        let parsed_spec = QuerySpec::new(format!("fuzz-{i}"), parsed, decls);
+
+        for strategy in Strategy::all() {
+            for columnar in [true, false] {
+                let direct = run_query_repr(&direct_spec, &inputs, strategy, columnar);
+                let parsed = run_query_repr(&parsed_spec, &inputs, strategy, columnar);
+                let label = format!(
+                    "seed {base}+{i} strategy {} ({})",
+                    strategy.label(),
+                    if columnar { "columnar" } else { "rows" }
+                );
+                match (&direct.result, &parsed.result) {
+                    (RunResult::Failed(de), RunResult::Failed(pe)) => {
+                        // Typed failures (e.g. memory caps) must at least
+                        // agree in kind; the message carries sizes that can
+                        // legitimately differ run-to-run.
+                        assert_eq!(
+                            std::mem::discriminant(de),
+                            std::mem::discriminant(pe),
+                            "{label}: direct and parsed failed differently: {de} vs {pe}"
+                        );
+                    }
+                    (RunResult::Failed(de), _) => {
+                        panic!("{label}: direct AST failed ({de}) but parsed text succeeded")
+                    }
+                    (_, RunResult::Failed(pe)) => {
+                        panic!("{label}: parsed text failed ({pe}) but direct AST succeeded")
+                    }
+                    (dr, pr) => {
+                        let db: Bag = match dr {
+                            RunResult::Nested(d) => d.collect_bag(),
+                            RunResult::Shredded(out) => collect_unshredded(out).unwrap(),
+                            RunResult::Failed(_) => unreachable!(),
+                        };
+                        let pb: Bag = match pr {
+                            RunResult::Nested(d) => d.collect_bag(),
+                            RunResult::Shredded(out) => collect_unshredded(out).unwrap(),
+                            RunResult::Failed(_) => unreachable!(),
+                        };
+                        assert_eq!(
+                            canonical(&db),
+                            canonical(&pb),
+                            "{label}: parsed text and direct AST disagree on results"
+                        );
+                        assert_eq!(
+                            direct.stats.shuffled_bytes, parsed.stats.shuffled_bytes,
+                            "{label}: parsed text shuffled a different logical volume"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

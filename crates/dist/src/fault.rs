@@ -83,7 +83,10 @@ impl FaultSite {
     }
 
     fn from_name(name: &str) -> Option<FaultSite> {
-        FaultSite::ALL.into_iter().find(|s| s.name() == name)
+        // Specs come from shell environments and CLI flags: tolerate case
+        // and `-` for `_` (e.g. `SPILL-READ`), but nothing fuzzier.
+        let norm = name.trim().to_ascii_lowercase().replace('-', "_");
+        FaultSite::ALL.into_iter().find(|s| s.name() == norm)
     }
 }
 
@@ -178,7 +181,7 @@ impl FaultPlan {
                 .split_once('=')
                 .ok_or_else(|| format!("fault spec entry `{entry}` is not key=value"))?;
             let (key, value) = (key.trim(), value.trim());
-            match key {
+            match key.to_ascii_lowercase().as_str() {
                 "seed" => {
                     plan.seed = value
                         .parse::<u64>()
@@ -191,7 +194,14 @@ impl FaultPlan {
                     let site = FaultSite::from_name(site.trim())
                         .ok_or_else(|| format!("unknown fault site `{site}`"))?;
                     let (at, burst) = match rest.split_once('x') {
-                        Some((at, burst)) => (at, burst.parse::<u64>().unwrap_or(0).max(1)),
+                        Some((at, burst)) => (
+                            at,
+                            burst
+                                .trim()
+                                .parse::<u64>()
+                                .map_err(|_| format!("invalid one-shot burst `{burst}`"))?
+                                .max(1),
+                        ),
                         None => (rest, 1),
                     };
                     let at = at
@@ -469,6 +479,32 @@ mod tests {
         assert!(FaultPlan::parse("bogus=1").is_err());
         assert!(FaultPlan::parse("morsel=1.5").is_err());
         assert!(FaultPlan::parse("once=morsel").is_err());
+    }
+
+    #[test]
+    fn specs_tolerate_case_whitespace_and_dashes() {
+        let canonical = FaultPlan::parse("seed=9,spill_read=0.1,once=morsel@5x4").unwrap();
+        let sloppy =
+            FaultPlan::parse("  SEED = 9 , SPILL-READ = 0.1 , Once = Morsel @ 5x4  ").unwrap();
+        assert_eq!(sloppy, canonical);
+        assert_eq!(FaultPlan::parse(" 17 ").unwrap(), FaultPlan::seeded(17));
+    }
+
+    #[test]
+    fn junk_specs_are_errors_not_panics() {
+        for junk in [
+            "once=morsel@5xZZ",
+            "once=morsel@",
+            "morsel=NaN-ish",
+            "seed=-3",
+            "seed=",
+            "=0.5",
+            "morsel",
+        ] {
+            assert!(FaultPlan::parse(junk).is_err(), "`{junk}` must be rejected");
+        }
+        // NaN rates fail the [0, 1] range check rather than slipping through.
+        assert!(FaultPlan::parse("morsel=nan").is_err());
     }
 
     #[test]

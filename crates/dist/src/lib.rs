@@ -215,7 +215,13 @@ impl ClusterConfig {
         if let Ok(spec) = std::env::var("TRANCE_FAULT_SEED") {
             match FaultPlan::parse(&spec) {
                 Ok(plan) => self.fault_plan = Some(plan),
-                Err(e) => eprintln!("warning: ignoring TRANCE_FAULT_SEED={spec}: {e}"),
+                Err(e) => {
+                    // The variable is process-wide and this builder runs per
+                    // cluster construction: warn once, not per query.
+                    static WARNED: std::sync::Once = std::sync::Once::new();
+                    WARNED
+                        .call_once(|| eprintln!("warning: ignoring TRANCE_FAULT_SEED={spec}: {e}"));
+                }
             }
         }
         self

@@ -1,0 +1,58 @@
+//! Spanned compile errors with source excerpts.
+
+use std::fmt;
+
+/// A diagnostic produced by the lexer or parser: what went wrong, where,
+/// and (when applicable) which tokens would have been accepted instead.
+///
+/// `line` and `col` are 1-based. `excerpt` holds the offending source line
+/// verbatim so callers can render a caret without re-reading the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// 1-based line of the offending token or character.
+    pub line: usize,
+    /// 1-based column of the offending token or character.
+    pub col: usize,
+    /// Token descriptions that would have been accepted at this point
+    /// (empty when the error is lexical or not a token mismatch).
+    pub expected: Vec<String>,
+    /// The source line the error points into (without its newline).
+    pub excerpt: String,
+}
+
+impl CompileError {
+    /// Builds an error at an explicit location.
+    pub fn new(
+        message: impl Into<String>,
+        line: usize,
+        col: usize,
+        expected: Vec<String>,
+        excerpt: impl Into<String>,
+    ) -> Self {
+        CompileError {
+            message: message.into(),
+            line,
+            col,
+            expected,
+            excerpt: excerpt.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error: {} at {}:{}", self.message, self.line, self.col)?;
+        let gutter = format!("{}", self.line);
+        writeln!(f, "{} | {}", gutter, self.excerpt)?;
+        let pad = gutter.len() + 3 + self.col.saturating_sub(1);
+        writeln!(f, "{}^", " ".repeat(pad))?;
+        if !self.expected.is_empty() {
+            write!(f, "expected: {}", self.expected.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CompileError {}

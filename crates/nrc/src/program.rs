@@ -105,6 +105,27 @@ impl Program {
         }
     }
 
+    /// Desugars the program into a single expression: every assignment but
+    /// the last becomes a `let`, and the final assignment's expression is the
+    /// body. Returns `None` for an empty program.
+    ///
+    /// This is how multi-assignment surface programs are fed to entry points
+    /// that take one expression (the compiler's `QuerySpec`, the server's
+    /// textual submission path): `A ⇐ e1; Result ⇐ e2` becomes
+    /// `let A := e1 in e2`.
+    pub fn to_let_chain(&self) -> Option<Expr> {
+        let (last, init) = self.assignments.split_last()?;
+        let mut body = last.expr.clone();
+        for a in init.iter().rev() {
+            body = Expr::Let {
+                var: a.name.clone(),
+                value: Box::new(a.expr.clone()),
+                body: Box::new(body),
+            };
+        }
+        Some(body)
+    }
+
     /// Type checks every assignment, returning the type of each assigned
     /// variable (in assignment order).
     pub fn typecheck(&self, inputs: &TypeEnv) -> Result<Vec<(String, Type)>> {
@@ -162,6 +183,23 @@ mod tests {
         let types = p.typecheck(&env).unwrap();
         assert_eq!(types.len(), 2);
         assert!(types[1].1.is_flat_bag());
+    }
+
+    #[test]
+    fn let_chain_desugaring_preserves_program_semantics() {
+        let mut p = Program::new();
+        p.assign("A", forin("x", var("R"), singleton(mul(var("x"), int(2)))));
+        p.assign(
+            "Result",
+            forin("y", var("A"), singleton(add(var("y"), int(1)))),
+        );
+        let chained = p.to_let_chain().unwrap();
+
+        let env = Env::from_bindings([("R", Value::bag(vec![Value::Int(1), Value::Int(2)]))]);
+        let direct = p.eval_result(&env).unwrap();
+        let desugared = Evaluator::default().eval(&chained, &env).unwrap();
+        assert_eq!(direct, desugared);
+        assert!(Program::new().to_let_chain().is_none());
     }
 
     #[test]

@@ -13,8 +13,11 @@ use trance_compiler::{
     strategy_options, KernelCache, QuerySpec, RunResult, Strategy,
 };
 use trance_dist::{ClusterConfig, ColCollection, DistContext, ExecError, StatsSnapshot};
-use trance_nrc::Bag;
-use trance_shred::{flat_input_name, input_dict_name, shred_value};
+use trance_nrc::{Bag, Type, TypeEnv};
+use trance_shred::{
+    flat_input_name, input_dict_name, nesting_structure, shred_value, NestingStructure,
+    ShreddedInputDecl,
+};
 
 use crate::admission::AdmissionQueue;
 use crate::cache::PlanCache;
@@ -128,6 +131,10 @@ pub enum ServeError {
     /// The query failed while executing (including cancellation/deadline
     /// and memory-cap errors).
     Exec(ExecError),
+    /// A textual submission failed to parse or type check before reaching
+    /// the pool. Carries the rendered diagnostic (spanned, for parse
+    /// errors).
+    Compile(String),
 }
 
 impl ServeError {
@@ -150,6 +157,7 @@ impl std::fmt::Display for ServeError {
                 "engine busy: {in_flight} queries in flight, {queued} queued"
             ),
             ServeError::Exec(e) => write!(f, "{e}"),
+            ServeError::Compile(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -205,6 +213,12 @@ struct TableRegistry {
     /// Logical table → every physical name it registered (nested name,
     /// flat top bag, input dictionaries), so unregistering removes all.
     physical: HashMap<String, Vec<String>>,
+    /// Logical table → its bag type (inferred at registration) — the type
+    /// environment textual submissions are checked against.
+    types: HashMap<String, Type>,
+    /// Logical table → its nesting structure; non-empty structures become
+    /// the shredded-input declarations of textual submissions.
+    structures: HashMap<String, NestingStructure>,
     catalog: Catalog,
 }
 
@@ -248,6 +262,8 @@ impl Engine {
                     nested: HashMap::new(),
                     shredded: HashMap::new(),
                     physical: HashMap::new(),
+                    types: HashMap::new(),
+                    structures: HashMap::new(),
                     catalog: Catalog::new(),
                 }),
                 plans,
@@ -270,6 +286,7 @@ impl Engine {
     /// once, resident for every later query; bumps the catalog epoch, so
     /// every cached plan compiled against the old catalog stops matching.
     pub fn register_flat(&self, name: &str, rows: Bag) -> trance_dist::Result<()> {
+        let ty = table_type(&rows);
         let mut staged = HashMap::new();
         staged.insert(
             name.to_string(),
@@ -280,6 +297,9 @@ impl Engine {
         let mut t = self.inner.tables.write().unwrap();
         self.unregister_locked(&mut t, name);
         register_physical(&mut t, name, name.to_string(), &col)?;
+        t.types.insert(name.to_string(), ty);
+        t.structures
+            .insert(name.to_string(), NestingStructure::flat());
         t.nested.insert(name.to_string(), col.clone());
         t.shredded.insert(name.to_string(), col);
         Ok(())
@@ -289,6 +309,8 @@ impl Engine {
     /// form and its shredded form (flat top bag plus one collection per
     /// dictionary path), all columnar-resident. Bumps the catalog epoch.
     pub fn register_nested(&self, name: &str, rows: Bag) -> trance_dist::Result<()> {
+        let ty = table_type(&rows);
+        let structure = nesting_structure(&ty).map_err(ExecError::from)?;
         let shredded = shred_value(&rows).map_err(ExecError::from)?;
         let mut staged = HashMap::new();
         staged.insert(
@@ -310,6 +332,8 @@ impl Engine {
         self.unregister_locked(&mut t, name);
         let nested_col = cols.remove(name).expect("nested form staged");
         register_physical(&mut t, name, name.to_string(), &nested_col)?;
+        t.types.insert(name.to_string(), ty);
+        t.structures.insert(name.to_string(), structure);
         t.nested.insert(name.to_string(), nested_col);
         for (phys_name, col) in cols {
             register_physical(&mut t, name, phys_name.clone(), &col)?;
@@ -331,6 +355,8 @@ impl Engine {
                 t.shredded.remove(&phys);
                 t.catalog.remove(&phys);
             }
+            t.types.remove(name);
+            t.structures.remove(name);
         }
     }
 
@@ -401,6 +427,71 @@ impl Engine {
             Err(_) => self.inner.failed.fetch_add(1, Ordering::Relaxed),
         };
         out
+    }
+
+    /// Builds a [`QueryRequest`] from **surface-NRC text**, resolved
+    /// against the registered tables: the text is parsed with
+    /// `trance-frontend`, type checked against the registration-time table
+    /// types, and multi-assignment programs are desugared into a `let`
+    /// chain. Nested tables the query references become its shredded-input
+    /// declarations automatically.
+    ///
+    /// Parse and type errors come back as [`ServeError::Compile`] with the
+    /// rendered (spanned) diagnostic; nothing reaches the admission queue.
+    ///
+    /// Because the plan cache keys on the *structural fingerprint* of the
+    /// parsed AST, resubmitting the same text (modulo whitespace and
+    /// comments) is a cache hit: the second submission books zero plan and
+    /// kernel compile time.
+    pub fn text_request(
+        &self,
+        client: &str,
+        text: &str,
+        strategy: Strategy,
+    ) -> Result<QueryRequest, ServeError> {
+        let program =
+            trance_frontend::parse_program(text).map_err(|e| ServeError::Compile(e.to_string()))?;
+        let (env, structures) = {
+            let t = self.inner.tables.read().unwrap();
+            let mut env = TypeEnv::new();
+            for (name, ty) in &t.types {
+                env.bind(name.clone(), ty.clone());
+            }
+            (env, t.structures.clone())
+        };
+        program
+            .typecheck(&env)
+            .map_err(|e| ServeError::Compile(format!("type error: {e}")))?;
+        let query = program
+            .to_let_chain()
+            .ok_or_else(|| ServeError::Compile("empty program".to_string()))?;
+        let used = query.free_vars();
+        let mut decls: Vec<ShreddedInputDecl> = structures
+            .iter()
+            .filter(|(name, s)| !s.children.is_empty() && used.contains(*name))
+            .map(|(name, s)| ShreddedInputDecl::new(name, s.clone()))
+            .collect();
+        // Registry iteration order is arbitrary; the declaration list is
+        // part of the cache fingerprint, so keep it deterministic.
+        decls.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(QueryRequest::new(
+            client,
+            QuerySpec::new("text", query, decls),
+            strategy,
+        ))
+    }
+
+    /// Submits a **textual** query and blocks until it finishes: shorthand
+    /// for [`text_request`](Engine::text_request) followed by
+    /// [`submit`](Engine::submit).
+    pub fn submit_text(
+        &self,
+        client: &str,
+        text: &str,
+        strategy: Strategy,
+    ) -> Result<QueryResponse, ServeError> {
+        let req = self.text_request(client, text, strategy)?;
+        self.submit(&req)
     }
 
     fn run_admitted(
@@ -481,6 +572,17 @@ impl Engine {
             stats,
         })
     }
+}
+
+/// The bag type of a registered table, inferred from its first row (all
+/// rows of a registered table share one shape).
+fn table_type(rows: &Bag) -> Type {
+    Type::bag(
+        rows.items()
+            .first()
+            .map(|v| v.infer_type())
+            .unwrap_or(Type::Unknown),
+    )
 }
 
 /// Registers one physical collection in the catalog (schema + size — the
