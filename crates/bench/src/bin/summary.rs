@@ -14,7 +14,12 @@
 //! `results_match_uncapped`). `faults_injected` / `retries` /
 //! `recovered_partitions` / `cancelled` report the fault-tolerance layer —
 //! all zero unless a fault plan (`--faults` / `TRANCE_FAULT_SEED`) armed the
-//! injector.
+//! injector. The top-level `net` key holds the multi-node cells: the
+//! running example executed by real worker *processes* over TCP, each cell
+//! differentially checked against the in-process thread oracle (equal bags,
+//! equal logical shuffle bytes), plus a seeded connection-drop chaos cell
+//! that must recover to the oracle result through the coordinator's global
+//! retry (`TRANCE_NET_SEED` picks the victim and drop point).
 
 use std::fmt::Write as _;
 
@@ -24,6 +29,7 @@ use trance_bench::{
     wide_standard_case, BenchRow, Family, ServeRow,
 };
 use trance_compiler::Strategy;
+use trance_net::{run_smoke, spawn_self_cluster, ClusterParams, DropSpec, SmokeOutcome};
 use trance_tpch::{flat_to_nested, nested_to_flat, nested_to_nested, QueryVariant, TpchConfig};
 
 fn ratio(a: Option<std::time::Duration>, b: Option<std::time::Duration>) -> String {
@@ -89,7 +95,7 @@ fn ambient_expr() -> &'static str {
 /// measure a different object (sustained multi-client throughput against
 /// the resident engine) and carry a different schema than the per-run
 /// `rows`.
-fn render_json(cells: &[JsonCell], serve: &[ServeRow]) -> String {
+fn render_json(cells: &[JsonCell], serve: &[ServeRow], net: &[SmokeOutcome]) -> String {
     fn escape(s: &str) -> String {
         s.replace('\\', "\\\\").replace('"', "\\\"")
     }
@@ -194,11 +200,92 @@ fn render_json(cells: &[JsonCell], serve: &[ServeRow]) -> String {
             if i + 1 < serve.len() { "," } else { "" },
         );
     }
+    out.push_str("  ],\n  \"net\": [\n");
+    for (i, cell) in net.iter().enumerate() {
+        let chaos = cell.label.starts_with("chaos");
+        let _ = writeln!(
+            out,
+            "    {{\"label\": \"{}\", \"ranks\": {}, \"status\": \"ok\", \
+             \"oracle_match\": true, \"chaos\": {}, \"attempts\": {}, \
+             \"rows\": {}, \"shuffled_bytes\": {}, \"wall_ms_tcp\": {}, \
+             \"wall_ms_thread\": {}}}{}",
+            escape(&cell.label),
+            NET_RANKS,
+            chaos,
+            cell.attempts,
+            cell.rows,
+            cell.shuffled_bytes,
+            cell.wall_ms,
+            cell.oracle_wall_ms,
+            if i + 1 < net.len() { "," } else { "" },
+        );
+    }
     out.push_str("  ]\n}\n");
     out
 }
 
+/// Worker processes of the multi-node cells.
+const NET_RANKS: usize = 3;
+
+/// Runs the multi-node cells: spawn [`NET_RANKS`] worker processes
+/// (re-executions of this binary, diverted by `TRANCE_NET_WORKER`), drive
+/// the smoke suite over real TCP, and return the verified cells. `run_smoke`
+/// itself asserts every cell bag- and shuffle-byte-identical to the
+/// in-process oracle, so a divergence fails the benchmark run loudly.
+fn run_net_cells() -> Vec<SmokeOutcome> {
+    let params = ClusterParams {
+        partitions: 8,
+        threads: 2,
+        broadcast_limit: 8 * 1024 * 1024,
+    };
+    let seed = std::env::var("TRANCE_NET_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or(0);
+    let chaos = DropSpec {
+        victim: (seed % NET_RANKS as u64) as u32,
+        after_frames: 2 + seed % 5,
+    };
+    println!(
+        "\nmulti-node cells: {NET_RANKS} worker processes over TCP \
+         (chaos seed {seed}: rank {} drops after {} frames)",
+        chaos.victim, chaos.after_frames
+    );
+    let mut cluster = match spawn_self_cluster("TRANCE_NET_WORKER", NET_RANKS, params) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("failed to spawn the multi-node cluster: {e}");
+            return Vec::new();
+        }
+    };
+    let cells = match run_smoke(&mut cluster.coordinator, params, Some(chaos)) {
+        Ok(cells) => cells,
+        Err(e) => {
+            eprintln!("multi-node cells failed: {e}");
+            Vec::new()
+        }
+    };
+    for cell in &cells {
+        println!(
+            "net {:<22} TCP {} ms vs thread {} ms, {} shuffle bytes, \
+             {} attempt(s), oracle match",
+            cell.label, cell.wall_ms, cell.oracle_wall_ms, cell.shuffled_bytes, cell.attempts
+        );
+    }
+    cluster.shutdown();
+    cells
+}
+
 fn main() {
+    // Re-executions of this binary become worker processes for the
+    // multi-node cells — divert them before any benchmarking starts.
+    if let Ok(addr) = std::env::var("TRANCE_NET_WORKER") {
+        if let Err(e) = trance_net::worker::serve(&addr) {
+            eprintln!("net worker failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let mut cells: Vec<JsonCell> = Vec::new();
     // `--staged` switches the headline cells to the staged executor (the
     // pipelined-vs-staged A/B pair below always runs both).
@@ -515,7 +602,9 @@ fn main() {
     );
     let serve_rows = vec![mixed, cold, warm];
 
-    let json = render_json(&cells, &serve_rows);
+    let net_cells = run_net_cells();
+
+    let json = render_json(&cells, &serve_rows, &net_cells);
     match std::fs::write("BENCH_summary.json", &json) {
         Ok(()) => println!(
             "\nwrote {} benchmark rows to BENCH_summary.json",

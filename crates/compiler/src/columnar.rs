@@ -52,9 +52,15 @@ fn field_hints(fields: &[PhysField]) -> Vec<FieldHint> {
 pub fn ingest_env(
     inputs: &HashMap<String, DistCollection>,
 ) -> Result<HashMap<String, ColCollection>> {
-    inputs
-        .iter()
-        .map(|(name, coll)| {
+    // Sorted iteration: schema inference runs cluster collectives under a
+    // multi-process exchange, and HashMap order differs per process — every
+    // rank must reach the collectives in the same input order.
+    let mut names: Vec<&String> = inputs.keys().collect();
+    names.sort();
+    names
+        .into_iter()
+        .map(|name| {
+            let coll = &inputs[name];
             let schema = crate::physical::infer_schema(coll)?;
             let hints = field_hints(&physical_fields(&schema));
             Ok((name.clone(), ColCollection::ingest(coll, &hints)?))
@@ -72,6 +78,49 @@ pub fn exact_schema_col(coll: &ColCollection) -> Result<AttrSchema> {
         out = out.merge(&schema_of_batch(batch));
         Ok(())
     })?;
+    // Under a cluster exchange each rank only saw its owned partitions:
+    // allgather the partial schemas and merge them in rank order — with
+    // contiguous partition ownership that folds the partitions in exactly
+    // the single-process order, and the merge keeps first-occurrence
+    // attribute order, so every rank lands on the identical schema.
+    let Some(ex) = coll.context().exchange() else {
+        return Ok(out);
+    };
+    let mut w = trance_store::ByteWriter::new();
+    encode_attr_schema(&out, &mut w)?;
+    let mut merged = AttrSchema::default();
+    for bytes in &ex.allgather(w.into_bytes())? {
+        let mut r = trance_store::ByteReader::new(bytes);
+        merged = merged.merge(&decode_attr_schema(&mut r)?);
+    }
+    Ok(merged)
+}
+
+fn encode_attr_schema(s: &AttrSchema, w: &mut trance_store::ByteWriter) -> std::io::Result<()> {
+    w.len_u32(s.attrs.len(), "schema attrs")?;
+    for a in &s.attrs {
+        w.str(a)?;
+    }
+    w.len_u32(s.nested.len(), "nested schemas")?;
+    for (name, inner) in &s.nested {
+        w.str(name)?;
+        encode_attr_schema(inner, w)?;
+    }
+    Ok(())
+}
+
+fn decode_attr_schema(r: &mut trance_store::ByteReader<'_>) -> std::io::Result<AttrSchema> {
+    let mut out = AttrSchema::default();
+    let n = r.u32()? as usize;
+    for _ in 0..n {
+        out.attrs.push(r.str()?);
+    }
+    let m = r.u32()? as usize;
+    for _ in 0..m {
+        let name = r.str()?;
+        let inner = decode_attr_schema(r)?;
+        out.nested.insert(name, inner);
+    }
     Ok(out)
 }
 
@@ -111,9 +160,14 @@ fn schema_of_batch(batch: &Batch) -> AttrSchema {
 /// strategy decisions as on the row route.
 pub fn infer_catalog_col(inputs: &HashMap<String, ColCollection>) -> Result<Catalog> {
     let mut catalog = Catalog::new();
-    for (name, coll) in inputs {
+    // Sorted for the same reason as ingest_env: schema and size inference
+    // run cluster collectives that every rank must reach in the same order.
+    let mut names: Vec<&String> = inputs.keys().collect();
+    names.sort();
+    for name in names {
+        let coll = &inputs[name];
         catalog.register(name.clone(), exact_schema_col(coll)?);
-        catalog.set_size(name.clone(), coll.logical_bytes());
+        catalog.set_size(name.clone(), coll.planning_bytes()?);
     }
     Ok(catalog)
 }
@@ -170,22 +224,48 @@ fn execute_program_col_impl(
             Some(cfg) => optimize(&assignment.plan, &catalog, cfg),
             None => assignment.plan.clone(),
         };
+        check_plan_agreement(ctx, &assignment.name, &plan)?;
         if let Some(capture) = capture.as_deref_mut() {
             capture.push((assignment.name.clone(), plan.clone()));
         }
         let out = eval_plan_col(&plan, &env, ctx, options)?;
         catalog.register(assignment.name.clone(), exact_schema_col(&out)?);
-        catalog.set_size(assignment.name.clone(), out.logical_bytes());
+        catalog.set_size(assignment.name.clone(), out.planning_bytes()?);
         env.insert(assignment.name.clone(), out);
     }
     let root = match &opt_config {
         Some(cfg) => optimize(&program.root, &catalog, cfg),
         None => program.root.clone(),
     };
+    check_plan_agreement(ctx, root_label, &root)?;
     if let Some(capture) = capture {
         capture.push((root_label.to_string(), root.clone()));
     }
     eval_plan_col(&root, &env, ctx, options)
+}
+
+/// Distributed-plan guardrail: every rank optimizes plans independently
+/// from globally agreed catalogs, so the optimized plans must be identical
+/// — a divergence would desynchronize the cluster collectives and corrupt
+/// results silently. Fingerprints are allgathered and compared; a mismatch
+/// fails loudly before any data moves.
+fn check_plan_agreement(ctx: &DistContext, name: &str, plan: &Plan) -> Result<()> {
+    let Some(ex) = ctx.exchange() else {
+        return Ok(());
+    };
+    let fp = trance_algebra::fingerprint(plan);
+    for (rank, other) in trance_dist::allgather_u64(ex.as_ref(), fp)?
+        .into_iter()
+        .enumerate()
+    {
+        if other != fp {
+            return Err(ExecError::Other(format!(
+                "distributed plan divergence on '{name}': rank {rank} optimized to fingerprint \
+                 {other:#018x}, this rank to {fp:#018x}"
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Evaluates an expression into a column ready to be *set* on a batch:
@@ -600,9 +680,10 @@ pub fn eval_plan_col(
             } else {
                 let spec = match strategy {
                     // Same guard as the row route: force the broadcast only
-                    // when the materialized side really fits.
+                    // when the materialized side really fits (cluster-wide
+                    // under a multi-process exchange).
                     JoinStrategy::Broadcast
-                        if r.logical_bytes() <= ctx.config().broadcast_limit =>
+                        if r.planning_bytes()? <= ctx.config().broadcast_limit =>
                     {
                         spec.with_hint(JoinHint::BroadcastRight)
                     }

@@ -158,6 +158,9 @@ pub fn infer_catalog(inputs: &HashMap<String, DistCollection>) -> Result<Catalog
 /// optimizer treats as "unknown — don't touch". Partitions stream one at a
 /// time, so spilled collections are never re-materialized wholesale.
 pub fn infer_schema(coll: &DistCollection) -> Result<AttrSchema> {
+    if let Some(ex) = coll.context().exchange() {
+        return infer_schema_global(coll, ex.as_ref());
+    }
     let mut sample: Vec<Value> = Vec::new();
     coll.for_each_partition(|rows| {
         for row in rows.iter().take(8) {
@@ -167,6 +170,60 @@ pub fn infer_schema(coll: &DistCollection) -> Result<AttrSchema> {
         }
         Ok(())
     })?;
+    let refs: Vec<&Value> = sample.iter().collect();
+    Ok(schema_of_rows(&refs))
+}
+
+/// [`infer_schema`] under a cluster exchange: reconstructs the exact sample
+/// the single-process engine draws. Each rank gathers the first ≤8 rows of
+/// every partition slot (non-owned slots are empty), the per-partition
+/// samples are merged element-wise across ranks (only the owner contributes
+/// to a slot), and the partition-ordered row sequence is truncated at the
+/// same 64-row budget — so every rank derives the identical schema, and it
+/// is the schema the in-process oracle infers.
+fn infer_schema_global(
+    coll: &DistCollection,
+    ex: &dyn trance_dist::Exchange,
+) -> Result<AttrSchema> {
+    let mut per_part: Vec<Vec<Value>> = Vec::new();
+    coll.for_each_partition(|rows| {
+        per_part.push(rows.iter().take(8).cloned().collect());
+        Ok(())
+    })?;
+    let mut w = trance_store::ByteWriter::new();
+    w.len_u32(per_part.len(), "sampled partitions")?;
+    for rows in &per_part {
+        w.len_u32(rows.len(), "sampled rows")?;
+        for row in rows {
+            trance_store::encode_value(row, &mut w)?;
+        }
+    }
+    let gathered = ex.allgather(w.into_bytes())?;
+    let mut merged: Vec<Vec<Value>> = vec![Vec::new(); per_part.len()];
+    for bytes in &gathered {
+        let mut r = trance_store::ByteReader::new(bytes);
+        let nparts = r.u32()? as usize;
+        if nparts != merged.len() {
+            return Err(ExecError::Other(format!(
+                "schema sample partition count mismatch across ranks ({nparts} vs {})",
+                merged.len()
+            )));
+        }
+        for slot in merged.iter_mut() {
+            let nrows = r.u32()? as usize;
+            for _ in 0..nrows {
+                slot.push(trance_store::decode_value(&mut r)?);
+            }
+        }
+    }
+    let mut sample: Vec<Value> = Vec::new();
+    for slot in merged {
+        for row in slot {
+            if sample.len() < 64 {
+                sample.push(row);
+            }
+        }
+    }
     let refs: Vec<&Value> = sample.iter().collect();
     Ok(schema_of_rows(&refs))
 }

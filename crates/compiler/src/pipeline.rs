@@ -89,6 +89,12 @@ impl Strategy {
         }
     }
 
+    /// Parses a [`Strategy::label`] back to its strategy — the wire form the
+    /// multi-node protocol ships strategies in.
+    pub fn from_label(label: &str) -> Option<Strategy> {
+        Strategy::all().into_iter().find(|s| s.label() == label)
+    }
+
     /// True for the strategies that run on the shredded representation.
     pub fn is_shredded(&self) -> bool {
         matches!(
@@ -192,6 +198,38 @@ impl InputSet {
             );
         }
         Ok(())
+    }
+
+    /// Registers a flat input from explicitly partitioned rows — the
+    /// multi-node loading entry point: a worker process passes only the
+    /// partition slots its rank owns and empty vectors elsewhere, so every
+    /// rank sees the same full-length partition vector the coordinator
+    /// round-robin split.
+    pub fn add_flat_partitioned(&mut self, name: &str, parts: Vec<Vec<Value>>) {
+        let coll = DistCollection::from_partitioned_rows(self.ctx.clone(), parts);
+        self.nested.insert(name.to_string(), coll.clone());
+        self.shredded.insert(name.to_string(), coll);
+    }
+
+    /// Registers the **nested form** of a nested input from explicitly
+    /// partitioned rows (multi-node loading; the shredded forms arrive
+    /// separately through [`InputSet::add_shredded_partitioned`] under their
+    /// `flat_input_name` / `input_dict_name` names).
+    pub fn add_nested_partitioned(&mut self, name: &str, parts: Vec<Vec<Value>>) {
+        self.nested.insert(
+            name.to_string(),
+            DistCollection::from_partitioned_rows(self.ctx.clone(), parts),
+        );
+    }
+
+    /// Registers one shredded collection (a flat top bag or a dictionary)
+    /// from explicitly partitioned rows under its exact shredded name
+    /// (multi-node loading counterpart of [`InputSet::add_shredded`]).
+    pub fn add_shredded_partitioned(&mut self, name: &str, parts: Vec<Vec<Value>>) {
+        self.shredded.insert(
+            name.to_string(),
+            DistCollection::from_partitioned_rows(self.ctx.clone(), parts),
+        );
     }
 
     /// Registers an already-shredded input under its shredded names. Useful

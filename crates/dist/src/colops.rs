@@ -53,10 +53,11 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use trance_nrc::{Bag, Tuple, Value};
-use trance_store::MemoryGovernor;
+use trance_store::{ByteReader, ByteWriter, MemoryGovernor, Spillable};
 
 use crate::batch::{Batch, Bitmap, Column, FieldHint};
 use crate::error::{ExecError, Result};
+use crate::exchange::{allgather_u64, global_sum, owned_range, owner_of_partition, Exchange};
 use crate::fault::{with_retry, FaultSite};
 use crate::join::{JoinKind, JoinSpec};
 use crate::ops::DistCollection;
@@ -370,8 +371,36 @@ impl ColCollection {
     }
 
     /// The attribute names of the first non-empty partition's schema (used
-    /// by schema-directed consumers such as distributed unshredding).
+    /// by schema-directed consumers such as distributed unshredding). Under
+    /// a cluster exchange the first non-empty partition may live on another
+    /// rank: every rank gathers the per-rank answers and takes the first
+    /// non-empty one in rank order — with contiguous partition ownership
+    /// that is exactly the single-process scan order.
     pub fn first_fields(&self) -> Result<Vec<String>> {
+        let local = self.local_first_fields()?;
+        let Some(ex) = self.ctx.exchange() else {
+            return Ok(local);
+        };
+        let mut w = ByteWriter::new();
+        w.len_u32(local.len(), "schema fields")?;
+        for f in &local {
+            w.str(f)?;
+        }
+        for bytes in ex.allgather(w.into_bytes())? {
+            let mut r = ByteReader::new(&bytes);
+            let n = r.u32()? as usize;
+            if n > 0 {
+                let mut fields = Vec::with_capacity(r.bounded_capacity(n));
+                for _ in 0..n {
+                    fields.push(r.str()?);
+                }
+                return Ok(fields);
+            }
+        }
+        Ok(Vec::new())
+    }
+
+    fn local_first_fields(&self) -> Result<Vec<String>> {
         for part in self.parts.iter() {
             if part.rows() == 0 {
                 continue;
@@ -401,6 +430,13 @@ impl ColCollection {
     /// planning and the memory cap.
     pub fn logical_bytes(&self) -> usize {
         self.parts.iter().map(ColPart::logical_bytes).sum()
+    }
+
+    /// The logical size planning decisions must use: the cluster-wide sum
+    /// when a multi-process exchange is installed (every rank has to pick
+    /// the same plan), [`ColCollection::logical_bytes`] otherwise.
+    pub fn planning_bytes(&self) -> Result<usize> {
+        planning_logical_bytes(self)
     }
 
     /// Exact physical buffer bytes across all partitions.
@@ -671,7 +707,7 @@ impl ColCollection {
             let (right_light, right_heavy) = split_by_keys_col(right, spec.right_keys(), &keys)?;
             let light = left_light.join(&right_light, spec)?;
             let limit = self.ctx.config().broadcast_limit;
-            let heavy = if right_heavy.logical_bytes() <= limit {
+            let heavy = if planning_logical_bytes(&right_heavy)? <= limit {
                 join_impl_col(
                     &left_heavy,
                     &right_heavy,
@@ -1064,18 +1100,30 @@ where
             Ok((shipped, rows, logical, physical))
         })
     })?;
-    let mut received: Vec<Vec<Batch>> = (0..nparts).map(|_| Vec::new()).collect();
     let mut tuples = 0u64;
     let mut logical = 0u64;
     let mut physical = 0u64;
+    let mut shipped_by_source: Vec<Vec<Vec<Batch>>> = Vec::with_capacity(bucketed.len());
     for (shipped, t, l, p) in bucketed {
         tuples += t;
         logical += l;
         physical += p;
-        for (target, pieces) in shipped.into_iter().enumerate() {
-            received[target].extend(pieces);
-        }
+        shipped_by_source.push(shipped);
     }
+    let received: Vec<Vec<Batch>> = match ctx.exchange() {
+        Some(ex) => exchange_shuffle_pieces(ctx, ex.as_ref(), shipped_by_source)?,
+        None => {
+            let mut received: Vec<Vec<Batch>> = (0..nparts).map(|_| Vec::new()).collect();
+            for shipped in shipped_by_source {
+                for (target, pieces) in shipped.into_iter().enumerate() {
+                    received[target].extend(pieces);
+                }
+            }
+            received
+        }
+    };
+    // Per-rank metering: each rank counts the rows/bytes its own sources
+    // routed, so the rank-summed counters equal the single-process totals.
     ctx.stats().record_shuffle(tuples, logical, physical);
     received
         .into_iter()
@@ -1092,6 +1140,63 @@ where
             }
         })
         .collect()
+}
+
+/// Routes one local shuffle pass through the cluster [`Exchange`]: pieces
+/// addressed to partitions this rank owns stay local, the rest ship to the
+/// owning rank as `(source, target, index, batch)` frames, and incoming
+/// frames from other ranks land in the same per-target lists. Each owned
+/// target's pieces are then sorted by `(source partition, piece index)` —
+/// exactly the order the single-process merge produces — so the reorder
+/// buffer absorbs out-of-order network delivery and downstream results stay
+/// bag-identical to the in-process oracle.
+fn exchange_shuffle_pieces(
+    ctx: &DistContext,
+    ex: &dyn Exchange,
+    shipped_by_source: Vec<Vec<Vec<Batch>>>,
+) -> Result<Vec<Vec<Batch>>> {
+    let nparts = ctx.config().partitions.max(1);
+    let (rank, ranks) = (ex.rank(), ex.ranks());
+    let owned = owned_range(rank, nparts, ranks);
+    let mut tagged: Vec<Vec<(u32, u32, Batch)>> = (0..nparts).map(|_| Vec::new()).collect();
+    let mut outgoing: Vec<(usize, Vec<u8>)> = Vec::new();
+    for (s, shipped) in shipped_by_source.into_iter().enumerate() {
+        for (t, pieces) in shipped.into_iter().enumerate() {
+            let owner = owner_of_partition(t, nparts, ranks);
+            for (i, piece) in pieces.into_iter().enumerate() {
+                if owner == rank {
+                    tagged[t].push((s as u32, i as u32, piece));
+                } else {
+                    let mut w = ByteWriter::new();
+                    w.u32(s as u32);
+                    w.u32(t as u32);
+                    w.u32(i as u32);
+                    piece.encode(&mut w)?;
+                    outgoing.push((owner, w.into_bytes()));
+                }
+            }
+        }
+    }
+    for payload in ex.shuffle(outgoing)? {
+        let mut r = ByteReader::new(&payload);
+        let s = r.u32()?;
+        let t = r.u32()? as usize;
+        let i = r.u32()?;
+        let piece = Batch::decode(&mut r)?;
+        if !owned.contains(&t) {
+            return Err(ExecError::Other(format!(
+                "rank {rank} received a shuffle piece for partition {t} it does not own"
+            )));
+        }
+        tagged[t].push((s, i, piece));
+    }
+    Ok(tagged
+        .into_iter()
+        .map(|mut pieces| {
+            pieces.sort_by_key(|(s, i, _)| (*s, *i));
+            pieces.into_iter().map(|(_, _, b)| b).collect()
+        })
+        .collect())
 }
 
 // ---------------------------------------------------------------------------
@@ -1349,9 +1454,9 @@ fn join_impl_col(
         ColJoinPath::BroadcastRight { skew } => broadcast_right_col(left, right, spec, skew),
         ColJoinPath::Shuffle { skew } => shuffle_join_col(left, right, spec, skew),
         ColJoinPath::Auto => {
-            if right.logical_bytes() <= limit {
+            if planning_logical_bytes(right)? <= limit {
                 broadcast_right_col(left, right, spec, false)
-            } else if spec.kind() == JoinKind::Inner && left.logical_bytes() <= limit {
+            } else if spec.kind() == JoinKind::Inner && planning_logical_bytes(left)? <= limit {
                 broadcast_left_col(left, right, spec)
             } else {
                 shuffle_join_col(left, right, spec, false)
@@ -1393,6 +1498,44 @@ fn project_right_batch(b: &Batch, spec: &JoinSpec) -> Batch {
 /// projection configured → empty null extension) or explicit NULLs.
 fn none_is_absent(spec: &JoinSpec) -> bool {
     spec.right_fields().is_none()
+}
+
+/// A collection's logical size for planning decisions: the cluster-wide sum
+/// when a multi-process exchange is installed (every rank must take the
+/// same join plan), the local size otherwise. Saturates at `usize::MAX` so
+/// a huge cluster-wide sum can only make the planner *more* conservative.
+fn planning_logical_bytes(coll: &ColCollection) -> Result<usize> {
+    match coll.ctx.exchange() {
+        Some(ex) => {
+            let total = global_sum(ex.as_ref(), coll.logical_bytes() as u64)?;
+            Ok(usize::try_from(total).unwrap_or(usize::MAX))
+        }
+        None => Ok(coll.logical_bytes()),
+    }
+}
+
+/// Concatenates a (small) broadcast side into one resident batch. Under an
+/// exchange, every rank contributes its local concatenation and the
+/// rank-ordered gather is concatenated again — with contiguous partition
+/// ownership that reproduces exactly the partition-ordered batch the
+/// single-process engine builds, so probe outputs stay row-identical.
+fn gather_side_batch(ctx: &DistContext, side: &ColCollection) -> Result<Batch> {
+    let batches: Vec<Cow<'_, Batch>> = side.batches()?;
+    let owned: Vec<Batch> = batches.iter().map(|b| b.as_ref().clone()).collect();
+    let local = Batch::concat(&owned);
+    match ctx.exchange() {
+        Some(ex) => {
+            let mut w = ByteWriter::new();
+            local.encode(&mut w)?;
+            let gathered = ex.allgather(w.into_bytes())?;
+            let mut parts = Vec::with_capacity(gathered.len());
+            for bytes in &gathered {
+                parts.push(Batch::decode(&mut ByteReader::new(bytes))?);
+            }
+            Ok(Batch::concat(&parts))
+        }
+        None => Ok(local),
+    }
 }
 
 fn meter_broadcast_col(ctx: &DistContext, side: &ColCollection, skew: bool) {
@@ -1462,10 +1605,8 @@ fn broadcast_right_col(
     let ctx = left.ctx.clone();
     meter_broadcast_col(&ctx, right, skew);
     // The broadcast side fits under the broadcast limit by construction:
-    // concatenate it resident.
-    let rbatches: Vec<Cow<'_, Batch>> = right.batches()?;
-    let rowned: Vec<Batch> = rbatches.iter().map(|b| b.as_ref().clone()).collect();
-    let rbatch = Batch::concat(&rowned);
+    // concatenate it resident (cluster-wide under an exchange).
+    let rbatch = gather_side_batch(&ctx, right)?;
     tuple_rows_required(&rbatch)?;
     let rproj = project_right_batch(&rbatch, spec);
     let table = build_table(&rbatch, spec.right_keys())?;
@@ -1488,9 +1629,7 @@ fn broadcast_left_col(
 ) -> Result<ColCollection> {
     let ctx = left.ctx.clone();
     meter_broadcast_col(&ctx, left, false);
-    let lbatches: Vec<Cow<'_, Batch>> = left.batches()?;
-    let lowned: Vec<Batch> = lbatches.iter().map(|b| b.as_ref().clone()).collect();
-    let lbatch = Batch::concat(&lowned);
+    let lbatch = gather_side_batch(&ctx, left)?;
     tuple_rows_required(&lbatch)?;
     let table = build_table(&lbatch, spec.left_keys())?;
     let parts = run_partitioned(&ctx, &right.parts, |_, part| {
@@ -1688,15 +1827,31 @@ fn shuffle_join_col(
 /// of [`crate::skew::detect_heavy_keys`], same deterministic stride).
 fn detect_heavy_keys_col(data: &ColCollection, key_cols: &[String]) -> Result<HashSet<Vec<Value>>> {
     let config = data.ctx.config();
-    let total = data.len();
+    let ex = data.ctx.exchange();
+    // Under an exchange, the sample must be the *cluster-wide* one the
+    // single-process engine would draw: the global row count sizes the
+    // stride, and each rank walks the same global row numbering (its owned
+    // partitions are a contiguous block, so its rows start after every
+    // lower rank's). The per-rank partial counts are then merged, so every
+    // rank derives the identical heavy-key set and the light/heavy splits
+    // stay rank-aligned.
+    let local_rows = data.len() as u64;
+    let (total, start) = match &ex {
+        Some(ex) => {
+            let rows = allgather_u64(ex.as_ref(), local_rows)?;
+            let start: u64 = rows.iter().take(ex.rank()).sum();
+            (rows.iter().sum::<u64>(), start)
+        }
+        None => (local_rows, 0u64),
+    };
     if total == 0 {
         return Ok(HashSet::new());
     }
-    let sample_target = config.skew_sample.max(1);
+    let sample_target = config.skew_sample.max(1) as u64;
     let stride = (total / sample_target).max(1);
     let mut counts: HashMap<Vec<Value>, usize> = HashMap::new();
-    let mut sampled = 0usize;
-    let mut global = 0usize;
+    let mut sampled = 0u64;
+    let mut global = start;
     for part in data.parts.iter() {
         for chunk in part.chunks(&data.ctx)? {
             let b = chunk?;
@@ -1714,6 +1869,9 @@ fn detect_heavy_keys_col(data: &ColCollection, key_cols: &[String]) -> Result<Ha
             }
         }
     }
+    if let Some(ex) = &ex {
+        (sampled, counts) = merge_sampled_counts(ex.as_ref(), sampled, counts)?;
+    }
     if sampled == 0 {
         return Ok(HashSet::new());
     }
@@ -1724,6 +1882,43 @@ fn detect_heavy_keys_col(data: &ColCollection, key_cols: &[String]) -> Result<Ha
         .filter(|(_, c)| *c as f64 >= min_count)
         .map(|(k, _)| k)
         .collect())
+}
+
+/// Allgathers each rank's `(sampled, key → count)` partial sample and merges
+/// them additively; every rank returns the same totals.
+fn merge_sampled_counts(
+    ex: &dyn Exchange,
+    sampled: u64,
+    counts: HashMap<Vec<Value>, usize>,
+) -> Result<(u64, HashMap<Vec<Value>, usize>)> {
+    let mut w = ByteWriter::new();
+    w.u64(sampled);
+    w.len_u32(counts.len(), "sampled keys")?;
+    for (key, count) in &counts {
+        w.u64(*count as u64);
+        w.len_u32(key.len(), "sampled key values")?;
+        for v in key {
+            trance_store::encode_value(v, &mut w)?;
+        }
+    }
+    let gathered = ex.allgather(w.into_bytes())?;
+    let mut total_sampled = 0u64;
+    let mut merged: HashMap<Vec<Value>, usize> = HashMap::new();
+    for bytes in &gathered {
+        let mut r = ByteReader::new(bytes);
+        total_sampled += r.u64()?;
+        let entries = r.u32()? as usize;
+        for _ in 0..entries {
+            let count = r.u64()? as usize;
+            let klen = r.u32()? as usize;
+            let mut key = Vec::with_capacity(r.bounded_capacity(klen));
+            for _ in 0..klen {
+                key.push(trance_store::decode_value(&mut r)?);
+            }
+            *merged.entry(key).or_insert(0) += count;
+        }
+    }
+    Ok((total_sampled, merged))
 }
 
 /// Splits a collection into (keys not in `keys`, keys in `keys`) without

@@ -65,6 +65,7 @@ use trance_store::SpillManager;
 pub mod batch;
 pub mod colops;
 pub mod error;
+pub mod exchange;
 pub mod fault;
 pub mod join;
 pub mod ops;
@@ -77,6 +78,7 @@ pub mod stats;
 pub use batch::{Batch, Bitmap, Column, FieldHint, Schema, StrDict};
 pub use colops::ColCollection;
 pub use error::{EngineError, ExecError, Result};
+pub use exchange::{allgather_u64, global_sum, owned_range, owner_of_partition, Exchange, MemMesh};
 pub use fault::{CancelToken, FaultInjector, FaultPlan, FaultSite};
 pub use join::{JoinHint, JoinKind, JoinSpec};
 pub use ops::DistCollection;
@@ -283,6 +285,10 @@ struct CtxInner {
     /// The run's cancellation token; reset by the compiler at the start of
     /// each run, checked at morsel and spill-frame boundaries.
     cancel: CancelToken,
+    /// The multi-process exchange, when this context is one rank of a
+    /// cluster run (see [`exchange`]). `None` — the default — keeps every
+    /// distributed branch a single resident check.
+    exchange: Mutex<Option<Arc<dyn exchange::Exchange>>>,
 }
 
 /// Handle to the simulated cluster: configuration plus shared metrics.
@@ -310,6 +316,7 @@ impl DistContext {
                 faults,
                 fault_session: AtomicBool::new(true),
                 cancel: CancelToken::new(),
+                exchange: Mutex::new(None),
             }),
         }
     }
@@ -346,6 +353,7 @@ impl DistContext {
                 faults: self.inner.faults.clone(),
                 fault_session: AtomicBool::new(true),
                 cancel: CancelToken::new(),
+                exchange: Mutex::new(self.exchange()),
             }),
         }
     }
@@ -440,6 +448,28 @@ impl DistContext {
     /// Boundary cancellation check (flag + deadline).
     pub fn check_cancel(&self) -> error::Result<()> {
         self.inner.cancel.check()
+    }
+
+    /// Installs (or clears) the multi-process [`exchange::Exchange`] for
+    /// this context: with one installed, shuffles, broadcasts and planning
+    /// decisions coordinate with the other ranks of the cluster run.
+    /// Sessions derived afterwards inherit the handle.
+    pub fn set_exchange(&self, ex: Option<Arc<dyn exchange::Exchange>>) {
+        *self
+            .inner
+            .exchange
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = ex;
+    }
+
+    /// The installed multi-process exchange, if this context is one rank of
+    /// a cluster run.
+    pub fn exchange(&self) -> Option<Arc<dyn exchange::Exchange>> {
+        self.inner
+            .exchange
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// The run's scoped spill directory, if any spill has happened yet.

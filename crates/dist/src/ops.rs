@@ -101,6 +101,16 @@ impl std::fmt::Debug for DistCollection {
 }
 
 impl DistCollection {
+    /// Wraps an already-partitioned row set with an explicit slot per
+    /// partition (no memory check, like input parallelizing). This is the
+    /// multi-node loading entry point: a worker process receives only the
+    /// partitions its rank owns and passes empty vectors for the rest, so
+    /// every rank sees the same full-length partition vector.
+    pub fn from_partitioned_rows(ctx: DistContext, mut parts: Vec<Vec<Value>>) -> Self {
+        parts.resize(ctx.config().partitions.max(1).max(parts.len()), Vec::new());
+        DistCollection::from_parts(ctx, parts)
+    }
+
     /// Wraps an already-partitioned row set (no memory check: used for input
     /// loading, which the paper excludes from the measured runs).
     pub(crate) fn from_parts(ctx: DistContext, parts: Vec<Vec<Value>>) -> Self {

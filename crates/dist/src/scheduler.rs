@@ -82,7 +82,10 @@ impl PoolShared {
         for offset in 0..n {
             let slot = (preferred + offset) % n;
             let task = {
-                let mut deque = self.slots[slot].lock().unwrap();
+                // A poisoned deque only means a sibling panicked while
+                // holding the lock; recover the guard so the settle-before-
+                // unwind path reports the *first* panic, not this one.
+                let mut deque = self.slots[slot].lock().unwrap_or_else(|e| e.into_inner());
                 if offset == 0 {
                     // Own deque: submission order (a scope pushes all its
                     // tasks up front, so FIFO walks partitions in order).
@@ -106,13 +109,13 @@ impl PoolShared {
     fn push(&self, slot: usize, task: Task) {
         self.slots[slot % self.slots.len()]
             .lock()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .push_back(task);
         self.queued.fetch_add(1, Ordering::Relaxed);
     }
 
     fn wake_workers(&self) {
-        let _guard = self.idle.lock().unwrap();
+        let _guard = self.idle.lock().unwrap_or_else(|e| e.into_inner());
         self.work_cond.notify_all();
     }
 }
@@ -260,13 +263,13 @@ impl WorkerPool {
                     scope.steals.fetch_add(1, Ordering::Relaxed);
                 }
                 if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
-                    let mut slot = scope.panic.lock().unwrap();
+                    let mut slot = scope.panic.lock().unwrap_or_else(|e| e.into_inner());
                     if slot.is_none() {
                         *slot = Some(payload);
                     }
                 }
                 if scope.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-                    let _guard = scope.done.lock().unwrap();
+                    let _guard = scope.done.lock().unwrap_or_else(|e| e.into_inner());
                     scope.done_cond.notify_all();
                 }
             });
@@ -283,19 +286,21 @@ impl WorkerPool {
             match self.shared.grab(preferred) {
                 Some((task, stolen)) => task(stolen),
                 None => {
-                    let guard = state.done.lock().unwrap();
+                    let guard = state.done.lock().unwrap_or_else(|e| e.into_inner());
                     if state.pending.load(Ordering::Acquire) > 0 {
                         // Timed wait: the remaining tasks run on workers that
-                        // may finish between our check and the wait.
+                        // may finish between our check and the wait. Poison
+                        // here is survivable too — the scope's first panic is
+                        // re-raised below, not masked by a second one.
                         let _ = state
                             .done_cond
                             .wait_timeout(guard, Duration::from_millis(1))
-                            .unwrap();
+                            .unwrap_or_else(|e| e.into_inner());
                     }
                 }
             }
         }
-        if let Some(payload) = state.panic.lock().unwrap().take() {
+        if let Some(payload) = state.panic.lock().unwrap_or_else(|e| e.into_inner()).take() {
             std::panic::resume_unwind(payload);
         }
         state.steals.load(Ordering::Relaxed)
@@ -322,13 +327,13 @@ fn worker_loop(shared: &PoolShared, slot: usize) {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        let guard = shared.idle.lock().unwrap();
+        let guard = shared.idle.lock().unwrap_or_else(|e| e.into_inner());
         if shared.queued.load(Ordering::Relaxed) == 0 && !shared.shutdown.load(Ordering::Acquire) {
             // Timed wait keeps a missed notify benign.
             let _ = shared
                 .work_cond
                 .wait_timeout(guard, Duration::from_millis(10))
-                .unwrap();
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
 }

@@ -50,11 +50,12 @@ const COL_BAG_ROWS: u8 = 5;
 const COL_BAG_VALUES: u8 = 6;
 const COL_OTHER: u8 = 7;
 
-fn encode_bitmap(bm: &Bitmap, w: &mut ByteWriter) {
-    w.u32(bm.len() as u32);
+fn encode_bitmap(bm: &Bitmap, w: &mut ByteWriter) -> std::io::Result<()> {
+    w.len_u32(bm.len(), "bitmap bits")?;
     for word in bm.words() {
         w.u64(*word);
     }
+    Ok(())
 }
 
 fn decode_bitmap(r: &mut ByteReader<'_>) -> std::io::Result<Bitmap> {
@@ -66,16 +67,16 @@ fn decode_bitmap(r: &mut ByteReader<'_>) -> std::io::Result<Bitmap> {
     Ok(Bitmap::from_words(words, len))
 }
 
-fn encode_column(col: &Column, w: &mut ByteWriter) {
+fn encode_column(col: &Column, w: &mut ByteWriter) -> std::io::Result<()> {
     macro_rules! prim {
         ($tag:expr, $data:expr, $nulls:expr, $absent:expr, $write:ident) => {{
             w.u8($tag);
-            w.u32($data.len() as u32);
+            w.len_u32($data.len(), "column values")?;
             for v in $data {
                 w.$write(*v);
             }
-            encode_bitmap($nulls, w);
-            encode_bitmap($absent, w);
+            encode_bitmap($nulls, w)?;
+            encode_bitmap($absent, w)?;
         }};
     }
     match col {
@@ -100,12 +101,12 @@ fn encode_column(col: &Column, w: &mut ByteWriter) {
             absent,
         } => {
             w.u8(COL_BOOL);
-            w.u32(data.len() as u32);
+            w.len_u32(data.len(), "column values")?;
             for v in data {
                 w.u8(u8::from(*v));
             }
-            encode_bitmap(nulls, w);
-            encode_bitmap(absent, w);
+            encode_bitmap(nulls, w)?;
+            encode_bitmap(absent, w)?;
         }
         Column::Str {
             dict,
@@ -115,17 +116,17 @@ fn encode_column(col: &Column, w: &mut ByteWriter) {
         } => {
             w.u8(COL_STR);
             let (bytes, offsets) = dict.raw_parts();
-            w.str(bytes);
-            w.u32(offsets.len() as u32);
+            w.str(bytes)?;
+            w.len_u32(offsets.len(), "dictionary offsets")?;
             for o in offsets {
                 w.u32(*o);
             }
-            w.u32(codes.len() as u32);
+            w.len_u32(codes.len(), "dictionary codes")?;
             for c in codes {
                 w.u32(*c);
             }
-            encode_bitmap(nulls, w);
-            encode_bitmap(absent, w);
+            encode_bitmap(nulls, w)?;
+            encode_bitmap(absent, w)?;
         }
         Column::Bag {
             offsets,
@@ -136,36 +137,37 @@ fn encode_column(col: &Column, w: &mut ByteWriter) {
             match elems {
                 BagElems::Rows(child) => {
                     w.u8(COL_BAG_ROWS);
-                    w.u32(offsets.len() as u32);
+                    w.len_u32(offsets.len(), "bag offsets")?;
                     for o in offsets {
                         w.u32(*o);
                     }
-                    child.encode(w);
+                    child.encode(w)?;
                 }
                 BagElems::Values(values) => {
                     w.u8(COL_BAG_VALUES);
-                    w.u32(offsets.len() as u32);
+                    w.len_u32(offsets.len(), "bag offsets")?;
                     for o in offsets {
                         w.u32(*o);
                     }
-                    w.u32(values.len() as u32);
+                    w.len_u32(values.len(), "bag values")?;
                     for v in values {
-                        encode_value(v, w);
+                        encode_value(v, w)?;
                     }
                 }
             }
-            encode_bitmap(nulls, w);
-            encode_bitmap(absent, w);
+            encode_bitmap(nulls, w)?;
+            encode_bitmap(absent, w)?;
         }
         Column::Other { values, absent } => {
             w.u8(COL_OTHER);
-            w.u32(values.len() as u32);
+            w.len_u32(values.len(), "column values")?;
             for v in values {
-                encode_value(v, w);
+                encode_value(v, w)?;
             }
-            encode_bitmap(absent, w);
+            encode_bitmap(absent, w)?;
         }
     }
+    Ok(())
 }
 
 fn decode_column(r: &mut ByteReader<'_>) -> std::io::Result<Column> {
@@ -271,17 +273,18 @@ fn decode_column(r: &mut ByteReader<'_>) -> std::io::Result<Column> {
 /// The compact on-disk batch layout: row count, schema header (opaque flag +
 /// field names), then the typed columns.
 impl Spillable for Batch {
-    fn encode(&self, w: &mut ByteWriter) {
-        w.u32(self.rows() as u32);
+    fn encode(&self, w: &mut ByteWriter) -> std::io::Result<()> {
+        w.len_u32(self.rows(), "batch rows")?;
         w.u8(u8::from(self.schema().is_opaque()));
-        w.u32(self.schema().fields().len() as u32);
+        w.len_u32(self.schema().fields().len(), "schema fields")?;
         for f in self.schema().fields() {
-            w.str(f);
+            w.str(f)?;
         }
-        w.u32(self.columns().len() as u32);
+        w.len_u32(self.columns().len(), "batch columns")?;
         for col in self.columns() {
-            encode_column(col, w);
+            encode_column(col, w)?;
         }
+        Ok(())
     }
 
     fn decode(r: &mut ByteReader<'_>) -> std::io::Result<Batch> {
@@ -458,7 +461,7 @@ impl SpillChunkWriter {
             self.logical_bytes += chunk.logical_bytes();
             self.physical_bytes += chunk.physical_bytes();
             let mut w = ByteWriter::new();
-            chunk.encode(&mut w);
+            chunk.encode(&mut w)?;
             file.append(&w.into_bytes())?;
         }
         self.elapsed += start.elapsed();
@@ -556,9 +559,9 @@ pub(crate) fn spill_rows(ctx: &DistContext, rows: &[Value]) -> Result<SpilledRow
         with_retry(ctx, || ctx.fault_check(FaultSite::SpillWrite))?;
         bytes += chunk.iter().map(MemSize::mem_size).sum::<usize>();
         let mut w = ByteWriter::new();
-        w.u32(chunk.len() as u32);
+        w.len_u32(chunk.len(), "row chunk")?;
         for v in chunk {
-            encode_value(v, &mut w);
+            encode_value(v, &mut w)?;
         }
         file.append(&w.into_bytes())?;
     }

@@ -92,7 +92,7 @@ fn spill_frames_round_trip_random_nested_batches_losslessly() {
             let hi = (lo + chunk).min(n);
             let idx: Vec<usize> = (lo..hi).collect();
             let mut w = ByteWriter::new();
-            batch.take(&idx).encode(&mut w);
+            batch.take(&idx).encode(&mut w).expect("encode chunk");
             file.append(&w.into_bytes()).expect("append frame");
             lo = hi;
         }

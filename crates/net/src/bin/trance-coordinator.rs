@@ -1,0 +1,162 @@
+//! `trance-coordinator` — control plane of a multi-node trance cluster.
+//!
+//! Usage:
+//! `trance-coordinator [--listen ADDR] [--workers N] [--partitions P]
+//!  [--threads T] [--smoke] [--chaos] [--seed S]`
+//!
+//! Binds the control listener (printing the bound address so scripts can
+//! start workers against an ephemeral port), waits for `--workers`
+//! registrations, and — with `--smoke` — runs the differential smoke suite:
+//! the paper's running example across every nested-result strategy, each
+//! cell checked bag-identical (and logical-shuffle-byte-identical) to the
+//! in-process oracle. `--chaos` appends a seeded connection-drop cell that
+//! must recover to the oracle result through the global retry.
+
+use std::process::ExitCode;
+
+use trance_net::msg::{ClusterParams, DropSpec};
+use trance_net::{run_smoke, CoordinatorListener};
+
+struct Opts {
+    listen: String,
+    workers: usize,
+    partitions: u32,
+    threads: u32,
+    smoke: bool,
+    chaos: bool,
+    seed: u64,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts {
+        listen: "127.0.0.1:0".to_string(),
+        workers: 3,
+        partitions: 8,
+        threads: 2,
+        smoke: false,
+        chaos: false,
+        seed: 0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--listen" => opts.listen = value("--listen")?,
+            "--workers" => {
+                opts.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+            }
+            "--partitions" => {
+                opts.partitions = value("--partitions")?
+                    .parse()
+                    .map_err(|e| format!("bad --partitions: {e}"))?;
+            }
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--smoke" => opts.smoke = true,
+            "--chaos" => opts.chaos = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: trance-coordinator [--listen ADDR] [--workers N] \
+                     [--partitions P] [--threads T] [--smoke] [--chaos] [--seed S]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if opts.workers == 0 {
+        return Err("--workers must be at least 1".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("trance-coordinator: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let params = ClusterParams {
+        partitions: opts.partitions,
+        threads: opts.threads,
+        broadcast_limit: 8 * 1024 * 1024,
+    };
+    let listener = match CoordinatorListener::bind(&opts.listen, params) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("trance-coordinator: binding {}: {e}", opts.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    match listener.local_addr() {
+        Ok(addr) => println!("trance-coordinator listening on {addr}"),
+        Err(e) => {
+            eprintln!("trance-coordinator: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("waiting for {} workers", opts.workers);
+    let mut coordinator = match listener.accept_workers(opts.workers) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("trance-coordinator: accepting workers: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("cluster formed: {} ranks", coordinator.ranks());
+
+    let code = if opts.smoke {
+        // Seed-derived chaos cell: which rank drops, and after how many
+        // data frames, both follow from the echoed seed so a CI failure is
+        // reproducible.
+        let chaos = opts.chaos.then(|| DropSpec {
+            victim: (opts.seed % opts.workers as u64) as u32,
+            after_frames: 2 + opts.seed % 5,
+        });
+        println!("smoke seed: {}", opts.seed);
+        if let Some(d) = chaos {
+            println!(
+                "chaos: rank {} drops its link after {} frames",
+                d.victim, d.after_frames
+            );
+        }
+        match run_smoke(&mut coordinator, params, chaos) {
+            Ok(outcomes) => {
+                for cell in &outcomes {
+                    println!(
+                        "ok {}: {} rows, {} attempt(s), {} shuffle bytes, {} ms",
+                        cell.label, cell.rows, cell.attempts, cell.shuffled_bytes, cell.wall_ms
+                    );
+                }
+                println!(
+                    "smoke passed: {} cells agree with the oracle",
+                    outcomes.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("trance-coordinator: smoke failed: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        ExitCode::SUCCESS
+    };
+    coordinator.shutdown();
+    code
+}

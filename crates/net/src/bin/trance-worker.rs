@@ -1,0 +1,37 @@
+//! `trance-worker` — one rank of a multi-node trance cluster.
+//!
+//! Usage: `trance-worker --connect HOST:PORT`
+//!
+//! Connects to the coordinator's control address, registers its data-plane
+//! listener, then serves load/run/cancel commands until `Shutdown`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut connect: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => connect = args.next(),
+            "--help" | "-h" => {
+                println!("usage: trance-worker --connect HOST:PORT");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("trance-worker: unknown argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(addr) = connect else {
+        eprintln!("trance-worker: missing --connect HOST:PORT");
+        return ExitCode::FAILURE;
+    };
+    match trance_net::worker::serve(&addr) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("trance-worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

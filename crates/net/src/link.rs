@@ -1,0 +1,58 @@
+//! Framed control-plane connections: one [`trance_store::wire`] frame per
+//! control message over a TCP stream, safe to send from one thread while
+//! another blocks in `recv` (reader and writer halves lock independently).
+
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+use trance_store::wire;
+
+use crate::msg::{Ctrl, FRAME_CTRL, MAX_NET_FRAME};
+
+/// A control connection carrying length-prefixed, checksummed [`Ctrl`]
+/// frames.
+#[derive(Debug)]
+pub struct FramedConn {
+    reader: Mutex<TcpStream>,
+    writer: Mutex<TcpStream>,
+}
+
+impl FramedConn {
+    /// Wraps a connected stream.
+    pub fn new(stream: TcpStream) -> io::Result<FramedConn> {
+        stream.set_nodelay(true).ok();
+        let reader = stream.try_clone()?;
+        Ok(FramedConn {
+            reader: Mutex::new(reader),
+            writer: Mutex::new(stream),
+        })
+    }
+
+    /// Sends one control message as a single frame.
+    pub fn send(&self, msg: &Ctrl) -> io::Result<()> {
+        let payload = msg.encode()?;
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        wire::write_frame(&mut *w, FRAME_CTRL, &payload)?;
+        w.flush()
+    }
+
+    /// Receives the next control message; `Ok(None)` on an orderly close.
+    /// Corrupt frames (bad magic, length, checksum, unknown tag) surface as
+    /// `InvalidData` — the decoder never panics or over-allocates.
+    pub fn recv(&self) -> io::Result<Option<Ctrl>> {
+        let mut r = self.reader.lock().unwrap_or_else(|e| e.into_inner());
+        match wire::read_frame(&mut *r, MAX_NET_FRAME, None)? {
+            None => Ok(None),
+            Some((header, payload)) => {
+                if header.kind != FRAME_CTRL {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("expected control frame, got kind {:#04x}", header.kind),
+                    ));
+                }
+                Ctrl::decode(&payload).map(Some)
+            }
+        }
+    }
+}

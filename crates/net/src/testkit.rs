@@ -1,0 +1,67 @@
+//! Test harness for true multi-process clusters: re-executes the current
+//! binary as worker processes (an env var routes the child into
+//! [`crate::worker::serve`]), so differential suites exercise real process
+//! isolation and real sockets without needing pre-built binaries on PATH.
+
+use std::io;
+use std::process::{Child, Command, Stdio};
+
+use crate::coordinator::{Coordinator, CoordinatorListener};
+use crate::msg::ClusterParams;
+
+/// A coordinator plus the worker child processes it controls.
+#[derive(Debug)]
+pub struct LocalCluster {
+    /// The connected coordinator.
+    pub coordinator: Coordinator,
+    workers: Vec<Child>,
+}
+
+/// Spawns `ranks` copies of the current executable as workers and meshes
+/// them under a freshly bound coordinator. Each child sees `env_var` set to
+/// the coordinator address; the caller's `main` must check that variable
+/// first and divert into [`crate::worker::serve`].
+pub fn spawn_self_cluster(
+    env_var: &str,
+    ranks: usize,
+    params: ClusterParams,
+) -> io::Result<LocalCluster> {
+    let listener = CoordinatorListener::bind("127.0.0.1:0", params)?;
+    let addr = listener.local_addr()?;
+    let exe = std::env::current_exe()?;
+    let mut workers = Vec::with_capacity(ranks);
+    for _ in 0..ranks {
+        workers.push(
+            Command::new(&exe)
+                .env(env_var, &addr)
+                .stdin(Stdio::null())
+                .spawn()?,
+        );
+    }
+    let coordinator = listener.accept_workers(ranks)?;
+    Ok(LocalCluster {
+        coordinator,
+        workers,
+    })
+}
+
+impl LocalCluster {
+    /// Orderly teardown: ask every worker to exit, then reap the children.
+    pub fn shutdown(&mut self) {
+        self.coordinator.shutdown();
+        for child in &mut self.workers {
+            let _ = child.wait();
+        }
+        self.workers.clear();
+    }
+}
+
+impl Drop for LocalCluster {
+    fn drop(&mut self) {
+        // If shutdown was skipped (a failing test), don't leak processes.
+        for child in &mut self.workers {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}

@@ -6,10 +6,49 @@
 //! implements [`Spillable`]. Row chunks (`Vec<Value>`) are encoded here; the
 //! columnar batch layout is encoded by `trance-dist` (which owns the batch
 //! type) on top of the same primitives.
+//!
+//! Every length written into a frame goes through [`ByteWriter::len_u32`]:
+//! a collection too large for the `u32` length prefix fails with a typed
+//! [`CodecError::LengthOverflow`] instead of silently truncating the count
+//! and corrupting the frame. Decoders bound every pre-allocation by the
+//! bytes actually remaining, so a malicious count cannot balloon memory.
 
 use std::io;
 
 use trance_nrc::{Bag, Label, Tuple, Value};
+
+/// A typed encoding error. Carried across the `io::Error` boundary (the
+/// [`Spillable`] trait speaks `io::Result`) as an
+/// [`io::ErrorKind::InvalidData`] error whose source downcasts back to
+/// `CodecError`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// A collection is too large for the format's `u32` length prefix.
+    LengthOverflow {
+        /// What was being encoded (e.g. `"string bytes"`, `"bag items"`).
+        what: &'static str,
+        /// The offending length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::LengthOverflow { what, len } => {
+                write!(f, "{what} length {len} exceeds the u32 frame limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<CodecError> for io::Error {
+    fn from(e: CodecError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
 
 /// Growable byte buffer with little-endian append helpers.
 #[derive(Debug, Default)]
@@ -63,10 +102,20 @@ impl ByteWriter {
         self.u64(v.to_bits());
     }
 
+    /// Appends a length as a checked `u32` prefix: lengths beyond
+    /// `u32::MAX` fail with [`CodecError::LengthOverflow`] instead of
+    /// wrapping and corrupting the frame.
+    pub fn len_u32(&mut self, n: usize, what: &'static str) -> io::Result<()> {
+        let v = u32::try_from(n).map_err(|_| CodecError::LengthOverflow { what, len: n })?;
+        self.u32(v);
+        Ok(())
+    }
+
     /// Appends a length-prefixed UTF-8 string.
-    pub fn str(&mut self, s: &str) {
-        self.u32(s.len() as u32);
+    pub fn str(&mut self, s: &str) -> io::Result<()> {
+        self.len_u32(s.len(), "string bytes")?;
         self.buf.extend_from_slice(s.as_bytes());
+        Ok(())
     }
 
     /// Appends raw bytes (caller is responsible for framing).
@@ -97,6 +146,15 @@ impl<'a> ByteReader<'a> {
     /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
+    }
+
+    /// Bounds a decoded element count by the bytes actually left in the
+    /// frame: every encoded element occupies at least one byte, so a
+    /// pre-allocation beyond `remaining()` can only come from a corrupt or
+    /// malicious count — clamping keeps the decoder's allocation
+    /// proportional to the input instead of to the attacker's claim.
+    pub fn bounded_capacity(&self, n: usize) -> usize {
+        n.min(self.remaining())
     }
 
     fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
@@ -155,8 +213,10 @@ impl<'a> ByteReader<'a> {
 
 /// A type that can cross the memory/disk boundary as one spill frame.
 pub trait Spillable: Sized {
-    /// Appends the encoded form to `w`.
-    fn encode(&self, w: &mut ByteWriter);
+    /// Appends the encoded form to `w`. Fails with a typed
+    /// [`CodecError`]-backed error when the value cannot be represented
+    /// (e.g. a collection too large for a length prefix).
+    fn encode(&self, w: &mut ByteWriter) -> io::Result<()>;
     /// Decodes one value previously written by [`Spillable::encode`].
     fn decode(r: &mut ByteReader<'_>) -> io::Result<Self>;
 }
@@ -173,7 +233,7 @@ const TAG_TUPLE: u8 = 7;
 const TAG_BAG: u8 = 8;
 
 /// Encodes one [`Value`] (all nine variants, recursively).
-pub fn encode_value(v: &Value, w: &mut ByteWriter) {
+pub fn encode_value(v: &Value, w: &mut ByteWriter) -> io::Result<()> {
     match v {
         Value::Null => w.u8(TAG_NULL),
         Value::Bool(b) => {
@@ -190,7 +250,7 @@ pub fn encode_value(v: &Value, w: &mut ByteWriter) {
         }
         Value::Str(s) => {
             w.u8(TAG_STR);
-            w.str(s);
+            w.str(s)?;
         }
         Value::Date(d) => {
             w.u8(TAG_DATE);
@@ -199,27 +259,28 @@ pub fn encode_value(v: &Value, w: &mut ByteWriter) {
         Value::Label(l) => {
             w.u8(TAG_LABEL);
             w.u32(l.site);
-            w.u32(l.values.len() as u32);
+            w.len_u32(l.values.len(), "label values")?;
             for v in l.values.iter() {
-                encode_value(v, w);
+                encode_value(v, w)?;
             }
         }
         Value::Tuple(t) => {
             w.u8(TAG_TUPLE);
-            w.u32(t.fields().len() as u32);
+            w.len_u32(t.fields().len(), "tuple fields")?;
             for (name, value) in t.fields() {
-                w.str(name);
-                encode_value(value, w);
+                w.str(name)?;
+                encode_value(value, w)?;
             }
         }
         Value::Bag(b) => {
             w.u8(TAG_BAG);
-            w.u32(b.len() as u32);
+            w.len_u32(b.len(), "bag items")?;
             for v in b.iter() {
-                encode_value(v, w);
+                encode_value(v, w)?;
             }
         }
     }
+    Ok(())
 }
 
 /// Decodes one [`Value`] written by [`encode_value`].
@@ -234,7 +295,7 @@ pub fn decode_value(r: &mut ByteReader<'_>) -> io::Result<Value> {
         TAG_LABEL => {
             let site = r.u32()?;
             let n = r.u32()? as usize;
-            let mut values = Vec::with_capacity(n);
+            let mut values = Vec::with_capacity(r.bounded_capacity(n));
             for _ in 0..n {
                 values.push(decode_value(r)?);
             }
@@ -242,7 +303,7 @@ pub fn decode_value(r: &mut ByteReader<'_>) -> io::Result<Value> {
         }
         TAG_TUPLE => {
             let n = r.u32()? as usize;
-            let mut fields = Vec::with_capacity(n);
+            let mut fields = Vec::with_capacity(r.bounded_capacity(n));
             for _ in 0..n {
                 let name = r.str()?;
                 fields.push((name, decode_value(r)?));
@@ -251,7 +312,7 @@ pub fn decode_value(r: &mut ByteReader<'_>) -> io::Result<Value> {
         }
         TAG_BAG => {
             let n = r.u32()? as usize;
-            let mut items = Vec::with_capacity(n);
+            let mut items = Vec::with_capacity(r.bounded_capacity(n));
             for _ in 0..n {
                 items.push(decode_value(r)?);
             }
@@ -268,16 +329,17 @@ pub fn decode_value(r: &mut ByteReader<'_>) -> io::Result<Value> {
 
 /// Row chunks spill as a count followed by the encoded rows.
 impl Spillable for Vec<Value> {
-    fn encode(&self, w: &mut ByteWriter) {
-        w.u32(self.len() as u32);
+    fn encode(&self, w: &mut ByteWriter) -> io::Result<()> {
+        w.len_u32(self.len(), "row chunk")?;
         for v in self {
-            encode_value(v, w);
+            encode_value(v, w)?;
         }
+        Ok(())
     }
 
     fn decode(r: &mut ByteReader<'_>) -> io::Result<Vec<Value>> {
         let n = r.u32()? as usize;
-        let mut out = Vec::with_capacity(n);
+        let mut out = Vec::with_capacity(r.bounded_capacity(n));
         for _ in 0..n {
             out.push(decode_value(r)?);
         }
@@ -291,7 +353,7 @@ mod tests {
 
     fn round_trip(v: &Value) -> Value {
         let mut w = ByteWriter::new();
-        encode_value(v, &mut w);
+        encode_value(v, &mut w).expect("encode");
         let bytes = w.into_bytes();
         let mut r = ByteReader::new(&bytes);
         let back = decode_value(&mut r).expect("decode");
@@ -332,7 +394,7 @@ mod tests {
     fn row_chunks_round_trip() {
         let rows = vec![Value::Int(1), Value::str("x"), Value::Null];
         let mut w = ByteWriter::new();
-        rows.encode(&mut w);
+        rows.encode(&mut w).unwrap();
         let bytes = w.into_bytes();
         let back = Vec::<Value>::decode(&mut ByteReader::new(&bytes)).unwrap();
         assert_eq!(rows, back);
@@ -341,9 +403,45 @@ mod tests {
     #[test]
     fn truncated_frames_error_instead_of_panicking() {
         let mut w = ByteWriter::new();
-        encode_value(&Value::str("truncate me"), &mut w);
+        encode_value(&Value::str("truncate me"), &mut w).unwrap();
         let bytes = w.into_bytes();
         let cut = &bytes[..bytes.len() - 3];
         assert!(decode_value(&mut ByteReader::new(cut)).is_err());
+    }
+
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    fn over_limit_lengths_error_instead_of_truncating() {
+        // A 4 GiB collection cannot be materialized in a unit test; the
+        // checked length prefix is exercised directly.
+        let mut w = ByteWriter::new();
+        let too_big = (u32::MAX as usize) + 1;
+        let err = w.len_u32(too_big, "bag items").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let codec = err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<CodecError>())
+            .expect("typed codec error");
+        assert_eq!(
+            *codec,
+            CodecError::LengthOverflow {
+                what: "bag items",
+                len: too_big
+            }
+        );
+        // An in-range length still writes the exact prefix.
+        let mut ok = ByteWriter::new();
+        ok.len_u32(7, "bag items").unwrap();
+        assert_eq!(ok.into_bytes(), 7u32.to_le_bytes());
+    }
+
+    #[test]
+    fn corrupt_counts_do_not_over_allocate() {
+        // A bag frame claiming u32::MAX items backed by 1 byte of payload:
+        // the decoder must fail on truncation without ballooning memory.
+        let mut bytes = vec![TAG_BAG];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.push(TAG_NULL);
+        assert!(decode_value(&mut ByteReader::new(&bytes)).is_err());
     }
 }

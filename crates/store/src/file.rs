@@ -1,5 +1,5 @@
-//! Disk-backed spill files: length-prefixed frames inside a scoped, per-run
-//! temporary directory.
+//! Disk-backed spill files: versioned [`crate::wire`] frames inside a
+//! scoped, per-run temporary directory.
 //!
 //! Lifecycle guarantees (asserted by tests):
 //!
@@ -9,11 +9,19 @@
 //!   error path and worker-thread panics (a panicking `std::thread::scope`
 //!   worker unwinds into the owner of the context, whose manager still
 //!   drops).
+//!
+//! The read side trusts nothing: frame lengths are validated against both
+//! the per-frame cap and the bytes actually left in the file, payloads are
+//! checksummed, and any violation surfaces as
+//! [`io::ErrorKind::InvalidData`] instead of a panic or an oversized
+//! allocation.
 
 use std::fs::{self, File};
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::wire::{self, DEFAULT_MAX_FRAME, FRAME_SPILL};
 
 /// Monotonic discriminator so two managers created in the same nanosecond
 /// (e.g. by parallel tests) never collide on a directory name.
@@ -81,7 +89,7 @@ impl Drop for SpillManager {
     }
 }
 
-/// Write side of one spill file: append length-prefixed frames, then
+/// Write side of one spill file: append [`crate::wire`] frames, then
 /// [`SpillFile::finish`] into a [`SpillHandle`].
 ///
 /// An **abandoned** write side (dropped before `finish`, e.g. because the
@@ -99,12 +107,11 @@ pub struct SpillFile {
 }
 
 impl SpillFile {
-    /// Appends one frame (`u64` little-endian length prefix + payload).
+    /// Appends one frame (16-byte wire header + checksummed payload).
     pub fn append(&mut self, frame: &[u8]) -> io::Result<()> {
-        self.writer.write_all(&(frame.len() as u64).to_le_bytes())?;
-        self.writer.write_all(frame)?;
+        let written = wire::write_frame(&mut self.writer, FRAME_SPILL, frame)?;
         self.frames += 1;
-        self.bytes += 8 + frame.len() as u64;
+        self.bytes += written;
         Ok(())
     }
 
@@ -113,7 +120,7 @@ impl SpillFile {
         self.frames
     }
 
-    /// Bytes written so far (length prefixes included).
+    /// Bytes written so far (frame headers included).
     pub fn bytes(&self) -> u64 {
         self.bytes
     }
@@ -121,7 +128,10 @@ impl SpillFile {
     /// Flushes and seals the file into a read handle.
     pub fn finish(mut self) -> io::Result<SpillHandle> {
         self.writer.flush()?;
-        let path = self.path.take().expect("finish called once by ownership");
+        let path = self
+            .path
+            .take()
+            .ok_or_else(|| io::Error::other("spill file finished twice"))?;
         Ok(SpillHandle {
             path,
             frames: self.frames,
@@ -158,11 +168,16 @@ impl SpillHandle {
         self.bytes
     }
 
-    /// Opens a streaming reader over the frames.
+    /// Opens a streaming reader over the frames. The reader validates every
+    /// frame against the *actual* on-disk size, so a file truncated behind
+    /// our back fails with `InvalidData` instead of a huge allocation.
     pub fn open(&self) -> io::Result<SpillReader> {
+        let file = File::open(&self.path)?;
+        let on_disk = file.metadata()?.len();
         Ok(SpillReader {
-            reader: BufReader::new(File::open(&self.path)?),
-            remaining: self.frames,
+            reader: BufReader::new(file),
+            remaining_frames: self.frames,
+            remaining_bytes: on_disk,
         })
     }
 }
@@ -178,33 +193,57 @@ impl Drop for SpillHandle {
 #[derive(Debug)]
 pub struct SpillReader {
     reader: BufReader<File>,
-    remaining: u64,
+    remaining_frames: u64,
+    remaining_bytes: u64,
 }
 
 impl SpillReader {
     /// Reads the next frame, or `None` when the file is exhausted.
+    ///
+    /// Every frame is validated before its payload is read: magic, version,
+    /// a [`DEFAULT_MAX_FRAME`] payload cap, the bytes actually remaining in
+    /// the file, and the payload checksum. A corrupt or truncated file
+    /// surfaces as [`io::ErrorKind::InvalidData`].
     pub fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
-        if self.remaining == 0 {
+        if self.remaining_frames == 0 {
             return Ok(None);
         }
-        let mut len_buf = [0u8; 8];
-        self.reader.read_exact(&mut len_buf)?;
-        let len = u64::from_le_bytes(len_buf) as usize;
-        let mut frame = vec![0u8; len];
-        self.reader.read_exact(&mut frame)?;
-        self.remaining -= 1;
-        Ok(Some(frame))
+        let frame = wire::read_frame(
+            &mut self.reader,
+            DEFAULT_MAX_FRAME,
+            Some(self.remaining_bytes),
+        )?;
+        let (header, payload) = frame.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "spill file ended before its recorded frame count",
+            )
+        })?;
+        self.remaining_bytes = self.remaining_bytes.saturating_sub(header.frame_len());
+        self.remaining_frames -= 1;
+        Ok(Some(payload))
     }
 
     /// Frames not yet read.
     pub fn remaining(&self) -> u64 {
-        self.remaining
+        self.remaining_frames
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The single spill file inside a manager's directory (tests corrupt it
+    /// in place to exercise the untrusted-input paths).
+    fn only_file(manager: &SpillManager) -> PathBuf {
+        let mut entries: Vec<_> = fs::read_dir(manager.dir())
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert_eq!(entries.len(), 1);
+        entries.remove(0)
+    }
 
     #[test]
     fn frames_round_trip_and_files_are_scoped() {
@@ -253,5 +292,55 @@ mod tests {
             0,
             "abandoning a write side must delete its partial file"
         );
+    }
+
+    #[test]
+    fn truncated_file_errors_instead_of_over_allocating() {
+        let manager = SpillManager::new(None).unwrap();
+        let mut file = manager.create().unwrap();
+        file.append(&vec![0xAB; 4096]).unwrap();
+        let handle = file.finish().unwrap();
+        // Truncate the file mid-payload behind the handle's back: the
+        // header's length now exceeds the bytes remaining on disk.
+        let path = only_file(&manager);
+        let f = fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(64).unwrap();
+        drop(f);
+        let err = handle.open().unwrap().next_frame().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn garbage_prefix_errors_instead_of_panicking() {
+        let manager = SpillManager::new(None).unwrap();
+        let mut file = manager.create().unwrap();
+        file.append(b"real frame").unwrap();
+        let handle = file.finish().unwrap();
+        // Stomp the header with garbage: a u64-looking prefix of 0xFF… must
+        // be rejected at the magic check, not fed to an allocator.
+        let path = only_file(&manager);
+        let mut bytes = fs::read(&path).unwrap();
+        for b in bytes.iter_mut().take(16) {
+            *b = 0xFF;
+        }
+        fs::write(&path, &bytes).unwrap();
+        let err = handle.open().unwrap().next_frame().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn flipped_payload_bit_fails_the_checksum() {
+        let manager = SpillManager::new(None).unwrap();
+        let mut file = manager.create().unwrap();
+        file.append(b"checksummed payload").unwrap();
+        let handle = file.finish().unwrap();
+        let path = only_file(&manager);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let err = handle.open().unwrap().next_frame().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"));
     }
 }

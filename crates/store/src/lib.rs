@@ -40,7 +40,12 @@
 pub mod codec;
 pub mod file;
 pub mod governor;
+pub mod wire;
 
-pub use codec::{decode_value, encode_value, ByteReader, ByteWriter, Spillable};
+pub use codec::{decode_value, encode_value, ByteReader, ByteWriter, CodecError, Spillable};
 pub use file::{SpillFile, SpillHandle, SpillManager, SpillReader};
 pub use governor::MemoryGovernor;
+pub use wire::{
+    crc32, read_frame, write_frame, FrameHeader, DEFAULT_MAX_FRAME, HEADER_LEN, WIRE_MAGIC,
+    WIRE_VERSION,
+};

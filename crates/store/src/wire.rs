@@ -1,0 +1,293 @@
+//! The versioned frame format shared by spill files and the network shuffle
+//! transport: a fixed 16-byte header (magic, version, frame kind, flags,
+//! payload length, CRC-32) followed by the payload bytes.
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  b"TRNC"
+//!      4     2  format version (little-endian u16, currently 1)
+//!      6     1  frame kind (producer-defined: spill chunk, shuffle data,
+//!               credit grant, control message, ...)
+//!      7     1  flags (reserved, must be 0)
+//!      8     4  payload length (little-endian u32)
+//!     12     4  CRC-32 (IEEE) of the payload (little-endian u32)
+//!     16     …  payload
+//! ```
+//!
+//! The decoder treats every field as untrusted: the magic, version and flags
+//! must match, the length must fit the caller's frame cap *and* the bytes
+//! still available in the stream (when known), and the payload must match
+//! its checksum. Violations surface as [`io::ErrorKind::InvalidData`] — a
+//! corrupt or malicious frame is a recoverable protocol error, never a
+//! panic. Payload buffers grow only as bytes actually arrive
+//! (`Read::take` + `read_to_end`), so a forged length cannot balloon memory
+//! beyond what the peer really sends.
+
+use std::io::{self, Read, Write};
+
+/// The leading frame magic.
+pub const WIRE_MAGIC: [u8; 4] = *b"TRNC";
+
+/// Current format version.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Size of the fixed frame header in bytes.
+pub const HEADER_LEN: usize = 16;
+
+/// Default per-frame payload cap for spill files: generous (one spilled
+/// chunk) but finite, so a corrupt length prefix cannot ask for the moon.
+pub const DEFAULT_MAX_FRAME: usize = 256 * 1024 * 1024;
+
+/// Frame kind used by spill files.
+pub const FRAME_SPILL: u8 = 0x01;
+
+/// The decoded fixed header of one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Producer-defined frame kind.
+    pub kind: u8,
+    /// Reserved; always 0 in version 1.
+    pub flags: u8,
+    /// Payload length in bytes.
+    pub len: u32,
+    /// CRC-32 (IEEE) of the payload.
+    pub crc: u32,
+}
+
+impl FrameHeader {
+    /// Total encoded size of the frame (header + payload).
+    pub fn frame_len(&self) -> u64 {
+        HEADER_LEN as u64 + u64::from(self.len)
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven. `std` ships no
+/// checksum and the workspace takes no external crates, so the table is
+/// built once at first use.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        table
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Encodes the 16-byte header for a frame of `kind` carrying `payload`.
+/// Fails when the payload exceeds the format's `u32` length field.
+pub fn encode_header(kind: u8, payload: &[u8]) -> io::Result<[u8; HEADER_LEN]> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        invalid(format!(
+            "frame payload of {} bytes exceeds u32",
+            payload.len()
+        ))
+    })?;
+    let mut header = [0u8; HEADER_LEN];
+    header[0..4].copy_from_slice(&WIRE_MAGIC);
+    header[4..6].copy_from_slice(&WIRE_VERSION.to_le_bytes());
+    header[6] = kind;
+    header[7] = 0;
+    header[8..12].copy_from_slice(&len.to_le_bytes());
+    header[12..16].copy_from_slice(&crc32(payload).to_le_bytes());
+    Ok(header)
+}
+
+/// Writes one frame (header + payload), returning the total bytes written.
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> io::Result<u64> {
+    let header = encode_header(kind, payload)?;
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    Ok(HEADER_LEN as u64 + payload.len() as u64)
+}
+
+/// Parses and validates a frame header against the caller's payload cap and
+/// (when known) the bytes still available in the stream.
+pub fn decode_header(
+    bytes: &[u8; HEADER_LEN],
+    max_len: usize,
+    stream_remaining: Option<u64>,
+) -> io::Result<FrameHeader> {
+    if bytes[0..4] != WIRE_MAGIC {
+        return Err(invalid("bad frame magic"));
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != WIRE_VERSION {
+        return Err(invalid(format!(
+            "unsupported frame version {version} (expected {WIRE_VERSION})"
+        )));
+    }
+    let kind = bytes[6];
+    let flags = bytes[7];
+    if flags != 0 {
+        return Err(invalid(format!("unknown frame flags {flags:#04x}")));
+    }
+    let len = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    let crc = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
+    if len as usize > max_len {
+        return Err(invalid(format!(
+            "frame payload of {len} bytes exceeds the {max_len}-byte cap"
+        )));
+    }
+    let header = FrameHeader {
+        kind,
+        flags,
+        len,
+        crc,
+    };
+    if let Some(remaining) = stream_remaining {
+        if header.frame_len() > remaining {
+            return Err(invalid(format!(
+                "frame claims {} payload bytes but only {} bytes remain in the stream",
+                len,
+                remaining.saturating_sub(HEADER_LEN as u64)
+            )));
+        }
+    }
+    Ok(header)
+}
+
+/// Reads the next frame from `r`.
+///
+/// Returns `Ok(None)` on a clean end of stream (EOF exactly at a frame
+/// boundary); anything else that prevents a full, checksum-valid frame —
+/// bad magic or version, a length beyond `max_len` or beyond
+/// `stream_remaining`, a short payload, a CRC mismatch — is an
+/// [`io::ErrorKind::InvalidData`] error.
+pub fn read_frame(
+    r: &mut impl Read,
+    max_len: usize,
+    stream_remaining: Option<u64>,
+) -> io::Result<Option<(FrameHeader, Vec<u8>)>> {
+    let mut header_bytes = [0u8; HEADER_LEN];
+    let mut filled = 0usize;
+    while filled < HEADER_LEN {
+        match r.read(&mut header_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(invalid("truncated frame header")),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let header = decode_header(&header_bytes, max_len, stream_remaining)?;
+    // Grow the buffer only as bytes actually arrive: a forged length cannot
+    // reserve more memory than the peer really transmits.
+    let mut payload = Vec::new();
+    let got = r
+        .by_ref()
+        .take(u64::from(header.len))
+        .read_to_end(&mut payload)?;
+    if got as u64 != u64::from(header.len) {
+        return Err(invalid(format!(
+            "truncated frame payload: expected {} bytes, got {got}",
+            header.len
+        )));
+    }
+    if crc32(&payload) != header.crc {
+        return Err(invalid("frame checksum mismatch"));
+    }
+    Ok(Some((header, payload)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 7, b"hello").unwrap();
+        write_frame(&mut buf, 9, b"").unwrap();
+        let total = buf.len() as u64;
+        let mut cur = Cursor::new(&buf);
+        let (h1, p1) = read_frame(&mut cur, 1024, Some(total)).unwrap().unwrap();
+        assert_eq!((h1.kind, p1.as_slice()), (7, &b"hello"[..]));
+        let (h2, p2) = read_frame(&mut cur, 1024, Some(total - h1.frame_len()))
+            .unwrap()
+            .unwrap();
+        assert_eq!((h2.kind, p2.as_slice()), (9, &b""[..]));
+        assert!(read_frame(&mut cur, 1024, Some(0)).unwrap().is_none());
+    }
+
+    #[test]
+    fn bad_magic_version_flags_and_cap_are_invalid_data() {
+        let mut good = Vec::new();
+        write_frame(&mut good, 1, b"payload").unwrap();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        let mut bad_version = good.clone();
+        bad_version[4] = 0xFF;
+        let mut bad_flags = good.clone();
+        bad_flags[7] = 1;
+        for bytes in [&bad_magic, &bad_version, &bad_flags] {
+            let err = read_frame(&mut Cursor::new(bytes), 1024, None).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        }
+        // Cap: the same valid frame, read under a smaller payload cap.
+        let err = read_frame(&mut Cursor::new(&good), 3, None).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_payload_and_header_are_invalid_data() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, b"some payload").unwrap();
+        // Cut into the payload.
+        let cut = &buf[..buf.len() - 4];
+        let err = read_frame(&mut Cursor::new(cut), 1024, None).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Cut into the header.
+        let cut = &buf[..HEADER_LEN - 3];
+        let err = read_frame(&mut Cursor::new(cut), 1024, None).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn length_is_validated_against_stream_remaining() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, &[0u8; 64]).unwrap();
+        // The stream claims to hold fewer bytes than the frame needs: the
+        // header alone must be rejected, before any payload allocation.
+        let err = read_frame(&mut Cursor::new(&buf), 1024, Some(32)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn checksum_mismatch_is_invalid_data() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, b"checksummed").unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x40; // flip one payload bit
+        let err = read_frame(&mut Cursor::new(&buf), 1024, None).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"));
+    }
+}
